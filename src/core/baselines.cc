@@ -1,0 +1,328 @@
+#include "src/core/baselines.h"
+
+#include "src/ebpf/builder.h"
+#include "src/verifier/helper_protos.h"
+#include "src/verifier/verifier.h"
+
+namespace bvf {
+
+using bpf::Insn;
+using bpf::MapDef;
+using bpf::MapType;
+using bpf::ProgType;
+using bpf::Rng;
+
+namespace {
+
+std::vector<MapDef> BasicMaps(Rng& rng) {
+  std::vector<MapDef> maps;
+  MapDef array;
+  array.type = MapType::kArray;
+  array.key_size = 4;
+  array.value_size = static_cast<uint32_t>(8 * (1 + rng.Below(4)));
+  array.max_entries = 4;
+  maps.push_back(array);
+  if (rng.OneIn(2)) {
+    MapDef hash;
+    hash.type = MapType::kHash;
+    hash.key_size = 4;
+    hash.value_size = 16;
+    hash.max_entries = 8;
+    maps.push_back(hash);
+  }
+  return maps;
+}
+
+uint8_t RandomReg(Rng& rng) { return static_cast<uint8_t>(rng.Below(11)); }
+
+}  // namespace
+
+FuzzCase SyzkallerGenerator::Generate(bpf::Rng& rng) {
+  FuzzCase the_case;
+  the_case.maps = BasicMaps(rng);
+  static constexpr ProgType kTypes[] = {ProgType::kSocketFilter, ProgType::kKprobe,
+                                        ProgType::kTracepoint, ProgType::kXdp};
+  the_case.prog.type = kTypes[rng.Below(4)];
+
+  const int n = static_cast<int>(4 + rng.Below(20));
+  std::vector<Insn>& insns = the_case.prog.insns;
+
+  // Syzkaller's descriptions initialize the argument registers from typed
+  // resources before the body, so a fair share of registers is usable; the
+  // body itself has no dataflow model.
+  bool inited[11] = {};
+  bool is_ptr[11] = {};
+  inited[1] = true;   // ctx
+  inited[10] = true;  // fp
+  is_ptr[1] = true;
+  is_ptr[10] = true;
+  for (uint8_t r = 0; r <= 5; ++r) {
+    if (rng.Chance(0.7)) {
+      insns.push_back(bpf::MovImm(r, static_cast<int32_t>(rng.Below(256))));
+      inited[r] = true;
+    }
+  }
+  int16_t stored_off = 0;  // last initialized stack slot (0 = none yet)
+  bool r1_is_ctx = true;   // until the first call clobbers R1
+
+  auto pick_reg = [&](double inited_bias) {
+    if (rng.Chance(inited_bias)) {
+      for (int attempt = 0; attempt < 8; ++attempt) {
+        const uint8_t r = RandomReg(rng);
+        if (inited[r]) {
+          return r;
+        }
+      }
+    }
+    return RandomReg(rng);
+  };
+  // Destination registers: syzkaller's descriptions know R10 is read-only.
+  auto pick_dst = [&](double inited_bias) {
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      const uint8_t r = pick_reg(inited_bias);
+      if (r != 10) {
+        return r;
+      }
+    }
+    return static_cast<uint8_t>(rng.Below(10));
+  };
+  // Arithmetic operands: templated as "integer", so usually scalar-typed.
+  auto pick_scalar = [&](double bias) {
+    if (rng.Chance(bias)) {
+      for (int attempt = 0; attempt < 10; ++attempt) {
+        const uint8_t r = static_cast<uint8_t>(rng.Below(10));
+        if (inited[r] && !is_ptr[r]) {
+          return r;
+        }
+      }
+    }
+    return pick_dst(bias);
+  };
+
+  for (int i = 0; i < n; ++i) {
+    switch (rng.Below(10)) {
+      case 0: {
+        const uint8_t dst = pick_dst(0.3);
+        insns.push_back(bpf::MovImm(dst, static_cast<int32_t>(rng.Next())));
+        inited[dst] = true;
+        is_ptr[dst] = false;
+        break;
+      }
+      case 1: {
+        const uint8_t dst = pick_dst(0.3);
+        const uint8_t src = pick_reg(0.85);
+        insns.push_back(bpf::MovReg(dst, src));
+        inited[dst] = inited[src];
+        is_ptr[dst] = is_ptr[src];
+        break;
+      }
+      case 2:
+      case 3: {
+        static constexpr uint8_t kOps[] = {bpf::kAluAdd, bpf::kAluSub, bpf::kAluMul,
+                                           bpf::kAluAnd, bpf::kAluOr,  bpf::kAluXor,
+                                           bpf::kAluRsh, bpf::kAluLsh};
+        const uint8_t op = kOps[rng.Below(8)];
+        const bool shift = op == bpf::kAluLsh || op == bpf::kAluRsh;
+        if (rng.OneIn(2)) {
+          insns.push_back(bpf::AluImm(op, pick_scalar(0.9),
+                                      shift ? static_cast<int32_t>(rng.Below(64))
+                                            : static_cast<int32_t>(rng.Next() & 0xffff)));
+        } else {
+          insns.push_back(bpf::AluReg(op, pick_scalar(0.9), pick_scalar(0.9)));
+        }
+        break;
+      }
+      case 4:  // load: mostly from the last-written stack slot, sometimes wild
+        if (stored_off != 0 && rng.Chance(0.85)) {
+          const uint8_t dst = pick_dst(0.3);
+          insns.push_back(bpf::LoadMem(bpf::kSizeDw, dst, bpf::kR10, stored_off));
+          inited[dst] = true;
+          is_ptr[dst] = false;
+        } else {
+          insns.push_back(bpf::LoadMem(bpf::kSizeDw, pick_dst(0.3), pick_reg(0.85),
+                                       static_cast<int16_t>(8 * rng.Range(-4, 4))));
+        }
+        break;
+      case 5: {  // stack store
+        const int16_t off = static_cast<int16_t>(-8 * (1 + rng.Below(8)));
+        insns.push_back(bpf::StoreMemImm(bpf::kSizeDw, bpf::kR10, off,
+                                         static_cast<int32_t>(rng.Next() & 0xff)));
+        stored_off = off;
+        break;
+      }
+      case 6: {  // map fd load
+        const int map = static_cast<int>(rng.Below(the_case.maps.size()));
+        const uint8_t dst = pick_dst(0.3);
+        insns.push_back(
+            bpf::LdImm64Lo(dst, bpf::kPseudoMapFd, static_cast<uint64_t>(map + 1)));
+        insns.push_back(bpf::LdImm64Hi(0));
+        inited[dst] = true;
+        is_ptr[dst] = true;
+        break;
+      }
+      case 7: {  // helper call: templated lookup most of the time, raw otherwise
+        if (rng.Chance(0.65)) {
+          insns.push_back(bpf::StoreMemImm(bpf::kSizeW, bpf::kR10, -4,
+                                           static_cast<int32_t>(rng.Below(8))));
+          insns.push_back(bpf::LdImm64Lo(bpf::kR1, bpf::kPseudoMapFd, 1));
+          insns.push_back(bpf::LdImm64Hi(0));
+          insns.push_back(bpf::MovReg(bpf::kR2, bpf::kR10));
+          insns.push_back(bpf::AluImm(bpf::kAluAdd, bpf::kR2, -4));
+          insns.push_back(bpf::CallHelper(bpf::kHelperMapLookupElem));
+          insns.push_back(bpf::MovImm(bpf::kR0, 0));
+          for (int r = 1; r <= 5; ++r) {
+            inited[r] = false;
+          }
+          inited[0] = true;
+          inited[1] = true;
+          is_ptr[0] = false;
+          is_ptr[1] = false;
+          r1_is_ctx = false;
+          insns.push_back(bpf::MovImm(bpf::kR1, 0));
+        } else {
+          const auto helpers = bpf::AvailableHelpers(version_, the_case.prog.type);
+          if (!helpers.empty()) {
+            insns.push_back(bpf::CallHelper(helpers[rng.Below(helpers.size())]));
+            for (int r = 1; r <= 5; ++r) {
+              inited[r] = false;
+            }
+            inited[0] = true;
+            r1_is_ctx = false;
+          }
+        }
+        break;
+      }
+      case 8: {  // conditional jump with a short forward offset
+        const int16_t off = static_cast<int16_t>(rng.Below(3));
+        insns.push_back(bpf::JmpImm(bpf::kJmpJeq, pick_reg(0.85),
+                                    static_cast<int32_t>(rng.Below(16)), off));
+        break;
+      }
+      case 9:  // ctx load template (syzkaller knows the ctx struct layouts)
+        if (r1_is_ctx && rng.OneIn(2)) {
+          const bpf::CtxDescriptor& desc = bpf::CtxDescriptorFor(the_case.prog.type);
+          const bpf::CtxField& field = rng.Pick(desc.fields);
+          uint8_t dst = pick_dst(0.3);
+          if (dst == 1) {
+            dst = 6;  // don't overwrite the ctx register the template relies on
+          }
+          insns.push_back(bpf::LoadMem(field.size == 8 ? bpf::kSizeDw : bpf::kSizeW, dst,
+                                       bpf::kR1, static_cast<int16_t>(field.off)));
+          inited[dst] = true;
+          // data/data_end yield packet pointers; treat them as pointers.
+          is_ptr[dst] = field.special != bpf::CtxField::Special::kNone;
+        } else {  // 32-bit ALU
+          insns.push_back(bpf::Alu32Imm(bpf::kAluAdd, pick_scalar(0.9),
+                                        static_cast<int32_t>(rng.Below(4096))));
+        }
+        break;
+    }
+  }
+  insns.push_back(bpf::MovImm(bpf::kR0, 0));
+  insns.push_back(bpf::MovImm(bpf::kR0, 0));
+  insns.push_back(bpf::MovImm(bpf::kR0, 0));
+  insns.push_back(bpf::Exit());
+
+  the_case.test_runs = 1;
+  if ((the_case.prog.type == ProgType::kKprobe ||
+       the_case.prog.type == ProgType::kTracepoint) &&
+      rng.OneIn(4)) {
+    the_case.do_attach = true;
+    the_case.attach_target = static_cast<bpf::TracepointId>(rng.Below(4));
+    the_case.events.push_back(the_case.attach_target);
+  }
+  the_case.do_map_batch = rng.OneIn(8);
+  return the_case;
+}
+
+FuzzCase BuzzerGenerator::Generate(bpf::Rng& rng) {
+  FuzzCase the_case;
+  the_case.maps = BasicMaps(rng);
+  the_case.prog.type = ProgType::kSocketFilter;
+  std::vector<Insn>& insns = the_case.prog.insns;
+
+  if (mode_ == Mode::kRandomBytes) {
+    // Near-random encodings: almost everything dies in CheckEncoding.
+    const int n = static_cast<int>(4 + rng.Below(20));
+    for (int i = 0; i < n; ++i) {
+      Insn insn;
+      insn.opcode = static_cast<uint8_t>(rng.Next());
+      insn.dst = static_cast<uint8_t>(rng.Below(16));
+      insn.src = static_cast<uint8_t>(rng.Below(16));
+      insn.off = static_cast<int16_t>(rng.Next());
+      insn.imm = static_cast<int32_t>(rng.Next());
+      insns.push_back(insn);
+    }
+    insns.push_back(bpf::Exit());
+    the_case.test_runs = 1;
+    return the_case;
+  }
+
+  // ALU/JMP mode: initialize every register, then mostly ALU and forward
+  // jumps over correct-by-construction regions; occasional map access.
+  for (uint8_t r = 0; r <= 9; ++r) {
+    insns.push_back(bpf::MovImm(r, static_cast<int32_t>(rng.Below(1024))));
+  }
+  // A small fraction of generated programs is malformed (bad shift widths),
+  // matching the ~97% acceptance of Buzzer's well-formed mode.
+  if (rng.Chance(0.03)) {
+    insns.push_back(bpf::AluImm(bpf::kAluLsh, 1, 64));
+  }
+  const bool use_maps = rng.OneIn(4);
+  const int n = static_cast<int>(16 + rng.Below(48));
+  for (int i = 0; i < n; ++i) {
+    if (rng.Chance(0.88)) {
+      if (rng.OneIn(4)) {
+        // Forward jump over one instruction: always in-range since a filler
+        // ALU instruction follows.
+        insns.push_back(bpf::JmpImm(bpf::kJmpJgt, static_cast<uint8_t>(rng.Below(10)),
+                                    static_cast<int32_t>(rng.Below(2048)), 1));
+        insns.push_back(
+            bpf::AluImm(bpf::kAluAdd, static_cast<uint8_t>(rng.Below(10)),
+                        static_cast<int32_t>(rng.Below(64))));
+      } else {
+        static constexpr uint8_t kOps[] = {bpf::kAluAdd, bpf::kAluSub, bpf::kAluMul,
+                                           bpf::kAluAnd, bpf::kAluOr,  bpf::kAluXor,
+                                           bpf::kAluLsh, bpf::kAluRsh, bpf::kAluArsh};
+        const uint8_t op = kOps[rng.Below(9)];
+        const bool shift = op == bpf::kAluLsh || op == bpf::kAluRsh || op == bpf::kAluArsh;
+        if (rng.OneIn(2)) {
+          insns.push_back(bpf::AluImm(op, static_cast<uint8_t>(rng.Below(10)),
+                                      shift ? static_cast<int32_t>(rng.Below(64))
+                                            : static_cast<int32_t>(rng.Next() & 0xffff)));
+        } else {
+          insns.push_back(bpf::AluReg(op, static_cast<uint8_t>(rng.Below(10)),
+                                      static_cast<uint8_t>(rng.Below(10))));
+        }
+      }
+    } else if (!use_maps || rng.Chance(0.8)) {
+      // Stack traffic.
+      const int16_t off = static_cast<int16_t>(-8 * (1 + rng.Below(4)));
+      insns.push_back(bpf::StoreMemReg(bpf::kSizeDw, bpf::kR10,
+                                       static_cast<uint8_t>(rng.Below(10)), off));
+      insns.push_back(bpf::LoadMem(bpf::kSizeDw, static_cast<uint8_t>(rng.Below(10)),
+                                   bpf::kR10, off));
+    } else {
+      // Simple map element update via the lookup pattern.
+      insns.push_back(bpf::StoreMemImm(bpf::kSizeW, bpf::kR10, -4, 0));
+      insns.push_back(bpf::LdImm64Lo(bpf::kR1, bpf::kPseudoMapFd, 1));
+      insns.push_back(bpf::LdImm64Hi(0));
+      insns.push_back(bpf::MovReg(bpf::kR2, bpf::kR10));
+      insns.push_back(bpf::AluImm(bpf::kAluAdd, bpf::kR2, -4));
+      insns.push_back(bpf::CallHelper(bpf::kHelperMapLookupElem));
+      insns.push_back(bpf::JmpImm(bpf::kJmpJeq, bpf::kR0, 0, 1));
+      insns.push_back(bpf::StoreMemImm(bpf::kSizeDw, bpf::kR0, 0, 1));
+      // Re-establish the all-initialized, all-scalar register file (the
+      // pointer left in r0 must not leak into the ALU mix).
+      for (uint8_t r = 0; r <= 5; ++r) {
+        insns.push_back(bpf::MovImm(r, static_cast<int32_t>(rng.Below(64))));
+      }
+    }
+  }
+  insns.push_back(bpf::MovImm(bpf::kR0, 0));
+  insns.push_back(bpf::Exit());
+  the_case.test_runs = 1;
+  return the_case;
+}
+
+}  // namespace bvf

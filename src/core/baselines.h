@@ -1,0 +1,48 @@
+// Baseline generators used in the paper's comparison (§6):
+//
+//  * SyzkallerGenerator — models syzkaller's bpf descriptions: instructions
+//    are individually well-formed (drawn from typed templates), but there is
+//    no cross-instruction state model, so programs routinely read
+//    uninitialized registers, jump badly, or feed helpers garbage. Measured
+//    acceptance in the paper: 23.5%.
+//  * BuzzerGenerator — two modes: kRandomBytes (near-random encodings, ~1%
+//    acceptance) and kAluJmp (well-formed ALU/JMP-heavy programs, ~97%
+//    acceptance, >88% ALU+JMP instruction share, little else exercised).
+
+#ifndef SRC_CORE_BASELINES_H_
+#define SRC_CORE_BASELINES_H_
+
+#include "src/core/generator.h"
+#include "src/verifier/kernel_version.h"
+
+namespace bvf {
+
+class SyzkallerGenerator : public Generator {
+ public:
+  explicit SyzkallerGenerator(bpf::KernelVersion version) : version_(version) {}
+  const char* name() const override { return "syzkaller"; }
+  FuzzCase Generate(bpf::Rng& rng) override;
+
+ private:
+  bpf::KernelVersion version_;
+};
+
+class BuzzerGenerator : public Generator {
+ public:
+  enum class Mode { kRandomBytes, kAluJmp };
+
+  explicit BuzzerGenerator(bpf::KernelVersion version, Mode mode = Mode::kAluJmp)
+      : version_(version), mode_(mode) {}
+  const char* name() const override {
+    return mode_ == Mode::kAluJmp ? "buzzer" : "buzzer-random";
+  }
+  FuzzCase Generate(bpf::Rng& rng) override;
+
+ private:
+  bpf::KernelVersion version_;
+  Mode mode_;
+};
+
+}  // namespace bvf
+
+#endif  // SRC_CORE_BASELINES_H_

@@ -1,0 +1,165 @@
+#include "src/core/fuzzer.h"
+
+#include <cstring>
+
+#include "src/kernel/coverage.h"
+#include "src/runtime/bpf_syscall.h"
+#include "src/sanitizer/asan_funcs.h"
+
+namespace bvf {
+
+using bpf::Coverage;
+
+bool CampaignStats::FoundBug(KnownBug bug) const {
+  for (const Finding& finding : findings) {
+    if (finding.triaged == bug) {
+      return true;
+    }
+  }
+  return false;
+}
+
+uint64_t CampaignStats::FoundAtIteration(KnownBug bug) const {
+  uint64_t first = 0;
+  for (const Finding& finding : findings) {
+    if (finding.triaged == bug && (first == 0 || finding.iteration < first)) {
+      first = finding.iteration;
+    }
+  }
+  return first;
+}
+
+void Fuzzer::RunCase(FuzzCase& the_case, CampaignStats& stats, uint64_t iteration) {
+  bpf::Kernel kernel(options_.version, options_.bugs, options_.arena_size);
+  bpf::Bpf bpf(kernel);
+  if (options_.sanitize) {
+    bpf::BpfAsan::Register(kernel);
+    bpf.set_instrument(sanitizer_.Hook());
+  }
+
+  // Create the case's maps and seed a few entries so lookups can hit.
+  for (const bpf::MapDef& def : the_case.maps) {
+    const int fd = bpf.MapCreate(def);
+    if (fd < 0) {
+      continue;
+    }
+    if (def.type == bpf::MapType::kHash || def.type == bpf::MapType::kArray) {
+      for (uint32_t k = 0; k < 2 && k < def.max_entries; ++k) {
+        std::vector<uint8_t> key(def.key_size, 0);
+        std::memcpy(key.data(), &k, std::min<size_t>(sizeof(k), key.size()));
+        std::vector<uint8_t> value(def.value_size, 0);
+        bpf.MapUpdateElem(fd, key.data(), value.data());
+      }
+    }
+  }
+
+  // Instruction-mix statistics over the as-generated program.
+  for (const bpf::Insn& insn : the_case.prog.insns) {
+    ++stats.insns_total;
+    if (insn.IsAlu() || (insn.IsJmp() && !insn.IsCall() && !insn.IsExit())) {
+      ++stats.insns_alu_jmp;
+    } else if (insn.IsMemLoad() || insn.IsMemStore() || insn.IsAtomic() ||
+               insn.IsLdImm64()) {
+      ++stats.insns_mem;
+    } else if (insn.IsCall()) {
+      ++stats.insns_call;
+    }
+  }
+
+  bpf::VerifierResult verdict;
+  const int prog_fd = bpf.ProgLoad(the_case.prog, &verdict);
+  if (prog_fd < 0) {
+    ++stats.rejected;
+    ++stats.reject_errno[-prog_fd];
+  } else {
+    ++stats.accepted;
+    for (int run = 0; run < the_case.test_runs; ++run) {
+      bpf.ProgTestRun(prog_fd, static_cast<uint32_t>(32 + 16 * run),
+                      iteration * 16 + static_cast<uint64_t>(run));
+      ++stats.exec_runs;
+    }
+    if (the_case.do_attach) {
+      if (bpf.ProgAttach(prog_fd, the_case.attach_target) == 0) {
+        for (bpf::TracepointId event : the_case.events) {
+          bpf.FireEvent(event);
+        }
+        // Attached programs also run when the program itself re-executes.
+        bpf.ProgTestRun(prog_fd, 64, iteration);
+        ++stats.exec_runs;
+        bpf.DetachAll();
+      }
+    }
+    if (the_case.do_xdp_install && the_case.prog.type == bpf::ProgType::kXdp) {
+      if (bpf.XdpInstall(prog_fd) == 0) {
+        bpf.XdpRun(64, iteration);
+        bpf.XdpRun(96, iteration + 1);
+        ++stats.exec_runs;
+      }
+    }
+    if (the_case.do_map_batch) {
+      // Several batched lookups so the simulated bucket-lock contention tick
+      // (every 3rd trylock) is reached.
+      for (const auto& map : kernel.maps().maps()) {
+        if (map->def().type == bpf::MapType::kHash) {
+          for (int round = 0; round < 4; ++round) {
+            bpf.MapLookupBatch(map->id(), 16);
+          }
+        }
+      }
+    }
+  }
+
+  // Oracle: convert this kernel's reports into deduped findings.
+  for (Finding& finding : ClassifyReports(kernel.reports(), 0, iteration)) {
+    if (stats.finding_signatures.insert(finding.signature).second) {
+      stats.findings.push_back(std::move(finding));
+    }
+  }
+}
+
+CampaignStats Fuzzer::Run() {
+  CampaignStats stats;
+  stats.tool = generator_.name();
+  stats.options = options_;
+  sanitizer_.ResetStats();
+  corpus_.clear();
+
+  if (options_.reset_coverage) {
+    Coverage::Get().ResetHits();
+  }
+
+  bpf::Rng rng(options_.seed);
+  const uint64_t sample_every =
+      options_.coverage_points > 0
+          ? std::max<uint64_t>(1, options_.iterations / options_.coverage_points)
+          : 0;
+
+  for (uint64_t i = 1; i <= options_.iterations; ++i) {
+    Coverage::Get().MarkRun();
+
+    FuzzCase the_case;
+    if (options_.coverage_feedback && !corpus_.empty() && rng.Chance(0.4)) {
+      the_case = rng.Pick(corpus_);
+      generator_.Mutate(rng, the_case);
+    } else {
+      the_case = generator_.Generate(rng);
+    }
+
+    RunCase(the_case, stats, i);
+
+    if (options_.coverage_feedback && Coverage::Get().NewSinceMark() > 0 &&
+        corpus_.size() < 512) {
+      corpus_.push_back(the_case);
+    }
+    if (sample_every != 0 && i % sample_every == 0) {
+      stats.curve.push_back(CoveragePoint{i, Coverage::Get().hit_count()});
+    }
+    ++stats.iterations;
+  }
+
+  stats.final_coverage = Coverage::Get().hit_count();
+  stats.sanitizer = sanitizer_.stats();
+  return stats;
+}
+
+}  // namespace bvf

@@ -1,0 +1,95 @@
+// The BVF campaign loop (paper Fig. 3): generate a structured program,
+// load it through the (instrumented) verifier, execute and drive it, and
+// convert kernel reports into correctness-bug findings via the oracle.
+// Coverage feedback preserves interesting programs for mutation.
+
+#ifndef SRC_CORE_FUZZER_H_
+#define SRC_CORE_FUZZER_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/core/generator.h"
+#include "src/core/oracle.h"
+#include "src/sanitizer/instrument.h"
+#include "src/verifier/bug_registry.h"
+#include "src/verifier/kernel_version.h"
+
+namespace bvf {
+
+struct CampaignOptions {
+  bpf::KernelVersion version = bpf::KernelVersion::kBpfNext;
+  bpf::BugConfig bugs = bpf::BugConfig::None();
+  bool sanitize = true;               // BVF's memory sanitation on/off
+  uint64_t iterations = 5000;
+  uint64_t seed = 1;
+  bool coverage_feedback = true;      // corpus-guided generation
+  int coverage_points = 48;           // curve samples ("hours" in Fig. 6)
+  bool reset_coverage = true;         // reset the global hit set at start
+  size_t arena_size = 512 * 1024;
+};
+
+struct CoveragePoint {
+  uint64_t iteration;
+  size_t covered;
+};
+
+struct CampaignStats {
+  std::string tool;
+  CampaignOptions options;
+
+  uint64_t iterations = 0;
+  uint64_t accepted = 0;
+  uint64_t rejected = 0;
+  std::map<int, uint64_t> reject_errno;  // errno (positive) -> count
+  uint64_t exec_runs = 0;
+
+  std::vector<Finding> findings;  // deduped by signature
+  std::set<std::string> finding_signatures;
+
+  std::vector<CoveragePoint> curve;
+  size_t final_coverage = 0;
+
+  uint64_t insns_total = 0;
+  uint64_t insns_alu_jmp = 0;
+  uint64_t insns_mem = 0;
+  uint64_t insns_call = 0;
+
+  SanitizerStats sanitizer;
+
+  double AcceptanceRate() const {
+    const uint64_t total = accepted + rejected;
+    return total == 0 ? 0.0 : static_cast<double>(accepted) / static_cast<double>(total);
+  }
+  double AluJmpShare() const {
+    return insns_total == 0 ? 0.0
+                            : static_cast<double>(insns_alu_jmp) /
+                                  static_cast<double>(insns_total);
+  }
+  bool FoundBug(KnownBug bug) const;
+  // First iteration at which |bug| was observed; 0 when never found.
+  uint64_t FoundAtIteration(KnownBug bug) const;
+};
+
+class Fuzzer {
+ public:
+  Fuzzer(Generator& generator, CampaignOptions options)
+      : generator_(generator), options_(options) {}
+
+  CampaignStats Run();
+
+ private:
+  void RunCase(FuzzCase& the_case, CampaignStats& stats, uint64_t iteration);
+
+  Generator& generator_;
+  CampaignOptions options_;
+  Sanitizer sanitizer_;
+  std::vector<FuzzCase> corpus_;
+};
+
+}  // namespace bvf
+
+#endif  // SRC_CORE_FUZZER_H_

@@ -1,0 +1,50 @@
+// Generator interface: a fuzz case is an eBPF program plus the kernel
+// resources and driver actions that exercise it (maps to pre-create, attach
+// targets, events to fire, follow-up syscalls).
+
+#ifndef SRC_CORE_GENERATOR_H_
+#define SRC_CORE_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/ebpf/program.h"
+#include "src/kernel/rng.h"
+#include "src/kernel/tracepoint.h"
+#include "src/maps/map.h"
+#include "src/verifier/kernel_version.h"
+
+namespace bvf {
+
+// One generated test case.
+struct FuzzCase {
+  bpf::Program prog;
+  std::vector<bpf::MapDef> maps;  // created before load; fd = index + 1
+
+  // Driver actions after a successful load.
+  int test_runs = 2;
+  bool do_attach = false;
+  bpf::TracepointId attach_target = bpf::TracepointId::kSysEnter;
+  std::vector<bpf::TracepointId> events;  // fired after attach
+  bool do_xdp_install = false;            // install + run on the XDP dispatcher
+  bool do_map_batch = false;              // batched map lookups (bug #9 path)
+};
+
+class Generator {
+ public:
+  virtual ~Generator() = default;
+  virtual const char* name() const = 0;
+  virtual FuzzCase Generate(bpf::Rng& rng) = 0;
+  // Optional corpus mutation; default regenerates from scratch.
+  virtual void Mutate(bpf::Rng& rng, FuzzCase& the_case) { the_case = Generate(rng); }
+};
+
+// Inserts |insn| at |pos| in the program, patching every branch and
+// pseudo-call offset that spans the insertion point (the kernel's
+// bpf_patch_insn_data shape). Used by the fuzzer's adjacent-instruction
+// duplication mutation (paper §4.1: "simulating unrolled loops").
+void InsertInsnPatched(bpf::Program& prog, size_t pos, const bpf::Insn& insn);
+
+}  // namespace bvf
+
+#endif  // SRC_CORE_GENERATOR_H_

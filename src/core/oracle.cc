@@ -1,0 +1,152 @@
+#include "src/core/oracle.h"
+
+#include <cstdlib>
+
+namespace bvf {
+
+using bpf::ReportKind;
+
+const char* KnownBugName(KnownBug bug) {
+  switch (bug) {
+    case KnownBug::kUnknown:
+      return "unknown";
+    case KnownBug::kBug1NullnessPropagation:
+      return "#1 verifier: incorrect nullness propagation of pointer comparisons";
+    case KnownBug::kBug2TaskStructBounds:
+      return "#2 verifier: incorrect task_struct access validation";
+    case KnownBug::kBug3KfuncBacktrack:
+      return "#3 verifier: incorrect check on kfunc call operations";
+    case KnownBug::kBug4TracePrintkRecursion:
+      return "#4 verifier: missing check on programs attached to bpf_trace_printk";
+    case KnownBug::kBug5ContentionBegin:
+      return "#5 verifier: missing validation on contention_begin";
+    case KnownBug::kBug6SendSignal:
+      return "#6 verifier: missing strict checking on signal sending";
+    case KnownBug::kBug7DispatcherSync:
+      return "#7 dispatcher: missing sync between update and execution";
+    case KnownBug::kBug8Kmemdup:
+      return "#8 syscall: incorrect use of kmemdup()";
+    case KnownBug::kBug9BucketIteration:
+      return "#9 map: incorrect bucket iterating on lock-acquire failure";
+    case KnownBug::kBug10IrqWork:
+      return "#10 helper: incorrect use of irq_work_queue";
+    case KnownBug::kBug11XdpOffload:
+      return "#11 xdp: device program executed on host";
+    case KnownBug::kCve2022_23222:
+      return "CVE-2022-23222: ALU on nullable pointers";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Extracts the faulting address from "... at 0x................" details.
+uint64_t AddressFromDetails(const std::string& details) {
+  const size_t pos = details.find(" at 0x");
+  if (pos == std::string::npos) {
+    return 0;
+  }
+  return strtoull(details.c_str() + pos + 4, nullptr, 16);
+}
+
+}  // namespace
+
+KnownBug TriageReport(const bpf::KernelReport& report) {
+  const std::string& where = report.title;
+  const std::string& details = report.details;
+  switch (report.kind) {
+    case ReportKind::kBpfAsanNullDeref:
+      // Nullness-propagation derefs hit page zero exactly; a nonzero offset
+      // into the null page means arithmetic happened on the nullable pointer
+      // before the check — the CVE-2022-23222 shape.
+      if (AddressFromDetails(details) != 0) {
+        return KnownBug::kCve2022_23222;
+      }
+      return KnownBug::kBug1NullnessPropagation;
+    case ReportKind::kBpfAsanOob:
+    case ReportKind::kBpfAsanWild:
+      if (details.find("task_struct") != std::string::npos ||
+          details.find("mm_struct") != std::string::npos ||
+          details.find("file") != std::string::npos) {
+        return KnownBug::kBug2TaskStructBounds;
+      }
+      return KnownBug::kCve2022_23222;
+    case ReportKind::kAluLimitViolation:
+      return KnownBug::kBug3KfuncBacktrack;
+    case ReportKind::kLockdepRecursion:
+    case ReportKind::kLockdepInconsistent:
+    case ReportKind::kLockdepDeadlock:
+      if (where.find("trace_printk") != std::string::npos) {
+        return KnownBug::kBug4TracePrintkRecursion;
+      }
+      if (where.find("task_storage") != std::string::npos) {
+        return KnownBug::kBug5ContentionBegin;
+      }
+      if (where.find("rq_lock") != std::string::npos) {
+        return KnownBug::kBug10IrqWork;
+      }
+      return KnownBug::kUnknown;
+    case ReportKind::kStackOverflow:
+      if (where.find("trace_printk") != std::string::npos) {
+        return KnownBug::kBug4TracePrintkRecursion;
+      }
+      if (where.find("contention_begin") != std::string::npos) {
+        return KnownBug::kBug5ContentionBegin;
+      }
+      return KnownBug::kUnknown;
+    case ReportKind::kPanic:
+      if (where.find("send_signal") != std::string::npos) {
+        return KnownBug::kBug6SendSignal;
+      }
+      return KnownBug::kUnknown;
+    case ReportKind::kKasanNullDeref:
+      if (where.find("dispatcher") != std::string::npos) {
+        return KnownBug::kBug7DispatcherSync;
+      }
+      if (AddressFromDetails(details) != 0) {
+        return KnownBug::kCve2022_23222;
+      }
+      return KnownBug::kBug1NullnessPropagation;
+    case ReportKind::kWarn:
+      if (where.find("bpf_prog_load") != std::string::npos &&
+          details.find("kmemdup") != std::string::npos) {
+        return KnownBug::kBug8Kmemdup;
+      }
+      if (where.find("xdp_do_generic") != std::string::npos) {
+        return KnownBug::kBug11XdpOffload;
+      }
+      return KnownBug::kUnknown;
+    case ReportKind::kKasanOob:
+    case ReportKind::kKasanUseAfterFree:
+      if (where.find("htab") != std::string::npos) {
+        return KnownBug::kBug9BucketIteration;
+      }
+      return KnownBug::kUnknown;
+    case ReportKind::kPageFault:
+      // Native wild access: real, but without sanitation metadata the root
+      // cause is ambiguous — left to manual triage as in the paper.
+      return KnownBug::kUnknown;
+    default:
+      return KnownBug::kUnknown;
+  }
+}
+
+std::vector<Finding> ClassifyReports(const bpf::ReportSink& sink, size_t watermark,
+                                     uint64_t iteration) {
+  std::vector<Finding> findings;
+  const auto& reports = sink.reports();
+  for (size_t i = watermark; i < reports.size(); ++i) {
+    const bpf::KernelReport& report = reports[i];
+    Finding finding;
+    finding.kind = report.kind;
+    finding.signature = report.Signature();
+    finding.details = report.details;
+    finding.indicator = bpf::IsIndicator1(report.kind) ? 1 : 2;
+    finding.triaged = TriageReport(report);
+    finding.iteration = iteration;
+    findings.push_back(std::move(finding));
+  }
+  return findings;
+}
+
+}  // namespace bvf

@@ -1,0 +1,55 @@
+// The test oracle (paper §3): classifies kernel reports into the two
+// correctness-bug indicators, and triages findings against the known root
+// causes of Table 2.
+
+#ifndef SRC_CORE_ORACLE_H_
+#define SRC_CORE_ORACLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/kernel/report.h"
+
+namespace bvf {
+
+enum class KnownBug {
+  kUnknown = 0,
+  kBug1NullnessPropagation,
+  kBug2TaskStructBounds,
+  kBug3KfuncBacktrack,
+  kBug4TracePrintkRecursion,
+  kBug5ContentionBegin,
+  kBug6SendSignal,
+  kBug7DispatcherSync,
+  kBug8Kmemdup,
+  kBug9BucketIteration,
+  kBug10IrqWork,
+  kBug11XdpOffload,
+  kCve2022_23222,
+};
+
+const char* KnownBugName(KnownBug bug);
+
+struct Finding {
+  bpf::ReportKind kind;
+  std::string signature;  // stable dedup key
+  std::string details;
+  int indicator;          // 1 or 2 (paper §3.1/§3.2)
+  KnownBug triaged = KnownBug::kUnknown;
+  uint64_t iteration = 0;  // campaign iteration that first triggered it
+};
+
+// Converts reports filed since |watermark| into findings (indicator
+// classification + triage).
+std::vector<Finding> ClassifyReports(const bpf::ReportSink& sink, size_t watermark,
+                                     uint64_t iteration);
+
+// Best-effort attribution of a report to a Table 2 root cause, using the
+// report kind and the originating kernel routine (the automated part of the
+// paper's triage; the paper's root-cause analysis itself is manual).
+KnownBug TriageReport(const bpf::KernelReport& report);
+
+}  // namespace bvf
+
+#endif  // SRC_CORE_ORACLE_H_

@@ -1,0 +1,150 @@
+#include "src/core/repro.h"
+
+#include <cstring>
+
+#include "src/core/oracle.h"
+#include "src/runtime/bpf_syscall.h"
+#include "src/sanitizer/asan_funcs.h"
+#include "src/sanitizer/instrument.h"
+
+namespace bvf {
+
+std::set<std::string> ExecuteCase(const FuzzCase& the_case, const CampaignOptions& options,
+                                  bool* accepted_out) {
+  bpf::Kernel kernel(options.version, options.bugs, options.arena_size);
+  bpf::Bpf bpf(kernel);
+  Sanitizer sanitizer;
+  if (options.sanitize) {
+    bpf::BpfAsan::Register(kernel);
+    bpf.set_instrument(sanitizer.Hook());
+  }
+  for (const bpf::MapDef& def : the_case.maps) {
+    const int fd = bpf.MapCreate(def);
+    if (fd < 0) {
+      continue;
+    }
+    if (def.type == bpf::MapType::kHash || def.type == bpf::MapType::kArray) {
+      for (uint32_t k = 0; k < 2 && k < def.max_entries; ++k) {
+        std::vector<uint8_t> key(def.key_size, 0);
+        std::memcpy(key.data(), &k, std::min<size_t>(sizeof(k), key.size()));
+        std::vector<uint8_t> value(def.value_size, 0);
+        bpf.MapUpdateElem(fd, key.data(), value.data());
+      }
+    }
+  }
+
+  const int prog_fd = bpf.ProgLoad(the_case.prog);
+  if (accepted_out != nullptr) {
+    *accepted_out = prog_fd > 0;
+  }
+  if (prog_fd > 0) {
+    for (int run = 0; run < the_case.test_runs; ++run) {
+      bpf.ProgTestRun(prog_fd, static_cast<uint32_t>(32 + 16 * run),
+                      static_cast<uint64_t>(run));
+    }
+    if (the_case.do_attach && bpf.ProgAttach(prog_fd, the_case.attach_target) == 0) {
+      for (bpf::TracepointId event : the_case.events) {
+        bpf.FireEvent(event);
+      }
+      bpf.ProgTestRun(prog_fd, 64, 0);
+      bpf.DetachAll();
+    }
+    if (the_case.do_xdp_install && the_case.prog.type == bpf::ProgType::kXdp &&
+        bpf.XdpInstall(prog_fd) == 0) {
+      bpf.XdpRun(64, 0);
+      bpf.XdpRun(96, 1);
+    }
+    if (the_case.do_map_batch) {
+      for (const auto& map : kernel.maps().maps()) {
+        if (map->def().type == bpf::MapType::kHash) {
+          for (int round = 0; round < 4; ++round) {
+            bpf.MapLookupBatch(map->id(), 16);
+          }
+        }
+      }
+    }
+  }
+
+  std::set<std::string> signatures;
+  for (const bpf::KernelReport& report : kernel.reports().reports()) {
+    signatures.insert(report.Signature());
+  }
+  return signatures;
+}
+
+void RemoveInsnPatched(bpf::Program& prog, size_t pos) {
+  auto& insns = prog.insns;
+  size_t width = 1;
+  if (insns[pos].IsLdImm64()) {
+    width = 2;  // both slots go
+  }
+  insns.erase(insns.begin() + static_cast<long>(pos),
+              insns.begin() + static_cast<long>(pos + width));
+  // Positions map as f(x) = x > pos ? x - width : x (a jump *to* the removed
+  // instruction lands on its successor, which now sits at pos).
+  const int64_t p = static_cast<int64_t>(pos);
+  const int64_t w = static_cast<int64_t>(width);
+  auto shifted = [p, w](int64_t x) { return x > p ? x - w : x; };
+  for (size_t j = 0; j < insns.size(); ++j) {
+    bpf::Insn& cur = insns[j];
+    const bool is_branch =
+        cur.IsJmp() && cur.JmpOp() != bpf::kJmpCall && cur.JmpOp() != bpf::kJmpExit;
+    const bool is_pseudo_call = cur.IsBpfToBpfCall();
+    if (!is_branch && !is_pseudo_call) {
+      continue;
+    }
+    const int64_t i_pre = static_cast<int64_t>(j) >= p ? static_cast<int64_t>(j) + w
+                                                       : static_cast<int64_t>(j);
+    const int64_t delta = is_branch ? cur.off : cur.imm;
+    int64_t t_pre = i_pre + 1 + delta;
+    if (t_pre > p && t_pre < p + w) {
+      t_pre = p + w;  // targeted a ld_imm64 high slot: fall to the successor
+    }
+    const int64_t new_delta = shifted(t_pre) - (static_cast<int64_t>(j) + 1);
+    if (is_branch) {
+      cur.off = static_cast<int16_t>(new_delta);
+    } else {
+      cur.imm = static_cast<int32_t>(new_delta);
+    }
+  }
+}
+
+MinimizeResult MinimizeCase(const FuzzCase& the_case, const std::string& signature,
+                            const CampaignOptions& options, int max_executions) {
+  MinimizeResult result;
+  result.reduced = the_case;
+  result.insns_before = the_case.prog.insns.size();
+
+  bool progress = true;
+  while (progress && result.executions < max_executions) {
+    progress = false;
+    // Walk back-to-front so indices stay stable across kept deletions.
+    for (size_t pos = result.reduced.prog.insns.size(); pos-- > 0;) {
+      if (result.executions >= max_executions) {
+        break;
+      }
+      if (result.reduced.prog.insns.size() <= 2) {
+        break;  // nothing meaningful left to delete
+      }
+      if (pos < result.reduced.prog.insns.size() &&
+          result.reduced.prog.insns[pos].opcode == 0 && pos > 0 &&
+          result.reduced.prog.insns[pos - 1].IsLdImm64()) {
+        continue;  // high slot: removed together with its low slot
+      }
+      FuzzCase candidate = result.reduced;
+      RemoveInsnPatched(candidate.prog, pos);
+      if (bpf::CheckEncoding(candidate.prog, nullptr) != 0) {
+        continue;  // structurally broken (e.g. removed the exit)
+      }
+      ++result.executions;
+      if (ExecuteCase(candidate, options).count(signature) != 0) {
+        result.reduced = std::move(candidate);
+        progress = true;
+      }
+    }
+  }
+  result.insns_after = result.reduced.prog.insns.size();
+  return result;
+}
+
+}  // namespace bvf

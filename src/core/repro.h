@@ -1,0 +1,46 @@
+// Reproducer support for triage (paper §6.5 "Bug Triage"): the paper's
+// workflow manually pinpoints the guilty instruction of an erroneous-but-
+// accepted program. This module automates the shrinking step: re-execute a
+// triggering fuzz case while greedily deleting instructions, keeping each
+// deletion only if the finding still reproduces. What remains is close to
+// the guilty instruction plus the operations producing its operands.
+
+#ifndef SRC_CORE_REPRO_H_
+#define SRC_CORE_REPRO_H_
+
+#include <set>
+#include <string>
+
+#include "src/core/fuzzer.h"
+#include "src/core/generator.h"
+
+namespace bvf {
+
+// Executes one fuzz case on a fresh kernel with the campaign's configuration
+// (bug set, version, sanitation) and returns every finding signature it
+// produced. |accepted_out| reports the verifier verdict when non-null.
+std::set<std::string> ExecuteCase(const FuzzCase& the_case, const CampaignOptions& options,
+                                  bool* accepted_out = nullptr);
+
+// Deletes the instruction at |pos| (both slots for ld_imm64), re-linking
+// every branch and pseudo-call offset that spans the deletion. The inverse
+// of InsertInsnPatched. Jumps targeting the removed instruction fall to its
+// successor.
+void RemoveInsnPatched(bpf::Program& prog, size_t pos);
+
+struct MinimizeResult {
+  FuzzCase reduced;
+  size_t insns_before = 0;
+  size_t insns_after = 0;
+  int executions = 0;  // re-execution budget spent
+};
+
+// Greedy delta-debugging over single instructions: repeatedly removes any
+// instruction whose removal preserves |signature| among the case's findings,
+// until a fixpoint or |max_executions| re-runs.
+MinimizeResult MinimizeCase(const FuzzCase& the_case, const std::string& signature,
+                            const CampaignOptions& options, int max_executions = 2000);
+
+}  // namespace bvf
+
+#endif  // SRC_CORE_REPRO_H_

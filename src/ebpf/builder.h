@@ -1,0 +1,85 @@
+// Fluent assembler for constructing eBPF programs in tests, examples, and the
+// fuzzer. Mirrors the BPF_* instruction macros used in kernel selftests.
+
+#ifndef SRC_EBPF_BUILDER_H_
+#define SRC_EBPF_BUILDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/ebpf/insn.h"
+#include "src/ebpf/program.h"
+
+namespace bpf {
+
+// Builds a Program instruction by instruction. Jump offsets are expressed in
+// raw instruction deltas (like the wire format); use Label/JumpTo for symbolic
+// targets.
+class ProgramBuilder {
+ public:
+  explicit ProgramBuilder(ProgType type = ProgType::kSocketFilter) { prog_.type = type; }
+
+  ProgramBuilder& Raw(const Insn& insn) {
+    prog_.insns.push_back(insn);
+    return *this;
+  }
+
+  ProgramBuilder& Mov(uint8_t dst, uint8_t src) { return Raw(MovReg(dst, src)); }
+  ProgramBuilder& Mov(uint8_t dst, int32_t imm) { return Raw(MovImm(dst, imm)); }
+  ProgramBuilder& Alu(uint8_t op, uint8_t dst, uint8_t src) { return Raw(AluReg(op, dst, src)); }
+  ProgramBuilder& Alu(uint8_t op, uint8_t dst, int32_t imm) { return Raw(AluImm(op, dst, imm)); }
+  ProgramBuilder& Add(uint8_t dst, int32_t imm) { return Alu(kAluAdd, dst, imm); }
+  ProgramBuilder& Add(uint8_t dst, uint8_t src) { return Alu(kAluAdd, dst, src); }
+  ProgramBuilder& Sub(uint8_t dst, int32_t imm) { return Alu(kAluSub, dst, imm); }
+  ProgramBuilder& And(uint8_t dst, int32_t imm) { return Alu(kAluAnd, dst, imm); }
+
+  ProgramBuilder& Load(uint8_t size, uint8_t dst, uint8_t src, int16_t off) {
+    return Raw(LoadMem(size, dst, src, off));
+  }
+  ProgramBuilder& Store(uint8_t size, uint8_t dst, uint8_t src, int16_t off) {
+    return Raw(StoreMemReg(size, dst, src, off));
+  }
+  ProgramBuilder& StoreImm(uint8_t size, uint8_t dst, int16_t off, int32_t imm) {
+    return Raw(StoreMemImm(size, dst, off, imm));
+  }
+
+  // Emits the two-slot 64-bit immediate load.
+  ProgramBuilder& LdImm64(uint8_t dst, uint64_t value, uint8_t pseudo_src = 0) {
+    Raw(LdImm64Lo(dst, pseudo_src, value));
+    return Raw(LdImm64Hi(value));
+  }
+  ProgramBuilder& LdMapFd(uint8_t dst, int32_t map_fd) {
+    return LdImm64(dst, static_cast<uint32_t>(map_fd), kPseudoMapFd);
+  }
+  ProgramBuilder& LdBtfId(uint8_t dst, int32_t btf_id) {
+    return LdImm64(dst, static_cast<uint32_t>(btf_id), kPseudoBtfId);
+  }
+
+  ProgramBuilder& Jmp(int16_t off) { return Raw(JmpA(off)); }
+  ProgramBuilder& JmpIf(uint8_t op, uint8_t dst, int32_t imm, int16_t off) {
+    return Raw(JmpImm(op, dst, imm, off));
+  }
+  ProgramBuilder& JmpIfReg(uint8_t op, uint8_t dst, uint8_t src, int16_t off) {
+    return Raw(JmpReg(op, dst, src, off));
+  }
+
+  ProgramBuilder& Call(int32_t helper_id) { return Raw(CallHelper(helper_id)); }
+  ProgramBuilder& Kfunc(int32_t btf_func_id) { return Raw(CallKfunc(btf_func_id)); }
+  ProgramBuilder& Ret() { return Raw(bpf::Exit()); }
+
+  // Convenience: mov r0, imm; exit.
+  ProgramBuilder& RetImm(int32_t imm) {
+    Mov(kR0, imm);
+    return Ret();
+  }
+
+  size_t size() const { return prog_.insns.size(); }
+  Program Build() const { return prog_; }
+
+ private:
+  Program prog_;
+};
+
+}  // namespace bpf
+
+#endif  // SRC_EBPF_BUILDER_H_

@@ -1,0 +1,296 @@
+#include "src/ebpf/insn.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace bpf {
+
+int Insn::AccessBytes() const {
+  switch (Size()) {
+    case kSizeB:
+      return 1;
+    case kSizeH:
+      return 2;
+    case kSizeW:
+      return 4;
+    case kSizeDw:
+      return 8;
+    default:
+      return 0;
+  }
+}
+
+Insn MovReg(uint8_t dst, uint8_t src) {
+  return Insn{static_cast<uint8_t>(kClassAlu64 | kAluMov | kSrcX), dst, src, 0, 0};
+}
+
+Insn MovImm(uint8_t dst, int32_t imm) {
+  return Insn{static_cast<uint8_t>(kClassAlu64 | kAluMov | kSrcK), dst, 0, 0, imm};
+}
+
+Insn Mov32Reg(uint8_t dst, uint8_t src) {
+  return Insn{static_cast<uint8_t>(kClassAlu | kAluMov | kSrcX), dst, src, 0, 0};
+}
+
+Insn Mov32Imm(uint8_t dst, int32_t imm) {
+  return Insn{static_cast<uint8_t>(kClassAlu | kAluMov | kSrcK), dst, 0, 0, imm};
+}
+
+Insn AluReg(uint8_t op, uint8_t dst, uint8_t src) {
+  return Insn{static_cast<uint8_t>(kClassAlu64 | op | kSrcX), dst, src, 0, 0};
+}
+
+Insn AluImm(uint8_t op, uint8_t dst, int32_t imm) {
+  return Insn{static_cast<uint8_t>(kClassAlu64 | op | kSrcK), dst, 0, 0, imm};
+}
+
+Insn Alu32Reg(uint8_t op, uint8_t dst, uint8_t src) {
+  return Insn{static_cast<uint8_t>(kClassAlu | op | kSrcX), dst, src, 0, 0};
+}
+
+Insn Alu32Imm(uint8_t op, uint8_t dst, int32_t imm) {
+  return Insn{static_cast<uint8_t>(kClassAlu | op | kSrcK), dst, 0, 0, imm};
+}
+
+Insn Neg(uint8_t dst) {
+  return Insn{static_cast<uint8_t>(kClassAlu64 | kAluNeg), dst, 0, 0, 0};
+}
+
+Insn LoadMem(uint8_t size, uint8_t dst, uint8_t src, int16_t off) {
+  return Insn{static_cast<uint8_t>(kClassLdx | size | kModeMem), dst, src, off, 0};
+}
+
+Insn StoreMemReg(uint8_t size, uint8_t dst, uint8_t src, int16_t off) {
+  return Insn{static_cast<uint8_t>(kClassStx | size | kModeMem), dst, src, off, 0};
+}
+
+Insn StoreMemImm(uint8_t size, uint8_t dst, int16_t off, int32_t imm) {
+  return Insn{static_cast<uint8_t>(kClassSt | size | kModeMem), dst, 0, off, imm};
+}
+
+Insn AtomicOp(uint8_t size, uint8_t dst, uint8_t src, int16_t off, int32_t op) {
+  return Insn{static_cast<uint8_t>(kClassStx | size | kModeAtomic), dst, src, off, op};
+}
+
+Insn LdImm64Lo(uint8_t dst, uint8_t pseudo_src, uint64_t imm64) {
+  return Insn{static_cast<uint8_t>(kClassLd | kSizeDw | kModeImm), dst, pseudo_src, 0,
+              static_cast<int32_t>(imm64 & 0xffffffffu)};
+}
+
+Insn LdImm64Hi(uint64_t imm64) {
+  return Insn{0, 0, 0, 0, static_cast<int32_t>(imm64 >> 32)};
+}
+
+Insn JmpA(int16_t off) {
+  return Insn{static_cast<uint8_t>(kClassJmp | kJmpJa), 0, 0, off, 0};
+}
+
+Insn JmpImm(uint8_t op, uint8_t dst, int32_t imm, int16_t off) {
+  return Insn{static_cast<uint8_t>(kClassJmp | op | kSrcK), dst, 0, off, imm};
+}
+
+Insn JmpReg(uint8_t op, uint8_t dst, uint8_t src, int16_t off) {
+  return Insn{static_cast<uint8_t>(kClassJmp | op | kSrcX), dst, src, off, 0};
+}
+
+Insn Jmp32Imm(uint8_t op, uint8_t dst, int32_t imm, int16_t off) {
+  return Insn{static_cast<uint8_t>(kClassJmp32 | op | kSrcK), dst, 0, off, imm};
+}
+
+Insn Jmp32Reg(uint8_t op, uint8_t dst, uint8_t src, int16_t off) {
+  return Insn{static_cast<uint8_t>(kClassJmp32 | op | kSrcX), dst, src, off, 0};
+}
+
+Insn CallHelper(int32_t helper_id) {
+  return Insn{static_cast<uint8_t>(kClassJmp | kJmpCall), 0, kPseudoCallHelper, 0, helper_id};
+}
+
+Insn CallKfunc(int32_t btf_func_id) {
+  return Insn{static_cast<uint8_t>(kClassJmp | kJmpCall), 0, kPseudoKfuncCall, 0, btf_func_id};
+}
+
+Insn CallPseudoFunc(int32_t insn_delta) {
+  return Insn{static_cast<uint8_t>(kClassJmp | kJmpCall), 0, kPseudoCallFunc, 0, insn_delta};
+}
+
+Insn Exit() {
+  return Insn{static_cast<uint8_t>(kClassJmp | kJmpExit), 0, 0, 0, 0};
+}
+
+std::string RegName(uint8_t reg) {
+  return "r" + std::to_string(static_cast<int>(reg));
+}
+
+namespace {
+
+const char* SizeName(uint8_t size) {
+  switch (size) {
+    case kSizeB:
+      return "u8";
+    case kSizeH:
+      return "u16";
+    case kSizeW:
+      return "u32";
+    case kSizeDw:
+      return "u64";
+    default:
+      return "u?";
+  }
+}
+
+const char* AluOpName(uint8_t op) {
+  switch (op) {
+    case kAluAdd:
+      return "+=";
+    case kAluSub:
+      return "-=";
+    case kAluMul:
+      return "*=";
+    case kAluDiv:
+      return "/=";
+    case kAluOr:
+      return "|=";
+    case kAluAnd:
+      return "&=";
+    case kAluLsh:
+      return "<<=";
+    case kAluRsh:
+      return ">>=";
+    case kAluMod:
+      return "%=";
+    case kAluXor:
+      return "^=";
+    case kAluMov:
+      return "=";
+    case kAluArsh:
+      return "s>>=";
+    default:
+      return "?=";
+  }
+}
+
+const char* JmpOpName(uint8_t op) {
+  switch (op) {
+    case kJmpJeq:
+      return "==";
+    case kJmpJgt:
+      return ">";
+    case kJmpJge:
+      return ">=";
+    case kJmpJset:
+      return "&";
+    case kJmpJne:
+      return "!=";
+    case kJmpJsgt:
+      return "s>";
+    case kJmpJsge:
+      return "s>=";
+    case kJmpJlt:
+      return "<";
+    case kJmpJle:
+      return "<=";
+    case kJmpJslt:
+      return "s<";
+    case kJmpJsle:
+      return "s<=";
+    default:
+      return "?";
+  }
+}
+
+std::string Fmt(const char* fmt, ...) {
+  char buf[160];
+  va_list args;
+  va_start(args, fmt);
+  vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  return std::string(buf);
+}
+
+}  // namespace
+
+std::string Disassemble(const Insn& insn) {
+  const uint8_t cls = insn.Class();
+  if (insn.opcode == 0) {
+    return Fmt("  (ld_imm64 hi: 0x%x)", insn.imm);
+  }
+  if (insn.IsLdImm64()) {
+    const char* tag = "";
+    switch (insn.src) {
+      case kPseudoMapFd:
+        tag = " map_fd";
+        break;
+      case kPseudoMapValue:
+        tag = " map_value";
+        break;
+      case kPseudoBtfId:
+        tag = " btf_id";
+        break;
+      case kPseudoFunc:
+        tag = " func";
+        break;
+      default:
+        break;
+    }
+    return Fmt("%s = 0x%x ll%s", RegName(insn.dst).c_str(), insn.imm, tag);
+  }
+  if (cls == kClassAlu || cls == kClassAlu64) {
+    const bool is32 = cls == kClassAlu;
+    const std::string dst = RegName(insn.dst);
+    if (insn.AluOp() == kAluNeg) {
+      return Fmt("%s%s = -%s", is32 ? "w" : "", dst.c_str(), dst.c_str());
+    }
+    if (insn.AluOp() == kAluEnd) {
+      return Fmt("%s = bswap%d %s", dst.c_str(), insn.imm, dst.c_str());
+    }
+    if (insn.SrcIsReg()) {
+      return Fmt("%s%s %s %s%s", is32 ? "w" : "", dst.c_str(), AluOpName(insn.AluOp()),
+                 is32 ? "w" : "", RegName(insn.src).c_str());
+    }
+    return Fmt("%s%s %s %d", is32 ? "w" : "", dst.c_str(), AluOpName(insn.AluOp()), insn.imm);
+  }
+  if (insn.IsMemLoad()) {
+    return Fmt("%s = *(%s *)(%s %+d)", RegName(insn.dst).c_str(), SizeName(insn.Size()),
+               RegName(insn.src).c_str(), insn.off);
+  }
+  if (insn.IsAtomic()) {
+    return Fmt("atomic_op(0x%x) (%s *)(%s %+d), %s", insn.imm, SizeName(insn.Size()),
+               RegName(insn.dst).c_str(), insn.off, RegName(insn.src).c_str());
+  }
+  if (cls == kClassStx && insn.Mode() == kModeMem) {
+    return Fmt("*(%s *)(%s %+d) = %s", SizeName(insn.Size()), RegName(insn.dst).c_str(),
+               insn.off, RegName(insn.src).c_str());
+  }
+  if (cls == kClassSt && insn.Mode() == kModeMem) {
+    return Fmt("*(%s *)(%s %+d) = %d", SizeName(insn.Size()), RegName(insn.dst).c_str(),
+               insn.off, insn.imm);
+  }
+  if (cls == kClassJmp || cls == kClassJmp32) {
+    const bool is32 = cls == kClassJmp32;
+    switch (insn.JmpOp()) {
+      case kJmpJa:
+        return Fmt("goto %+d", insn.off);
+      case kJmpCall:
+        if (insn.src == kPseudoKfuncCall) {
+          return Fmt("call kfunc#%d", insn.imm);
+        }
+        if (insn.src == kPseudoCallFunc) {
+          return Fmt("call pc%+d", insn.imm);
+        }
+        return Fmt("call helper#%d", insn.imm);
+      case kJmpExit:
+        return "exit";
+      default:
+        break;
+    }
+    if (insn.SrcIsReg()) {
+      return Fmt("if %s%s %s %s%s goto %+d", is32 ? "w" : "", RegName(insn.dst).c_str(),
+                 JmpOpName(insn.JmpOp()), is32 ? "w" : "", RegName(insn.src).c_str(), insn.off);
+    }
+    return Fmt("if %s%s %s %d goto %+d", is32 ? "w" : "", RegName(insn.dst).c_str(),
+               JmpOpName(insn.JmpOp()), insn.imm, insn.off);
+  }
+  return Fmt("(unknown opcode 0x%02x)", insn.opcode);
+}
+
+}  // namespace bpf

@@ -1,0 +1,210 @@
+// eBPF instruction encoding, mirroring the Linux UAPI (include/uapi/linux/bpf.h).
+//
+// An instruction is 8 bytes: {opcode, dst_reg:4, src_reg:4, off:s16, imm:s32}.
+// The 64-bit immediate load (BPF_LD | BPF_IMM | BPF_DW) occupies two slots; the
+// second slot carries the upper 32 bits of the immediate in its imm field.
+
+#ifndef SRC_EBPF_INSN_H_
+#define SRC_EBPF_INSN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace bpf {
+
+// ---- Instruction classes (low 3 bits of the opcode) ----
+inline constexpr uint8_t kClassLd = 0x00;
+inline constexpr uint8_t kClassLdx = 0x01;
+inline constexpr uint8_t kClassSt = 0x02;
+inline constexpr uint8_t kClassStx = 0x03;
+inline constexpr uint8_t kClassAlu = 0x04;
+inline constexpr uint8_t kClassJmp = 0x05;
+inline constexpr uint8_t kClassJmp32 = 0x06;
+inline constexpr uint8_t kClassAlu64 = 0x07;
+
+// ---- Size field for load/store (bits 3-4) ----
+inline constexpr uint8_t kSizeW = 0x00;   // 4 bytes
+inline constexpr uint8_t kSizeH = 0x08;   // 2 bytes
+inline constexpr uint8_t kSizeB = 0x10;   // 1 byte
+inline constexpr uint8_t kSizeDw = 0x18;  // 8 bytes
+
+// ---- Mode field for load/store (bits 5-7) ----
+inline constexpr uint8_t kModeImm = 0x00;
+inline constexpr uint8_t kModeAbs = 0x20;
+inline constexpr uint8_t kModeInd = 0x40;
+inline constexpr uint8_t kModeMem = 0x60;
+inline constexpr uint8_t kModeAtomic = 0xc0;
+
+// ---- ALU / ALU64 operations (bits 4-7) ----
+inline constexpr uint8_t kAluAdd = 0x00;
+inline constexpr uint8_t kAluSub = 0x10;
+inline constexpr uint8_t kAluMul = 0x20;
+inline constexpr uint8_t kAluDiv = 0x30;
+inline constexpr uint8_t kAluOr = 0x40;
+inline constexpr uint8_t kAluAnd = 0x50;
+inline constexpr uint8_t kAluLsh = 0x60;
+inline constexpr uint8_t kAluRsh = 0x70;
+inline constexpr uint8_t kAluNeg = 0x80;
+inline constexpr uint8_t kAluMod = 0x90;
+inline constexpr uint8_t kAluXor = 0xa0;
+inline constexpr uint8_t kAluMov = 0xb0;
+inline constexpr uint8_t kAluArsh = 0xc0;
+inline constexpr uint8_t kAluEnd = 0xd0;  // byte swap
+
+// ---- JMP / JMP32 operations (bits 4-7) ----
+inline constexpr uint8_t kJmpJa = 0x00;
+inline constexpr uint8_t kJmpJeq = 0x10;
+inline constexpr uint8_t kJmpJgt = 0x20;
+inline constexpr uint8_t kJmpJge = 0x30;
+inline constexpr uint8_t kJmpJset = 0x40;
+inline constexpr uint8_t kJmpJne = 0x50;
+inline constexpr uint8_t kJmpJsgt = 0x60;
+inline constexpr uint8_t kJmpJsge = 0x70;
+inline constexpr uint8_t kJmpCall = 0x80;
+inline constexpr uint8_t kJmpExit = 0x90;
+inline constexpr uint8_t kJmpJlt = 0xa0;
+inline constexpr uint8_t kJmpJle = 0xb0;
+inline constexpr uint8_t kJmpJslt = 0xc0;
+inline constexpr uint8_t kJmpJsle = 0xd0;
+
+// ---- Source operand flag (bit 3) ----
+inline constexpr uint8_t kSrcK = 0x00;  // immediate
+inline constexpr uint8_t kSrcX = 0x08;  // register
+
+// ---- Atomic op immediates (subset) ----
+inline constexpr int32_t kAtomicAdd = 0x00;
+inline constexpr int32_t kAtomicOr = 0x40;
+inline constexpr int32_t kAtomicAnd = 0x50;
+inline constexpr int32_t kAtomicXor = 0xa0;
+inline constexpr int32_t kAtomicFetch = 0x01;
+inline constexpr int32_t kAtomicXchg = 0xe1;
+inline constexpr int32_t kAtomicCmpXchg = 0xf1;
+
+// ---- Pseudo src_reg values for BPF_LD_IMM64 ----
+inline constexpr uint8_t kPseudoMapFd = 1;
+inline constexpr uint8_t kPseudoMapValue = 2;
+inline constexpr uint8_t kPseudoBtfId = 3;
+inline constexpr uint8_t kPseudoFunc = 4;
+
+// ---- Pseudo src_reg values for BPF_CALL ----
+inline constexpr uint8_t kPseudoCallHelper = 0;  // imm = helper id
+inline constexpr uint8_t kPseudoCallFunc = 1;    // imm = insn-relative target (bpf-to-bpf)
+inline constexpr uint8_t kPseudoKfuncCall = 2;   // imm = BTF func id
+
+// Registers. R0 is return value / scratch, R1-R5 are argument registers
+// (clobbered by calls), R6-R9 are callee-saved, R10 is the read-only frame
+// pointer. R11 is an auxiliary register visible only to rewrite passes.
+inline constexpr uint8_t kR0 = 0;
+inline constexpr uint8_t kR1 = 1;
+inline constexpr uint8_t kR2 = 2;
+inline constexpr uint8_t kR3 = 3;
+inline constexpr uint8_t kR4 = 4;
+inline constexpr uint8_t kR5 = 5;
+inline constexpr uint8_t kR6 = 6;
+inline constexpr uint8_t kR7 = 7;
+inline constexpr uint8_t kR8 = 8;
+inline constexpr uint8_t kR9 = 9;
+inline constexpr uint8_t kR10 = 10;  // frame pointer, read-only
+inline constexpr uint8_t kR11 = 11;  // internal auxiliary register (rewrites only)
+
+inline constexpr int kNumProgRegs = 11;   // R0..R10 visible to programs
+inline constexpr int kNumTotalRegs = 12;  // including R11
+
+// eBPF stack size per frame, bytes.
+inline constexpr int kStackSize = 512;
+
+// A single eBPF instruction.
+struct Insn {
+  uint8_t opcode = 0;
+  uint8_t dst = 0;
+  uint8_t src = 0;
+  int16_t off = 0;
+  int32_t imm = 0;
+
+  constexpr uint8_t Class() const { return opcode & 0x07; }
+  constexpr uint8_t Size() const { return opcode & 0x18; }
+  constexpr uint8_t Mode() const { return opcode & 0xe0; }
+  constexpr uint8_t AluOp() const { return opcode & 0xf0; }
+  constexpr uint8_t JmpOp() const { return opcode & 0xf0; }
+  constexpr bool SrcIsReg() const { return (opcode & 0x08) != 0; }
+
+  bool IsAlu() const { return Class() == kClassAlu || Class() == kClassAlu64; }
+  bool IsJmp() const { return Class() == kClassJmp || Class() == kClassJmp32; }
+  bool IsLoad() const { return Class() == kClassLd || Class() == kClassLdx; }
+  bool IsStore() const { return Class() == kClassSt || Class() == kClassStx; }
+  bool IsMemLoad() const { return Class() == kClassLdx && Mode() == kModeMem; }
+  bool IsMemStore() const {
+    return (Class() == kClassSt || Class() == kClassStx) && Mode() == kModeMem;
+  }
+  bool IsAtomic() const { return Class() == kClassStx && Mode() == kModeAtomic; }
+  bool IsLdImm64() const { return opcode == (kClassLd | kSizeDw | kModeImm); }
+  bool IsCall() const { return Class() == kClassJmp && JmpOp() == kJmpCall; }
+  bool IsHelperCall() const { return IsCall() && src == kPseudoCallHelper; }
+  bool IsKfuncCall() const { return IsCall() && src == kPseudoKfuncCall; }
+  bool IsBpfToBpfCall() const { return IsCall() && src == kPseudoCallFunc; }
+  bool IsExit() const { return Class() == kClassJmp && JmpOp() == kJmpExit; }
+
+  // Number of bytes accessed by a load/store instruction.
+  int AccessBytes() const;
+
+  bool operator==(const Insn& other) const = default;
+};
+
+// The in-memory struct widens the packed dst/src nibbles to full bytes for
+// ergonomics; the wire encoding (used for allocation-size math, e.g. the
+// kmemdup path) is 8 bytes per instruction as in the kernel.
+inline constexpr size_t kInsnWireSize = 8;
+
+// ---- Instruction constructors (assembler-style helpers) ----
+
+// dst = src (64-bit) / dst = imm
+Insn MovReg(uint8_t dst, uint8_t src);
+Insn MovImm(uint8_t dst, int32_t imm);
+Insn Mov32Reg(uint8_t dst, uint8_t src);
+Insn Mov32Imm(uint8_t dst, int32_t imm);
+
+// dst op= src / imm (64-bit ALU)
+Insn AluReg(uint8_t op, uint8_t dst, uint8_t src);
+Insn AluImm(uint8_t op, uint8_t dst, int32_t imm);
+// 32-bit ALU
+Insn Alu32Reg(uint8_t op, uint8_t dst, uint8_t src);
+Insn Alu32Imm(uint8_t op, uint8_t dst, int32_t imm);
+Insn Neg(uint8_t dst);
+
+// dst = *(size*)(src + off)
+Insn LoadMem(uint8_t size, uint8_t dst, uint8_t src, int16_t off);
+// *(size*)(dst + off) = src
+Insn StoreMemReg(uint8_t size, uint8_t dst, uint8_t src, int16_t off);
+// *(size*)(dst + off) = imm
+Insn StoreMemImm(uint8_t size, uint8_t dst, int16_t off, int32_t imm);
+// atomic op at *(size*)(dst + off) with src
+Insn AtomicOp(uint8_t size, uint8_t dst, uint8_t src, int16_t off, int32_t op);
+
+// Two-slot 64-bit immediate load; callers must emit both slots.
+Insn LdImm64Lo(uint8_t dst, uint8_t pseudo_src, uint64_t imm64);
+Insn LdImm64Hi(uint64_t imm64);
+
+// Conditional / unconditional jumps
+Insn JmpA(int16_t off);
+Insn JmpImm(uint8_t op, uint8_t dst, int32_t imm, int16_t off);
+Insn JmpReg(uint8_t op, uint8_t dst, uint8_t src, int16_t off);
+Insn Jmp32Imm(uint8_t op, uint8_t dst, int32_t imm, int16_t off);
+Insn Jmp32Reg(uint8_t op, uint8_t dst, uint8_t src, int16_t off);
+
+// Calls and exit
+Insn CallHelper(int32_t helper_id);
+Insn CallKfunc(int32_t btf_func_id);
+Insn CallPseudoFunc(int32_t insn_delta);
+Insn Exit();
+
+// Returns a human-readable mnemonic for one instruction, e.g.
+// "r0 = *(u64 *)(r1 +8)". Decodes only the single slot (an ld_imm64 high
+// slot renders as a continuation marker).
+std::string Disassemble(const Insn& insn);
+
+// Returns the register name ("r0".."r11").
+std::string RegName(uint8_t reg);
+
+}  // namespace bpf
+
+#endif  // SRC_EBPF_INSN_H_

@@ -1,0 +1,257 @@
+#include "src/ebpf/program.h"
+
+#include <cerrno>
+
+namespace bpf {
+
+namespace {
+
+void LogTo(std::string* log, const std::string& msg) {
+  if (log != nullptr) {
+    log->append(msg);
+    log->push_back('\n');
+  }
+}
+
+bool ValidAluOpcode(const Insn& insn) {
+  const uint8_t op = insn.AluOp();
+  switch (op) {
+    case kAluAdd:
+    case kAluSub:
+    case kAluMul:
+    case kAluDiv:
+    case kAluOr:
+    case kAluAnd:
+    case kAluLsh:
+    case kAluRsh:
+    case kAluMod:
+    case kAluXor:
+    case kAluMov:
+    case kAluArsh:
+      return true;
+    case kAluNeg:
+      return !insn.SrcIsReg() && insn.imm == 0;
+    case kAluEnd:
+      return insn.imm == 16 || insn.imm == 32 || insn.imm == 64;
+    default:
+      return false;
+  }
+}
+
+bool ValidJmpOpcode(const Insn& insn) {
+  switch (insn.JmpOp()) {
+    case kJmpJa:
+    case kJmpJeq:
+    case kJmpJgt:
+    case kJmpJge:
+    case kJmpJset:
+    case kJmpJne:
+    case kJmpJsgt:
+    case kJmpJsge:
+    case kJmpJlt:
+    case kJmpJle:
+    case kJmpJslt:
+    case kJmpJsle:
+      return true;
+    case kJmpCall:
+    case kJmpExit:
+      return insn.Class() == kClassJmp;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+const char* ProgTypeName(ProgType type) {
+  switch (type) {
+    case ProgType::kSocketFilter:
+      return "socket_filter";
+    case ProgType::kKprobe:
+      return "kprobe";
+    case ProgType::kTracepoint:
+      return "tracepoint";
+    case ProgType::kXdp:
+      return "xdp";
+  }
+  return "unknown";
+}
+
+std::string Program::Disassemble() const {
+  std::string out;
+  for (size_t i = 0; i < insns.size(); ++i) {
+    out += std::to_string(i) + ": " + bpf::Disassemble(insns[i]) + "\n";
+  }
+  return out;
+}
+
+int CheckEncoding(const Program& prog, std::string* log) {
+  const size_t n = prog.insns.size();
+  if (n == 0) {
+    LogTo(log, "empty program");
+    return -EINVAL;
+  }
+  if (n > kMaxInsns) {
+    LogTo(log, "program too large");
+    return -E2BIG;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const Insn& insn = prog.insns[i];
+    const uint8_t cls = insn.Class();
+
+    if (insn.dst > kR10 || insn.src > kR10) {
+      // R11 is only legal in kernel-internal rewritten programs.
+      LogTo(log, "insn " + std::to_string(i) + ": invalid register number");
+      return -EINVAL;
+    }
+
+    if (insn.IsLdImm64()) {
+      if (i + 1 >= n || prog.insns[i + 1].opcode != 0 || prog.insns[i + 1].dst != 0 ||
+          prog.insns[i + 1].src != 0 || prog.insns[i + 1].off != 0) {
+        LogTo(log, "insn " + std::to_string(i) + ": invalid ld_imm64 pair");
+        return -EINVAL;
+      }
+      if (insn.src > kPseudoFunc) {
+        LogTo(log, "insn " + std::to_string(i) + ": invalid ld_imm64 pseudo src");
+        return -EINVAL;
+      }
+      ++i;  // Skip the high slot.
+      continue;
+    }
+
+    switch (cls) {
+      case kClassAlu:
+      case kClassAlu64:
+        if (!ValidAluOpcode(insn)) {
+          LogTo(log, "insn " + std::to_string(i) + ": invalid ALU opcode");
+          return -EINVAL;
+        }
+        // BPF_END reuses the source bit as the TO_LE/TO_BE selector and imm
+        // as the swap width; every other BPF_X ALU must leave imm zero.
+        if (insn.SrcIsReg() && insn.imm != 0 && insn.AluOp() != kAluEnd) {
+          LogTo(log, "insn " + std::to_string(i) + ": BPF_X ALU uses reserved imm");
+          return -EINVAL;
+        }
+        if (insn.AluOp() != kAluEnd && insn.off != 0) {
+          LogTo(log, "insn " + std::to_string(i) + ": ALU uses reserved off");
+          return -EINVAL;
+        }
+        if ((insn.AluOp() == kAluLsh || insn.AluOp() == kAluRsh || insn.AluOp() == kAluArsh) &&
+            !insn.SrcIsReg()) {
+          const int max_shift = cls == kClassAlu64 ? 64 : 32;
+          if (insn.imm < 0 || insn.imm >= max_shift) {
+            LogTo(log, "insn " + std::to_string(i) + ": invalid shift amount");
+            return -EINVAL;
+          }
+        }
+        if ((insn.AluOp() == kAluDiv || insn.AluOp() == kAluMod) && !insn.SrcIsReg() &&
+            insn.imm == 0) {
+          LogTo(log, "insn " + std::to_string(i) + ": division by zero immediate");
+          return -EINVAL;
+        }
+        break;
+      case kClassLd:
+        // Legacy ABS/IND packet loads are rejected (modern programs use direct
+        // packet access); the only allowed kClassLd form is ld_imm64 above.
+        LogTo(log, "insn " + std::to_string(i) + ": invalid BPF_LD mode");
+        return -EINVAL;
+      case kClassLdx:
+        if (insn.Mode() != kModeMem) {
+          LogTo(log, "insn " + std::to_string(i) + ": invalid BPF_LDX mode");
+          return -EINVAL;
+        }
+        if (insn.imm != 0) {
+          LogTo(log, "insn " + std::to_string(i) + ": BPF_LDX uses reserved imm");
+          return -EINVAL;
+        }
+        break;
+      case kClassSt:
+        if (insn.Mode() != kModeMem) {
+          LogTo(log, "insn " + std::to_string(i) + ": invalid BPF_ST mode");
+          return -EINVAL;
+        }
+        if (insn.src != 0) {
+          LogTo(log, "insn " + std::to_string(i) + ": BPF_ST uses reserved src");
+          return -EINVAL;
+        }
+        break;
+      case kClassStx:
+        if (insn.Mode() == kModeAtomic) {
+          if (insn.Size() != kSizeW && insn.Size() != kSizeDw) {
+            LogTo(log, "insn " + std::to_string(i) + ": invalid atomic size");
+            return -EINVAL;
+          }
+          switch (insn.imm) {
+            case kAtomicAdd:
+            case kAtomicOr:
+            case kAtomicAnd:
+            case kAtomicXor:
+            case kAtomicAdd | kAtomicFetch:
+            case kAtomicOr | kAtomicFetch:
+            case kAtomicAnd | kAtomicFetch:
+            case kAtomicXor | kAtomicFetch:
+            case kAtomicXchg:
+            case kAtomicCmpXchg:
+              break;
+            default:
+              LogTo(log, "insn " + std::to_string(i) + ": invalid atomic op");
+              return -EINVAL;
+          }
+        } else if (insn.Mode() != kModeMem) {
+          LogTo(log, "insn " + std::to_string(i) + ": invalid BPF_STX mode");
+          return -EINVAL;
+        } else if (insn.imm != 0) {
+          LogTo(log, "insn " + std::to_string(i) + ": BPF_STX uses reserved imm");
+          return -EINVAL;
+        }
+        break;
+      case kClassJmp:
+      case kClassJmp32:
+        if (!ValidJmpOpcode(insn)) {
+          LogTo(log, "insn " + std::to_string(i) + ": invalid JMP opcode");
+          return -EINVAL;
+        }
+        if (insn.JmpOp() == kJmpCall) {
+          if (insn.dst != 0 || insn.off != 0 ||
+              (insn.src != kPseudoCallHelper && insn.src != kPseudoCallFunc &&
+               insn.src != kPseudoKfuncCall)) {
+            LogTo(log, "insn " + std::to_string(i) + ": malformed call");
+            return -EINVAL;
+          }
+        } else if (insn.JmpOp() == kJmpExit) {
+          if (insn.dst != 0 || insn.src != 0 || insn.off != 0 || insn.imm != 0) {
+            LogTo(log, "insn " + std::to_string(i) + ": malformed exit");
+            return -EINVAL;
+          }
+        } else {
+          // Jump target must land inside the program; `off` is relative to the
+          // next instruction.
+          if (insn.JmpOp() != kJmpJa && insn.SrcIsReg() && insn.imm != 0) {
+            LogTo(log, "insn " + std::to_string(i) + ": BPF_X JMP uses reserved imm");
+            return -EINVAL;
+          }
+          const int64_t target = static_cast<int64_t>(i) + 1 + insn.off;
+          if (target < 0 || target >= static_cast<int64_t>(n)) {
+            LogTo(log, "insn " + std::to_string(i) + ": jump out of range");
+            return -EINVAL;
+          }
+        }
+        break;
+      default:
+        LogTo(log, "insn " + std::to_string(i) + ": unknown class");
+        return -EINVAL;
+    }
+  }
+
+  // The program must not fall off the end: the kernel requires the last
+  // instruction to be EXIT or an unconditional jump backwards.
+  const Insn& last = prog.insns.back();
+  const bool ends_ok = last.IsExit() || (last.Class() == kClassJmp && last.JmpOp() == kJmpJa);
+  if (!ends_ok) {
+    LogTo(log, "program does not end with exit or jump");
+    return -EINVAL;
+  }
+  return 0;
+}
+
+}  // namespace bpf

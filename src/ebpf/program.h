@@ -1,0 +1,51 @@
+// eBPF program container and structural (pre-verifier) encoding checks.
+
+#ifndef SRC_EBPF_PROGRAM_H_
+#define SRC_EBPF_PROGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/ebpf/insn.h"
+
+namespace bpf {
+
+// Program types, a subset of the kernel's enum bpf_prog_type.
+enum class ProgType {
+  kSocketFilter,
+  kKprobe,
+  kTracepoint,
+  kXdp,
+};
+
+const char* ProgTypeName(ProgType type);
+
+// Maximum number of instructions the loader accepts (kernel: BPF_MAXINSNS for
+// unprivileged, 1M for privileged; we use a single generous bound).
+inline constexpr size_t kMaxInsns = 8192;
+
+// An eBPF program as submitted to (or rewritten by) the loader.
+struct Program {
+  ProgType type = ProgType::kSocketFilter;
+  std::vector<Insn> insns;
+
+  // Load flags (subset of the kernel's prog load attrs).
+  bool offload_requested = false;  // XDP hardware offload (Table 2 bug #11 path)
+
+  size_t size() const { return insns.size(); }
+
+  // Renders the whole program, one instruction per line with indices.
+  std::string Disassemble() const;
+};
+
+// Structural validation performed before any semantic analysis, mirroring the
+// encoding checks at the top of the kernel's bpf_check(): reserved field use,
+// valid opcodes, register numbers in range, ld_imm64 pairing, jump targets
+// inside the program. Returns 0 or a negative errno (-EINVAL), appending
+// messages to |log| when non-null.
+int CheckEncoding(const Program& prog, std::string* log);
+
+}  // namespace bpf
+
+#endif  // SRC_EBPF_PROGRAM_H_

@@ -1,0 +1,36 @@
+#include "src/kernel/alloc.h"
+
+namespace bpf {
+
+uint64_t KernelAllocator::Kmalloc(size_t size, const std::string& tag) {
+  if (size > kKmallocMax) {
+    return 0;
+  }
+  return arena_.Alloc(size, tag);
+}
+
+uint64_t KernelAllocator::Kvmalloc(size_t size, const std::string& tag) {
+  return arena_.Alloc(size, tag);
+}
+
+void KernelAllocator::Kfree(uint64_t addr) { arena_.Free(addr); }
+
+uint64_t KernelAllocator::Kmemdup(const void* src, size_t size, const std::string& tag) {
+  const uint64_t addr = Kmalloc(size, tag);
+  if (addr == 0) {
+    return 0;
+  }
+  arena_.CopyIn(addr, src, size);
+  return addr;
+}
+
+uint64_t KernelAllocator::Kvmemdup(const void* src, size_t size, const std::string& tag) {
+  const uint64_t addr = Kvmalloc(size, tag);
+  if (addr == 0) {
+    return 0;
+  }
+  arena_.CopyIn(addr, src, size);
+  return addr;
+}
+
+}  // namespace bpf

@@ -1,0 +1,101 @@
+#include "src/kernel/btf.h"
+
+namespace bpf {
+
+const BtfField* BtfStruct::FieldAt(uint32_t offset, uint32_t access_size) const {
+  for (const BtfField& field : fields) {
+    if (offset >= field.offset && offset + access_size <= field.offset + field.size) {
+      return &field;
+    }
+  }
+  return nullptr;
+}
+
+BtfRegistry::BtfRegistry() {
+  structs_.push_back(BtfStruct{
+      kBtfTaskStruct,
+      "task_struct",
+      /*size=*/192,
+      {
+          {"state", 0, 8},
+          {"flags", 8, 4},
+          {"cpu", 12, 4},
+          {"pid", 16, 4},
+          {"tgid", 20, 4},
+          {"comm", 24, 16},
+          {"mm", 40, 8, kBtfMmStruct},
+          {"files", 48, 8, kBtfFile},
+          {"cgroup", 56, 8, kBtfCgroup},
+          {"start_time", 64, 8},
+          {"utime", 72, 8},
+          {"stime", 80, 8},
+          {"prio", 88, 4},
+          {"static_prio", 92, 4},
+          {"nr_cpus_allowed", 96, 4},
+          {"exit_code", 100, 4},
+          {"stack_canary", 104, 8},
+          {"parent", 112, 8, kBtfTaskStruct},
+          {"real_parent", 120, 8, kBtfTaskStruct},
+      },
+  });
+  structs_.push_back(BtfStruct{
+      kBtfMmStruct,
+      "mm_struct",
+      /*size=*/96,
+      {
+          {"mmap_base", 0, 8},
+          {"task_size", 8, 8},
+          {"pgd", 16, 8},
+          {"mm_users", 24, 4},
+          {"mm_count", 28, 4},
+          {"total_vm", 32, 8},
+          {"stack_vm", 40, 8},
+          {"start_code", 48, 8},
+          {"end_code", 56, 8},
+          {"start_stack", 64, 8},
+      },
+  });
+  structs_.push_back(BtfStruct{
+      kBtfFile,
+      "file",
+      /*size=*/64,
+      {
+          {"f_mode", 0, 4},
+          {"f_count", 4, 4},
+          {"f_pos", 8, 8},
+          {"f_flags", 16, 4},
+          {"f_owner", 24, 8},
+      },
+  });
+  structs_.push_back(BtfStruct{
+      kBtfCgroup,
+      "cgroup",
+      /*size=*/80,
+      {
+          {"id", 0, 8},
+          {"level", 8, 4},
+          {"flags", 12, 4},
+          {"parent", 16, 8, kBtfCgroup},
+      },
+  });
+}
+
+const BtfStruct* BtfRegistry::Find(int id) const {
+  for (const BtfStruct& s : structs_) {
+    if (s.id == id) {
+      return &s;
+    }
+  }
+  return nullptr;
+}
+
+const BtfStruct* BtfRegistry::FindByName(const std::string& name) const {
+  for (const BtfStruct& s : structs_) {
+    if (s.name == name) {
+      return &s;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace bpf

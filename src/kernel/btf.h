@@ -1,0 +1,63 @@
+// Minimal BTF (BPF Type Format) model.
+//
+// The verifier uses BTF to validate accesses through PTR_TO_BTF_ID registers:
+// each pointed-to kernel structure has a size and typed fields; loading a
+// pointer-typed field yields another PTR_TO_BTF_ID. The runtime materializes
+// one arena-backed instance per structure so sanitized accesses hit real
+// (redzoned) memory.
+
+#ifndef SRC_KERNEL_BTF_H_
+#define SRC_KERNEL_BTF_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bpf {
+
+// Well-known BTF struct ids.
+inline constexpr int kBtfTaskStruct = 1;
+inline constexpr int kBtfMmStruct = 2;
+inline constexpr int kBtfFile = 3;
+inline constexpr int kBtfCgroup = 4;
+
+// Well-known BTF func ids (kfuncs).
+inline constexpr int kKfuncTaskAcquire = 100;
+inline constexpr int kKfuncTaskRelease = 101;
+inline constexpr int kKfuncRcuReadLock = 102;
+inline constexpr int kKfuncRcuReadUnlock = 103;
+
+struct BtfField {
+  std::string name;
+  uint32_t offset;
+  uint32_t size;
+  // If non-zero, the field is a pointer to another BTF struct with this id.
+  int points_to = 0;
+};
+
+struct BtfStruct {
+  int id;
+  std::string name;
+  uint32_t size;
+  std::vector<BtfField> fields;
+
+  // Returns the field fully covering [offset, offset+size), or nullptr.
+  const BtfField* FieldAt(uint32_t offset, uint32_t size) const;
+};
+
+class BtfRegistry {
+ public:
+  // Builds the built-in kernel types (task_struct, mm_struct, file, cgroup).
+  BtfRegistry();
+
+  const BtfStruct* Find(int id) const;
+  const BtfStruct* FindByName(const std::string& name) const;
+  const std::vector<BtfStruct>& structs() const { return structs_; }
+
+ private:
+  std::vector<BtfStruct> structs_;
+};
+
+}  // namespace bpf
+
+#endif  // SRC_KERNEL_BTF_H_

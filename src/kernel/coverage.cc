@@ -1,0 +1,42 @@
+#include "src/kernel/coverage.h"
+
+namespace bpf {
+
+Coverage& Coverage::Get() {
+  static Coverage instance;
+  return instance;
+}
+
+int Coverage::RegisterSite(const char* file, int line) {
+  sites_.push_back(Site{file, line});
+  hit_.push_back(0);
+  return static_cast<int>(sites_.size()) - 1;
+}
+
+int Coverage::RegisterGroup(const char* file, int line, int count) {
+  const int base = static_cast<int>(sites_.size());
+  for (int i = 0; i < count; ++i) {
+    sites_.push_back(Site{file, line});
+    hit_.push_back(0);
+  }
+  return base;
+}
+
+void Coverage::ResetHits() {
+  std::fill(hit_.begin(), hit_.end(), 0);
+  hit_count_ = 0;
+  new_since_mark_ = 0;
+  run_trace_len_ = 0;
+}
+
+std::vector<std::string> Coverage::CoveredSites() const {
+  std::vector<std::string> out;
+  for (size_t i = 0; i < sites_.size(); ++i) {
+    if (hit_[i]) {
+      out.push_back(std::string(sites_[i].file) + ":" + std::to_string(sites_[i].line));
+    }
+  }
+  return out;
+}
+
+}  // namespace bpf

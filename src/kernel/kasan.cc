@@ -1,0 +1,225 @@
+#include "src/kernel/kasan.h"
+
+#include <cstring>
+
+namespace bpf {
+
+namespace {
+
+std::string HexAddr(uint64_t addr) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "0x%016llx", static_cast<unsigned long long>(addr));
+  return buf;
+}
+
+}  // namespace
+
+KasanArena::KasanArena(size_t size)
+    : mem_(size, 0), shadow_(size, static_cast<uint8_t>(Shadow::kUnallocated)) {}
+
+uint64_t KasanArena::Alloc(size_t size, const std::string& tag) {
+  if (size == 0) {
+    size = 1;
+  }
+  const size_t padded = (size + kAlign - 1) & ~(kAlign - 1);
+  const size_t total = kRedzoneSize + padded + kRedzoneSize;
+  if (bump_ + total > mem_.size()) {
+    return 0;  // arena exhausted (simulated -ENOMEM)
+  }
+  const size_t start = bump_ + kRedzoneSize;
+  // Left redzone.
+  std::fill(shadow_.begin() + bump_, shadow_.begin() + start,
+            static_cast<uint8_t>(Shadow::kRedzone));
+  // Object bytes.
+  std::fill(shadow_.begin() + start, shadow_.begin() + start + size,
+            static_cast<uint8_t>(Shadow::kAddressable));
+  // Padding + right redzone.
+  std::fill(shadow_.begin() + start + size, shadow_.begin() + bump_ + total,
+            static_cast<uint8_t>(Shadow::kRedzone));
+  std::fill(mem_.begin() + start, mem_.begin() + start + padded, 0);
+  bump_ += total;
+  const uint64_t addr = kArenaBase + start;
+  allocations_[addr] = Allocation{size, tag};
+  bytes_in_use_ += size;
+  return addr;
+}
+
+void KasanArena::Free(uint64_t addr) {
+  auto it = allocations_.find(addr);
+  if (it == allocations_.end()) {
+    return;
+  }
+  const size_t start = Offset(addr);
+  std::fill(shadow_.begin() + start, shadow_.begin() + start + it->second.size,
+            static_cast<uint8_t>(Shadow::kFreed));
+  bytes_in_use_ -= it->second.size;
+  allocations_.erase(it);
+}
+
+AccessResult KasanArena::Classify(uint64_t addr, size_t size) const {
+  if (addr < 4096) {
+    return AccessResult::kNull;
+  }
+  if (!InArena(addr, size)) {
+    return AccessResult::kWild;
+  }
+  const size_t start = Offset(addr);
+  for (size_t i = 0; i < size; ++i) {
+    switch (static_cast<Shadow>(shadow_[start + i])) {
+      case Shadow::kAddressable:
+        break;
+      case Shadow::kFreed:
+        return AccessResult::kUseAfterFree;
+      case Shadow::kRedzone:
+      case Shadow::kUnallocated:
+        return AccessResult::kOob;
+    }
+  }
+  return AccessResult::kOk;
+}
+
+void KasanArena::ReportViolation(AccessResult result, uint64_t addr, size_t size, bool write,
+                                 ReportSink& sink, const std::string& ctx, bool from_bpf_asan) {
+  ReportKind kind;
+  switch (result) {
+    case AccessResult::kOob:
+      kind = from_bpf_asan ? ReportKind::kBpfAsanOob : ReportKind::kKasanOob;
+      break;
+    case AccessResult::kUseAfterFree:
+      kind = from_bpf_asan ? ReportKind::kBpfAsanUseAfterFree : ReportKind::kKasanUseAfterFree;
+      break;
+    case AccessResult::kNull:
+      kind = from_bpf_asan ? ReportKind::kBpfAsanNullDeref : ReportKind::kKasanNullDeref;
+      break;
+    case AccessResult::kWild:
+      kind = from_bpf_asan ? ReportKind::kBpfAsanWild : ReportKind::kPageFault;
+      break;
+    default:
+      return;
+  }
+  std::string details = std::string(write ? "write" : "read") + " of size " +
+                        std::to_string(size) + " at " + HexAddr(addr);
+  // Name the nearest allocation for OOB reports, like KASAN's object dump.
+  if (result == AccessResult::kOob) {
+    details += DescribeNearest(addr, size);
+  }
+  sink.Report(kind, ctx, std::move(details));
+}
+
+bool KasanArena::CheckedRead(uint64_t addr, size_t size, uint64_t* out, ReportSink& sink,
+                             const std::string& ctx) {
+  const AccessResult result = Classify(addr, size);
+  if (result != AccessResult::kOk) {
+    ReportViolation(result, addr, size, /*write=*/false, sink, ctx, /*from_bpf_asan=*/false);
+    if (result == AccessResult::kNull || result == AccessResult::kWild) {
+      return false;  // unbacked: the access cannot complete
+    }
+  }
+  uint64_t value = 0;
+  std::memcpy(&value, mem_.data() + Offset(addr), size);
+  if (out != nullptr) {
+    *out = value;
+  }
+  return result == AccessResult::kOk;
+}
+
+bool KasanArena::CheckedWrite(uint64_t addr, size_t size, uint64_t value, ReportSink& sink,
+                              const std::string& ctx) {
+  const AccessResult result = Classify(addr, size);
+  if (result != AccessResult::kOk) {
+    ReportViolation(result, addr, size, /*write=*/true, sink, ctx, /*from_bpf_asan=*/false);
+    if (result == AccessResult::kNull || result == AccessResult::kWild) {
+      return false;
+    }
+  }
+  std::memcpy(mem_.data() + Offset(addr), &value, size);
+  return result == AccessResult::kOk;
+}
+
+bool KasanArena::RawRead(uint64_t addr, size_t size, uint64_t* out, ReportSink& sink,
+                         const std::string& ctx) {
+  if (addr < 4096 || !InArena(addr, size)) {
+    // Native execution faults on unmapped memory: kernel oops.
+    ReportViolation(addr < 4096 ? AccessResult::kNull : AccessResult::kWild, addr, size,
+                    /*write=*/false, sink, ctx, /*from_bpf_asan=*/false);
+    return false;
+  }
+  uint64_t value = 0;
+  std::memcpy(&value, mem_.data() + Offset(addr), size);
+  if (out != nullptr) {
+    *out = value;
+  }
+  return true;  // silent even if the bytes are a redzone: no KASAN in JITed code
+}
+
+bool KasanArena::RawWrite(uint64_t addr, size_t size, uint64_t value, ReportSink& sink,
+                          const std::string& ctx) {
+  if (addr < 4096 || !InArena(addr, size)) {
+    ReportViolation(addr < 4096 ? AccessResult::kNull : AccessResult::kWild, addr, size,
+                    /*write=*/true, sink, ctx, /*from_bpf_asan=*/false);
+    return false;
+  }
+  std::memcpy(mem_.data() + Offset(addr), &value, size);
+  return true;
+}
+
+uint8_t* KasanArena::HostPtr(uint64_t addr, size_t size) {
+  if (!InArena(addr, size)) {
+    return nullptr;
+  }
+  return mem_.data() + Offset(addr);
+}
+
+bool KasanArena::CopyIn(uint64_t addr, const void* src, size_t size) {
+  uint8_t* dst = HostPtr(addr, size);
+  if (dst == nullptr) {
+    return false;
+  }
+  std::memcpy(dst, src, size);
+  return true;
+}
+
+bool KasanArena::CopyOut(uint64_t addr, void* dst, size_t size) {
+  const uint8_t* src = HostPtr(addr, size);
+  if (src == nullptr) {
+    return false;
+  }
+  std::memcpy(dst, src, size);
+  return true;
+}
+
+std::string KasanArena::DescribeNearest(uint64_t addr, size_t size) const {
+  for (const auto& [start, alloc] : allocations_) {
+    if (addr + size >= start && addr <= start + alloc.size + kRedzoneSize) {
+      return " near object '" + alloc.tag + "' of size " + std::to_string(alloc.size);
+    }
+  }
+  return "";
+}
+
+uint64_t KasanArena::AllocationStart(uint64_t addr) const {
+  for (const auto& [start, alloc] : allocations_) {
+    if (addr >= start && addr < start + alloc.size) {
+      return start;
+    }
+  }
+  return 0;
+}
+
+size_t KasanArena::AllocationSize(uint64_t addr) const {
+  const uint64_t start = AllocationStart(addr);
+  if (start == 0) {
+    return 0;
+  }
+  return allocations_.at(start).size;
+}
+
+const std::string* KasanArena::AllocationTag(uint64_t addr) const {
+  const uint64_t start = AllocationStart(addr);
+  if (start == 0) {
+    return nullptr;
+  }
+  return &allocations_.at(start).tag;
+}
+
+}  // namespace bpf

@@ -1,0 +1,72 @@
+#include "src/kernel/lockdep.h"
+
+namespace bpf {
+
+int Lockdep::RegisterClass(const std::string& name) {
+  for (size_t i = 0; i < classes_.size(); ++i) {
+    if (classes_[i].name == name) {
+      return static_cast<int>(i);
+    }
+  }
+  classes_.push_back(LockClass{name});
+  return static_cast<int>(classes_.size()) - 1;
+}
+
+void Lockdep::Acquire(int class_id, LockContext ctx) {
+  LockClass& cls = classes_[class_id];
+
+  // AA recursion: the same class is already held on this CPU.
+  for (const HeldLock& held : held_) {
+    if (held.class_id == class_id) {
+      const bool cross_context = held.ctx != ctx;
+      sink_.Report(cross_context ? ReportKind::kLockdepInconsistent
+                                 : ReportKind::kLockdepRecursion,
+                   cls.name,
+                   cross_context
+                       ? "lock held in " +
+                             std::string(held.ctx == LockContext::kNormal ? "normal" : "tracepoint") +
+                             " context re-acquired from " +
+                             std::string(ctx == LockContext::kNormal ? "normal" : "tracepoint") +
+                             " context"
+                       : "possible recursive locking of " + cls.name);
+      break;
+    }
+  }
+
+  // Usage-state bookkeeping. Note that merely taking a class in both normal
+  // and tracepoint context is fine (handlers that cannot interrupt a holder
+  // are safe); only re-acquiring a *held* class — detected above — is a bug.
+  if (ctx == LockContext::kTracepoint) {
+    cls.used_in_tracepoint = true;
+  } else {
+    cls.used_in_normal = true;
+  }
+
+  if (held_.size() >= kMaxDepth) {
+    sink_.Report(ReportKind::kLockdepDeadlock, cls.name, "held-lock depth overflow");
+    return;
+  }
+  held_.push_back(HeldLock{class_id, ctx});
+}
+
+void Lockdep::Release(int class_id) {
+  for (auto it = held_.rbegin(); it != held_.rend(); ++it) {
+    if (it->class_id == class_id) {
+      held_.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+bool Lockdep::IsHeld(int class_id) const {
+  for (const HeldLock& held : held_) {
+    if (held.class_id == class_id) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Lockdep::Reset() { held_.clear(); }
+
+}  // namespace bpf

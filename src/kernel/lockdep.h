@@ -1,0 +1,78 @@
+// Runtime locking correctness validator, modelled on Linux lockdep.
+//
+// Tracks the stack of held locks per (simulated, single) CPU together with
+// the context each acquisition happened in. Detections:
+//  * recursion        — re-acquiring a lock class already held (AA deadlock);
+//  * inconsistent use — a class acquired both inside and outside tracepoint
+//                       context, i.e. a tracepoint handler can interrupt a
+//                       holder of the same class (the Fig. 2 / Bug #5 shape);
+//  * depth overflow   — unbounded nesting, reported as a deadlock.
+//
+// This is the capture mechanism for the paper's indicator #2 lock bugs
+// (Table 2 bugs #4, #5, #10).
+
+#ifndef SRC_KERNEL_LOCKDEP_H_
+#define SRC_KERNEL_LOCKDEP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/kernel/report.h"
+
+namespace bpf {
+
+// Execution context of an acquisition, a simplified version of lockdep's
+// usage states (hardirq/softirq/normal); tracepoint context plays the role of
+// the interrupting context in this model.
+enum class LockContext {
+  kNormal,
+  kTracepoint,
+};
+
+class Lockdep {
+ public:
+  explicit Lockdep(ReportSink& sink) : sink_(sink) {}
+
+  // Registers a lock class, returning its id. Idempotent by name.
+  int RegisterClass(const std::string& name);
+
+  // Acquire/release. Acquire files reports on violations but still records the
+  // acquisition (lockdep warns once and keeps going).
+  void Acquire(int class_id, LockContext ctx);
+  void Release(int class_id);
+
+  bool IsHeld(int class_id) const;
+  size_t depth() const { return held_.size(); }
+
+  // Clears held state between executions (a crashed program's locks are
+  // force-released by the test harness, as BPF_PROG_TEST_RUN effectively does).
+  void Reset();
+
+  const std::string& ClassName(int class_id) const { return classes_[class_id].name; }
+
+  // Usage-state observability (which contexts a class has been taken in).
+  bool UsedInNormal(int class_id) const { return classes_[class_id].used_in_normal; }
+  bool UsedInTracepoint(int class_id) const { return classes_[class_id].used_in_tracepoint; }
+
+ private:
+  struct LockClass {
+    std::string name;
+    bool used_in_normal = false;
+    bool used_in_tracepoint = false;
+  };
+  struct HeldLock {
+    int class_id;
+    LockContext ctx;
+  };
+
+  static constexpr size_t kMaxDepth = 48;
+
+  ReportSink& sink_;
+  std::vector<LockClass> classes_;
+  std::vector<HeldLock> held_;
+};
+
+}  // namespace bpf
+
+#endif  // SRC_KERNEL_LOCKDEP_H_

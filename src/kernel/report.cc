@@ -1,0 +1,69 @@
+#include "src/kernel/report.h"
+
+namespace bpf {
+
+const char* ReportKindName(ReportKind kind) {
+  switch (kind) {
+    case ReportKind::kBpfAsanOob:
+      return "bpf-asan: out-of-bounds";
+    case ReportKind::kBpfAsanUseAfterFree:
+      return "bpf-asan: use-after-free";
+    case ReportKind::kBpfAsanNullDeref:
+      return "bpf-asan: null-ptr-deref";
+    case ReportKind::kBpfAsanWild:
+      return "bpf-asan: wild-access";
+    case ReportKind::kAluLimitViolation:
+      return "bpf-asan: alu-limit-violation";
+    case ReportKind::kKasanOob:
+      return "KASAN: slab-out-of-bounds";
+    case ReportKind::kKasanUseAfterFree:
+      return "KASAN: use-after-free";
+    case ReportKind::kKasanNullDeref:
+      return "KASAN: null-ptr-deref";
+    case ReportKind::kLockdepRecursion:
+      return "lockdep: possible recursive locking";
+    case ReportKind::kLockdepInconsistent:
+      return "lockdep: inconsistent lock state";
+    case ReportKind::kLockdepDeadlock:
+      return "lockdep: possible deadlock";
+    case ReportKind::kWarn:
+      return "WARNING";
+    case ReportKind::kPanic:
+      return "kernel panic";
+    case ReportKind::kPageFault:
+      return "BUG: unable to handle page fault";
+    case ReportKind::kStackOverflow:
+      return "BUG: stack guard page was hit";
+  }
+  return "unknown";
+}
+
+bool IsIndicator1(ReportKind kind) {
+  switch (kind) {
+    case ReportKind::kBpfAsanOob:
+    case ReportKind::kBpfAsanUseAfterFree:
+    case ReportKind::kBpfAsanNullDeref:
+    case ReportKind::kBpfAsanWild:
+    case ReportKind::kAluLimitViolation:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string KernelReport::Signature() const {
+  return std::string(ReportKindName(kind)) + " in " + title;
+}
+
+void ReportSink::Report(ReportKind kind, std::string title, std::string details) {
+  reports_.push_back(KernelReport{kind, std::move(title), std::move(details)});
+  if (kind == ReportKind::kPanic) {
+    panicked_ = true;
+  }
+}
+
+void ReportSink::Panic(std::string title, std::string details) {
+  Report(ReportKind::kPanic, std::move(title), std::move(details));
+}
+
+}  // namespace bpf

@@ -1,0 +1,80 @@
+// Kernel self-check report sink: the simulated equivalent of dmesg + panic.
+//
+// Every detection mechanism in the simulated kernel (KASAN, lockdep, WARN_ON,
+// panic, and BVF's bpf_asan dispatch checks) files a KernelReport here. The
+// fuzzer's oracle classifies reports into the paper's two indicators.
+
+#ifndef SRC_KERNEL_REPORT_H_
+#define SRC_KERNEL_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bpf {
+
+enum class ReportKind {
+  // Indicator #1: invalid load/store in a verified eBPF program, caught by the
+  // dispatch-based sanitation (bpf_asan_* -> KASAN) or the alu_limit check.
+  kBpfAsanOob,
+  kBpfAsanUseAfterFree,
+  kBpfAsanNullDeref,
+  kBpfAsanWild,
+  kAluLimitViolation,
+
+  // Indicator #2: errors inside kernel routines invoked by the program.
+  kKasanOob,
+  kKasanUseAfterFree,
+  kKasanNullDeref,
+  kLockdepRecursion,
+  kLockdepInconsistent,
+  kLockdepDeadlock,
+  kWarn,
+  kPanic,
+  kPageFault,  // native wild access (oops), also reachable without sanitation
+  kStackOverflow,
+};
+
+const char* ReportKindName(ReportKind kind);
+
+// True for report kinds produced by BVF's program sanitation (indicator #1).
+bool IsIndicator1(ReportKind kind);
+
+struct KernelReport {
+  ReportKind kind;
+  std::string title;    // one-line summary, stable across duplicates of one bug
+  std::string details;  // free-form context (addresses, lock names, ...)
+
+  // Signature used for triage dedup: kind + title.
+  std::string Signature() const;
+};
+
+// Collects reports for one simulated kernel instance. Unlike the real kernel,
+// reporting never aborts the process; `panicked()` tells callers the machine
+// would be dead.
+class ReportSink {
+ public:
+  void Report(ReportKind kind, std::string title, std::string details = "");
+  void Panic(std::string title, std::string details = "");
+
+  bool panicked() const { return panicked_; }
+  bool empty() const { return reports_.empty(); }
+  size_t size() const { return reports_.size(); }
+  const std::vector<KernelReport>& reports() const { return reports_; }
+
+  // Reports filed since the given watermark (for per-execution oracles).
+  size_t Watermark() const { return reports_.size(); }
+
+  void Clear() {
+    reports_.clear();
+    panicked_ = false;
+  }
+
+ private:
+  std::vector<KernelReport> reports_;
+  bool panicked_ = false;
+};
+
+}  // namespace bpf
+
+#endif  // SRC_KERNEL_REPORT_H_

@@ -1,0 +1,70 @@
+// Deterministic PRNG (xoshiro256**) used by the fuzzer and workload
+// generators. Deterministic seeds make every campaign in the benchmark suite
+// reproducible.
+
+#ifndef SRC_KERNEL_RNG_H_
+#define SRC_KERNEL_RNG_H_
+
+#include <cstdint>
+
+namespace bpf {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    // splitmix64 expansion of the seed into the xoshiro state.
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ull;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform value in [0, bound). bound must be > 0.
+  uint64_t Below(uint64_t bound) { return Next() % bound; }
+
+  // Uniform value in [lo, hi] inclusive.
+  int64_t Range(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Below(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  // True with probability num/den.
+  bool OneIn(uint64_t den) { return Below(den) == 0; }
+  bool Chance(double p) { return static_cast<double>(Next() >> 11) * 0x1.0p-53 < p; }
+
+  // Picks a random element of a container.
+  template <typename C>
+  auto& Pick(C& container) {
+    return container[Below(container.size())];
+  }
+  template <typename C>
+  const auto& Pick(const C& container) {
+    return container[Below(container.size())];
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace bpf
+
+#endif  // SRC_KERNEL_RNG_H_

@@ -1,0 +1,66 @@
+#include "src/kernel/tracepoint.h"
+
+namespace bpf {
+
+const char* TracepointName(TracepointId id) {
+  switch (id) {
+    case TracepointId::kContentionBegin:
+      return "contention_begin";
+    case TracepointId::kTracePrintk:
+      return "trace_printk";
+    case TracepointId::kSchedSwitch:
+      return "sched_switch";
+    case TracepointId::kSysEnter:
+      return "sys_enter";
+    default:
+      return "unknown";
+  }
+}
+
+int TracepointRegistry::Attach(TracepointId id, Handler handler) {
+  const int token = next_token_++;
+  handlers_[static_cast<int>(id)].push_back(Entry{token, std::move(handler)});
+  return token;
+}
+
+void TracepointRegistry::Detach(TracepointId id, int token) {
+  auto& list = handlers_[static_cast<int>(id)];
+  for (auto it = list.begin(); it != list.end(); ++it) {
+    if (it->token == token) {
+      list.erase(it);
+      return;
+    }
+  }
+}
+
+void TracepointRegistry::DetachAll() {
+  for (auto& list : handlers_) {
+    list.clear();
+  }
+  depth_ = 0;
+  overflow_reported_ = false;
+}
+
+void TracepointRegistry::Fire(TracepointId id) {
+  if (depth_ >= kMaxDepth) {
+    if (!overflow_reported_) {
+      overflow_reported_ = true;
+      sink_.Report(ReportKind::kStackOverflow, TracepointName(id),
+                   "tracepoint handler recursion exceeded depth " + std::to_string(kMaxDepth));
+    }
+    return;
+  }
+  ++depth_;
+  // Iterate by index: handlers may attach/detach during the run.
+  auto& list = handlers_[static_cast<int>(id)];
+  for (size_t i = 0; i < list.size(); ++i) {
+    list[i].handler();
+  }
+  --depth_;
+}
+
+size_t TracepointRegistry::HandlerCount(TracepointId id) const {
+  return handlers_[static_cast<int>(id)].size();
+}
+
+}  // namespace bpf

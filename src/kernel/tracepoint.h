@@ -1,0 +1,68 @@
+// Tracepoint registry with re-entrancy semantics.
+//
+// Firing a tracepoint invokes every attached handler (eBPF programs, via the
+// runtime's attach layer). Handlers run in tracepoint context; if a handler
+// causes the same tracepoint to fire again (e.g. by acquiring a contended
+// lock while attached to contention_begin), the nested firing re-enters the
+// handlers. A recursion-depth guard converts runaway recursion into a stack
+// overflow report — the kernel crash shape of Table 2 bugs #4/#5.
+
+#ifndef SRC_KERNEL_TRACEPOINT_H_
+#define SRC_KERNEL_TRACEPOINT_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/kernel/report.h"
+
+namespace bpf {
+
+// Well-known tracepoints / attach targets in the simulated kernel.
+enum class TracepointId : int {
+  kContentionBegin = 0,  // lock contention, fired while acquiring a held lock
+  kTracePrintk,          // fired inside the bpf_trace_printk implementation
+  kSchedSwitch,          // benign scheduling tracepoint
+  kSysEnter,             // benign syscall-entry tracepoint
+  kCount,
+};
+
+const char* TracepointName(TracepointId id);
+
+class TracepointRegistry {
+ public:
+  explicit TracepointRegistry(ReportSink& sink) : sink_(sink) {}
+
+  using Handler = std::function<void()>;
+
+  // Attaches a handler; returns a token usable for Detach.
+  int Attach(TracepointId id, Handler handler);
+  void Detach(TracepointId id, int token);
+  void DetachAll();
+
+  // Fires the tracepoint, running all attached handlers. Nested firings beyond
+  // the depth limit are cut off with a stack-overflow report.
+  void Fire(TracepointId id);
+
+  size_t HandlerCount(TracepointId id) const;
+  int fire_depth() const { return depth_; }
+
+ private:
+  struct Entry {
+    int token;
+    Handler handler;
+  };
+
+  static constexpr int kMaxDepth = 16;
+
+  ReportSink& sink_;
+  std::vector<Entry> handlers_[static_cast<int>(TracepointId::kCount)];
+  int next_token_ = 1;
+  int depth_ = 0;
+  bool overflow_reported_ = false;
+};
+
+}  // namespace bpf
+
+#endif  // SRC_KERNEL_TRACEPOINT_H_

@@ -1,0 +1,352 @@
+#include "src/maps/map.h"
+
+#include <cerrno>
+#include <cstring>
+
+namespace bpf {
+
+const char* MapTypeName(MapType type) {
+  switch (type) {
+    case MapType::kArray:
+      return "array";
+    case MapType::kHash:
+      return "hash";
+    case MapType::kPercpuArray:
+      return "percpu_array";
+    case MapType::kRingbuf:
+      return "ringbuf";
+  }
+  return "unknown";
+}
+
+namespace {
+
+uint32_t KeyToIndex(const void* key) {
+  uint32_t index = 0;
+  std::memcpy(&index, key, sizeof(index));
+  return index;
+}
+
+// FNV-1a over the key bytes.
+uint64_t HashKey(const void* key, size_t size) {
+  const auto* bytes = static_cast<const uint8_t*>(key);
+  uint64_t hash = 0xcbf29ce484222325ull;
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+}  // namespace
+
+// ---- ArrayMap ----
+
+ArrayMap::ArrayMap(int id, const MapDef& def, KasanArena& arena, ReportSink& sink)
+    : Map(id, def, arena, sink) {
+  values_addr_ =
+      arena_.Alloc(static_cast<size_t>(def.value_size) * def.max_entries, "array_map_values");
+}
+
+ArrayMap::~ArrayMap() {
+  if (values_addr_ != 0) {
+    arena_.Free(values_addr_);
+  }
+}
+
+uint64_t ArrayMap::Lookup(const void* key) {
+  const uint32_t index = KeyToIndex(key);
+  if (index >= def_.max_entries || values_addr_ == 0) {
+    return 0;
+  }
+  return values_addr_ + static_cast<uint64_t>(index) * def_.value_size;
+}
+
+int ArrayMap::Update(const void* key, const void* value) {
+  const uint64_t addr = Lookup(key);
+  if (addr == 0) {
+    return -E2BIG;
+  }
+  arena_.CopyIn(addr, value, def_.value_size);
+  return 0;
+}
+
+int ArrayMap::Delete(const void* key) {
+  return -EINVAL;  // array elements cannot be deleted, as in the kernel
+}
+
+int ArrayMap::GetNextKey(const void* key, void* next_key) {
+  uint32_t next = 0;
+  if (key != nullptr) {
+    const uint32_t index = KeyToIndex(key);
+    if (index + 1 >= def_.max_entries) {
+      return -ENOENT;
+    }
+    next = index + 1;
+  }
+  std::memcpy(next_key, &next, sizeof(next));
+  return 0;
+}
+
+// ---- HashMap ----
+
+HashMap::HashMap(int id, const MapDef& def, KasanArena& arena, ReportSink& sink,
+                 bool bug_bucket_iteration)
+    : Map(id, def, arena, sink), bug_bucket_iteration_(bug_bucket_iteration) {
+  size_t n_buckets = 1;
+  while (n_buckets < def.max_entries) {
+    n_buckets <<= 1;
+  }
+  buckets_.resize(n_buckets);
+}
+
+HashMap::~HashMap() {
+  for (auto& bucket : buckets_) {
+    for (Element& elem : bucket) {
+      arena_.Free(elem.value_addr);
+    }
+  }
+}
+
+size_t HashMap::BucketOf(const void* key) const {
+  return HashKey(key, def_.key_size) & (buckets_.size() - 1);
+}
+
+HashMap::Element* HashMap::FindInBucket(size_t bucket, const void* key) {
+  for (Element& elem : buckets_[bucket]) {
+    if (std::memcmp(elem.key.data(), key, def_.key_size) == 0) {
+      return &elem;
+    }
+  }
+  return nullptr;
+}
+
+uint64_t HashMap::Lookup(const void* key) {
+  Element* elem = FindInBucket(BucketOf(key), key);
+  return elem != nullptr ? elem->value_addr : 0;
+}
+
+int HashMap::Update(const void* key, const void* value) {
+  const size_t bucket = BucketOf(key);
+  Element* elem = FindInBucket(bucket, key);
+  if (elem != nullptr) {
+    arena_.CopyIn(elem->value_addr, value, def_.value_size);
+    return 0;
+  }
+  if (count_ >= def_.max_entries) {
+    return -E2BIG;
+  }
+  const uint64_t value_addr = arena_.Alloc(def_.value_size, "htab_elem");
+  if (value_addr == 0) {
+    return -ENOMEM;
+  }
+  arena_.CopyIn(value_addr, value, def_.value_size);
+  std::vector<uint8_t> key_copy(def_.key_size);
+  std::memcpy(key_copy.data(), key, def_.key_size);
+  buckets_[bucket].push_back(Element{std::move(key_copy), value_addr});
+  ++count_;
+  return 0;
+}
+
+int HashMap::Delete(const void* key) {
+  const size_t bucket = BucketOf(key);
+  auto& chain = buckets_[bucket];
+  for (auto it = chain.begin(); it != chain.end(); ++it) {
+    if (std::memcmp(it->key.data(), key, def_.key_size) == 0) {
+      arena_.Free(it->value_addr);
+      chain.erase(it);
+      --count_;
+      return 0;
+    }
+  }
+  return -ENOENT;
+}
+
+int HashMap::GetNextKey(const void* key, void* next_key) {
+  bool return_next = key == nullptr;
+  for (const auto& bucket : buckets_) {
+    for (const Element& elem : bucket) {
+      if (return_next) {
+        std::memcpy(next_key, elem.key.data(), def_.key_size);
+        return 0;
+      }
+      if (std::memcmp(elem.key.data(), key, def_.key_size) == 0) {
+        return_next = true;
+      }
+    }
+  }
+  return -ENOENT;
+}
+
+int HashMap::LookupBatch(std::vector<std::vector<uint8_t>>* out, int max_count) {
+  int copied = 0;
+  for (const auto& bucket : buckets_) {
+    if (bucket.empty()) {
+      continue;
+    }
+    // The real code takes the bucket lock with raw_spin_trylock and retries
+    // under contention. Simulated contention: every kContentionPeriod-th
+    // acquisition fails.
+    const bool lock_ok = (++trylock_tick_ % kContentionPeriod) != 0;
+    if (!lock_ok) {
+      if (bug_bucket_iteration_) {
+        // Bug #9: the failure path forgets to rewind the element cursor and
+        // re-reads one element past the chain snapshot. The stale cursor
+        // points just past the last element's value allocation — a
+        // slab-out-of-bounds read, caught by KASAN since htab code is
+        // compiled with instrumentation.
+        const Element& last = bucket.back();
+        uint64_t scratch = 0;
+        arena_.CheckedRead(last.value_addr + def_.value_size, 8, &scratch, sink_,
+                           "htab_map_lookup_batch");
+      }
+      continue;  // skip this bucket, as the (fixed) retry path effectively does
+    }
+    for (const Element& elem : bucket) {
+      if (copied >= max_count) {
+        return copied;
+      }
+      std::vector<uint8_t> value(def_.value_size);
+      arena_.CopyOut(elem.value_addr, value.data(), def_.value_size);
+      out->push_back(std::move(value));
+      ++copied;
+    }
+  }
+  return copied;
+}
+
+// ---- PercpuArrayMap ----
+
+PercpuArrayMap::PercpuArrayMap(int id, const MapDef& def, KasanArena& arena, ReportSink& sink)
+    : Map(id, def, arena, sink) {
+  values_addr_ = arena_.Alloc(
+      static_cast<size_t>(def.value_size) * def.max_entries * kNumSimCpus, "percpu_array_values");
+}
+
+PercpuArrayMap::~PercpuArrayMap() {
+  if (values_addr_ != 0) {
+    arena_.Free(values_addr_);
+  }
+}
+
+uint64_t PercpuArrayMap::Lookup(const void* key) {
+  const uint32_t index = KeyToIndex(key);
+  if (index >= def_.max_entries || values_addr_ == 0) {
+    return 0;
+  }
+  return values_addr_ + static_cast<uint64_t>(index) * def_.value_size;  // cpu 0 block
+}
+
+int PercpuArrayMap::Update(const void* key, const void* value) {
+  const uint32_t index = KeyToIndex(key);
+  if (index >= def_.max_entries || values_addr_ == 0) {
+    return -E2BIG;
+  }
+  for (int cpu = 0; cpu < kNumSimCpus; ++cpu) {
+    const uint64_t addr =
+        values_addr_ +
+        (static_cast<uint64_t>(cpu) * def_.max_entries + index) * def_.value_size;
+    arena_.CopyIn(addr, value, def_.value_size);
+  }
+  return 0;
+}
+
+int PercpuArrayMap::Delete(const void* key) { return -EINVAL; }
+
+int PercpuArrayMap::GetNextKey(const void* key, void* next_key) {
+  uint32_t next = 0;
+  if (key != nullptr) {
+    const uint32_t index = KeyToIndex(key);
+    if (index + 1 >= def_.max_entries) {
+      return -ENOENT;
+    }
+    next = index + 1;
+  }
+  std::memcpy(next_key, &next, sizeof(next));
+  return 0;
+}
+
+// ---- RingbufMap ----
+
+RingbufMap::RingbufMap(int id, const MapDef& def, KasanArena& arena, ReportSink& sink)
+    : Map(id, def, arena, sink) {
+  ring_size_ = def.max_entries;  // ringbuf uses max_entries as byte size
+  ring_addr_ = arena_.Alloc(ring_size_, "ringbuf_data");
+}
+
+RingbufMap::~RingbufMap() {
+  if (ring_addr_ != 0) {
+    arena_.Free(ring_addr_);
+  }
+}
+
+int RingbufMap::Output(uint64_t data_addr, uint32_t size) {
+  if (size == 0 || size > ring_size_ || ring_addr_ == 0) {
+    return -EINVAL;
+  }
+  for (uint32_t i = 0; i < size; ++i) {
+    uint64_t byte = 0;
+    if (!arena_.CheckedRead(data_addr + i, 1, &byte, sink_, "bpf_ringbuf_output")) {
+      return -EFAULT;
+    }
+    arena_.CheckedWrite(ring_addr_ + (head_ + i) % ring_size_, 1, byte, sink_,
+                        "bpf_ringbuf_output");
+  }
+  head_ = (head_ + size) % ring_size_;
+  produced_ += size;
+  return 0;
+}
+
+// ---- MapRegistry ----
+
+int MapRegistry::Create(const MapDef& def, bool bug_bucket_iteration) {
+  if (def.key_size == 0 || def.key_size > 64 || def.value_size == 0 ||
+      def.value_size > 4096 || def.max_entries == 0 || def.max_entries > 65536) {
+    return -EINVAL;
+  }
+  if ((def.type == MapType::kArray || def.type == MapType::kPercpuArray) &&
+      def.key_size != 4) {
+    return -EINVAL;  // array keys are u32 indices
+  }
+  const int id = next_id_++;
+  std::unique_ptr<Map> map;
+  switch (def.type) {
+    case MapType::kArray:
+      map = std::make_unique<ArrayMap>(id, def, arena_, sink_);
+      break;
+    case MapType::kHash:
+      map = std::make_unique<HashMap>(id, def, arena_, sink_, bug_bucket_iteration);
+      break;
+    case MapType::kPercpuArray:
+      map = std::make_unique<PercpuArrayMap>(id, def, arena_, sink_);
+      break;
+    case MapType::kRingbuf:
+      map = std::make_unique<RingbufMap>(id, def, arena_, sink_);
+      break;
+  }
+  maps_.push_back(std::move(map));
+  return id;
+}
+
+Map* MapRegistry::Find(int id) {
+  for (const auto& map : maps_) {
+    if (map->id() == id) {
+      return map.get();
+    }
+  }
+  return nullptr;
+}
+
+Map* MapRegistry::FindByObjAddr(uint64_t addr) {
+  if (addr == 0) {
+    return nullptr;
+  }
+  for (const auto& map : maps_) {
+    if (map->obj_addr() == addr) {
+      return map.get();
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace bpf

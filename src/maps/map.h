@@ -1,0 +1,201 @@
+// eBPF map infrastructure.
+//
+// Map metadata lives host-side; element value storage is carved from the
+// KASAN arena so that out-of-bounds accesses to map values land in redzones,
+// exactly the memory the verifier is supposed to fence (Listing 1 of the
+// paper is an OOB access to a map value).
+
+#ifndef SRC_MAPS_MAP_H_
+#define SRC_MAPS_MAP_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/kernel/kasan.h"
+#include "src/kernel/report.h"
+
+namespace bpf {
+
+enum class MapType {
+  kArray,
+  kHash,
+  kPercpuArray,
+  kRingbuf,
+};
+
+const char* MapTypeName(MapType type);
+
+inline constexpr int kNumSimCpus = 4;
+
+struct MapDef {
+  MapType type = MapType::kArray;
+  uint32_t key_size = 4;
+  uint32_t value_size = 8;
+  uint32_t max_entries = 1;
+};
+
+// Base class for all map implementations. Keys are passed as host byte
+// buffers (the syscall/helper layer copies them out of guest memory first);
+// values are addressed by guest pointers into the arena.
+class Map {
+ public:
+  Map(int id, const MapDef& def, KasanArena& arena, ReportSink& sink)
+      : id_(id), def_(def), arena_(arena), sink_(sink) {}
+  virtual ~Map() = default;
+
+  Map(const Map&) = delete;
+  Map& operator=(const Map&) = delete;
+
+  // Returns the guest address of the value for |key|, or 0 if absent.
+  virtual uint64_t Lookup(const void* key) = 0;
+  // 0 on success, negative errno otherwise.
+  virtual int Update(const void* key, const void* value) = 0;
+  virtual int Delete(const void* key) = 0;
+  // Iterates keys: writes the successor of |key| (nullptr = first) into
+  // |next_key|; returns -ENOENT at the end.
+  virtual int GetNextKey(const void* key, void* next_key) = 0;
+
+  // Base guest address of contiguous value storage, for direct map-value
+  // loads (BPF_PSEUDO_MAP_VALUE); 0 for map types without one.
+  virtual uint64_t ValuesAddr() const { return 0; }
+
+  // Guest address of the kernel `struct bpf_map` object this map is
+  // represented by (set by the syscall layer at creation).
+  uint64_t obj_addr() const { return obj_addr_; }
+  void set_obj_addr(uint64_t addr) { obj_addr_ = addr; }
+
+  int id() const { return id_; }
+  const MapDef& def() const { return def_; }
+  uint32_t key_size() const { return def_.key_size; }
+  uint32_t value_size() const { return def_.value_size; }
+  uint32_t max_entries() const { return def_.max_entries; }
+
+ protected:
+  const int id_;
+  const MapDef def_;
+  KasanArena& arena_;
+  ReportSink& sink_;
+  uint64_t obj_addr_ = 0;
+};
+
+// BPF_MAP_TYPE_ARRAY: contiguous value storage, index key.
+class ArrayMap : public Map {
+ public:
+  ArrayMap(int id, const MapDef& def, KasanArena& arena, ReportSink& sink);
+  ~ArrayMap() override;
+
+  uint64_t Lookup(const void* key) override;
+  int Update(const void* key, const void* value) override;
+  int Delete(const void* key) override;
+  int GetNextKey(const void* key, void* next_key) override;
+
+  uint64_t ValuesAddr() const override { return values_addr_; }
+
+ private:
+  uint64_t values_addr_ = 0;
+};
+
+// BPF_MAP_TYPE_HASH: separately chained buckets, per-element arena
+// allocations (like the kernel's kmalloc'ed htab_elem).
+//
+// Carries Table 2 bug #9: with `bug_bucket_iteration` set, the batched
+// iteration path mishandles a failed bucket-lock acquisition and walks one
+// element past the bucket's chain snapshot — an OOB read caught by KASAN
+// because htab code is kernel code.
+class HashMap : public Map {
+ public:
+  HashMap(int id, const MapDef& def, KasanArena& arena, ReportSink& sink,
+          bool bug_bucket_iteration);
+  ~HashMap() override;
+
+  uint64_t Lookup(const void* key) override;
+  int Update(const void* key, const void* value) override;
+  int Delete(const void* key) override;
+  int GetNextKey(const void* key, void* next_key) override;
+
+  // The syscall-side batched-lookup path (the buggy one). Copies up to
+  // |max_count| values into |out|; returns the number copied.
+  int LookupBatch(std::vector<std::vector<uint8_t>>* out, int max_count);
+
+ private:
+  struct Element {
+    std::vector<uint8_t> key;
+    uint64_t value_addr;
+  };
+
+  size_t BucketOf(const void* key) const;
+  Element* FindInBucket(size_t bucket, const void* key);
+
+  std::vector<std::vector<Element>> buckets_;
+  size_t count_ = 0;
+  const bool bug_bucket_iteration_;
+  // Simulated lock contention: every kContentionPeriod-th trylock fails.
+  int trylock_tick_ = 0;
+  static constexpr int kContentionPeriod = 3;
+};
+
+// BPF_MAP_TYPE_PERCPU_ARRAY: one value block per simulated CPU.
+class PercpuArrayMap : public Map {
+ public:
+  PercpuArrayMap(int id, const MapDef& def, KasanArena& arena, ReportSink& sink);
+  ~PercpuArrayMap() override;
+
+  // Lookup returns the current-CPU (cpu 0) slot, as helpers do.
+  uint64_t Lookup(const void* key) override;
+  int Update(const void* key, const void* value) override;
+  int Delete(const void* key) override;
+  int GetNextKey(const void* key, void* next_key) override;
+
+ private:
+  uint64_t values_addr_ = 0;  // [cpu][entry] blocks
+};
+
+// BPF_MAP_TYPE_RINGBUF (simplified): a byte ring the program reserves into.
+class RingbufMap : public Map {
+ public:
+  RingbufMap(int id, const MapDef& def, KasanArena& arena, ReportSink& sink);
+  ~RingbufMap() override;
+
+  uint64_t Lookup(const void* key) override { return 0; }
+  int Update(const void* key, const void* value) override { return -EINVAL; }
+  int Delete(const void* key) override { return -EINVAL; }
+  int GetNextKey(const void* key, void* next_key) override { return -EINVAL; }
+
+  // Appends |size| bytes from guest |data_addr|; 0 on success.
+  int Output(uint64_t data_addr, uint32_t size);
+  size_t produced() const { return produced_; }
+
+ private:
+  uint64_t ring_addr_ = 0;
+  size_t ring_size_ = 0;
+  size_t head_ = 0;
+  size_t produced_ = 0;
+};
+
+// Owns all maps of one simulated kernel and hands out map ids (used as fds by
+// the syscall layer).
+class MapRegistry {
+ public:
+  MapRegistry(KasanArena& arena, ReportSink& sink) : arena_(arena), sink_(sink) {}
+
+  // Returns the new map id (>= 1), or negative errno.
+  int Create(const MapDef& def, bool bug_bucket_iteration = false);
+  Map* Find(int id);
+  // Resolves a map by the guest address of its `struct bpf_map` object
+  // (how helpers receive maps at runtime after fixup).
+  Map* FindByObjAddr(uint64_t addr);
+  const std::vector<std::unique_ptr<Map>>& maps() const { return maps_; }
+  size_t size() const { return maps_.size(); }
+
+ private:
+  KasanArena& arena_;
+  ReportSink& sink_;
+  std::vector<std::unique_ptr<Map>> maps_;
+  int next_id_ = 1;
+};
+
+}  // namespace bpf
+
+#endif  // SRC_MAPS_MAP_H_

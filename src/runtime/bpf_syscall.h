@@ -1,0 +1,82 @@
+// The bpf(2) syscall surface of the simulated kernel: map creation, program
+// loading (verification + rewrite + the kmemdup readback path of bug #8),
+// test runs, tracepoint attachment (with the policy checks whose absence is
+// bugs #4/#5), and the XDP dispatcher (bugs #7/#11).
+
+#ifndef SRC_RUNTIME_BPF_SYSCALL_H_
+#define SRC_RUNTIME_BPF_SYSCALL_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/runtime/exec_context.h"
+#include "src/runtime/interpreter.h"
+#include "src/runtime/kernel.h"
+#include "src/verifier/verifier.h"
+
+namespace bpf {
+
+class Bpf {
+ public:
+  explicit Bpf(Kernel& kernel) : kernel_(kernel), interp_(kernel) {}
+
+  Kernel& kernel() { return kernel_; }
+
+  // Installs the program-rewrite instrumentation hook (BVF's sanitation
+  // "Kconfig"); must be set before ProgLoad to take effect.
+  void set_instrument(std::function<void(Program&, std::vector<InsnAux>&)> hook) {
+    instrument_ = std::move(hook);
+  }
+
+  // ---- BPF_MAP_* ----
+  int MapCreate(const MapDef& def);  // returns map fd (>0) or -errno
+  int MapUpdateElem(int map_fd, const void* key, const void* value);
+  int MapLookupElem(int map_fd, const void* key, void* value_out);
+  int MapDeleteElem(int map_fd, const void* key);
+  int MapGetNextKey(int map_fd, const void* key, void* next_key);
+  // Batched lookup (the syscall path carrying bug #9). Returns copied count.
+  int MapLookupBatch(int map_fd, int max_count);
+
+  // ---- BPF_PROG_LOAD / BPF_PROG_TEST_RUN / attach ----
+  int ProgLoad(const Program& prog, VerifierResult* result_out = nullptr);
+  ExecResult ProgTestRun(int prog_fd, uint32_t pkt_len = 64, uint64_t seed = 1);
+  // Repeated test run reusing one execution context: BPF_PROG_TEST_RUN's
+  // `repeat` attribute. Returns the last result with cumulative insn counts;
+  // used by the overhead benchmark so interpretation dominates setup.
+  ExecResult ProgTestRunRepeat(int prog_fd, int repeat, uint32_t pkt_len = 64,
+                               uint64_t seed = 1);
+  int ProgAttach(int prog_fd, TracepointId target);
+  void DetachAll();
+
+  // Simulated kernel activity that reaches attach points.
+  void FireEvent(TracepointId id);
+
+  // ---- XDP dispatcher ----
+  int XdpInstall(int prog_fd);
+  ExecResult XdpRun(uint32_t pkt_len = 64, uint64_t seed = 1);
+
+  LoadedProgram* FindProg(int prog_fd);
+  size_t prog_count() const { return progs_.size(); }
+
+ private:
+  // Builds/release a per-invocation execution context for |prog|.
+  ExecContext MakeCtx(const LoadedProgram& prog, uint32_t pkt_len, uint64_t seed);
+  void ReleaseCtx(ExecContext& ctx);
+  ExecResult RunProgram(const LoadedProgram& prog, uint32_t pkt_len, uint64_t seed,
+                        bool in_tracepoint, bool in_irq, TracepointId attach_point);
+
+  Kernel& kernel_;
+  Interpreter interp_;
+  std::function<void(Program&, std::vector<InsnAux>&)> instrument_;
+  std::vector<std::unique_ptr<LoadedProgram>> progs_;
+  int next_prog_fd_ = 1;
+
+  int xdp_prog_fd_ = 0;
+  bool xdp_update_window_ = false;
+};
+
+}  // namespace bpf
+
+#endif  // SRC_RUNTIME_BPF_SYSCALL_H_

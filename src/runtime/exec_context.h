@@ -1,0 +1,69 @@
+// Runtime execution context of one eBPF program invocation: guest addresses
+// of its context structure, packet data, and stack (with the extended region
+// used by the sanitation instrumentation), plus the kernel-context flags
+// helpers consult (tracepoint/irq).
+
+#ifndef SRC_RUNTIME_EXEC_CONTEXT_H_
+#define SRC_RUNTIME_EXEC_CONTEXT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/ebpf/insn.h"
+#include "src/ebpf/program.h"
+#include "src/kernel/lockdep.h"
+#include "src/kernel/tracepoint.h"
+#include "src/verifier/verifier.h"
+
+namespace bpf {
+
+// Extra stack space below the visible 512 bytes, reserved for register
+// backups emitted by the sanitation pass (paper Fig. 5: "an extended stack
+// space that is also invisible to the program").
+inline constexpr int kExtendedStackSize = 64;
+
+struct ExecContext {
+  uint64_t ctx_addr = 0;    // guest address of the context struct
+  uint64_t fp = 0;          // frame pointer (R10): one past the stack top
+  uint64_t stack_base = 0;  // low guest address of the stack allocation
+  uint64_t pkt_addr = 0;
+  uint32_t pkt_len = 0;
+
+  // Kernel-side context of this invocation.
+  bool in_tracepoint = false;
+  bool in_irq = false;
+  TracepointId attach_point = TracepointId::kSysEnter;
+
+  LockContext lock_context() const {
+    return in_tracepoint ? LockContext::kTracepoint : LockContext::kNormal;
+  }
+};
+
+// A verified, rewritten, loadable program as stored by the syscall layer.
+struct LoadedProgram {
+  int id = 0;
+  ProgType type = ProgType::kSocketFilter;
+  Program prog;               // rewritten instruction stream
+  std::vector<InsnAux> aux;   // parallel per-insn metadata
+  bool offloaded = false;     // XDP device offload requested (bug #11 path)
+
+  // Behavioural summary from verification (attach policy input).
+  bool uses_lock_helper = false;
+  bool uses_printk_helper = false;
+  bool uses_signal_helper = false;
+  bool uses_irqwork_helper = false;
+};
+
+struct ExecResult {
+  uint64_t r0 = 0;
+  int err = 0;  // 0, -EFAULT (fault abort), -ELOOP (runaway execution)
+  uint64_t insns_executed = 0;
+  std::string abort_reason;
+
+  bool ok() const { return err == 0; }
+};
+
+}  // namespace bpf
+
+#endif  // SRC_RUNTIME_EXEC_CONTEXT_H_

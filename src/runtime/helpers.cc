@@ -1,0 +1,249 @@
+// Helper and kfunc runtime implementations.
+//
+// Helpers are kernel code: their memory accesses go through the KASAN-
+// instrumented Checked* accessors, and their locking goes through lockdep —
+// which is what lets indicator #2 capture bugs that surface inside kernel
+// routines invoked by verified programs (paper §3.2).
+
+#include "src/runtime/helpers.h"
+
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+#include "src/verifier/helper_protos.h"
+
+namespace bpf {
+
+namespace {
+
+// Copies |size| bytes of guest memory into a host buffer via the KASAN-
+// checked path. Returns false if the source is unbacked.
+bool CopyFromGuest(Kernel& kernel, uint64_t addr, size_t size, std::vector<uint8_t>* out,
+                   const char* what) {
+  out->resize(size);
+  for (size_t i = 0; i < size; ++i) {
+    uint64_t byte = 0;
+    if (!kernel.arena().CheckedRead(addr + i, 1, &byte, kernel.reports(), what)) {
+      return false;
+    }
+    (*out)[i] = static_cast<uint8_t>(byte);
+  }
+  return true;
+}
+
+uint64_t HelperMapLookup(Kernel& kernel, const uint64_t args[5]) {
+  Map* map = kernel.maps().FindByObjAddr(args[0]);
+  if (map == nullptr) {
+    return 0;
+  }
+  std::vector<uint8_t> key;
+  if (!CopyFromGuest(kernel, args[1], map->key_size(), &key, "bpf_map_lookup_elem")) {
+    return 0;
+  }
+  return map->Lookup(key.data());
+}
+
+uint64_t HelperMapUpdate(Kernel& kernel, const uint64_t args[5]) {
+  Map* map = kernel.maps().FindByObjAddr(args[0]);
+  if (map == nullptr) {
+    return static_cast<uint64_t>(-EINVAL);
+  }
+  std::vector<uint8_t> key;
+  std::vector<uint8_t> value;
+  if (!CopyFromGuest(kernel, args[1], map->key_size(), &key, "bpf_map_update_elem") ||
+      !CopyFromGuest(kernel, args[2], map->value_size(), &value, "bpf_map_update_elem")) {
+    return static_cast<uint64_t>(-EFAULT);
+  }
+  return static_cast<uint64_t>(map->Update(key.data(), value.data()));
+}
+
+uint64_t HelperMapDelete(Kernel& kernel, const uint64_t args[5]) {
+  Map* map = kernel.maps().FindByObjAddr(args[0]);
+  if (map == nullptr) {
+    return static_cast<uint64_t>(-EINVAL);
+  }
+  std::vector<uint8_t> key;
+  if (!CopyFromGuest(kernel, args[1], map->key_size(), &key, "bpf_map_delete_elem")) {
+    return static_cast<uint64_t>(-EFAULT);
+  }
+  return static_cast<uint64_t>(map->Delete(key.data()));
+}
+
+uint64_t HelperTracePrintk(Kernel& kernel, ExecContext& ctx, const uint64_t args[5]) {
+  const uint64_t fmt = args[0];
+  const uint64_t size = args[1] > 64 ? 64 : args[1];
+  std::vector<uint8_t> buf;
+  if (!CopyFromGuest(kernel, fmt, size, &buf, "bpf_trace_printk")) {
+    return static_cast<uint64_t>(-EFAULT);
+  }
+  // trace_printk serializes on an internal lock and passes through its own
+  // tracing attach point — the re-entrancy source of Table 2 bug #4.
+  kernel.lockdep().Acquire(kernel.lock_trace_printk(), ctx.lock_context());
+  kernel.tracepoints().Fire(TracepointId::kTracePrintk);
+  kernel.lockdep().Release(kernel.lock_trace_printk());
+  return size;
+}
+
+uint64_t HelperGetCurrentComm(Kernel& kernel, const uint64_t args[5]) {
+  const uint64_t buf = args[0];
+  const uint64_t size = args[1] > 16 ? 16 : args[1];
+  const char comm[] = "kworker/0:1";
+  for (uint64_t i = 0; i < size; ++i) {
+    const uint8_t byte = i < sizeof(comm) ? static_cast<uint8_t>(comm[i]) : 0;
+    if (!kernel.arena().CheckedWrite(buf + i, 1, byte, kernel.reports(),
+                                     "bpf_get_current_comm")) {
+      return static_cast<uint64_t>(-EFAULT);
+    }
+  }
+  return 0;
+}
+
+uint64_t HelperPerfEventOutput(Kernel& kernel, ExecContext& ctx, const uint64_t args[5]) {
+  const uint64_t data = args[3];
+  const uint64_t size = args[4] > 512 ? 512 : args[4];
+  std::vector<uint8_t> buf;
+  if (!CopyFromGuest(kernel, data, size, &buf, "bpf_perf_event_output")) {
+    return static_cast<uint64_t>(-EFAULT);
+  }
+  // Bug #10: the output path queues completion work with irq_work_queue()
+  // while running under the very lock that the irq_work path takes again.
+  // The fixed implementation uses a lockless ring instead.
+  if (kernel.bugs().bug10_irq_work && ctx.in_tracepoint) {
+    kernel.lockdep().Acquire(kernel.lock_rq(), ctx.lock_context());
+    kernel.lockdep().Release(kernel.lock_rq());
+  }
+  return 0;
+}
+
+uint64_t HelperSendSignal(Kernel& kernel, ExecContext& ctx, const uint64_t args[5]) {
+  if (ctx.in_irq) {
+    if (kernel.bugs().bug6_send_signal) {
+      // Bug #6: missing strict context check; queueing a signal against the
+      // interrupted task from irq context corrupts the signal state.
+      kernel.reports().Panic("bpf_send_signal",
+                             "signal delivery attempted from irq context");
+      return 0;
+    }
+    return static_cast<uint64_t>(-EPERM);
+  }
+  return 0;
+}
+
+uint64_t HelperRingbufOutput(Kernel& kernel, const uint64_t args[5]) {
+  Map* map = kernel.maps().FindByObjAddr(args[0]);
+  auto* ringbuf = dynamic_cast<RingbufMap*>(map);
+  if (ringbuf == nullptr) {
+    return static_cast<uint64_t>(-EINVAL);
+  }
+  return static_cast<uint64_t>(
+      ringbuf->Output(args[1], static_cast<uint32_t>(args[2])));
+}
+
+uint64_t HelperTaskStorageGet(Kernel& kernel, ExecContext& ctx, const uint64_t args[5]) {
+  Map* map = kernel.maps().FindByObjAddr(args[0]);
+  if (map == nullptr || map->def().type != MapType::kHash) {
+    return 0;
+  }
+  const uint64_t task = args[1];
+  const uint64_t flags = args[3];
+
+  // The storage bucket lock is contended: acquiring it raises the
+  // contention_begin tracepoint while the lock is held elsewhere. A program
+  // attached there that re-enters this helper re-acquires the same class —
+  // the Fig. 2 / Table 2 bug #5 deadlock shape.
+  kernel.lockdep().Acquire(kernel.lock_task_storage(), ctx.lock_context());
+  kernel.tracepoints().Fire(TracepointId::kContentionBegin);
+
+  std::vector<uint8_t> key(map->key_size(), 0);
+  std::memcpy(key.data(), &task, std::min<size_t>(sizeof(task), key.size()));
+  uint64_t value_addr = map->Lookup(key.data());
+  if (value_addr == 0 && (flags & 1) != 0) {
+    std::vector<uint8_t> zero(map->value_size(), 0);
+    map->Update(key.data(), zero.data());
+    value_addr = map->Lookup(key.data());
+  }
+  kernel.lockdep().Release(kernel.lock_task_storage());
+  return value_addr;
+}
+
+uint64_t HelperTaskStorageDelete(Kernel& kernel, ExecContext& ctx, const uint64_t args[5]) {
+  Map* map = kernel.maps().FindByObjAddr(args[0]);
+  if (map == nullptr || map->def().type != MapType::kHash) {
+    return static_cast<uint64_t>(-EINVAL);
+  }
+  const uint64_t task = args[1];
+  kernel.lockdep().Acquire(kernel.lock_task_storage(), ctx.lock_context());
+  kernel.tracepoints().Fire(TracepointId::kContentionBegin);
+  std::vector<uint8_t> key(map->key_size(), 0);
+  std::memcpy(key.data(), &task, std::min<size_t>(sizeof(task), key.size()));
+  const int err = map->Delete(key.data());
+  kernel.lockdep().Release(kernel.lock_task_storage());
+  return static_cast<uint64_t>(err);
+}
+
+}  // namespace
+
+uint64_t DispatchHelper(Kernel& kernel, ExecContext& ctx, int32_t helper_id,
+                        const uint64_t args[5]) {
+  switch (helper_id) {
+    case kHelperMapLookupElem:
+      return HelperMapLookup(kernel, args);
+    case kHelperMapUpdateElem:
+      return HelperMapUpdate(kernel, args);
+    case kHelperMapDeleteElem:
+      return HelperMapDelete(kernel, args);
+    case kHelperKtimeGetNs:
+      return kernel.NextKtime();
+    case kHelperTracePrintk:
+      return HelperTracePrintk(kernel, ctx, args);
+    case kHelperGetPrandomU32:
+      return kernel.NextPrandom();
+    case kHelperGetSmpProcessorId:
+      return 0;
+    case kHelperGetCurrentPidTgid:
+      return (2ull << 32) | 2ull;
+    case kHelperGetCurrentComm:
+      return HelperGetCurrentComm(kernel, args);
+    case kHelperPerfEventOutput:
+      return HelperPerfEventOutput(kernel, ctx, args);
+    case kHelperGetCurrentTask:
+    case kHelperGetCurrentTaskBtf:
+      return kernel.current_task_addr();
+    case kHelperSendSignal:
+      return HelperSendSignal(kernel, ctx, args);
+    case kHelperRingbufOutput:
+      return HelperRingbufOutput(kernel, args);
+    case kHelperTaskStorageGet:
+      return HelperTaskStorageGet(kernel, ctx, args);
+    case kHelperTaskStorageDelete:
+      return HelperTaskStorageDelete(kernel, ctx, args);
+    case kHelperLoop:
+      return 0;  // callback-less subset
+    default:
+      kernel.reports().Report(ReportKind::kWarn, "bpf_helper_dispatch",
+                              "call to unimplemented helper " + std::to_string(helper_id));
+      return 0;
+  }
+}
+
+uint64_t DispatchKfunc(Kernel& kernel, ExecContext& ctx, int32_t btf_func_id,
+                       const uint64_t args[5]) {
+  switch (btf_func_id) {
+    case kKfuncTaskAcquire:
+      kernel.TaskRefInc();
+      return args[0];
+    case kKfuncTaskRelease:
+      kernel.TaskRefDec();
+      return 0;
+    case kKfuncRcuReadLock:
+    case kKfuncRcuReadUnlock:
+      return 0;
+    default:
+      kernel.reports().Report(ReportKind::kWarn, "bpf_kfunc_dispatch",
+                              "call to unknown kfunc " + std::to_string(btf_func_id));
+      return 0;
+  }
+}
+
+}  // namespace bpf

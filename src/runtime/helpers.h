@@ -1,0 +1,26 @@
+// Runtime implementations of eBPF helper functions and kfuncs. The verifier
+// checks calls against src/verifier/helper_protos.h; this is the behaviour
+// behind them, including the lock acquisition / tracepoint firing chains that
+// drive the paper's indicator #2 bugs.
+
+#ifndef SRC_RUNTIME_HELPERS_H_
+#define SRC_RUNTIME_HELPERS_H_
+
+#include <cstdint>
+
+#include "src/runtime/exec_context.h"
+#include "src/runtime/kernel.h"
+
+namespace bpf {
+
+// Executes helper |helper_id| with R1-R5 in |args|. Returns the R0 value.
+uint64_t DispatchHelper(Kernel& kernel, ExecContext& ctx, int32_t helper_id,
+                        const uint64_t args[5]);
+
+// Executes kfunc |btf_func_id|. Returns the R0 value.
+uint64_t DispatchKfunc(Kernel& kernel, ExecContext& ctx, int32_t btf_func_id,
+                       const uint64_t args[5]);
+
+}  // namespace bpf
+
+#endif  // SRC_RUNTIME_HELPERS_H_

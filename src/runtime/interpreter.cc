@@ -1,0 +1,375 @@
+#include "src/runtime/interpreter.h"
+
+#include <cerrno>
+#include <vector>
+
+#include "src/runtime/helpers.h"
+#include "src/verifier/helper_protos.h"
+
+namespace bpf {
+
+namespace {
+
+uint64_t ByteSwap(uint64_t value, int width) {
+  switch (width) {
+    case 16:
+      return __builtin_bswap16(static_cast<uint16_t>(value));
+    case 32:
+      return __builtin_bswap32(static_cast<uint32_t>(value));
+    case 64:
+      return __builtin_bswap64(value);
+    default:
+      return value;
+  }
+}
+
+uint64_t AluOp64(uint8_t op, uint64_t dst, uint64_t src) {
+  switch (op) {
+    case kAluAdd:
+      return dst + src;
+    case kAluSub:
+      return dst - src;
+    case kAluMul:
+      return dst * src;
+    case kAluDiv:
+      return src == 0 ? 0 : dst / src;
+    case kAluOr:
+      return dst | src;
+    case kAluAnd:
+      return dst & src;
+    case kAluLsh:
+      return dst << (src & 63);
+    case kAluRsh:
+      return dst >> (src & 63);
+    case kAluMod:
+      return src == 0 ? dst : dst % src;
+    case kAluXor:
+      return dst ^ src;
+    case kAluMov:
+      return src;
+    case kAluArsh:
+      return static_cast<uint64_t>(static_cast<int64_t>(dst) >> (src & 63));
+    default:
+      return dst;
+  }
+}
+
+uint32_t AluOp32(uint8_t op, uint32_t dst, uint32_t src) {
+  switch (op) {
+    case kAluArsh:
+      return static_cast<uint32_t>(static_cast<int32_t>(dst) >> (src & 31));
+    case kAluLsh:
+      return dst << (src & 31);
+    case kAluRsh:
+      return dst >> (src & 31);
+    case kAluDiv:
+      return src == 0 ? 0 : dst / src;
+    case kAluMod:
+      return src == 0 ? dst : dst % src;
+    default:
+      return static_cast<uint32_t>(AluOp64(op, dst, src));
+  }
+}
+
+bool JmpTaken(uint8_t op, uint64_t dst, uint64_t src, bool is32) {
+  if (is32) {
+    dst = static_cast<uint32_t>(dst);
+    src = static_cast<uint32_t>(src);
+  }
+  const int64_t sdst = is32 ? static_cast<int32_t>(dst) : static_cast<int64_t>(dst);
+  const int64_t ssrc = is32 ? static_cast<int32_t>(src) : static_cast<int64_t>(src);
+  switch (op) {
+    case kJmpJeq:
+      return dst == src;
+    case kJmpJne:
+      return dst != src;
+    case kJmpJgt:
+      return dst > src;
+    case kJmpJge:
+      return dst >= src;
+    case kJmpJlt:
+      return dst < src;
+    case kJmpJle:
+      return dst <= src;
+    case kJmpJset:
+      return (dst & src) != 0;
+    case kJmpJsgt:
+      return sdst > ssrc;
+    case kJmpJsge:
+      return sdst >= ssrc;
+    case kJmpJslt:
+      return sdst < ssrc;
+    case kJmpJsle:
+      return sdst <= ssrc;
+    default:
+      return false;
+  }
+}
+
+struct CallFrame {
+  int return_pc;
+  uint64_t saved_regs[4];  // R6-R9
+  uint64_t saved_fp;
+  uint64_t stack_alloc;
+};
+
+}  // namespace
+
+ExecResult Interpreter::Run(const LoadedProgram& prog, ExecContext& ctx, uint64_t max_insns) {
+  ExecResult result;
+  KasanArena& arena = kernel_.arena();
+  ReportSink& sink = kernel_.reports();
+
+  uint64_t regs[kNumTotalRegs] = {};
+  regs[kR1] = ctx.ctx_addr;
+  regs[kR10] = ctx.fp;
+
+  std::vector<CallFrame> frames;
+  uint64_t call_counter = 0;
+  int pc = 0;
+  const auto& insns = prog.prog.insns;
+
+  auto abort_exec = [&](int err, const char* reason) {
+    result.err = err;
+    result.abort_reason = reason;
+  };
+
+  while (true) {
+    if (result.insns_executed++ >= max_insns) {
+      sink.Report(ReportKind::kWarn, "bpf_prog_run",
+                  "soft lockup: eBPF program exceeded the execution budget");
+      abort_exec(-ELOOP, "execution budget exceeded");
+      break;
+    }
+    if (pc < 0 || pc >= static_cast<int>(insns.size())) {
+      abort_exec(-EFAULT, "pc out of range");
+      break;
+    }
+    const Insn& insn = insns[pc];
+    const uint8_t cls = insn.Class();
+
+    // ---- ld_imm64 ----
+    if (insn.IsLdImm64()) {
+      regs[insn.dst] =
+          (static_cast<uint64_t>(static_cast<uint32_t>(insns[pc + 1].imm)) << 32) |
+          static_cast<uint32_t>(insn.imm);
+      pc += 2;
+      continue;
+    }
+
+    // ---- ALU ----
+    if (cls == kClassAlu64 || cls == kClassAlu) {
+      const uint8_t op = insn.AluOp();
+      if (op == kAluNeg) {
+        if (cls == kClassAlu64) {
+          regs[insn.dst] = static_cast<uint64_t>(-static_cast<int64_t>(regs[insn.dst]));
+        } else {
+          regs[insn.dst] = static_cast<uint32_t>(-static_cast<int32_t>(regs[insn.dst]));
+        }
+        ++pc;
+        continue;
+      }
+      if (op == kAluEnd) {
+        const bool to_be = (insn.opcode & 0x08) != 0;
+        uint64_t v = regs[insn.dst];
+        if (to_be) {
+          v = ByteSwap(v, insn.imm);
+        } else {
+          v = insn.imm >= 64 ? v : (v & ((1ull << insn.imm) - 1));
+        }
+        regs[insn.dst] = v;
+        ++pc;
+        continue;
+      }
+      const uint64_t src_val = insn.SrcIsReg()
+                                   ? regs[insn.src]
+                                   : (cls == kClassAlu64
+                                          ? static_cast<uint64_t>(static_cast<int64_t>(insn.imm))
+                                          : static_cast<uint32_t>(insn.imm));
+      if (cls == kClassAlu64) {
+        regs[insn.dst] = AluOp64(op, regs[insn.dst], src_val);
+      } else {
+        regs[insn.dst] = AluOp32(op, static_cast<uint32_t>(regs[insn.dst]),
+                                 static_cast<uint32_t>(src_val));
+      }
+      ++pc;
+      continue;
+    }
+
+    // ---- Loads ----
+    if (insn.IsMemLoad()) {
+      const uint64_t addr = regs[insn.src] + static_cast<int64_t>(insn.off);
+      const int size = insn.AccessBytes();
+      const AccessResult probe = arena.Classify(addr, size);
+      if (probe == AccessResult::kNull || probe == AccessResult::kWild) {
+        const bool btf_load = pc < static_cast<int>(prog.aux.size()) &&
+                              prog.aux[pc].mem_ptr_type == RegType::kPtrToBtfId;
+        if (btf_load) {
+          // PTR_TO_BTF_ID loads are exception-table handled: a faulting
+          // access reads as zero instead of oopsing.
+          regs[insn.dst] = 0;
+          ++pc;
+          continue;
+        }
+        arena.RawRead(addr, size, nullptr, sink, "bpf_prog_run");  // files the oops
+        abort_exec(-EFAULT, "page fault on load");
+        break;
+      }
+      uint64_t value = 0;
+      arena.RawRead(addr, size, &value, sink, "bpf_prog_run");
+      regs[insn.dst] = value;
+      ++pc;
+      continue;
+    }
+
+    // ---- Stores / atomics ----
+    if (insn.IsStore()) {
+      const uint64_t addr = regs[insn.dst] + static_cast<int64_t>(insn.off);
+      const int size = insn.AccessBytes();
+      if (insn.IsAtomic()) {
+        uint64_t old = 0;
+        if (!arena.RawRead(addr, size, &old, sink, "bpf_prog_run")) {
+          abort_exec(-EFAULT, "page fault on atomic");
+          break;
+        }
+        const uint64_t operand = regs[insn.src];
+        uint64_t updated = old;
+        switch (insn.imm & ~kAtomicFetch) {
+          case kAtomicAdd:
+            updated = old + operand;
+            break;
+          case kAtomicOr:
+            updated = old | operand;
+            break;
+          case kAtomicAnd:
+            updated = old & operand;
+            break;
+          case kAtomicXor:
+            updated = old ^ operand;
+            break;
+          default:
+            break;
+        }
+        if (insn.imm == kAtomicXchg) {
+          updated = operand;
+        } else if (insn.imm == kAtomicCmpXchg) {
+          updated = (old == regs[kR0]) ? operand : old;
+          regs[kR0] = old;
+        }
+        if (size == 4) {
+          updated = static_cast<uint32_t>(updated);
+        }
+        arena.RawWrite(addr, size, updated, sink, "bpf_prog_run");
+        if ((insn.imm & kAtomicFetch) != 0 || insn.imm == kAtomicXchg) {
+          regs[insn.src] = old;
+        }
+        ++pc;
+        continue;
+      }
+      const uint64_t value =
+          insn.Class() == kClassSt ? static_cast<uint64_t>(static_cast<int64_t>(insn.imm))
+                                   : regs[insn.src];
+      if (!arena.RawWrite(addr, size, value, sink, "bpf_prog_run")) {
+        abort_exec(-EFAULT, "page fault on store");
+        break;
+      }
+      ++pc;
+      continue;
+    }
+
+    // ---- Jumps, calls, exit ----
+    if (cls == kClassJmp || cls == kClassJmp32) {
+      const uint8_t op = insn.JmpOp();
+      if (op == kJmpJa) {
+        pc += 1 + insn.off;
+        continue;
+      }
+      if (op == kJmpExit) {
+        if (frames.empty()) {
+          result.r0 = regs[kR0];
+          break;
+        }
+        const CallFrame& frame = frames.back();
+        for (int i = 0; i < 4; ++i) {
+          regs[kR6 + i] = frame.saved_regs[i];
+        }
+        regs[kR10] = frame.saved_fp;
+        arena.Free(frame.stack_alloc);
+        pc = frame.return_pc;
+        frames.pop_back();
+        continue;
+      }
+      if (op == kJmpCall) {
+        if (insn.src == kPseudoCallFunc) {
+          if (frames.size() >= 8) {
+            abort_exec(-EFAULT, "call depth exceeded");
+            break;
+          }
+          CallFrame frame;
+          frame.return_pc = pc + 1;
+          for (int i = 0; i < 4; ++i) {
+            frame.saved_regs[i] = regs[kR6 + i];
+          }
+          frame.saved_fp = regs[kR10];
+          frame.stack_alloc =
+              arena.Alloc(kStackSize + kExtendedStackSize, "bpf_subprog_stack");
+          if (frame.stack_alloc == 0) {
+            abort_exec(-ENOMEM, "subprog stack allocation failed");
+            break;
+          }
+          regs[kR10] = frame.stack_alloc + kExtendedStackSize + kStackSize;
+          frames.push_back(frame);
+          pc = pc + 1 + insn.imm;
+          continue;
+        }
+        const uint64_t args[5] = {regs[kR1], regs[kR2], regs[kR3], regs[kR4], regs[kR5]};
+        if (insn.imm >= kInternalBase) {
+          // Internal (bpf_asan_*) dispatch: register-preserving except R0.
+          const InternalFn* fn = kernel_.FindInternalFunc(insn.imm);
+          if (fn == nullptr) {
+            abort_exec(-EFAULT, "unknown internal func");
+            break;
+          }
+          regs[kR0] = (*fn)(kernel_, ctx, args);
+          ++pc;
+          continue;
+        }
+        if (insn.src == kPseudoKfuncCall) {
+          regs[kR0] = DispatchKfunc(kernel_, ctx, insn.imm, args);
+        } else {
+          regs[kR0] = DispatchHelper(kernel_, ctx, insn.imm, args);
+        }
+        // Native calling convention clobbers the argument registers. The
+        // garbage left behind is what makes stale verifier bounds (bug #3)
+        // observable at runtime.
+        ++call_counter;
+        for (int r = kR1; r <= kR5; ++r) {
+          regs[r] = 0xdead0000beef0000ull ^ (call_counter << 8) ^ static_cast<uint64_t>(r);
+        }
+        ++pc;
+        continue;
+      }
+      // Conditional jump.
+      const uint64_t src_val = insn.SrcIsReg()
+                                   ? regs[insn.src]
+                                   : static_cast<uint64_t>(static_cast<int64_t>(insn.imm));
+      if (JmpTaken(op, regs[insn.dst], src_val, cls == kClassJmp32)) {
+        pc += 1 + insn.off;
+      } else {
+        ++pc;
+      }
+      continue;
+    }
+
+    abort_exec(-EINVAL, "unknown opcode");
+    break;
+  }
+
+  // Release any leaked subprogram stacks on abnormal exit.
+  for (const CallFrame& frame : frames) {
+    arena.Free(frame.stack_alloc);
+  }
+  return result;
+}
+
+}  // namespace bpf

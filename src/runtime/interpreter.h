@@ -1,0 +1,31 @@
+// eBPF execution engine. Stands in for the kernel's JIT + native execution:
+// memory accesses take the *uninstrumented* path (KasanArena::Raw*), so a
+// verifier-missed out-of-bounds access silently corrupts unless BVF's
+// sanitation rewrote the program to dispatch through bpf_asan_* functions.
+
+#ifndef SRC_RUNTIME_INTERPRETER_H_
+#define SRC_RUNTIME_INTERPRETER_H_
+
+#include <cstdint>
+
+#include "src/runtime/exec_context.h"
+#include "src/runtime/kernel.h"
+
+namespace bpf {
+
+class Interpreter {
+ public:
+  explicit Interpreter(Kernel& kernel) : kernel_(kernel) {}
+
+  // Executes |prog| in |ctx|. |max_insns| bounds runaway loops (the real
+  // kernel relies on the verifier; a missed unbounded loop here is reported
+  // as a soft lockup).
+  ExecResult Run(const LoadedProgram& prog, ExecContext& ctx, uint64_t max_insns = 1 << 18);
+
+ private:
+  Kernel& kernel_;
+};
+
+}  // namespace bpf
+
+#endif  // SRC_RUNTIME_INTERPRETER_H_

@@ -1,0 +1,85 @@
+#include "src/runtime/kernel.h"
+
+#include <cstring>
+
+namespace bpf {
+
+Kernel::Kernel(KernelVersion version, BugConfig bugs, size_t arena_size)
+    : version_(version),
+      bugs_(bugs),
+      arena_(arena_size),
+      alloc_(arena_),
+      lockdep_(reports_),
+      tracepoints_(reports_),
+      maps_(arena_, reports_) {
+  lock_trace_printk_ = lockdep_.RegisterClass("trace_printk_lock");
+  lock_task_storage_ = lockdep_.RegisterClass("bpf_task_storage_lock");
+  lock_rq_ = lockdep_.RegisterClass("rq_lock");
+  lock_irq_work_ = lockdep_.RegisterClass("irq_work_lock");
+
+  // Materialize the BTF object instances programs can reach. The current
+  // task is a kernel thread: pid/comm are filled in, mm stays NULL.
+  const BtfStruct* task = btf_.Find(kBtfTaskStruct);
+  const BtfStruct* file = btf_.Find(kBtfFile);
+  const BtfStruct* cgroup = btf_.Find(kBtfCgroup);
+  task_addr_ = arena_.Alloc(task->size, "task_struct");
+  file_addr_ = arena_.Alloc(file->size, "file");
+  cgroup_addr_ = arena_.Alloc(cgroup->size, "cgroup");
+
+  auto put = [&](uint64_t base, uint32_t off, uint64_t value, size_t size) {
+    uint8_t* host = arena_.HostPtr(base + off, size);
+    if (host != nullptr) {
+      std::memcpy(host, &value, size);
+    }
+  };
+  put(task_addr_, 16, 2, 4);                  // pid
+  put(task_addr_, 20, 2, 4);                  // tgid
+  put(task_addr_, 40, 0, 8);                  // mm = NULL (kernel thread)
+  put(task_addr_, 48, file_addr_, 8);         // files
+  put(task_addr_, 56, cgroup_addr_, 8);       // cgroup
+  put(task_addr_, 88, 120, 4);                // prio
+  put(task_addr_, 112, task_addr_, 8);        // parent = self (init-like)
+  put(task_addr_, 120, task_addr_, 8);        // real_parent
+  const char comm[] = "kworker/0:1";
+  uint8_t* host = arena_.HostPtr(task_addr_ + 24, sizeof(comm));
+  if (host != nullptr) {
+    std::memcpy(host, comm, sizeof(comm));
+  }
+  put(cgroup_addr_, 0, 1, 8);   // cgroup id
+  put(cgroup_addr_, 16, 0, 8);  // parent cgroup = NULL (root)
+}
+
+uint64_t Kernel::BtfObjAddr(int btf_struct_id) const {
+  switch (btf_struct_id) {
+    case kBtfTaskStruct:
+      return task_addr_;
+    case kBtfMmStruct:
+      return 0;  // current is a kernel thread: no mm
+    case kBtfFile:
+      return file_addr_;
+    case kBtfCgroup:
+      return cgroup_addr_;
+    default:
+      return 0;
+  }
+}
+
+void Kernel::RegisterInternalFunc(int32_t id, InternalFn fn) {
+  internal_funcs_[id] = std::move(fn);
+}
+
+const InternalFn* Kernel::FindInternalFunc(int32_t id) const {
+  auto it = internal_funcs_.find(id);
+  return it != internal_funcs_.end() ? &it->second : nullptr;
+}
+
+void Kernel::TaskRefDec() {
+  --task_refs_;
+  if (task_refs_ < 0) {
+    reports_.Report(ReportKind::kWarn, "bpf_task_release",
+                    "refcount underflow on task_struct");
+    task_refs_ = 0;
+  }
+}
+
+}  // namespace bpf

@@ -1,0 +1,106 @@
+// The simulated-kernel aggregate: wires together the arena, allocator, KASAN,
+// lockdep, tracepoints, BTF, and the map registry, and owns the runtime
+// instances of BTF-typed kernel objects ("current" task and friends).
+
+#ifndef SRC_RUNTIME_KERNEL_H_
+#define SRC_RUNTIME_KERNEL_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "src/kernel/alloc.h"
+#include "src/kernel/btf.h"
+#include "src/kernel/kasan.h"
+#include "src/kernel/lockdep.h"
+#include "src/kernel/report.h"
+#include "src/kernel/tracepoint.h"
+#include "src/maps/map.h"
+#include "src/verifier/bug_registry.h"
+#include "src/verifier/kernel_version.h"
+
+namespace bpf {
+
+struct ExecContext;
+class Kernel;
+
+// Signature of internal kernel functions callable from rewritten eBPF
+// programs (the bpf_asan_* dispatch targets). Register-preserving except R0.
+using InternalFn = std::function<uint64_t(Kernel&, ExecContext&, const uint64_t args[5])>;
+
+class Kernel {
+ public:
+  explicit Kernel(KernelVersion version, BugConfig bugs, size_t arena_size = 1u << 20);
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  ReportSink& reports() { return reports_; }
+  KasanArena& arena() { return arena_; }
+  KernelAllocator& alloc() { return alloc_; }
+  Lockdep& lockdep() { return lockdep_; }
+  TracepointRegistry& tracepoints() { return tracepoints_; }
+  const BtfRegistry& btf() const { return btf_; }
+  MapRegistry& maps() { return maps_; }
+
+  KernelVersion version() const { return version_; }
+  const BugConfig& bugs() const { return bugs_; }
+  BugConfig& mutable_bugs() { return bugs_; }
+
+  // Runtime addresses of the BTF object instances reachable from programs.
+  // Deliberately, mm_struct resolves to 0: the current task is a kernel
+  // thread, so `task->mm` is NULL at runtime even though its PTR_TO_BTF_ID
+  // typing is trusted non-null — the premise of Table 2 bug #1.
+  uint64_t BtfObjAddr(int btf_struct_id) const;
+  uint64_t current_task_addr() const { return task_addr_; }
+
+  // Well-known lock classes.
+  int lock_trace_printk() const { return lock_trace_printk_; }
+  int lock_task_storage() const { return lock_task_storage_; }
+  int lock_rq() const { return lock_rq_; }
+  int lock_irq_work() const { return lock_irq_work_; }
+
+  // Internal functions installed by rewrite passes (the sanitizer).
+  void RegisterInternalFunc(int32_t id, InternalFn fn);
+  const InternalFn* FindInternalFunc(int32_t id) const;
+
+  // Deterministic "entropy" sources for helpers.
+  uint64_t NextKtime() { return ktime_ += 1000; }
+  uint32_t NextPrandom() {
+    prandom_ = prandom_ * 1664525u + 1013904223u;
+    return prandom_;
+  }
+
+  // Acquired-task refcount (kfunc task_acquire/release bookkeeping).
+  void TaskRefInc() { ++task_refs_; }
+  void TaskRefDec();
+
+ private:
+  KernelVersion version_;
+  BugConfig bugs_;
+  ReportSink reports_;
+  KasanArena arena_;
+  KernelAllocator alloc_;
+  Lockdep lockdep_;
+  TracepointRegistry tracepoints_;
+  BtfRegistry btf_;
+  MapRegistry maps_;
+
+  uint64_t task_addr_ = 0;
+  uint64_t file_addr_ = 0;
+  uint64_t cgroup_addr_ = 0;
+
+  int lock_trace_printk_ = 0;
+  int lock_task_storage_ = 0;
+  int lock_rq_ = 0;
+  int lock_irq_work_ = 0;
+
+  std::map<int32_t, InternalFn> internal_funcs_;
+  uint64_t ktime_ = 1'000'000'000;
+  uint32_t prandom_ = 0x12345678;
+  int task_refs_ = 0;
+};
+
+}  // namespace bpf
+
+#endif  // SRC_RUNTIME_KERNEL_H_

@@ -1,0 +1,121 @@
+#include "src/sanitizer/asan_funcs.h"
+
+#include <cstdio>
+
+#include "src/verifier/helper_protos.h"
+
+namespace bpf {
+
+namespace {
+
+std::string Describe(uint64_t addr, int size, bool write) {
+  char buf[96];
+  snprintf(buf, sizeof(buf), "%s of size %d at 0x%016llx in verified program",
+           write ? "write" : "read", size, static_cast<unsigned long long>(addr));
+  return buf;
+}
+
+ReportKind KindFor(AccessResult result) {
+  switch (result) {
+    case AccessResult::kOob:
+      return ReportKind::kBpfAsanOob;
+    case AccessResult::kUseAfterFree:
+      return ReportKind::kBpfAsanUseAfterFree;
+    case AccessResult::kNull:
+      return ReportKind::kBpfAsanNullDeref;
+    default:
+      return ReportKind::kBpfAsanWild;
+  }
+}
+
+}  // namespace
+
+uint64_t BpfAsan::CheckLoad(Kernel& kernel, uint64_t addr, int size, bool null_ok) {
+  KasanArena& arena = kernel.arena();
+  const AccessResult result = arena.Classify(addr, size);
+  if (result == AccessResult::kOk) {
+    uint64_t value = 0;
+    arena.CopyOut(addr, &value, size);
+    return value;
+  }
+  if (null_ok && result == AccessResult::kNull) {
+    return 0;  // exception-table handled BTF load
+  }
+  std::string details = Describe(addr, size, /*write=*/false);
+  if (result == AccessResult::kOob) {
+    details += arena.DescribeNearest(addr, size);
+  }
+  kernel.reports().Report(KindFor(result), "bpf_asan_load", std::move(details));
+  return 0;
+}
+
+void BpfAsan::CheckStore(Kernel& kernel, uint64_t addr, uint64_t value, int size) {
+  KasanArena& arena = kernel.arena();
+  const AccessResult result = arena.Classify(addr, size);
+  if (result == AccessResult::kOk) {
+    arena.CopyIn(addr, &value, size);
+    return;
+  }
+  std::string details = Describe(addr, size, /*write=*/true);
+  if (result == AccessResult::kOob) {
+    details += arena.DescribeNearest(addr, size);
+  }
+  kernel.reports().Report(KindFor(result), "bpf_asan_store", std::move(details));
+}
+
+void BpfAsan::CheckAluPos(Kernel& kernel, uint64_t value, uint64_t limit) {
+  if (value > limit) {
+    char buf[96];
+    snprintf(buf, sizeof(buf), "runtime offset %llu exceeds alu_limit %llu",
+             static_cast<unsigned long long>(value), static_cast<unsigned long long>(limit));
+    kernel.reports().Report(ReportKind::kAluLimitViolation, "bpf_asan_alu", buf);
+  }
+}
+
+void BpfAsan::CheckAluNeg(Kernel& kernel, uint64_t value, uint64_t limit) {
+  const uint64_t magnitude = static_cast<uint64_t>(-static_cast<int64_t>(value));
+  if (static_cast<int64_t>(value) > 0 || magnitude > limit) {
+    char buf[96];
+    snprintf(buf, sizeof(buf), "runtime offset %lld outside negative alu_limit %llu",
+             static_cast<long long>(value), static_cast<unsigned long long>(limit));
+    kernel.reports().Report(ReportKind::kAluLimitViolation, "bpf_asan_alu", buf);
+  }
+}
+
+void BpfAsan::Register(Kernel& kernel) {
+  auto load = [](int size, bool null_ok) {
+    return [size, null_ok](Kernel& k, ExecContext&, const uint64_t args[5]) {
+      return BpfAsan::CheckLoad(k, args[0], size, null_ok);
+    };
+  };
+  auto store = [](int size) {
+    return [size](Kernel& k, ExecContext&, const uint64_t args[5]) {
+      BpfAsan::CheckStore(k, args[0], args[1], size);
+      return 0ull;
+    };
+  };
+  kernel.RegisterInternalFunc(kAsanLoad8, load(1, false));
+  kernel.RegisterInternalFunc(kAsanLoad16, load(2, false));
+  kernel.RegisterInternalFunc(kAsanLoad32, load(4, false));
+  kernel.RegisterInternalFunc(kAsanLoad64, load(8, false));
+  kernel.RegisterInternalFunc(kAsanLoadBtf8, load(1, true));
+  kernel.RegisterInternalFunc(kAsanLoadBtf16, load(2, true));
+  kernel.RegisterInternalFunc(kAsanLoadBtf32, load(4, true));
+  kernel.RegisterInternalFunc(kAsanLoadBtf64, load(8, true));
+  kernel.RegisterInternalFunc(kAsanStore8, store(1));
+  kernel.RegisterInternalFunc(kAsanStore16, store(2));
+  kernel.RegisterInternalFunc(kAsanStore32, store(4));
+  kernel.RegisterInternalFunc(kAsanStore64, store(8));
+  kernel.RegisterInternalFunc(kAsanAluCheckPos,
+                              [](Kernel& k, ExecContext&, const uint64_t args[5]) {
+                                BpfAsan::CheckAluPos(k, args[0], args[1]);
+                                return 0ull;
+                              });
+  kernel.RegisterInternalFunc(kAsanAluCheckNeg,
+                              [](Kernel& k, ExecContext&, const uint64_t args[5]) {
+                                BpfAsan::CheckAluNeg(k, args[0], args[1]);
+                                return 0ull;
+                              });
+}
+
+}  // namespace bpf

@@ -1,0 +1,38 @@
+// The bpf_asan_* sanitizing functions (paper §4.2 / §5, kernel patches 1-3):
+// kernel-resident, KASAN-instrumented functions that verified programs are
+// rewritten to dispatch their loads/stores through. A shadow-memory violation
+// observed here is the paper's indicator #1 — a correctness bug in the
+// verifier made concrete.
+
+#ifndef SRC_SANITIZER_ASAN_FUNCS_H_
+#define SRC_SANITIZER_ASAN_FUNCS_H_
+
+#include <cstdint>
+
+#include "src/kernel/kasan.h"
+#include "src/runtime/kernel.h"
+
+namespace bpf {
+
+// Friend of KasanArena: classifies accesses and files bpf-asan reports.
+class BpfAsan {
+ public:
+  // R1 = target address. Performs the checked load/store of |size| bytes.
+  // |null_ok| marks exception-handled PTR_TO_BTF_ID loads, whose NULL
+  // dereference the kernel fixes up rather than oopsing.
+  static uint64_t CheckLoad(Kernel& kernel, uint64_t addr, int size, bool null_ok);
+  static void CheckStore(Kernel& kernel, uint64_t addr, uint64_t value, int size);
+
+  // R1 = runtime scalar offset, R2 = limit. Asserts the offset lies within
+  // the bound the verifier derived (paper: assert(offset < alu_limit)).
+  static void CheckAluPos(Kernel& kernel, uint64_t value, uint64_t limit);
+  static void CheckAluNeg(Kernel& kernel, uint64_t value, uint64_t limit);
+
+  // Installs every bpf_asan_* entry into the kernel's internal-function
+  // table (the CONFIG_BPF_ASAN Kconfig switch).
+  static void Register(Kernel& kernel);
+};
+
+}  // namespace bpf
+
+#endif  // SRC_SANITIZER_ASAN_FUNCS_H_

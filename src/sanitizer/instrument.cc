@@ -1,0 +1,231 @@
+#include "src/sanitizer/instrument.h"
+
+#include "src/verifier/helper_protos.h"
+
+namespace bvf {
+
+using bpf::Insn;
+using bpf::InsnAux;
+using bpf::Program;
+using bpf::RegType;
+
+namespace {
+
+// Extended-stack backup slots (below the 512 visible bytes; see Fig. 5).
+constexpr int16_t kBackupR0 = -(bpf::kStackSize + 8);
+constexpr int16_t kBackupR2 = -(bpf::kStackSize + 16);
+
+int32_t AsanLoadId(int size, bool btf) {
+  switch (size) {
+    case 1:
+      return btf ? bpf::kAsanLoadBtf8 : bpf::kAsanLoad8;
+    case 2:
+      return btf ? bpf::kAsanLoadBtf16 : bpf::kAsanLoad16;
+    case 4:
+      return btf ? bpf::kAsanLoadBtf32 : bpf::kAsanLoad32;
+    default:
+      return btf ? bpf::kAsanLoadBtf64 : bpf::kAsanLoad64;
+  }
+}
+
+int32_t AsanStoreId(int size) {
+  switch (size) {
+    case 1:
+      return bpf::kAsanStore8;
+    case 2:
+      return bpf::kAsanStore16;
+    case 4:
+      return bpf::kAsanStore32;
+    default:
+      return bpf::kAsanStore64;
+  }
+}
+
+// Builds a load-style dispatch sequence (Fig. 5): backup, address setup,
+// call, restore. The original instruction follows the sequence. |base|/|off|
+// locate the access; |preserve_r0| is false only when the original load
+// overwrites R0 anyway.
+std::vector<Insn> BuildLoadStyleCheck(uint8_t base, int16_t off, int size, bool btf,
+                                      bool preserve_r0) {
+  std::vector<Insn> seq;
+  if (preserve_r0) {
+    seq.push_back(bpf::StoreMemReg(bpf::kSizeDw, bpf::kR10, bpf::kR0, kBackupR0));
+  }
+  seq.push_back(bpf::MovReg(bpf::kR11, bpf::kR1));
+  if (base != bpf::kR1) {
+    seq.push_back(bpf::MovReg(bpf::kR1, base));
+  }
+  if (off != 0) {
+    seq.push_back(bpf::AluImm(bpf::kAluAdd, bpf::kR1, off));
+  }
+  seq.push_back(bpf::CallHelper(AsanLoadId(size, btf)));
+  seq.push_back(bpf::MovReg(bpf::kR1, bpf::kR11));
+  if (preserve_r0) {
+    seq.push_back(bpf::LoadMem(bpf::kSizeDw, bpf::kR0, bpf::kR10, kBackupR0));
+  }
+  return seq;
+}
+
+std::vector<Insn> BuildLoadCheck(const Insn& insn, bool btf) {
+  // R0 need not be preserved only when the original load overwrites it
+  // anyway AND does not use it as the address base (the sanitizing call
+  // leaves the loaded value in R0, which would corrupt an R0 base).
+  const bool preserve_r0 = insn.dst != bpf::kR0 || insn.src == bpf::kR0;
+  return BuildLoadStyleCheck(insn.src, insn.off, insn.AccessBytes(), btf, preserve_r0);
+}
+
+// Builds the dispatch sequence for a store or atomic op. R2 carries the
+// stored value into the sanitizing function and must be preserved too.
+std::vector<Insn> BuildStoreCheck(const Insn& insn) {
+  std::vector<Insn> seq;
+  seq.push_back(bpf::StoreMemReg(bpf::kSizeDw, bpf::kR10, bpf::kR0, kBackupR0));
+  seq.push_back(bpf::MovReg(bpf::kR11, bpf::kR1));
+  seq.push_back(bpf::StoreMemReg(bpf::kSizeDw, bpf::kR10, bpf::kR2, kBackupR2));
+  if (insn.dst != bpf::kR1) {
+    seq.push_back(bpf::MovReg(bpf::kR1, insn.dst));
+  }
+  if (insn.off != 0) {
+    seq.push_back(bpf::AluImm(bpf::kAluAdd, bpf::kR1, insn.off));
+  }
+  if (insn.Class() == bpf::kClassSt) {
+    seq.push_back(bpf::MovImm(bpf::kR2, insn.imm));
+  } else if (insn.src == bpf::kR1) {
+    seq.push_back(bpf::MovReg(bpf::kR2, bpf::kR11));  // value was in (old) R1
+  } else if (insn.src != bpf::kR2) {
+    seq.push_back(bpf::MovReg(bpf::kR2, insn.src));
+  }
+  seq.push_back(bpf::CallHelper(AsanStoreId(insn.AccessBytes())));
+  seq.push_back(bpf::LoadMem(bpf::kSizeDw, bpf::kR2, bpf::kR10, kBackupR2));
+  seq.push_back(bpf::MovReg(bpf::kR1, bpf::kR11));
+  seq.push_back(bpf::LoadMem(bpf::kSizeDw, bpf::kR0, bpf::kR10, kBackupR0));
+  return seq;
+}
+
+// Builds the alu_limit assertion for a ptr<op>scalar instruction.
+std::vector<Insn> BuildAluCheck(const Insn& insn, const InsnAux& aux) {
+  std::vector<Insn> seq;
+  int32_t check_id;
+  uint64_t limit;
+  if (aux.alu_smin >= 0) {
+    check_id = bpf::kAsanAluCheckPos;
+    limit = static_cast<uint64_t>(aux.alu_smax);
+  } else if (aux.alu_smax <= 0 && aux.alu_smin != bpf::kS64Min) {
+    check_id = bpf::kAsanAluCheckNeg;
+    limit = static_cast<uint64_t>(-aux.alu_smin);
+  } else {
+    return seq;  // mixed-sign range: no single-direction limit (kernel skips too)
+  }
+
+  seq.push_back(bpf::StoreMemReg(bpf::kSizeDw, bpf::kR10, bpf::kR0, kBackupR0));
+  seq.push_back(bpf::MovReg(bpf::kR11, bpf::kR1));
+  seq.push_back(bpf::StoreMemReg(bpf::kSizeDw, bpf::kR10, bpf::kR2, kBackupR2));
+  if (aux.alu_scalar_reg != bpf::kR1) {
+    seq.push_back(bpf::MovReg(bpf::kR1, aux.alu_scalar_reg));
+  }
+  if (limit <= static_cast<uint64_t>(bpf::kS32Max)) {
+    seq.push_back(bpf::MovImm(bpf::kR2, static_cast<int32_t>(limit)));
+  } else {
+    seq.push_back(bpf::LdImm64Lo(bpf::kR2, 0, limit));
+    seq.push_back(bpf::LdImm64Hi(limit));
+  }
+  seq.push_back(bpf::CallHelper(check_id));
+  seq.push_back(bpf::LoadMem(bpf::kSizeDw, bpf::kR2, bpf::kR10, kBackupR2));
+  seq.push_back(bpf::MovReg(bpf::kR1, bpf::kR11));
+  seq.push_back(bpf::LoadMem(bpf::kSizeDw, bpf::kR0, bpf::kR10, kBackupR0));
+  return seq;
+}
+
+}  // namespace
+
+void Sanitizer::Instrument(Program& prog, std::vector<InsnAux>& aux) {
+  const size_t n = prog.insns.size();
+  stats_.programs += 1;
+  stats_.insns_before += n;
+
+  // Pass 1: build the check sequence for every original instruction.
+  std::vector<std::vector<Insn>> prefix(n);
+  for (size_t i = 0; i < n; ++i) {
+    const Insn& insn = prog.insns[i];
+    if (insn.IsLdImm64()) {
+      ++i;  // skip the hi slot
+      continue;
+    }
+    if (options_.skip_rewritten && aux[i].rewritten) {
+      ++stats_.skipped_rewritten;
+      continue;
+    }
+    if (options_.sanitize_alu && aux[i].alu_check) {
+      prefix[i] = BuildAluCheck(insn, aux[i]);
+      if (!prefix[i].empty()) {
+        ++stats_.alu_sites;
+      }
+      continue;
+    }
+    if (!options_.sanitize_mem) {
+      continue;
+    }
+    const bool is_mem = insn.IsMemLoad() || insn.IsMemStore() || insn.IsAtomic();
+    if (!is_mem) {
+      continue;
+    }
+    if (options_.skip_fp_const && aux[i].fp_const_access) {
+      // R10-relative constant accesses were fully validated against the
+      // fixed 512-byte stack bound at verification time (paper §4.2).
+      ++stats_.skipped_fp;
+      continue;
+    }
+    if (insn.IsMemLoad()) {
+      prefix[i] = BuildLoadCheck(insn, aux[i].mem_ptr_type == RegType::kPtrToBtfId);
+    } else if (insn.IsAtomic()) {
+      // Read-modify-write is not idempotent: check the target address with a
+      // load-style dispatch instead of pre-performing the store.
+      prefix[i] = BuildLoadStyleCheck(insn.dst, insn.off, insn.AccessBytes(),
+                                      /*btf=*/false, /*preserve_r0=*/true);
+    } else {
+      prefix[i] = BuildStoreCheck(insn);
+    }
+    ++stats_.mem_sites;
+  }
+
+  // Pass 2: compute new positions.
+  std::vector<int> new_pos(n + 1, 0);
+  int pos = 0;
+  for (size_t i = 0; i < n; ++i) {
+    new_pos[i] = pos;
+    pos += static_cast<int>(prefix[i].size()) + 1;
+  }
+  new_pos[n] = pos;
+
+  // Pass 3: emit, re-linking branch targets to group starts.
+  std::vector<Insn> out;
+  std::vector<InsnAux> out_aux;
+  out.reserve(pos);
+  out_aux.reserve(pos);
+  for (size_t i = 0; i < n; ++i) {
+    for (const Insn& check : prefix[i]) {
+      out.push_back(check);
+      InsnAux inserted;
+      inserted.rewritten = true;
+      out_aux.push_back(inserted);
+    }
+    Insn insn = prog.insns[i];
+    const int self = static_cast<int>(out.size());
+    const bool is_cond_or_ja =
+        insn.IsJmp() && insn.JmpOp() != bpf::kJmpCall && insn.JmpOp() != bpf::kJmpExit;
+    if (is_cond_or_ja) {
+      const int target_old = static_cast<int>(i) + 1 + insn.off;
+      insn.off = static_cast<int16_t>(new_pos[target_old] - (self + 1));
+    } else if (insn.IsBpfToBpfCall()) {
+      const int target_old = static_cast<int>(i) + 1 + insn.imm;
+      insn.imm = new_pos[target_old] - (self + 1);
+    }
+    out.push_back(insn);
+    out_aux.push_back(aux[i]);
+  }
+
+  stats_.insns_after += out.size();
+  prog.insns = std::move(out);
+  aux = std::move(out_aux);
+}
+
+}  // namespace bvf

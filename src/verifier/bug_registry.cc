@@ -1,0 +1,68 @@
+#include "src/verifier/bug_registry.h"
+
+namespace bpf {
+
+BugConfig BugConfig::All() {
+  BugConfig bugs;
+  bugs.bug1_nullness_propagation = true;
+  bugs.bug2_task_struct_bounds = true;
+  bugs.bug3_kfunc_backtrack = true;
+  bugs.bug4_trace_printk_recursion = true;
+  bugs.bug5_contention_begin = true;
+  bugs.bug6_send_signal = true;
+  bugs.bug7_dispatcher_sync = true;
+  bugs.bug8_kmemdup = true;
+  bugs.bug9_bucket_iteration = true;
+  bugs.bug10_irq_work = true;
+  bugs.bug11_xdp_offload = true;
+  bugs.cve_2022_23222 = true;
+  return bugs;
+}
+
+BugConfig BugConfig::ForVersion(KernelVersion version) {
+  BugConfig bugs;
+  switch (version) {
+    case KernelVersion::kV5_15:
+      // Pre-5.16 era: the CVE plus the long-standing bugs (#4 existed 4 years).
+      bugs.cve_2022_23222 = true;
+      bugs.bug4_trace_printk_recursion = true;
+      bugs.bug6_send_signal = true;
+      bugs.bug9_bucket_iteration = true;
+      break;
+    case KernelVersion::kV6_1:
+      bugs.bug2_task_struct_bounds = true;
+      bugs.bug4_trace_printk_recursion = true;
+      bugs.bug5_contention_begin = true;
+      bugs.bug6_send_signal = true;
+      bugs.bug8_kmemdup = true;
+      bugs.bug9_bucket_iteration = true;
+      bugs.bug10_irq_work = true;
+      break;
+    case KernelVersion::kBpfNext:
+      bugs = All();
+      bugs.cve_2022_23222 = false;  // fixed long before bpf-next
+      break;
+  }
+  return bugs;
+}
+
+int BugConfig::Count() const { return static_cast<int>(EnabledNames().size()); }
+
+std::vector<std::string> BugConfig::EnabledNames() const {
+  std::vector<std::string> names;
+  if (bug1_nullness_propagation) names.push_back("bug1_nullness_propagation");
+  if (bug2_task_struct_bounds) names.push_back("bug2_task_struct_bounds");
+  if (bug3_kfunc_backtrack) names.push_back("bug3_kfunc_backtrack");
+  if (bug4_trace_printk_recursion) names.push_back("bug4_trace_printk_recursion");
+  if (bug5_contention_begin) names.push_back("bug5_contention_begin");
+  if (bug6_send_signal) names.push_back("bug6_send_signal");
+  if (bug7_dispatcher_sync) names.push_back("bug7_dispatcher_sync");
+  if (bug8_kmemdup) names.push_back("bug8_kmemdup");
+  if (bug9_bucket_iteration) names.push_back("bug9_bucket_iteration");
+  if (bug10_irq_work) names.push_back("bug10_irq_work");
+  if (bug11_xdp_offload) names.push_back("bug11_xdp_offload");
+  if (cve_2022_23222) names.push_back("cve_2022_23222");
+  return names;
+}
+
+}  // namespace bpf

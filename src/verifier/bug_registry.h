@@ -1,0 +1,61 @@
+// Injectable-bug registry: the 11 vulnerabilities of Table 2 plus
+// CVE-2022-23222, each re-implemented as a faithful model of its documented
+// root cause. A fuzzing experiment needs bugs to find; re-injecting the real
+// root causes lets BVF rediscover them through the same mechanisms described
+// in the paper (see DESIGN.md §5 for the per-bug mapping).
+
+#ifndef SRC_VERIFIER_BUG_REGISTRY_H_
+#define SRC_VERIFIER_BUG_REGISTRY_H_
+
+#include <string>
+#include <vector>
+
+#include "src/verifier/kernel_version.h"
+
+namespace bpf {
+
+struct BugConfig {
+  // -- Verifier correctness bugs (Table 2 #1-#6) --
+  // #1: nullness propagation across `==` does not filter PTR_TO_BTF_ID.
+  bool bug1_nullness_propagation = false;
+  // #2: task_struct (BTF) access validated against the wrong object size.
+  bool bug2_task_struct_bounds = false;
+  // #3: kfunc-call handling corrupts backtracked scalar bounds of R0.
+  bool bug3_kfunc_backtrack = false;
+  // #4: programs calling bpf_trace_printk may attach to the trace_printk path.
+  bool bug4_trace_printk_recursion = false;
+  // #5: lock-acquiring helpers callable from progs attached to contention_begin.
+  bool bug5_contention_begin = false;
+  // #6: bpf_send_signal usable from unsafe (irq) context.
+  bool bug6_send_signal = false;
+
+  // -- Related eBPF-subsystem bugs (Table 2 #7-#11) --
+  // #7: dispatcher image swap without synchronization (null-deref window).
+  bool bug7_dispatcher_sync = false;
+  // #8: kmemdup() of rewritten insns fails past KMALLOC_MAX.
+  bool bug8_kmemdup = false;
+  // #9: htab batched lookup walks past the bucket on trylock failure.
+  bool bug9_bucket_iteration = false;
+  // #10: irq_work misuse in a helper re-acquires a held lock.
+  bool bug10_irq_work = false;
+  // #11: device-offloaded XDP program runnable on the host path.
+  bool bug11_xdp_offload = false;
+
+  // -- Historical: CVE-2022-23222, ALU permitted on nullable map pointers. --
+  bool cve_2022_23222 = false;
+
+  // All bugs off (a fully fixed kernel).
+  static BugConfig None() { return BugConfig{}; }
+  // All bugs on (the testing target of the RQ1 campaign).
+  static BugConfig All();
+  // The historical bug set live on a given version at the paper's time frame.
+  static BugConfig ForVersion(KernelVersion version);
+
+  // Number of enabled bugs.
+  int Count() const;
+  std::vector<std::string> EnabledNames() const;
+};
+
+}  // namespace bpf
+
+#endif  // SRC_VERIFIER_BUG_REGISTRY_H_

@@ -1,0 +1,494 @@
+// ALU instruction checking: scalar bounds arithmetic (adjust_scalar_min_max_
+// vals) and pointer arithmetic (adjust_ptr_min_max_vals), including the
+// alu_limit bookkeeping consumed by BVF's sanitation and the CVE-2022-23222
+// injectable bug (ALU permitted on nullable pointers).
+
+#include <cerrno>
+
+#include "src/kernel/coverage.h"
+#include "src/verifier/checker.h"
+
+namespace bpf {
+
+namespace {
+
+bool AddOverflows(int64_t a, int64_t b) {
+  int64_t out;
+  return __builtin_add_overflow(a, b, &out);
+}
+
+bool SubOverflows(int64_t a, int64_t b) {
+  int64_t out;
+  return __builtin_sub_overflow(a, b, &out);
+}
+
+bool UAddOverflows(uint64_t a, uint64_t b) { return a + b < a; }
+
+}  // namespace
+
+int Checker::CheckAluOp(VerifierState& state, const Insn& insn, int idx) {
+  const bool is64 = insn.Class() == kClassAlu64;
+  const uint8_t op = insn.AluOp();
+  BVF_COV_IDX(32, (op >> 4) + (is64 ? 16 : 0));
+
+  if (int err = CheckRegWrite(state, insn.dst, idx); err != 0) {
+    return err;
+  }
+
+  // Unary operations.
+  if (op == kAluNeg || op == kAluEnd) {
+    BVF_COV();
+    if (int err = CheckRegRead(state, insn.dst, idx); err != 0) {
+      return err;
+    }
+    RegState& dst = Reg(state, insn.dst);
+    if (dst.type != RegType::kScalar) {
+      BVF_COV();
+      Log("insn %d: %s on pointer prohibited", idx, op == kAluNeg ? "neg" : "bswap");
+      return -EACCES;
+    }
+    if (op == kAluNeg && dst.IsConst()) {
+      dst.MarkKnown(is64 ? -dst.ConstValue()
+                         : static_cast<uint32_t>(-static_cast<uint32_t>(dst.ConstValue())));
+    } else {
+      dst.MarkUnknown();
+      if (!is64 || (op == kAluEnd && insn.imm < 64)) {
+        dst.ZExt32();
+      }
+    }
+    return 0;
+  }
+
+  // MOV.
+  if (op == kAluMov) {
+    RegState& dst = Reg(state, insn.dst);
+    if (insn.SrcIsReg()) {
+      if (int err = CheckRegRead(state, insn.src, idx); err != 0) {
+        return err;
+      }
+      const RegState& src = Reg(state, insn.src);
+      if (is64) {
+        BVF_COV();
+        dst = src;
+      } else {
+        BVF_COV();
+        if (IsPointerType(src.type)) {
+          // W-mov of a pointer leaks the low 32 bits as an unknown scalar.
+          dst.MarkUnknown();
+          dst.ZExt32();
+        } else {
+          dst = src;
+          dst.id = 0;
+          dst.ZExt32();
+        }
+      }
+    } else {
+      BVF_COV();
+      if (is64) {
+        dst.MarkKnown(static_cast<uint64_t>(static_cast<int64_t>(insn.imm)));
+      } else {
+        dst.MarkKnown(static_cast<uint32_t>(insn.imm));
+      }
+    }
+    return 0;
+  }
+
+  // Binary operations.
+  if (int err = CheckRegRead(state, insn.dst, idx); err != 0) {
+    return err;
+  }
+  RegState src_val;
+  if (insn.SrcIsReg()) {
+    if (int err = CheckRegRead(state, insn.src, idx); err != 0) {
+      return err;
+    }
+    src_val = Reg(state, insn.src);
+  } else {
+    src_val = RegState::Known(is64 ? static_cast<uint64_t>(static_cast<int64_t>(insn.imm))
+                                   : static_cast<uint32_t>(insn.imm));
+  }
+
+  RegState& dst = Reg(state, insn.dst);
+  const bool dst_is_ptr = IsPointerType(dst.type);
+  const bool src_is_ptr = IsPointerType(src_val.type);
+
+  if (dst_is_ptr || src_is_ptr) {
+    return AdjustPtrAlu(state, insn, idx, dst, src_val, dst_is_ptr);
+  }
+
+  // Self-aliasing identities the pointwise transfer cannot see: x^x == 0 and
+  // x-x == 0.
+  if (insn.SrcIsReg() && insn.src == insn.dst && dst.type == RegType::kScalar &&
+      (op == kAluXor || op == kAluSub)) {
+    BVF_COV();
+    dst.MarkKnown(0);
+    return 0;
+  }
+
+  AdjustScalarAlu(state, insn, dst, src_val);
+  return 0;
+}
+
+int Checker::AdjustPtrAlu(VerifierState& state, const Insn& insn, int idx, RegState& dst,
+                          const RegState& src_val, bool dst_is_ptr) {
+  const uint8_t op = insn.AluOp();
+  const bool is64 = insn.Class() == kClassAlu64;
+
+  if (!is64) {
+    BVF_COV();
+    Log("insn %d: 32-bit ALU on pointer produces partial pointer", idx);
+    return -EACCES;
+  }
+  if (op != kAluAdd && op != kAluSub) {
+    BVF_COV();
+    Log("insn %d: pointer arithmetic with prohibited operator", idx);
+    return -EACCES;
+  }
+  if (dst_is_ptr && IsPointerType(src_val.type)) {
+    BVF_COV();
+    Log("insn %d: pointer %s pointer prohibited", idx, op == kAluAdd ? "+" : "-");
+    return -EACCES;
+  }
+
+  // Normalize: ptr op scalar. scalar + ptr commutes for ADD only.
+  RegState ptr;
+  RegState scalar;
+  bool scalar_is_dst_reg = false;
+  if (dst_is_ptr) {
+    ptr = dst;
+    scalar = src_val;
+  } else {
+    if (op == kAluSub) {
+      BVF_COV();
+      Log("insn %d: scalar - pointer prohibited", idx);
+      return -EACCES;
+    }
+    BVF_COV();
+    ptr = src_val;
+    scalar = dst;
+    scalar_is_dst_reg = true;
+  }
+
+  // Which pointer types may participate in arithmetic.
+  switch (ptr.type) {
+    case RegType::kPtrToStack:
+    case RegType::kPtrToMapValue:
+    case RegType::kPtrToPacket:
+    case RegType::kPtrToMem:
+    case RegType::kPtrToBtfId:
+      break;
+    case RegType::kPtrToCtx:
+      if (!scalar.IsConst()) {
+        BVF_COV();
+        Log("insn %d: variable offset on ctx pointer prohibited", idx);
+        return -EACCES;
+      }
+      break;
+    case RegType::kPtrToMapValueOrNull:
+    case RegType::kPtrToMemOrNull:
+      if (!env_.bugs.cve_2022_23222) {
+        BVF_COV();
+        Log("insn %d: pointer arithmetic on %s prohibited, null-check it first", idx,
+            RegTypeName(ptr.type));
+        return -EACCES;
+      }
+      // CVE-2022-23222: the check above was missing for *_or_null types; the
+      // offset silently accumulates while the null-branch later marks the
+      // register as constant zero.
+      BVF_COV();
+      break;
+    default:
+      BVF_COV();
+      Log("insn %d: pointer arithmetic on %s prohibited", idx, RegTypeName(ptr.type));
+      return -EACCES;
+  }
+
+  RegState result = ptr;
+
+  if (scalar.IsConst()) {
+    BVF_COV();
+    const int64_t delta = static_cast<int64_t>(scalar.ConstValue());
+    const int64_t signed_delta = op == kAluAdd ? delta : -delta;
+    const int64_t new_off = static_cast<int64_t>(result.off) + signed_delta;
+    if (new_off < kS32Min || new_off > kS32Max) {
+      BVF_COV();
+      Log("insn %d: pointer offset %lld out of range", idx, static_cast<long long>(new_off));
+      return -EACCES;
+    }
+    result.off = static_cast<int32_t>(new_off);
+  } else {
+    // Variable offset: fold the scalar into the pointer's variable part.
+    BVF_COV();
+    if (op == kAluAdd) {
+      result.var_off = TnumAdd(ptr.var_off, scalar.var_off);
+      if (AddOverflows(ptr.smin, scalar.smin) || AddOverflows(ptr.smax, scalar.smax)) {
+        result.smin = kS64Min;
+        result.smax = kS64Max;
+      } else {
+        result.smin = ptr.smin + scalar.smin;
+        result.smax = ptr.smax + scalar.smax;
+      }
+      if (UAddOverflows(ptr.umax, scalar.umax)) {
+        result.umin = 0;
+        result.umax = kU64Max;
+      } else {
+        result.umin = ptr.umin + scalar.umin;
+        result.umax = ptr.umax + scalar.umax;
+      }
+    } else {
+      result.var_off = TnumSub(ptr.var_off, scalar.var_off);
+      if (SubOverflows(ptr.smin, scalar.smax) || SubOverflows(ptr.smax, scalar.smin)) {
+        result.smin = kS64Min;
+        result.smax = kS64Max;
+      } else {
+        result.smin = ptr.smin - scalar.smax;
+        result.smax = ptr.smax - scalar.smin;
+      }
+      result.umin = 0;
+      result.umax = kU64Max;
+    }
+    result.Set32Unbounded();
+    result.Sync();
+    if (!result.BoundsSane()) {
+      result.var_off = TnumUnknown();
+      result.SetUnboundedBounds();
+    }
+
+    // Record the sanitation oracle (paper §4.2): at runtime the scalar must
+    // lie within the range the verifier believed here; a violation means the
+    // range analysis itself was wrong.
+    if (features_.sanitize_alu_limit) {
+      BVF_COV();
+      InsnAux& aux = aux_[idx];
+      aux.alu_check = true;
+      aux.alu_scalar_reg = scalar_is_dst_reg ? insn.dst : insn.src;
+      aux.alu_smin = scalar.smin;
+      aux.alu_smax = scalar.smax;
+    }
+
+    // Variable stack offsets are not supported by our (and old kernels')
+    // stack tracking.
+    if (ptr.type == RegType::kPtrToStack) {
+      BVF_COV();
+      Log("insn %d: variable offset stack pointer prohibited", idx);
+      return -EACCES;
+    }
+  }
+
+  // Packet pointer arithmetic invalidates the verified range when moving
+  // backwards; keep it simple and reset on any variable change.
+  if (result.type == RegType::kPtrToPacket && !scalar.IsConst()) {
+    result.pkt_range = 0;
+  }
+
+  dst = result;
+  return 0;
+}
+
+void Checker::AdjustScalarAlu(VerifierState& state, const Insn& insn, RegState& dst,
+                              RegState src_val) {
+  ScalarAluTransfer(insn, dst, std::move(src_val));
+}
+
+void ScalarAluTransfer(const Insn& insn, RegState& dst, RegState src_val) {
+  const bool is64 = insn.Class() == kClassAlu64;
+  const uint8_t op = insn.AluOp();
+
+  if (!is64) {
+    // 32-bit ALU: compute through the tnum domain on truncated operands,
+    // then rebuild the bounds. Sound, at the cost of some range precision.
+    BVF_COV();
+    dst.var_off = TnumCast(dst.var_off, 4);
+    src_val.var_off = TnumCast(src_val.var_off, 4);
+  }
+
+  const bool both_const = dst.IsConst() && src_val.IsConst();
+  Tnum result = TnumUnknown();
+  bool bounds_valid = false;  // whether smin/smax/umin/umax below are usable
+  int64_t smin = kS64Min, smax = kS64Max;
+  uint64_t umin = 0, umax = kU64Max;
+
+  switch (op) {
+    case kAluAdd:
+      BVF_COV();
+      result = TnumAdd(dst.var_off, src_val.var_off);
+      if (is64) {
+        // Signed and unsigned ranges survive independently (as in the
+        // kernel): an overflow on one side only forfeits that side.
+        bounds_valid = true;
+        if (!AddOverflows(dst.smin, src_val.smin) && !AddOverflows(dst.smax, src_val.smax)) {
+          smin = dst.smin + src_val.smin;
+          smax = dst.smax + src_val.smax;
+        }
+        if (!UAddOverflows(dst.umax, src_val.umax)) {
+          umin = dst.umin + src_val.umin;
+          umax = dst.umax + src_val.umax;
+        }
+      }
+      break;
+    case kAluSub:
+      BVF_COV();
+      result = TnumSub(dst.var_off, src_val.var_off);
+      if (is64) {
+        bounds_valid = true;
+        if (!SubOverflows(dst.smin, src_val.smax) && !SubOverflows(dst.smax, src_val.smin)) {
+          smin = dst.smin - src_val.smax;
+          smax = dst.smax - src_val.smin;
+        }
+        if (dst.umin >= src_val.umax) {  // no unsigned underflow possible
+          umin = dst.umin - src_val.umax;
+          umax = dst.umax - src_val.umin;
+        }
+      }
+      break;
+    case kAluMul:
+      BVF_COV();
+      result = TnumMul(dst.var_off, src_val.var_off);
+      if (is64 && dst.smin >= 0 && src_val.smin >= 0 && dst.umax <= kU32Max &&
+          src_val.umax <= kU32Max) {
+        bounds_valid = true;
+        smin = static_cast<int64_t>(dst.umin * src_val.umin);
+        smax = static_cast<int64_t>(dst.umax * src_val.umax);
+        umin = dst.umin * src_val.umin;
+        umax = dst.umax * src_val.umax;
+      }
+      break;
+    case kAluAnd:
+      BVF_COV();
+      result = TnumAnd(dst.var_off, src_val.var_off);
+      if (is64) {
+        bounds_valid = true;
+        umin = result.value;
+        umax = std::min(dst.umax, src_val.umax);
+        if (dst.smin < 0 || src_val.smin < 0) {
+          smin = kS64Min;
+          smax = kS64Max;
+        } else {
+          smin = static_cast<int64_t>(umin);
+          smax = static_cast<int64_t>(umax);
+        }
+      }
+      break;
+    case kAluOr:
+      BVF_COV();
+      result = TnumOr(dst.var_off, src_val.var_off);
+      if (is64) {
+        bounds_valid = true;
+        umin = std::max(dst.umin, src_val.umin);
+        umax = result.value | result.mask;
+        if (dst.smin < 0 || src_val.smin < 0) {
+          smin = kS64Min;
+          smax = kS64Max;
+        } else {
+          smin = static_cast<int64_t>(umin);
+          smax = static_cast<int64_t>(umax);
+        }
+      }
+      break;
+    case kAluXor:
+      BVF_COV();
+      result = TnumXor(dst.var_off, src_val.var_off);
+      break;
+    case kAluLsh:
+      if (src_val.IsConst() && src_val.ConstValue() < (is64 ? 64u : 32u)) {
+        BVF_COV();
+        const uint8_t shift = static_cast<uint8_t>(src_val.ConstValue());
+        result = TnumLshift(dst.var_off, shift);
+        if (is64 && shift < 64 && dst.umax <= (kU64Max >> shift)) {
+          bounds_valid = true;
+          umin = dst.umin << shift;
+          umax = dst.umax << shift;
+          if (static_cast<int64_t>(umax) >= 0) {
+            smin = static_cast<int64_t>(umin);
+            smax = static_cast<int64_t>(umax);
+          }
+        }
+      }
+      break;
+    case kAluRsh:
+      if (src_val.IsConst() && src_val.ConstValue() < (is64 ? 64u : 32u)) {
+        BVF_COV();
+        const uint8_t shift = static_cast<uint8_t>(src_val.ConstValue());
+        result = TnumRshift(dst.var_off, shift);
+        if (is64) {
+          bounds_valid = true;
+          umin = dst.umin >> shift;
+          umax = dst.umax >> shift;
+          smin = static_cast<int64_t>(umin);
+          smax = static_cast<int64_t>(umax);
+        }
+      }
+      break;
+    case kAluArsh:
+      if (src_val.IsConst() && src_val.ConstValue() < (is64 ? 64u : 32u)) {
+        BVF_COV();
+        const uint8_t shift = static_cast<uint8_t>(src_val.ConstValue());
+        result = TnumArshift(dst.var_off, shift, is64 ? 64 : 32);
+        if (is64) {
+          bounds_valid = true;
+          smin = dst.smin >> shift;
+          smax = dst.smax >> shift;
+          umin = 0;
+          umax = kU64Max;
+        }
+      }
+      break;
+    case kAluDiv:
+      // BPF division is unsigned; division by zero yields zero at runtime,
+      // so the result never exceeds the dividend.
+      BVF_COV();
+      if (both_const && src_val.ConstValue() != 0) {
+        result = TnumConst(is64 ? dst.ConstValue() / src_val.ConstValue()
+                                : static_cast<uint32_t>(dst.ConstValue()) /
+                                      static_cast<uint32_t>(src_val.ConstValue()));
+      } else if (is64) {
+        // Unsigned division never exceeds the dividend. Signed bounds stay
+        // open: results >= 2^63 are negative when reinterpreted.
+        bounds_valid = true;
+        umin = 0;
+        umax = dst.umax;
+        if (umax <= static_cast<uint64_t>(kS64Max)) {
+          smin = 0;
+          smax = static_cast<int64_t>(umax);
+        }
+      }
+      break;
+    case kAluMod:
+      BVF_COV();
+      if (both_const && src_val.ConstValue() != 0) {
+        result = TnumConst(is64 ? dst.ConstValue() % src_val.ConstValue()
+                                : static_cast<uint32_t>(dst.ConstValue()) %
+                                      static_cast<uint32_t>(src_val.ConstValue()));
+      } else if (is64 && src_val.IsConst() && src_val.ConstValue() != 0) {
+        // x % c < c (the divisor is a known non-zero constant here).
+        bounds_valid = true;
+        umin = 0;
+        umax = src_val.ConstValue() - 1;
+        if (umax <= static_cast<uint64_t>(kS64Max)) {
+          smin = 0;
+          smax = static_cast<int64_t>(umax);
+        }
+      }
+      break;
+    default:
+      break;
+  }
+
+  dst.MarkUnknown();
+  dst.var_off = result;
+  if (bounds_valid) {
+    dst.smin = smin;
+    dst.smax = smax;
+    dst.umin = umin;
+    dst.umax = umax;
+  }
+  dst.Sync();
+  if (!dst.BoundsSane()) {
+    dst.MarkUnknown();
+  }
+  if (!is64) {
+    dst.ZExt32();
+  }
+}
+
+}  // namespace bpf

@@ -1,0 +1,303 @@
+// Call checking: helper contracts (check_helper_call), kfunc contracts with
+// acquire/release reference tracking (carrying injectable bug #3), and
+// bpf-to-bpf pseudo calls with inline frame walking.
+
+#include <cerrno>
+
+#include "src/kernel/coverage.h"
+#include "src/verifier/checker.h"
+
+namespace bpf {
+
+int Checker::CheckCallArgs(VerifierState& state, const ArgType* args, const char* name,
+                           int idx, const Map** map_out) {
+  const Map* map = nullptr;
+  int pending_mem_reg = -1;
+  bool pending_mem_write = false;
+
+  for (int i = 0; i < 5; ++i) {
+    const int regno = kR1 + i;
+    switch (args[i]) {
+      case ArgType::kNone:
+        continue;
+      case ArgType::kAnything:
+        BVF_COV();
+        if (int err = CheckRegRead(state, regno, idx); err != 0) {
+          return err;
+        }
+        break;
+      case ArgType::kScalar:
+        BVF_COV();
+        if (int err = CheckRegRead(state, regno, idx); err != 0) {
+          return err;
+        }
+        if (Reg(state, regno).type != RegType::kScalar) {
+          BVF_COV();
+          Log("insn %d: %s arg%d expects scalar, got %s", idx, name, i + 1,
+              RegTypeName(Reg(state, regno).type));
+          return -EACCES;
+        }
+        break;
+      case ArgType::kConstMapPtr:
+        BVF_COV();
+        if (int err = CheckRegRead(state, regno, idx); err != 0) {
+          return err;
+        }
+        if (Reg(state, regno).type != RegType::kConstPtrToMap) {
+          BVF_COV();
+          Log("insn %d: %s arg%d expects map pointer, got %s", idx, name, i + 1,
+              RegTypeName(Reg(state, regno).type));
+          return -EACCES;
+        }
+        map = FindMap(Reg(state, regno).map_id);
+        if (map != nullptr) {
+          BVF_COV_IDX(4, static_cast<int>(map->def().type));
+        }
+        if (map == nullptr) {
+          Log("insn %d: %s arg%d references vanished map", idx, name, i + 1);
+          return -EFAULT;
+        }
+        break;
+      case ArgType::kPtrToMapKey:
+        BVF_COV();
+        if (map == nullptr) {
+          Log("insn %d: %s arg%d key without preceding map arg", idx, name, i + 1);
+          return -EACCES;
+        }
+        if (int err = CheckHelperMemArg(state, regno, static_cast<int>(map->key_size()),
+                                        /*is_store=*/false, "map key", idx);
+            err != 0) {
+          return err;
+        }
+        break;
+      case ArgType::kPtrToMapValue:
+        BVF_COV();
+        if (map == nullptr) {
+          Log("insn %d: %s arg%d value without preceding map arg", idx, name, i + 1);
+          return -EACCES;
+        }
+        if (int err = CheckHelperMemArg(state, regno, static_cast<int>(map->value_size()),
+                                        /*is_store=*/false, "map value", idx);
+            err != 0) {
+          return err;
+        }
+        break;
+      case ArgType::kPtrToMemRo:
+      case ArgType::kPtrToMemWo:
+        BVF_COV();
+        if (int err = CheckRegRead(state, regno, idx); err != 0) {
+          return err;
+        }
+        pending_mem_reg = regno;
+        pending_mem_write = args[i] == ArgType::kPtrToMemWo;
+        break;
+      case ArgType::kConstSize: {
+        BVF_COV();
+        if (int err = CheckRegRead(state, regno, idx); err != 0) {
+          return err;
+        }
+        const RegState& size_reg = Reg(state, regno);
+        if (size_reg.type != RegType::kScalar) {
+          BVF_COV();
+          Log("insn %d: %s arg%d size must be scalar", idx, name, i + 1);
+          return -EACCES;
+        }
+        if (size_reg.umax > 4096 || size_reg.umin == 0) {
+          BVF_COV();
+          Log("insn %d: %s arg%d size unbounded or zero (umin=%llu umax=%llu)", idx, name,
+              i + 1, static_cast<unsigned long long>(size_reg.umin),
+              static_cast<unsigned long long>(size_reg.umax));
+          return -EACCES;
+        }
+        if (pending_mem_reg < 0) {
+          Log("insn %d: %s arg%d size without memory argument", idx, name, i + 1);
+          return -EACCES;
+        }
+        if (int err = CheckHelperMemArg(state, pending_mem_reg,
+                                        static_cast<int>(size_reg.umax), pending_mem_write,
+                                        "helper memory", idx);
+            err != 0) {
+          return err;
+        }
+        pending_mem_reg = -1;
+        break;
+      }
+      case ArgType::kPtrToCtx:
+        BVF_COV();
+        if (int err = CheckRegRead(state, regno, idx); err != 0) {
+          return err;
+        }
+        if (Reg(state, regno).type != RegType::kPtrToCtx) {
+          BVF_COV();
+          Log("insn %d: %s arg%d expects ctx, got %s", idx, name, i + 1,
+              RegTypeName(Reg(state, regno).type));
+          return -EACCES;
+        }
+        break;
+      case ArgType::kPtrToBtfTask:
+        BVF_COV();
+        if (int err = CheckRegRead(state, regno, idx); err != 0) {
+          return err;
+        }
+        if (Reg(state, regno).type != RegType::kPtrToBtfId ||
+            Reg(state, regno).btf_id != kBtfTaskStruct) {
+          BVF_COV();
+          Log("insn %d: %s arg%d expects task_struct pointer, got %s", idx, name, i + 1,
+              RegTypeName(Reg(state, regno).type));
+          return -EACCES;
+        }
+        break;
+    }
+  }
+  if (map_out != nullptr) {
+    *map_out = map;
+  }
+  return 0;
+}
+
+int Checker::CheckHelperCall(VerifierState& state, const Insn& insn, int idx) {
+  const HelperProto* proto = FindHelperProto(insn.imm, env_.version, prog_.type);
+  if (proto == nullptr) {
+    BVF_COV();
+    Log("insn %d: unknown or unavailable helper func#%d", idx, insn.imm);
+    return -EINVAL;
+  }
+  BVF_COV();
+  BVF_COV_IDX(kMaxHelperOrdinals, HelperOrdinal(proto->id));
+
+  const Map* map = nullptr;
+  if (int err = CheckCallArgs(state, proto->args, proto->name, idx, &map); err != 0) {
+    return err;
+  }
+
+  res_.helpers_used.push_back(proto->id);
+  res_.uses_lock_helper |= proto->acquires_lock;
+  res_.uses_printk_helper |= proto->calls_printk;
+  res_.uses_signal_helper |= proto->sends_signal;
+  res_.uses_irqwork_helper |= proto->uses_irq_work;
+
+  // Caller-saved registers are clobbered by the call.
+  for (int r = kR1; r <= kR5; ++r) {
+    Reg(state, r) = RegState::NotInit();
+  }
+
+  RegState& r0 = Reg(state, kR0);
+  switch (proto->ret) {
+    case RetType::kInteger:
+    case RetType::kVoid:
+      BVF_COV();
+      r0.MarkUnknown();
+      break;
+    case RetType::kPtrToMapValueOrNull:
+      BVF_COV();
+      r0 = RegState::Pointer(RegType::kPtrToMapValueOrNull);
+      r0.map_id = map != nullptr ? map->id() : 0;
+      r0.id = NextId();
+      break;
+    case RetType::kPtrToBtfTask:
+      BVF_COV();
+      r0 = RegState::Pointer(RegType::kPtrToBtfId);
+      r0.btf_id = kBtfTaskStruct;
+      break;
+    case RetType::kPtrToBtfTaskOrNull:
+      BVF_COV();
+      r0 = RegState::Pointer(RegType::kPtrToBtfId);
+      r0.btf_id = kBtfTaskStruct;
+      break;
+  }
+  return 0;
+}
+
+int Checker::CheckKfuncCall(VerifierState& state, const Insn& insn, int idx) {
+  const KfuncProto* proto = FindKfuncProto(insn.imm, env_.version);
+  if (proto == nullptr) {
+    BVF_COV();
+    Log("insn %d: calling invalid kfunc#%d", idx, insn.imm);
+    return -EINVAL;
+  }
+  BVF_COV();
+  BVF_COV_IDX(kMaxKfuncOrdinals, KfuncOrdinal(proto->btf_func_id));
+
+  const int arg0_ref = Reg(state, kR1).ref_obj_id;
+  if (int err = CheckCallArgs(state, proto->args, proto->name, idx, nullptr); err != 0) {
+    return err;
+  }
+  if (proto->releases_ref) {
+    BVF_COV();
+    if (arg0_ref == 0 || !state.ReleaseRef(arg0_ref)) {
+      BVF_COV();
+      Log("insn %d: %s releasing unacquired reference", idx, proto->name);
+      return -EINVAL;
+    }
+    // Invalidate every register carrying the released object.
+    for (FuncState& frame : state.frames) {
+      for (int r = 0; r < kNumProgRegs; ++r) {
+        if (frame.regs[r].ref_obj_id == arg0_ref) {
+          frame.regs[r] = RegState::NotInit();
+        }
+      }
+    }
+  }
+
+  res_.kfuncs_used.push_back(proto->btf_func_id);
+
+  // Bug #3: mishandled backtracking around kfunc calls leaves the caller-
+  // saved registers' pre-call states in place. At runtime the native call
+  // clobbers R1-R5, so any bound the verifier "remembers" is fiction.
+  if (env_.bugs.bug3_kfunc_backtrack) {
+    BVF_COV();
+  } else {
+    for (int r = kR1; r <= kR5; ++r) {
+      Reg(state, r) = RegState::NotInit();
+    }
+  }
+
+  RegState& r0 = Reg(state, kR0);
+  switch (proto->ret) {
+    case RetType::kPtrToBtfTask:
+      BVF_COV();
+      r0 = RegState::Pointer(RegType::kPtrToBtfId);
+      r0.btf_id = kBtfTaskStruct;
+      if (proto->acquires_ref) {
+        r0.ref_obj_id = static_cast<int>(NextId());
+        state.AddRef(r0.ref_obj_id);
+      }
+      break;
+    case RetType::kVoid:
+      BVF_COV();
+      r0 = RegState::NotInit();
+      break;
+    default:
+      BVF_COV();
+      r0.MarkUnknown();
+      break;
+  }
+  return 0;
+}
+
+int Checker::CheckPseudoCall(VerifierState& state, const Insn& insn, int idx, int* next) {
+  const int target = idx + 1 + insn.imm;
+  if (target < 0 || target >= static_cast<int>(prog_.insns.size())) {
+    BVF_COV();
+    Log("insn %d: pseudo call target %d out of range", idx, target);
+    return -EINVAL;
+  }
+  if (state.frame_depth() >= kMaxCallFrames) {
+    BVF_COV();
+    Log("insn %d: the call stack of %d frames is too deep", idx, state.frame_depth());
+    return -E2BIG;
+  }
+  // Arguments must be initialized (the callee may read any of R1-R5).
+  BVF_COV();
+  FuncState callee;
+  for (int r = kR1; r <= kR5; ++r) {
+    callee.regs[r] = Reg(state, r);
+  }
+  callee.regs[kR10] = RegState::Pointer(RegType::kPtrToStack);
+  callee.callsite = idx;
+  state.frames.push_back(callee);
+  *next = target;
+  return 0;
+}
+
+}  // namespace bpf

@@ -1,0 +1,545 @@
+// Conditional-jump checking: branch-outcome evaluation from bounds
+// (is_branch_taken), per-branch range refinement (reg_set_min_max), null-
+// pointer branch marking, packet range discovery, and the nullness
+// propagation feature carrying injectable bug #1.
+
+#include <algorithm>
+#include <cerrno>
+
+#include "src/kernel/coverage.h"
+#include "src/verifier/checker.h"
+
+namespace bpf {
+
+// Branch outcome: 1 taken, 0 not taken, -1 unknown.
+int BranchOutcome(const RegState& reg, uint64_t val, uint8_t op, bool is32) {
+  if (is32) {
+    val = static_cast<uint32_t>(val);  // JMP32 compares the subregisters
+  }
+  const uint64_t umin = is32 ? reg.u32_min : reg.umin;
+  const uint64_t umax = is32 ? reg.u32_max : reg.umax;
+  const int64_t smin = is32 ? reg.s32_min : reg.smin;
+  const int64_t smax = is32 ? reg.s32_max : reg.smax;
+  const int64_t sval = is32 ? static_cast<int64_t>(static_cast<int32_t>(val))
+                            : static_cast<int64_t>(val);
+  const Tnum var = is32 ? TnumSubreg(reg.var_off) : reg.var_off;
+
+  switch (op) {
+    case kJmpJeq:
+      if (var.IsConst() && var.value == val) {
+        return 1;
+      }
+      if (!var.Contains(val) || val < umin || val > umax ||
+          sval < smin || sval > smax) {
+        return 0;
+      }
+      return -1;
+    case kJmpJne: {
+      const int eq = BranchOutcome(reg, val, kJmpJeq, is32);
+      return eq < 0 ? -1 : 1 - eq;
+    }
+    case kJmpJgt:
+      if (umin > val) return 1;
+      if (umax <= val) return 0;
+      return -1;
+    case kJmpJge:
+      if (umin >= val) return 1;
+      if (umax < val) return 0;
+      return -1;
+    case kJmpJlt:
+      if (umax < val) return 1;
+      if (umin >= val) return 0;
+      return -1;
+    case kJmpJle:
+      if (umax <= val) return 1;
+      if (umin > val) return 0;
+      return -1;
+    case kJmpJsgt:
+      if (smin > sval) return 1;
+      if (smax <= sval) return 0;
+      return -1;
+    case kJmpJsge:
+      if (smin >= sval) return 1;
+      if (smax < sval) return 0;
+      return -1;
+    case kJmpJslt:
+      if (smax < sval) return 1;
+      if (smin >= sval) return 0;
+      return -1;
+    case kJmpJsle:
+      if (smax <= sval) return 1;
+      if (smin > sval) return 0;
+      return -1;
+    case kJmpJset:
+      if ((var.value & val) != 0) return 1;
+      if (((var.value | var.mask) & val) == 0) return 0;
+      return -1;
+    default:
+      return -1;
+  }
+}
+
+namespace {
+
+// The op that holds on the fall-through path of `op`.
+uint8_t InverseOp(uint8_t op) {
+  switch (op) {
+    case kJmpJeq:
+      return kJmpJne;
+    case kJmpJne:
+      return kJmpJeq;
+    case kJmpJgt:
+      return kJmpJle;
+    case kJmpJge:
+      return kJmpJlt;
+    case kJmpJlt:
+      return kJmpJge;
+    case kJmpJle:
+      return kJmpJgt;
+    case kJmpJsgt:
+      return kJmpJsle;
+    case kJmpJsge:
+      return kJmpJslt;
+    case kJmpJslt:
+      return kJmpJsge;
+    case kJmpJsle:
+      return kJmpJsgt;
+    default:
+      return op;  // JSET handled separately
+  }
+}
+
+}  // namespace
+
+// Refines |reg| knowing `reg <op> val` holds (64- or 32-bit comparison).
+void RefineScalarAgainstConst(RegState& reg, uint8_t op, uint64_t val, bool is32) {
+  if (reg.type != RegType::kScalar) {
+    return;
+  }
+  if (is32) {
+    val = static_cast<uint32_t>(val);  // JMP32 compares the subregisters
+  }
+  BVF_COV_IDX(32, (op >> 4) + (is32 ? 16 : 0));
+  const int64_t sval = is32 ? static_cast<int64_t>(static_cast<int32_t>(val))
+                            : static_cast<int64_t>(val);
+  switch (op) {
+    case kJmpJeq:
+      if (is32) {
+        reg.u32_min = std::max(reg.u32_min, static_cast<uint32_t>(val));
+        reg.u32_max = std::min(reg.u32_max, static_cast<uint32_t>(val));
+        reg.s32_min = std::max(reg.s32_min, static_cast<int32_t>(val));
+        reg.s32_max = std::min(reg.s32_max, static_cast<int32_t>(val));
+        reg.var_off = TnumWithSubreg(
+            reg.var_off, TnumIntersect(TnumSubreg(reg.var_off), TnumConst(val)));
+      } else {
+        reg.var_off = TnumIntersect(reg.var_off, TnumConst(val));
+        reg.umin = std::max(reg.umin, val);
+        reg.umax = std::min(reg.umax, val);
+        reg.smin = std::max(reg.smin, sval);
+        reg.smax = std::min(reg.smax, sval);
+      }
+      break;
+    case kJmpJne:
+      break;  // a single excluded point rarely tightens interval bounds
+    case kJmpJgt:
+      if (val == (is32 ? static_cast<uint64_t>(kU32Max) : kU64Max)) {
+        break;
+      }
+      if (is32) {
+        reg.u32_min = std::max(reg.u32_min, static_cast<uint32_t>(val) + 1);
+      } else {
+        reg.umin = std::max(reg.umin, val + 1);
+      }
+      break;
+    case kJmpJge:
+      if (is32) {
+        reg.u32_min = std::max(reg.u32_min, static_cast<uint32_t>(val));
+      } else {
+        reg.umin = std::max(reg.umin, val);
+      }
+      break;
+    case kJmpJlt:
+      if (val == 0) {
+        break;
+      }
+      if (is32) {
+        reg.u32_max = std::min(reg.u32_max, static_cast<uint32_t>(val) - 1);
+      } else {
+        reg.umax = std::min(reg.umax, val - 1);
+      }
+      break;
+    case kJmpJle:
+      if (is32) {
+        reg.u32_max = std::min(reg.u32_max, static_cast<uint32_t>(val));
+      } else {
+        reg.umax = std::min(reg.umax, val);
+      }
+      break;
+    case kJmpJsgt:
+      if (sval == (is32 ? kS32Max : kS64Max)) {
+        break;
+      }
+      if (is32) {
+        reg.s32_min = std::max(reg.s32_min, static_cast<int32_t>(sval) + 1);
+      } else {
+        reg.smin = std::max(reg.smin, sval + 1);
+      }
+      break;
+    case kJmpJsge:
+      if (is32) {
+        reg.s32_min = std::max(reg.s32_min, static_cast<int32_t>(sval));
+      } else {
+        reg.smin = std::max(reg.smin, sval);
+      }
+      break;
+    case kJmpJslt:
+      if (sval == (is32 ? kS32Min : kS64Min)) {
+        break;
+      }
+      if (is32) {
+        reg.s32_max = std::min(reg.s32_max, static_cast<int32_t>(sval) - 1);
+      } else {
+        reg.smax = std::min(reg.smax, sval - 1);
+      }
+      break;
+    case kJmpJsle:
+      if (is32) {
+        reg.s32_max = std::min(reg.s32_max, static_cast<int32_t>(sval));
+      } else {
+        reg.smax = std::min(reg.smax, sval);
+      }
+      break;
+    default:
+      break;
+  }
+  reg.Sync();
+  if (!reg.BoundsSane()) {
+    // Contradictory branch: this path is dead; collapse to a harmless const.
+    reg.MarkKnown(is32 ? static_cast<uint32_t>(val) : val);
+  }
+}
+
+namespace {
+
+// Refines both registers knowing `a <op> b` holds; reg-reg form uses each
+// other's interval endpoints.
+void RefineScalarVsScalar(RegState& a, RegState& b, uint8_t op, bool is32) {
+  if (a.type != RegType::kScalar || b.type != RegType::kScalar) {
+    return;
+  }
+  if (b.IsConst()) {
+    RefineScalarAgainstConst(a, op, is32 ? TnumSubreg(b.var_off).value : b.ConstValue(), is32);
+    return;
+  }
+  if (a.IsConst()) {
+    // a <op> b  <=>  b <inverse-direction op> a
+    uint8_t flipped = op;
+    switch (op) {
+      case kJmpJgt: flipped = kJmpJlt; break;
+      case kJmpJge: flipped = kJmpJle; break;
+      case kJmpJlt: flipped = kJmpJgt; break;
+      case kJmpJle: flipped = kJmpJge; break;
+      case kJmpJsgt: flipped = kJmpJslt; break;
+      case kJmpJsge: flipped = kJmpJsle; break;
+      case kJmpJslt: flipped = kJmpJsgt; break;
+      case kJmpJsle: flipped = kJmpJsge; break;
+      default: break;
+    }
+    RefineScalarAgainstConst(b, flipped, is32 ? TnumSubreg(a.var_off).value : a.ConstValue(), is32);
+    return;
+  }
+  if (is32) {
+    return;  // interval-vs-interval refinement kept to the 64-bit domain
+  }
+  switch (op) {
+    case kJmpJgt:
+      if (b.umin != kU64Max) a.umin = std::max(a.umin, b.umin + 1);
+      if (a.umax != 0) b.umax = std::min(b.umax, a.umax - 1);
+      break;
+    case kJmpJge:
+      a.umin = std::max(a.umin, b.umin);
+      b.umax = std::min(b.umax, a.umax);
+      break;
+    case kJmpJlt:
+      if (b.umax != 0) a.umax = std::min(a.umax, b.umax - 1);
+      if (a.umin != kU64Max) b.umin = std::max(b.umin, a.umin + 1);
+      break;
+    case kJmpJle:
+      a.umax = std::min(a.umax, b.umax);
+      b.umin = std::max(b.umin, a.umin);
+      break;
+    case kJmpJsgt:
+      if (b.smin != kS64Max) a.smin = std::max(a.smin, b.smin + 1);
+      if (a.smax != kS64Min) b.smax = std::min(b.smax, a.smax - 1);
+      break;
+    case kJmpJsge:
+      a.smin = std::max(a.smin, b.smin);
+      b.smax = std::min(b.smax, a.smax);
+      break;
+    case kJmpJslt:
+      if (b.smax != kS64Min) a.smax = std::min(a.smax, b.smax - 1);
+      if (a.smin != kS64Max) b.smin = std::max(b.smin, a.smin + 1);
+      break;
+    case kJmpJsle:
+      a.smax = std::min(a.smax, b.smax);
+      b.smin = std::max(b.smin, a.smin);
+      break;
+    case kJmpJeq: {
+      a.umin = b.umin = std::max(a.umin, b.umin);
+      a.umax = b.umax = std::min(a.umax, b.umax);
+      a.smin = b.smin = std::max(a.smin, b.smin);
+      a.smax = b.smax = std::min(a.smax, b.smax);
+      const Tnum both = TnumIntersect(a.var_off, b.var_off);
+      a.var_off = b.var_off = both;
+      break;
+    }
+    default:
+      break;
+  }
+  a.Sync();
+  b.Sync();
+  if (!a.BoundsSane()) {
+    a.MarkUnknown();
+  }
+  if (!b.BoundsSane()) {
+    b.MarkUnknown();
+  }
+}
+
+}  // namespace
+
+void Checker::MarkPtrOrNull(VerifierState& state, uint32_t id, bool is_null) {
+  if (id == 0) {
+    return;
+  }
+  auto mark = [&](RegState& reg) {
+    if (!IsOrNullType(reg.type) || reg.id != id) {
+      return;
+    }
+    if (is_null) {
+      // The kernel marks the register as a known-zero scalar. Note this
+      // deliberately discards any accumulated offset: with CVE-2022-23222's
+      // missing ALU filter that discard is exactly the exploited flaw.
+      const int map_id = 0;
+      (void)map_id;
+      reg.MarkKnown(0);
+    } else {
+      reg.type = NonNullVariant(reg.type);
+      reg.id = 0;
+    }
+  };
+  for (FuncState& frame : state.frames) {
+    for (int i = 0; i < kNumProgRegs; ++i) {
+      mark(frame.regs[i]);
+    }
+    for (int i = 0; i < kStackSlots; ++i) {
+      if (frame.stack[i].type == SlotType::kSpill) {
+        mark(frame.stack[i].spilled_reg);
+      }
+    }
+  }
+}
+
+void Checker::FindGoodPktPointers(VerifierState& state, uint32_t pkt_id, uint16_t range) {
+  if (pkt_id == 0 || range == 0) {
+    return;
+  }
+  auto improve = [&](RegState& reg) {
+    if (reg.type == RegType::kPtrToPacket && reg.id == pkt_id) {
+      reg.pkt_range = std::max(reg.pkt_range, range);
+    }
+  };
+  for (FuncState& frame : state.frames) {
+    for (int i = 0; i < kNumProgRegs; ++i) {
+      improve(frame.regs[i]);
+    }
+    for (int i = 0; i < kStackSlots; ++i) {
+      if (frame.stack[i].type == SlotType::kSpill) {
+        improve(frame.stack[i].spilled_reg);
+      }
+    }
+  }
+}
+
+int Checker::CheckCondJmp(VerifierState& state, const Insn& insn, int idx, int* next) {
+  const bool is32 = insn.Class() == kClassJmp32;
+  const uint8_t op = insn.JmpOp();
+  BVF_COV_IDX(32, (op >> 4) + (is32 ? 16 : 0));
+
+  if (int err = CheckRegRead(state, insn.dst, idx); err != 0) {
+    return err;
+  }
+  RegState src_val;
+  if (insn.SrcIsReg()) {
+    if (int err = CheckRegRead(state, insn.src, idx); err != 0) {
+      return err;
+    }
+    src_val = Reg(state, insn.src);
+  } else {
+    src_val = RegState::Known(is32 ? static_cast<uint32_t>(insn.imm)
+                                   : static_cast<uint64_t>(static_cast<int64_t>(insn.imm)));
+  }
+
+  const RegState dst_val = Reg(state, insn.dst);
+  const int taken_idx = idx + 1 + insn.off;
+  const int fall_idx = idx + 1;
+
+  const bool dst_is_ptr = IsPointerType(dst_val.type);
+  const bool src_is_ptr = IsPointerType(src_val.type);
+
+  // ---- Null-pointer checks: `if rX == 0` / `if rX != 0` on OR_NULL types.
+  const bool src_is_zero = src_val.type == RegType::kScalar && src_val.var_off.EqualsConst(0);
+  if (IsOrNullType(dst_val.type) && src_is_zero && (op == kJmpJeq || op == kJmpJne) && !is32) {
+    BVF_COV();
+    VerifierState taken = state;
+    MarkPtrOrNull(taken, dst_val.id, /*is_null=*/op == kJmpJeq);
+    MarkPtrOrNull(state, dst_val.id, /*is_null=*/op != kJmpJeq);
+    PushBranch(taken_idx, std::move(taken), taken_idx <= idx);
+    *next = fall_idx;
+    return 0;
+  }
+
+  // ---- Packet range discovery: pkt pointer vs pkt_end comparisons.
+  if (!is32 && insn.SrcIsReg() &&
+      ((dst_val.type == RegType::kPtrToPacket && src_val.type == RegType::kPtrToPacketEnd) ||
+       (dst_val.type == RegType::kPtrToPacketEnd && src_val.type == RegType::kPtrToPacket))) {
+    BVF_COV();
+    const bool pkt_is_dst = dst_val.type == RegType::kPtrToPacket;
+    const RegState& pkt = pkt_is_dst ? dst_val : src_val;
+    const uint16_t range =
+        pkt.off > 0 && pkt.off <= 0xffff ? static_cast<uint16_t>(pkt.off) : 0;
+
+    VerifierState taken = state;
+    // In which branch does `data + off <= data_end` hold?
+    bool good_in_taken = false;
+    bool good_in_fall = false;
+    switch (op) {
+      case kJmpJle:
+        good_in_taken = pkt_is_dst;
+        good_in_fall = !pkt_is_dst;
+        break;
+      case kJmpJlt:
+        good_in_taken = pkt_is_dst;
+        good_in_fall = !pkt_is_dst;
+        break;
+      case kJmpJgt:
+        good_in_taken = !pkt_is_dst;
+        good_in_fall = pkt_is_dst;
+        break;
+      case kJmpJge:
+        good_in_taken = !pkt_is_dst;
+        good_in_fall = pkt_is_dst;
+        break;
+      default:
+        break;
+    }
+    if (good_in_taken) {
+      FindGoodPktPointers(taken, pkt.id, range);
+    }
+    if (good_in_fall) {
+      FindGoodPktPointers(state, pkt.id, range);
+    }
+    PushBranch(taken_idx, std::move(taken), taken_idx <= idx);
+    *next = fall_idx;
+    return 0;
+  }
+
+  // ---- Nullness propagation across pointer equality (bpf-next feature,
+  // commit bfeae75856ab; carries injectable bug #1).
+  if (features_.nullness_propagation && !is32 && insn.SrcIsReg() && dst_is_ptr && src_is_ptr &&
+      (op == kJmpJeq || op == kJmpJne)) {
+    BVF_COV();
+    VerifierState taken = state;
+    VerifierState* eq_state = op == kJmpJeq ? &taken : &state;
+
+    auto propagate = [&](const RegState& nullable, const RegState& other) {
+      if (!IsOrNullType(nullable.type) || IsOrNullType(other.type)) {
+        return;
+      }
+      // Fixed behaviour (the paper's patch, Listing 3): skip the propagation
+      // entirely when either register is PTR_TO_BTF_ID, whose "non-null"
+      // typing is not trustworthy at runtime. Bug #1 omits this filter.
+      if (!env_.bugs.bug1_nullness_propagation &&
+          (nullable.type == RegType::kPtrToBtfId || other.type == RegType::kPtrToBtfId)) {
+        BVF_COV();
+        return;
+      }
+      BVF_COV();
+      // `nullable == other` and `other` is (believed) non-null, so in the
+      // equal path `nullable` is marked non-null.
+      MarkPtrOrNull(*eq_state, nullable.id, /*is_null=*/false);
+    };
+    propagate(dst_val, src_val);
+    propagate(src_val, dst_val);
+
+    PushBranch(taken_idx, std::move(taken), taken_idx <= idx);
+    *next = fall_idx;
+    return 0;
+  }
+
+  // ---- Pointer/scalar or mixed-pointer comparisons: no refinement, both
+  // branches feasible (the kernel restricts some of these for unprivileged
+  // loads; we follow the privileged behaviour).
+  if (dst_is_ptr || src_is_ptr) {
+    BVF_COV();
+    VerifierState taken = state;
+    PushBranch(taken_idx, std::move(taken), taken_idx <= idx);
+    *next = fall_idx;
+    return 0;
+  }
+
+  // ---- Scalar comparison: evaluate statically when the bounds decide it.
+  if (src_val.IsConst() || !insn.SrcIsReg()) {
+    const uint64_t val =
+        is32 ? TnumSubreg(src_val.var_off).value : src_val.ConstValue();
+    const int taken = BranchOutcome(dst_val, val, op, is32);
+    if (taken == 1) {
+      BVF_COV();
+      *next = taken_idx;
+      return 0;
+    }
+    if (taken == 0) {
+      BVF_COV();
+      *next = fall_idx;
+      return 0;
+    }
+  }
+
+  // Unknown outcome: explore both branches with refined bounds. Dedicated
+  // 32-bit refinement only exists from v6.1 on (the jmp32_bounds feature);
+  // earlier kernels explore JMP32 branches without tightening.
+  BVF_COV();
+  VerifierState taken_state = state;
+  if (is32 && !features_.jmp32_bounds) {
+    BVF_COV();
+    PushBranch(taken_idx, std::move(taken_state), taken_idx <= idx);
+    *next = fall_idx;
+    return 0;
+  }
+  if (insn.SrcIsReg()) {
+    RefineScalarVsScalar(taken_state.regs()[insn.dst], taken_state.regs()[insn.src], op, is32);
+    if (op != kJmpJset) {
+      RefineScalarVsScalar(state.regs()[insn.dst], state.regs()[insn.src], InverseOp(op), is32);
+    }
+  } else {
+    const uint64_t val = is32 ? static_cast<uint32_t>(insn.imm)
+                              : static_cast<uint64_t>(static_cast<int64_t>(insn.imm));
+    RefineScalarAgainstConst(taken_state.regs()[insn.dst], op, val, is32);
+    if (op == kJmpJset) {
+      // Fall-through of JSET: the tested bits are all known zero.
+      RegState& reg = state.regs()[insn.dst];
+      if (reg.type == RegType::kScalar) {
+        reg.var_off.mask &= ~val;
+        reg.var_off.value &= ~val;
+        reg.Sync();
+      }
+    } else {
+      RefineScalarAgainstConst(state.regs()[insn.dst], InverseOp(op), val, is32);
+    }
+  }
+  PushBranch(taken_idx, std::move(taken_state), taken_idx <= idx);
+  *next = fall_idx;
+  return 0;
+}
+
+}  // namespace bpf

@@ -1,0 +1,481 @@
+// Memory access checking (check_mem_access and friends): stack slots, map
+// values, context fields, BTF-typed kernel structures, packet data, and
+// helper-provided memory regions. Carries injectable bug #2 (task_struct
+// bounds validated against the wrong object size).
+
+#include <algorithm>
+#include <cerrno>
+
+#include "src/kernel/coverage.h"
+#include "src/verifier/checker.h"
+
+namespace bpf {
+
+int Checker::CheckMemAccess(VerifierState& state, const Insn& insn, int idx, int ptr_regno,
+                            int value_regno, bool is_store, bool is_atomic) {
+  if (int err = CheckRegRead(state, ptr_regno, idx); err != 0) {
+    return err;
+  }
+  if (is_store && value_regno >= 0) {
+    if (int err = CheckRegRead(state, value_regno, idx); err != 0) {
+      return err;
+    }
+  }
+  if (!is_store) {
+    if (int err = CheckRegWrite(state, value_regno, idx); err != 0) {
+      return err;
+    }
+  }
+
+  const RegState ptr = Reg(state, ptr_regno);  // copy: value_regno may alias
+  const int size = insn.AccessBytes();
+  BVF_COV_IDX(12, static_cast<int>(ptr.type));
+  BVF_COV_IDX(8, (size == 1 ? 0 : size == 2 ? 1 : size == 4 ? 2 : 3) + (is_store ? 4 : 0));
+
+  // Record aux info for the sanitation pass. BTF wins on type conflicts
+  // across paths so that exception-handled BTF loads are never misreported.
+  InsnAux& aux = aux_[idx];
+  if (aux.mem_ptr_type == RegType::kNotInit || ptr.type == RegType::kPtrToBtfId) {
+    aux.mem_ptr_type = ptr.type;
+  }
+  if (ptr_regno == kR10) {
+    aux.fp_const_access = true;
+  }
+
+  if (is_atomic) {
+    BVF_COV();
+    if (ptr.type != RegType::kPtrToStack && ptr.type != RegType::kPtrToMapValue &&
+        ptr.type != RegType::kPtrToMem) {
+      BVF_COV();
+      Log("insn %d: atomic op on %s prohibited", idx, RegTypeName(ptr.type));
+      return -EACCES;
+    }
+  }
+
+  switch (ptr.type) {
+    case RegType::kPtrToStack:
+      BVF_COV();
+      if (int err = CheckStackAccess(state, insn, idx, ptr, value_regno, is_store, is_atomic);
+          err != 0) {
+        return err;
+      }
+      break;
+    case RegType::kPtrToMapValue: {
+      BVF_COV();
+      if (int err = CheckMapValueAccess(ptr, insn.off, size, idx); err != 0) {
+        return err;
+      }
+      if (!is_store && value_regno >= 0) {
+        Reg(state, value_regno).MarkUnknown();
+      }
+      break;
+    }
+    case RegType::kPtrToCtx:
+      BVF_COV();
+      if (int err = CheckCtxAccess(state, ptr, ptr.off + insn.off, size, is_store,
+                                   value_regno, idx);
+          err != 0) {
+        return err;
+      }
+      break;
+    case RegType::kPtrToBtfId:
+      BVF_COV();
+      if (int err = CheckBtfAccess(state, ptr, ptr.off + insn.off, size, is_store,
+                                   value_regno, idx);
+          err != 0) {
+        return err;
+      }
+      break;
+    case RegType::kPtrToPacket: {
+      BVF_COV();
+      if (is_store && prog_.type != ProgType::kXdp) {
+        BVF_COV();
+        Log("insn %d: packet data is read-only for this program type", idx);
+        return -EACCES;
+      }
+      if (int err = CheckPacketAccess(ptr, insn.off, size, idx); err != 0) {
+        return err;
+      }
+      if (!is_store && value_regno >= 0) {
+        Reg(state, value_regno).MarkUnknown();
+      }
+      break;
+    }
+    case RegType::kPtrToMem:
+      BVF_COV();
+      if (int err = CheckMemRegionAccess(ptr, insn.off, size, idx); err != 0) {
+        return err;
+      }
+      if (!is_store && value_regno >= 0) {
+        Reg(state, value_regno).MarkUnknown();
+      }
+      break;
+    case RegType::kPtrToMapValueOrNull:
+    case RegType::kPtrToMemOrNull:
+      BVF_COV();
+      Log("insn %d: R%d invalid mem access '%s' (null check required)", idx, ptr_regno,
+          RegTypeName(ptr.type));
+      return -EACCES;
+    case RegType::kPtrToPacketEnd:
+    case RegType::kConstPtrToMap:
+      BVF_COV();
+      Log("insn %d: cannot dereference %s", idx, RegTypeName(ptr.type));
+      return -EACCES;
+    case RegType::kScalar:
+    default:
+      BVF_COV();
+      Log("insn %d: R%d invalid mem access 'scalar'", idx, ptr_regno);
+      return -EACCES;
+  }
+
+  // Atomic result registers: fetch variants write the old value to src;
+  // cmpxchg writes it to R0.
+  if (is_atomic) {
+    if (insn.imm == kAtomicCmpXchg) {
+      BVF_COV();
+      Reg(state, kR0).MarkUnknown();
+    } else if ((insn.imm & kAtomicFetch) != 0 || insn.imm == kAtomicXchg) {
+      BVF_COV();
+      Reg(state, insn.src).MarkUnknown();
+    }
+  }
+  return 0;
+}
+
+int Checker::CheckStackAccess(VerifierState& state, const Insn& insn, int idx,
+                              const RegState& ptr, int value_regno, bool is_store,
+                              bool is_atomic) {
+  const int size = insn.AccessBytes();
+  if (!ptr.var_off.IsConst()) {
+    BVF_COV();
+    Log("insn %d: variable offset stack access prohibited", idx);
+    return -EACCES;
+  }
+  const int64_t total_off =
+      static_cast<int64_t>(ptr.off) + insn.off + static_cast<int64_t>(ptr.var_off.value);
+  if (total_off >= 0 || total_off < -kStackSize || total_off + size > 0) {
+    BVF_COV();
+    Log("insn %d: invalid stack access off=%lld size=%d", idx,
+        static_cast<long long>(total_off), size);
+    return -EACCES;
+  }
+
+  FuncState& frame = state.cur();
+  // Slot index: fp-8 -> slot 0, fp-16 -> slot 1, ...
+  const int first_slot = static_cast<int>((-total_off - size) / 8);
+  const int last_slot = static_cast<int>((-total_off - 1) / 8);
+
+  if (is_store) {
+    const bool aligned_full = size == 8 && (total_off % 8) == 0;
+    if (is_atomic) {
+      // A read-modify-write leaves the slot holding a mix of the old value
+      // and the operand, never a spilled copy of the register.
+      BVF_COV();
+      for (int slot = first_slot; slot <= last_slot; ++slot) {
+        if (frame.stack[slot].type == SlotType::kInvalid) {
+          BVF_COV();
+          Log("insn %d: atomic op on uninitialized stack off=%lld", idx,
+              static_cast<long long>(total_off));
+          return -EACCES;
+        }
+        frame.stack[slot].type = SlotType::kMisc;
+        frame.stack[slot].spilled_reg = RegState();
+      }
+      return 0;
+    }
+    if (value_regno >= 0 && IsPointerType(Reg(state, value_regno).type)) {
+      if (!aligned_full) {
+        BVF_COV();
+        Log("insn %d: partial pointer spill to stack prohibited", idx);
+        return -EACCES;
+      }
+      BVF_COV();
+      frame.stack[first_slot].type = SlotType::kSpill;
+      frame.stack[first_slot].spilled_reg = Reg(state, value_regno);
+      return 0;
+    }
+    if (aligned_full && value_regno >= 0) {
+      // Scalar spill: preserves bounds across fill.
+      BVF_COV();
+      frame.stack[first_slot].type = SlotType::kSpill;
+      frame.stack[first_slot].spilled_reg = Reg(state, value_regno);
+      return 0;
+    }
+    const bool zero_imm_full = value_regno < 0 && insn.imm == 0 && aligned_full;
+    for (int slot = first_slot; slot <= last_slot; ++slot) {
+      BVF_COV();
+      frame.stack[slot].type = zero_imm_full ? SlotType::kZero : SlotType::kMisc;
+      frame.stack[slot].spilled_reg = RegState();
+    }
+    return 0;
+  }
+
+  // Load.
+  const bool aligned_full = size == 8 && (total_off % 8) == 0;
+  if (aligned_full && frame.stack[first_slot].type == SlotType::kSpill) {
+    BVF_COV();
+    Reg(state, value_regno) = frame.stack[first_slot].spilled_reg;
+    return 0;
+  }
+  for (int slot = first_slot; slot <= last_slot; ++slot) {
+    if (frame.stack[slot].type == SlotType::kInvalid) {
+      BVF_COV();
+      Log("insn %d: invalid read from uninitialized stack off=%lld", idx,
+          static_cast<long long>(total_off));
+      return -EACCES;
+    }
+    if (frame.stack[slot].type == SlotType::kSpill &&
+        IsPointerType(frame.stack[slot].spilled_reg.type) && !aligned_full) {
+      BVF_COV();
+      Log("insn %d: partial read of spilled pointer prohibited", idx);
+      return -EACCES;
+    }
+  }
+  if (aligned_full && frame.stack[first_slot].type == SlotType::kZero) {
+    BVF_COV();
+    Reg(state, value_regno).MarkKnown(0);
+  } else {
+    BVF_COV();
+    Reg(state, value_regno).MarkUnknown();
+  }
+  return 0;
+}
+
+int Checker::CheckMapValueAccess(const RegState& ptr, int off, int size, int idx) {
+  const Map* map = FindMap(ptr.map_id);
+  if (map == nullptr) {
+    Log("insn %d: map %d disappeared", idx, ptr.map_id);
+    return -EFAULT;
+  }
+  const int64_t lo = static_cast<int64_t>(ptr.off) + off + ptr.smin;
+  if (lo < 0) {
+    BVF_COV();
+    Log("insn %d: map value access below start: min off %lld", idx,
+        static_cast<long long>(lo));
+    return -EACCES;
+  }
+  if (ptr.umax > static_cast<uint64_t>(map->value_size())) {
+    BVF_COV();
+    Log("insn %d: unbounded map value offset (umax=%llu)", idx,
+        static_cast<unsigned long long>(ptr.umax));
+    return -EACCES;
+  }
+  const int64_t hi =
+      static_cast<int64_t>(ptr.off) + off + static_cast<int64_t>(ptr.umax) + size;
+  if (hi > static_cast<int64_t>(map->value_size())) {
+    BVF_COV();
+    Log("insn %d: map value access out of bounds: max off %lld > value_size %u", idx,
+        static_cast<long long>(hi), map->value_size());
+    return -EACCES;
+  }
+  BVF_COV();
+  return 0;
+}
+
+int Checker::CheckCtxAccess(VerifierState& state, const RegState& ptr, int off, int size,
+                            bool is_store, int value_regno, int idx) {
+  const CtxDescriptor& desc = CtxDescriptorFor(prog_.type);
+  if (is_store && value_regno < 0) {
+    BVF_COV();
+    Log("insn %d: BPF_ST to ctx is not allowed", idx);
+    return -EACCES;
+  }
+  if (off < 0 || off + size > desc.size) {
+    BVF_COV();
+    Log("insn %d: ctx access off=%d size=%d out of bounds", idx, off, size);
+    return -EACCES;
+  }
+  if (off % size != 0) {
+    BVF_COV();
+    Log("insn %d: misaligned ctx access off=%d size=%d", idx, off, size);
+    return -EACCES;
+  }
+  const CtxField* field = desc.FieldAt(off, size);
+  if (field == nullptr) {
+    BVF_COV();
+    Log("insn %d: invalid ctx field at off=%d", idx, off);
+    return -EACCES;
+  }
+  BVF_COV_IDX(96, static_cast<int>(prog_.type) * 24 +
+                      static_cast<int>(field - desc.fields.data()));
+  if (is_store) {
+    if (!field->writable) {
+      BVF_COV();
+      Log("insn %d: ctx field '%s' is read only", idx, field->name);
+      return -EACCES;
+    }
+    if (IsPointerType(Reg(state, value_regno).type)) {
+      BVF_COV();
+      Log("insn %d: storing pointer into ctx prohibited", idx);
+      return -EACCES;
+    }
+    BVF_COV();
+    return 0;
+  }
+  // Load: packet fields become packet pointers; everything else is scalar.
+  if (field->special == CtxField::Special::kPktData) {
+    if (off != field->off || size != field->size) {
+      BVF_COV();
+      Log("insn %d: partial load of ctx field '%s'", idx, field->name);
+      return -EACCES;
+    }
+    BVF_COV();
+    RegState& dst = Reg(state, value_regno);
+    dst = RegState::Pointer(RegType::kPtrToPacket);
+    dst.id = NextId();
+    return 0;
+  }
+  if (field->special == CtxField::Special::kPktEnd) {
+    if (off != field->off || size != field->size) {
+      BVF_COV();
+      Log("insn %d: partial load of ctx field '%s'", idx, field->name);
+      return -EACCES;
+    }
+    BVF_COV();
+    Reg(state, value_regno) = RegState::Pointer(RegType::kPtrToPacketEnd);
+    return 0;
+  }
+  BVF_COV();
+  Reg(state, value_regno).MarkUnknown();
+  return 0;
+}
+
+int Checker::CheckBtfAccess(VerifierState& state, const RegState& ptr, int off, int size,
+                            bool is_store, int value_regno, int idx) {
+  if (is_store) {
+    BVF_COV();
+    Log("insn %d: writing through PTR_TO_BTF_ID prohibited", idx);
+    return -EACCES;
+  }
+  const BtfStruct* btf_struct = env_.btf != nullptr ? env_.btf->Find(ptr.btf_id) : nullptr;
+  if (btf_struct == nullptr) {
+    Log("insn %d: unknown BTF struct %d", idx, ptr.btf_id);
+    return -EFAULT;
+  }
+  if (off < 0) {
+    BVF_COV();
+    Log("insn %d: negative BTF access off=%d", idx, off);
+    return -EACCES;
+  }
+  // Bug #2: the access bound for task_struct is validated against a full page
+  // instead of the object size, letting reads run past the allocation.
+  uint32_t bound = btf_struct->size;
+  if (env_.bugs.bug2_task_struct_bounds && ptr.btf_id == kBtfTaskStruct) {
+    BVF_COV();
+    bound = 4096;
+  }
+  if (static_cast<uint32_t>(off) + size > bound) {
+    BVF_COV();
+    Log("insn %d: BTF access beyond struct %s (off=%d size=%d)", idx,
+        btf_struct->name.c_str(), off, size);
+    return -EACCES;
+  }
+  BVF_COV_IDX(8, ptr.btf_id);
+  if (value_regno < 0) {
+    return 0;
+  }
+  const BtfField* field = btf_struct->FieldAt(off, size);
+  RegState& dst = Reg(state, value_regno);
+  if (field != nullptr && field->points_to != 0 && size == 8 &&
+      static_cast<uint32_t>(off) == field->offset) {
+    BVF_COV();
+    dst = RegState::Pointer(RegType::kPtrToBtfId);
+    dst.btf_id = field->points_to;
+    return 0;
+  }
+  BVF_COV();
+  dst.MarkUnknown();
+  return 0;
+}
+
+int Checker::CheckPacketAccess(const RegState& ptr, int off, int size, int idx) {
+  if (ptr.pkt_range == 0) {
+    BVF_COV();
+    Log("insn %d: packet access without bounds check (compare against data_end first)", idx);
+    return -EACCES;
+  }
+  const int64_t lo = static_cast<int64_t>(ptr.off) + off + ptr.smin;
+  const int64_t hi =
+      static_cast<int64_t>(ptr.off) + off + static_cast<int64_t>(ptr.umax) + size;
+  if (lo < 0 || ptr.umax > 0xffff || hi > static_cast<int64_t>(ptr.pkt_range)) {
+    BVF_COV();
+    Log("insn %d: packet access out of verified range [%lld, %lld) > %u", idx,
+        static_cast<long long>(lo), static_cast<long long>(hi), ptr.pkt_range);
+    return -EACCES;
+  }
+  BVF_COV();
+  return 0;
+}
+
+int Checker::CheckMemRegionAccess(const RegState& ptr, int off, int size, int idx) {
+  const int64_t lo = static_cast<int64_t>(ptr.off) + off + ptr.smin;
+  const int64_t hi =
+      static_cast<int64_t>(ptr.off) + off + static_cast<int64_t>(ptr.umax) + size;
+  if (lo < 0 || ptr.umax > ptr.mem_size ||
+      hi > static_cast<int64_t>(ptr.mem_size)) {
+    BVF_COV();
+    Log("insn %d: mem region access out of bounds [%lld, %lld) size=%u", idx,
+        static_cast<long long>(lo), static_cast<long long>(hi), ptr.mem_size);
+    return -EACCES;
+  }
+  BVF_COV();
+  return 0;
+}
+
+// Validates that |size| bytes at the memory argument register are accessible
+// (helper argument checking). Also initializes touched stack slots for write
+// arguments, as the kernel does for ARG_PTR_TO_UNINIT_MEM.
+int Checker::CheckHelperMemArg(VerifierState& state, int regno, int size, bool is_store,
+                               const char* what, int idx) {
+  const RegState& ptr = Reg(state, regno);
+  if (size <= 0) {
+    BVF_COV();
+    Log("insn %d: invalid zero-sized %s argument", idx, what);
+    return -EACCES;
+  }
+  switch (ptr.type) {
+    case RegType::kPtrToStack: {
+      BVF_COV();
+      if (!ptr.var_off.IsConst()) {
+        Log("insn %d: variable stack offset in %s argument", idx, what);
+        return -EACCES;
+      }
+      const int64_t total_off = static_cast<int64_t>(ptr.off) + ptr.var_off.value;
+      if (total_off >= 0 || total_off < -kStackSize || total_off + size > 0) {
+        BVF_COV();
+        Log("insn %d: %s argument stack range [%lld, +%d) out of bounds", idx, what,
+            static_cast<long long>(total_off), size);
+        return -EACCES;
+      }
+      FuncState& frame = state.cur();
+      const int first_slot = static_cast<int>((-total_off - size) / 8);
+      const int last_slot = static_cast<int>((-total_off - 1) / 8);
+      for (int slot = first_slot; slot <= last_slot; ++slot) {
+        if (is_store) {
+          frame.stack[slot].type = SlotType::kMisc;
+        } else if (frame.stack[slot].type == SlotType::kInvalid) {
+          BVF_COV();
+          Log("insn %d: %s argument reads uninitialized stack", idx, what);
+          return -EACCES;
+        }
+      }
+      return 0;
+    }
+    case RegType::kPtrToMapValue:
+      BVF_COV();
+      return CheckMapValueAccess(ptr, 0, size, idx);
+    case RegType::kPtrToMem:
+      BVF_COV();
+      return CheckMemRegionAccess(ptr, 0, size, idx);
+    case RegType::kPtrToPacket:
+      BVF_COV();
+      return CheckPacketAccess(ptr, 0, size, idx);
+    default:
+      BVF_COV();
+      Log("insn %d: R%d type %s invalid for %s argument", idx, regno, RegTypeName(ptr.type),
+          what);
+      return -EACCES;
+  }
+}
+
+}  // namespace bpf

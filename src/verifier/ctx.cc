@@ -1,0 +1,94 @@
+// Context-layout descriptors per program type: which fields of the context
+// structure a program may read/write, and which yield packet pointers
+// (kernel: the per-prog-type is_valid_access callbacks).
+
+#include "src/verifier/verifier.h"
+
+namespace bpf {
+
+const CtxField* CtxDescriptor::FieldAt(int off, int size) const {
+  for (const CtxField& field : fields) {
+    if (off >= field.off && off + size <= field.off + field.size) {
+      return &field;
+    }
+  }
+  return nullptr;
+}
+
+namespace {
+
+CtxDescriptor MakeSkBuff() {
+  CtxDescriptor d;
+  d.size = 48;
+  d.fields = {
+      {"len", 0, 4, false},
+      {"pkt_type", 4, 4, false},
+      {"mark", 8, 4, true},
+      {"queue_mapping", 12, 4, false},
+      {"protocol", 16, 4, false},
+      {"vlan_present", 20, 4, false},
+      {"priority", 24, 4, true},
+      {"ifindex", 28, 4, false},
+      {"data", 32, 8, false, CtxField::Special::kPktData},
+      {"data_end", 40, 8, false, CtxField::Special::kPktEnd},
+  };
+  return d;
+}
+
+CtxDescriptor MakeXdp() {
+  CtxDescriptor d;
+  d.size = 32;
+  d.fields = {
+      {"data", 0, 8, false, CtxField::Special::kPktData},
+      {"data_end", 8, 8, false, CtxField::Special::kPktEnd},
+      {"data_meta", 16, 8, false},
+      {"ingress_ifindex", 24, 4, false},
+      {"rx_queue_index", 28, 4, false},
+  };
+  return d;
+}
+
+CtxDescriptor MakePtRegs() {
+  CtxDescriptor d;
+  d.size = 168;  // 21 8-byte registers of pt_regs
+  static const char* kRegNames[] = {"r15", "r14", "r13",    "r12", "bp",  "bx",  "r11",
+                                    "r10", "r9",  "r8",     "ax",  "cx",  "dx",  "si",
+                                    "di",  "orig_ax", "ip", "cs",  "flags", "sp", "ss"};
+  for (int i = 0; i < 21; ++i) {
+    d.fields.push_back(CtxField{kRegNames[i], i * 8, 8, false});
+  }
+  return d;
+}
+
+CtxDescriptor MakeTracepoint() {
+  CtxDescriptor d;
+  d.size = 64;  // raw tracepoint args, 8 u64 slots
+  static const char* kArgNames[] = {"arg0", "arg1", "arg2", "arg3",
+                                    "arg4", "arg5", "arg6", "arg7"};
+  for (int i = 0; i < 8; ++i) {
+    d.fields.push_back(CtxField{kArgNames[i], i * 8, 8, false});
+  }
+  return d;
+}
+
+}  // namespace
+
+const CtxDescriptor& CtxDescriptorFor(ProgType type) {
+  static const CtxDescriptor kSkBuff = MakeSkBuff();
+  static const CtxDescriptor kXdp = MakeXdp();
+  static const CtxDescriptor kPtRegs = MakePtRegs();
+  static const CtxDescriptor kTracepoint = MakeTracepoint();
+  switch (type) {
+    case ProgType::kSocketFilter:
+      return kSkBuff;
+    case ProgType::kXdp:
+      return kXdp;
+    case ProgType::kKprobe:
+      return kPtRegs;
+    case ProgType::kTracepoint:
+      return kTracepoint;
+  }
+  return kSkBuff;
+}
+
+}  // namespace bpf

@@ -1,0 +1,165 @@
+#include "src/verifier/helper_protos.h"
+
+#include "src/kernel/btf.h"
+
+namespace bpf {
+
+namespace {
+
+constexpr ArgType kA = ArgType::kAnything;
+constexpr ArgType kN = ArgType::kNone;
+
+const HelperProto kHelperTable[] = {
+    {kHelperMapLookupElem, "bpf_map_lookup_elem", RetType::kPtrToMapValueOrNull,
+     {ArgType::kConstMapPtr, ArgType::kPtrToMapKey, kN, kN, kN}},
+    {kHelperMapUpdateElem, "bpf_map_update_elem", RetType::kInteger,
+     {ArgType::kConstMapPtr, ArgType::kPtrToMapKey, ArgType::kPtrToMapValue, ArgType::kScalar,
+      kN}},
+    {kHelperMapDeleteElem, "bpf_map_delete_elem", RetType::kInteger,
+     {ArgType::kConstMapPtr, ArgType::kPtrToMapKey, kN, kN, kN}},
+    {kHelperKtimeGetNs, "bpf_ktime_get_ns", RetType::kInteger, {kN, kN, kN, kN, kN}},
+    {kHelperTracePrintk, "bpf_trace_printk", RetType::kInteger,
+     {ArgType::kPtrToMemRo, ArgType::kConstSize, ArgType::kScalar, kN, kN},
+     /*acquires_lock=*/true, /*calls_printk=*/true},
+    {kHelperGetPrandomU32, "bpf_get_prandom_u32", RetType::kInteger, {kN, kN, kN, kN, kN}},
+    {kHelperGetSmpProcessorId, "bpf_get_smp_processor_id", RetType::kInteger,
+     {kN, kN, kN, kN, kN}},
+    {kHelperGetCurrentPidTgid, "bpf_get_current_pid_tgid", RetType::kInteger,
+     {kN, kN, kN, kN, kN}},
+    {kHelperGetCurrentComm, "bpf_get_current_comm", RetType::kInteger,
+     {ArgType::kPtrToMemWo, ArgType::kConstSize, kN, kN, kN}},
+    {kHelperPerfEventOutput, "bpf_perf_event_output", RetType::kInteger,
+     {ArgType::kPtrToCtx, ArgType::kConstMapPtr, ArgType::kScalar, ArgType::kPtrToMemRo,
+      ArgType::kConstSize},
+     /*acquires_lock=*/false, /*calls_printk=*/false, /*sends_signal=*/false,
+     /*uses_irq_work=*/true},
+    {kHelperGetCurrentTask, "bpf_get_current_task", RetType::kInteger, {kN, kN, kN, kN, kN}},
+    {kHelperSendSignal, "bpf_send_signal", RetType::kInteger, {ArgType::kScalar, kN, kN, kN, kN},
+     /*acquires_lock=*/false, /*calls_printk=*/false, /*sends_signal=*/true},
+    {kHelperGetCurrentTaskBtf, "bpf_get_current_task_btf", RetType::kPtrToBtfTask,
+     {kN, kN, kN, kN, kN}},
+    {kHelperRingbufOutput, "bpf_ringbuf_output", RetType::kInteger,
+     {ArgType::kConstMapPtr, ArgType::kPtrToMemRo, ArgType::kConstSize, ArgType::kScalar, kN}},
+    {kHelperTaskStorageGet, "bpf_task_storage_get", RetType::kPtrToMapValueOrNull,
+     {ArgType::kConstMapPtr, ArgType::kPtrToBtfTask, ArgType::kScalar, ArgType::kScalar, kN},
+     /*acquires_lock=*/true},
+    {kHelperTaskStorageDelete, "bpf_task_storage_delete", RetType::kInteger,
+     {ArgType::kConstMapPtr, ArgType::kPtrToBtfTask, kN, kN, kN},
+     /*acquires_lock=*/true},
+    {kHelperLoop, "bpf_loop", RetType::kInteger,
+     {ArgType::kScalar, ArgType::kScalar, ArgType::kScalar, ArgType::kScalar, kN}},
+};
+
+const KfuncProto kKfuncTable[] = {
+    {kKfuncTaskAcquire, "bpf_task_acquire", RetType::kPtrToBtfTask,
+     {ArgType::kPtrToBtfTask, kN, kN, kN, kN}, /*acquires_ref=*/true},
+    {kKfuncTaskRelease, "bpf_task_release", RetType::kVoid,
+     {ArgType::kPtrToBtfTask, kN, kN, kN, kN}, /*acquires_ref=*/false, /*releases_ref=*/true},
+    {kKfuncRcuReadLock, "bpf_rcu_read_lock", RetType::kVoid, {kN, kN, kN, kN, kN}},
+    {kKfuncRcuReadUnlock, "bpf_rcu_read_unlock", RetType::kVoid, {kN, kN, kN, kN, kN}},
+};
+
+bool HelperInVersion(int32_t id, const KernelFeatures& features) {
+  switch (id) {
+    case kHelperGetCurrentTaskBtf:
+      return features.task_btf_helpers;
+    case kHelperRingbufOutput:
+      return features.ringbuf;
+    case kHelperTaskStorageGet:
+    case kHelperTaskStorageDelete:
+      return features.task_storage;
+    case kHelperLoop:
+      return features.bpf_loop_helper;
+    default:
+      return true;
+  }
+}
+
+bool HelperForProgType(int32_t id, ProgType prog_type) {
+  switch (id) {
+    // Tracing-only helpers.
+    case kHelperTracePrintk:
+    case kHelperGetCurrentPidTgid:
+    case kHelperGetCurrentComm:
+    case kHelperGetCurrentTask:
+    case kHelperGetCurrentTaskBtf:
+    case kHelperSendSignal:
+    case kHelperTaskStorageGet:
+    case kHelperTaskStorageDelete:
+    case kHelperPerfEventOutput:
+      return prog_type == ProgType::kKprobe || prog_type == ProgType::kTracepoint;
+    default:
+      return true;
+  }
+}
+
+}  // namespace
+
+const HelperProto* FindHelperProto(int32_t id, KernelVersion version, ProgType prog_type) {
+  const KernelFeatures features = KernelFeatures::For(version);
+  for (const HelperProto& proto : kHelperTable) {
+    if (proto.id == id) {
+      if (!HelperInVersion(id, features) || !HelperForProgType(id, prog_type)) {
+        return nullptr;
+      }
+      return &proto;
+    }
+  }
+  return nullptr;
+}
+
+const KfuncProto* FindKfuncProto(int32_t btf_func_id, KernelVersion version) {
+  if (!KernelFeatures::For(version).kfunc_calls) {
+    return nullptr;
+  }
+  for (const KfuncProto& proto : kKfuncTable) {
+    if (proto.btf_func_id == btf_func_id) {
+      return &proto;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<int32_t> AvailableHelpers(KernelVersion version, ProgType prog_type) {
+  std::vector<int32_t> ids;
+  for (const HelperProto& proto : kHelperTable) {
+    if (FindHelperProto(proto.id, version, prog_type) != nullptr) {
+      ids.push_back(proto.id);
+    }
+  }
+  return ids;
+}
+
+int HelperOrdinal(int32_t id) {
+  int ordinal = 0;
+  for (const HelperProto& proto : kHelperTable) {
+    if (proto.id == id) {
+      return ordinal;
+    }
+    ++ordinal;
+  }
+  return -1;
+}
+
+int KfuncOrdinal(int32_t btf_func_id) {
+  int ordinal = 0;
+  for (const KfuncProto& proto : kKfuncTable) {
+    if (proto.btf_func_id == btf_func_id) {
+      return ordinal;
+    }
+    ++ordinal;
+  }
+  return -1;
+}
+
+std::vector<int32_t> AvailableKfuncs(KernelVersion version) {
+  std::vector<int32_t> ids;
+  for (const KfuncProto& proto : kKfuncTable) {
+    if (FindKfuncProto(proto.btf_func_id, version) != nullptr) {
+      ids.push_back(proto.btf_func_id);
+    }
+  }
+  return ids;
+}
+
+}  // namespace bpf

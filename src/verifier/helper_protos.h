@@ -1,0 +1,118 @@
+// Helper-function and kfunc prototypes: the contract the verifier enforces at
+// call sites (kernel: struct bpf_func_proto).
+
+#ifndef SRC_VERIFIER_HELPER_PROTOS_H_
+#define SRC_VERIFIER_HELPER_PROTOS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/ebpf/program.h"
+#include "src/verifier/kernel_version.h"
+
+namespace bpf {
+
+// Helper ids (matching Linux uapi where the helper exists there).
+enum HelperId : int32_t {
+  kHelperMapLookupElem = 1,
+  kHelperMapUpdateElem = 2,
+  kHelperMapDeleteElem = 3,
+  kHelperKtimeGetNs = 5,
+  kHelperTracePrintk = 6,
+  kHelperGetPrandomU32 = 7,
+  kHelperGetSmpProcessorId = 8,
+  kHelperGetCurrentPidTgid = 14,
+  kHelperGetCurrentComm = 16,
+  kHelperPerfEventOutput = 25,
+  kHelperGetCurrentTask = 35,
+  kHelperSendSignal = 109,
+  kHelperGetCurrentTaskBtf = 112,
+  kHelperRingbufOutput = 130,
+  kHelperTaskStorageGet = 156,
+  kHelperTaskStorageDelete = 157,
+  kHelperLoop = 181,
+};
+
+// Internal function ids used by rewrite passes (never accepted from user
+// programs; the encoding validator rejects ids in this range).
+enum InternalFuncId : int32_t {
+  kInternalBase = 0x70000000,
+  kAsanLoad8 = kInternalBase + 1,
+  kAsanLoad16,
+  kAsanLoad32,
+  kAsanLoad64,
+  kAsanStore8,
+  kAsanStore16,
+  kAsanStore32,
+  kAsanStore64,
+  kAsanAluCheckPos,  // R1 = runtime offset, R2 = alu_limit (positive direction)
+  kAsanAluCheckNeg,
+  // PTR_TO_BTF_ID loads are exception-handled on NULL; these variants skip
+  // the null-deref report while still catching OOB/UAF.
+  kAsanLoadBtf8,
+  kAsanLoadBtf16,
+  kAsanLoadBtf32,
+  kAsanLoadBtf64,
+};
+
+enum class ArgType : uint8_t {
+  kNone,            // argument unused
+  kAnything,        // any initialized value
+  kConstMapPtr,     // CONST_PTR_TO_MAP
+  kPtrToMapKey,     // readable memory of key_size bytes
+  kPtrToMapValue,   // readable memory of value_size bytes
+  kPtrToMemRo,      // readable memory, size in the next kConstSize arg
+  kPtrToMemWo,      // writable memory, size in the next kConstSize arg
+  kConstSize,       // scalar with known bounds, pairs with a kPtrToMem* arg
+  kPtrToCtx,        // program context
+  kPtrToBtfTask,    // PTR_TO_BTF_ID of task_struct
+  kScalar,          // any scalar
+};
+
+enum class RetType : uint8_t {
+  kInteger,            // unknown scalar
+  kVoid,               // unknown scalar (nothing meaningful)
+  kPtrToMapValueOrNull,
+  kPtrToBtfTaskOrNull,  // NULL-checked BTF pointer (becomes kPtrToBtfId)
+  kPtrToBtfTask,        // trusted, no null check required
+};
+
+struct HelperProto {
+  int32_t id;
+  const char* name;
+  RetType ret;
+  ArgType args[5];
+  // Behavioural flags consumed by verifier checks and attach-time policy.
+  bool acquires_lock = false;   // may take a kernel lock (contention path)
+  bool calls_printk = false;    // enters the trace_printk path
+  bool sends_signal = false;    // restricted in irq context
+  bool uses_irq_work = false;   // schedules irq_work
+};
+
+struct KfuncProto {
+  int32_t btf_func_id;
+  const char* name;
+  RetType ret;
+  ArgType args[5];
+  bool acquires_ref = false;  // returned object must be released
+  bool releases_ref = false;  // first arg must be an acquired object
+};
+
+// Prototype lookup for a given kernel version and program type; nullptr when
+// the helper does not exist or is not allowed for the program type.
+const HelperProto* FindHelperProto(int32_t id, KernelVersion version, ProgType prog_type);
+const KfuncProto* FindKfuncProto(int32_t btf_func_id, KernelVersion version);
+
+// Every helper id available in |version| for |prog_type| (generator input).
+std::vector<int32_t> AvailableHelpers(KernelVersion version, ProgType prog_type);
+std::vector<int32_t> AvailableKfuncs(KernelVersion version);
+
+// Dense ordinals for coverage-site indexing (-1 when unknown).
+int HelperOrdinal(int32_t id);
+int KfuncOrdinal(int32_t btf_func_id);
+inline constexpr int kMaxHelperOrdinals = 32;
+inline constexpr int kMaxKfuncOrdinals = 8;
+
+}  // namespace bpf
+
+#endif  // SRC_VERIFIER_HELPER_PROTOS_H_

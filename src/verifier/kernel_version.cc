@@ -1,0 +1,39 @@
+#include "src/verifier/kernel_version.h"
+
+namespace bpf {
+
+const char* KernelVersionName(KernelVersion version) {
+  switch (version) {
+    case KernelVersion::kV5_15:
+      return "v5.15";
+    case KernelVersion::kV6_1:
+      return "v6.1";
+    case KernelVersion::kBpfNext:
+      return "bpf-next";
+  }
+  return "unknown";
+}
+
+KernelFeatures KernelFeatures::For(KernelVersion version) {
+  KernelFeatures f;
+  // v5.15 baseline.
+  f.ringbuf = true;
+  f.sanitize_alu_limit = true;
+  f.task_storage = true;
+  if (version == KernelVersion::kV5_15) {
+    return f;
+  }
+  // v6.1 additions.
+  f.kfunc_calls = true;
+  f.task_btf_helpers = true;
+  f.jmp32_bounds = true;
+  if (version == KernelVersion::kV6_1) {
+    return f;
+  }
+  // bpf-next additions.
+  f.nullness_propagation = true;
+  f.bpf_loop_helper = true;
+  return f;
+}
+
+}  // namespace bpf

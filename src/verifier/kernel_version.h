@@ -1,0 +1,36 @@
+// Simulated kernel versions and the feature surface each exposes.
+//
+// The paper evaluates three codebases (Linux v5.15, v6.1, and the bpf-next
+// branch). Newer versions carry more verifier features — and therefore more
+// coverage sites and different injected-bug sets — which is what produces the
+// per-version coverage totals of Table 3.
+
+#ifndef SRC_VERIFIER_KERNEL_VERSION_H_
+#define SRC_VERIFIER_KERNEL_VERSION_H_
+
+namespace bpf {
+
+enum class KernelVersion {
+  kV5_15,
+  kV6_1,
+  kBpfNext,
+};
+
+const char* KernelVersionName(KernelVersion version);
+
+struct KernelFeatures {
+  bool kfunc_calls = false;           // BTF kfuncs (task_acquire/release)
+  bool nullness_propagation = false;  // reg-reg JEQ nullness transfer (bfeae75856ab)
+  bool task_btf_helpers = false;      // bpf_get_current_task_btf and friends
+  bool ringbuf = false;
+  bool jmp32_bounds = false;          // dedicated 32-bit bounds refinement on JMP32
+  bool sanitize_alu_limit = false;    // alu_limit computation for ptr ALU
+  bool bpf_loop_helper = false;       // bpf_loop (bpf-next extra surface)
+  bool task_storage = false;
+
+  static KernelFeatures For(KernelVersion version);
+};
+
+}  // namespace bpf
+
+#endif  // SRC_VERIFIER_KERNEL_VERSION_H_

@@ -1,0 +1,266 @@
+#include "src/verifier/reg_state.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace bpf {
+
+const char* RegTypeName(RegType type) {
+  switch (type) {
+    case RegType::kNotInit:
+      return "?";
+    case RegType::kScalar:
+      return "scalar";
+    case RegType::kPtrToCtx:
+      return "ctx";
+    case RegType::kConstPtrToMap:
+      return "map_ptr";
+    case RegType::kPtrToMapValue:
+      return "map_value";
+    case RegType::kPtrToMapValueOrNull:
+      return "map_value_or_null";
+    case RegType::kPtrToStack:
+      return "fp";
+    case RegType::kPtrToPacket:
+      return "pkt";
+    case RegType::kPtrToPacketEnd:
+      return "pkt_end";
+    case RegType::kPtrToBtfId:
+      return "ptr_to_btf_id";
+    case RegType::kPtrToMem:
+      return "mem";
+    case RegType::kPtrToMemOrNull:
+      return "mem_or_null";
+  }
+  return "unknown";
+}
+
+RegType NonNullVariant(RegType type) {
+  switch (type) {
+    case RegType::kPtrToMapValueOrNull:
+      return RegType::kPtrToMapValue;
+    case RegType::kPtrToMemOrNull:
+      return RegType::kPtrToMem;
+    default:
+      return type;
+  }
+}
+
+RegState RegState::Unknown() {
+  RegState reg;
+  reg.MarkUnknown();
+  return reg;
+}
+
+RegState RegState::Known(uint64_t v) {
+  RegState reg;
+  reg.MarkKnown(v);
+  return reg;
+}
+
+RegState RegState::Pointer(RegType type, int32_t off) {
+  RegState reg;
+  reg.type = type;
+  reg.off = off;
+  reg.var_off = TnumConst(0);
+  reg.smin = reg.smax = 0;
+  reg.umin = reg.umax = 0;
+  reg.s32_min = reg.s32_max = 0;
+  reg.u32_min = reg.u32_max = 0;
+  return reg;
+}
+
+void RegState::SetUnboundedBounds() {
+  smin = kS64Min;
+  smax = kS64Max;
+  umin = 0;
+  umax = kU64Max;
+  Set32Unbounded();
+}
+
+void RegState::Set32Unbounded() {
+  s32_min = kS32Min;
+  s32_max = kS32Max;
+  u32_min = 0;
+  u32_max = kU32Max;
+}
+
+void RegState::MarkUnknown() {
+  type = RegType::kScalar;
+  off = 0;
+  var_off = TnumUnknown();
+  SetUnboundedBounds();
+  id = 0;
+  map_id = 0;
+  btf_id = 0;
+  mem_size = 0;
+  pkt_range = 0;
+  ref_obj_id = 0;
+}
+
+void RegState::MarkKnown(uint64_t value) {
+  MarkUnknown();
+  var_off = TnumConst(value);
+  smin = smax = static_cast<int64_t>(value);
+  umin = umax = value;
+  s32_min = s32_max = static_cast<int32_t>(value);
+  u32_min = u32_max = static_cast<uint32_t>(value);
+}
+
+void RegState::UpdateBounds() {
+  // 64-bit: bounds from var_off.
+  umin = std::max(umin, var_off.value);
+  umax = std::min(umax, var_off.value | var_off.mask);
+  if (static_cast<int64_t>(umin) <= static_cast<int64_t>(umax)) {
+    // Range does not cross the sign boundary: signed bounds can be tightened.
+    smin = std::max(smin, static_cast<int64_t>(umin));
+    smax = std::min(smax, static_cast<int64_t>(umax));
+  }
+  // 32-bit subrange.
+  const Tnum sub = TnumSubreg(var_off);
+  u32_min = std::max(u32_min, static_cast<uint32_t>(sub.value));
+  u32_max = std::min(u32_max, static_cast<uint32_t>(sub.value | sub.mask));
+  if (static_cast<int32_t>(u32_min) <= static_cast<int32_t>(u32_max)) {
+    s32_min = std::max(s32_min, static_cast<int32_t>(u32_min));
+    s32_max = std::min(s32_max, static_cast<int32_t>(u32_max));
+  }
+}
+
+void RegState::DeduceBounds() {
+  // 64-bit cross deduction (__reg64_deduce_bounds). Transfers are only valid
+  // when the source interval does not cross its sign boundary.
+  if (static_cast<int64_t>(umin) <= static_cast<int64_t>(umax)) {
+    // Unsigned range stays on one side of 2^63: signed order matches.
+    smin = std::max(smin, static_cast<int64_t>(umin));
+    smax = std::min(smax, static_cast<int64_t>(umax));
+  }
+  if (smin >= 0 || smax < 0) {
+    // Signed range does not cross zero: unsigned order matches.
+    umin = std::max(umin, static_cast<uint64_t>(smin));
+    umax = std::min(umax, static_cast<uint64_t>(smax));
+  }
+  // 32-bit cross deduction, same structure.
+  if (static_cast<int32_t>(u32_min) <= static_cast<int32_t>(u32_max)) {
+    s32_min = std::max(s32_min, static_cast<int32_t>(u32_min));
+    s32_max = std::min(s32_max, static_cast<int32_t>(u32_max));
+  }
+  if (s32_min >= 0 || s32_max < 0) {
+    u32_min = std::max(u32_min, static_cast<uint32_t>(s32_min));
+    u32_max = std::min(u32_max, static_cast<uint32_t>(s32_max));
+  }
+}
+
+void RegState::BoundOffset() {
+  const Tnum range64 = TnumRange(umin, umax);
+  var_off = TnumIntersect(var_off, range64);
+  const Tnum range32 = TnumRange(u32_min, u32_max);
+  var_off = TnumWithSubreg(var_off, TnumIntersect(TnumSubreg(var_off), range32));
+}
+
+void RegState::Assign32Into64() {
+  umin = u32_min;
+  umax = u32_max;
+  if (s32_min >= 0) {
+    smin = s32_min;
+    smax = s32_max;
+  } else {
+    // Value may wrap when zero-extended; fall back to the unsigned range.
+    smin = 0;
+    smax = static_cast<int64_t>(kU32Max);
+    umin = 0;
+    umax = kU32Max;
+    if (static_cast<int64_t>(u32_min) <= static_cast<int64_t>(u32_max)) {
+      umin = u32_min;
+      umax = u32_max;
+      smin = static_cast<int64_t>(u32_min);
+      smax = static_cast<int64_t>(u32_max);
+    }
+  }
+}
+
+void RegState::ZExt32() {
+  var_off = TnumCast(var_off, 4);
+  // Recompute 32-bit bounds from var_off, then assign upward.
+  u32_min = 0;
+  u32_max = kU32Max;
+  s32_min = kS32Min;
+  s32_max = kS32Max;
+  const Tnum sub = TnumSubreg(var_off);
+  u32_min = static_cast<uint32_t>(sub.value);
+  u32_max = static_cast<uint32_t>(sub.value | sub.mask);
+  if (static_cast<int32_t>(u32_min) <= static_cast<int32_t>(u32_max)) {
+    s32_min = static_cast<int32_t>(u32_min);
+    s32_max = static_cast<int32_t>(u32_max);
+  }
+  Assign32Into64();
+  Sync();
+}
+
+bool RegState::BoundsSane() const {
+  return smin <= smax && umin <= umax && s32_min <= s32_max && u32_min <= u32_max;
+}
+
+std::string RegState::ToString() const {
+  char buf[192];
+  switch (type) {
+    case RegType::kScalar:
+      if (var_off.IsConst()) {
+        snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(var_off.value));
+      } else {
+        snprintf(buf, sizeof(buf), "scalar(umin=%llu,umax=%llu,smin=%lld,smax=%lld,var=%s)",
+                 static_cast<unsigned long long>(umin), static_cast<unsigned long long>(umax),
+                 static_cast<long long>(smin), static_cast<long long>(smax),
+                 var_off.ToString().c_str());
+      }
+      break;
+    case RegType::kPtrToMapValue:
+    case RegType::kPtrToMapValueOrNull:
+      snprintf(buf, sizeof(buf), "%s(map=%d,off=%d)", RegTypeName(type), map_id, off);
+      break;
+    case RegType::kPtrToBtfId:
+      snprintf(buf, sizeof(buf), "%s(btf=%d,off=%d)", RegTypeName(type), btf_id, off);
+      break;
+    case RegType::kPtrToPacket:
+      snprintf(buf, sizeof(buf), "pkt(off=%d,range=%u)", off, pkt_range);
+      break;
+    default:
+      snprintf(buf, sizeof(buf), "%s(off=%d)", RegTypeName(type), off);
+      break;
+  }
+  return buf;
+}
+
+bool RegSubsumes(const RegState& old_reg, const RegState& cur_reg) {
+  if (old_reg.type == RegType::kNotInit) {
+    return true;  // old state knew nothing about this register
+  }
+  if (old_reg.type == RegType::kScalar) {
+    if (cur_reg.type != RegType::kScalar) {
+      // A pointer in the current state is "safe" only if the old scalar was
+      // fully unknown (kernel is stricter; this is conservative enough since
+      // unknown scalars admit any bit pattern but not pointer provenance).
+      return false;
+    }
+    return old_reg.umin <= cur_reg.umin && old_reg.umax >= cur_reg.umax &&
+           old_reg.smin <= cur_reg.smin && old_reg.smax >= cur_reg.smax &&
+           old_reg.u32_min <= cur_reg.u32_min && old_reg.u32_max >= cur_reg.u32_max &&
+           old_reg.s32_min <= cur_reg.s32_min && old_reg.s32_max >= cur_reg.s32_max &&
+           TnumIn(old_reg.var_off, cur_reg.var_off);
+  }
+  // Pointers must match exactly (including ids -- a simplification of the
+  // kernel's idmap-based comparison).
+  if (old_reg.type != cur_reg.type || old_reg.off != cur_reg.off ||
+      old_reg.map_id != cur_reg.map_id || old_reg.btf_id != cur_reg.btf_id ||
+      old_reg.mem_size != cur_reg.mem_size || old_reg.id != cur_reg.id ||
+      old_reg.ref_obj_id != cur_reg.ref_obj_id) {
+    return false;
+  }
+  if (old_reg.type == RegType::kPtrToPacket) {
+    // A larger verified range subsumes a smaller one.
+    return old_reg.pkt_range <= cur_reg.pkt_range;
+  }
+  return old_reg.var_off == cur_reg.var_off && old_reg.smin == cur_reg.smin &&
+         old_reg.smax == cur_reg.smax;
+}
+
+}  // namespace bpf

@@ -1,0 +1,133 @@
+// Abstract register state: type lattice plus value-tracking bounds, closely
+// following the kernel's struct bpf_reg_state (kernel/bpf/verifier.c).
+
+#ifndef SRC_VERIFIER_REG_STATE_H_
+#define SRC_VERIFIER_REG_STATE_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "src/verifier/tnum.h"
+
+namespace bpf {
+
+inline constexpr int64_t kS64Min = std::numeric_limits<int64_t>::min();
+inline constexpr int64_t kS64Max = std::numeric_limits<int64_t>::max();
+inline constexpr uint64_t kU64Max = std::numeric_limits<uint64_t>::max();
+inline constexpr int32_t kS32Min = std::numeric_limits<int32_t>::min();
+inline constexpr int32_t kS32Max = std::numeric_limits<int32_t>::max();
+inline constexpr uint32_t kU32Max = std::numeric_limits<uint32_t>::max();
+
+// Register types, mirroring enum bpf_reg_type. The *_OR_NULL variants model
+// the kernel's PTR_MAYBE_NULL flag.
+enum class RegType : uint8_t {
+  kNotInit,
+  kScalar,
+  kPtrToCtx,
+  kConstPtrToMap,
+  kPtrToMapValue,
+  kPtrToMapValueOrNull,
+  kPtrToStack,
+  kPtrToPacket,
+  kPtrToPacketEnd,
+  kPtrToBtfId,
+  kPtrToMem,
+  kPtrToMemOrNull,
+};
+
+const char* RegTypeName(RegType type);
+
+inline bool IsPointerType(RegType type) {
+  return type != RegType::kNotInit && type != RegType::kScalar;
+}
+
+inline bool IsOrNullType(RegType type) {
+  return type == RegType::kPtrToMapValueOrNull || type == RegType::kPtrToMemOrNull;
+}
+
+// The non-null counterpart of an _OR_NULL type.
+RegType NonNullVariant(RegType type);
+
+struct RegState {
+  RegType type = RegType::kNotInit;
+
+  // Fixed (compile-time constant) part of a pointer offset.
+  int32_t off = 0;
+
+  // Value tracking. For scalars this is the value itself; for pointers it is
+  // the variable part of the offset.
+  Tnum var_off = TnumUnknown();
+  int64_t smin = kS64Min;
+  int64_t smax = kS64Max;
+  uint64_t umin = 0;
+  uint64_t umax = kU64Max;
+  int32_t s32_min = kS32Min;
+  int32_t s32_max = kS32Max;
+  uint32_t u32_min = 0;
+  uint32_t u32_max = kU32Max;
+
+  // Identity for null-tracking and equal-scalar propagation: registers that
+  // copy a value share the id, so refining one refines all.
+  uint32_t id = 0;
+
+  // Type-specific payload.
+  int map_id = 0;       // kConstPtrToMap / kPtrToMapValue*
+  int btf_id = 0;       // kPtrToBtfId
+  uint32_t mem_size = 0;  // kPtrToMem*
+  uint16_t pkt_range = 0;  // kPtrToPacket: verified accessible bytes past off
+
+  // Reference tracking for acquired objects (kfunc task_acquire).
+  int ref_obj_id = 0;
+
+  // ---- Constructors / markers ----
+  static RegState NotInit() { return RegState{}; }
+  static RegState Unknown();          // unknown scalar
+  static RegState Known(uint64_t v);  // constant scalar
+  static RegState Pointer(RegType type, int32_t off = 0);
+
+  bool IsConst() const { return type == RegType::kScalar && var_off.IsConst(); }
+  uint64_t ConstValue() const { return var_off.value; }
+
+  // ---- Bounds machinery (ports of the kernel helpers) ----
+  void MarkUnknown();
+  void MarkKnown(uint64_t value);
+  void SetUnboundedBounds();
+  void Set32Unbounded();
+
+  // __update_reg_bounds: refine min/max from var_off.
+  void UpdateBounds();
+  // __reg_deduce_bounds: cross-deduce signed/unsigned bounds.
+  void DeduceBounds();
+  // __reg_bound_offset: refine var_off from bounds.
+  void BoundOffset();
+  // Full pipeline, as reg_bounds_sync.
+  void Sync() {
+    UpdateBounds();
+    DeduceBounds();
+    BoundOffset();
+    UpdateBounds();
+  }
+
+  // Zero-extends the 64-bit bounds from the 32-bit subrange (kernel:
+  // __reg_assign_32_into_64 + zext_32_to_64).
+  void Assign32Into64();
+  // Truncates to 32 bits (after a 32-bit ALU op).
+  void ZExt32();
+
+  // True when the scalar's concrete value is fully known.
+  bool BoundsSane() const;
+
+  std::string ToString() const;
+
+  bool operator==(const RegState& other) const = default;
+};
+
+// Subsumption check for state pruning: every concrete value admitted by
+// |cur| must be admitted by |old| (kernel: regsafe, simplified -- ids must
+// match exactly rather than via an idmap).
+bool RegSubsumes(const RegState& old_reg, const RegState& cur_reg);
+
+}  // namespace bpf
+
+#endif  // SRC_VERIFIER_REG_STATE_H_

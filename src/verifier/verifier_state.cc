@@ -1,0 +1,130 @@
+#include "src/verifier/verifier_state.h"
+
+#include <algorithm>
+
+namespace bpf {
+
+bool FuncState::operator==(const FuncState& other) const {
+  for (int i = 0; i < kNumProgRegs; ++i) {
+    if (!(regs[i] == other.regs[i])) {
+      return false;
+    }
+  }
+  for (int i = 0; i < kStackSlots; ++i) {
+    if (!(stack[i] == other.stack[i])) {
+      return false;
+    }
+  }
+  return callsite == other.callsite;
+}
+
+VerifierState VerifierState::Entry() {
+  VerifierState state;
+  state.frames.emplace_back();
+  FuncState& frame = state.frames.back();
+  frame.regs[kR1] = RegState::Pointer(RegType::kPtrToCtx);
+  frame.regs[kR10] = RegState::Pointer(RegType::kPtrToStack);
+  return state;
+}
+
+bool VerifierState::AddRef(int ref_obj_id) {
+  acquired_refs.push_back(ref_obj_id);
+  return true;
+}
+
+bool VerifierState::ReleaseRef(int ref_obj_id) {
+  auto it = std::find(acquired_refs.begin(), acquired_refs.end(), ref_obj_id);
+  if (it == acquired_refs.end()) {
+    return false;
+  }
+  acquired_refs.erase(it);
+  return true;
+}
+
+std::string VerifierState::ToString() const {
+  std::string out;
+  const FuncState& frame = cur();
+  for (int i = 0; i < kNumProgRegs; ++i) {
+    if (frame.regs[i].type == RegType::kNotInit) {
+      continue;
+    }
+    out += " R" + std::to_string(i) + "=" + frame.regs[i].ToString();
+  }
+  for (int i = 0; i < kStackSlots; ++i) {
+    if (frame.stack[i].type == SlotType::kInvalid) {
+      continue;
+    }
+    const int off = -8 * (i + 1);
+    out += " fp" + std::to_string(off) + "=";
+    switch (frame.stack[i].type) {
+      case SlotType::kSpill:
+        out += frame.stack[i].spilled_reg.ToString();
+        break;
+      case SlotType::kMisc:
+        out += "mmmm";
+        break;
+      case SlotType::kZero:
+        out += "0000";
+        break;
+      default:
+        break;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+bool SlotSubsumes(const StackSlot& old_slot, const StackSlot& cur_slot) {
+  if (old_slot.type == SlotType::kInvalid) {
+    return true;  // old path never relied on this slot
+  }
+  if (old_slot.type == SlotType::kMisc) {
+    // Misc admits any data except spilled pointers the program may reload.
+    return cur_slot.type == SlotType::kMisc || cur_slot.type == SlotType::kZero ||
+           (cur_slot.type == SlotType::kSpill &&
+            cur_slot.spilled_reg.type == RegType::kScalar);
+  }
+  if (old_slot.type != cur_slot.type) {
+    return false;
+  }
+  if (old_slot.type == SlotType::kSpill) {
+    return RegSubsumes(old_slot.spilled_reg, cur_slot.spilled_reg);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool StateSubsumes(const VerifierState& old_state, const VerifierState& cur_state) {
+  if (old_state.frames.size() != cur_state.frames.size()) {
+    return false;
+  }
+  if (old_state.acquired_refs != cur_state.acquired_refs) {
+    return false;
+  }
+  for (size_t f = 0; f < old_state.frames.size(); ++f) {
+    const FuncState& old_frame = old_state.frames[f];
+    const FuncState& cur_frame = cur_state.frames[f];
+    if (old_frame.callsite != cur_frame.callsite) {
+      return false;
+    }
+    for (int i = 0; i < kNumProgRegs; ++i) {
+      if (!RegSubsumes(old_frame.regs[i], cur_frame.regs[i])) {
+        return false;
+      }
+    }
+    for (int i = 0; i < kStackSlots; ++i) {
+      if (!SlotSubsumes(old_frame.stack[i], cur_frame.stack[i])) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool StateEqual(const VerifierState& a, const VerifierState& b) {
+  return a.frames == b.frames && a.acquired_refs == b.acquired_refs;
+}
+
+}  // namespace bpf

@@ -1,0 +1,77 @@
+// Whole-program verification state: register file and stack slots per call
+// frame, plus acquired-reference tracking (kernel: struct bpf_verifier_state
+// and bpf_func_state).
+
+#ifndef SRC_VERIFIER_VERIFIER_STATE_H_
+#define SRC_VERIFIER_VERIFIER_STATE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/ebpf/insn.h"
+#include "src/verifier/reg_state.h"
+
+namespace bpf {
+
+// One 8-byte stack slot.
+enum class SlotType : uint8_t {
+  kInvalid,  // never written
+  kSpill,    // holds a spilled register (spilled_reg valid)
+  kMisc,     // written with partial/unknown data
+  kZero,     // known zero bytes
+};
+
+struct StackSlot {
+  SlotType type = SlotType::kInvalid;
+  RegState spilled_reg;  // valid when type == kSpill
+
+  bool operator==(const StackSlot& other) const = default;
+};
+
+inline constexpr int kStackSlots = kStackSize / 8;  // 64 slots of 8 bytes
+inline constexpr int kMaxCallFrames = 4;
+
+// Per-function (call frame) state.
+struct FuncState {
+  RegState regs[kNumProgRegs];
+  StackSlot stack[kStackSlots];
+
+  // Call bookkeeping.
+  int callsite = -1;  // insn index of the call that entered this frame
+
+  bool operator==(const FuncState& other) const;
+};
+
+struct VerifierState {
+  std::vector<FuncState> frames;
+  // ref_obj_ids of acquired-but-unreleased kernel objects.
+  std::vector<int> acquired_refs;
+  // Total instructions walked along this path (loop-bound enforcement).
+  int insn_path_len = 0;
+
+  FuncState& cur() { return frames.back(); }
+  const FuncState& cur() const { return frames.back(); }
+  RegState* regs() { return frames.back().regs; }
+  const RegState* regs() const { return frames.back().regs; }
+  int frame_depth() const { return static_cast<int>(frames.size()); }
+
+  // Creates the entry state: R1 = ctx, R10 = frame pointer, others not init.
+  static VerifierState Entry();
+
+  bool AddRef(int ref_obj_id);
+  bool ReleaseRef(int ref_obj_id);
+
+  std::string ToString() const;
+};
+
+// Pruning: true if a path continuing from |old_state| proved safe implies the
+// same for |cur_state| (register and stack subsumption across all frames).
+bool StateSubsumes(const VerifierState& old_state, const VerifierState& cur_state);
+
+// Exact equality of the observable state (used for infinite-loop detection).
+bool StateEqual(const VerifierState& a, const VerifierState& b);
+
+}  // namespace bpf
+
+#endif  // SRC_VERIFIER_VERIFIER_STATE_H_

@@ -1,0 +1,505 @@
+// End-to-end reproductions of every injected vulnerability (Table 2 of the
+// paper + CVE-2022-23222): with the bug disabled the trigger program is
+// rejected (or runs cleanly); with it enabled the program loads and the
+// corresponding indicator fires.
+
+#include <gtest/gtest.h>
+
+#include "src/ebpf/builder.h"
+#include "src/runtime/bpf_syscall.h"
+#include "src/sanitizer/asan_funcs.h"
+#include "src/sanitizer/instrument.h"
+
+namespace bpf {
+namespace {
+
+class BugInjectionTest : public ::testing::Test {
+ protected:
+  // Builds a sanitizer-enabled kernel with the given bug set.
+  void Boot(BugConfig bugs, KernelVersion version = KernelVersion::kBpfNext) {
+    kernel_ = std::make_unique<Kernel>(version, bugs);
+    bpf_ = std::make_unique<Bpf>(*kernel_);
+    BpfAsan::Register(*kernel_);
+    sanitizer_ = std::make_unique<bvf::Sanitizer>();
+    bpf_->set_instrument(sanitizer_->Hook());
+  }
+
+  int CreateHash(uint32_t key_size = 8, uint32_t value_size = 16) {
+    MapDef def;
+    def.type = MapType::kHash;
+    def.key_size = key_size;
+    def.value_size = value_size;
+    def.max_entries = 8;
+    return bpf_->MapCreate(def);
+  }
+
+  int CreateArray(uint32_t value_size = 16) {
+    MapDef def;
+    def.type = MapType::kArray;
+    def.key_size = 4;
+    def.value_size = value_size;
+    def.max_entries = 4;
+    return bpf_->MapCreate(def);
+  }
+
+  bool HasReport(ReportKind kind) const {
+    for (const KernelReport& report : kernel_->reports().reports()) {
+      if (report.kind == kind) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::string AllReports() const {
+    std::string out;
+    for (const KernelReport& report : kernel_->reports().reports()) {
+      out += report.Signature() + " | " + report.details + "\n";
+    }
+    return out;
+  }
+
+  std::unique_ptr<Kernel> kernel_;
+  std::unique_ptr<Bpf> bpf_;
+  std::unique_ptr<bvf::Sanitizer> sanitizer_;
+};
+
+// ---- Bug #1: nullness propagation (Listing 2) ----
+
+Program Bug1Program(int hash_fd) {
+  ProgramBuilder b(ProgType::kKprobe);
+  // #1: r6 = PTR_TO_BTF_ID that is NULL at runtime (kernel thread's mm).
+  b.LdBtfId(kR6, kBtfMmStruct);
+  // key 7777 is never inserted -> lookup misses -> r0 NULL at runtime.
+  b.StoreImm(kSizeDw, kR10, -8, 7777);
+  b.LdMapFd(kR1, hash_fd);
+  b.Mov(kR2, kR10);
+  b.Add(kR2, -8);
+  b.Call(kHelperMapLookupElem);
+  // #6: equality comparison; in the equal path the buggy verifier marks r0
+  // non-null because r6 is "trusted non-null".
+  b.JmpIfReg(kJmpJne, kR0, kR6, 1);
+  // #7: dereference in the equal path; at runtime r0 == 0.
+  b.Load(kSizeDw, kR8, kR0, 0);
+  b.RetImm(0);
+  return b.Build();
+}
+
+TEST_F(BugInjectionTest, Bug1RejectedWhenFixed) {
+  Boot(BugConfig::None());
+  const int hash_fd = CreateHash();
+  VerifierResult result;
+  EXPECT_EQ(bpf_->ProgLoad(Bug1Program(hash_fd), &result), -EACCES) << result.log;
+}
+
+TEST_F(BugInjectionTest, Bug1NullDerefCaughtBySanitizer) {
+  BugConfig bugs;
+  bugs.bug1_nullness_propagation = true;
+  Boot(bugs);
+  const int hash_fd = CreateHash();
+  VerifierResult result;
+  const int fd = bpf_->ProgLoad(Bug1Program(hash_fd), &result);
+  ASSERT_GT(fd, 0) << result.log;
+  bpf_->ProgTestRun(fd);
+  EXPECT_TRUE(HasReport(ReportKind::kBpfAsanNullDeref)) << AllReports();
+}
+
+// ---- Bug #2: task_struct bound checked against a page ----
+
+Program Bug2Program() {
+  ProgramBuilder b(ProgType::kKprobe);
+  b.Call(kHelperGetCurrentTaskBtf);
+  b.Load(kSizeDw, kR7, kR0, 200);  // task_struct is 192 bytes
+  b.RetImm(0);
+  return b.Build();
+}
+
+TEST_F(BugInjectionTest, Bug2RejectedWhenFixed) {
+  Boot(BugConfig::None());
+  EXPECT_EQ(bpf_->ProgLoad(Bug2Program()), -EACCES);
+}
+
+TEST_F(BugInjectionTest, Bug2OobCaughtBySanitizer) {
+  BugConfig bugs;
+  bugs.bug2_task_struct_bounds = true;
+  Boot(bugs);
+  VerifierResult result;
+  const int fd = bpf_->ProgLoad(Bug2Program(), &result);
+  ASSERT_GT(fd, 0) << result.log;
+  bpf_->ProgTestRun(fd);
+  EXPECT_TRUE(HasReport(ReportKind::kBpfAsanOob)) << AllReports();
+}
+
+// ---- Bug #3: stale caller-saved bounds across kfunc calls ----
+
+Program Bug3Program(int array_fd) {
+  ProgramBuilder b(ProgType::kKprobe);
+  b.StoreImm(kSizeW, kR10, -4, 0);
+  b.LdMapFd(kR1, array_fd);
+  b.Mov(kR2, kR10);
+  b.Add(kR2, -4);
+  b.Call(kHelperMapLookupElem);
+  b.JmpIf(kJmpJeq, kR0, 0, 10);
+  b.Mov(kR6, kR0);                    // map value
+  b.Call(kHelperGetCurrentTaskBtf);
+  b.Mov(kR1, kR0);
+  b.Load(kSizeW, kR3, kR6, 0);        // variable scalar from the map value...
+  b.And(kR3, 7);                      // ...range-refined into [0, 7]
+  b.Kfunc(kKfuncTaskAcquire);
+  b.Mov(kR1, kR0);
+  b.Kfunc(kKfuncTaskRelease);
+  b.Add(kR6, kR3);                    // r3 is garbage at runtime (kfuncs clobber)
+  b.Load(kSizeDw, kR7, kR6, 0);
+  b.RetImm(0);
+  return b.Build();
+}
+
+TEST_F(BugInjectionTest, Bug3RejectedWhenFixed) {
+  Boot(BugConfig::None());
+  const int array_fd = CreateArray(64);
+  VerifierResult result;
+  EXPECT_EQ(bpf_->ProgLoad(Bug3Program(array_fd), &result), -EACCES) << result.log;
+}
+
+TEST_F(BugInjectionTest, Bug3StaleBoundsCaughtByAluCheck) {
+  BugConfig bugs;
+  bugs.bug3_kfunc_backtrack = true;
+  Boot(bugs);
+  const int array_fd = CreateArray(64);
+  VerifierResult result;
+  const int fd = bpf_->ProgLoad(Bug3Program(array_fd), &result);
+  ASSERT_GT(fd, 0) << result.log;
+  bpf_->ProgTestRun(fd);
+  EXPECT_TRUE(HasReport(ReportKind::kAluLimitViolation)) << AllReports();
+}
+
+// ---- Bug #4: trace_printk recursion ----
+
+Program Bug4Program() {
+  ProgramBuilder b(ProgType::kKprobe);
+  b.StoreImm(kSizeDw, kR10, -8, 0x21626d);  // "mb!" format bytes
+  b.Mov(kR1, kR10);
+  b.Add(kR1, -8);
+  b.Mov(kR2, 4);
+  b.Mov(kR3, 0);
+  b.Call(kHelperTracePrintk);
+  b.RetImm(0);
+  return b.Build();
+}
+
+TEST_F(BugInjectionTest, Bug4AttachRejectedWhenFixed) {
+  Boot(BugConfig::None());
+  const int fd = bpf_->ProgLoad(Bug4Program());
+  ASSERT_GT(fd, 0);
+  EXPECT_EQ(bpf_->ProgAttach(fd, TracepointId::kTracePrintk), -EINVAL);
+}
+
+TEST_F(BugInjectionTest, Bug4RecursionCaughtByLockdep) {
+  BugConfig bugs;
+  bugs.bug4_trace_printk_recursion = true;
+  Boot(bugs);
+  const int fd = bpf_->ProgLoad(Bug4Program());
+  ASSERT_GT(fd, 0);
+  ASSERT_EQ(bpf_->ProgAttach(fd, TracepointId::kTracePrintk), 0);
+  bpf_->FireEvent(TracepointId::kTracePrintk);
+  EXPECT_TRUE(HasReport(ReportKind::kLockdepRecursion) ||
+              HasReport(ReportKind::kLockdepInconsistent))
+      << AllReports();
+}
+
+// ---- Bug #5: contention_begin re-entrancy (Fig. 2) ----
+
+Program Bug5Program(int hash_fd) {
+  ProgramBuilder b(ProgType::kTracepoint);
+  b.Call(kHelperGetCurrentTaskBtf);
+  b.Mov(kR2, kR0);
+  b.LdMapFd(kR1, hash_fd);
+  b.Mov(kR3, 0);
+  b.Mov(kR4, 1);
+  b.Call(kHelperTaskStorageGet);  // acquires the storage lock
+  b.RetImm(0);
+  return b.Build();
+}
+
+TEST_F(BugInjectionTest, Bug5AttachRejectedWhenFixed) {
+  Boot(BugConfig::None());
+  const int hash_fd = CreateHash();
+  VerifierResult result;
+  const int fd = bpf_->ProgLoad(Bug5Program(hash_fd), &result);
+  ASSERT_GT(fd, 0) << result.log;
+  EXPECT_EQ(bpf_->ProgAttach(fd, TracepointId::kContentionBegin), -EINVAL);
+}
+
+TEST_F(BugInjectionTest, Bug5DeadlockCaughtByLockdep) {
+  BugConfig bugs;
+  bugs.bug5_contention_begin = true;
+  Boot(bugs);
+  const int hash_fd = CreateHash();
+  const int fd = bpf_->ProgLoad(Bug5Program(hash_fd));
+  ASSERT_GT(fd, 0);
+  ASSERT_EQ(bpf_->ProgAttach(fd, TracepointId::kContentionBegin), 0);
+  // Running the program once enters task_storage_get, which raises
+  // contention_begin, re-entering the program: recursive acquisition.
+  bpf_->ProgTestRun(fd);
+  EXPECT_TRUE(HasReport(ReportKind::kLockdepRecursion) ||
+              HasReport(ReportKind::kLockdepInconsistent))
+      << AllReports();
+}
+
+// ---- Bug #6: bpf_send_signal from irq context ----
+
+Program Bug6Program() {
+  ProgramBuilder b(ProgType::kKprobe);
+  b.Mov(kR1, 9);
+  b.Call(kHelperSendSignal);
+  b.RetImm(0);
+  return b.Build();
+}
+
+TEST_F(BugInjectionTest, Bug6NoPanicWhenFixed) {
+  Boot(BugConfig::None());
+  const int fd = bpf_->ProgLoad(Bug6Program());
+  ASSERT_GT(fd, 0);
+  ASSERT_EQ(bpf_->ProgAttach(fd, TracepointId::kContentionBegin), 0);
+  bpf_->FireEvent(TracepointId::kContentionBegin);
+  EXPECT_FALSE(kernel_->reports().panicked()) << AllReports();
+}
+
+TEST_F(BugInjectionTest, Bug6PanicFromIrqContext) {
+  BugConfig bugs;
+  bugs.bug6_send_signal = true;
+  Boot(bugs);
+  const int fd = bpf_->ProgLoad(Bug6Program());
+  ASSERT_GT(fd, 0);
+  ASSERT_EQ(bpf_->ProgAttach(fd, TracepointId::kContentionBegin), 0);
+  bpf_->FireEvent(TracepointId::kContentionBegin);
+  EXPECT_TRUE(kernel_->reports().panicked()) << AllReports();
+}
+
+// ---- Bug #7: dispatcher update/run race ----
+
+TEST_F(BugInjectionTest, Bug7DispatcherRace) {
+  ProgramBuilder b(ProgType::kXdp);
+  b.RetImm(2);  // XDP_PASS
+  {
+    Boot(BugConfig::None());
+    const int fd = bpf_->ProgLoad(b.Build());
+    ASSERT_GT(fd, 0);
+    ASSERT_EQ(bpf_->XdpInstall(fd), 0);
+    EXPECT_EQ(bpf_->XdpRun().err, 0);
+    EXPECT_FALSE(HasReport(ReportKind::kKasanNullDeref));
+  }
+  {
+    BugConfig bugs;
+    bugs.bug7_dispatcher_sync = true;
+    Boot(bugs);
+    const int fd = bpf_->ProgLoad(b.Build());
+    ASSERT_GT(fd, 0);
+    ASSERT_EQ(bpf_->XdpInstall(fd), 0);
+    bpf_->XdpRun();
+    EXPECT_TRUE(HasReport(ReportKind::kKasanNullDeref)) << AllReports();
+  }
+}
+
+// ---- Bug #8: kmemdup of large rewritten programs ----
+
+Program BigProgram() {
+  ProgramBuilder b;
+  // Stores through a copied stack pointer are NOT covered by the R10
+  // reduction, so sanitation inflates each into a dispatch sequence —
+  // pushing the rewritten image past KMALLOC_MAX (the bug #8 trigger).
+  b.Mov(kR6, kR10);
+  b.Add(kR6, -8);
+  b.StoreImm(kSizeDw, kR10, -8, 0);
+  for (int i = 0; i < 400; ++i) {
+    b.StoreImm(kSizeDw, kR6, 0, i);
+  }
+  b.RetImm(0);
+  return b.Build();
+}
+
+TEST_F(BugInjectionTest, Bug8KmemdupFailureWarns) {
+  {
+    Boot(BugConfig::None());
+    const int fd = bpf_->ProgLoad(BigProgram());
+    EXPECT_GT(fd, 0);
+    EXPECT_FALSE(HasReport(ReportKind::kWarn)) << AllReports();
+  }
+  {
+    BugConfig bugs;
+    bugs.bug8_kmemdup = true;
+    Boot(bugs);
+    bpf_->ProgLoad(BigProgram());
+    EXPECT_TRUE(HasReport(ReportKind::kWarn)) << AllReports();
+  }
+}
+
+// ---- Bug #9: hash map bucket iteration under contention ----
+
+TEST_F(BugInjectionTest, Bug9BatchedLookupOob) {
+  BugConfig bugs;
+  bugs.bug9_bucket_iteration = true;
+  Boot(bugs);
+  const int hash_fd = CreateHash(4, 16);
+  for (uint32_t k = 0; k < 6; ++k) {
+    uint8_t value[16] = {};
+    bpf_->MapUpdateElem(hash_fd, &k, value);
+  }
+  for (int round = 0; round < 4; ++round) {
+    bpf_->MapLookupBatch(hash_fd, 16);
+  }
+  EXPECT_TRUE(HasReport(ReportKind::kKasanOob)) << AllReports();
+}
+
+TEST_F(BugInjectionTest, Bug9NoOobWhenFixed) {
+  Boot(BugConfig::None());
+  const int hash_fd = CreateHash(4, 16);
+  for (uint32_t k = 0; k < 6; ++k) {
+    uint8_t value[16] = {};
+    bpf_->MapUpdateElem(hash_fd, &k, value);
+  }
+  for (int round = 0; round < 4; ++round) {
+    bpf_->MapLookupBatch(hash_fd, 16);
+  }
+  EXPECT_FALSE(HasReport(ReportKind::kKasanOob)) << AllReports();
+}
+
+// ---- Bug #10: irq_work misuse in perf_event_output ----
+
+Program Bug10Program(int array_fd) {
+  ProgramBuilder b(ProgType::kTracepoint);
+  b.StoreImm(kSizeDw, kR10, -8, 1);
+  b.StoreImm(kSizeDw, kR10, -16, 2);
+  b.Mov(kR6, kR1);  // keep ctx
+  b.Mov(kR1, kR6);
+  b.LdMapFd(kR2, array_fd);
+  b.Mov(kR3, 0);
+  b.Mov(kR4, kR10);
+  b.Add(kR4, -16);
+  b.Mov(kR5, 16);
+  b.Call(kHelperPerfEventOutput);
+  b.RetImm(0);
+  return b.Build();
+}
+
+TEST_F(BugInjectionTest, Bug10LockBugUnderSchedSwitch) {
+  BugConfig bugs;
+  bugs.bug10_irq_work = true;
+  Boot(bugs);
+  const int array_fd = CreateArray();
+  VerifierResult result;
+  const int fd = bpf_->ProgLoad(Bug10Program(array_fd), &result);
+  ASSERT_GT(fd, 0) << result.log;
+  ASSERT_EQ(bpf_->ProgAttach(fd, TracepointId::kSchedSwitch), 0);
+  bpf_->FireEvent(TracepointId::kSchedSwitch);  // fired under rq_lock
+  EXPECT_TRUE(HasReport(ReportKind::kLockdepRecursion) ||
+              HasReport(ReportKind::kLockdepInconsistent))
+      << AllReports();
+}
+
+TEST_F(BugInjectionTest, Bug10NoLockBugWhenFixed) {
+  Boot(BugConfig::None());
+  const int array_fd = CreateArray();
+  const int fd = bpf_->ProgLoad(Bug10Program(array_fd));
+  ASSERT_GT(fd, 0);
+  ASSERT_EQ(bpf_->ProgAttach(fd, TracepointId::kSchedSwitch), 0);
+  bpf_->FireEvent(TracepointId::kSchedSwitch);
+  EXPECT_FALSE(HasReport(ReportKind::kLockdepRecursion)) << AllReports();
+}
+
+// ---- Bug #11: offloaded XDP program on the host path ----
+
+TEST_F(BugInjectionTest, Bug11OffloadOnHost) {
+  ProgramBuilder b(ProgType::kXdp);
+  b.RetImm(2);
+  Program prog = b.Build();
+  prog.offload_requested = true;
+  {
+    Boot(BugConfig::None());
+    const int fd = bpf_->ProgLoad(prog);
+    ASSERT_GT(fd, 0);
+    EXPECT_EQ(bpf_->XdpInstall(fd), -EINVAL);
+  }
+  {
+    BugConfig bugs;
+    bugs.bug11_xdp_offload = true;
+    Boot(bugs);
+    const int fd = bpf_->ProgLoad(prog);
+    ASSERT_GT(fd, 0);
+    ASSERT_EQ(bpf_->XdpInstall(fd), 0);
+    bpf_->XdpRun();
+    EXPECT_TRUE(HasReport(ReportKind::kWarn)) << AllReports();
+  }
+}
+
+// ---- CVE-2022-23222 (Listing 1): ALU on nullable pointers ----
+
+Program CveProgram(int hash_fd) {
+  ProgramBuilder b;
+  b.StoreImm(kSizeDw, kR10, -8, 7777);  // guaranteed-miss key
+  b.LdMapFd(kR1, hash_fd);
+  b.Mov(kR2, kR10);
+  b.Add(kR2, -8);
+  b.Call(kHelperMapLookupElem);
+  b.Add(kR0, 8);  // ALU on map_value_or_null: the missing check
+  // Null check after the arithmetic: at runtime r0 == 8, so the "non-null"
+  // branch is taken while the pointer is garbage.
+  b.JmpIf(kJmpJeq, kR0, 0, 1);
+  b.Load(kSizeDw, kR8, kR0, 0);
+  b.RetImm(0);
+  return b.Build();
+}
+
+TEST_F(BugInjectionTest, CveRejectedWhenFixed) {
+  Boot(BugConfig::None(), KernelVersion::kV5_15);
+  const int hash_fd = CreateHash();
+  VerifierResult result;
+  EXPECT_EQ(bpf_->ProgLoad(CveProgram(hash_fd), &result), -EACCES) << result.log;
+}
+
+TEST_F(BugInjectionTest, CveInvalidAccessCaught) {
+  BugConfig bugs;
+  bugs.cve_2022_23222 = true;
+  Boot(bugs, KernelVersion::kV5_15);
+  const int hash_fd = CreateHash();
+  VerifierResult result;
+  const int fd = bpf_->ProgLoad(CveProgram(hash_fd), &result);
+  ASSERT_GT(fd, 0) << result.log;
+  bpf_->ProgTestRun(fd);
+  EXPECT_TRUE(HasReport(ReportKind::kBpfAsanNullDeref) ||
+              HasReport(ReportKind::kBpfAsanWild))
+      << AllReports();
+}
+
+// With every bug disabled, a healthy workload produces no reports at all
+// (false-positive check for the oracle).
+TEST_F(BugInjectionTest, NoFalsePositivesOnFixedKernel) {
+  Boot(BugConfig::None());
+  const int hash_fd = CreateHash();
+  const int array_fd = CreateArray(64);
+
+  ProgramBuilder b(ProgType::kKprobe);
+  b.StoreImm(kSizeW, kR10, -4, 0);
+  b.LdMapFd(kR1, array_fd);
+  b.Mov(kR2, kR10);
+  b.Add(kR2, -4);
+  b.Call(kHelperMapLookupElem);
+  b.JmpIf(kJmpJeq, kR0, 0, 2);
+  b.StoreImm(kSizeDw, kR0, 0, 42);
+  b.Load(kSizeDw, kR7, kR0, 8);
+  b.Call(kHelperKtimeGetNs);
+  b.RetImm(0);
+  VerifierResult result;
+  const int fd = bpf_->ProgLoad(b.Build(), &result);
+  ASSERT_GT(fd, 0) << result.log;
+  for (int i = 0; i < 4; ++i) {
+    bpf_->ProgTestRun(fd, 64, i);
+  }
+  const int fd2 = bpf_->ProgLoad(Bug5Program(hash_fd), &result);
+  ASSERT_GT(fd2, 0) << result.log;
+  bpf_->ProgTestRun(fd2);
+  EXPECT_TRUE(kernel_->reports().empty()) << AllReports();
+}
+
+}  // namespace
+}  // namespace bpf

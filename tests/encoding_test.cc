@@ -1,0 +1,202 @@
+// Structural encoding validation (CheckEncoding): the first gate of the
+// loader, mirroring the opcode/reserved-field checks at the top of
+// bpf_check().
+
+#include <gtest/gtest.h>
+
+#include "src/ebpf/builder.h"
+#include "src/ebpf/program.h"
+
+namespace bpf {
+namespace {
+
+Program Wrap(std::vector<Insn> insns) {
+  Program prog;
+  prog.insns = std::move(insns);
+  return prog;
+}
+
+int Check(std::vector<Insn> insns) { return CheckEncoding(Wrap(std::move(insns)), nullptr); }
+
+TEST(EncodingTest, MinimalOk) {
+  EXPECT_EQ(Check({MovImm(kR0, 0), Exit()}), 0);
+}
+
+TEST(EncodingTest, EmptyRejected) {
+  EXPECT_EQ(Check({}), -EINVAL);
+}
+
+TEST(EncodingTest, TooLargeRejected) {
+  std::vector<Insn> insns(kMaxInsns + 1, MovImm(kR0, 0));
+  insns.back() = Exit();
+  EXPECT_EQ(Check(std::move(insns)), -E2BIG);
+}
+
+TEST(EncodingTest, InvalidRegisterNumber) {
+  Insn insn = MovImm(kR0, 0);
+  insn.dst = 11;  // R11 is internal-only
+  EXPECT_EQ(Check({insn, Exit()}), -EINVAL);
+  insn = MovReg(kR0, kR1);
+  insn.src = 15;
+  EXPECT_EQ(Check({insn, Exit()}), -EINVAL);
+}
+
+TEST(EncodingTest, InvalidAluOpcode) {
+  Insn insn;
+  insn.opcode = kClassAlu64 | 0xe0;  // 0xe0 is not a valid ALU op
+  EXPECT_EQ(Check({insn, MovImm(kR0, 0), Exit()}), -EINVAL);
+}
+
+TEST(EncodingTest, AluRegWithReservedImm) {
+  Insn insn = AluReg(kAluAdd, kR1, kR2);
+  insn.imm = 5;
+  EXPECT_EQ(Check({insn, MovImm(kR0, 0), Exit()}), -EINVAL);
+}
+
+TEST(EncodingTest, AluWithReservedOff) {
+  Insn insn = AluImm(kAluAdd, kR1, 5);
+  insn.off = 2;
+  EXPECT_EQ(Check({insn, MovImm(kR0, 0), Exit()}), -EINVAL);
+}
+
+TEST(EncodingTest, ShiftOutOfRange) {
+  EXPECT_EQ(Check({AluImm(kAluLsh, kR1, 64), MovImm(kR0, 0), Exit()}), -EINVAL);
+  EXPECT_EQ(Check({Alu32Imm(kAluLsh, kR1, 32), MovImm(kR0, 0), Exit()}), -EINVAL);
+  EXPECT_EQ(Check({AluImm(kAluLsh, kR1, 63), MovImm(kR0, 0), Exit()}), 0);
+}
+
+TEST(EncodingTest, DivByZeroImmediate) {
+  EXPECT_EQ(Check({AluImm(kAluDiv, kR1, 0), MovImm(kR0, 0), Exit()}), -EINVAL);
+  EXPECT_EQ(Check({AluImm(kAluMod, kR1, 0), MovImm(kR0, 0), Exit()}), -EINVAL);
+}
+
+TEST(EncodingTest, NegWithOperandRejected) {
+  Insn insn = Neg(kR1);
+  insn.imm = 1;
+  EXPECT_EQ(Check({insn, MovImm(kR0, 0), Exit()}), -EINVAL);
+}
+
+TEST(EncodingTest, ByteSwapWidths) {
+  Insn bswap;
+  bswap.opcode = kClassAlu | kAluEnd;
+  bswap.dst = kR1;
+  bswap.imm = 16;
+  EXPECT_EQ(Check({bswap, MovImm(kR0, 0), Exit()}), 0);
+  bswap.imm = 24;
+  EXPECT_EQ(Check({bswap, MovImm(kR0, 0), Exit()}), -EINVAL);
+}
+
+TEST(EncodingTest, LdImm64MissingHighSlot) {
+  EXPECT_EQ(Check({LdImm64Lo(kR1, 0, 5), Exit()}), -EINVAL);
+}
+
+TEST(EncodingTest, LdImm64MalformedHighSlot) {
+  Insn hi = LdImm64Hi(0);
+  hi.dst = 1;
+  EXPECT_EQ(Check({LdImm64Lo(kR1, 0, 5), hi, MovImm(kR0, 0), Exit()}), -EINVAL);
+}
+
+TEST(EncodingTest, LdImm64BadPseudoSrc) {
+  EXPECT_EQ(Check({LdImm64Lo(kR1, 7, 5), LdImm64Hi(5), MovImm(kR0, 0), Exit()}), -EINVAL);
+}
+
+TEST(EncodingTest, LegacyPacketLoadRejected) {
+  Insn insn;
+  insn.opcode = kClassLd | kSizeW | kModeAbs;
+  EXPECT_EQ(Check({insn, MovImm(kR0, 0), Exit()}), -EINVAL);
+}
+
+TEST(EncodingTest, LdxWrongMode) {
+  Insn insn = LoadMem(kSizeW, kR0, kR1, 0);
+  insn.opcode = kClassLdx | kSizeW | kModeImm;
+  EXPECT_EQ(Check({insn, MovImm(kR0, 0), Exit()}), -EINVAL);
+}
+
+TEST(EncodingTest, LdxReservedImm) {
+  Insn insn = LoadMem(kSizeW, kR0, kR1, 0);
+  insn.imm = 3;
+  EXPECT_EQ(Check({insn, MovImm(kR0, 0), Exit()}), -EINVAL);
+}
+
+TEST(EncodingTest, StReservedSrc) {
+  Insn insn = StoreMemImm(kSizeW, kR1, 0, 7);
+  insn.src = 2;
+  EXPECT_EQ(Check({insn, MovImm(kR0, 0), Exit()}), -EINVAL);
+}
+
+TEST(EncodingTest, StxReservedImm) {
+  Insn insn = StoreMemReg(kSizeW, kR1, kR2, 0);
+  insn.imm = 9;
+  EXPECT_EQ(Check({insn, MovImm(kR0, 0), Exit()}), -EINVAL);
+}
+
+TEST(EncodingTest, AtomicSizes) {
+  EXPECT_EQ(Check({AtomicOp(kSizeDw, kR10, kR1, -8, kAtomicAdd), MovImm(kR0, 0), Exit()}), 0);
+  EXPECT_EQ(Check({AtomicOp(kSizeW, kR10, kR1, -8, kAtomicAdd), MovImm(kR0, 0), Exit()}), 0);
+  EXPECT_EQ(Check({AtomicOp(kSizeH, kR10, kR1, -8, kAtomicAdd), MovImm(kR0, 0), Exit()}),
+            -EINVAL);
+  EXPECT_EQ(Check({AtomicOp(kSizeB, kR10, kR1, -8, kAtomicAdd), MovImm(kR0, 0), Exit()}),
+            -EINVAL);
+}
+
+TEST(EncodingTest, AtomicOps) {
+  for (const int32_t op : {kAtomicAdd, kAtomicOr, kAtomicAnd, kAtomicXor,
+                           kAtomicAdd | kAtomicFetch, kAtomicXchg, kAtomicCmpXchg}) {
+    EXPECT_EQ(Check({AtomicOp(kSizeDw, kR10, kR1, -8, op), MovImm(kR0, 0), Exit()}), 0) << op;
+  }
+  EXPECT_EQ(Check({AtomicOp(kSizeDw, kR10, kR1, -8, 0x33), MovImm(kR0, 0), Exit()}), -EINVAL);
+}
+
+TEST(EncodingTest, JumpOutOfRange) {
+  EXPECT_EQ(Check({JmpImm(kJmpJeq, kR0, 0, 5), MovImm(kR0, 0), Exit()}), -EINVAL);
+  EXPECT_EQ(Check({JmpImm(kJmpJeq, kR0, 0, -2), MovImm(kR0, 0), Exit()}), -EINVAL);
+}
+
+TEST(EncodingTest, JmpRegReservedImm) {
+  Insn insn = JmpReg(kJmpJeq, kR0, kR1, 1);
+  insn.imm = 1;
+  EXPECT_EQ(Check({insn, MovImm(kR0, 0), MovImm(kR0, 0), Exit()}), -EINVAL);
+}
+
+TEST(EncodingTest, MalformedCall) {
+  Insn call = CallHelper(1);
+  call.dst = 1;
+  EXPECT_EQ(Check({call, MovImm(kR0, 0), Exit()}), -EINVAL);
+  call = CallHelper(1);
+  call.off = 4;
+  EXPECT_EQ(Check({call, MovImm(kR0, 0), Exit()}), -EINVAL);
+  call = CallHelper(1);
+  call.src = 5;  // invalid pseudo
+  EXPECT_EQ(Check({call, MovImm(kR0, 0), Exit()}), -EINVAL);
+}
+
+TEST(EncodingTest, MalformedExit) {
+  Insn exit_insn = Exit();
+  exit_insn.imm = 1;
+  EXPECT_EQ(Check({MovImm(kR0, 0), exit_insn}), -EINVAL);
+}
+
+TEST(EncodingTest, Jmp32CallRejected) {
+  Insn insn = CallHelper(1);
+  insn.opcode = kClassJmp32 | kJmpCall;
+  EXPECT_EQ(Check({insn, MovImm(kR0, 0), Exit()}), -EINVAL);
+}
+
+TEST(EncodingTest, FallOffEndRejected) {
+  EXPECT_EQ(Check({MovImm(kR0, 0), MovImm(kR1, 1)}), -EINVAL);
+}
+
+TEST(EncodingTest, EndsWithBackwardJaOk) {
+  // mov; ja -2 (self loop): structurally fine, semantically caught later.
+  EXPECT_EQ(Check({MovImm(kR0, 0), JmpA(-2)}), 0);
+}
+
+TEST(EncodingTest, LogMessagePopulated) {
+  std::string log;
+  Program prog;
+  CheckEncoding(prog, &log);
+  EXPECT_NE(log.find("empty program"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bpf

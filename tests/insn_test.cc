@@ -1,0 +1,129 @@
+// Instruction encoding, constructors, decomposition predicates, and the
+// disassembler.
+
+#include <gtest/gtest.h>
+
+#include "src/ebpf/builder.h"
+#include "src/ebpf/insn.h"
+
+namespace bpf {
+namespace {
+
+TEST(InsnTest, ClassDecomposition) {
+  EXPECT_EQ(MovReg(kR1, kR2).Class(), kClassAlu64);
+  EXPECT_EQ(Mov32Reg(kR1, kR2).Class(), kClassAlu);
+  EXPECT_EQ(LoadMem(kSizeDw, kR1, kR2, 0).Class(), kClassLdx);
+  EXPECT_EQ(StoreMemReg(kSizeW, kR1, kR2, 0).Class(), kClassStx);
+  EXPECT_EQ(StoreMemImm(kSizeB, kR1, 0, 0).Class(), kClassSt);
+  EXPECT_EQ(JmpA(0).Class(), kClassJmp);
+  EXPECT_EQ(Jmp32Imm(kJmpJeq, kR1, 0, 0).Class(), kClassJmp32);
+}
+
+TEST(InsnTest, AluOpExtraction) {
+  EXPECT_EQ(AluImm(kAluAdd, kR1, 5).AluOp(), kAluAdd);
+  EXPECT_EQ(AluReg(kAluXor, kR1, kR2).AluOp(), kAluXor);
+  EXPECT_TRUE(AluReg(kAluXor, kR1, kR2).SrcIsReg());
+  EXPECT_FALSE(AluImm(kAluXor, kR1, 3).SrcIsReg());
+}
+
+TEST(InsnTest, AccessBytes) {
+  EXPECT_EQ(LoadMem(kSizeB, kR0, kR1, 0).AccessBytes(), 1);
+  EXPECT_EQ(LoadMem(kSizeH, kR0, kR1, 0).AccessBytes(), 2);
+  EXPECT_EQ(LoadMem(kSizeW, kR0, kR1, 0).AccessBytes(), 4);
+  EXPECT_EQ(LoadMem(kSizeDw, kR0, kR1, 0).AccessBytes(), 8);
+}
+
+TEST(InsnTest, Predicates) {
+  EXPECT_TRUE(LoadMem(kSizeDw, kR0, kR1, 8).IsMemLoad());
+  EXPECT_FALSE(LoadMem(kSizeDw, kR0, kR1, 8).IsMemStore());
+  EXPECT_TRUE(StoreMemReg(kSizeDw, kR1, kR2, -8).IsMemStore());
+  EXPECT_TRUE(StoreMemImm(kSizeDw, kR1, -8, 1).IsMemStore());
+  EXPECT_TRUE(AtomicOp(kSizeDw, kR1, kR2, 0, kAtomicAdd).IsAtomic());
+  EXPECT_FALSE(AtomicOp(kSizeDw, kR1, kR2, 0, kAtomicAdd).IsMemStore());
+  EXPECT_TRUE(CallHelper(1).IsHelperCall());
+  EXPECT_TRUE(CallKfunc(100).IsKfuncCall());
+  EXPECT_TRUE(CallPseudoFunc(3).IsBpfToBpfCall());
+  EXPECT_TRUE(Exit().IsExit());
+  EXPECT_TRUE(LdImm64Lo(kR1, 0, 0).IsLdImm64());
+}
+
+TEST(InsnTest, LdImm64Pair) {
+  const uint64_t value = 0xdeadbeefcafebabeull;
+  const Insn lo = LdImm64Lo(kR3, kPseudoMapFd, value);
+  const Insn hi = LdImm64Hi(value);
+  EXPECT_EQ(static_cast<uint32_t>(lo.imm), 0xcafebabeu);
+  EXPECT_EQ(static_cast<uint32_t>(hi.imm), 0xdeadbeefu);
+  EXPECT_EQ(lo.src, kPseudoMapFd);
+  EXPECT_EQ(hi.opcode, 0);
+}
+
+TEST(InsnTest, EqualityOperator) {
+  EXPECT_EQ(MovImm(kR1, 5), MovImm(kR1, 5));
+  EXPECT_NE(MovImm(kR1, 5), MovImm(kR1, 6));
+  EXPECT_NE(MovImm(kR1, 5), MovImm(kR2, 5));
+}
+
+TEST(DisasmTest, AluForms) {
+  EXPECT_EQ(Disassemble(MovImm(kR1, 5)), "r1 = 5");
+  EXPECT_EQ(Disassemble(MovReg(kR1, kR2)), "r1 = r2");
+  EXPECT_EQ(Disassemble(AluImm(kAluAdd, kR3, -4)), "r3 += -4");
+  EXPECT_EQ(Disassemble(Alu32Imm(kAluAdd, kR3, 4)), "wr3 += 4");
+  EXPECT_EQ(Disassemble(Neg(kR5)), "r5 = -r5");
+}
+
+TEST(DisasmTest, MemForms) {
+  EXPECT_EQ(Disassemble(LoadMem(kSizeDw, kR0, kR1, 8)), "r0 = *(u64 *)(r1 +8)");
+  EXPECT_EQ(Disassemble(StoreMemReg(kSizeW, kR10, kR2, -4)), "*(u32 *)(r10 -4) = r2");
+  EXPECT_EQ(Disassemble(StoreMemImm(kSizeB, kR1, 0, 7)), "*(u8 *)(r1 +0) = 7");
+}
+
+TEST(DisasmTest, JmpForms) {
+  EXPECT_EQ(Disassemble(JmpA(3)), "goto +3");
+  EXPECT_EQ(Disassemble(JmpImm(kJmpJeq, kR0, 0, 2)), "if r0 == 0 goto +2");
+  EXPECT_EQ(Disassemble(JmpReg(kJmpJgt, kR1, kR2, -4)), "if r1 > r2 goto -4");
+  EXPECT_EQ(Disassemble(Jmp32Imm(kJmpJslt, kR3, 7, 1)), "if wr3 s< 7 goto +1");
+  EXPECT_EQ(Disassemble(CallHelper(1)), "call helper#1");
+  EXPECT_EQ(Disassemble(CallKfunc(100)), "call kfunc#100");
+  EXPECT_EQ(Disassemble(Exit()), "exit");
+}
+
+TEST(DisasmTest, LdImm64Forms) {
+  EXPECT_EQ(Disassemble(LdImm64Lo(kR1, kPseudoMapFd, 3)), "r1 = 0x3 ll map_fd");
+  EXPECT_EQ(Disassemble(LdImm64Lo(kR2, kPseudoBtfId, 1)), "r2 = 0x1 ll btf_id");
+  EXPECT_EQ(Disassemble(LdImm64Lo(kR2, 0, 0x42)), "r2 = 0x42 ll");
+}
+
+TEST(BuilderTest, FluentChainBuildsProgram) {
+  ProgramBuilder b(ProgType::kXdp);
+  b.Mov(kR0, 2).Add(kR0, 1).Ret();
+  const Program prog = b.Build();
+  EXPECT_EQ(prog.type, ProgType::kXdp);
+  ASSERT_EQ(prog.size(), 3u);
+  EXPECT_TRUE(prog.insns[2].IsExit());
+}
+
+TEST(BuilderTest, LdMapFdEmitsTwoSlots) {
+  ProgramBuilder b;
+  b.LdMapFd(kR1, 7);
+  EXPECT_EQ(b.size(), 2u);
+  const Program prog = b.Build();
+  EXPECT_TRUE(prog.insns[0].IsLdImm64());
+  EXPECT_EQ(prog.insns[0].imm, 7);
+}
+
+TEST(BuilderTest, ProgramDisassembleNumbersLines) {
+  ProgramBuilder b;
+  b.RetImm(0);
+  const std::string text = b.Build().Disassemble();
+  EXPECT_NE(text.find("0: r0 = 0"), std::string::npos);
+  EXPECT_NE(text.find("1: exit"), std::string::npos);
+}
+
+TEST(RegNameTest, Names) {
+  EXPECT_EQ(RegName(0), "r0");
+  EXPECT_EQ(RegName(10), "r10");
+  EXPECT_EQ(RegName(11), "r11");
+}
+
+}  // namespace
+}  // namespace bpf

@@ -1,0 +1,347 @@
+// Simulated-kernel substrate: KASAN arena + shadow memory, allocator
+// (kmalloc/kvmalloc/kmemdup limits), lockdep, tracepoints, BTF, and reports.
+
+#include <gtest/gtest.h>
+
+#include "src/kernel/alloc.h"
+#include "src/kernel/btf.h"
+#include "src/kernel/kasan.h"
+#include "src/kernel/lockdep.h"
+#include "src/kernel/report.h"
+#include "src/kernel/tracepoint.h"
+
+namespace bpf {
+namespace {
+
+// ---- KASAN arena ----
+
+class KasanTest : public ::testing::Test {
+ protected:
+  KasanArena arena_{64 * 1024};
+  ReportSink sink_;
+};
+
+TEST_F(KasanTest, AllocGivesAddressableMemory) {
+  const uint64_t addr = arena_.Alloc(32, "obj");
+  ASSERT_NE(addr, 0u);
+  EXPECT_EQ(arena_.Classify(addr, 32), AccessResult::kOk);
+  EXPECT_EQ(arena_.Classify(addr + 31, 1), AccessResult::kOk);
+}
+
+TEST_F(KasanTest, RedzonesSurroundAllocations) {
+  const uint64_t addr = arena_.Alloc(32, "obj");
+  EXPECT_EQ(arena_.Classify(addr + 32, 1), AccessResult::kOob);
+  EXPECT_EQ(arena_.Classify(addr - 1, 1), AccessResult::kOob);
+  EXPECT_EQ(arena_.Classify(addr + 30, 4), AccessResult::kOob);  // straddles the end
+}
+
+TEST_F(KasanTest, FreedMemoryIsPoisoned) {
+  const uint64_t addr = arena_.Alloc(16, "obj");
+  arena_.Free(addr);
+  EXPECT_EQ(arena_.Classify(addr, 8), AccessResult::kUseAfterFree);
+}
+
+TEST_F(KasanTest, NullPageAndWildClassified) {
+  EXPECT_EQ(arena_.Classify(0, 8), AccessResult::kNull);
+  EXPECT_EQ(arena_.Classify(8, 8), AccessResult::kNull);
+  EXPECT_EQ(arena_.Classify(0x1234567890ull, 8), AccessResult::kWild);
+  EXPECT_EQ(arena_.Classify(kArenaBase + (64 << 10), 8), AccessResult::kWild);
+}
+
+TEST_F(KasanTest, CheckedReadWritesRoundTrip) {
+  const uint64_t addr = arena_.Alloc(8, "slot");
+  EXPECT_TRUE(arena_.CheckedWrite(addr, 8, 0xabcdef, sink_, "test"));
+  uint64_t value = 0;
+  EXPECT_TRUE(arena_.CheckedRead(addr, 8, &value, sink_, "test"));
+  EXPECT_EQ(value, 0xabcdefull);
+  EXPECT_TRUE(sink_.empty());
+}
+
+TEST_F(KasanTest, CheckedOobFilesKasanReport) {
+  const uint64_t addr = arena_.Alloc(8, "slot");
+  uint64_t value = 0;
+  arena_.CheckedRead(addr + 8, 8, &value, sink_, "kernel_routine");
+  ASSERT_EQ(sink_.size(), 1u);
+  EXPECT_EQ(sink_.reports()[0].kind, ReportKind::kKasanOob);
+  EXPECT_EQ(sink_.reports()[0].title, "kernel_routine");
+  EXPECT_NE(sink_.reports()[0].details.find("slot"), std::string::npos);
+}
+
+TEST_F(KasanTest, CheckedUafFilesReport) {
+  const uint64_t addr = arena_.Alloc(8, "slot");
+  arena_.Free(addr);
+  arena_.CheckedWrite(addr, 8, 1, sink_, "routine");
+  ASSERT_EQ(sink_.size(), 1u);
+  EXPECT_EQ(sink_.reports()[0].kind, ReportKind::kKasanUseAfterFree);
+}
+
+TEST_F(KasanTest, RawAccessIsSilentInRedzone) {
+  const uint64_t addr = arena_.Alloc(8, "slot");
+  // Native (JITed) access: corrupts the redzone silently — the asymmetry
+  // motivating the paper's dispatch sanitation.
+  EXPECT_TRUE(arena_.RawWrite(addr + 8, 8, 0x41, sink_, "bpf_prog_run"));
+  EXPECT_TRUE(sink_.empty());
+}
+
+TEST_F(KasanTest, RawAccessFaultsOutsideArena) {
+  EXPECT_FALSE(arena_.RawRead(0x10, 8, nullptr, sink_, "bpf_prog_run"));
+  ASSERT_EQ(sink_.size(), 1u);
+  EXPECT_EQ(sink_.reports()[0].kind, ReportKind::kKasanNullDeref);
+  sink_.Clear();
+  EXPECT_FALSE(arena_.RawRead(0xdead00000000ull, 8, nullptr, sink_, "bpf_prog_run"));
+  EXPECT_EQ(sink_.reports()[0].kind, ReportKind::kPageFault);
+}
+
+TEST_F(KasanTest, ExhaustionReturnsZero) {
+  KasanArena tiny(1024);
+  EXPECT_NE(tiny.Alloc(256, "a"), 0u);
+  EXPECT_EQ(tiny.Alloc(4096, "b"), 0u);
+}
+
+TEST_F(KasanTest, AllocationMetadata) {
+  const uint64_t addr = arena_.Alloc(24, "meta");
+  EXPECT_EQ(arena_.AllocationStart(addr + 10), addr);
+  EXPECT_EQ(arena_.AllocationSize(addr + 10), 24u);
+  EXPECT_EQ(*arena_.AllocationTag(addr), "meta");
+  EXPECT_EQ(arena_.AllocationStart(addr + 100), 0u);
+}
+
+TEST_F(KasanTest, DescribeNearestNamesTheObject) {
+  const uint64_t addr = arena_.Alloc(16, "task_struct");
+  const std::string desc = arena_.DescribeNearest(addr + 16, 8);
+  EXPECT_NE(desc.find("task_struct"), std::string::npos);
+  EXPECT_NE(desc.find("16"), std::string::npos);
+}
+
+TEST_F(KasanTest, CopyInOut) {
+  const uint64_t addr = arena_.Alloc(16, "buf");
+  const uint8_t src[16] = {1, 2, 3, 4};
+  EXPECT_TRUE(arena_.CopyIn(addr, src, 16));
+  uint8_t dst[16] = {};
+  EXPECT_TRUE(arena_.CopyOut(addr, dst, 16));
+  EXPECT_EQ(dst[0], 1);
+  EXPECT_EQ(dst[3], 4);
+  EXPECT_FALSE(arena_.CopyIn(0x500, src, 16));
+}
+
+TEST_F(KasanTest, BytesInUseTracksAllocations) {
+  const size_t before = arena_.bytes_in_use();
+  const uint64_t addr = arena_.Alloc(100, "x");
+  EXPECT_EQ(arena_.bytes_in_use(), before + 100);
+  arena_.Free(addr);
+  EXPECT_EQ(arena_.bytes_in_use(), before);
+}
+
+// ---- Allocator ----
+
+TEST(AllocTest, KmallocRespectsLimit) {
+  KasanArena arena(256 * 1024);
+  KernelAllocator alloc(arena);
+  EXPECT_NE(alloc.Kmalloc(kKmallocMax, "big"), 0u);
+  EXPECT_EQ(alloc.Kmalloc(kKmallocMax + 1, "too-big"), 0u);
+  EXPECT_NE(alloc.Kvmalloc(kKmallocMax + 1, "vmalloc-ok"), 0u);
+}
+
+TEST(AllocTest, KmemdupVsKvmemdup) {
+  KasanArena arena(256 * 1024);
+  KernelAllocator alloc(arena);
+  std::vector<uint8_t> data(kKmallocMax + 8, 0x5a);
+  EXPECT_EQ(alloc.Kmemdup(data.data(), data.size(), "dup"), 0u);
+  const uint64_t addr = alloc.Kvmemdup(data.data(), data.size(), "vdup");
+  ASSERT_NE(addr, 0u);
+  uint8_t byte = 0;
+  arena.CopyOut(addr + 100, &byte, 1);
+  EXPECT_EQ(byte, 0x5a);
+  alloc.Kfree(addr);
+  EXPECT_EQ(arena.Classify(addr, 1), AccessResult::kUseAfterFree);
+}
+
+// ---- Lockdep ----
+
+class LockdepTest : public ::testing::Test {
+ protected:
+  ReportSink sink_;
+  Lockdep lockdep_{sink_};
+};
+
+TEST_F(LockdepTest, RegisterClassIsIdempotent) {
+  const int a = lockdep_.RegisterClass("lock_a");
+  const int b = lockdep_.RegisterClass("lock_b");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(lockdep_.RegisterClass("lock_a"), a);
+  EXPECT_EQ(lockdep_.ClassName(a), "lock_a");
+}
+
+TEST_F(LockdepTest, AcquireReleaseClean) {
+  const int a = lockdep_.RegisterClass("lock_a");
+  lockdep_.Acquire(a, LockContext::kNormal);
+  EXPECT_TRUE(lockdep_.IsHeld(a));
+  lockdep_.Release(a);
+  EXPECT_FALSE(lockdep_.IsHeld(a));
+  EXPECT_TRUE(sink_.empty());
+}
+
+TEST_F(LockdepTest, NestedDifferentClassesClean) {
+  const int a = lockdep_.RegisterClass("a");
+  const int b = lockdep_.RegisterClass("b");
+  lockdep_.Acquire(a, LockContext::kNormal);
+  lockdep_.Acquire(b, LockContext::kNormal);
+  lockdep_.Release(b);
+  lockdep_.Release(a);
+  EXPECT_TRUE(sink_.empty());
+}
+
+TEST_F(LockdepTest, SameContextRecursionDetected) {
+  const int a = lockdep_.RegisterClass("a");
+  lockdep_.Acquire(a, LockContext::kNormal);
+  lockdep_.Acquire(a, LockContext::kNormal);
+  ASSERT_FALSE(sink_.empty());
+  EXPECT_EQ(sink_.reports()[0].kind, ReportKind::kLockdepRecursion);
+}
+
+TEST_F(LockdepTest, CrossContextReacquireIsInconsistent) {
+  const int a = lockdep_.RegisterClass("a");
+  lockdep_.Acquire(a, LockContext::kNormal);
+  lockdep_.Acquire(a, LockContext::kTracepoint);
+  ASSERT_FALSE(sink_.empty());
+  EXPECT_EQ(sink_.reports()[0].kind, ReportKind::kLockdepInconsistent);
+}
+
+TEST_F(LockdepTest, BothContextsWithoutOverlapIsFine) {
+  const int a = lockdep_.RegisterClass("a");
+  lockdep_.Acquire(a, LockContext::kNormal);
+  lockdep_.Release(a);
+  lockdep_.Acquire(a, LockContext::kTracepoint);
+  lockdep_.Release(a);
+  EXPECT_TRUE(sink_.empty());
+}
+
+TEST_F(LockdepTest, DepthOverflowReported) {
+  const int a = lockdep_.RegisterClass("a");
+  for (int i = 0; i < 64; ++i) {
+    lockdep_.Acquire(a, LockContext::kNormal);
+  }
+  bool saw_deadlock = false;
+  for (const KernelReport& report : sink_.reports()) {
+    saw_deadlock |= report.kind == ReportKind::kLockdepDeadlock;
+  }
+  EXPECT_TRUE(saw_deadlock);
+}
+
+TEST_F(LockdepTest, ResetDropsHeldLocks) {
+  const int a = lockdep_.RegisterClass("a");
+  lockdep_.Acquire(a, LockContext::kNormal);
+  lockdep_.Reset();
+  EXPECT_FALSE(lockdep_.IsHeld(a));
+  EXPECT_EQ(lockdep_.depth(), 0u);
+}
+
+// ---- Tracepoints ----
+
+class TracepointTest : public ::testing::Test {
+ protected:
+  ReportSink sink_;
+  TracepointRegistry registry_{sink_};
+};
+
+TEST_F(TracepointTest, FireRunsHandlers) {
+  int count = 0;
+  registry_.Attach(TracepointId::kSchedSwitch, [&] { ++count; });
+  registry_.Attach(TracepointId::kSchedSwitch, [&] { ++count; });
+  registry_.Fire(TracepointId::kSchedSwitch);
+  EXPECT_EQ(count, 2);
+  registry_.Fire(TracepointId::kSysEnter);  // no handlers: no-op
+  EXPECT_EQ(count, 2);
+}
+
+TEST_F(TracepointTest, DetachStopsDelivery) {
+  int count = 0;
+  const int token = registry_.Attach(TracepointId::kSysEnter, [&] { ++count; });
+  registry_.Fire(TracepointId::kSysEnter);
+  registry_.Detach(TracepointId::kSysEnter, token);
+  registry_.Fire(TracepointId::kSysEnter);
+  EXPECT_EQ(count, 1);
+}
+
+TEST_F(TracepointTest, RecursionDepthGuard) {
+  int depth = 0;
+  int max_depth = 0;
+  registry_.Attach(TracepointId::kContentionBegin, [&] {
+    ++depth;
+    max_depth = std::max(max_depth, depth);
+    registry_.Fire(TracepointId::kContentionBegin);  // re-entrant firing
+    --depth;
+  });
+  registry_.Fire(TracepointId::kContentionBegin);
+  EXPECT_LE(max_depth, 16);
+  bool saw_overflow = false;
+  for (const KernelReport& report : sink_.reports()) {
+    saw_overflow |= report.kind == ReportKind::kStackOverflow;
+  }
+  EXPECT_TRUE(saw_overflow);
+}
+
+TEST_F(TracepointTest, Names) {
+  EXPECT_STREQ(TracepointName(TracepointId::kContentionBegin), "contention_begin");
+  EXPECT_STREQ(TracepointName(TracepointId::kTracePrintk), "trace_printk");
+}
+
+// ---- BTF ----
+
+TEST(BtfTest, BuiltinsPresent) {
+  BtfRegistry btf;
+  const BtfStruct* task = btf.Find(kBtfTaskStruct);
+  ASSERT_NE(task, nullptr);
+  EXPECT_EQ(task->name, "task_struct");
+  EXPECT_EQ(btf.FindByName("mm_struct")->id, kBtfMmStruct);
+  EXPECT_EQ(btf.Find(999), nullptr);
+  EXPECT_EQ(btf.FindByName("nope"), nullptr);
+}
+
+TEST(BtfTest, FieldLookupRespectsBounds) {
+  BtfRegistry btf;
+  const BtfStruct* task = btf.Find(kBtfTaskStruct);
+  const BtfField* pid = task->FieldAt(16, 4);
+  ASSERT_NE(pid, nullptr);
+  EXPECT_EQ(pid->name, "pid");
+  // Partial reads within a field resolve to it; straddles do not.
+  EXPECT_NE(task->FieldAt(24, 8), nullptr);   // inside comm[16]
+  EXPECT_EQ(task->FieldAt(18, 4), nullptr);   // straddles pid/tgid
+}
+
+TEST(BtfTest, PointerFieldsChain) {
+  BtfRegistry btf;
+  const BtfStruct* task = btf.Find(kBtfTaskStruct);
+  const BtfField* mm = task->FieldAt(40, 8);
+  ASSERT_NE(mm, nullptr);
+  EXPECT_EQ(mm->points_to, kBtfMmStruct);
+  const BtfField* parent = task->FieldAt(112, 8);
+  EXPECT_EQ(parent->points_to, kBtfTaskStruct);
+}
+
+// ---- Reports ----
+
+TEST(ReportTest, PanicSetsFlag) {
+  ReportSink sink;
+  EXPECT_FALSE(sink.panicked());
+  sink.Panic("bad", "very bad");
+  EXPECT_TRUE(sink.panicked());
+  EXPECT_EQ(sink.reports()[0].kind, ReportKind::kPanic);
+}
+
+TEST(ReportTest, SignatureIsStable) {
+  const KernelReport a{ReportKind::kKasanOob, "htab", "x"};
+  const KernelReport b{ReportKind::kKasanOob, "htab", "y"};
+  EXPECT_EQ(a.Signature(), b.Signature());
+}
+
+TEST(ReportTest, Indicator1Classification) {
+  EXPECT_TRUE(IsIndicator1(ReportKind::kBpfAsanOob));
+  EXPECT_TRUE(IsIndicator1(ReportKind::kAluLimitViolation));
+  EXPECT_FALSE(IsIndicator1(ReportKind::kKasanOob));
+  EXPECT_FALSE(IsIndicator1(ReportKind::kLockdepRecursion));
+  EXPECT_FALSE(IsIndicator1(ReportKind::kPanic));
+}
+
+}  // namespace
+}  // namespace bpf

@@ -1,0 +1,245 @@
+// Map infrastructure: array / hash / percpu-array / ringbuf semantics, the
+// registry, and the batched-lookup contention path.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/maps/map.h"
+
+namespace bpf {
+namespace {
+
+class MapsTest : public ::testing::Test {
+ protected:
+  KasanArena arena_{512 * 1024};
+  ReportSink sink_;
+  MapRegistry registry_{arena_, sink_};
+
+  int Create(MapType type, uint32_t key_size, uint32_t value_size, uint32_t entries,
+             bool buggy = false) {
+    MapDef def;
+    def.type = type;
+    def.key_size = key_size;
+    def.value_size = value_size;
+    def.max_entries = entries;
+    return registry_.Create(def, buggy);
+  }
+};
+
+TEST_F(MapsTest, CreateValidation) {
+  EXPECT_GT(Create(MapType::kArray, 4, 8, 4), 0);
+  EXPECT_EQ(Create(MapType::kArray, 8, 8, 4), -EINVAL);   // array key must be u32
+  EXPECT_EQ(Create(MapType::kHash, 0, 8, 4), -EINVAL);    // zero key
+  EXPECT_EQ(Create(MapType::kHash, 4, 0, 4), -EINVAL);    // zero value
+  EXPECT_EQ(Create(MapType::kHash, 4, 8, 0), -EINVAL);    // zero entries
+  EXPECT_EQ(Create(MapType::kHash, 128, 8, 4), -EINVAL);  // oversized key
+  EXPECT_EQ(Create(MapType::kHash, 4, 8192, 4), -EINVAL); // oversized value
+}
+
+TEST_F(MapsTest, RegistryFind) {
+  const int a = Create(MapType::kArray, 4, 8, 4);
+  const int b = Create(MapType::kHash, 4, 8, 4);
+  EXPECT_NE(registry_.Find(a), nullptr);
+  EXPECT_NE(registry_.Find(b), nullptr);
+  EXPECT_EQ(registry_.Find(99), nullptr);
+  EXPECT_EQ(registry_.size(), 2u);
+}
+
+TEST_F(MapsTest, FindByObjAddr) {
+  const int id = Create(MapType::kArray, 4, 8, 4);
+  Map* map = registry_.Find(id);
+  map->set_obj_addr(0xffff888000001000ull);
+  EXPECT_EQ(registry_.FindByObjAddr(0xffff888000001000ull), map);
+  EXPECT_EQ(registry_.FindByObjAddr(0), nullptr);
+  EXPECT_EQ(registry_.FindByObjAddr(0x1234), nullptr);
+}
+
+TEST_F(MapsTest, ArrayLookupUpdate) {
+  Map* map = registry_.Find(Create(MapType::kArray, 4, 8, 4));
+  const uint32_t key = 2;
+  const uint64_t value = 0x1122334455667788ull;
+  EXPECT_EQ(map->Update(&key, &value), 0);
+  const uint64_t addr = map->Lookup(&key);
+  ASSERT_NE(addr, 0u);
+  uint64_t readback = 0;
+  arena_.CopyOut(addr, &readback, 8);
+  EXPECT_EQ(readback, value);
+}
+
+TEST_F(MapsTest, ArrayIndexBounds) {
+  Map* map = registry_.Find(Create(MapType::kArray, 4, 8, 4));
+  const uint32_t bad_key = 4;
+  EXPECT_EQ(map->Lookup(&bad_key), 0u);
+  const uint64_t value = 1;
+  EXPECT_EQ(map->Update(&bad_key, &value), -E2BIG);
+  EXPECT_EQ(map->Delete(&bad_key), -EINVAL);  // arrays don't delete
+}
+
+TEST_F(MapsTest, ArrayValuesContiguous) {
+  auto* map = static_cast<ArrayMap*>(registry_.Find(Create(MapType::kArray, 4, 16, 4)));
+  const uint32_t k0 = 0;
+  const uint32_t k1 = 1;
+  EXPECT_EQ(map->Lookup(&k1) - map->Lookup(&k0), 16u);
+  EXPECT_EQ(map->ValuesAddr(), map->Lookup(&k0));
+}
+
+TEST_F(MapsTest, ArrayGetNextKey) {
+  Map* map = registry_.Find(Create(MapType::kArray, 4, 8, 3));
+  uint32_t key = 0;
+  EXPECT_EQ(map->GetNextKey(nullptr, &key), 0);
+  EXPECT_EQ(key, 0u);
+  uint32_t next = 0;
+  EXPECT_EQ(map->GetNextKey(&key, &next), 0);
+  EXPECT_EQ(next, 1u);
+  key = 2;
+  EXPECT_EQ(map->GetNextKey(&key, &next), -ENOENT);
+}
+
+TEST_F(MapsTest, HashInsertLookupDelete) {
+  Map* map = registry_.Find(Create(MapType::kHash, 8, 16, 8));
+  const uint64_t key = 0xfeedface;
+  uint8_t value[16] = {9, 8, 7};
+  EXPECT_EQ(map->Lookup(&key), 0u);
+  EXPECT_EQ(map->Update(&key, value), 0);
+  const uint64_t addr = map->Lookup(&key);
+  ASSERT_NE(addr, 0u);
+  uint8_t readback[16] = {};
+  arena_.CopyOut(addr, readback, 16);
+  EXPECT_EQ(readback[0], 9);
+  EXPECT_EQ(map->Delete(&key), 0);
+  EXPECT_EQ(map->Lookup(&key), 0u);
+  EXPECT_EQ(map->Delete(&key), -ENOENT);
+}
+
+TEST_F(MapsTest, HashUpdateOverwrites) {
+  Map* map = registry_.Find(Create(MapType::kHash, 4, 8, 8));
+  const uint32_t key = 5;
+  uint64_t value = 111;
+  map->Update(&key, &value);
+  value = 222;
+  map->Update(&key, &value);
+  uint64_t readback = 0;
+  arena_.CopyOut(map->Lookup(&key), &readback, 8);
+  EXPECT_EQ(readback, 222u);
+}
+
+TEST_F(MapsTest, HashCapacityEnforced) {
+  Map* map = registry_.Find(Create(MapType::kHash, 4, 8, 2));
+  uint64_t value = 1;
+  for (uint32_t key = 0; key < 2; ++key) {
+    EXPECT_EQ(map->Update(&key, &value), 0);
+  }
+  const uint32_t key = 2;
+  EXPECT_EQ(map->Update(&key, &value), -E2BIG);
+}
+
+TEST_F(MapsTest, HashFreedElementsArePoisoned) {
+  Map* map = registry_.Find(Create(MapType::kHash, 4, 8, 8));
+  const uint32_t key = 1;
+  uint64_t value = 42;
+  map->Update(&key, &value);
+  const uint64_t addr = map->Lookup(&key);
+  map->Delete(&key);
+  EXPECT_EQ(arena_.Classify(addr, 8), AccessResult::kUseAfterFree);
+}
+
+TEST_F(MapsTest, HashGetNextKeyWalksAll) {
+  Map* map = registry_.Find(Create(MapType::kHash, 4, 8, 8));
+  uint64_t value = 1;
+  for (uint32_t key = 10; key < 15; ++key) {
+    map->Update(&key, &value);
+  }
+  int seen = 0;
+  uint32_t key = 0;
+  int err = map->GetNextKey(nullptr, &key);
+  while (err == 0 && seen < 10) {
+    ++seen;
+    uint32_t next = 0;
+    err = map->GetNextKey(&key, &next);
+    key = next;
+  }
+  EXPECT_EQ(seen, 5);
+}
+
+TEST_F(MapsTest, HashBatchBuggyReadsPastBucket) {
+  auto* map = static_cast<HashMap*>(
+      registry_.Find(Create(MapType::kHash, 4, 16, 8, /*buggy=*/true)));
+  uint8_t value[16] = {};
+  for (uint32_t key = 0; key < 6; ++key) {
+    map->Update(&key, value);
+  }
+  std::vector<std::vector<uint8_t>> out;
+  for (int round = 0; round < 4; ++round) {
+    map->LookupBatch(&out, 32);
+  }
+  bool saw_oob = false;
+  for (const KernelReport& report : sink_.reports()) {
+    saw_oob |= report.kind == ReportKind::kKasanOob;
+  }
+  EXPECT_TRUE(saw_oob);
+}
+
+TEST_F(MapsTest, HashBatchFixedIsClean) {
+  auto* map = static_cast<HashMap*>(
+      registry_.Find(Create(MapType::kHash, 4, 16, 8, /*buggy=*/false)));
+  uint8_t value[16] = {};
+  for (uint32_t key = 0; key < 6; ++key) {
+    map->Update(&key, value);
+  }
+  std::vector<std::vector<uint8_t>> out;
+  for (int round = 0; round < 4; ++round) {
+    map->LookupBatch(&out, 32);
+  }
+  EXPECT_TRUE(sink_.empty());
+  EXPECT_GT(out.size(), 0u);
+}
+
+TEST_F(MapsTest, PercpuArrayUpdatesAllCpus) {
+  Map* map = registry_.Find(Create(MapType::kPercpuArray, 4, 8, 2));
+  const uint32_t key = 1;
+  const uint64_t value = 0x42;
+  EXPECT_EQ(map->Update(&key, &value), 0);
+  const uint64_t cpu0 = map->Lookup(&key);
+  ASSERT_NE(cpu0, 0u);
+  uint64_t readback = 0;
+  arena_.CopyOut(cpu0, &readback, 8);
+  EXPECT_EQ(readback, 0x42u);
+}
+
+TEST_F(MapsTest, RingbufOutputWraps) {
+  MapDef def;
+  def.type = MapType::kRingbuf;
+  def.key_size = 4;
+  def.value_size = 8;
+  def.max_entries = 64;  // ring bytes
+  auto* ring = static_cast<RingbufMap*>(registry_.Find(registry_.Create(def)));
+  const uint64_t data = arena_.Alloc(32, "payload");
+  EXPECT_EQ(ring->Output(data, 32), 0);
+  EXPECT_EQ(ring->Output(data, 32), 0);
+  EXPECT_EQ(ring->Output(data, 32), 0);  // wraps
+  EXPECT_EQ(ring->produced(), 96u);
+  EXPECT_EQ(ring->Output(data, 0), -EINVAL);
+  EXPECT_EQ(ring->Output(data, 128), -EINVAL);
+}
+
+TEST_F(MapsTest, RingbufOutputChecksSourceMemory) {
+  MapDef def;
+  def.type = MapType::kRingbuf;
+  def.key_size = 4;
+  def.value_size = 8;
+  def.max_entries = 64;
+  auto* ring = static_cast<RingbufMap*>(registry_.Find(registry_.Create(def)));
+  EXPECT_EQ(ring->Output(0x10, 8), -EFAULT);  // null page source
+  EXPECT_FALSE(sink_.empty());
+}
+
+TEST_F(MapsTest, TypeNames) {
+  EXPECT_STREQ(MapTypeName(MapType::kArray), "array");
+  EXPECT_STREQ(MapTypeName(MapType::kHash), "hash");
+  EXPECT_STREQ(MapTypeName(MapType::kPercpuArray), "percpu_array");
+  EXPECT_STREQ(MapTypeName(MapType::kRingbuf), "ringbuf");
+}
+
+}  // namespace
+}  // namespace bpf

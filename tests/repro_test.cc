@@ -1,0 +1,147 @@
+// Reproducer minimization: RemoveInsnPatched offset algebra and the greedy
+// shrink loop against real injected-bug triggers.
+
+#include <gtest/gtest.h>
+
+#include "src/core/repro.h"
+#include "src/core/structured_gen.h"
+#include "src/ebpf/builder.h"
+
+namespace bvf {
+namespace {
+
+using namespace bpf;
+
+TEST(RemoveInsnPatchedTest, ForwardJumpShrinks) {
+  Program prog;
+  prog.insns = {MovImm(kR0, 0), JmpImm(kJmpJeq, kR0, 0, 2), MovImm(kR1, 1), MovImm(kR2, 2),
+                Exit()};
+  RemoveInsnPatched(prog, 2);
+  EXPECT_EQ(prog.insns.size(), 4u);
+  EXPECT_EQ(prog.insns[1].off, 1);
+  EXPECT_EQ(CheckEncoding(prog, nullptr), 0);
+}
+
+TEST(RemoveInsnPatchedTest, JumpToRemovedLandsOnSuccessor) {
+  Program prog;
+  prog.insns = {MovImm(kR0, 0), JmpImm(kJmpJeq, kR0, 0, 1), MovImm(kR1, 1), Exit()};
+  RemoveInsnPatched(prog, 2);  // the jump target itself
+  EXPECT_EQ(prog.insns.size(), 3u);
+  EXPECT_EQ(prog.insns[1].off, 0);  // now falls through to exit
+  EXPECT_EQ(CheckEncoding(prog, nullptr), 0);
+}
+
+TEST(RemoveInsnPatchedTest, LdImm64RemovedAsPair) {
+  Program prog;
+  prog.insns = {LdImm64Lo(kR1, 0, 7), LdImm64Hi(7), MovImm(kR0, 0), Exit()};
+  RemoveInsnPatched(prog, 0);
+  EXPECT_EQ(prog.insns.size(), 2u);
+  EXPECT_EQ(CheckEncoding(prog, nullptr), 0);
+}
+
+TEST(RemoveInsnPatchedTest, BackEdgeShrinks) {
+  Program prog;
+  prog.insns = {MovImm(kR6, 3), MovImm(kR7, 0), AluImm(kAluSub, kR6, 1),
+                JmpImm(kJmpJne, kR6, 0, -3), MovImm(kR0, 0), Exit()};
+  RemoveInsnPatched(prog, 1);  // remove a body insn before the back edge
+  EXPECT_EQ(prog.insns[2].off, -2);
+  EXPECT_EQ(CheckEncoding(prog, nullptr), 0);
+}
+
+TEST(ExecuteCaseTest, ReportsSignatures) {
+  // The Listing 2 (bug #1) trigger as a fuzz case.
+  FuzzCase the_case;
+  the_case.prog.type = ProgType::kKprobe;
+  ProgramBuilder b(ProgType::kKprobe);
+  b.LdBtfId(kR6, kBtfMmStruct);
+  b.StoreImm(kSizeDw, kR10, -8, 7777);
+  b.LdMapFd(kR1, 1);
+  b.Mov(kR2, kR10);
+  b.Add(kR2, -8);
+  b.Call(kHelperMapLookupElem);
+  b.JmpIfReg(kJmpJne, kR0, kR6, 1);
+  b.Load(kSizeDw, kR8, kR0, 0);
+  b.RetImm(0);
+  the_case.prog = b.Build();
+  MapDef def;
+  def.type = MapType::kHash;
+  def.key_size = 8;
+  def.value_size = 16;
+  def.max_entries = 8;
+  the_case.maps.push_back(def);
+
+  CampaignOptions options;
+  options.bugs.bug1_nullness_propagation = true;
+  bool accepted = false;
+  const auto signatures = ExecuteCase(the_case, options, &accepted);
+  EXPECT_TRUE(accepted);
+  EXPECT_GT(signatures.count("bpf-asan: null-ptr-deref in bpf_asan_load"), 0u);
+
+  // On the fixed kernel the same case is rejected and silent.
+  options.bugs = BugConfig::None();
+  const auto clean = ExecuteCase(the_case, options, &accepted);
+  EXPECT_FALSE(accepted);
+  EXPECT_TRUE(clean.empty());
+}
+
+TEST(MinimizeTest, ShrinksNoisyTriggerToCore) {
+  // The bug #1 trigger buried inside unrelated instructions.
+  FuzzCase the_case;
+  ProgramBuilder b(ProgType::kKprobe);
+  b.Mov(kR7, 111);              // noise
+  b.Alu(kAluAdd, kR7, 5);       // noise
+  b.LdBtfId(kR6, kBtfMmStruct);
+  b.StoreImm(kSizeDw, kR10, -16, 42);  // noise
+  b.StoreImm(kSizeDw, kR10, -8, 7777);
+  b.LdMapFd(kR1, 1);
+  b.Mov(kR2, kR10);
+  b.Add(kR2, -8);
+  b.Call(kHelperMapLookupElem);
+  b.Mov(kR9, 3);                // noise
+  b.JmpIfReg(kJmpJne, kR0, kR6, 1);
+  b.Load(kSizeDw, kR8, kR0, 0);
+  b.RetImm(0);
+  the_case.prog = b.Build();
+  MapDef def;
+  def.type = MapType::kHash;
+  def.key_size = 8;
+  def.value_size = 16;
+  def.max_entries = 8;
+  the_case.maps.push_back(def);
+
+  CampaignOptions options;
+  options.bugs.bug1_nullness_propagation = true;
+  const std::string signature = "bpf-asan: null-ptr-deref in bpf_asan_load";
+  ASSERT_GT(ExecuteCase(the_case, options).count(signature), 0u);
+
+  const MinimizeResult result = MinimizeCase(the_case, signature, options);
+  EXPECT_LT(result.insns_after, result.insns_before);
+  // The noise goes; the lookup + compare + deref chain must remain.
+  EXPECT_LE(result.insns_after, result.insns_before - 4);
+  EXPECT_GT(ExecuteCase(result.reduced, options).count(signature), 0u);
+  EXPECT_GT(result.executions, 0);
+}
+
+TEST(MinimizeTest, GeneratedTriggerShrinks) {
+  // Find a triggering generated case, then minimize it.
+  CampaignOptions options;
+  options.bugs.bug2_task_struct_bounds = true;
+  StructuredGenerator generator(options.version);
+  bpf::Rng rng(2024);
+  const std::string signature = "bpf-asan: out-of-bounds in bpf_asan_load";
+  for (int i = 0; i < 4000; ++i) {
+    const FuzzCase the_case = generator.Generate(rng);
+    if (ExecuteCase(the_case, options).count(signature) == 0) {
+      continue;
+    }
+    const MinimizeResult result = MinimizeCase(the_case, signature, options, 600);
+    EXPECT_LE(result.insns_after, result.insns_before);
+    EXPECT_GT(ExecuteCase(result.reduced, options).count(signature), 0u)
+        << result.reduced.prog.Disassemble();
+    return;
+  }
+  FAIL() << "no generated case triggered bug #2 within the search budget";
+}
+
+}  // namespace
+}  // namespace bvf

@@ -1,0 +1,253 @@
+// The bpf(2) syscall surface and runtime plumbing: map syscalls, program
+// load/readback path, test runs, tracepoint attachment policy, event firing,
+// the XDP dispatcher, and the kernel aggregate.
+
+#include <gtest/gtest.h>
+
+#include "src/ebpf/builder.h"
+#include "src/runtime/bpf_syscall.h"
+#include "src/runtime/helpers.h"
+
+namespace bpf {
+namespace {
+
+class RuntimeTest : public ::testing::Test {
+ protected:
+  RuntimeTest() : kernel_(KernelVersion::kBpfNext, BugConfig::None()), bpf_(kernel_) {}
+
+  Program TrivialProg(ProgType type = ProgType::kSocketFilter, int32_t ret = 0) {
+    ProgramBuilder b(type);
+    b.RetImm(ret);
+    return b.Build();
+  }
+
+  Kernel kernel_;
+  Bpf bpf_;
+};
+
+TEST_F(RuntimeTest, MapSyscallRoundTrip) {
+  MapDef def;
+  def.type = MapType::kHash;
+  def.key_size = 4;
+  def.value_size = 8;
+  def.max_entries = 4;
+  const int fd = bpf_.MapCreate(def);
+  ASSERT_GT(fd, 0);
+
+  const uint32_t key = 3;
+  uint64_t value = 99;
+  EXPECT_EQ(bpf_.MapUpdateElem(fd, &key, &value), 0);
+  value = 0;
+  EXPECT_EQ(bpf_.MapLookupElem(fd, &key, &value), 0);
+  EXPECT_EQ(value, 99u);
+
+  uint32_t next = 0;
+  EXPECT_EQ(bpf_.MapGetNextKey(fd, nullptr, &next), 0);
+  EXPECT_EQ(next, 3u);
+
+  EXPECT_EQ(bpf_.MapDeleteElem(fd, &key), 0);
+  EXPECT_EQ(bpf_.MapLookupElem(fd, &key, &value), -ENOENT);
+}
+
+TEST_F(RuntimeTest, MapSyscallsRejectBadFd) {
+  const uint32_t key = 0;
+  uint64_t value = 0;
+  EXPECT_EQ(bpf_.MapUpdateElem(42, &key, &value), -EBADF);
+  EXPECT_EQ(bpf_.MapLookupElem(42, &key, &value), -EBADF);
+  EXPECT_EQ(bpf_.MapDeleteElem(42, &key), -EBADF);
+  EXPECT_EQ(bpf_.MapGetNextKey(42, &key, &value), -EBADF);
+  EXPECT_EQ(bpf_.MapLookupBatch(42, 4), -EINVAL);
+}
+
+TEST_F(RuntimeTest, ProgLifecycle) {
+  const int fd = bpf_.ProgLoad(TrivialProg(ProgType::kSocketFilter, 7));
+  ASSERT_GT(fd, 0);
+  EXPECT_EQ(bpf_.prog_count(), 1u);
+  const LoadedProgram* prog = bpf_.FindProg(fd);
+  ASSERT_NE(prog, nullptr);
+  EXPECT_EQ(prog->type, ProgType::kSocketFilter);
+  EXPECT_EQ(bpf_.FindProg(fd + 1), nullptr);
+  EXPECT_EQ(bpf_.ProgTestRun(fd).r0, 7u);
+  ExecResult missing = bpf_.ProgTestRun(fd + 1);
+  EXPECT_EQ(missing.err, -EBADF);
+}
+
+TEST_F(RuntimeTest, AttachRequiresTracingProgType) {
+  const int fd = bpf_.ProgLoad(TrivialProg(ProgType::kSocketFilter));
+  EXPECT_EQ(bpf_.ProgAttach(fd, TracepointId::kSysEnter), -EINVAL);
+  const int kfd = bpf_.ProgLoad(TrivialProg(ProgType::kKprobe));
+  EXPECT_EQ(bpf_.ProgAttach(kfd, TracepointId::kSysEnter), 0);
+  EXPECT_EQ(bpf_.ProgAttach(999, TracepointId::kSysEnter), -EBADF);
+}
+
+TEST_F(RuntimeTest, AttachedProgramRunsOnEvent) {
+  // The program counts events into a map.
+  MapDef def;
+  def.type = MapType::kArray;
+  def.key_size = 4;
+  def.value_size = 8;
+  def.max_entries = 1;
+  const int map_fd = bpf_.MapCreate(def);
+
+  ProgramBuilder b(ProgType::kTracepoint);
+  b.StoreImm(kSizeW, kR10, -4, 0);
+  b.LdMapFd(kR1, map_fd);
+  b.Mov(kR2, kR10);
+  b.Add(kR2, -4);
+  b.Call(kHelperMapLookupElem);
+  b.JmpIf(kJmpJeq, kR0, 0, 2);
+  b.Mov(kR1, 1);
+  b.Raw(AtomicOp(kSizeDw, kR0, kR1, 0, kAtomicAdd));
+  b.RetImm(0);
+  const int fd = bpf_.ProgLoad(b.Build());
+  ASSERT_GT(fd, 0);
+  ASSERT_EQ(bpf_.ProgAttach(fd, TracepointId::kSchedSwitch), 0);
+
+  bpf_.FireEvent(TracepointId::kSchedSwitch);
+  bpf_.FireEvent(TracepointId::kSchedSwitch);
+  bpf_.FireEvent(TracepointId::kSysEnter);  // different target: no run
+
+  const uint32_t key = 0;
+  uint64_t counter = 0;
+  EXPECT_EQ(bpf_.MapLookupElem(map_fd, &key, &counter), 0);
+  EXPECT_EQ(counter, 2u);
+
+  bpf_.DetachAll();
+  bpf_.FireEvent(TracepointId::kSchedSwitch);
+  bpf_.MapLookupElem(map_fd, &key, &counter);
+  EXPECT_EQ(counter, 2u);
+}
+
+TEST_F(RuntimeTest, XdpInstallRunLifecycle) {
+  EXPECT_EQ(bpf_.XdpRun().err, -ENOENT);  // nothing installed
+  const int fd = bpf_.ProgLoad(TrivialProg(ProgType::kXdp, 2));
+  ASSERT_GT(fd, 0);
+  EXPECT_EQ(bpf_.XdpInstall(fd), 0);
+  const ExecResult result = bpf_.XdpRun(64, 1);
+  EXPECT_EQ(result.err, 0);
+  EXPECT_EQ(result.r0, 2u);  // XDP_PASS
+  // Non-XDP programs can't install.
+  const int sock_fd = bpf_.ProgLoad(TrivialProg(ProgType::kSocketFilter));
+  EXPECT_EQ(bpf_.XdpInstall(sock_fd), -EINVAL);
+}
+
+TEST_F(RuntimeTest, KernelBtfObjects) {
+  EXPECT_NE(kernel_.BtfObjAddr(kBtfTaskStruct), 0u);
+  EXPECT_NE(kernel_.BtfObjAddr(kBtfFile), 0u);
+  EXPECT_NE(kernel_.BtfObjAddr(kBtfCgroup), 0u);
+  // The current task is a kernel thread: no mm.
+  EXPECT_EQ(kernel_.BtfObjAddr(kBtfMmStruct), 0u);
+  EXPECT_EQ(kernel_.BtfObjAddr(12345), 0u);
+  // task->pid readable through the arena.
+  uint64_t pid = 0;
+  kernel_.arena().CopyOut(kernel_.current_task_addr() + 16, &pid, 4);
+  EXPECT_EQ(pid, 2u);
+}
+
+TEST_F(RuntimeTest, InternalFuncRegistry) {
+  EXPECT_EQ(kernel_.FindInternalFunc(0x70000001), nullptr);
+  kernel_.RegisterInternalFunc(0x70000001,
+                               [](Kernel&, ExecContext&, const uint64_t*) { return 42ull; });
+  const InternalFn* fn = kernel_.FindInternalFunc(0x70000001);
+  ASSERT_NE(fn, nullptr);
+  ExecContext ctx;
+  const uint64_t args[5] = {};
+  EXPECT_EQ((*fn)(kernel_, ctx, args), 42u);
+}
+
+TEST_F(RuntimeTest, TaskRefUnderflowWarns) {
+  kernel_.TaskRefInc();
+  kernel_.TaskRefDec();
+  EXPECT_TRUE(kernel_.reports().empty());
+  kernel_.TaskRefDec();
+  EXPECT_FALSE(kernel_.reports().empty());
+  EXPECT_EQ(kernel_.reports().reports()[0].kind, ReportKind::kWarn);
+}
+
+TEST_F(RuntimeTest, HelperDispatchUnknownHelperWarns) {
+  ExecContext ctx;
+  const uint64_t args[5] = {};
+  DispatchHelper(kernel_, ctx, 4242, args);
+  EXPECT_FALSE(kernel_.reports().empty());
+}
+
+TEST_F(RuntimeTest, TaskStorageHelpersStoreByTask) {
+  MapDef def;
+  def.type = MapType::kHash;
+  def.key_size = 8;
+  def.value_size = 16;
+  def.max_entries = 4;
+  const int map_fd = bpf_.MapCreate(def);
+  Map* map = kernel_.maps().Find(map_fd);
+
+  ExecContext ctx;
+  const uint64_t get_args[5] = {map->obj_addr(), kernel_.current_task_addr(), 0, 1, 0};
+  const uint64_t value_addr = DispatchHelper(kernel_, ctx, kHelperTaskStorageGet, get_args);
+  EXPECT_NE(value_addr, 0u);
+  // Second get without create finds the same storage.
+  const uint64_t get2[5] = {map->obj_addr(), kernel_.current_task_addr(), 0, 0, 0};
+  EXPECT_EQ(DispatchHelper(kernel_, ctx, kHelperTaskStorageGet, get2), value_addr);
+  // Delete removes it.
+  const uint64_t del_args[5] = {map->obj_addr(), kernel_.current_task_addr(), 0, 0, 0};
+  EXPECT_EQ(DispatchHelper(kernel_, ctx, kHelperTaskStorageDelete, del_args), 0u);
+  EXPECT_EQ(DispatchHelper(kernel_, ctx, kHelperTaskStorageGet, get2), 0u);
+  kernel_.lockdep().Reset();
+}
+
+TEST_F(RuntimeTest, SendSignalSafeOutsideIrq) {
+  ExecContext ctx;
+  ctx.in_irq = false;
+  const uint64_t args[5] = {9, 0, 0, 0, 0};
+  EXPECT_EQ(DispatchHelper(kernel_, ctx, kHelperSendSignal, args), 0u);
+  ctx.in_irq = true;  // fixed kernel: -EPERM, no panic
+  EXPECT_EQ(static_cast<int64_t>(DispatchHelper(kernel_, ctx, kHelperSendSignal, args)),
+            -EPERM);
+  EXPECT_FALSE(kernel_.reports().panicked());
+}
+
+TEST_F(RuntimeTest, GetCurrentCommChecksDestination) {
+  ExecContext ctx;
+  const uint64_t bad[5] = {0x20, 16, 0, 0, 0};  // null-page destination
+  EXPECT_EQ(static_cast<int64_t>(DispatchHelper(kernel_, ctx, kHelperGetCurrentComm, bad)),
+            -EFAULT);
+  EXPECT_FALSE(kernel_.reports().empty());
+}
+
+TEST_F(RuntimeTest, VersionedKernels) {
+  Kernel old(KernelVersion::kV5_15, BugConfig::ForVersion(KernelVersion::kV5_15));
+  EXPECT_EQ(old.version(), KernelVersion::kV5_15);
+  EXPECT_TRUE(old.bugs().cve_2022_23222);
+  EXPECT_FALSE(old.bugs().bug1_nullness_propagation);
+  Kernel next(KernelVersion::kBpfNext, BugConfig::ForVersion(KernelVersion::kBpfNext));
+  EXPECT_TRUE(next.bugs().bug1_nullness_propagation);
+  EXPECT_FALSE(next.bugs().cve_2022_23222);
+  EXPECT_EQ(BugConfig::All().Count(), 12);
+  EXPECT_EQ(BugConfig::None().Count(), 0);
+}
+
+TEST_F(RuntimeTest, ProgTestRunReleasesResources) {
+  const int fd = bpf_.ProgLoad(TrivialProg(ProgType::kXdp, 1));
+  const size_t before = kernel_.arena().live_allocations();
+  for (int i = 0; i < 10; ++i) {
+    bpf_.ProgTestRun(fd, 128, i);
+  }
+  EXPECT_EQ(kernel_.arena().live_allocations(), before);
+}
+
+TEST_F(RuntimeTest, KernelFeatureMatrix) {
+  const KernelFeatures v5 = KernelFeatures::For(KernelVersion::kV5_15);
+  EXPECT_FALSE(v5.kfunc_calls);
+  EXPECT_FALSE(v5.nullness_propagation);
+  EXPECT_TRUE(v5.ringbuf);
+  const KernelFeatures v6 = KernelFeatures::For(KernelVersion::kV6_1);
+  EXPECT_TRUE(v6.kfunc_calls);
+  EXPECT_FALSE(v6.nullness_propagation);
+  const KernelFeatures next = KernelFeatures::For(KernelVersion::kBpfNext);
+  EXPECT_TRUE(next.nullness_propagation);
+  EXPECT_TRUE(next.bpf_loop_helper);
+  EXPECT_STREQ(KernelVersionName(KernelVersion::kV5_15), "v5.15");
+  EXPECT_STREQ(KernelVersionName(KernelVersion::kBpfNext), "bpf-next");
+}
+
+}  // namespace
+}  // namespace bpf

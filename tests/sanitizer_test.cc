@@ -1,0 +1,296 @@
+// BVF sanitation pass: rewrite shape (Fig. 5), branch re-linking across
+// insertions, the instruction-count reductions, alu_limit check emission,
+// and the key property — instrumentation preserves program semantics.
+
+#include <gtest/gtest.h>
+
+#include "src/core/generator.h"
+#include "src/core/structured_gen.h"
+#include "src/ebpf/builder.h"
+#include "src/runtime/bpf_syscall.h"
+#include "src/sanitizer/asan_funcs.h"
+#include "src/sanitizer/instrument.h"
+#include "src/verifier/helper_protos.h"
+
+namespace bpf {
+namespace {
+
+class SanitizerTest : public ::testing::Test {
+ protected:
+  // Loads the program twice: plain and sanitized. Returns the two fds.
+  std::pair<int, int> LoadBoth(const Program& prog, std::vector<MapDef> maps = {}) {
+    plain_ = std::make_unique<Kernel>(KernelVersion::kBpfNext, BugConfig::None());
+    plain_bpf_ = std::make_unique<Bpf>(*plain_);
+    san_ = std::make_unique<Kernel>(KernelVersion::kBpfNext, BugConfig::None());
+    san_bpf_ = std::make_unique<Bpf>(*san_);
+    BpfAsan::Register(*san_);
+    san_bpf_->set_instrument(sanitizer_.Hook());
+    for (const MapDef& def : maps) {
+      plain_bpf_->MapCreate(def);
+      san_bpf_->MapCreate(def);
+    }
+    return {plain_bpf_->ProgLoad(prog), san_bpf_->ProgLoad(prog)};
+  }
+
+  bvf::Sanitizer sanitizer_;
+  std::unique_ptr<Kernel> plain_;
+  std::unique_ptr<Kernel> san_;
+  std::unique_ptr<Bpf> plain_bpf_;
+  std::unique_ptr<Bpf> san_bpf_;
+};
+
+TEST_F(SanitizerTest, R10AccessesAreSkipped) {
+  ProgramBuilder b;
+  b.StoreImm(kSizeDw, kR10, -8, 1);
+  b.Load(kSizeDw, kR0, kR10, -8);
+  b.Ret();
+  auto [plain_fd, san_fd] = LoadBoth(b.Build());
+  ASSERT_GT(san_fd, 0);
+  // No inflation: both accesses go through R10 with constant offsets.
+  EXPECT_EQ(san_bpf_->FindProg(san_fd)->prog.insns.size(),
+            plain_bpf_->FindProg(plain_fd)->prog.insns.size());
+  EXPECT_EQ(sanitizer_.stats().skipped_fp, 2u);
+  EXPECT_EQ(sanitizer_.stats().mem_sites, 0u);
+}
+
+TEST_F(SanitizerTest, CopiedStackPointerIsInstrumented) {
+  ProgramBuilder b;
+  b.Mov(kR6, kR10);
+  b.Add(kR6, -8);
+  b.StoreImm(kSizeDw, kR6, 0, 1);
+  b.Load(kSizeDw, kR0, kR6, 0);
+  b.Ret();
+  auto [plain_fd, san_fd] = LoadBoth(b.Build());
+  ASSERT_GT(san_fd, 0);
+  EXPECT_EQ(sanitizer_.stats().mem_sites, 2u);
+  const LoadedProgram* prog = san_bpf_->FindProg(san_fd);
+  EXPECT_GT(prog->prog.insns.size(), b.Build().size());
+  // The dispatch calls reference the internal asan ids.
+  bool saw_store_call = false;
+  bool saw_load_call = false;
+  for (const Insn& insn : prog->prog.insns) {
+    saw_store_call |= insn.IsHelperCall() && insn.imm == kAsanStore64;
+    saw_load_call |= insn.IsHelperCall() && insn.imm == kAsanLoad64;
+  }
+  EXPECT_TRUE(saw_store_call);
+  EXPECT_TRUE(saw_load_call);
+  // Inserted instructions are marked `rewritten`; originals are not.
+  size_t rewritten = 0;
+  for (const InsnAux& aux : prog->aux) {
+    rewritten += aux.rewritten;
+  }
+  EXPECT_EQ(prog->prog.insns.size() - rewritten, b.Build().size());
+}
+
+TEST_F(SanitizerTest, SemanticsPreservedOnCleanProgram) {
+  // A program mixing stack traffic, map access, arithmetic, and branches
+  // must compute the same R0 with and without instrumentation.
+  MapDef def;
+  def.type = MapType::kArray;
+  def.key_size = 4;
+  def.value_size = 32;
+  def.max_entries = 2;
+
+  ProgramBuilder b;
+  b.Mov(kR6, kR10);
+  b.Add(kR6, -16);
+  b.StoreImm(kSizeDw, kR6, 0, 11);
+  b.StoreImm(kSizeDw, kR6, 8, 31);
+  b.Load(kSizeDw, kR7, kR6, 0);
+  b.Load(kSizeDw, kR8, kR6, 8);
+  b.StoreImm(kSizeW, kR10, -20, 0);
+  b.LdMapFd(kR1, 1);
+  b.Mov(kR2, kR10);
+  b.Add(kR2, -20);
+  b.Call(kHelperMapLookupElem);
+  b.JmpIf(kJmpJeq, kR0, 0, 3);
+  b.Store(kSizeDw, kR0, kR7, 0);
+  b.Load(kSizeDw, kR9, kR0, 0);
+  b.Alu(kAluAdd, kR8, kR9);
+  b.Mov(kR0, kR8);
+  b.Ret();
+
+  auto [plain_fd, san_fd] = LoadBoth(b.Build(), {def});
+  ASSERT_GT(plain_fd, 0);
+  ASSERT_GT(san_fd, 0);
+  const ExecResult plain_result = plain_bpf_->ProgTestRun(plain_fd, 64, 3);
+  const ExecResult san_result = san_bpf_->ProgTestRun(san_fd, 64, 3);
+  EXPECT_EQ(plain_result.r0, san_result.r0);
+  EXPECT_EQ(plain_result.r0, 11u + 31u + 11u - 11u);  // 11+31 via r8+r9... = 42
+  EXPECT_TRUE(san_->reports().empty());
+  EXPECT_GT(san_result.insns_executed, plain_result.insns_executed);
+}
+
+TEST_F(SanitizerTest, SemanticPreservationSweep) {
+  // Property: for structurally generated accepted programs, instrumentation
+  // never changes the computed R0 and never reports on a bug-free kernel.
+  bvf::StructuredGenOptions options;
+  options.risky = false;
+  bvf::StructuredGenerator generator(KernelVersion::kBpfNext, options);
+  Rng rng(0xbadcafe);
+  int compared = 0;
+  for (int trial = 0; trial < 300 && compared < 120; ++trial) {
+    const bvf::FuzzCase the_case = generator.Generate(rng);
+    auto [plain_fd, san_fd] = LoadBoth(the_case.prog, the_case.maps);
+    ASSERT_EQ(plain_fd > 0, san_fd > 0) << "instrumentation changed acceptance";
+    if (plain_fd <= 0) {
+      continue;
+    }
+    ++compared;
+    for (uint64_t seed = 1; seed <= 3; ++seed) {
+      const ExecResult plain_result = plain_bpf_->ProgTestRun(plain_fd, 64, seed);
+      const ExecResult san_result = san_bpf_->ProgTestRun(san_fd, 64, seed);
+      ASSERT_EQ(plain_result.r0, san_result.r0) << the_case.prog.Disassemble();
+      ASSERT_EQ(plain_result.err, san_result.err);
+    }
+    ASSERT_TRUE(san_->reports().empty()) << san_->reports().reports()[0].Signature();
+  }
+  EXPECT_GE(compared, 100);
+}
+
+TEST_F(SanitizerTest, BranchesRelinkedAcrossInsertions) {
+  // A branch over an instrumented store must still skip exactly that store.
+  MapDef def;
+  def.type = MapType::kArray;
+  def.key_size = 4;
+  def.value_size = 16;
+  def.max_entries = 1;
+  ProgramBuilder b;
+  b.StoreImm(kSizeW, kR10, -4, 0);
+  b.LdMapFd(kR1, 1);
+  b.Mov(kR2, kR10);
+  b.Add(kR2, -4);
+  b.Call(kHelperMapLookupElem);
+  b.JmpIf(kJmpJeq, kR0, 0, 2);       // skips the two value accesses
+  b.StoreImm(kSizeDw, kR0, 0, 5);    // instrumented (+many insns)
+  b.Load(kSizeDw, kR0, kR0, 8);      // instrumented
+  b.RetImm(0);
+  auto [plain_fd, san_fd] = LoadBoth(b.Build(), {def});
+  ASSERT_GT(plain_fd, 0);
+  ASSERT_GT(san_fd, 0);
+  EXPECT_EQ(plain_bpf_->ProgTestRun(plain_fd).r0, san_bpf_->ProgTestRun(san_fd).r0);
+  EXPECT_TRUE(san_->reports().empty());
+}
+
+TEST_F(SanitizerTest, BackEdgeLoopsSurviveInstrumentation) {
+  ProgramBuilder b;
+  b.Mov(kR6, kR10);
+  b.Add(kR6, -8);
+  b.StoreImm(kSizeDw, kR6, 0, 0);
+  b.Mov(kR7, 4);                       // counter
+  b.Mov(kR1, 1);
+  b.Raw(AtomicOp(kSizeDw, kR6, kR1, 0, kAtomicAdd));  // instrumented body
+  b.Alu(kAluSub, kR7, 1);
+  b.JmpIf(kJmpJne, kR7, 0, -4);
+  b.Load(kSizeDw, kR0, kR6, 0);
+  b.Ret();
+  auto [plain_fd, san_fd] = LoadBoth(b.Build());
+  ASSERT_GT(plain_fd, 0);
+  ASSERT_GT(san_fd, 0);
+  EXPECT_EQ(plain_bpf_->ProgTestRun(plain_fd).r0, 4u);
+  EXPECT_EQ(san_bpf_->ProgTestRun(san_fd).r0, 4u);
+}
+
+TEST_F(SanitizerTest, AluCheckEmittedForVariableOffsets) {
+  MapDef def;
+  def.type = MapType::kArray;
+  def.key_size = 4;
+  def.value_size = 64;
+  def.max_entries = 1;
+  ProgramBuilder b(ProgType::kKprobe);
+  b.Load(kSizeDw, kR6, kR1, 0);
+  b.And(kR6, 31);
+  b.StoreImm(kSizeW, kR10, -4, 0);
+  b.LdMapFd(kR1, 1);
+  b.Mov(kR2, kR10);
+  b.Add(kR2, -4);
+  b.Call(kHelperMapLookupElem);
+  b.JmpIf(kJmpJeq, kR0, 0, 2);
+  b.Raw(AluReg(kAluAdd, kR0, kR6));  // ptr += bounded scalar
+  b.Load(kSizeDw, kR0, kR0, 0);
+  b.RetImm(0);
+  auto [plain_fd, san_fd] = LoadBoth(b.Build(), {def});
+  ASSERT_GT(san_fd, 0);
+  EXPECT_GE(sanitizer_.stats().alu_sites, 1u);
+  bool saw_alu_check = false;
+  for (const Insn& insn : san_bpf_->FindProg(san_fd)->prog.insns) {
+    saw_alu_check |= insn.IsHelperCall() &&
+                     (insn.imm == kAsanAluCheckPos || insn.imm == kAsanAluCheckNeg);
+  }
+  EXPECT_TRUE(saw_alu_check);
+  // Clean execution: the bounded offset is within the believed range.
+  EXPECT_EQ(san_bpf_->ProgTestRun(san_fd).err, 0);
+  EXPECT_TRUE(san_->reports().empty());
+}
+
+TEST_F(SanitizerTest, BtfLoadsUseNullTolerantVariant) {
+  ProgramBuilder b(ProgType::kKprobe);
+  b.Call(kHelperGetCurrentTaskBtf);
+  b.Load(kSizeDw, kR1, kR0, 40);  // task->mm (NULL at runtime)
+  b.Load(kSizeDw, kR0, kR1, 0);   // BTF load of NULL: exception-handled
+  b.Ret();
+  auto [plain_fd, san_fd] = LoadBoth(b.Build());
+  ASSERT_GT(san_fd, 0);
+  bool saw_btf_variant = false;
+  for (const Insn& insn : san_bpf_->FindProg(san_fd)->prog.insns) {
+    saw_btf_variant |= insn.IsHelperCall() && insn.imm == kAsanLoadBtf64;
+  }
+  EXPECT_TRUE(saw_btf_variant);
+  EXPECT_EQ(san_bpf_->ProgTestRun(san_fd).err, 0);
+  EXPECT_TRUE(san_->reports().empty()) << san_->reports().reports()[0].Signature();
+}
+
+TEST_F(SanitizerTest, OptionsDisableParts) {
+  bvf::SanitizerOptions options;
+  options.sanitize_mem = false;
+  options.sanitize_alu = false;
+  bvf::Sanitizer off(options);
+  Kernel kernel(KernelVersion::kBpfNext, BugConfig::None());
+  Bpf bpf(kernel);
+  bpf.set_instrument(off.Hook());
+  ProgramBuilder b;
+  b.Mov(kR6, kR10);
+  b.Add(kR6, -8);
+  b.StoreImm(kSizeDw, kR6, 0, 1);
+  b.RetImm(0);
+  const int fd = bpf.ProgLoad(b.Build());
+  ASSERT_GT(fd, 0);
+  EXPECT_EQ(bpf.FindProg(fd)->prog.insns.size(), b.Build().size());
+}
+
+TEST(InsertInsnPatchedTest, ForwardJumpSpansInsertion) {
+  Program prog;
+  prog.insns = {MovImm(kR0, 0), JmpImm(kJmpJeq, kR0, 0, 2), MovImm(kR1, 1), MovImm(kR2, 2),
+                Exit()};
+  // Insert between the jump and its target: the offset must grow.
+  bvf::InsertInsnPatched(prog, 2, MovImm(kR3, 3));
+  EXPECT_EQ(prog.insns[1].off, 3);
+  EXPECT_EQ(CheckEncoding(prog, nullptr), 0);
+}
+
+TEST(InsertInsnPatchedTest, JumpBeforeInsertionUnaffected) {
+  Program prog;
+  prog.insns = {JmpImm(kJmpJeq, kR0, 0, 1), MovImm(kR1, 1), MovImm(kR0, 0), Exit()};
+  bvf::InsertInsnPatched(prog, 3, MovImm(kR3, 3));
+  EXPECT_EQ(prog.insns[0].off, 1);
+}
+
+TEST(InsertInsnPatchedTest, BackEdgePatched) {
+  Program prog;
+  prog.insns = {MovImm(kR6, 3), AluImm(kAluSub, kR6, 1), JmpImm(kJmpJne, kR6, 0, -2),
+                MovImm(kR0, 0), Exit()};
+  // Insert at the loop-header position: the header shifts down with its
+  // instruction, so the new insn lands before the loop and the back edge
+  // still targets the (shifted) header.
+  bvf::InsertInsnPatched(prog, 1, MovImm(kR7, 7));
+  EXPECT_EQ(prog.insns[3].off, -2);
+  EXPECT_EQ(prog.insns[1], MovImm(kR7, 7));
+  EXPECT_EQ(CheckEncoding(prog, nullptr), 0);
+  // Inserting strictly inside the body (after the header) does extend the
+  // back edge.
+  bvf::InsertInsnPatched(prog, 3, MovImm(kR8, 8));
+  EXPECT_EQ(prog.insns[4].off, -3);
+}
+
+}  // namespace
+}  // namespace bpf

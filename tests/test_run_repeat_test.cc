@@ -1,0 +1,76 @@
+// BPF_PROG_TEST_RUN repeat semantics (the overhead benchmark's measurement
+// primitive): context reuse, cumulative instruction accounting, and abort
+// propagation.
+
+#include <gtest/gtest.h>
+
+#include "src/ebpf/builder.h"
+#include "src/runtime/bpf_syscall.h"
+
+namespace bpf {
+namespace {
+
+class TestRunRepeatTest : public ::testing::Test {
+ protected:
+  TestRunRepeatTest() : kernel_(KernelVersion::kBpfNext, BugConfig::None()), bpf_(kernel_) {}
+
+  Kernel kernel_;
+  Bpf bpf_;
+};
+
+TEST_F(TestRunRepeatTest, AccumulatesInstructionCounts) {
+  ProgramBuilder b;
+  b.Mov(kR0, 1);
+  b.Add(kR0, 2);
+  b.Ret();  // 3 insns per run
+  const int fd = bpf_.ProgLoad(b.Build());
+  ASSERT_GT(fd, 0);
+  const ExecResult result = bpf_.ProgTestRunRepeat(fd, 10);
+  EXPECT_EQ(result.err, 0);
+  EXPECT_EQ(result.r0, 3u);
+  EXPECT_EQ(result.insns_executed, 30u);
+}
+
+TEST_F(TestRunRepeatTest, ContextIsSharedAcrossRuns) {
+  // The packet is written on each run; with a shared context the byte the
+  // first run stored is visible to the next.
+  ProgramBuilder b(ProgType::kXdp);
+  b.Mov(kR0, 0);
+  b.Load(kSizeDw, kR2, kR1, 0);
+  b.Load(kSizeDw, kR3, kR1, 8);
+  b.Mov(kR4, kR2);
+  b.Add(kR4, 1);
+  b.JmpIfReg(kJmpJgt, kR4, kR3, 3);
+  b.Load(kSizeB, kR0, kR2, 0);   // read current byte
+  b.Mov(kR5, 0x7f);
+  b.Store(kSizeB, kR2, kR5, 0);  // overwrite for the next run
+  b.Ret();
+  const int fd = bpf_.ProgLoad(b.Build());
+  ASSERT_GT(fd, 0);
+  const ExecResult result = bpf_.ProgTestRunRepeat(fd, 3, 64, 9);
+  EXPECT_EQ(result.err, 0);
+  EXPECT_EQ(result.r0, 0x7fu);  // the last run observed the previous write
+}
+
+TEST_F(TestRunRepeatTest, BadFdAndLeakFreedom) {
+  EXPECT_EQ(bpf_.ProgTestRunRepeat(77, 5).err, -EBADF);
+  ProgramBuilder b;
+  b.RetImm(0);
+  const int fd = bpf_.ProgLoad(b.Build());
+  const size_t before = kernel_.arena().live_allocations();
+  bpf_.ProgTestRunRepeat(fd, 50);
+  EXPECT_EQ(kernel_.arena().live_allocations(), before);
+}
+
+TEST_F(TestRunRepeatTest, MatchesSingleRunSemantics) {
+  ProgramBuilder b(ProgType::kKprobe);
+  b.Load(kSizeDw, kR0, kR1, 0);
+  b.Ret();
+  const int fd = bpf_.ProgLoad(b.Build());
+  const uint64_t single = bpf_.ProgTestRun(fd, 64, 5).r0;
+  const uint64_t repeated = bpf_.ProgTestRunRepeat(fd, 4, 64, 5).r0;
+  EXPECT_EQ(single, repeated);
+}
+
+}  // namespace
+}  // namespace bpf

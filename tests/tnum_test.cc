@@ -1,0 +1,243 @@
+// Tristate-number algebra: unit cases plus property sweeps. The central
+// soundness property is containment: if x ∈ γ(a) and y ∈ γ(b), then
+// (x op y) ∈ γ(a op b) for every tnum transfer function.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/kernel/rng.h"
+#include "src/verifier/reg_state.h"
+#include "src/verifier/tnum.h"
+
+namespace bpf {
+namespace {
+
+TEST(TnumTest, ConstIsConst) {
+  const Tnum t = TnumConst(42);
+  EXPECT_TRUE(t.IsConst());
+  EXPECT_EQ(t.value, 42u);
+  EXPECT_EQ(t.mask, 0u);
+  EXPECT_TRUE(t.Contains(42));
+  EXPECT_FALSE(t.Contains(43));
+}
+
+TEST(TnumTest, UnknownContainsEverything) {
+  const Tnum t = TnumUnknown();
+  EXPECT_TRUE(t.IsUnknown());
+  EXPECT_TRUE(t.Contains(0));
+  EXPECT_TRUE(t.Contains(kU64Max));
+  EXPECT_TRUE(t.Contains(0xdeadbeef));
+}
+
+TEST(TnumTest, RangeContainsEndpoints) {
+  const Tnum t = TnumRange(16, 31);
+  for (uint64_t v = 16; v <= 31; ++v) {
+    EXPECT_TRUE(t.Contains(v)) << v;
+  }
+  // A range tnum may over-approximate, but 16..31 is exactly one hex digit.
+  EXPECT_FALSE(t.Contains(32));
+  EXPECT_FALSE(t.Contains(15));
+}
+
+TEST(TnumTest, RangeDegenerate) {
+  const Tnum t = TnumRange(7, 7);
+  EXPECT_TRUE(t.IsConst());
+  EXPECT_EQ(t.value, 7u);
+}
+
+TEST(TnumTest, RangeInverted) {
+  EXPECT_TRUE(TnumRange(10, 3).IsUnknown());
+}
+
+TEST(TnumTest, AddConsts) {
+  EXPECT_TRUE(TnumAdd(TnumConst(3), TnumConst(4)).EqualsConst(7));
+}
+
+TEST(TnumTest, SubConsts) {
+  EXPECT_TRUE(TnumSub(TnumConst(10), TnumConst(4)).EqualsConst(6));
+}
+
+TEST(TnumTest, MulConsts) {
+  EXPECT_TRUE(TnumMul(TnumConst(6), TnumConst(7)).EqualsConst(42));
+}
+
+TEST(TnumTest, AndMasksKnownZeros) {
+  const Tnum t = TnumAnd(TnumUnknown(), TnumConst(0xff));
+  // High bits are known zero after masking.
+  EXPECT_EQ(t.value, 0u);
+  EXPECT_EQ(t.mask, 0xffull);
+  EXPECT_TRUE(t.Contains(0x42));
+  EXPECT_FALSE(t.Contains(0x100));
+}
+
+TEST(TnumTest, OrSetsKnownOnes) {
+  const Tnum t = TnumOr(TnumUnknown(), TnumConst(0x80));
+  EXPECT_EQ(t.value & 0x80, 0x80u);
+  EXPECT_FALSE(t.Contains(0));
+}
+
+TEST(TnumTest, ShiftsMoveKnowledge) {
+  const Tnum t = TnumLshift(TnumConst(1), 4);
+  EXPECT_TRUE(t.EqualsConst(16));
+  const Tnum r = TnumRshift(TnumConst(0xf0), 4);
+  EXPECT_TRUE(r.EqualsConst(0xf));
+}
+
+TEST(TnumTest, ArshiftSignExtends) {
+  const Tnum t = TnumArshift(TnumConst(0x8000000000000000ull), 63, 64);
+  EXPECT_TRUE(t.EqualsConst(kU64Max));
+  const Tnum t32 = TnumArshift(TnumConst(0x80000000ull), 31, 32);
+  EXPECT_TRUE(t32.EqualsConst(0xffffffffull));
+}
+
+TEST(TnumTest, CastTruncates) {
+  const Tnum t = TnumCast(TnumConst(0x1234567890ull), 4);
+  EXPECT_TRUE(t.EqualsConst(0x34567890ull));
+}
+
+TEST(TnumTest, IntersectTightens) {
+  const Tnum a = TnumRange(0, 255);
+  const Tnum b = TnumConst(77);
+  const Tnum t = TnumIntersect(a, b);
+  EXPECT_TRUE(t.EqualsConst(77));
+}
+
+TEST(TnumTest, UnionWidens) {
+  const Tnum t = TnumUnion(TnumConst(4), TnumConst(6));
+  EXPECT_TRUE(t.Contains(4));
+  EXPECT_TRUE(t.Contains(6));
+}
+
+TEST(TnumTest, InReflexive) {
+  const Tnum t = TnumRange(3, 9);
+  EXPECT_TRUE(TnumIn(t, t));
+  EXPECT_TRUE(TnumIn(TnumUnknown(), t));
+  EXPECT_FALSE(TnumIn(TnumConst(3), t));
+}
+
+TEST(TnumTest, SubregSplicing) {
+  const Tnum full = TnumConst(0x1111111122222222ull);
+  const Tnum spliced = TnumWithSubreg(full, TnumConst(0x33333333ull));
+  EXPECT_TRUE(spliced.EqualsConst(0x1111111133333333ull));
+  EXPECT_TRUE(TnumSubreg(full).EqualsConst(0x22222222ull));
+  EXPECT_TRUE(TnumClearSubreg(full).EqualsConst(0x1111111100000000ull));
+  EXPECT_TRUE(TnumConstSubreg(full, 7).EqualsConst(0x1111111100000007ull));
+}
+
+// ---- Property sweep: containment under every binary op ----
+
+enum class Op { kAdd, kSub, kAnd, kOr, kXor, kMul };
+
+class TnumPropertyTest : public ::testing::TestWithParam<Op> {
+ protected:
+  // Draws a random tnum and a concrete member value.
+  static std::pair<Tnum, uint64_t> Draw(Rng& rng) {
+    const uint64_t value = rng.Next();
+    const uint64_t mask = rng.Next() & rng.Next();  // biased toward fewer unknowns
+    const Tnum t{value & ~mask, mask};
+    const uint64_t member = (value & ~mask) | (rng.Next() & mask);
+    return {t, member};
+  }
+
+  static Tnum Apply(Op op, Tnum a, Tnum b) {
+    switch (op) {
+      case Op::kAdd:
+        return TnumAdd(a, b);
+      case Op::kSub:
+        return TnumSub(a, b);
+      case Op::kAnd:
+        return TnumAnd(a, b);
+      case Op::kOr:
+        return TnumOr(a, b);
+      case Op::kXor:
+        return TnumXor(a, b);
+      case Op::kMul:
+        return TnumMul(a, b);
+    }
+    return TnumUnknown();
+  }
+
+  static uint64_t Apply(Op op, uint64_t x, uint64_t y) {
+    switch (op) {
+      case Op::kAdd:
+        return x + y;
+      case Op::kSub:
+        return x - y;
+      case Op::kAnd:
+        return x & y;
+      case Op::kOr:
+        return x | y;
+      case Op::kXor:
+        return x ^ y;
+      case Op::kMul:
+        return x * y;
+    }
+    return 0;
+  }
+};
+
+TEST_P(TnumPropertyTest, Containment) {
+  Rng rng(0xc0ffee + static_cast<uint64_t>(GetParam()));
+  for (int trial = 0; trial < 5000; ++trial) {
+    auto [a, x] = Draw(rng);
+    auto [b, y] = Draw(rng);
+    const Tnum out = Apply(GetParam(), a, b);
+    const uint64_t concrete = Apply(GetParam(), x, y);
+    ASSERT_TRUE(out.Contains(concrete))
+        << "op=" << static_cast<int>(GetParam()) << " a=" << a.ToString()
+        << " b=" << b.ToString() << " x=" << x << " y=" << y;
+    // Well-formedness: no bit both known-one and unknown.
+    ASSERT_EQ(out.value & out.mask, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOps, TnumPropertyTest,
+                         ::testing::Values(Op::kAdd, Op::kSub, Op::kAnd, Op::kOr, Op::kXor,
+                                           Op::kMul));
+
+TEST(TnumPropertyTest, ShiftContainment) {
+  Rng rng(0xfeed);
+  for (int trial = 0; trial < 5000; ++trial) {
+    const uint64_t value = rng.Next();
+    const uint64_t mask = rng.Next() & rng.Next();
+    const Tnum t{value & ~mask, mask};
+    const uint64_t member = (value & ~mask) | (rng.Next() & mask);
+    const uint8_t shift = static_cast<uint8_t>(rng.Below(64));
+    ASSERT_TRUE(TnumLshift(t, shift).Contains(member << shift));
+    ASSERT_TRUE(TnumRshift(t, shift).Contains(member >> shift));
+    ASSERT_TRUE(TnumArshift(t, shift, 64).Contains(
+        static_cast<uint64_t>(static_cast<int64_t>(member) >> shift)));
+  }
+}
+
+TEST(TnumPropertyTest, RangeContainmentSweep) {
+  Rng rng(0xabc);
+  for (int trial = 0; trial < 2000; ++trial) {
+    uint64_t lo = rng.Next() >> (rng.Below(40) + 8);
+    uint64_t hi = lo + rng.Below(1 << 20);
+    const Tnum t = TnumRange(lo, hi);
+    // Sample points inside the range.
+    for (int s = 0; s < 8; ++s) {
+      const uint64_t v = lo + rng.Below(hi - lo + 1);
+      ASSERT_TRUE(t.Contains(v)) << lo << ".." << hi << " v=" << v;
+    }
+  }
+}
+
+TEST(TnumPropertyTest, IntersectSoundOnCommonMembers) {
+  Rng rng(0x123);
+  for (int trial = 0; trial < 3000; ++trial) {
+    const uint64_t member = rng.Next();
+    // Build two tnums that both contain |member|.
+    const uint64_t mask_a = rng.Next();
+    const uint64_t mask_b = rng.Next();
+    const Tnum a{member & ~mask_a, mask_a};
+    const Tnum b{member & ~mask_b, mask_b};
+    ASSERT_TRUE(TnumIntersect(a, b).Contains(member));
+    ASSERT_TRUE(TnumUnion(a, b).Contains(member));
+  }
+}
+
+}  // namespace
+}  // namespace bpf

@@ -1,0 +1,354 @@
+// Core accept/reject behaviour of the verifier, including the Table 1
+// workflow example from the paper.
+
+#include <gtest/gtest.h>
+
+#include "src/ebpf/builder.h"
+#include "src/runtime/bpf_syscall.h"
+#include "src/verifier/verifier.h"
+
+namespace bpf {
+namespace {
+
+class VerifierBasicTest : public ::testing::Test {
+ protected:
+  VerifierBasicTest()
+      : kernel_(KernelVersion::kBpfNext, BugConfig::None()), bpf_(kernel_) {}
+
+  int Load(const Program& prog, VerifierResult* result = nullptr) {
+    return bpf_.ProgLoad(prog, result);
+  }
+
+  int CreateArray(uint32_t value_size = 16, uint32_t entries = 4) {
+    MapDef def;
+    def.type = MapType::kArray;
+    def.key_size = 4;
+    def.value_size = value_size;
+    def.max_entries = entries;
+    return bpf_.MapCreate(def);
+  }
+
+  int CreateHash(uint32_t key_size = 4, uint32_t value_size = 16) {
+    MapDef def;
+    def.type = MapType::kHash;
+    def.key_size = key_size;
+    def.value_size = value_size;
+    def.max_entries = 8;
+    return bpf_.MapCreate(def);
+  }
+
+  Kernel kernel_;
+  Bpf bpf_;
+};
+
+TEST_F(VerifierBasicTest, MinimalProgramLoads) {
+  ProgramBuilder b;
+  b.RetImm(0);
+  EXPECT_GT(Load(b.Build()), 0);
+}
+
+TEST_F(VerifierBasicTest, EmptyProgramRejected) {
+  Program prog;
+  EXPECT_EQ(Load(prog), -EINVAL);
+}
+
+TEST_F(VerifierBasicTest, MissingExitRejected) {
+  ProgramBuilder b;
+  b.Mov(kR0, 0);
+  EXPECT_EQ(Load(b.Build()), -EINVAL);
+}
+
+TEST_F(VerifierBasicTest, UninitializedRegisterRejected) {
+  ProgramBuilder b;
+  b.Mov(kR0, kR5);  // R5 never written
+  b.Ret();
+  VerifierResult result;
+  EXPECT_EQ(Load(b.Build(), &result), -EACCES);
+  EXPECT_NE(result.log.find("uninitialized"), std::string::npos);
+}
+
+TEST_F(VerifierBasicTest, PointerReturnRejected) {
+  ProgramBuilder b;
+  b.Mov(kR0, kR10);
+  b.Ret();
+  EXPECT_EQ(Load(b.Build()), -EACCES);
+}
+
+// Table 1 of the paper: store key on the stack, call map_lookup_elem.
+TEST_F(VerifierBasicTest, Table1WorkflowAccepted) {
+  const int map_fd = CreateHash(/*key_size=*/8);
+  ASSERT_GT(map_fd, 0);
+
+  ProgramBuilder b;
+  b.LdMapFd(kR1, map_fd);
+  b.Mov(kR2, kR10);
+  b.Add(kR2, -8);
+  b.StoreImm(kSizeDw, kR10, -8, 0);
+  b.Call(kHelperMapLookupElem);
+  b.RetImm(0);
+  VerifierResult result;
+  EXPECT_GT(Load(b.Build(), &result), 0) << result.log;
+}
+
+TEST_F(VerifierBasicTest, MapLookupWithUninitKeyRejected) {
+  const int map_fd = CreateHash(/*key_size=*/8);
+  ASSERT_GT(map_fd, 0);
+
+  ProgramBuilder b;
+  b.LdMapFd(kR1, map_fd);
+  b.Mov(kR2, kR10);
+  b.Add(kR2, -8);
+  // Key bytes never initialized.
+  b.Call(kHelperMapLookupElem);
+  b.RetImm(0);
+  EXPECT_EQ(Load(b.Build()), -EACCES);
+}
+
+TEST_F(VerifierBasicTest, NullCheckRequiredBeforeDeref) {
+  const int map_fd = CreateArray();
+  ASSERT_GT(map_fd, 0);
+
+  ProgramBuilder b;
+  b.LdMapFd(kR1, map_fd);
+  b.Mov(kR2, kR10);
+  b.Add(kR2, -4);
+  b.StoreImm(kSizeW, kR10, -4, 0);
+  b.Call(kHelperMapLookupElem);
+  b.Load(kSizeDw, kR0, kR0, 0);  // no null check
+  b.Ret();
+  VerifierResult result;
+  EXPECT_EQ(Load(b.Build(), &result), -EACCES) << result.log;
+}
+
+TEST_F(VerifierBasicTest, NullCheckedDerefAccepted) {
+  const int map_fd = CreateArray();
+  ASSERT_GT(map_fd, 0);
+
+  ProgramBuilder b;
+  b.LdMapFd(kR1, map_fd);
+  b.Mov(kR2, kR10);
+  b.Add(kR2, -4);
+  b.StoreImm(kSizeW, kR10, -4, 0);
+  b.Call(kHelperMapLookupElem);
+  b.JmpIf(kJmpJeq, kR0, 0, 1);
+  b.Load(kSizeDw, kR0, kR0, 0);
+  b.RetImm(0);
+  VerifierResult result;
+  EXPECT_GT(Load(b.Build(), &result), 0) << result.log;
+}
+
+TEST_F(VerifierBasicTest, MapValueOutOfBoundsRejected) {
+  const int map_fd = CreateArray(/*value_size=*/16);
+  ASSERT_GT(map_fd, 0);
+
+  ProgramBuilder b;
+  b.LdMapFd(kR1, map_fd);
+  b.Mov(kR2, kR10);
+  b.Add(kR2, -4);
+  b.StoreImm(kSizeW, kR10, -4, 0);
+  b.Call(kHelperMapLookupElem);
+  b.JmpIf(kJmpJeq, kR0, 0, 1);
+  b.Load(kSizeDw, kR0, kR0, 16);  // [16, 24) is past the 16-byte value
+  b.RetImm(0);
+  EXPECT_EQ(Load(b.Build()), -EACCES);
+}
+
+TEST_F(VerifierBasicTest, StackOutOfBoundsRejected) {
+  ProgramBuilder b;
+  b.StoreImm(kSizeDw, kR10, -520, 1);
+  b.RetImm(0);
+  EXPECT_EQ(Load(b.Build()), -EACCES);
+}
+
+TEST_F(VerifierBasicTest, StackReadOfUninitRejected) {
+  ProgramBuilder b;
+  b.Load(kSizeDw, kR0, kR10, -8);
+  b.Ret();
+  EXPECT_EQ(Load(b.Build()), -EACCES);
+}
+
+TEST_F(VerifierBasicTest, FramePointerWriteRejected) {
+  ProgramBuilder b;
+  b.Mov(kR10, 4);
+  b.RetImm(0);
+  EXPECT_EQ(Load(b.Build()), -EACCES);
+}
+
+TEST_F(VerifierBasicTest, UnreachableInsnRejected) {
+  ProgramBuilder b;
+  b.Mov(kR0, 0);
+  b.Jmp(1);
+  b.Mov(kR1, 1);  // skipped by the jump, reachable... then:
+  b.Ret();
+  // Make one truly unreachable: exit then trailing insns.
+  ProgramBuilder b2;
+  b2.RetImm(0);
+  b2.Mov(kR1, 1);
+  b2.Ret();
+  EXPECT_EQ(Load(b2.Build()), -EINVAL);
+}
+
+TEST_F(VerifierBasicTest, BoundedLoopAccepted) {
+  ProgramBuilder b;
+  b.Mov(kR6, 4);
+  b.Mov(kR0, 0);        // loop body start
+  b.Alu(kAluSub, kR6, 1);
+  b.JmpIf(kJmpJne, kR6, 0, -3);
+  b.Ret();
+  VerifierResult result;
+  EXPECT_GT(Load(b.Build(), &result), 0) << result.log;
+}
+
+TEST_F(VerifierBasicTest, InfiniteLoopRejected) {
+  ProgramBuilder b;
+  b.Mov(kR0, 0);
+  b.Jmp(-2);  // jumps back to itself forever
+  b.Ret();
+  const int err = Load(b.Build());
+  EXPECT_TRUE(err == -EINVAL || err == -E2BIG) << err;
+}
+
+TEST_F(VerifierBasicTest, DivisionByZeroImmediateRejected) {
+  ProgramBuilder b;
+  b.Mov(kR0, 10);
+  b.Alu(kAluDiv, kR0, 0);
+  b.Ret();
+  EXPECT_EQ(Load(b.Build()), -EINVAL);
+}
+
+TEST_F(VerifierBasicTest, UnknownHelperRejected) {
+  ProgramBuilder b;
+  b.Call(9999);
+  b.RetImm(0);
+  EXPECT_EQ(Load(b.Build()), -EINVAL);
+}
+
+TEST_F(VerifierBasicTest, VariableMapOffsetWithMaskAccepted) {
+  const int map_fd = CreateArray(/*value_size=*/64);
+  ASSERT_GT(map_fd, 0);
+
+  // Value pointer in r6, masked index in r7.
+  ProgramBuilder c;
+  c.LdMapFd(kR1, map_fd);
+  c.Mov(kR2, kR10);
+  c.Add(kR2, -4);
+  c.StoreImm(kSizeW, kR10, -4, 0);
+  c.Call(kHelperMapLookupElem);
+  c.JmpIf(kJmpJeq, kR0, 0, 5);
+  c.Mov(kR6, kR0);
+  c.Load(kSizeW, kR7, kR6, 0);
+  c.And(kR7, 31);
+  c.Add(kR6, kR7);       // value + [0,31]
+  c.Load(kSizeDw, kR0, kR6, 0);  // max 31+8 <= 64
+  c.RetImm(0);
+  VerifierResult result;
+  EXPECT_GT(Load(c.Build(), &result), 0) << result.log;
+}
+
+TEST_F(VerifierBasicTest, VariableMapOffsetUnboundedRejected) {
+  const int map_fd = CreateArray(/*value_size=*/64);
+  ASSERT_GT(map_fd, 0);
+
+  ProgramBuilder c;
+  c.LdMapFd(kR1, map_fd);
+  c.Mov(kR2, kR10);
+  c.Add(kR2, -4);
+  c.StoreImm(kSizeW, kR10, -4, 0);
+  c.Call(kHelperMapLookupElem);
+  c.JmpIf(kJmpJeq, kR0, 0, 4);
+  c.Mov(kR6, kR0);
+  c.Load(kSizeW, kR7, kR6, 0);  // unbounded scalar
+  c.Add(kR6, kR7);
+  c.Load(kSizeDw, kR0, kR6, 0);
+  c.RetImm(0);
+  EXPECT_EQ(Load(c.Build()), -EACCES);
+}
+
+TEST_F(VerifierBasicTest, CtxAccessWithinBounds) {
+  ProgramBuilder b(ProgType::kSocketFilter);
+  b.Load(kSizeW, kR0, kR1, 0);  // skb->len
+  b.Ret();
+  VerifierResult result;
+  EXPECT_GT(Load(b.Build(), &result), 0) << result.log;
+}
+
+TEST_F(VerifierBasicTest, CtxAccessOutOfBoundsRejected) {
+  ProgramBuilder b(ProgType::kSocketFilter);
+  b.Load(kSizeW, kR0, kR1, 4096);
+  b.Ret();
+  EXPECT_EQ(Load(b.Build()), -EACCES);
+}
+
+TEST_F(VerifierBasicTest, CtxReadOnlyFieldWriteRejected) {
+  ProgramBuilder b(ProgType::kSocketFilter);
+  b.Mov(kR2, 1);
+  b.Store(kSizeW, kR1, kR2, 0);  // skb->len is read-only
+  b.RetImm(0);
+  EXPECT_EQ(Load(b.Build()), -EACCES);
+}
+
+TEST_F(VerifierBasicTest, CtxWritableFieldWriteAccepted) {
+  ProgramBuilder b(ProgType::kSocketFilter);
+  b.Mov(kR2, 1);
+  b.Store(kSizeW, kR1, kR2, 8);  // skb->mark is writable
+  b.RetImm(0);
+  VerifierResult result;
+  EXPECT_GT(Load(b.Build(), &result), 0) << result.log;
+}
+
+TEST_F(VerifierBasicTest, PacketAccessRequiresBoundsCheck) {
+  ProgramBuilder b(ProgType::kXdp);
+  b.Load(kSizeDw, kR2, kR1, 0);  // data
+  b.Load(kSizeB, kR0, kR2, 0);   // no data_end comparison
+  b.Ret();
+  EXPECT_EQ(Load(b.Build()), -EACCES);
+}
+
+TEST_F(VerifierBasicTest, PacketAccessAfterBoundsCheckAccepted) {
+  ProgramBuilder b(ProgType::kXdp);
+  b.Mov(kR0, 0);
+  b.Load(kSizeDw, kR2, kR1, 0);  // data
+  b.Load(kSizeDw, kR3, kR1, 8);  // data_end
+  b.Mov(kR4, kR2);
+  b.Add(kR4, 8);
+  b.JmpIfReg(kJmpJgt, kR4, kR3, 1);  // if data+8 > data_end skip the access
+  b.Load(kSizeDw, kR0, kR2, 0);
+  b.Ret();
+  VerifierResult result;
+  EXPECT_GT(Load(b.Build(), &result), 0) << result.log;
+}
+
+TEST_F(VerifierBasicTest, ReferenceLeakRejected) {
+  ProgramBuilder b(ProgType::kKprobe);
+  b.Call(kHelperGetCurrentTaskBtf);
+  b.Mov(kR1, kR0);
+  b.Kfunc(kKfuncTaskAcquire);
+  // No release before exit.
+  b.RetImm(0);
+  VerifierResult result;
+  EXPECT_EQ(Load(b.Build(), &result), -EINVAL) << result.log;
+  EXPECT_NE(result.log.find("reference leak"), std::string::npos);
+}
+
+TEST_F(VerifierBasicTest, AcquireReleasePairAccepted) {
+  ProgramBuilder b(ProgType::kKprobe);
+  b.Call(kHelperGetCurrentTaskBtf);
+  b.Mov(kR1, kR0);
+  b.Kfunc(kKfuncTaskAcquire);
+  b.Mov(kR1, kR0);
+  b.Kfunc(kKfuncTaskRelease);
+  b.RetImm(0);
+  VerifierResult result;
+  EXPECT_GT(Load(b.Build(), &result), 0) << result.log;
+}
+
+TEST_F(VerifierBasicTest, TracingHelperRejectedOnSocketFilter) {
+  ProgramBuilder b(ProgType::kSocketFilter);
+  b.Mov(kR1, 9);
+  b.Call(kHelperSendSignal);
+  b.RetImm(0);
+  EXPECT_EQ(Load(b.Build()), -EINVAL);
+}
+
+}  // namespace
+}  // namespace bpf

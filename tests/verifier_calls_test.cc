@@ -1,0 +1,392 @@
+// Call checking: the helper-prototype argument matrix, version/prog-type
+// gating, kfunc acquire/release discipline, and bpf-to-bpf subprograms.
+
+#include <gtest/gtest.h>
+
+#include "src/ebpf/builder.h"
+#include "src/runtime/bpf_syscall.h"
+#include "src/verifier/helper_protos.h"
+
+namespace bpf {
+namespace {
+
+class VerifierCallsTest : public ::testing::Test {
+ protected:
+  explicit VerifierCallsTest(KernelVersion version = KernelVersion::kBpfNext)
+      : kernel_(version, BugConfig::None()), bpf_(kernel_) {}
+
+  int Load(const Program& prog, VerifierResult* result = nullptr) {
+    VerifierResult local;
+    return bpf_.ProgLoad(prog, result != nullptr ? result : &local);
+  }
+
+  int CreateMap(MapType type, uint32_t key_size = 4, uint32_t value_size = 16) {
+    MapDef def;
+    def.type = type;
+    def.key_size = key_size;
+    def.value_size = value_size;
+    def.max_entries = 8;
+    return bpf_.MapCreate(def);
+  }
+
+  Kernel kernel_;
+  Bpf bpf_;
+};
+
+TEST_F(VerifierCallsTest, MapUpdateFullContract) {
+  const int map_fd = CreateMap(MapType::kHash, 4, 16);
+  ProgramBuilder b;
+  b.StoreImm(kSizeW, kR10, -4, 1);
+  b.StoreImm(kSizeDw, kR10, -16, 0);
+  b.StoreImm(kSizeDw, kR10, -24, 0);
+  b.LdMapFd(kR1, map_fd);
+  b.Mov(kR2, kR10);
+  b.Add(kR2, -4);
+  b.Mov(kR3, kR10);
+  b.Add(kR3, -24);
+  b.Mov(kR4, 0);
+  b.Call(kHelperMapUpdateElem);
+  b.RetImm(0);
+  VerifierResult result;
+  EXPECT_GT(Load(b.Build(), &result), 0) << result.log;
+}
+
+TEST_F(VerifierCallsTest, MapArgWrongTypeRejected) {
+  ProgramBuilder b;
+  b.StoreImm(kSizeW, kR10, -4, 1);
+  b.Mov(kR1, 7);  // scalar instead of map pointer
+  b.Mov(kR2, kR10);
+  b.Add(kR2, -4);
+  b.Call(kHelperMapLookupElem);
+  b.RetImm(0);
+  VerifierResult result;
+  EXPECT_EQ(Load(b.Build(), &result), -EACCES);
+  EXPECT_NE(result.log.find("expects map pointer"), std::string::npos);
+}
+
+TEST_F(VerifierCallsTest, KeyTooShortRejected) {
+  const int map_fd = CreateMap(MapType::kHash, 16, 8);  // 16-byte keys
+  ProgramBuilder b;
+  b.StoreImm(kSizeDw, kR10, -8, 0);  // only 8 bytes initialized
+  b.LdMapFd(kR1, map_fd);
+  b.Mov(kR2, kR10);
+  b.Add(kR2, -8);
+  b.Call(kHelperMapLookupElem);
+  b.RetImm(0);
+  EXPECT_EQ(Load(b.Build()), -EACCES);
+}
+
+TEST_F(VerifierCallsTest, KeyFromMapValueAccepted) {
+  const int map_fd = CreateMap(MapType::kHash, 4, 16);
+  // A map value pointer is valid key memory.
+  ProgramBuilder b;
+  b.StoreImm(kSizeW, kR10, -4, 0);
+  b.LdMapFd(kR1, map_fd);
+  b.Mov(kR2, kR10);
+  b.Add(kR2, -4);
+  b.Call(kHelperMapLookupElem);
+  b.JmpIf(kJmpJeq, kR0, 0, 5);
+  b.LdMapFd(kR1, map_fd);
+  b.Mov(kR2, kR0);  // key pointer = map value
+  b.Call(kHelperMapLookupElem);
+  b.Mov(kR0, 0);
+  b.Mov(kR0, 0);
+  b.RetImm(0);
+  VerifierResult result;
+  EXPECT_GT(Load(b.Build(), &result), 0) << result.log;
+}
+
+TEST_F(VerifierCallsTest, ConstSizeMustBeBounded) {
+  ProgramBuilder b(ProgType::kKprobe);
+  b.StoreImm(kSizeDw, kR10, -8, 0);
+  b.Mov(kR1, kR10);
+  b.Add(kR1, -8);
+  b.Load(kSizeDw, kR2, kR10, -8);  // unknown scalar as size
+  b.Mov(kR3, 0);
+  b.Call(kHelperTracePrintk);
+  b.RetImm(0);
+  VerifierResult result;
+  EXPECT_EQ(Load(b.Build(), &result), -EACCES) << result.log;
+  EXPECT_NE(result.log.find("size"), std::string::npos);
+}
+
+TEST_F(VerifierCallsTest, ConstSizeZeroRejected) {
+  ProgramBuilder b(ProgType::kKprobe);
+  b.StoreImm(kSizeDw, kR10, -8, 0);
+  b.Mov(kR1, kR10);
+  b.Add(kR1, -8);
+  b.Mov(kR2, 0);
+  b.Mov(kR3, 0);
+  b.Call(kHelperTracePrintk);
+  b.RetImm(0);
+  EXPECT_EQ(Load(b.Build()), -EACCES);
+}
+
+TEST_F(VerifierCallsTest, SizeLargerThanStackWindowRejected) {
+  ProgramBuilder b(ProgType::kKprobe);
+  b.StoreImm(kSizeDw, kR10, -8, 0);
+  b.Mov(kR1, kR10);
+  b.Add(kR1, -8);
+  b.Mov(kR2, 16);  // claims 16 readable bytes, but r1 points 8 from the top
+  b.Mov(kR3, 0);
+  b.Call(kHelperTracePrintk);
+  b.RetImm(0);
+  EXPECT_EQ(Load(b.Build()), -EACCES);
+}
+
+TEST_F(VerifierCallsTest, WriteArgInitializesStack) {
+  // get_current_comm writes 16 bytes; afterwards those slots are readable.
+  ProgramBuilder b(ProgType::kKprobe);
+  b.Mov(kR1, kR10);
+  b.Add(kR1, -16);
+  b.Mov(kR2, 16);
+  b.Call(kHelperGetCurrentComm);
+  b.Load(kSizeDw, kR0, kR10, -16);
+  b.Ret();
+  VerifierResult result;
+  EXPECT_GT(Load(b.Build(), &result), 0) << result.log;
+}
+
+TEST_F(VerifierCallsTest, CtxArgRequired) {
+  const int map_fd = CreateMap(MapType::kArray);
+  ProgramBuilder b(ProgType::kKprobe);
+  b.StoreImm(kSizeDw, kR10, -8, 0);
+  b.Mov(kR1, kR10);  // stack ptr where ctx is expected
+  b.LdMapFd(kR2, map_fd);
+  b.Mov(kR3, 0);
+  b.Mov(kR4, kR10);
+  b.Add(kR4, -8);
+  b.Mov(kR5, 8);
+  b.Call(kHelperPerfEventOutput);
+  b.RetImm(0);
+  EXPECT_EQ(Load(b.Build()), -EACCES);
+}
+
+TEST_F(VerifierCallsTest, TaskArgRequiresBtfPointer) {
+  const int map_fd = CreateMap(MapType::kHash, 8, 16);
+  ProgramBuilder b(ProgType::kKprobe);
+  b.LdMapFd(kR1, map_fd);
+  b.Mov(kR2, 7);  // scalar where task_struct expected
+  b.Mov(kR3, 0);
+  b.Mov(kR4, 1);
+  b.Call(kHelperTaskStorageGet);
+  b.RetImm(0);
+  EXPECT_EQ(Load(b.Build()), -EACCES);
+}
+
+TEST_F(VerifierCallsTest, HelpersReportedInSummary) {
+  ProgramBuilder b(ProgType::kKprobe);
+  b.StoreImm(kSizeDw, kR10, -8, 0);
+  b.Mov(kR1, kR10);
+  b.Add(kR1, -8);
+  b.Mov(kR2, 4);
+  b.Mov(kR3, 0);
+  b.Call(kHelperTracePrintk);
+  b.Mov(kR1, 9);
+  b.Call(kHelperSendSignal);
+  b.RetImm(0);
+  VerifierResult result;
+  ASSERT_GT(Load(b.Build(), &result), 0) << result.log;
+  EXPECT_TRUE(result.uses_printk_helper);
+  EXPECT_TRUE(result.uses_lock_helper);  // trace_printk takes its lock
+  EXPECT_TRUE(result.uses_signal_helper);
+  EXPECT_FALSE(result.uses_irqwork_helper);
+  EXPECT_EQ(result.helpers_used.size(), 2u);
+}
+
+// ---- Version / program-type gating ----
+
+TEST(HelperProtoTest, VersionGates) {
+  EXPECT_EQ(FindHelperProto(kHelperGetCurrentTaskBtf, KernelVersion::kV5_15, ProgType::kKprobe),
+            nullptr);
+  EXPECT_NE(FindHelperProto(kHelperGetCurrentTaskBtf, KernelVersion::kV6_1, ProgType::kKprobe),
+            nullptr);
+  EXPECT_EQ(FindHelperProto(kHelperLoop, KernelVersion::kV6_1, ProgType::kKprobe), nullptr);
+  EXPECT_NE(FindHelperProto(kHelperLoop, KernelVersion::kBpfNext, ProgType::kKprobe), nullptr);
+}
+
+TEST(HelperProtoTest, ProgTypeGates) {
+  EXPECT_EQ(
+      FindHelperProto(kHelperTracePrintk, KernelVersion::kBpfNext, ProgType::kSocketFilter),
+      nullptr);
+  EXPECT_NE(FindHelperProto(kHelperTracePrintk, KernelVersion::kBpfNext, ProgType::kKprobe),
+            nullptr);
+  EXPECT_NE(
+      FindHelperProto(kHelperMapLookupElem, KernelVersion::kBpfNext, ProgType::kSocketFilter),
+      nullptr);
+}
+
+TEST(HelperProtoTest, AvailableGrowsWithVersion) {
+  const auto v5 = AvailableHelpers(KernelVersion::kV5_15, ProgType::kKprobe);
+  const auto next = AvailableHelpers(KernelVersion::kBpfNext, ProgType::kKprobe);
+  EXPECT_GT(next.size(), v5.size());
+  EXPECT_TRUE(AvailableKfuncs(KernelVersion::kV5_15).empty());
+  EXPECT_FALSE(AvailableKfuncs(KernelVersion::kBpfNext).empty());
+}
+
+TEST(HelperProtoTest, Ordinals) {
+  EXPECT_EQ(HelperOrdinal(kHelperMapLookupElem), 0);
+  EXPECT_GE(HelperOrdinal(kHelperLoop), 0);
+  EXPECT_EQ(HelperOrdinal(424242), -1);
+  EXPECT_EQ(KfuncOrdinal(kKfuncTaskAcquire), 0);
+  EXPECT_EQ(KfuncOrdinal(5), -1);
+}
+
+TEST(VersionedCallsTest, KfuncRejectedOnV5_15) {
+  Kernel kernel(KernelVersion::kV5_15, BugConfig::None());
+  Bpf bpf(kernel);
+  ProgramBuilder b(ProgType::kKprobe);
+  b.Call(kHelperGetCurrentTask);
+  b.Mov(kR1, kR0);
+  b.Kfunc(kKfuncTaskAcquire);
+  b.RetImm(0);
+  // kfunc support is gated before argument checking: unknown kfunc.
+  EXPECT_EQ(bpf.ProgLoad(b.Build()), -EINVAL);
+  ProgramBuilder c(ProgType::kKprobe);
+  c.Kfunc(kKfuncRcuReadLock);
+  c.RetImm(0);
+  EXPECT_EQ(bpf.ProgLoad(c.Build()), -EINVAL);
+}
+
+// ---- kfunc reference discipline ----
+
+TEST_F(VerifierCallsTest, DoubleReleaseRejected) {
+  ProgramBuilder b(ProgType::kKprobe);
+  b.Call(kHelperGetCurrentTaskBtf);
+  b.Mov(kR6, kR0);
+  b.Mov(kR1, kR6);
+  b.Kfunc(kKfuncTaskAcquire);
+  b.Mov(kR7, kR0);
+  b.Mov(kR1, kR7);
+  b.Kfunc(kKfuncTaskRelease);
+  b.Mov(kR1, kR7);  // the reference is gone; the register was invalidated
+  b.Kfunc(kKfuncTaskRelease);
+  b.RetImm(0);
+  VerifierResult result;
+  EXPECT_LT(Load(b.Build(), &result), 0) << result.log;
+}
+
+TEST_F(VerifierCallsTest, ReleaseOfUnacquiredRejected) {
+  ProgramBuilder b(ProgType::kKprobe);
+  b.Call(kHelperGetCurrentTaskBtf);
+  b.Mov(kR1, kR0);  // plain trusted pointer, not an acquired ref
+  b.Kfunc(kKfuncTaskRelease);
+  b.RetImm(0);
+  VerifierResult result;
+  EXPECT_EQ(Load(b.Build(), &result), -EINVAL) << result.log;
+  EXPECT_NE(result.log.find("unacquired"), std::string::npos);
+}
+
+TEST_F(VerifierCallsTest, LeakAcrossOnePathRejected) {
+  // The reference is released on one branch only: the leaking path must fail.
+  ProgramBuilder b(ProgType::kKprobe);
+  b.Call(kHelperGetCurrentTaskBtf);
+  b.Mov(kR1, kR0);
+  b.Kfunc(kKfuncTaskAcquire);
+  b.Mov(kR6, kR0);
+  b.Load(kSizeDw, kR7, kR1, 16);  // some scalar to branch on... r1 clobbered!
+  b.RetImm(0);
+  // r1 is not-init after the kfunc; use ctx instead.
+  ProgramBuilder c(ProgType::kKprobe);
+  c.Load(kSizeDw, kR8, kR1, 0);  // scalar from ctx
+  c.Call(kHelperGetCurrentTaskBtf);
+  c.Mov(kR1, kR0);
+  c.Kfunc(kKfuncTaskAcquire);
+  c.Mov(kR6, kR0);
+  c.JmpIf(kJmpJeq, kR8, 0, 2);  // on the taken path the ref leaks
+  c.Mov(kR1, kR6);
+  c.Kfunc(kKfuncTaskRelease);
+  c.RetImm(0);
+  VerifierResult result;
+  EXPECT_EQ(Load(c.Build(), &result), -EINVAL) << result.log;
+  EXPECT_NE(result.log.find("reference leak"), std::string::npos);
+}
+
+// ---- Subprograms ----
+
+TEST_F(VerifierCallsTest, SubprogArgsFlowIn) {
+  // Caller passes a map value pointer; callee dereferences it.
+  const int map_fd = CreateMap(MapType::kArray, 4, 16);
+  ProgramBuilder b;
+  b.StoreImm(kSizeW, kR10, -4, 0);
+  b.LdMapFd(kR1, map_fd);
+  b.Mov(kR2, kR10);
+  b.Add(kR2, -4);
+  b.Call(kHelperMapLookupElem);
+  b.JmpIf(kJmpJeq, kR0, 0, 2);
+  b.Mov(kR1, kR0);
+  b.Raw(CallPseudoFunc(2));  // callee below
+  b.RetImm(0);               // + fallthrough target
+  // callee:
+  b.Load(kSizeDw, kR0, kR1, 8);
+  b.Ret();
+  VerifierResult result;
+  EXPECT_GT(Load(b.Build(), &result), 0) << result.log;
+}
+
+TEST_F(VerifierCallsTest, SubprogCalleeSavedVisibleAfterReturn) {
+  ProgramBuilder b;
+  b.Mov(kR6, 11);
+  b.Mov(kR1, 0);
+  b.Raw(CallPseudoFunc(2));
+  b.Mov(kR0, kR6);  // r6 still valid in the caller
+  b.Ret();
+  // callee:
+  b.Mov(kR0, 0);
+  b.Ret();
+  VerifierResult result;
+  EXPECT_GT(Load(b.Build(), &result), 0) << result.log;
+}
+
+TEST_F(VerifierCallsTest, SubprogCalleeStartsUninit) {
+  ProgramBuilder b;
+  b.Mov(kR6, 11);
+  b.Mov(kR1, 0);
+  b.Raw(CallPseudoFunc(2));
+  b.RetImm(0);
+  // callee reads the CALLER's r6: must be rejected (own frame, not init).
+  b.Mov(kR0, kR6);
+  b.Ret();
+  EXPECT_EQ(Load(b.Build()), -EACCES);
+}
+
+TEST_F(VerifierCallsTest, SubprogScratchesCallerR1To5) {
+  ProgramBuilder b;
+  b.Mov(kR1, 5);
+  b.Raw(CallPseudoFunc(2));
+  b.Mov(kR0, kR1);  // r1 was clobbered by the call
+  b.Ret();
+  b.Mov(kR0, 0);
+  b.Ret();
+  EXPECT_EQ(Load(b.Build()), -EACCES);
+}
+
+TEST_F(VerifierCallsTest, CallDepthLimit) {
+  // Self-recursive subprogram exceeds the frame limit.
+  ProgramBuilder b;
+  b.Mov(kR1, 0);
+  b.Raw(CallPseudoFunc(2));  // to the subprogram at insn 4
+  b.RetImm(0);
+  // sub: calls itself.
+  b.Raw(CallPseudoFunc(-1));
+  b.RetImm(0);
+  VerifierResult result;
+  EXPECT_EQ(Load(b.Build(), &result), -E2BIG) << result.log;
+  EXPECT_NE(result.log.find("too deep"), std::string::npos);
+}
+
+TEST_F(VerifierCallsTest, SubprogReturnIsScalar) {
+  const int map_fd = CreateMap(MapType::kArray, 4, 16);
+  // Callee returns a map pointer: its R0 flows to the caller, which must not
+  // be able to pass it off as a scalar exit code.
+  ProgramBuilder b;
+  b.Mov(kR1, 0);
+  b.Raw(CallPseudoFunc(1));
+  b.Ret();  // caller exits with callee's R0 (a pointer) -> reject
+  b.LdMapFd(kR0, map_fd);
+  b.Ret();
+  EXPECT_EQ(Load(b.Build()), -EACCES);
+}
+
+}  // namespace
+}  // namespace bpf

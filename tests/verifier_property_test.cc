@@ -1,0 +1,311 @@
+// Property sweeps over the verifier's abstract domain — the Agni-style
+// validation that motivated the paper's related work discussion:
+//
+//  * ALU transfer soundness: for any abstract register state containing a
+//    concrete value, the transfer function's output contains the concrete
+//    result, for every ALU op, 32- and 64-bit.
+//  * Branch-outcome soundness: a branch declared always/never taken agrees
+//    with concrete evaluation.
+//  * Refinement soundness: refining a state under a branch condition keeps
+//    every member that satisfies the condition.
+
+#include <gtest/gtest.h>
+
+#include "src/ebpf/insn.h"
+#include "src/kernel/rng.h"
+#include "src/verifier/verifier.h"
+
+namespace bpf {
+namespace {
+
+// True when the abstract state admits the concrete value.
+bool StateContains(const RegState& reg, uint64_t v) {
+  if (reg.type != RegType::kScalar) {
+    return false;
+  }
+  const int64_t sv = static_cast<int64_t>(v);
+  const uint32_t v32 = static_cast<uint32_t>(v);
+  const int32_t sv32 = static_cast<int32_t>(v);
+  return reg.var_off.Contains(v) && reg.umin <= v && v <= reg.umax && reg.smin <= sv &&
+         sv <= reg.smax && reg.u32_min <= v32 && v32 <= reg.u32_max && reg.s32_min <= sv32 &&
+         sv32 <= reg.s32_max;
+}
+
+// Builds a random abstract scalar guaranteed to contain |member|.
+RegState DrawState(Rng& rng, uint64_t member) {
+  RegState reg = RegState::Unknown();
+  switch (rng.Below(4)) {
+    case 0:  // constant
+      reg.MarkKnown(member);
+      break;
+    case 1: {  // unsigned interval around the member
+      const uint64_t below = rng.Next() & 0xffff;
+      const uint64_t above = rng.Next() & 0xffff;
+      reg.umin = member >= below ? member - below : 0;
+      reg.umax = member + above >= member ? member + above : kU64Max;
+      reg.Sync();
+      break;
+    }
+    case 2: {  // tnum knowledge: fix a random subset of bits
+      const uint64_t known = rng.Next();
+      reg.var_off = Tnum{member & known, ~known};
+      reg.Sync();
+      break;
+    }
+    case 3:  // fully unknown
+      break;
+  }
+  EXPECT_TRUE(StateContains(reg, member));
+  return reg;
+}
+
+uint64_t ConcreteAlu(uint8_t op, bool is64, uint64_t dst, uint64_t src) {
+  if (!is64) {
+    const uint32_t d = static_cast<uint32_t>(dst);
+    const uint32_t s = static_cast<uint32_t>(src);
+    switch (op) {
+      case kAluAdd:
+        return d + s;
+      case kAluSub:
+        return d - s;
+      case kAluMul:
+        return d * s;
+      case kAluAnd:
+        return d & s;
+      case kAluOr:
+        return d | s;
+      case kAluXor:
+        return d ^ s;
+      case kAluLsh:
+        return d << (s & 31);
+      case kAluRsh:
+        return d >> (s & 31);
+      case kAluArsh:
+        return static_cast<uint32_t>(static_cast<int32_t>(d) >> (s & 31));
+      case kAluDiv:
+        return s == 0 ? 0 : d / s;
+      case kAluMod:
+        return s == 0 ? d : d % s;
+      default:
+        return 0;
+    }
+  }
+  switch (op) {
+    case kAluAdd:
+      return dst + src;
+    case kAluSub:
+      return dst - src;
+    case kAluMul:
+      return dst * src;
+    case kAluAnd:
+      return dst & src;
+    case kAluOr:
+      return dst | src;
+    case kAluXor:
+      return dst ^ src;
+    case kAluLsh:
+      return dst << (src & 63);
+    case kAluRsh:
+      return dst >> (src & 63);
+    case kAluArsh:
+      return static_cast<uint64_t>(static_cast<int64_t>(dst) >> (src & 63));
+    case kAluDiv:
+      return src == 0 ? 0 : dst / src;
+    case kAluMod:
+      return src == 0 ? dst : dst % src;
+    default:
+      return 0;
+  }
+}
+
+struct AluCase {
+  uint8_t op;
+  bool is64;
+};
+
+class AluTransferSoundness : public ::testing::TestWithParam<AluCase> {};
+
+TEST_P(AluTransferSoundness, OutputContainsConcreteResult) {
+  const auto [op, is64] = GetParam();
+  Rng rng(0x5a5a + op + (is64 ? 1 : 0));
+  const bool is_shift = op == kAluLsh || op == kAluRsh || op == kAluArsh;
+  for (int trial = 0; trial < 4000; ++trial) {
+    const uint64_t x = rng.OneIn(4) ? rng.Below(1024) : rng.Next();
+    uint64_t y = rng.OneIn(4) ? rng.Below(1024) : rng.Next();
+    if (is_shift) {
+      y &= is64 ? 63 : 31;
+    }
+    RegState dst = DrawState(rng, x);
+
+    // Register-operand form.
+    {
+      RegState d = dst;
+      const Insn insn = is64 ? AluReg(op, kR1, kR2) : Alu32Reg(op, kR1, kR2);
+      ScalarAluTransfer(insn, d, DrawState(rng, y));
+      const uint64_t result = ConcreteAlu(op, is64, x, y);
+      ASSERT_TRUE(StateContains(d, result))
+          << "reg form op=0x" << std::hex << int(op) << " is64=" << is64 << " x=" << x
+          << " y=" << y << " result=" << result << " state=" << d.ToString();
+      ASSERT_TRUE(d.BoundsSane());
+    }
+    // Immediate form (imm is s32; constrain the operand accordingly).
+    {
+      const int32_t imm = static_cast<int32_t>(y);
+      if ((op == kAluDiv || op == kAluMod) && imm == 0) {
+        continue;  // rejected at encoding time
+      }
+      if (is_shift && (imm < 0 || imm >= (is64 ? 64 : 32))) {
+        continue;
+      }
+      RegState d = dst;
+      const Insn insn = is64 ? AluImm(op, kR1, imm) : Alu32Imm(op, kR1, imm);
+      RegState src = RegState::Known(
+          is64 ? static_cast<uint64_t>(static_cast<int64_t>(imm)) : static_cast<uint32_t>(imm));
+      ScalarAluTransfer(insn, d, src);
+      const uint64_t operand =
+          is64 ? static_cast<uint64_t>(static_cast<int64_t>(imm)) : static_cast<uint32_t>(imm);
+      const uint64_t result = ConcreteAlu(op, is64, x, operand);
+      ASSERT_TRUE(StateContains(d, result))
+          << "imm form op=0x" << std::hex << int(op) << " is64=" << is64 << " x=" << x
+          << " imm=" << imm << " result=" << result << " state=" << d.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOps, AluTransferSoundness,
+    ::testing::Values(AluCase{kAluAdd, true}, AluCase{kAluAdd, false},
+                      AluCase{kAluSub, true}, AluCase{kAluSub, false},
+                      AluCase{kAluMul, true}, AluCase{kAluMul, false},
+                      AluCase{kAluAnd, true}, AluCase{kAluAnd, false},
+                      AluCase{kAluOr, true}, AluCase{kAluOr, false},
+                      AluCase{kAluXor, true}, AluCase{kAluXor, false},
+                      AluCase{kAluLsh, true}, AluCase{kAluLsh, false},
+                      AluCase{kAluRsh, true}, AluCase{kAluRsh, false},
+                      AluCase{kAluArsh, true}, AluCase{kAluArsh, false},
+                      AluCase{kAluDiv, true}, AluCase{kAluDiv, false},
+                      AluCase{kAluMod, true}, AluCase{kAluMod, false}));
+
+bool ConcreteJmp(uint8_t op, uint64_t lhs, uint64_t rhs, bool is32) {
+  if (is32) {
+    lhs = static_cast<uint32_t>(lhs);
+    rhs = static_cast<uint32_t>(rhs);
+  }
+  const int64_t slhs = is32 ? static_cast<int32_t>(lhs) : static_cast<int64_t>(lhs);
+  const int64_t srhs = is32 ? static_cast<int32_t>(rhs) : static_cast<int64_t>(rhs);
+  switch (op) {
+    case kJmpJeq:
+      return lhs == rhs;
+    case kJmpJne:
+      return lhs != rhs;
+    case kJmpJgt:
+      return lhs > rhs;
+    case kJmpJge:
+      return lhs >= rhs;
+    case kJmpJlt:
+      return lhs < rhs;
+    case kJmpJle:
+      return lhs <= rhs;
+    case kJmpJsgt:
+      return slhs > srhs;
+    case kJmpJsge:
+      return slhs >= srhs;
+    case kJmpJslt:
+      return slhs < srhs;
+    case kJmpJsle:
+      return slhs <= srhs;
+    case kJmpJset:
+      return (lhs & rhs) != 0;
+    default:
+      return false;
+  }
+}
+
+struct JmpCase {
+  uint8_t op;
+  bool is32;
+};
+
+class JmpSoundness : public ::testing::TestWithParam<JmpCase> {};
+
+TEST_P(JmpSoundness, OutcomeAgreesWithConcrete) {
+  const auto [op, is32] = GetParam();
+  Rng rng(0x777 + op + (is32 ? 1 : 0));
+  for (int trial = 0; trial < 4000; ++trial) {
+    const uint64_t member = rng.OneIn(3) ? rng.Below(256) : rng.Next();
+    const uint64_t val = rng.OneIn(3) ? rng.Below(256) : rng.Next();
+    const RegState reg = DrawState(rng, member);
+    const int outcome = BranchOutcome(reg, val, op, is32);
+    const bool concrete = ConcreteJmp(op, member, val, is32);
+    if (outcome == 1) {
+      ASSERT_TRUE(concrete) << "declared always-taken but member " << member
+                            << " violates op=0x" << std::hex << int(op);
+    } else if (outcome == 0) {
+      ASSERT_FALSE(concrete) << "declared never-taken but member " << member
+                             << " satisfies op=0x" << std::hex << int(op);
+    }
+  }
+}
+
+TEST_P(JmpSoundness, RefinementKeepsSatisfyingMembers) {
+  const auto [op, is32] = GetParam();
+  if (op == kJmpJset) {
+    return;  // JSET refinement handled separately in the checker
+  }
+  Rng rng(0x999 + op + (is32 ? 1 : 0));
+  for (int trial = 0; trial < 4000; ++trial) {
+    const uint64_t member = rng.OneIn(3) ? rng.Below(256) : rng.Next();
+    const uint64_t val = rng.OneIn(3) ? rng.Below(256) : rng.Next();
+    if (!ConcreteJmp(op, member, val, is32)) {
+      continue;  // the member must satisfy the branch condition
+    }
+    RegState reg = DrawState(rng, member);
+    RefineScalarAgainstConst(reg, op, val, is32);
+    ASSERT_TRUE(StateContains(reg, member))
+        << "refinement dropped member " << member << " under op=0x" << std::hex << int(op)
+        << " val=" << val << " -> " << reg.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOps, JmpSoundness,
+    ::testing::Values(JmpCase{kJmpJeq, false}, JmpCase{kJmpJeq, true},
+                      JmpCase{kJmpJne, false}, JmpCase{kJmpJne, true},
+                      JmpCase{kJmpJgt, false}, JmpCase{kJmpJgt, true},
+                      JmpCase{kJmpJge, false}, JmpCase{kJmpJge, true},
+                      JmpCase{kJmpJlt, false}, JmpCase{kJmpJlt, true},
+                      JmpCase{kJmpJle, false}, JmpCase{kJmpJle, true},
+                      JmpCase{kJmpJsgt, false}, JmpCase{kJmpJsgt, true},
+                      JmpCase{kJmpJsge, false}, JmpCase{kJmpJsge, true},
+                      JmpCase{kJmpJslt, false}, JmpCase{kJmpJslt, true},
+                      JmpCase{kJmpJsle, false}, JmpCase{kJmpJsle, true},
+                      JmpCase{kJmpJset, false}, JmpCase{kJmpJset, true}));
+
+// Bounds-machinery invariants.
+TEST(RegStateProperty, SyncPreservesMembers) {
+  Rng rng(0x31415);
+  for (int trial = 0; trial < 8000; ++trial) {
+    const uint64_t member = rng.Next();
+    RegState reg = DrawState(rng, member);
+    reg.Sync();
+    ASSERT_TRUE(StateContains(reg, member));
+    reg.ZExt32();
+    ASSERT_TRUE(StateContains(reg, static_cast<uint32_t>(member)));
+  }
+}
+
+TEST(RegStateProperty, SubsumptionIsReflexiveAndMemberMonotone) {
+  Rng rng(0x27182);
+  for (int trial = 0; trial < 4000; ++trial) {
+    const uint64_t member = rng.Next();
+    const RegState narrow = DrawState(rng, member);
+    ASSERT_TRUE(RegSubsumes(narrow, narrow));
+    // A fully unknown state subsumes anything scalar.
+    ASSERT_TRUE(RegSubsumes(RegState::Unknown(), narrow));
+    // NotInit old-state subsumes everything (old path never used the reg).
+    ASSERT_TRUE(RegSubsumes(RegState::NotInit(), narrow));
+  }
+}
+
+}  // namespace
+}  // namespace bpf

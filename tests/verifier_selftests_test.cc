@@ -1,0 +1,449 @@
+// A test_verifier-style table: self-contained programs with an expected
+// verdict, in the spirit of the kernel's tools/testing/selftests/bpf
+// verifier tests that the paper's §6.4 uses as its dataset.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "src/ebpf/builder.h"
+#include "src/runtime/bpf_syscall.h"
+
+namespace bpf {
+namespace {
+
+struct SelfTest {
+  const char* name;
+  ProgType type;
+  // Builds the program; may create maps through the Bpf handle first.
+  std::function<Program(Bpf&)> build;
+  int expected_err;  // 0 = accept
+};
+
+int ArrayMapFd(Bpf& bpf, uint32_t value_size = 16, uint32_t entries = 4) {
+  MapDef def;
+  def.type = MapType::kArray;
+  def.key_size = 4;
+  def.value_size = value_size;
+  def.max_entries = entries;
+  return bpf.MapCreate(def);
+}
+
+class SelfTestSuite : public ::testing::TestWithParam<SelfTest> {};
+
+TEST_P(SelfTestSuite, Verdict) {
+  const SelfTest& test = GetParam();
+  Kernel kernel(KernelVersion::kBpfNext, BugConfig::None());
+  Bpf bpf(kernel);
+  const Program prog = test.build(bpf);
+  VerifierResult result;
+  const int fd = bpf.ProgLoad(prog, &result);
+  if (test.expected_err == 0) {
+    EXPECT_GT(fd, 0) << test.name << "\n" << result.log;
+    if (fd > 0) {
+      const ExecResult exec = bpf.ProgTestRun(fd);
+      EXPECT_NE(exec.err, -EFAULT) << test.name << ": " << exec.abort_reason;
+      EXPECT_TRUE(kernel.reports().empty())
+          << test.name << ": " << kernel.reports().reports()[0].Signature();
+    }
+  } else {
+    EXPECT_EQ(fd, test.expected_err) << test.name << "\n" << result.log;
+  }
+}
+
+const SelfTest kTests[] = {
+    {"empty main body",
+     ProgType::kSocketFilter,
+     [](Bpf&) {
+       ProgramBuilder b;
+       b.RetImm(0);
+       return b.Build();
+     },
+     0},
+    {"mov chain keeps provenance",
+     ProgType::kSocketFilter,
+     [](Bpf& bpf) {
+       const int fd = ArrayMapFd(bpf);
+       ProgramBuilder b;
+       b.StoreImm(kSizeW, kR10, -4, 0);
+       b.LdMapFd(kR3, fd);
+       b.Mov(kR4, kR3);
+       b.Mov(kR1, kR4);  // map ptr through two movs
+       b.Mov(kR2, kR10);
+       b.Add(kR2, -4);
+       b.Call(kHelperMapLookupElem);
+       b.RetImm(0);
+       return b.Build();
+     },
+     0},
+    {"stack boundary at -512",
+     ProgType::kSocketFilter,
+     [](Bpf&) {
+       ProgramBuilder b;
+       b.StoreImm(kSizeDw, kR10, -512, 1);
+       b.Load(kSizeDw, kR0, kR10, -512);
+       b.Ret();
+       return b.Build();
+     },
+     0},
+    {"stack boundary past -512",
+     ProgType::kSocketFilter,
+     [](Bpf&) {
+       ProgramBuilder b;
+       b.StoreImm(kSizeDw, kR10, -513, 1);
+       b.RetImm(0);
+       return b.Build();
+     },
+     -EACCES},
+    {"stack read above fp",
+     ProgType::kSocketFilter,
+     [](Bpf&) {
+       ProgramBuilder b;
+       b.Load(kSizeDw, kR0, kR10, 8);
+       b.Ret();
+       return b.Build();
+     },
+     -EACCES},
+    {"byte store straddling stack top",
+     ProgType::kSocketFilter,
+     [](Bpf&) {
+       ProgramBuilder b;
+       b.StoreImm(kSizeDw, kR10, -4, 1);  // [-4, +4): crosses fp
+       b.RetImm(0);
+       return b.Build();
+     },
+     -EACCES},
+    {"pointer leak to map value accepted (priv)",
+     ProgType::kSocketFilter,
+     [](Bpf& bpf) {
+       const int fd = ArrayMapFd(bpf);
+       ProgramBuilder b;
+       b.StoreImm(kSizeW, kR10, -4, 0);
+       b.LdMapFd(kR1, fd);
+       b.Mov(kR2, kR10);
+       b.Add(kR2, -4);
+       b.Call(kHelperMapLookupElem);
+       b.JmpIf(kJmpJeq, kR0, 0, 1);
+       b.Store(kSizeDw, kR0, kR10, 0);  // spills fp into the map
+       b.RetImm(0);
+       return b.Build();
+     },
+     0},
+    {"map ptr arithmetic rejected",
+     ProgType::kSocketFilter,
+     [](Bpf& bpf) {
+       const int fd = ArrayMapFd(bpf);
+       ProgramBuilder b;
+       b.LdMapFd(kR1, fd);
+       b.Add(kR1, 8);  // CONST_PTR_TO_MAP + const
+       b.RetImm(0);
+       return b.Build();
+     },
+     -EACCES},
+    {"32-bit alu on pointer rejected",
+     ProgType::kSocketFilter,
+     [](Bpf&) {
+       ProgramBuilder b;
+       b.Mov(kR1, kR10);
+       b.Raw(Alu32Imm(kAluAdd, kR1, 4));
+       b.RetImm(0);
+       return b.Build();
+     },
+     -EACCES},
+    {"pointer minus pointer rejected",
+     ProgType::kSocketFilter,
+     [](Bpf&) {
+       ProgramBuilder b;
+       b.Mov(kR1, kR10);
+       b.Mov(kR2, kR10);
+       b.Raw(AluReg(kAluSub, kR1, kR2));
+       b.RetImm(0);
+       return b.Build();
+     },
+     -EACCES},
+    {"scalar minus pointer rejected",
+     ProgType::kSocketFilter,
+     [](Bpf&) {
+       ProgramBuilder b;
+       b.Mov(kR1, 100);
+       b.Raw(AluReg(kAluSub, kR1, kR10));
+       b.RetImm(0);
+       return b.Build();
+     },
+     -EACCES},
+    {"scalar plus pointer commutes",
+     ProgType::kSocketFilter,
+     [](Bpf&) {
+       ProgramBuilder b;
+       b.Mov(kR1, -8);
+       b.Raw(AluReg(kAluAdd, kR1, kR10));  // r1 = -8 + fp
+       b.StoreImm(kSizeDw, kR1, 0, 3);
+       b.Load(kSizeDw, kR0, kR10, -8);
+       b.Ret();
+       return b.Build();
+     },
+     0},
+    {"mul on pointer rejected",
+     ProgType::kSocketFilter,
+     [](Bpf&) {
+       ProgramBuilder b;
+       b.Mov(kR1, kR10);
+       b.Alu(kAluMul, kR1, 2);
+       b.RetImm(0);
+       return b.Build();
+     },
+     -EACCES},
+    {"neg on pointer rejected",
+     ProgType::kSocketFilter,
+     [](Bpf&) {
+       ProgramBuilder b;
+       b.Mov(kR1, kR10);
+       b.Raw(Neg(kR1));
+       b.RetImm(0);
+       return b.Build();
+     },
+     -EACCES},
+    {"branch on uninitialized rejected",
+     ProgType::kSocketFilter,
+     [](Bpf&) {
+       ProgramBuilder b;
+       b.JmpIf(kJmpJeq, kR5, 0, 0);
+       b.RetImm(0);
+       return b.Build();
+     },
+     -EACCES},
+    {"write through pkt_end rejected",
+     ProgType::kXdp,
+     [](Bpf&) {
+       ProgramBuilder b(ProgType::kXdp);
+       b.Load(kSizeDw, kR3, kR1, 8);
+       b.Mov(kR2, 1);
+       b.Store(kSizeB, kR3, kR2, 0);
+       b.RetImm(0);
+       return b.Build();
+     },
+     -EACCES},
+    {"packet arithmetic then recheck",
+     ProgType::kXdp,
+     [](Bpf&) {
+       ProgramBuilder b(ProgType::kXdp);
+       b.Mov(kR0, 0);
+       b.Load(kSizeDw, kR2, kR1, 0);
+       b.Load(kSizeDw, kR3, kR1, 8);
+       b.Mov(kR4, kR2);
+       b.Add(kR4, 10);
+       b.JmpIfReg(kJmpJgt, kR4, kR3, 2);  // 10 bytes verified
+       b.Load(kSizeH, kR0, kR2, 4);       // bytes [4,6): inside
+       b.Load(kSizeW, kR0, kR2, 6);       // bytes [6,10): inside
+       b.Ret();
+       return b.Build();
+     },
+     0},
+    {"packet access at range edge rejected",
+     ProgType::kXdp,
+     [](Bpf&) {
+       ProgramBuilder b(ProgType::kXdp);
+       b.Mov(kR0, 0);
+       b.Load(kSizeDw, kR2, kR1, 0);
+       b.Load(kSizeDw, kR3, kR1, 8);
+       b.Mov(kR4, kR2);
+       b.Add(kR4, 10);
+       b.JmpIfReg(kJmpJgt, kR4, kR3, 1);
+       b.Load(kSizeW, kR0, kR2, 7);  // bytes [7,11): one past range
+       b.Ret();
+       return b.Build();
+     },
+     -EACCES},
+    {"div by possibly-zero register allowed",
+     ProgType::kKprobe,
+     [](Bpf&) {
+       ProgramBuilder b(ProgType::kKprobe);
+       b.Load(kSizeDw, kR6, kR1, 0);
+       b.Mov(kR0, 100);
+       b.Raw(AluReg(kAluDiv, kR0, kR6));  // runtime handles /0 as 0
+       b.Ret();
+       return b.Build();
+     },
+     0},
+    {"exit with uninitialized r0 rejected",
+     ProgType::kSocketFilter,
+     [](Bpf&) {
+       ProgramBuilder b;
+       Program prog = b.Build();
+       prog.insns = {Exit()};
+       return prog;
+     },
+     -EACCES},
+    {"dead branch never verified",
+     ProgType::kSocketFilter,
+     [](Bpf&) {
+       // `if 0 != 0` is never taken: the taken side may contain an insn that
+       // would otherwise be rejected at runtime-state level (uninit read) but
+       // is statically skipped. The kernel still requires reachability, so
+       // reach it from a second, feasible path.
+       ProgramBuilder b;
+       b.Mov(kR6, 0);
+       b.JmpIf(kJmpJne, kR6, 0, 1);   // never taken
+       b.Mov(kR7, 1);                 // feasible path initializes r7
+       b.Mov(kR0, 0);                 // join: reached with r7 maybe-uninit,
+       b.Ret();                       // but r7 is never read: fine
+       return b.Build();
+     },
+     0},
+    {"both-const branch folds",
+     ProgType::kSocketFilter,
+     [](Bpf&) {
+       ProgramBuilder b;
+       b.Mov(kR6, 5);
+       b.JmpIf(kJmpJgt, kR6, 3, 1);  // always taken
+       b.Mov(kR0, kR9);              // dead: r9 uninit never checked?
+       b.RetImm(0);
+       return b.Build();
+     },
+     // The dead insn is still *reachable* in CFG terms (fallthrough), but
+     // never walked with a state; our verifier folds the branch, so the
+     // uninit read is not observed. Kernel behaviour matches (dead code is
+     // pruned post-verification).
+     0},
+    {"jmp32 refinement applies to subregister only",
+     ProgType::kKprobe,
+     [](Bpf& bpf) {
+       const int fd = ArrayMapFd(bpf, 16);
+       ProgramBuilder b(ProgType::kKprobe);
+       b.Load(kSizeDw, kR6, kR1, 0);
+       b.StoreImm(kSizeW, kR10, -4, 0);
+       b.LdMapFd(kR1, fd);
+       b.Mov(kR2, kR10);
+       b.Add(kR2, -4);
+       b.Call(kHelperMapLookupElem);
+       b.JmpIf(kJmpJeq, kR0, 0, 4);
+       b.Raw(Jmp32Imm(kJmpJgt, kR6, 8, 3));  // w6 <= 8, but high bits unknown!
+       b.Add(kR0, kR6);                      // 64-bit add: unbounded
+       b.Load(kSizeDw, kR0, kR0, 0),
+       b.Jmp(0);
+       b.RetImm(0);
+       return b.Build();
+     },
+     -EACCES},
+    {"atomic on map value",
+     ProgType::kSocketFilter,
+     [](Bpf& bpf) {
+       const int fd = ArrayMapFd(bpf, 16);
+       ProgramBuilder b;
+       b.StoreImm(kSizeW, kR10, -4, 0);
+       b.LdMapFd(kR1, fd);
+       b.Mov(kR2, kR10);
+       b.Add(kR2, -4);
+       b.Call(kHelperMapLookupElem);
+       b.JmpIf(kJmpJeq, kR0, 0, 2);
+       b.Mov(kR1, 1);
+       b.Raw(AtomicOp(kSizeDw, kR0, kR1, 8, kAtomicAdd));
+       b.RetImm(0);
+       return b.Build();
+     },
+     0},
+    {"atomic on ctx rejected",
+     ProgType::kSocketFilter,
+     [](Bpf&) {
+       ProgramBuilder b;
+       b.Mov(kR2, 1);
+       b.Raw(AtomicOp(kSizeW, kR1, kR2, 8, kAtomicAdd));
+       b.RetImm(0);
+       return b.Build();
+     },
+     -EACCES},
+    {"bounded loop over map value",
+     ProgType::kSocketFilter,
+     [](Bpf& bpf) {
+       const int fd = ArrayMapFd(bpf, 64);
+       ProgramBuilder b;
+       b.StoreImm(kSizeW, kR10, -4, 0);
+       b.LdMapFd(kR1, fd);
+       b.Mov(kR2, kR10);
+       b.Add(kR2, -4);
+       b.Call(kHelperMapLookupElem);
+       b.JmpIf(kJmpJeq, kR0, 0, 6);
+       b.Mov(kR6, 4);  // write 4 slots
+       b.Mov(kR7, kR0);
+       b.StoreImm(kSizeDw, kR7, 0, 1);
+       b.Add(kR7, 8);
+       b.Alu(kAluSub, kR6, 1);
+       b.JmpIf(kJmpJne, kR6, 0, -4),
+       b.RetImm(0);
+       return b.Build();
+     },
+     0},
+    {"xor self is zero",
+     ProgType::kSocketFilter,
+     [](Bpf& bpf) {
+       const int fd = ArrayMapFd(bpf, 16);
+       // r6 ^= r6 makes it const 0: usable as a safe offset.
+       ProgramBuilder b;
+       b.StoreImm(kSizeW, kR10, -4, 0);
+       b.LdMapFd(kR1, fd);
+       b.Mov(kR2, kR10);
+       b.Add(kR2, -4);
+       b.Call(kHelperMapLookupElem);
+       b.JmpIf(kJmpJeq, kR0, 0, 4);
+       b.Load(kSizeDw, kR6, kR0, 0);
+       b.Raw(AluReg(kAluXor, kR6, kR6));
+       b.Add(kR0, kR6);
+       b.Load(kSizeDw, kR0, kR0, 8);
+       b.RetImm(0);
+       return b.Build();
+     },
+     0},
+    {"rsh bounds a full unknown",
+     ProgType::kKprobe,
+     [](Bpf& bpf) {
+       const int fd = ArrayMapFd(bpf, 16);
+       // unknown >> 61 fits [0,7]: a safe map-value offset.
+       ProgramBuilder b(ProgType::kKprobe);
+       b.Load(kSizeDw, kR6, kR1, 0);
+       b.Alu(kAluRsh, kR6, 61);
+       b.StoreImm(kSizeW, kR10, -4, 0);
+       b.LdMapFd(kR1, fd);
+       b.Mov(kR2, kR10);
+       b.Add(kR2, -4);
+       b.Call(kHelperMapLookupElem);
+       b.JmpIf(kJmpJeq, kR0, 0, 2);
+       b.Add(kR0, kR6);
+       b.Load(kSizeB, kR0, kR0, 0);
+       b.RetImm(0);
+       return b.Build();
+     },
+     0},
+    {"signed bound alone insufficient for offset",
+     ProgType::kKprobe,
+     [](Bpf& bpf) {
+       const int fd = ArrayMapFd(bpf, 16);
+       ProgramBuilder b(ProgType::kKprobe);
+       b.Load(kSizeDw, kR6, kR1, 0);
+       b.Raw(AluReg(kAluArsh, kR6, kR6));  // arbitrary
+       b.StoreImm(kSizeW, kR10, -4, 0);
+       b.LdMapFd(kR1, fd);
+       b.Mov(kR2, kR10);
+       b.Add(kR2, -4);
+       b.Call(kHelperMapLookupElem);
+       b.JmpIf(kJmpJeq, kR0, 0, 2);
+       b.Add(kR0, kR6);
+       b.Load(kSizeB, kR0, kR0, 0);
+       b.RetImm(0);
+       return b.Build();
+     },
+     -EACCES},
+};
+
+INSTANTIATE_TEST_SUITE_P(Table, SelfTestSuite, ::testing::ValuesIn(kTests),
+                         [](const ::testing::TestParamInfo<SelfTest>& info) {
+                           std::string name = info.param.name;
+                           for (char& c : name) {
+                             if (!isalnum(static_cast<unsigned char>(c))) {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace bpf
