@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_acceptance.dir/bench_acceptance.cc.o"
+  "CMakeFiles/bench_acceptance.dir/bench_acceptance.cc.o.d"
+  "bench_acceptance"
+  "bench_acceptance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_acceptance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

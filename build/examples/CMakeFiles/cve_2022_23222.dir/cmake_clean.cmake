@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cve_2022_23222.dir/cve_2022_23222.cc.o"
+  "CMakeFiles/cve_2022_23222.dir/cve_2022_23222.cc.o.d"
+  "cve_2022_23222"
+  "cve_2022_23222.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cve_2022_23222.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for cve_2022_23222.
+# This may be replaced when dependencies are built.

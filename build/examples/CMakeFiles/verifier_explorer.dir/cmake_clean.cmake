@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verifier_explorer.dir/verifier_explorer.cc.o"
+  "CMakeFiles/verifier_explorer.dir/verifier_explorer.cc.o.d"
+  "verifier_explorer"
+  "verifier_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verifier_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

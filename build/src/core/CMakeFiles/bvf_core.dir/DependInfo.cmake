@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baselines.cc" "src/core/CMakeFiles/bvf_core.dir/baselines.cc.o" "gcc" "src/core/CMakeFiles/bvf_core.dir/baselines.cc.o.d"
+  "/root/repo/src/core/fuzzer.cc" "src/core/CMakeFiles/bvf_core.dir/fuzzer.cc.o" "gcc" "src/core/CMakeFiles/bvf_core.dir/fuzzer.cc.o.d"
+  "/root/repo/src/core/oracle.cc" "src/core/CMakeFiles/bvf_core.dir/oracle.cc.o" "gcc" "src/core/CMakeFiles/bvf_core.dir/oracle.cc.o.d"
+  "/root/repo/src/core/repro.cc" "src/core/CMakeFiles/bvf_core.dir/repro.cc.o" "gcc" "src/core/CMakeFiles/bvf_core.dir/repro.cc.o.d"
+  "/root/repo/src/core/structured_gen.cc" "src/core/CMakeFiles/bvf_core.dir/structured_gen.cc.o" "gcc" "src/core/CMakeFiles/bvf_core.dir/structured_gen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sanitizer/CMakeFiles/bvf_sanitizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/bpf_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/verifier/CMakeFiles/bpf_verifier.dir/DependInfo.cmake"
+  "/root/repo/build/src/ebpf/CMakeFiles/bpf_ebpf.dir/DependInfo.cmake"
+  "/root/repo/build/src/maps/CMakeFiles/bpf_maps.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/bpf_kernel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bvf_core.dir/baselines.cc.o"
+  "CMakeFiles/bvf_core.dir/baselines.cc.o.d"
+  "CMakeFiles/bvf_core.dir/fuzzer.cc.o"
+  "CMakeFiles/bvf_core.dir/fuzzer.cc.o.d"
+  "CMakeFiles/bvf_core.dir/oracle.cc.o"
+  "CMakeFiles/bvf_core.dir/oracle.cc.o.d"
+  "CMakeFiles/bvf_core.dir/repro.cc.o"
+  "CMakeFiles/bvf_core.dir/repro.cc.o.d"
+  "CMakeFiles/bvf_core.dir/structured_gen.cc.o"
+  "CMakeFiles/bvf_core.dir/structured_gen.cc.o.d"
+  "libbvf_core.a"
+  "libbvf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bvf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbvf_core.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpf_ebpf.dir/insn.cc.o"
+  "CMakeFiles/bpf_ebpf.dir/insn.cc.o.d"
+  "CMakeFiles/bpf_ebpf.dir/program.cc.o"
+  "CMakeFiles/bpf_ebpf.dir/program.cc.o.d"
+  "libbpf_ebpf.a"
+  "libbpf_ebpf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpf_ebpf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

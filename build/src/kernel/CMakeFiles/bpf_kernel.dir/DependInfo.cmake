@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernel/alloc.cc" "src/kernel/CMakeFiles/bpf_kernel.dir/alloc.cc.o" "gcc" "src/kernel/CMakeFiles/bpf_kernel.dir/alloc.cc.o.d"
+  "/root/repo/src/kernel/btf.cc" "src/kernel/CMakeFiles/bpf_kernel.dir/btf.cc.o" "gcc" "src/kernel/CMakeFiles/bpf_kernel.dir/btf.cc.o.d"
+  "/root/repo/src/kernel/coverage.cc" "src/kernel/CMakeFiles/bpf_kernel.dir/coverage.cc.o" "gcc" "src/kernel/CMakeFiles/bpf_kernel.dir/coverage.cc.o.d"
+  "/root/repo/src/kernel/kasan.cc" "src/kernel/CMakeFiles/bpf_kernel.dir/kasan.cc.o" "gcc" "src/kernel/CMakeFiles/bpf_kernel.dir/kasan.cc.o.d"
+  "/root/repo/src/kernel/lockdep.cc" "src/kernel/CMakeFiles/bpf_kernel.dir/lockdep.cc.o" "gcc" "src/kernel/CMakeFiles/bpf_kernel.dir/lockdep.cc.o.d"
+  "/root/repo/src/kernel/report.cc" "src/kernel/CMakeFiles/bpf_kernel.dir/report.cc.o" "gcc" "src/kernel/CMakeFiles/bpf_kernel.dir/report.cc.o.d"
+  "/root/repo/src/kernel/tracepoint.cc" "src/kernel/CMakeFiles/bpf_kernel.dir/tracepoint.cc.o" "gcc" "src/kernel/CMakeFiles/bpf_kernel.dir/tracepoint.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

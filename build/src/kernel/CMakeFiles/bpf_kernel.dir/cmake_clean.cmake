@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpf_kernel.dir/alloc.cc.o"
+  "CMakeFiles/bpf_kernel.dir/alloc.cc.o.d"
+  "CMakeFiles/bpf_kernel.dir/btf.cc.o"
+  "CMakeFiles/bpf_kernel.dir/btf.cc.o.d"
+  "CMakeFiles/bpf_kernel.dir/coverage.cc.o"
+  "CMakeFiles/bpf_kernel.dir/coverage.cc.o.d"
+  "CMakeFiles/bpf_kernel.dir/kasan.cc.o"
+  "CMakeFiles/bpf_kernel.dir/kasan.cc.o.d"
+  "CMakeFiles/bpf_kernel.dir/lockdep.cc.o"
+  "CMakeFiles/bpf_kernel.dir/lockdep.cc.o.d"
+  "CMakeFiles/bpf_kernel.dir/report.cc.o"
+  "CMakeFiles/bpf_kernel.dir/report.cc.o.d"
+  "CMakeFiles/bpf_kernel.dir/tracepoint.cc.o"
+  "CMakeFiles/bpf_kernel.dir/tracepoint.cc.o.d"
+  "libbpf_kernel.a"
+  "libbpf_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpf_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbpf_kernel.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpf_maps.dir/map.cc.o"
+  "CMakeFiles/bpf_maps.dir/map.cc.o.d"
+  "libbpf_maps.a"
+  "libbpf_maps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpf_maps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

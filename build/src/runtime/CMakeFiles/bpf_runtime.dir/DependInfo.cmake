@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/bpf_syscall.cc" "src/runtime/CMakeFiles/bpf_runtime.dir/bpf_syscall.cc.o" "gcc" "src/runtime/CMakeFiles/bpf_runtime.dir/bpf_syscall.cc.o.d"
+  "/root/repo/src/runtime/helpers.cc" "src/runtime/CMakeFiles/bpf_runtime.dir/helpers.cc.o" "gcc" "src/runtime/CMakeFiles/bpf_runtime.dir/helpers.cc.o.d"
+  "/root/repo/src/runtime/interpreter.cc" "src/runtime/CMakeFiles/bpf_runtime.dir/interpreter.cc.o" "gcc" "src/runtime/CMakeFiles/bpf_runtime.dir/interpreter.cc.o.d"
+  "/root/repo/src/runtime/kernel.cc" "src/runtime/CMakeFiles/bpf_runtime.dir/kernel.cc.o" "gcc" "src/runtime/CMakeFiles/bpf_runtime.dir/kernel.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/verifier/CMakeFiles/bpf_verifier.dir/DependInfo.cmake"
+  "/root/repo/build/src/ebpf/CMakeFiles/bpf_ebpf.dir/DependInfo.cmake"
+  "/root/repo/build/src/maps/CMakeFiles/bpf_maps.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/bpf_kernel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpf_runtime.dir/bpf_syscall.cc.o"
+  "CMakeFiles/bpf_runtime.dir/bpf_syscall.cc.o.d"
+  "CMakeFiles/bpf_runtime.dir/helpers.cc.o"
+  "CMakeFiles/bpf_runtime.dir/helpers.cc.o.d"
+  "CMakeFiles/bpf_runtime.dir/interpreter.cc.o"
+  "CMakeFiles/bpf_runtime.dir/interpreter.cc.o.d"
+  "CMakeFiles/bpf_runtime.dir/kernel.cc.o"
+  "CMakeFiles/bpf_runtime.dir/kernel.cc.o.d"
+  "libbpf_runtime.a"
+  "libbpf_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpf_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

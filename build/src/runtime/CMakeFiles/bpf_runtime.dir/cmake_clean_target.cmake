@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbpf_runtime.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bvf_sanitizer.dir/asan_funcs.cc.o"
+  "CMakeFiles/bvf_sanitizer.dir/asan_funcs.cc.o.d"
+  "CMakeFiles/bvf_sanitizer.dir/instrument.cc.o"
+  "CMakeFiles/bvf_sanitizer.dir/instrument.cc.o.d"
+  "libbvf_sanitizer.a"
+  "libbvf_sanitizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bvf_sanitizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

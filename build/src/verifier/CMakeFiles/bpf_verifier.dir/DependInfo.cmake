@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/verifier/bug_registry.cc" "src/verifier/CMakeFiles/bpf_verifier.dir/bug_registry.cc.o" "gcc" "src/verifier/CMakeFiles/bpf_verifier.dir/bug_registry.cc.o.d"
+  "/root/repo/src/verifier/check_alu.cc" "src/verifier/CMakeFiles/bpf_verifier.dir/check_alu.cc.o" "gcc" "src/verifier/CMakeFiles/bpf_verifier.dir/check_alu.cc.o.d"
+  "/root/repo/src/verifier/check_call.cc" "src/verifier/CMakeFiles/bpf_verifier.dir/check_call.cc.o" "gcc" "src/verifier/CMakeFiles/bpf_verifier.dir/check_call.cc.o.d"
+  "/root/repo/src/verifier/check_jmp.cc" "src/verifier/CMakeFiles/bpf_verifier.dir/check_jmp.cc.o" "gcc" "src/verifier/CMakeFiles/bpf_verifier.dir/check_jmp.cc.o.d"
+  "/root/repo/src/verifier/check_mem.cc" "src/verifier/CMakeFiles/bpf_verifier.dir/check_mem.cc.o" "gcc" "src/verifier/CMakeFiles/bpf_verifier.dir/check_mem.cc.o.d"
+  "/root/repo/src/verifier/checker.cc" "src/verifier/CMakeFiles/bpf_verifier.dir/checker.cc.o" "gcc" "src/verifier/CMakeFiles/bpf_verifier.dir/checker.cc.o.d"
+  "/root/repo/src/verifier/ctx.cc" "src/verifier/CMakeFiles/bpf_verifier.dir/ctx.cc.o" "gcc" "src/verifier/CMakeFiles/bpf_verifier.dir/ctx.cc.o.d"
+  "/root/repo/src/verifier/fixup.cc" "src/verifier/CMakeFiles/bpf_verifier.dir/fixup.cc.o" "gcc" "src/verifier/CMakeFiles/bpf_verifier.dir/fixup.cc.o.d"
+  "/root/repo/src/verifier/helper_protos.cc" "src/verifier/CMakeFiles/bpf_verifier.dir/helper_protos.cc.o" "gcc" "src/verifier/CMakeFiles/bpf_verifier.dir/helper_protos.cc.o.d"
+  "/root/repo/src/verifier/kernel_version.cc" "src/verifier/CMakeFiles/bpf_verifier.dir/kernel_version.cc.o" "gcc" "src/verifier/CMakeFiles/bpf_verifier.dir/kernel_version.cc.o.d"
+  "/root/repo/src/verifier/reg_state.cc" "src/verifier/CMakeFiles/bpf_verifier.dir/reg_state.cc.o" "gcc" "src/verifier/CMakeFiles/bpf_verifier.dir/reg_state.cc.o.d"
+  "/root/repo/src/verifier/tnum.cc" "src/verifier/CMakeFiles/bpf_verifier.dir/tnum.cc.o" "gcc" "src/verifier/CMakeFiles/bpf_verifier.dir/tnum.cc.o.d"
+  "/root/repo/src/verifier/verifier_state.cc" "src/verifier/CMakeFiles/bpf_verifier.dir/verifier_state.cc.o" "gcc" "src/verifier/CMakeFiles/bpf_verifier.dir/verifier_state.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ebpf/CMakeFiles/bpf_ebpf.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/bpf_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/maps/CMakeFiles/bpf_maps.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpf_verifier.dir/bug_registry.cc.o"
+  "CMakeFiles/bpf_verifier.dir/bug_registry.cc.o.d"
+  "CMakeFiles/bpf_verifier.dir/check_alu.cc.o"
+  "CMakeFiles/bpf_verifier.dir/check_alu.cc.o.d"
+  "CMakeFiles/bpf_verifier.dir/check_call.cc.o"
+  "CMakeFiles/bpf_verifier.dir/check_call.cc.o.d"
+  "CMakeFiles/bpf_verifier.dir/check_jmp.cc.o"
+  "CMakeFiles/bpf_verifier.dir/check_jmp.cc.o.d"
+  "CMakeFiles/bpf_verifier.dir/check_mem.cc.o"
+  "CMakeFiles/bpf_verifier.dir/check_mem.cc.o.d"
+  "CMakeFiles/bpf_verifier.dir/checker.cc.o"
+  "CMakeFiles/bpf_verifier.dir/checker.cc.o.d"
+  "CMakeFiles/bpf_verifier.dir/ctx.cc.o"
+  "CMakeFiles/bpf_verifier.dir/ctx.cc.o.d"
+  "CMakeFiles/bpf_verifier.dir/fixup.cc.o"
+  "CMakeFiles/bpf_verifier.dir/fixup.cc.o.d"
+  "CMakeFiles/bpf_verifier.dir/helper_protos.cc.o"
+  "CMakeFiles/bpf_verifier.dir/helper_protos.cc.o.d"
+  "CMakeFiles/bpf_verifier.dir/kernel_version.cc.o"
+  "CMakeFiles/bpf_verifier.dir/kernel_version.cc.o.d"
+  "CMakeFiles/bpf_verifier.dir/reg_state.cc.o"
+  "CMakeFiles/bpf_verifier.dir/reg_state.cc.o.d"
+  "CMakeFiles/bpf_verifier.dir/tnum.cc.o"
+  "CMakeFiles/bpf_verifier.dir/tnum.cc.o.d"
+  "CMakeFiles/bpf_verifier.dir/verifier_state.cc.o"
+  "CMakeFiles/bpf_verifier.dir/verifier_state.cc.o.d"
+  "libbpf_verifier.a"
+  "libbpf_verifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpf_verifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+src/verifier/CMakeFiles/bpf_verifier.dir/kernel_version.cc.o: \
+ /root/repo/src/verifier/kernel_version.cc /usr/include/stdc-predef.h \
+ /root/repo/src/verifier/kernel_version.h

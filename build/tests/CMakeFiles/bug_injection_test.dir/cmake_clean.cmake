@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bug_injection_test.dir/bug_injection_test.cc.o"
+  "CMakeFiles/bug_injection_test.dir/bug_injection_test.cc.o.d"
+  "bug_injection_test"
+  "bug_injection_test.pdb"
+  "bug_injection_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bug_injection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

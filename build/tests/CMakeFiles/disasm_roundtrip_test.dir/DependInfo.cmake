@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/disasm_roundtrip_test.cc" "tests/CMakeFiles/disasm_roundtrip_test.dir/disasm_roundtrip_test.cc.o" "gcc" "tests/CMakeFiles/disasm_roundtrip_test.dir/disasm_roundtrip_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bvf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sanitizer/CMakeFiles/bvf_sanitizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/bpf_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/verifier/CMakeFiles/bpf_verifier.dir/DependInfo.cmake"
+  "/root/repo/build/src/maps/CMakeFiles/bpf_maps.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/bpf_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/ebpf/CMakeFiles/bpf_ebpf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disasm_roundtrip_test.dir/disasm_roundtrip_test.cc.o"
+  "CMakeFiles/disasm_roundtrip_test.dir/disasm_roundtrip_test.cc.o.d"
+  "disasm_roundtrip_test"
+  "disasm_roundtrip_test.pdb"
+  "disasm_roundtrip_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disasm_roundtrip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

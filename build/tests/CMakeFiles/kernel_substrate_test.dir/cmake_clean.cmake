@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_substrate_test.dir/kernel_substrate_test.cc.o"
+  "CMakeFiles/kernel_substrate_test.dir/kernel_substrate_test.cc.o.d"
+  "kernel_substrate_test"
+  "kernel_substrate_test.pdb"
+  "kernel_substrate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_substrate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_test.dir/repro_test.cc.o"
+  "CMakeFiles/repro_test.dir/repro_test.cc.o.d"
+  "repro_test"
+  "repro_test.pdb"
+  "repro_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_run_repeat_test.dir/test_run_repeat_test.cc.o"
+  "CMakeFiles/test_run_repeat_test.dir/test_run_repeat_test.cc.o.d"
+  "test_run_repeat_test"
+  "test_run_repeat_test.pdb"
+  "test_run_repeat_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_run_repeat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tnum_test.dir/tnum_test.cc.o"
+  "CMakeFiles/tnum_test.dir/tnum_test.cc.o.d"
+  "tnum_test"
+  "tnum_test.pdb"
+  "tnum_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tnum_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

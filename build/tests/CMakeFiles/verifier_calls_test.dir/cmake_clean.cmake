@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verifier_calls_test.dir/verifier_calls_test.cc.o"
+  "CMakeFiles/verifier_calls_test.dir/verifier_calls_test.cc.o.d"
+  "verifier_calls_test"
+  "verifier_calls_test.pdb"
+  "verifier_calls_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verifier_calls_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verifier_edge_test.dir/verifier_edge_test.cc.o"
+  "CMakeFiles/verifier_edge_test.dir/verifier_edge_test.cc.o.d"
+  "verifier_edge_test"
+  "verifier_edge_test.pdb"
+  "verifier_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verifier_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

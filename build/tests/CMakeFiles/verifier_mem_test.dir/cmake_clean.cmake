@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verifier_mem_test.dir/verifier_mem_test.cc.o"
+  "CMakeFiles/verifier_mem_test.dir/verifier_mem_test.cc.o.d"
+  "verifier_mem_test"
+  "verifier_mem_test.pdb"
+  "verifier_mem_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verifier_mem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

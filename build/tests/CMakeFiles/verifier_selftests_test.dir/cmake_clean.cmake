@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verifier_selftests_test.dir/verifier_selftests_test.cc.o"
+  "CMakeFiles/verifier_selftests_test.dir/verifier_selftests_test.cc.o.d"
+  "verifier_selftests_test"
+  "verifier_selftests_test.pdb"
+  "verifier_selftests_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verifier_selftests_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verifier_state_test.dir/verifier_state_test.cc.o"
+  "CMakeFiles/verifier_state_test.dir/verifier_state_test.cc.o.d"
+  "verifier_state_test"
+  "verifier_state_test.pdb"
+  "verifier_state_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verifier_state_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/verifier_basic_test[1]_include.cmake")
+include("/root/repo/build/tests/bug_injection_test[1]_include.cmake")
+include("/root/repo/build/tests/tnum_test[1]_include.cmake")
+include("/root/repo/build/tests/insn_test[1]_include.cmake")
+include("/root/repo/build/tests/encoding_test[1]_include.cmake")
+include("/root/repo/build/tests/kernel_substrate_test[1]_include.cmake")
+include("/root/repo/build/tests/maps_test[1]_include.cmake")
+include("/root/repo/build/tests/verifier_property_test[1]_include.cmake")
+include("/root/repo/build/tests/interpreter_test[1]_include.cmake")
+include("/root/repo/build/tests/verifier_mem_test[1]_include.cmake")
+include("/root/repo/build/tests/verifier_calls_test[1]_include.cmake")
+include("/root/repo/build/tests/sanitizer_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzzer_test[1]_include.cmake")
+include("/root/repo/build/tests/verifier_state_test[1]_include.cmake")
+include("/root/repo/build/tests/verifier_selftests_test[1]_include.cmake")
+include("/root/repo/build/tests/coverage_test[1]_include.cmake")
+include("/root/repo/build/tests/disasm_roundtrip_test[1]_include.cmake")
+include("/root/repo/build/tests/repro_test[1]_include.cmake")
+include("/root/repo/build/tests/test_run_repeat_test[1]_include.cmake")
+include("/root/repo/build/tests/verifier_edge_test[1]_include.cmake")
