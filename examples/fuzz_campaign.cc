@@ -3,11 +3,16 @@
 // oracle -> triage. Prints the bug report list the way a real campaign's
 // triage queue looks.
 //
-// Usage: fuzz_campaign [iterations] [seed]
+// Usage: fuzz_campaign [iterations] [seed] [--analysis]
+//
+// With --analysis, the first finding's regenerated trigger is run through the
+// static-analysis passes: CFG dump, lints, liveness, and the per-instruction
+// abstract-claim vs concrete-witness diff (indicator #3's view of the case).
 
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "src/core/fuzzer.h"
 #include "src/core/repro.h"
@@ -16,11 +21,22 @@
 int main(int argc, char** argv) {
   using namespace bvf;
 
+  bool analysis = false;
+  uint64_t positional[2] = {3000, 1};  // iterations, seed
+  int npos = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (strcmp(argv[i], "--analysis") == 0) {
+      analysis = true;
+    } else if (npos < 2) {
+      positional[npos++] = strtoull(argv[i], nullptr, 10);
+    }
+  }
+
   CampaignOptions options;
   options.version = bpf::KernelVersion::kBpfNext;
   options.bugs = bpf::BugConfig::All();
-  options.iterations = argc > 1 ? strtoull(argv[1], nullptr, 10) : 3000;
-  options.seed = argc > 2 ? strtoull(argv[2], nullptr, 10) : 1;
+  options.iterations = positional[0];
+  options.seed = positional[1];
 
   printf("BVF campaign: %" PRIu64 " programs against %s with %d injected bugs (seed %" PRIu64
          ")\n",
@@ -49,8 +65,9 @@ int main(int argc, char** argv) {
 
   // Triage support: regenerate the first indicator-#1 trigger (campaigns are
   // deterministic) and minimize it to a near-guilty-instruction reproducer.
+  // With --analysis, also run the static-analysis passes over the trigger.
   for (const Finding& finding : stats.findings) {
-    if (finding.indicator != 1) {
+    if (finding.indicator != 1 && !analysis) {
       continue;
     }
     StructuredGenerator regen(options.version);
@@ -62,13 +79,20 @@ int main(int argc, char** argv) {
       found = ExecuteCase(trigger, options).count(finding.signature) != 0;
     }
     if (!found) {
-      break;  // the trigger needed corpus mutation state; skip the demo
+      continue;  // the trigger needed corpus mutation state; try the next one
     }
-    const MinimizeResult reduced = MinimizeCase(trigger, finding.signature, options, 1500);
-    printf("\nminimized reproducer for \"%s\"\n", finding.signature.c_str());
-    printf("(%zu -> %zu insns after %d re-executions)\n", reduced.insns_before,
-           reduced.insns_after, reduced.executions);
-    printf("%s", reduced.reduced.prog.Disassemble().c_str());
+    if (analysis) {
+      printf("\nstatic analysis of trigger for \"%s\"\n", finding.signature.c_str());
+      printf("%s", AnalyzeCase(trigger, options).c_str());
+    }
+    if (finding.indicator == 1) {
+      const MinimizeResult reduced =
+          MinimizeCase(trigger, finding.signature, options, 1500);
+      printf("\nminimized reproducer for \"%s\"\n", finding.signature.c_str());
+      printf("(%zu -> %zu insns after %d re-executions)\n", reduced.insns_before,
+             reduced.insns_after, reduced.executions);
+      printf("%s", reduced.reduced.prog.Disassemble().c_str());
+    }
     break;
   }
   return 0;

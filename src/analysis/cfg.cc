@@ -1,0 +1,229 @@
+#include "src/analysis/cfg.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace bvf {
+
+namespace {
+
+using bpf::Insn;
+using bpf::kClassJmp;
+using bpf::kJmpJa;
+
+// True if |insn| ends a basic block: any jump-class instruction (conditional,
+// unconditional, exit) or a call (helper, kfunc, or bpf-to-bpf -- calls end
+// blocks so the call edge has a well-defined site).
+bool IsTerminator(const Insn& insn) { return insn.IsJmp(); }
+
+// Branch target of a jump instruction, or -1 if it has none (exit, calls,
+// jmp32-class JA which this ISA subset never emits).
+int JumpTarget(const Insn& insn, int idx) {
+  const uint8_t op = insn.JmpOp();
+  if (insn.IsExit() || insn.IsCall()) return -1;
+  if (op == kJmpJa && insn.Class() != kClassJmp) return -1;
+  return idx + 1 + insn.off;
+}
+
+bool IsUnconditional(const Insn& insn) {
+  return insn.Class() == kClassJmp && insn.JmpOp() == kJmpJa;
+}
+
+}  // namespace
+
+bool Cfg::IsEntryBlock(int block) const {
+  if (block < 0 || block >= static_cast<int>(blocks.size())) return false;
+  const int first = blocks[block].first;
+  return std::find(subprog_entry.begin(), subprog_entry.end(), first) !=
+         subprog_entry.end();
+}
+
+std::vector<bool> Cfg::ReachableBlocks() const {
+  std::vector<bool> reached(blocks.size(), false);
+  if (blocks.empty()) return reached;
+  std::vector<int> stack;
+  const int entry = BlockAt(0);
+  if (entry >= 0) {
+    reached[entry] = true;
+    stack.push_back(entry);
+  }
+  while (!stack.empty()) {
+    const int b = stack.back();
+    stack.pop_back();
+    auto visit = [&](int s) {
+      if (s >= 0 && s < static_cast<int>(blocks.size()) && !reached[s]) {
+        reached[s] = true;
+        stack.push_back(s);
+      }
+    };
+    for (int s : blocks[b].succs) visit(s);
+    visit(blocks[b].call_target);
+  }
+  return reached;
+}
+
+Cfg BuildCfg(const bpf::Program& prog) {
+  Cfg cfg;
+  const int n = static_cast<int>(prog.insns.size());
+  if (n == 0) return cfg;
+
+  // High slots of ld_imm64 pairs are data, not instructions: they never start
+  // a block and are never valid jump targets.
+  std::vector<bool> is_hi(n, false);
+  for (int i = 0; i < n; ++i) {
+    if (prog.insns[i].IsLdImm64() && i + 1 < n) {
+      is_hi[i + 1] = true;
+      ++i;
+    }
+  }
+
+  auto valid_target = [&](int t) { return t >= 0 && t < n && !is_hi[t]; };
+
+  // Pass 1: leaders. Instruction 0, every valid jump/call target, and the
+  // instruction following any terminator.
+  std::vector<bool> leader(n, false);
+  leader[0] = true;
+  std::vector<int> entries = {0};
+  for (int i = 0; i < n; ++i) {
+    if (is_hi[i]) continue;
+    const Insn& insn = prog.insns[i];
+    if (!IsTerminator(insn)) continue;
+    if (i + 1 < n && !is_hi[i + 1]) leader[i + 1] = true;
+    const int target = JumpTarget(insn, i);
+    if (target >= 0 && valid_target(target)) leader[target] = true;
+    if (insn.IsBpfToBpfCall()) {
+      const int callee = i + 1 + insn.imm;
+      if (valid_target(callee)) {
+        leader[callee] = true;
+        if (std::find(entries.begin(), entries.end(), callee) == entries.end()) {
+          entries.push_back(callee);
+        }
+      }
+    }
+  }
+
+  // Pass 2: carve blocks and fill block_of. A block runs from its leader to
+  // the instruction before the next leader, or through its terminator. For a
+  // ld_imm64 pair `last` names the low slot; the data slot maps to the same
+  // block but never starts or ends one.
+  cfg.block_of.assign(n, -1);
+  for (int i = 0; i < n;) {
+    const int id = static_cast<int>(cfg.blocks.size());
+    BasicBlock bb;
+    bb.first = i;
+    int j = i;
+    while (true) {
+      cfg.block_of[j] = id;
+      int end = j;  // last slot occupied by this logical instruction
+      if (prog.insns[j].IsLdImm64() && j + 1 < n && is_hi[j + 1]) {
+        cfg.block_of[j + 1] = id;
+        end = j + 1;
+      }
+      if (IsTerminator(prog.insns[j]) || end + 1 >= n || leader[end + 1]) {
+        bb.last = j;
+        i = end + 1;
+        break;
+      }
+      j = end + 1;
+    }
+    cfg.blocks.push_back(bb);
+  }
+
+  // Pass 3: edges. Fall-through, branch targets, and call targets; edges to
+  // invalid targets are dropped rather than followed.
+  for (int id = 0; id < static_cast<int>(cfg.blocks.size()); ++id) {
+    BasicBlock& bb = cfg.blocks[id];
+    const int term = bb.last;
+    const Insn& tinsn = prog.insns[term];
+    // First slot after the block (skipping a trailing ld_imm64 data slot).
+    const int next = term + (tinsn.IsLdImm64() ? 2 : 1);
+    auto add_succ = [&](int target_insn) {
+      if (!valid_target(target_insn)) return;
+      const int s = cfg.block_of[target_insn];
+      if (s < 0) return;
+      if (std::find(bb.succs.begin(), bb.succs.end(), s) == bb.succs.end()) {
+        bb.succs.push_back(s);
+      }
+    };
+    if (!IsTerminator(tinsn)) {
+      add_succ(next);  // straight-line block split by a leader: falls through
+      continue;
+    }
+    if (tinsn.IsExit()) continue;
+    if (tinsn.IsCall()) {
+      add_succ(next);  // returns to the continuation
+      if (tinsn.IsBpfToBpfCall()) {
+        const int callee = term + 1 + tinsn.imm;
+        if (valid_target(callee)) bb.call_target = cfg.block_of[callee];
+      }
+      continue;
+    }
+    const int target = JumpTarget(tinsn, term);
+    if (target >= 0) add_succ(target);
+    if (!IsUnconditional(tinsn)) add_succ(next);
+  }
+
+  // Pass 4: preds + subprogram assignment. Subprograms are contiguous insn
+  // ranges starting at their entries (kernel layout), so sort the entries and
+  // bucket blocks by first-instruction position.
+  for (int id = 0; id < static_cast<int>(cfg.blocks.size()); ++id) {
+    for (int s : cfg.blocks[id].succs) cfg.blocks[s].preds.push_back(id);
+  }
+  std::sort(entries.begin(), entries.end());
+  cfg.subprog_entry = entries;
+  for (BasicBlock& bb : cfg.blocks) {
+    auto it = std::upper_bound(entries.begin(), entries.end(), bb.first);
+    bb.subprog = static_cast<int>(it - entries.begin()) - 1;
+  }
+  // Drop successor edges that cross a subprogram boundary (a jump into
+  // another subprogram is structurally invalid; keep the graph well-formed).
+  for (BasicBlock& bb : cfg.blocks) {
+    auto bad = [&](int s) { return cfg.blocks[s].subprog != bb.subprog; };
+    for (int s : bb.succs) {
+      if (bad(s)) {
+        auto& preds = cfg.blocks[s].preds;
+        preds.erase(std::remove(preds.begin(), preds.end(),
+                                cfg.block_of[bb.first]),
+                    preds.end());
+      }
+    }
+    bb.succs.erase(std::remove_if(bb.succs.begin(), bb.succs.end(), bad),
+                   bb.succs.end());
+  }
+  return cfg;
+}
+
+std::string Cfg::ToString(const bpf::Program& prog) const {
+  std::string out;
+  char buf[128];
+  const std::vector<bool> reached = ReachableBlocks();
+  for (int id = 0; id < static_cast<int>(blocks.size()); ++id) {
+    const BasicBlock& bb = blocks[id];
+    snprintf(buf, sizeof(buf), "bb%d [insn %d..%d, subprog %d%s]:\n", id,
+             bb.first, bb.last, bb.subprog,
+             reached[id] ? "" : ", unreachable");
+    out += buf;
+    for (int i = bb.first; i <= bb.last && i < static_cast<int>(prog.insns.size());
+         ++i) {
+      snprintf(buf, sizeof(buf), "  %4d: ", i);
+      out += buf;
+      out += Disassemble(prog.insns[i]);
+      out += '\n';
+      if (prog.insns[i].IsLdImm64()) ++i;
+    }
+    out += "  ->";
+    if (bb.succs.empty()) out += " (none)";
+    for (int s : bb.succs) {
+      snprintf(buf, sizeof(buf), " bb%d", s);
+      out += buf;
+    }
+    if (bb.call_target >= 0) {
+      snprintf(buf, sizeof(buf), ", calls bb%d", bb.call_target);
+      out += buf;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace bvf

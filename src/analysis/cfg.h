@@ -1,0 +1,54 @@
+// Explicit control-flow graph over eBPF bytecode: basic blocks, successor
+// edges across conditional/unconditional jumps and exits, bpf-to-bpf call
+// edges, and subprogram boundaries. Unlike the verifier's on-the-fly DFS
+// (Checker::CheckCfg), the graph is materialized so generic dataflow passes
+// (src/analysis/dataflow.h) and lints can run over it -- including on
+// not-yet-verified programs, so construction is robust to out-of-range jump
+// targets (the edge is dropped, never followed).
+
+#ifndef SRC_ANALYSIS_CFG_H_
+#define SRC_ANALYSIS_CFG_H_
+
+#include <string>
+#include <vector>
+
+#include "src/ebpf/program.h"
+
+namespace bvf {
+
+struct BasicBlock {
+  int first = 0;  // index of the first instruction
+  int last = 0;   // index of the last instruction (ld_imm64: its low slot)
+  std::vector<int> succs;  // successor block ids (intraprocedural)
+  std::vector<int> preds;
+  // Callee entry block for a bpf-to-bpf call ending this block (-1 if none).
+  // Kept separate from succs so dataflow stays intraprocedural.
+  int call_target = -1;
+  int subprog = 0;  // subprogram index (0 = main)
+};
+
+struct Cfg {
+  std::vector<BasicBlock> blocks;
+  // Instruction index -> block id; the high slot of a ld_imm64 maps to the
+  // same block as its low slot.
+  std::vector<int> block_of;
+  // Entry instruction of each subprogram; subprog_entry[0] == 0 (main).
+  std::vector<int> subprog_entry;
+
+  int BlockAt(int insn) const {
+    return insn >= 0 && insn < static_cast<int>(block_of.size()) ? block_of[insn] : -1;
+  }
+  bool IsEntryBlock(int block) const;
+
+  // Block ids reachable from the main entry, following successor and call
+  // edges (mirrors the verifier's reachability notion).
+  std::vector<bool> ReachableBlocks() const;
+
+  std::string ToString(const bpf::Program& prog) const;
+};
+
+Cfg BuildCfg(const bpf::Program& prog);
+
+}  // namespace bvf
+
+#endif  // SRC_ANALYSIS_CFG_H_

@@ -1,0 +1,78 @@
+// Generic worklist dataflow solver over the bytecode CFG (src/analysis/cfg.h).
+//
+// A Domain supplies:
+//   using Value = ...;                 // one lattice element per block edge
+//   static constexpr bool kForward;    // direction of propagation
+//   Value Boundary() const;            // value at entry (fwd) / exit (bwd) blocks
+//   Value Init() const;                // optimistic initial value (lattice bottom)
+//   bool Join(Value& into, const Value& from) const;   // returns true if changed
+//   Value Transfer(const Cfg& cfg, int block, const Value& in) const;
+//
+// Solve() iterates block transfer functions to a fixpoint. Joins happen at
+// block granularity; passes needing per-instruction facts (liveness,
+// reaching defs) re-walk each block from the solved boundary values.
+
+#ifndef SRC_ANALYSIS_DATAFLOW_H_
+#define SRC_ANALYSIS_DATAFLOW_H_
+
+#include <vector>
+
+#include "src/analysis/cfg.h"
+
+namespace bvf {
+
+template <typename Domain>
+struct DataflowResult {
+  // Value at block entry (forward) resp. block exit (backward) -- the "input"
+  // side of the transfer function for each block.
+  std::vector<typename Domain::Value> in;
+  // Value after applying the block's transfer function.
+  std::vector<typename Domain::Value> out;
+  int iterations = 0;  // total transfer applications until fixpoint
+};
+
+template <typename Domain>
+DataflowResult<Domain> Solve(const Cfg& cfg, const Domain& domain) {
+  const int nb = static_cast<int>(cfg.blocks.size());
+  DataflowResult<Domain> res;
+  res.in.assign(nb, domain.Init());
+  res.out.assign(nb, domain.Init());
+
+  // Seed boundary blocks: no predecessors (forward) / no successors
+  // (backward). Unreachable cycles keep Init() until joined into.
+  for (int b = 0; b < nb; ++b) {
+    const bool boundary = Domain::kForward ? cfg.blocks[b].preds.empty()
+                                           : cfg.blocks[b].succs.empty();
+    if (boundary) res.in[b] = domain.Boundary();
+  }
+
+  std::vector<bool> queued(nb, true);
+  std::vector<int> worklist;
+  worklist.reserve(nb);
+  // Process in reverse id order for backward passes (blocks are laid out in
+  // instruction order, so this approximates reverse post-order both ways).
+  for (int b = 0; b < nb; ++b) {
+    worklist.push_back(Domain::kForward ? nb - 1 - b : b);
+  }
+
+  while (!worklist.empty()) {
+    const int b = worklist.back();
+    worklist.pop_back();
+    queued[b] = false;
+    res.out[b] = domain.Transfer(cfg, b, res.in[b]);
+    ++res.iterations;
+    const std::vector<int>& targets =
+        Domain::kForward ? cfg.blocks[b].succs : cfg.blocks[b].preds;
+    for (int t : targets) {
+      if (domain.Join(res.in[t], res.out[b]) && !queued[t]) {
+        queued[t] = true;
+        worklist.push_back(t);
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace bvf
+
+#endif  // SRC_ANALYSIS_DATAFLOW_H_

@@ -1,0 +1,209 @@
+#include "src/analysis/lints.h"
+
+#include <cstdio>
+
+#include "src/analysis/cfg.h"
+#include "src/analysis/dataflow.h"
+#include "src/analysis/liveness.h"
+#include "src/analysis/reaching_defs.h"
+
+namespace bvf {
+
+namespace {
+
+using namespace bpf;  // opcode constants
+
+// Register-use mask for the uninit-read lint. Unlike liveness, calls
+// contribute nothing: how many of R1-R5 a helper actually reads depends on
+// its prototype (and for bpf-to-bpf calls on the callee), which the lint
+// deliberately does not resolve -- over-reporting there would make the
+// generator filter out valid programs.
+RegMask LintUseMask(const Insn& insn) {
+  if (insn.IsCall()) return 0;
+  return InsnUseMask(insn);
+}
+
+// ---- dead stack store detection ----
+
+// Stack slot (8-byte granularity) touched by a R10-relative access, or -1.
+int StackSlotOf(int16_t off) {
+  if (off < -kStackSize || off >= 0) return -1;
+  return (off + kStackSize) / 8;
+}
+
+// True if R10 is used other than as the base of a direct load/store: copied,
+// offset into another register, stored as a value, compared... Once the frame
+// pointer escapes, helpers and pointer arithmetic can read any slot, so the
+// dead-store analysis gives up (all slots live).
+bool FramePointerEscapes(const bpf::Program& prog) {
+  for (size_t i = 0; i < prog.insns.size(); ++i) {
+    if (i > 0 && prog.insns[i - 1].IsLdImm64()) continue;
+    const Insn& insn = prog.insns[i];
+    if (!(InsnUseMask(insn) & RegBit(kR10))) continue;
+    const bool base_load = insn.IsMemLoad() && insn.src == kR10;
+    // Store/atomic with R10 as the address base is fine unless the *value*
+    // being stored is R10 itself (a register-stx with src == R10).
+    const bool base_store = (insn.IsMemStore() || insn.IsAtomic()) &&
+                            insn.dst == kR10 &&
+                            !(insn.Class() == kClassStx && insn.src == kR10);
+    if (!base_load && !base_store) return true;
+  }
+  return false;
+}
+
+struct StackLiveDomain {
+  using Value = uint64_t;  // bit s = stack slot s may be read later
+  static constexpr bool kForward = false;
+
+  const bpf::Program* prog;
+
+  Value Boundary() const { return 0; }
+  Value Init() const { return 0; }
+  bool Join(Value& into, const Value& from) const {
+    const Value merged = into | from;
+    const bool changed = merged != into;
+    into = merged;
+    return changed;
+  }
+  Value Transfer(const Cfg& cfg, int block, const Value& in) const {
+    Value live = in;
+    const BasicBlock& bb = cfg.blocks[block];
+    for (int i = bb.last; i >= bb.first; --i) {
+      if (i > 0 && prog->insns[i - 1].IsLdImm64()) continue;
+      live = Step(prog->insns[i], live, nullptr);
+    }
+    return live;
+  }
+
+  // One backward step; reports a dead store through |dead| when non-null.
+  static Value Step(const Insn& insn, Value live, bool* dead) {
+    if (insn.IsMemLoad() && insn.src == kR10) {
+      const int lo = StackSlotOf(insn.off);
+      const int hi = StackSlotOf(static_cast<int16_t>(insn.off + insn.AccessBytes() - 1));
+      for (int s = lo; s <= hi; ++s) {
+        if (s >= 0) live |= uint64_t{1} << s;
+      }
+      return live;
+    }
+    if ((insn.IsMemStore() || insn.IsAtomic()) && insn.dst == kR10) {
+      const int slot = StackSlotOf(insn.off);
+      if (slot < 0) return live;
+      if (insn.IsAtomic()) {  // atomics read the slot too
+        live |= uint64_t{1} << slot;
+        return live;
+      }
+      if (dead != nullptr) *dead = !(live & (uint64_t{1} << slot));
+      // Only a full-width aligned store kills the slot.
+      if (insn.AccessBytes() == 8 && insn.off % 8 == 0) {
+        live &= ~(uint64_t{1} << slot);
+      }
+      return live;
+    }
+    return live;
+  }
+};
+
+}  // namespace
+
+const char* LintKindName(LintKind kind) {
+  switch (kind) {
+    case LintKind::kUnreachableBlock:
+      return "unreachable-block";
+    case LintKind::kUninitRead:
+      return "uninit-read";
+    case LintKind::kDeadStackStore:
+      return "dead-stack-store";
+  }
+  return "unknown";
+}
+
+bool LintReport::CertainReject() const {
+  for (const Lint& lint : lints) {
+    if (lint.kind == LintKind::kUnreachableBlock ||
+        lint.kind == LintKind::kUninitRead) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string LintReport::ToString() const {
+  std::string out;
+  char buf[64];
+  for (const Lint& lint : lints) {
+    snprintf(buf, sizeof(buf), "[%s] insn %d: ", LintKindName(lint.kind), lint.insn);
+    out += buf;
+    out += lint.message;
+    out += '\n';
+  }
+  return out;
+}
+
+LintReport LintProgram(const bpf::Program& prog) {
+  LintReport report;
+  if (prog.insns.empty()) return report;
+  const Cfg cfg = BuildCfg(prog);
+
+  // 1. Unreachable blocks: the verifier's CFG check rejects these outright.
+  const std::vector<bool> reached = cfg.ReachableBlocks();
+  for (int b = 0; b < static_cast<int>(cfg.blocks.size()); ++b) {
+    if (reached[b]) continue;
+    Lint lint;
+    lint.kind = LintKind::kUnreachableBlock;
+    lint.insn = cfg.blocks[b].first;
+    char buf[96];
+    snprintf(buf, sizeof(buf), "bb%d (insn %d..%d) is unreachable from entry",
+             b, cfg.blocks[b].first, cfg.blocks[b].last);
+    lint.message = buf;
+    report.lints.push_back(lint);
+  }
+
+  // 2. Uninitialized register reads on reachable instructions.
+  const ReachingDefs rd = ComputeReachingDefs(prog, cfg);
+  for (size_t i = 0; i < prog.insns.size(); ++i) {
+    if (i > 0 && prog.insns[i - 1].IsLdImm64()) continue;
+    const int b = cfg.BlockAt(static_cast<int>(i));
+    if (b < 0 || !reached[b]) continue;
+    const RegMask uses = LintUseMask(prog.insns[i]);
+    for (int r = 0; r < kNumProgRegs; ++r) {
+      if (!(uses & RegBit(r))) continue;
+      if (!rd.UninitReaches(static_cast<int>(i), r)) continue;
+      Lint lint;
+      lint.kind = LintKind::kUninitRead;
+      lint.insn = static_cast<int>(i);
+      lint.reg = r;
+      char buf[96];
+      snprintf(buf, sizeof(buf), "R%d may be read uninitialized", r);
+      lint.message = buf;
+      report.lints.push_back(lint);
+    }
+  }
+
+  // 3. Dead stack stores (informational), only when the frame pointer never
+  // escapes into another register or memory.
+  if (!FramePointerEscapes(prog)) {
+    StackLiveDomain domain{&prog};
+    DataflowResult<StackLiveDomain> solved = Solve(cfg, domain);
+    for (int b = 0; b < static_cast<int>(cfg.blocks.size()); ++b) {
+      if (!reached[b]) continue;
+      uint64_t live = solved.in[b];
+      const BasicBlock& bb = cfg.blocks[b];
+      for (int i = bb.last; i >= bb.first; --i) {
+        if (i > 0 && prog.insns[i - 1].IsLdImm64()) continue;
+        bool dead = false;
+        live = StackLiveDomain::Step(prog.insns[i], live, &dead);
+        if (!dead) continue;
+        Lint lint;
+        lint.kind = LintKind::kDeadStackStore;
+        lint.insn = i;
+        char buf[96];
+        snprintf(buf, sizeof(buf), "store to fp%+d is never read", prog.insns[i].off);
+        lint.message = buf;
+        report.lints.push_back(lint);
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace bvf

@@ -1,0 +1,47 @@
+// Bytecode lints built on the CFG + dataflow passes. Used two ways:
+//   - the structured generator filters out programs the verifier will
+//     certainly reject (unreachable code, uninitialized register reads),
+//     so fuzzing budget is not wasted on guaranteed -EINVAL loads;
+//   - the repro/analysis tooling prints them alongside the CFG.
+// Dead stack stores are informational only: the verifier accepts them, but
+// they dilute generated programs.
+
+#ifndef SRC_ANALYSIS_LINTS_H_
+#define SRC_ANALYSIS_LINTS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/ebpf/program.h"
+
+namespace bvf {
+
+enum class LintKind {
+  kUnreachableBlock,  // code the verifier's CFG check rejects
+  kUninitRead,        // read of a register no init definition reaches
+  kDeadStackStore,    // stack slot written but never read before overwrite/exit
+};
+
+const char* LintKindName(LintKind kind);
+
+struct Lint {
+  LintKind kind;
+  int insn = 0;  // anchor instruction index
+  int reg = -1;  // offending register (kUninitRead), else -1
+  std::string message;
+};
+
+struct LintReport {
+  std::vector<Lint> lints;
+
+  // True if any lint predicts certain verifier rejection (unreachable code or
+  // an uninitialized read on every path).
+  bool CertainReject() const;
+  std::string ToString() const;
+};
+
+LintReport LintProgram(const bpf::Program& prog);
+
+}  // namespace bvf
+
+#endif  // SRC_ANALYSIS_LINTS_H_

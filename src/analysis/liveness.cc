@@ -1,0 +1,143 @@
+#include "src/analysis/liveness.h"
+
+#include "src/analysis/dataflow.h"
+
+namespace bvf {
+
+namespace {
+
+using namespace bpf;  // opcode constants
+
+// Argument/caller-saved register masks for calls. All call flavors (helper,
+// kfunc, bpf-to-bpf) share the eBPF calling convention: R1-R5 carry
+// arguments and are clobbered, R0 receives the result, R6-R9 survive.
+constexpr RegMask kCallUses =
+    RegBit(kR1) | RegBit(kR2) | RegBit(kR3) | RegBit(kR4) | RegBit(kR5);
+constexpr RegMask kCallDefs = kCallUses | RegBit(kR0);
+
+}  // namespace
+
+RegMask InsnUseMask(const Insn& insn) {
+  const uint8_t cls = insn.Class();
+  switch (cls) {
+    case kClassAlu:
+    case kClassAlu64: {
+      const uint8_t op = insn.AluOp();
+      RegMask uses = 0;
+      // MOV overwrites dst without reading it; everything else is read-modify.
+      if (op != kAluMov) uses |= RegBit(insn.dst);
+      if (insn.SrcIsReg() && op != kAluNeg && op != kAluEnd) {
+        uses |= RegBit(insn.src);
+      }
+      return uses;
+    }
+    case kClassLd:
+      return 0;  // ld_imm64 (and its data slot): no register inputs
+    case kClassLdx:
+      return RegBit(insn.src);
+    case kClassSt:
+      return RegBit(insn.dst);
+    case kClassStx: {
+      RegMask uses = RegBit(insn.dst) | RegBit(insn.src);
+      if (insn.IsAtomic() && insn.imm == kAtomicCmpXchg) uses |= RegBit(kR0);
+      return uses;
+    }
+    case kClassJmp:
+    case kClassJmp32: {
+      if (insn.IsCall()) return kCallUses;
+      if (insn.IsExit()) return RegBit(kR0);
+      if (insn.JmpOp() == kJmpJa) return 0;
+      RegMask uses = RegBit(insn.dst);
+      if (insn.SrcIsReg()) uses |= RegBit(insn.src);
+      return uses;
+    }
+  }
+  return 0;
+}
+
+RegMask InsnDefMask(const Insn& insn) {
+  const uint8_t cls = insn.Class();
+  switch (cls) {
+    case kClassAlu:
+    case kClassAlu64:
+      return RegBit(insn.dst);
+    case kClassLd:
+      return insn.IsLdImm64() ? RegBit(insn.dst) : 0;
+    case kClassLdx:
+      return RegBit(insn.dst);
+    case kClassSt:
+      return 0;
+    case kClassStx:
+      if (insn.IsAtomic()) {
+        if (insn.imm == kAtomicCmpXchg) return RegBit(kR0);
+        if (insn.imm & kAtomicFetch) return RegBit(insn.src);  // incl. xchg
+      }
+      return 0;
+    case kClassJmp:
+    case kClassJmp32:
+      if (insn.IsCall()) return kCallDefs;
+      return 0;
+  }
+  return 0;
+}
+
+namespace {
+
+struct LivenessDomain {
+  using Value = RegMask;
+  static constexpr bool kForward = false;
+
+  const bpf::Program* prog;
+  const Cfg* cfg;
+
+  Value Boundary() const { return 0; }  // nothing live after exit
+  Value Init() const { return 0; }
+  bool Join(Value& into, const Value& from) const {
+    const Value merged = into | from;
+    const bool changed = merged != into;
+    into = merged;
+    return changed;
+  }
+  // Backward: |in| is the live set at block exit; walk instructions in
+  // reverse applying live = (live & ~def) | use.
+  Value Transfer(const Cfg& c, int block, const Value& in) const {
+    Value live = in;
+    const BasicBlock& bb = c.blocks[block];
+    for (int i = bb.last; i >= bb.first; --i) {
+      if (i > 0 && prog->insns[i - 1].IsLdImm64()) continue;  // data slot
+      const bpf::Insn& insn = prog->insns[i];
+      live = static_cast<Value>((live & ~InsnDefMask(insn)) | InsnUseMask(insn));
+    }
+    return live;
+  }
+};
+
+}  // namespace
+
+LivenessResult ComputeLiveness(const bpf::Program& prog, const Cfg& cfg) {
+  LivenessDomain domain{&prog, &cfg};
+  DataflowResult<LivenessDomain> solved = Solve(cfg, domain);
+
+  LivenessResult res;
+  const int n = static_cast<int>(prog.insns.size());
+  res.live_in.assign(n, 0);
+  res.live_out.assign(n, 0);
+  for (int b = 0; b < static_cast<int>(cfg.blocks.size()); ++b) {
+    const BasicBlock& bb = cfg.blocks[b];
+    RegMask live = solved.in[b];  // live at block exit (backward pass)
+    for (int i = bb.last; i >= bb.first; --i) {
+      if (i > 0 && prog.insns[i - 1].IsLdImm64()) continue;
+      const bpf::Insn& insn = prog.insns[i];
+      res.live_out[i] = live;
+      live = static_cast<RegMask>((live & ~InsnDefMask(insn)) | InsnUseMask(insn));
+      res.live_in[i] = live;
+      if (insn.IsLdImm64() && i + 1 < n) {
+        res.live_in[i + 1] = res.live_in[i];
+        res.live_out[i + 1] = res.live_out[i];
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace bvf

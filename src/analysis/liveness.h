@@ -1,0 +1,36 @@
+// Backward liveness over R0..R10, per instruction, on top of the generic
+// dataflow engine. Register sets are uint16_t bitmasks (bit r = register r).
+
+#ifndef SRC_ANALYSIS_LIVENESS_H_
+#define SRC_ANALYSIS_LIVENESS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/analysis/cfg.h"
+
+namespace bvf {
+
+using RegMask = uint16_t;
+
+inline constexpr RegMask RegBit(int r) { return static_cast<RegMask>(1u << r); }
+
+// Registers read by |insn| (for calls: the argument registers R1-R5; for
+// exit: R0, the return value the caller observes).
+RegMask InsnUseMask(const bpf::Insn& insn);
+
+// Registers written by |insn| (for calls: R0 plus the clobbered R1-R5).
+RegMask InsnDefMask(const bpf::Insn& insn);
+
+struct LivenessResult {
+  // Per instruction index: registers live immediately before / after it. The
+  // high slot of a ld_imm64 pair mirrors its low slot.
+  std::vector<RegMask> live_in;
+  std::vector<RegMask> live_out;
+};
+
+LivenessResult ComputeLiveness(const bpf::Program& prog, const Cfg& cfg);
+
+}  // namespace bvf
+
+#endif  // SRC_ANALYSIS_LIVENESS_H_

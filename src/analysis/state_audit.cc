@@ -1,0 +1,97 @@
+#include "src/analysis/state_audit.h"
+
+#include <cstdio>
+#include <set>
+#include <string>
+
+#include "src/ebpf/insn.h"
+#include "src/verifier/verifier.h"
+
+namespace bvf {
+
+namespace {
+
+// First claim field the witness value violates, or nullptr if contained.
+// Checked 64-bit domain first, then the 32-bit subregister domain, then the
+// bitwise domain -- the order only affects which stable title a multi-field
+// miss files under.
+const char* ViolatedField(const bpf::RegClaim& claim, uint64_t w) {
+  const int64_t sw = static_cast<int64_t>(w);
+  if (sw < claim.smin) return "smin";
+  if (sw > claim.smax) return "smax";
+  if (w < claim.umin) return "umin";
+  if (w > claim.umax) return "umax";
+  const uint32_t w32 = static_cast<uint32_t>(w);
+  const int32_t sw32 = static_cast<int32_t>(w32);
+  if (sw32 < claim.s32_min) return "s32_min";
+  if (sw32 > claim.s32_max) return "s32_max";
+  if (w32 < claim.u32_min) return "u32_min";
+  if (w32 > claim.u32_max) return "u32_max";
+  if (!claim.var_off.Contains(w)) return "var_off";
+  return nullptr;
+}
+
+}  // namespace
+
+std::vector<StateViolation> AuditWitnessTrace(const bpf::LoadedProgram& prog,
+                                              const bpf::WitnessTrace& trace) {
+  std::vector<StateViolation> violations;
+  // One violation per (pc, reg, field) per trace keeps repeat executions of
+  // a corrupted loop body from flooding the result.
+  std::set<std::tuple<int, int, const char*>> seen;
+  for (const bpf::WitnessTrace::Entry& entry : trace.entries) {
+    const int pc = entry.pc;
+    if (pc < 0 || pc >= static_cast<int>(prog.aux.size())) continue;
+    const std::vector<bpf::RegClaim>& claims = prog.aux[pc].claims;
+    for (int r = 0; r < static_cast<int>(claims.size()); ++r) {
+      const bpf::RegClaim& claim = claims[r];
+      if (!claim.valid()) continue;
+      const uint64_t w = entry.regs[r];
+      const char* field = ViolatedField(claim, w);
+      if (field == nullptr) continue;
+      if (!seen.insert({pc, r, field}).second) continue;
+      StateViolation v;
+      v.pc = pc;
+      v.reg = r;
+      v.field = field;
+      v.witness = w;
+      char buf[192];
+      snprintf(buf, sizeof(buf),
+               "insn %d R%d: witness 0x%llx (%lld) violates %s of claim ", pc,
+               r, static_cast<unsigned long long>(w),
+               static_cast<long long>(w), field);
+      v.details = buf;
+      v.details += claim.ToString();
+      if (pc < static_cast<int>(prog.prog.insns.size())) {
+        v.details += "\n  at: ";
+        v.details += bpf::Disassemble(prog.prog.insns[pc]);
+      }
+      violations.push_back(std::move(v));
+    }
+  }
+  return violations;
+}
+
+void FileStateAuditReports(const std::vector<StateViolation>& violations,
+                           const bpf::LoadedProgram& prog,
+                           bpf::ReportSink& sink) {
+  // One report per violated field per audit: the field is the triage-relevant
+  // shape, and per-field titles keep campaign dedup bounded.
+  std::set<std::string> filed;
+  for (const StateViolation& v : violations) {
+    std::string title = std::string("bpf_state_audit: ") + v.field + " violation";
+    if (!filed.insert(title).second) continue;
+    char hdr[64];
+    snprintf(hdr, sizeof(hdr), "prog %d: ", prog.id);
+    sink.Report(bpf::ReportKind::kStateAuditViolation, std::move(title),
+                hdr + v.details);
+  }
+}
+
+void AuditAndReport(const bpf::LoadedProgram& prog,
+                    const bpf::WitnessTrace& trace, bpf::ReportSink& sink) {
+  const std::vector<StateViolation> violations = AuditWitnessTrace(prog, trace);
+  if (!violations.empty()) FileStateAuditReports(violations, prog, sink);
+}
+
+}  // namespace bvf

@@ -1,0 +1,58 @@
+// Indicator #3: abstract-state soundness auditing (witness containment).
+//
+// The verifier's safety argument rests on its abstract state
+// over-approximating every concrete execution: at each instruction, the
+// claimed [smin,smax]/[umin,umax] ranges and var_off tnum for a scalar
+// register must contain the value the register actually holds when execution
+// reaches that instruction. The interpreter records per-instruction register
+// witnesses (WitnessTrace); this module replays them against the claims the
+// verifier exported during DoCheck (InsnAux::claims) and files any
+// containment miss as a kStateAuditViolation kernel report.
+//
+// Unlike indicators #1/#2, this catches bounds-tracking bugs that never
+// reach an out-of-bounds access -- e.g. a branch refinement that corrupts
+// s32_min is visible the moment a concrete run lands outside the claimed
+// range, even if the corrupted register is never used as a pointer offset.
+
+#ifndef SRC_ANALYSIS_STATE_AUDIT_H_
+#define SRC_ANALYSIS_STATE_AUDIT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/kernel/report.h"
+#include "src/runtime/exec_context.h"
+
+namespace bvf {
+
+struct StateViolation {
+  int pc = 0;
+  int reg = 0;
+  // Name of the first violated claim field ("smin", "umax", "var_off", ...).
+  const char* field = "";
+  uint64_t witness = 0;  // concrete register value
+  std::string details;   // claim vs witness, human-readable
+};
+
+// Checks every trace entry against the program's per-instruction claims.
+// Entries at instructions without valid claims (unverified registers,
+// non-scalar types on some path) are skipped.
+std::vector<StateViolation> AuditWitnessTrace(const bpf::LoadedProgram& prog,
+                                              const bpf::WitnessTrace& trace);
+
+// Files violations into |sink| as kStateAuditViolation reports. Titles are
+// stable per violated field ("bpf_state_audit: smin violation") so campaign
+// dedup collapses repeats of the same corruption shape.
+void FileStateAuditReports(const std::vector<StateViolation>& violations,
+                           const bpf::LoadedProgram& prog,
+                           bpf::ReportSink& sink);
+
+// Convenience: audit one trace and report. The shape expected by
+// Bpf::set_exec_observer.
+void AuditAndReport(const bpf::LoadedProgram& prog,
+                    const bpf::WitnessTrace& trace, bpf::ReportSink& sink);
+
+}  // namespace bvf
+
+#endif  // SRC_ANALYSIS_STATE_AUDIT_H_

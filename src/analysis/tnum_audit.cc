@@ -1,0 +1,270 @@
+#include "src/analysis/tnum_audit.h"
+
+#include <cstdio>
+
+namespace bvf {
+
+namespace {
+
+using bpf::Tnum;
+
+constexpr int kViolationCap = 16;
+
+// All well-formed 8-bit tnums (value and mask disjoint): 3^8 = 6561, each
+// with its explicit member list (submask enumeration).
+struct Universe {
+  std::vector<Tnum> tnums;
+  std::vector<std::vector<uint64_t>> members;
+};
+
+const Universe& GetUniverse() {
+  static const Universe u = [] {
+    Universe univ;
+    for (uint64_t m = 0; m < 256; ++m) {
+      for (uint64_t v = 0; v < 256; ++v) {
+        if (v & m) continue;
+        univ.tnums.push_back(Tnum{v, m});
+        std::vector<uint64_t> mem;
+        uint64_t s = m;
+        for (;;) {
+          mem.push_back(v | s);
+          if (s == 0) break;
+          s = (s - 1) & m;
+        }
+        univ.members.push_back(std::move(mem));
+      }
+    }
+    return univ;
+  }();
+  return u;
+}
+
+void AddViolation(TnumAuditResult& res, TnumOp op, Tnum a, Tnum b, uint64_t x,
+                  uint64_t y, Tnum result, uint64_t concrete) {
+  if (res.violations.size() >= kViolationCap) return;
+  res.violations.push_back(TnumViolation{op, a, b, x, y, result, concrete});
+}
+
+// Exhaustive binary-op audit: for every tnum pair and every concrete member
+// pair, abstract(a, b) must contain concrete(x, y). The inner loop uses a
+// residual accumulator -- `(z & ~mask) ^ value` is zero exactly when the
+// result contains z, so OR-ing residuals detects any violation without a
+// branch; witnesses are re-derived only on failure.
+template <typename AbsFn, typename ConcFn>
+TnumAuditResult AuditBinary(TnumOp op, bool commutative, AbsFn abs_fn,
+                            ConcFn conc_fn) {
+  const Universe& u = GetUniverse();
+  TnumAuditResult res;
+  const size_t n = u.tnums.size();
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = commutative ? i : 0; j < n; ++j) {
+      const Tnum r = abs_fn(u.tnums[i], u.tnums[j]);
+      const uint64_t rv = r.value;
+      const uint64_t rm = r.mask;
+      uint64_t acc = 0;
+      for (uint64_t x : u.members[i]) {
+        for (uint64_t y : u.members[j]) {
+          acc |= (conc_fn(x, y) & ~rm) ^ rv;
+        }
+      }
+      res.checked += u.members[i].size() * u.members[j].size();
+      if (acc == 0) continue;
+      for (uint64_t x : u.members[i]) {
+        for (uint64_t y : u.members[j]) {
+          const uint64_t z = conc_fn(x, y);
+          if (!r.Contains(z)) {
+            AddViolation(res, op, u.tnums[i], u.tnums[j], x, y, r, z);
+          }
+        }
+      }
+    }
+  }
+  return res;
+}
+
+// Shift audit: |embed_shift| places the 8-bit operand at a chosen bit
+// position (0 for the low byte, 56 resp. 24 to exercise the top byte / the
+// 32-bit sign bit), |max_shift| bounds the shift amount.
+template <typename AbsFn, typename ConcFn>
+void AuditShiftEmbedding(TnumAuditResult& res, TnumOp op, int embed_shift,
+                         int max_shift, AbsFn abs_fn, ConcFn conc_fn) {
+  const Universe& u = GetUniverse();
+  const size_t n = u.tnums.size();
+  for (size_t i = 0; i < n; ++i) {
+    const Tnum a{u.tnums[i].value << embed_shift, u.tnums[i].mask << embed_shift};
+    for (int s = 0; s <= max_shift; ++s) {
+      const Tnum r = abs_fn(a, static_cast<uint8_t>(s));
+      uint64_t acc = 0;
+      for (uint64_t x : u.members[i]) {
+        acc |= (conc_fn(x << embed_shift, s) & ~r.mask) ^ r.value;
+      }
+      res.checked += u.members[i].size();
+      if (acc == 0) continue;
+      for (uint64_t x : u.members[i]) {
+        const uint64_t z = conc_fn(x << embed_shift, s);
+        if (!r.Contains(z)) {
+          AddViolation(res, op, a, bpf::TnumConst(static_cast<uint64_t>(s)), x << embed_shift,
+                       static_cast<uint64_t>(s), r, z);
+        }
+      }
+    }
+  }
+}
+
+// Intersect/union audits need membership in the inputs, not pairs: intersect
+// must keep any value lying in both inputs; union must keep values from
+// either input.
+TnumAuditResult AuditIntersect() {
+  const Universe& u = GetUniverse();
+  TnumAuditResult res;
+  const size_t n = u.tnums.size();
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) {
+      const Tnum r = bpf::TnumIntersect(u.tnums[i], u.tnums[j]);
+      for (uint64_t x : u.members[i]) {
+        if (!u.tnums[j].Contains(x)) continue;
+        ++res.checked;
+        if (!r.Contains(x)) {
+          AddViolation(res, TnumOp::kIntersect, u.tnums[i], u.tnums[j], x, x, r, x);
+        }
+      }
+    }
+  }
+  return res;
+}
+
+TnumAuditResult AuditUnion() {
+  const Universe& u = GetUniverse();
+  TnumAuditResult res;
+  const size_t n = u.tnums.size();
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) {
+      const Tnum r = bpf::TnumUnion(u.tnums[i], u.tnums[j]);
+      uint64_t acc = 0;
+      for (uint64_t x : u.members[i]) acc |= (x & ~r.mask) ^ r.value;
+      for (uint64_t y : u.members[j]) acc |= (y & ~r.mask) ^ r.value;
+      res.checked += u.members[i].size() + u.members[j].size();
+      if (acc == 0) continue;
+      for (uint64_t x : u.members[i]) {
+        if (!r.Contains(x)) {
+          AddViolation(res, TnumOp::kUnion, u.tnums[i], u.tnums[j], x, x, r, x);
+        }
+      }
+      for (uint64_t y : u.members[j]) {
+        if (!r.Contains(y)) {
+          AddViolation(res, TnumOp::kUnion, u.tnums[i], u.tnums[j], y, y, r, y);
+        }
+      }
+    }
+  }
+  return res;
+}
+
+void Merge(TnumAuditResult& into, TnumAuditResult from) {
+  into.checked += from.checked;
+  for (TnumViolation& v : from.violations) {
+    if (into.violations.size() >= kViolationCap) break;
+    into.violations.push_back(v);
+  }
+}
+
+}  // namespace
+
+const char* TnumOpName(TnumOp op) {
+  switch (op) {
+    case TnumOp::kAdd: return "tnum_add";
+    case TnumOp::kSub: return "tnum_sub";
+    case TnumOp::kAnd: return "tnum_and";
+    case TnumOp::kOr: return "tnum_or";
+    case TnumOp::kXor: return "tnum_xor";
+    case TnumOp::kMul: return "tnum_mul";
+    case TnumOp::kLshift: return "tnum_lshift";
+    case TnumOp::kRshift: return "tnum_rshift";
+    case TnumOp::kArshift: return "tnum_arshift";
+    case TnumOp::kIntersect: return "tnum_intersect";
+    case TnumOp::kUnion: return "tnum_union";
+  }
+  return "unknown";
+}
+
+std::string TnumViolation::ToString() const {
+  char buf[256];
+  snprintf(buf, sizeof(buf),
+           "%s(%s, %s): concrete %llu op %llu = %llu not in abstract %s",
+           TnumOpName(op), a.ToString().c_str(), b.ToString().c_str(),
+           static_cast<unsigned long long>(x), static_cast<unsigned long long>(y),
+           static_cast<unsigned long long>(concrete), result.ToString().c_str());
+  return buf;
+}
+
+TnumAuditResult AuditTnumOp(TnumOp op) {
+  switch (op) {
+    case TnumOp::kAdd:
+      return AuditBinary(op, /*commutative=*/true, bpf::TnumAdd,
+                         [](uint64_t x, uint64_t y) { return x + y; });
+    case TnumOp::kSub:
+      return AuditBinary(op, /*commutative=*/false, bpf::TnumSub,
+                         [](uint64_t x, uint64_t y) { return x - y; });
+    case TnumOp::kAnd:
+      return AuditBinary(op, /*commutative=*/true, bpf::TnumAnd,
+                         [](uint64_t x, uint64_t y) { return x & y; });
+    case TnumOp::kOr:
+      return AuditBinary(op, /*commutative=*/true, bpf::TnumOr,
+                         [](uint64_t x, uint64_t y) { return x | y; });
+    case TnumOp::kXor:
+      return AuditBinary(op, /*commutative=*/true, bpf::TnumXor,
+                         [](uint64_t x, uint64_t y) { return x ^ y; });
+    case TnumOp::kMul:
+      return AuditBinary(op, /*commutative=*/true, bpf::TnumMul,
+                         [](uint64_t x, uint64_t y) { return x * y; });
+    case TnumOp::kLshift: {
+      TnumAuditResult res;
+      AuditShiftEmbedding(res, op, 0, 63, bpf::TnumLshift,
+                          [](uint64_t x, int s) { return x << s; });
+      return res;
+    }
+    case TnumOp::kRshift: {
+      TnumAuditResult res;
+      AuditShiftEmbedding(res, op, 0, 63, bpf::TnumRshift,
+                          [](uint64_t x, int s) { return x >> s; });
+      AuditShiftEmbedding(res, op, 56, 63, bpf::TnumRshift,
+                          [](uint64_t x, int s) { return x >> s; });
+      return res;
+    }
+    case TnumOp::kArshift: {
+      TnumAuditResult res;
+      const auto abs64 = [](Tnum a, uint8_t s) { return bpf::TnumArshift(a, s, 64); };
+      const auto conc64 = [](uint64_t x, int s) {
+        return static_cast<uint64_t>(static_cast<int64_t>(x) >> s);
+      };
+      AuditShiftEmbedding(res, op, 0, 63, abs64, conc64);
+      AuditShiftEmbedding(res, op, 56, 63, abs64, conc64);
+      const auto abs32 = [](Tnum a, uint8_t s) { return bpf::TnumArshift(a, s, 32); };
+      const auto conc32 = [](uint64_t x, int s) {
+        return static_cast<uint64_t>(static_cast<uint32_t>(
+            static_cast<int32_t>(static_cast<uint32_t>(x)) >> s));
+      };
+      AuditShiftEmbedding(res, op, 0, 31, abs32, conc32);
+      AuditShiftEmbedding(res, op, 24, 31, abs32, conc32);
+      return res;
+    }
+    case TnumOp::kIntersect:
+      return AuditIntersect();
+    case TnumOp::kUnion:
+      return AuditUnion();
+  }
+  return TnumAuditResult{};
+}
+
+TnumAuditResult AuditAllTnumOps() {
+  TnumAuditResult res;
+  for (TnumOp op :
+       {TnumOp::kAdd, TnumOp::kSub, TnumOp::kAnd, TnumOp::kOr, TnumOp::kXor,
+        TnumOp::kMul, TnumOp::kLshift, TnumOp::kRshift, TnumOp::kArshift,
+        TnumOp::kIntersect, TnumOp::kUnion}) {
+    Merge(res, AuditTnumOp(op));
+  }
+  return res;
+}
+
+}  // namespace bvf

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "src/analysis/state_audit.h"
 #include "src/kernel/coverage.h"
 #include "src/runtime/bpf_syscall.h"
 #include "src/sanitizer/asan_funcs.h"
@@ -35,6 +36,14 @@ void Fuzzer::RunCase(FuzzCase& the_case, CampaignStats& stats, uint64_t iteratio
   if (options_.sanitize) {
     bpf::BpfAsan::Register(kernel);
     bpf.set_instrument(sanitizer_.Hook());
+  }
+  if (options_.audit_state) {
+    // Indicator #3: compare every execution's register witnesses against the
+    // verifier's claimed abstract state, reporting containment misses.
+    bpf.set_exec_observer(
+        [&kernel](const bpf::LoadedProgram& prog, const bpf::WitnessTrace& trace) {
+          AuditAndReport(prog, trace, kernel.reports());
+        });
   }
 
   // Create the case's maps and seed a few entries so lookups can hit.

@@ -24,6 +24,7 @@ struct CampaignOptions {
   bpf::KernelVersion version = bpf::KernelVersion::kBpfNext;
   bpf::BugConfig bugs = bpf::BugConfig::None();
   bool sanitize = true;               // BVF's memory sanitation on/off
+  bool audit_state = true;            // Indicator #3 abstract-state audit on/off
   uint64_t iterations = 5000;
   uint64_t seed = 1;
   bool coverage_feedback = true;      // corpus-guided generation

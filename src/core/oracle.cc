@@ -34,6 +34,8 @@ const char* KnownBugName(KnownBug bug) {
       return "#11 xdp: device program executed on host";
     case KnownBug::kCve2022_23222:
       return "CVE-2022-23222: ALU on nullable pointers";
+    case KnownBug::kBug12Jmp32SignedRefine:
+      return "#12 verifier: jmp32 unsigned refinement corrupts signed-32 bounds";
   }
   return "unknown";
 }
@@ -126,6 +128,14 @@ KnownBug TriageReport(const bpf::KernelReport& report) {
       // Native wild access: real, but without sanitation metadata the root
       // cause is ambiguous — left to manual triage as in the paper.
       return KnownBug::kUnknown;
+    case ReportKind::kStateAuditViolation:
+      // A violated 32-bit signed claim is the bug #12 shape (jmp32 refinement
+      // writing s32_min without truth); 64-bit range/tnum misses match the
+      // stale-bounds shape of bug #3 (missed backtrack invalidation).
+      if (where.find("s32_") != std::string::npos) {
+        return KnownBug::kBug12Jmp32SignedRefine;
+      }
+      return KnownBug::kBug3KfuncBacktrack;
     default:
       return KnownBug::kUnknown;
   }
@@ -141,7 +151,8 @@ std::vector<Finding> ClassifyReports(const bpf::ReportSink& sink, size_t waterma
     finding.kind = report.kind;
     finding.signature = report.Signature();
     finding.details = report.details;
-    finding.indicator = bpf::IsIndicator1(report.kind) ? 1 : 2;
+    finding.indicator =
+        bpf::IsIndicator1(report.kind) ? 1 : bpf::IsIndicator3(report.kind) ? 3 : 2;
     finding.triaged = TriageReport(report);
     finding.iteration = iteration;
     findings.push_back(std::move(finding));

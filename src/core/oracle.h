@@ -27,6 +27,10 @@ enum class KnownBug {
   kBug10IrqWork,
   kBug11XdpOffload,
   kCve2022_23222,
+  // Synthetic bounds-tracking bug only the abstract-state audit can see: the
+  // corrupted s32 range never feeds a pointer offset, so indicators #1/#2
+  // stay silent (src/verifier/bug_registry.h, bug12_jmp32_signed_refine).
+  kBug12Jmp32SignedRefine,
 };
 
 const char* KnownBugName(KnownBug bug);
@@ -35,7 +39,7 @@ struct Finding {
   bpf::ReportKind kind;
   std::string signature;  // stable dedup key
   std::string details;
-  int indicator;          // 1 or 2 (paper §3.1/§3.2)
+  int indicator;          // 1 or 2 (paper §3.1/§3.2), or 3 (state audit)
   KnownBug triaged = KnownBug::kUnknown;
   uint64_t iteration = 0;  // campaign iteration that first triggered it
 };

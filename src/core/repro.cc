@@ -1,7 +1,12 @@
 #include "src/core/repro.h"
 
+#include <cstdio>
 #include <cstring>
 
+#include "src/analysis/cfg.h"
+#include "src/analysis/lints.h"
+#include "src/analysis/liveness.h"
+#include "src/analysis/state_audit.h"
 #include "src/core/oracle.h"
 #include "src/runtime/bpf_syscall.h"
 #include "src/sanitizer/asan_funcs.h"
@@ -17,6 +22,12 @@ std::set<std::string> ExecuteCase(const FuzzCase& the_case, const CampaignOption
   if (options.sanitize) {
     bpf::BpfAsan::Register(kernel);
     bpf.set_instrument(sanitizer.Hook());
+  }
+  if (options.audit_state) {
+    bpf.set_exec_observer(
+        [&kernel](const bpf::LoadedProgram& prog, const bpf::WitnessTrace& trace) {
+          AuditAndReport(prog, trace, kernel.reports());
+        });
   }
   for (const bpf::MapDef& def : the_case.maps) {
     const int fd = bpf.MapCreate(def);
@@ -107,6 +118,66 @@ void RemoveInsnPatched(bpf::Program& prog, size_t pos) {
       cur.imm = static_cast<int32_t>(new_delta);
     }
   }
+}
+
+std::string AnalyzeCase(const FuzzCase& the_case, const CampaignOptions& options) {
+  std::string out;
+
+  // Static view: CFG, lints, entry liveness.
+  const Cfg cfg = BuildCfg(the_case.prog);
+  out += "== CFG ==\n";
+  out += cfg.ToString(the_case.prog);
+  const LintReport lints = LintProgram(the_case.prog);
+  out += "== lints ==\n";
+  out += lints.lints.empty() ? "(clean)\n" : lints.ToString();
+  const LivenessResult live = ComputeLiveness(the_case.prog, cfg);
+  if (!live.live_in.empty()) {
+    out += "== liveness ==\nlive at entry:";
+    for (int r = 0; r < bpf::kNumProgRegs; ++r) {
+      if (live.live_in[0] & RegBit(r)) {
+        char buf[8];
+        snprintf(buf, sizeof(buf), " R%d", r);
+        out += buf;
+      }
+    }
+    out += '\n';
+  }
+
+  // Dynamic view: re-execute with the witness audit and dump violations.
+  out += "== state audit ==\n";
+  bpf::Kernel kernel(options.version, options.bugs, options.arena_size);
+  bpf::Bpf bpf(kernel);
+  Sanitizer sanitizer;
+  if (options.sanitize) {
+    bpf::BpfAsan::Register(kernel);
+    bpf.set_instrument(sanitizer.Hook());
+  }
+  std::vector<StateViolation> violations;
+  bpf.set_exec_observer(
+      [&violations](const bpf::LoadedProgram& prog, const bpf::WitnessTrace& trace) {
+        std::vector<StateViolation> found = AuditWitnessTrace(prog, trace);
+        violations.insert(violations.end(), found.begin(), found.end());
+      });
+  const int prog_fd = bpf.ProgLoad(the_case.prog);
+  if (prog_fd <= 0) {
+    char buf[64];
+    snprintf(buf, sizeof(buf), "(program rejected by verifier: errno %d)\n", -prog_fd);
+    out += buf;
+    return out;
+  }
+  for (int run = 0; run < the_case.test_runs; ++run) {
+    bpf.ProgTestRun(prog_fd, static_cast<uint32_t>(32 + 16 * run),
+                    static_cast<uint64_t>(run));
+  }
+  if (violations.empty()) {
+    out += "(all witnesses contained in verifier claims)\n";
+  } else {
+    for (const StateViolation& v : violations) {
+      out += v.details;
+      out += '\n';
+    }
+  }
+  return out;
 }
 
 MinimizeResult MinimizeCase(const FuzzCase& the_case, const std::string& signature,

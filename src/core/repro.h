@@ -41,6 +41,12 @@ struct MinimizeResult {
 MinimizeResult MinimizeCase(const FuzzCase& the_case, const std::string& signature,
                             const CampaignOptions& options, int max_executions = 2000);
 
+// Static + dynamic analysis dump for one case (the --analysis view of
+// examples/fuzz_campaign): the bytecode CFG with block structure, lint
+// results, entry liveness, and -- when the program loads -- the abstract-
+// state-vs-witness diff from re-executing it with the Indicator #3 audit.
+std::string AnalyzeCase(const FuzzCase& the_case, const CampaignOptions& options);
+
 }  // namespace bvf
 
 #endif  // SRC_CORE_REPRO_H_

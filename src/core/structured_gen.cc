@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/analysis/lints.h"
 #include "src/ebpf/builder.h"
 #include "src/kernel/btf.h"
 #include "src/verifier/helper_protos.h"
@@ -986,6 +987,20 @@ std::vector<MapDef> GenerateMaps(Rng& rng) {
 }  // namespace
 
 FuzzCase StructuredGenerator::Generate(bpf::Rng& rng) {
+  FuzzCase the_case = GenerateOnce(rng);
+  // Lint filter: a program the CFG/dataflow lints prove unverifiable is a
+  // guaranteed -EINVAL; spend at most two regenerations trying to do better
+  // (structured output is almost always lint-clean, so this rarely fires).
+  for (int attempt = 0; options_.lint_filter && attempt < 2; ++attempt) {
+    if (!LintProgram(the_case.prog).CertainReject()) {
+      break;
+    }
+    the_case = GenerateOnce(rng);
+  }
+  return the_case;
+}
+
+FuzzCase StructuredGenerator::GenerateOnce(bpf::Rng& rng) {
   FuzzCase the_case;
 
   GenCtx g;
@@ -1069,6 +1084,9 @@ void StructuredGenerator::Mutate(bpf::Rng& rng, FuzzCase& the_case) {
     the_case = Generate(rng);
     return;
   }
+  // Keep the pre-mutation case so a lint-rejected mutation can be undone
+  // without consuming more randomness (campaign determinism).
+  const FuzzCase before = options_.lint_filter ? the_case : FuzzCase{};
   const int kind = static_cast<int>(rng.Below(3));
   auto& insns = the_case.prog.insns;
   switch (kind) {
@@ -1112,6 +1130,9 @@ void StructuredGenerator::Mutate(bpf::Rng& rng, FuzzCase& the_case) {
       }
       break;
     }
+  }
+  if (options_.lint_filter && LintProgram(the_case.prog).CertainReject()) {
+    the_case = before;  // undo a mutation the verifier is certain to reject
   }
 }
 

@@ -28,6 +28,12 @@ struct StructuredGenOptions {
 
   int max_body_frames = 6;
   int max_jump_depth = 2;
+
+  // Filter out generated/mutated programs the bytecode lints prove the
+  // verifier must reject (unreachable code, uninitialized reads): a
+  // certain -EINVAL load wastes the iteration's verification+execution
+  // budget. Generation retries a couple of times; mutation reverts.
+  bool lint_filter = true;
 };
 
 class StructuredGenerator : public Generator {
@@ -40,6 +46,8 @@ class StructuredGenerator : public Generator {
   void Mutate(bpf::Rng& rng, FuzzCase& the_case) override;
 
  private:
+  FuzzCase GenerateOnce(bpf::Rng& rng);
+
   bpf::KernelVersion version_;
   StructuredGenOptions options_;
 };

@@ -34,6 +34,8 @@ const char* ReportKindName(ReportKind kind) {
       return "BUG: unable to handle page fault";
     case ReportKind::kStackOverflow:
       return "BUG: stack guard page was hit";
+    case ReportKind::kStateAuditViolation:
+      return "state-audit: witness outside verifier claim";
   }
   return "unknown";
 }
@@ -50,6 +52,8 @@ bool IsIndicator1(ReportKind kind) {
       return false;
   }
 }
+
+bool IsIndicator3(ReportKind kind) { return kind == ReportKind::kStateAuditViolation; }
 
 std::string KernelReport::Signature() const {
   return std::string(ReportKindName(kind)) + " in " + title;

@@ -33,12 +33,20 @@ enum class ReportKind {
   kPanic,
   kPageFault,  // native wild access (oops), also reachable without sanitation
   kStackOverflow,
+
+  // Indicator #3: a concrete execution witnessed a register value outside the
+  // verifier's claimed abstract state (witness-containment audit,
+  // src/analysis/state_audit.h).
+  kStateAuditViolation,
 };
 
 const char* ReportKindName(ReportKind kind);
 
 // True for report kinds produced by BVF's program sanitation (indicator #1).
 bool IsIndicator1(ReportKind kind);
+
+// True for reports from the abstract-state witness audit (indicator #3).
+bool IsIndicator3(ReportKind kind);
 
 struct KernelReport {
   ReportKind kind;

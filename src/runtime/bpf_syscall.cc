@@ -85,6 +85,7 @@ int Bpf::ProgLoad(const Program& prog, VerifierResult* result_out) {
   };
   env.btf_obj_addr = [this](int btf_id) { return kernel_.BtfObjAddr(btf_id); };
   env.instrument = instrument_;
+  env.collect_state_claims = static_cast<bool>(exec_observer_);
 
   VerifierResult result = VerifyProgram(prog, env);
   const int err = result.err;
@@ -212,7 +213,16 @@ ExecResult Bpf::RunProgram(const LoadedProgram& prog, uint32_t pkt_len, uint64_t
   ctx.in_tracepoint = in_tracepoint;
   ctx.in_irq = in_irq;
   ctx.attach_point = attach_point;
+  // The trace is per-invocation (a helper can fire a tracepoint that runs
+  // another program, nesting RunProgram), so it lives on this stack frame.
+  WitnessTrace trace;
+  if (exec_observer_) {
+    ctx.witness = &trace;
+  }
   ExecResult result = interp_.Run(prog, ctx);
+  if (exec_observer_) {
+    exec_observer_(prog, trace);
+  }
   ReleaseCtx(ctx);
   return result;
 }
@@ -239,9 +249,17 @@ ExecResult Bpf::ProgTestRunRepeat(int prog_fd, int repeat, uint32_t pkt_len, uin
     return result;
   }
   ExecContext ctx = MakeCtx(*prog, pkt_len, seed);
+  WitnessTrace trace;
   uint64_t total_insns = 0;
   for (int run = 0; run < repeat; ++run) {
+    if (exec_observer_) {
+      trace.Clear();
+      ctx.witness = &trace;
+    }
     ExecResult one = interp_.Run(*prog, ctx);
+    if (exec_observer_) {
+      exec_observer_(*prog, trace);
+    }
     total_insns += one.insns_executed;
     const bool stop = run == repeat - 1 || one.err != 0;
     if (stop) {

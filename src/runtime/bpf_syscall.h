@@ -30,6 +30,13 @@ class Bpf {
     instrument_ = std::move(hook);
   }
 
+  // Observer invoked after every interpreter run with the run's register
+  // witness trace. Installing one also makes ProgLoad collect per-instruction
+  // abstract-state claims, enabling the Indicator #3 containment audit
+  // (src/analysis/state_audit.h). Must be set before ProgLoad to take effect.
+  using ExecObserver = std::function<void(const LoadedProgram&, const WitnessTrace&)>;
+  void set_exec_observer(ExecObserver observer) { exec_observer_ = std::move(observer); }
+
   // ---- BPF_MAP_* ----
   int MapCreate(const MapDef& def);  // returns map fd (>0) or -errno
   int MapUpdateElem(int map_fd, const void* key, const void* value);
@@ -70,6 +77,7 @@ class Bpf {
   Kernel& kernel_;
   Interpreter interp_;
   std::function<void(Program&, std::vector<InsnAux>&)> instrument_;
+  ExecObserver exec_observer_;
   std::vector<std::unique_ptr<LoadedProgram>> progs_;
   int next_prog_fd_ = 1;
 

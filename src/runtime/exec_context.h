@@ -23,12 +23,44 @@ namespace bpf {
 // space that is also invisible to the program").
 inline constexpr int kExtendedStackSize = 64;
 
+// Concrete register values captured by the interpreter immediately before
+// executing an instruction that carries abstract-state claims
+// (InsnAux::claims). Compared offline against those claims by the
+// witness-containment audit (src/analysis/state_audit.h, Indicator #3).
+struct WitnessTrace {
+  struct Entry {
+    int32_t pc = 0;
+    uint64_t regs[kClaimRegs] = {};  // R0..R9
+  };
+
+  std::vector<Entry> entries;
+  uint64_t dropped = 0;  // entries not recorded once |cap| was reached
+  size_t cap = 8192;
+
+  void Clear() {
+    entries.clear();
+    dropped = 0;
+  }
+  Entry* Append(int32_t pc) {
+    if (entries.size() >= cap) {
+      ++dropped;
+      return nullptr;
+    }
+    entries.emplace_back();
+    entries.back().pc = pc;
+    return &entries.back();
+  }
+};
+
 struct ExecContext {
   uint64_t ctx_addr = 0;    // guest address of the context struct
   uint64_t fp = 0;          // frame pointer (R10): one past the stack top
   uint64_t stack_base = 0;  // low guest address of the stack allocation
   uint64_t pkt_addr = 0;
   uint32_t pkt_len = 0;
+
+  // When set, the interpreter records per-instruction register witnesses here.
+  WitnessTrace* witness = nullptr;
 
   // Kernel-side context of this invocation.
   bool in_tracepoint = false;

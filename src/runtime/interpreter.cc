@@ -148,6 +148,19 @@ ExecResult Interpreter::Run(const LoadedProgram& prog, ExecContext& ctx, uint64_
     const Insn& insn = insns[pc];
     const uint8_t cls = insn.Class();
 
+    // Witness recording for the abstract-state audit: claims describe the
+    // state before the original (non-rewritten) instruction executes, and the
+    // sanitation prefixes are register-preserving at those boundaries.
+    if (ctx.witness != nullptr && pc < static_cast<int>(prog.aux.size()) &&
+        !prog.aux[pc].rewritten && !prog.aux[pc].claims.empty()) {
+      WitnessTrace::Entry* entry = ctx.witness->Append(pc);
+      if (entry != nullptr) {
+        for (int r = 0; r < kClaimRegs; ++r) {
+          entry->regs[r] = regs[r];
+        }
+      }
+    }
+
     // ---- ld_imm64 ----
     if (insn.IsLdImm64()) {
       regs[insn.dst] =

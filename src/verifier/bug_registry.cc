@@ -15,6 +15,7 @@ BugConfig BugConfig::All() {
   bugs.bug9_bucket_iteration = true;
   bugs.bug10_irq_work = true;
   bugs.bug11_xdp_offload = true;
+  bugs.bug12_jmp32_signed_refine = true;
   bugs.cve_2022_23222 = true;
   return bugs;
 }
@@ -61,6 +62,7 @@ std::vector<std::string> BugConfig::EnabledNames() const {
   if (bug9_bucket_iteration) names.push_back("bug9_bucket_iteration");
   if (bug10_irq_work) names.push_back("bug10_irq_work");
   if (bug11_xdp_offload) names.push_back("bug11_xdp_offload");
+  if (bug12_jmp32_signed_refine) names.push_back("bug12_jmp32_signed_refine");
   if (cve_2022_23222) names.push_back("cve_2022_23222");
   return names;
 }

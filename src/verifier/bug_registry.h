@@ -41,6 +41,15 @@ struct BugConfig {
   // #11: device-offloaded XDP program runnable on the host path.
   bool bug11_xdp_offload = false;
 
+  // -- Synthetic range-analysis bug (Indicator #3 target) --
+  // #12: JMP32 unsigned-compare refinement mirrors the new unsigned lower
+  // bound into the signed-32 domain without a sign check. The corruption
+  // stays confined to s32_min (no bounds sync, and ZExt32 rebuilds 32-bit
+  // bounds from the tnum), so it never reaches the 64-bit bounds consulted by
+  // memory checks or alu_limit sanitation: invisible to Indicators #1/#2,
+  // caught only by the abstract-state witness audit.
+  bool bug12_jmp32_signed_refine = false;
+
   // -- Historical: CVE-2022-23222, ALU permitted on nullable map pointers. --
   bool cve_2022_23222 = false;
 

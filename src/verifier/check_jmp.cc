@@ -109,6 +109,30 @@ uint8_t InverseOp(uint8_t op) {
   }
 }
 
+// Injectable bug #12: after a JMP32 unsigned lower-bound refinement
+// (`w_reg >= val` / `w_reg > val` held), the buggy code also raises s32_min
+// as if the comparison had been signed. Wrong whenever the runtime
+// subregister has its sign bit set: 0x80000000 >= 1 holds unsigned, but its
+// signed value is INT32_MIN. No Sync() follows, so the corruption never
+// leaves the signed-32 domain (see bug_registry.h).
+void BuggyJmp32SignedRefine(RegState& reg, uint8_t op, uint32_t val) {
+  if (reg.type != RegType::kScalar || val >= 0x7fffffffu) {
+    return;
+  }
+  int32_t bound;
+  if (op == kJmpJge) {
+    bound = static_cast<int32_t>(val);
+  } else if (op == kJmpJgt) {
+    bound = static_cast<int32_t>(val) + 1;
+  } else {
+    return;
+  }
+  if (bound > reg.s32_max) {
+    return;  // would invert the interval; the buggy code bails like kernel does
+  }
+  reg.s32_min = std::max(reg.s32_min, bound);
+}
+
 }  // namespace
 
 // Refines |reg| knowing `reg <op> val` holds (64- or 32-bit comparison).
@@ -535,6 +559,14 @@ int Checker::CheckCondJmp(VerifierState& state, const Insn& insn, int idx, int* 
       }
     } else {
       RefineScalarAgainstConst(state.regs()[insn.dst], InverseOp(op), val, is32);
+    }
+    if (env_.bugs.bug12_jmp32_signed_refine && is32) {
+      BVF_COV();
+      const uint32_t val32 = static_cast<uint32_t>(val);
+      BuggyJmp32SignedRefine(taken_state.regs()[insn.dst], op, val32);
+      if (op != kJmpJset) {
+        BuggyJmp32SignedRefine(state.regs()[insn.dst], InverseOp(op), val32);
+      }
     }
   }
   PushBranch(taken_idx, std::move(taken_state), taken_idx <= idx);

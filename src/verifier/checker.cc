@@ -243,6 +243,13 @@ int Checker::DoCheck() {
       }
       via_back_edge = false;
 
+      // Record claims only for non-pruned arrivals: a pruned state is
+      // subsumed by an already-recorded one, so the join stays an
+      // over-approximation of every concrete execution.
+      if (env_.collect_state_claims) {
+        RecordStateClaims(state, idx);
+      }
+
       if (env_.verbose_log) {
         Log("%d: %s", idx, Disassemble(prog_.insns[idx]).c_str());
         LogState(state);
@@ -269,6 +276,17 @@ int Checker::DoCheck() {
     }
   }
   return 0;
+}
+
+void Checker::RecordStateClaims(const VerifierState& state, int idx) {
+  std::vector<RegClaim>& claims = aux_[idx].claims;
+  if (claims.empty()) {
+    claims.resize(kClaimRegs);
+  }
+  const RegState* regs = state.regs();
+  for (int r = 0; r < kClaimRegs; ++r) {
+    claims[r].Observe(regs[r]);
+  }
 }
 
 int Checker::ProcessInsn(VerifierState& state, int idx, int* next) {

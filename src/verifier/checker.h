@@ -33,6 +33,8 @@ class Checker {
   int ProcessInsn(VerifierState& state, int idx, int* next);
   // Returns true if the path at |idx| is subsumed by an explored state.
   bool TryPrune(int idx, VerifierState& state, bool via_back_edge, int* err);
+  // Joins the current frame's R0..R9 into aux_[idx].claims (state audit).
+  void RecordStateClaims(const VerifierState& state, int idx);
   void PushBranch(int idx, VerifierState state, bool back_edge);
   int CheckExit(VerifierState& state, int idx, int* next);
 

@@ -263,4 +263,54 @@ bool RegSubsumes(const RegState& old_reg, const RegState& cur_reg) {
          old_reg.smax == cur_reg.smax;
 }
 
+void RegClaim::Observe(const RegState& reg) {
+  if (status == Status::kInvalid) {
+    return;
+  }
+  if (reg.type != RegType::kScalar) {
+    status = Status::kInvalid;
+    return;
+  }
+  if (status == Status::kUnseen) {
+    status = Status::kValid;
+    var_off = reg.var_off;
+    smin = reg.smin;
+    smax = reg.smax;
+    umin = reg.umin;
+    umax = reg.umax;
+    s32_min = reg.s32_min;
+    s32_max = reg.s32_max;
+    u32_min = reg.u32_min;
+    u32_max = reg.u32_max;
+    return;
+  }
+  var_off = TnumUnion(var_off, reg.var_off);
+  smin = std::min(smin, reg.smin);
+  smax = std::max(smax, reg.smax);
+  umin = std::min(umin, reg.umin);
+  umax = std::max(umax, reg.umax);
+  s32_min = std::min(s32_min, reg.s32_min);
+  s32_max = std::max(s32_max, reg.s32_max);
+  u32_min = std::min(u32_min, reg.u32_min);
+  u32_max = std::max(u32_max, reg.u32_max);
+}
+
+std::string RegClaim::ToString() const {
+  switch (status) {
+    case Status::kUnseen:
+      return "unseen";
+    case Status::kInvalid:
+      return "non-scalar";
+    case Status::kValid:
+      break;
+  }
+  char buf[224];
+  snprintf(buf, sizeof(buf),
+           "umin=%llu umax=%llu smin=%lld smax=%lld u32=[%u,%u] s32=[%d,%d] var=%s",
+           static_cast<unsigned long long>(umin), static_cast<unsigned long long>(umax),
+           static_cast<long long>(smin), static_cast<long long>(smax), u32_min, u32_max,
+           s32_min, s32_max, var_off.ToString().c_str());
+  return buf;
+}
+
 }  // namespace bpf

@@ -128,6 +128,35 @@ struct RegState {
 // match exactly rather than via an idmap).
 bool RegSubsumes(const RegState& old_reg, const RegState& cur_reg);
 
+// The verifier's joined abstract claim about one register at one instruction,
+// accumulated over every explored path that reached it. Pruned arrivals are
+// subsumed by an already-joined state, so a claim over-approximates every
+// concrete execution -- any runtime value outside it is a range-analysis
+// soundness bug (Indicator #3, src/analysis/state_audit.h).
+struct RegClaim {
+  enum class Status : uint8_t { kUnseen, kValid, kInvalid };
+
+  Status status = Status::kUnseen;
+  Tnum var_off = TnumConst(0);
+  int64_t smin = 0;
+  int64_t smax = 0;
+  uint64_t umin = 0;
+  uint64_t umax = 0;
+  int32_t s32_min = 0;
+  int32_t s32_max = 0;
+  uint32_t u32_min = 0;
+  uint32_t u32_max = 0;
+
+  // Joins |reg| into the claim. A register that is not a scalar on some path
+  // (pointer, not initialized) invalidates the claim permanently: its runtime
+  // bit pattern is not comparable against scalar bounds.
+  void Observe(const RegState& reg);
+
+  bool valid() const { return status == Status::kValid; }
+
+  std::string ToString() const;
+};
+
 }  // namespace bpf
 
 #endif  // SRC_VERIFIER_REG_STATE_H_

@@ -31,6 +31,10 @@
 
 namespace bpf {
 
+// Registers covered by abstract-state claims: R0..R9 (R10 is always a frame
+// pointer and never carries a scalar claim).
+inline constexpr int kClaimRegs = 10;
+
 // Per-instruction auxiliary data produced by verification and consumed by the
 // rewrite/instrumentation passes (kernel: struct bpf_insn_aux_data).
 struct InsnAux {
@@ -46,6 +50,11 @@ struct InsnAux {
   uint8_t alu_scalar_reg = 0;
   int64_t alu_smin = 0;
   int64_t alu_smax = 0;
+  // Abstract-state claims for R0..R9 immediately before this instruction,
+  // joined over every explored path. Empty unless
+  // VerifierEnv::collect_state_claims is set; audited against concrete
+  // register witnesses by src/analysis/state_audit (Indicator #3).
+  std::vector<RegClaim> claims;
 };
 
 struct VerifierResult {
@@ -86,6 +95,10 @@ struct VerifierEnv {
 
   // Instrumentation hook run at the end of the rewrite phase (BVF patches).
   std::function<void(Program&, std::vector<InsnAux>&)> instrument;
+
+  // Export per-instruction abstract-state claims into InsnAux::claims for the
+  // witness-containment audit (Indicator #3).
+  bool collect_state_claims = false;
 
   bool verbose_log = false;  // per-insn state dump in the log
 };
