@@ -4,16 +4,26 @@
 // triage queue looks.
 //
 // Usage: fuzz_campaign [iterations] [seed] [--analysis]
+//          [--fault-rate=F] [--confirm-runs=K]
+//          [--checkpoint=PATH] [--checkpoint-every=N] [--resume=PATH]
+//          [--stop-after=N] [--smoke]
 //
 // With --analysis, the first finding's regenerated trigger is run through the
 // static-analysis passes: CFG dump, lints, liveness, and the per-instruction
 // abstract-claim vs concrete-witness diff (indicator #3's view of the case).
+//
+// With --smoke, the run acts as the robustness gate: it asserts that every
+// iteration landed in a classified outcome bucket and (when confirmation is
+// on) that every finding carries a confirmation verdict, then prints a
+// `campaign-digest` line usable for resume bit-identity comparison. Exits
+// non-zero on any violation.
 
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
+#include "src/core/checkpoint.h"
 #include "src/core/fuzzer.h"
 #include "src/core/repro.h"
 #include "src/core/structured_gen.h"
@@ -22,11 +32,32 @@ int main(int argc, char** argv) {
   using namespace bvf;
 
   bool analysis = false;
+  bool smoke = false;
+  double fault_rate = 0.0;
+  int confirm_runs = 0;
+  const char* checkpoint_path = nullptr;
+  uint64_t checkpoint_every = 0;
+  const char* resume_path = nullptr;
+  uint64_t stop_after = 0;
   uint64_t positional[2] = {3000, 1};  // iterations, seed
   int npos = 0;
   for (int i = 1; i < argc; ++i) {
     if (strcmp(argv[i], "--analysis") == 0) {
       analysis = true;
+    } else if (strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (strncmp(argv[i], "--fault-rate=", 13) == 0) {
+      fault_rate = strtod(argv[i] + 13, nullptr);
+    } else if (strncmp(argv[i], "--confirm-runs=", 15) == 0) {
+      confirm_runs = static_cast<int>(strtol(argv[i] + 15, nullptr, 10));
+    } else if (strncmp(argv[i], "--checkpoint=", 13) == 0) {
+      checkpoint_path = argv[i] + 13;
+    } else if (strncmp(argv[i], "--checkpoint-every=", 19) == 0) {
+      checkpoint_every = strtoull(argv[i] + 19, nullptr, 10);
+    } else if (strncmp(argv[i], "--resume=", 9) == 0) {
+      resume_path = argv[i] + 9;
+    } else if (strncmp(argv[i], "--stop-after=", 13) == 0) {
+      stop_after = strtoull(argv[i] + 13, nullptr, 10);
     } else if (npos < 2) {
       positional[npos++] = strtoull(argv[i], nullptr, 10);
     }
@@ -37,30 +68,105 @@ int main(int argc, char** argv) {
   options.bugs = bpf::BugConfig::All();
   options.iterations = positional[0];
   options.seed = positional[1];
+  options.fault.probability = fault_rate;
+  options.confirm_runs = confirm_runs;
+  options.limits.wall_budget_ms = 2000;  // no case may hang the campaign
+  if (checkpoint_path != nullptr) {
+    options.checkpoint_path = checkpoint_path;
+    options.checkpoint_every = checkpoint_every;
+  }
+  if (resume_path != nullptr) {
+    options.resume_path = resume_path;
+  }
+  options.stop_after = stop_after;
 
   printf("BVF campaign: %" PRIu64 " programs against %s with %d injected bugs (seed %" PRIu64
          ")\n",
          options.iterations, bpf::KernelVersionName(options.version), options.bugs.Count(),
          options.seed);
+  if (options.fault.Active()) {
+    printf("  fault injection: p=%.3f on %d kernel fault points\n",
+           options.fault.probability, bpf::kNumFaultPoints);
+  }
 
   StructuredGenerator generator(options.version);
   Fuzzer fuzzer(generator, options);
   const CampaignStats stats = fuzzer.Run();
 
+  if (!stats.resume_error.empty()) {
+    fprintf(stderr, "resume failed: %s\n", stats.resume_error.c_str());
+    return 2;
+  }
+  if (stats.resumed_from != 0) {
+    printf("  resumed at iteration %" PRIu64 "\n", stats.resumed_from);
+  }
+
   printf("\ncampaign summary\n");
   printf("  generated:       %" PRIu64 "\n", stats.iterations);
   printf("  accepted:        %" PRIu64 " (%.1f%%)\n", stats.accepted,
          100 * stats.AcceptanceRate());
-  printf("  executions:      %" PRIu64 "\n", stats.exec_runs);
+  printf("  executions:      %" PRIu64 " (%" PRIu64 " failed)\n", stats.exec_runs,
+         stats.exec_failures);
   printf("  coverage:        %zu verifier branches\n", stats.final_coverage);
   printf("  sanitizer:       %zu mem sites, %zu alu checks, %.2fx footprint\n",
          stats.sanitizer.mem_sites, stats.sanitizer.alu_sites, stats.sanitizer.Footprint());
+  printf("  faults injected: %" PRIu64 "\n", stats.fault_injected);
+  printf("  panics contained:%" PRIu64 " (%" PRIu64 " substrate rebuilds)\n", stats.panics,
+         stats.substrate_rebuilds);
+  printf("  outcomes:\n");
+  for (const auto& [outcome, count] : stats.outcomes) {
+    printf("    %-18s %" PRIu64 "\n", CaseOutcomeName(outcome), count);
+  }
 
   printf("\ntriage queue (%zu unique findings)\n", stats.findings.size());
   for (const Finding& finding : stats.findings) {
     printf("  indicator#%d  @%-6" PRIu64 " %s\n", finding.indicator, finding.iteration,
            finding.signature.c_str());
-    printf("               triaged: %s\n", KnownBugName(finding.triaged));
+    printf("               triaged: %s", KnownBugName(finding.triaged));
+    if (finding.confirmation != Confirmation::kUnconfirmed) {
+      printf("  [%s %d/%d]", ConfirmationName(finding.confirmation), finding.confirm_hits,
+             finding.confirm_runs);
+    }
+    printf("\n");
+  }
+
+  if (smoke) {
+    // Robustness gate: every iteration classified, nothing unclassified, and
+    // (with confirmation on) every finding carries a verdict.
+    int failures = 0;
+    uint64_t total_outcomes = 0;
+    for (const auto& [outcome, count] : stats.outcomes) {
+      total_outcomes += count;
+    }
+    const auto unclassified = stats.outcomes.find(CaseOutcome::kUnclassified);
+    if (unclassified != stats.outcomes.end() && unclassified->second != 0) {
+      fprintf(stderr, "SMOKE FAIL: %" PRIu64 " unclassified outcomes\n",
+              unclassified->second);
+      ++failures;
+    }
+    if (total_outcomes != stats.iterations) {
+      fprintf(stderr,
+              "SMOKE FAIL: outcome buckets sum to %" PRIu64 " but %" PRIu64
+              " iterations ran\n",
+              total_outcomes, stats.iterations);
+      ++failures;
+    }
+    if (options.confirm_runs > 0) {
+      for (const Finding& finding : stats.findings) {
+        if (finding.confirmation == Confirmation::kUnconfirmed) {
+          fprintf(stderr, "SMOKE FAIL: unconfirmed finding %s\n",
+                  finding.signature.c_str());
+          ++failures;
+        }
+      }
+    }
+    printf("\ncampaign-digest %s\n", StatsDigest(stats).c_str());
+    if (failures != 0) {
+      return 1;
+    }
+    printf("smoke: all %" PRIu64 " iterations classified, %zu findings confirmed\n",
+           stats.iterations, stats.findings.size());
+    return 0;
   }
 
   // Triage support: regenerate the first indicator-#1 trigger (campaigns are

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Robustness smoke gate (ISSUE 2 acceptance):
+#
+#   1. Build the tree with BVF_SANITIZE=ON (ASan + UBSan) so the engine itself
+#      runs under sanitizers while it injects faults into the simulated kernel.
+#   2. Run a 200-iteration campaign with 10% fault injection and 3-run finding
+#      confirmation; fuzz_campaign --smoke exits non-zero if any iteration
+#      lands outside a classified outcome bucket or any finding is left
+#      unconfirmed.
+#   3. Re-run the same campaign as two legs (mid-run stop + --resume) and
+#      require the campaign digest to match the uninterrupted run bit-for-bit.
+#
+# Usage: scripts/smoke_robustness.sh [build-dir]   (default: build-smoke)
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-smoke}"
+ITERATIONS=200
+SEED=7
+
+echo "== configure + build (BVF_SANITIZE=ON) =="
+cmake -B "$BUILD_DIR" -S . -DBVF_SANITIZE=ON >/dev/null
+cmake --build "$BUILD_DIR" -j"$(nproc)" --target fuzz_campaign >/dev/null
+
+CAMPAIGN="$BUILD_DIR/examples/fuzz_campaign"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+echo "== leg 1: uninterrupted campaign, faults + confirmation =="
+"$CAMPAIGN" "$ITERATIONS" "$SEED" --fault-rate=0.1 --confirm-runs=3 --smoke \
+    | tee "$WORK/straight.log"
+DIGEST_STRAIGHT="$(grep '^campaign-digest ' "$WORK/straight.log" | awk '{print $2}')"
+
+echo
+echo "== leg 2: stop at iteration 100, then resume from checkpoint =="
+"$CAMPAIGN" "$ITERATIONS" "$SEED" --fault-rate=0.1 --confirm-runs=3 --smoke \
+    --stop-after=100 --checkpoint="$WORK/cp.bvfcp" --checkpoint-every=50 \
+    > "$WORK/leg1.log"
+"$CAMPAIGN" "$ITERATIONS" "$SEED" --fault-rate=0.1 --confirm-runs=3 --smoke \
+    --resume="$WORK/cp.bvfcp" | tee "$WORK/resumed.log"
+DIGEST_RESUMED="$(grep '^campaign-digest ' "$WORK/resumed.log" | awk '{print $2}')"
+
+echo
+if [[ -z "$DIGEST_STRAIGHT" || "$DIGEST_STRAIGHT" != "$DIGEST_RESUMED" ]]; then
+    echo "SMOKE FAIL: resume digest $DIGEST_RESUMED != straight digest $DIGEST_STRAIGHT"
+    exit 1
+fi
+echo "smoke: resume digest matches uninterrupted run ($DIGEST_STRAIGHT)"
+echo "smoke_robustness: PASS"

@@ -1,0 +1,52 @@
+// Campaign checkpoint/resume (DESIGN.md §8.4): serializes everything the
+// fuzz loop needs to continue bit-identically — RNG position, corpus, stats
+// (including findings and the coverage curve), and the global coverage hit
+// set — into a line-oriented text file written atomically (tmp + rename).
+//
+// A fingerprint of the resume-relevant campaign options guards against
+// resuming under a different configuration, which would silently produce a
+// divergent (and therefore meaningless) continuation.
+
+#ifndef SRC_CORE_CHECKPOINT_H_
+#define SRC_CORE_CHECKPOINT_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/fuzzer.h"
+
+namespace bvf {
+
+struct CampaignCheckpoint {
+  uint64_t next_iteration = 1;  // first iteration the resumed run executes
+  std::string fingerprint;      // FingerprintOptions() of the saving campaign
+  std::array<uint64_t, 4> rng_state = {};
+  std::vector<FuzzCase> corpus;
+  CampaignStats stats;
+  std::vector<std::string> coverage_keys;  // Coverage::SerializeHitKeys()
+};
+
+// Canonical hash of the options that must match between the saving and the
+// resuming campaign for the continuation to be bit-identical. Deliberately
+// excludes: iterations and stop_after (resuming to a different horizon is
+// the point), and the checkpoint/resume paths themselves.
+std::string FingerprintOptions(const CampaignOptions& options, const std::string& tool);
+
+// Returns 0 or a negative errno. The file appears atomically.
+int SaveCheckpoint(const std::string& path, const CampaignCheckpoint& checkpoint);
+
+// Returns 0 on success; on failure returns a negative errno and, when
+// |error| is non-null, a human-readable reason.
+int LoadCheckpoint(const std::string& path, CampaignCheckpoint* out, std::string* error);
+
+// Order-independent digest of a campaign's result state (counters, findings,
+// curve, coverage, sanitizer stats — everything except resume bookkeeping).
+// Two campaigns with equal digests produced bit-identical results; used by
+// the resume-identity tests and the smoke gate.
+std::string StatsDigest(const CampaignStats& stats);
+
+}  // namespace bvf
+
+#endif  // SRC_CORE_CHECKPOINT_H_

@@ -1,8 +1,11 @@
 #include "src/core/fuzzer.h"
 
+#include <algorithm>
+#include <cerrno>
 #include <cstring>
 
 #include "src/analysis/state_audit.h"
+#include "src/core/checkpoint.h"
 #include "src/kernel/coverage.h"
 #include "src/runtime/bpf_syscall.h"
 #include "src/sanitizer/asan_funcs.h"
@@ -10,6 +13,26 @@
 namespace bvf {
 
 using bpf::Coverage;
+
+const char* CaseOutcomeName(CaseOutcome outcome) {
+  switch (outcome) {
+    case CaseOutcome::kUnclassified:
+      return "unclassified";
+    case CaseOutcome::kRejected:
+      return "rejected";
+    case CaseOutcome::kExecOk:
+      return "exec-ok";
+    case CaseOutcome::kExecFault:
+      return "exec-fault";
+    case CaseOutcome::kExecTimeout:
+      return "exec-timeout";
+    case CaseOutcome::kResourceExhausted:
+      return "resource-exhausted";
+    case CaseOutcome::kPanic:
+      return "panic";
+  }
+  return "unclassified";
+}
 
 bool CampaignStats::FoundBug(KnownBug bug) const {
   for (const Finding& finding : findings) {
@@ -30,21 +53,51 @@ uint64_t CampaignStats::FoundAtIteration(KnownBug bug) const {
   return first;
 }
 
-void Fuzzer::RunCase(FuzzCase& the_case, CampaignStats& stats, uint64_t iteration) {
-  bpf::Kernel kernel(options_.version, options_.bugs, options_.arena_size);
-  bpf::Bpf bpf(kernel);
+// One simulated machine. Rebuilt from scratch after a panic (the contained
+// analogue of a reboot); otherwise rewound between cases via ResetCaseState.
+struct Fuzzer::Substrate {
+  bpf::Kernel kernel;
+  bpf::Bpf bpf;
+
+  explicit Substrate(const CampaignOptions& options)
+      : kernel(options.version, options.bugs, options.arena_size), bpf(kernel) {}
+};
+
+Fuzzer::Fuzzer(Generator& generator, CampaignOptions options)
+    : generator_(generator), options_(std::move(options)) {}
+
+Fuzzer::~Fuzzer() = default;
+
+Fuzzer::Substrate& Fuzzer::EnsureSubstrate() {
+  if (!substrate_) {
+    substrate_ = std::make_unique<Substrate>(options_);
+    ConfigureSubstrate(*substrate_, &sanitizer_);
+  }
+  return *substrate_;
+}
+
+void Fuzzer::ConfigureSubstrate(Substrate& sub, Sanitizer* sanitizer) {
   if (options_.sanitize) {
-    bpf::BpfAsan::Register(kernel);
-    bpf.set_instrument(sanitizer_.Hook());
+    bpf::BpfAsan::Register(sub.kernel);
+    sub.bpf.set_instrument(sanitizer->Hook());
   }
   if (options_.audit_state) {
     // Indicator #3: compare every execution's register witnesses against the
     // verifier's claimed abstract state, reporting containment misses.
-    bpf.set_exec_observer(
-        [&kernel](const bpf::LoadedProgram& prog, const bpf::WitnessTrace& trace) {
-          AuditAndReport(prog, trace, kernel.reports());
+    bpf::Kernel* kernel = &sub.kernel;
+    sub.bpf.set_exec_observer(
+        [kernel](const bpf::LoadedProgram& prog, const bpf::WitnessTrace& trace) {
+          AuditAndReport(prog, trace, kernel->reports());
         });
   }
+  sub.kernel.arena().set_alloc_budget(options_.arena_budget);
+  sub.bpf.set_exec_limits(options_.limits);
+}
+
+Fuzzer::DriveResult Fuzzer::DriveCase(Substrate& sub, const FuzzCase& the_case,
+                                      uint64_t iteration) {
+  DriveResult result;
+  bpf::Bpf& bpf = sub.bpf;
 
   // Create the case's maps and seed a few entries so lookups can hit.
   for (const bpf::MapDef& def : the_case.maps) {
@@ -62,6 +115,162 @@ void Fuzzer::RunCase(FuzzCase& the_case, CampaignStats& stats, uint64_t iteratio
     }
   }
 
+  bpf::VerifierResult verdict;
+  result.prog_fd = bpf.ProgLoad(the_case.prog, &verdict);
+  if (result.prog_fd < 0) {
+    return result;
+  }
+  for (int run = 0; run < the_case.test_runs; ++run) {
+    const bpf::ExecResult one = bpf.ProgTestRun(
+        result.prog_fd, static_cast<uint32_t>(32 + 16 * run),
+        iteration * 16 + static_cast<uint64_t>(run));
+    result.exec_errs.push_back(one.err);
+    ++result.exec_runs;
+  }
+  if (the_case.do_attach) {
+    if (bpf.ProgAttach(result.prog_fd, the_case.attach_target) == 0) {
+      for (bpf::TracepointId event : the_case.events) {
+        bpf.FireEvent(event);
+      }
+      // Attached programs also run when the program itself re-executes.
+      const bpf::ExecResult one = bpf.ProgTestRun(result.prog_fd, 64, iteration);
+      result.exec_errs.push_back(one.err);
+      ++result.exec_runs;
+      bpf.DetachAll();
+    }
+  }
+  if (the_case.do_xdp_install && the_case.prog.type == bpf::ProgType::kXdp) {
+    if (bpf.XdpInstall(result.prog_fd) == 0) {
+      const bpf::ExecResult first = bpf.XdpRun(64, iteration);
+      const bpf::ExecResult second = bpf.XdpRun(96, iteration + 1);
+      result.exec_errs.push_back(first.err);
+      result.exec_errs.push_back(second.err);
+      ++result.exec_runs;
+    }
+  }
+  if (the_case.do_map_batch) {
+    // Several batched lookups so the simulated bucket-lock contention tick
+    // (every 3rd trylock) is reached.
+    for (const auto& map : sub.kernel.maps().maps()) {
+      if (map->def().type == bpf::MapType::kHash) {
+        for (int round = 0; round < 4; ++round) {
+          bpf.MapLookupBatch(map->id(), 16);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+namespace {
+
+CaseOutcome ClassifyOutcome(bool panicked, int prog_fd, const std::vector<int>& errs) {
+  if (panicked) {
+    return CaseOutcome::kPanic;
+  }
+  if (prog_fd < 0) {
+    return CaseOutcome::kRejected;
+  }
+  bool resource = false;
+  bool timeout = false;
+  bool fault = false;
+  for (const int err : errs) {
+    switch (-err) {
+      case 0:
+        break;
+      case ENOMEM:
+      case E2BIG:
+      case ENOSPC:
+      case EAGAIN:
+        resource = true;
+        break;
+      case ELOOP:
+      case ETIMEDOUT:
+        timeout = true;
+        break;
+      default:
+        fault = true;
+    }
+  }
+  if (resource) {
+    return CaseOutcome::kResourceExhausted;
+  }
+  if (timeout) {
+    return CaseOutcome::kExecTimeout;
+  }
+  if (fault) {
+    return CaseOutcome::kExecFault;
+  }
+  return CaseOutcome::kExecOk;
+}
+
+}  // namespace
+
+bool Fuzzer::ReproduceOnce(const FuzzCase& the_case, uint64_t iteration,
+                           const std::string& signature, const bpf::FaultLog* replay) {
+  // Confirmation runs on a throwaway substrate with a local sanitizer, so
+  // they cannot disturb the campaign's substrate or instrumentation stats.
+  Substrate sub(options_);
+  Sanitizer confirm_sanitizer;
+  ConfigureSubstrate(sub, &confirm_sanitizer);
+  bpf::FaultInjector injector =
+      replay != nullptr ? bpf::FaultInjector::Replay(*replay)
+                        : bpf::FaultInjector(bpf::FaultConfig{}, 0);
+  if (replay != nullptr) {
+    sub.kernel.set_fault_injector(&injector);
+  }
+  DriveCase(sub, the_case, iteration);
+  sub.kernel.set_fault_injector(nullptr);
+  for (const Finding& finding : ClassifyReports(sub.kernel.reports(), 0, iteration)) {
+    if (finding.signature == signature) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Fuzzer::ConfirmFinding(Finding& finding, const FuzzCase& the_case, uint64_t iteration,
+                            const bpf::FaultLog& fault_log) {
+  const int k = options_.confirm_runs;
+  if (k <= 0) {
+    return;
+  }
+  // Coverage is a process-global; confirmation re-executions must not feed
+  // the campaign's corpus-growth or curve accounting.
+  Coverage& cov = Coverage::Get();
+  const bool cov_was_enabled = cov.enabled();
+  cov.set_enabled(false);
+
+  int clean_hits = 0;
+  for (int run = 0; run < k; ++run) {
+    clean_hits += ReproduceOnce(the_case, iteration, finding.signature, nullptr) ? 1 : 0;
+  }
+  if (clean_hits == k) {
+    finding.confirmation = Confirmation::kDeterministic;
+    finding.confirm_hits = clean_hits;
+    finding.confirm_runs = k;
+  } else if (!fault_log.empty()) {
+    // Not cleanly reproducible: replay the recorded fault schedule.
+    int replay_hits = 0;
+    for (int run = 0; run < k; ++run) {
+      replay_hits += ReproduceOnce(the_case, iteration, finding.signature, &fault_log) ? 1 : 0;
+    }
+    finding.confirmation = replay_hits == k ? Confirmation::kFaultDependent
+                                            : Confirmation::kFlaky;
+    finding.confirm_hits = clean_hits + replay_hits;
+    finding.confirm_runs = 2 * k;
+  } else {
+    finding.confirmation = Confirmation::kFlaky;
+    finding.confirm_hits = clean_hits;
+    finding.confirm_runs = k;
+  }
+
+  cov.set_enabled(cov_was_enabled);
+}
+
+void Fuzzer::RunCase(FuzzCase& the_case, CampaignStats& stats, uint64_t iteration) {
+  Substrate& sub = EnsureSubstrate();
+
   // Instruction-mix statistics over the as-generated program.
   for (const bpf::Insn& insn : the_case.prog.insns) {
     ++stats.insns_total;
@@ -75,54 +284,65 @@ void Fuzzer::RunCase(FuzzCase& the_case, CampaignStats& stats, uint64_t iteratio
     }
   }
 
-  bpf::VerifierResult verdict;
-  const int prog_fd = bpf.ProgLoad(the_case.prog, &verdict);
-  if (prog_fd < 0) {
+  // Per-case fault schedule, seeded independently of the campaign RNG stream
+  // (FaultSeed mixes the campaign seed with the iteration), so fault decisions
+  // neither perturb generation nor drift across checkpoint/resume.
+  std::unique_ptr<bpf::FaultInjector> injector;
+  if (options_.fault.Active()) {
+    injector = std::make_unique<bpf::FaultInjector>(
+        options_.fault, bpf::FaultSeed(options_.seed, iteration));
+    sub.kernel.set_fault_injector(injector.get());
+  }
+
+  const DriveResult result = DriveCase(sub, the_case, iteration);
+  sub.kernel.set_fault_injector(nullptr);
+
+  if (result.prog_fd < 0) {
     ++stats.rejected;
-    ++stats.reject_errno[-prog_fd];
+    ++stats.reject_errno[-result.prog_fd];
   } else {
     ++stats.accepted;
-    for (int run = 0; run < the_case.test_runs; ++run) {
-      bpf.ProgTestRun(prog_fd, static_cast<uint32_t>(32 + 16 * run),
-                      iteration * 16 + static_cast<uint64_t>(run));
-      ++stats.exec_runs;
+  }
+  stats.exec_runs += result.exec_runs;
+  for (const int err : result.exec_errs) {
+    if (err != 0) {
+      ++stats.exec_failures;
+      ++stats.exec_errno[-err];
     }
-    if (the_case.do_attach) {
-      if (bpf.ProgAttach(prog_fd, the_case.attach_target) == 0) {
-        for (bpf::TracepointId event : the_case.events) {
-          bpf.FireEvent(event);
-        }
-        // Attached programs also run when the program itself re-executes.
-        bpf.ProgTestRun(prog_fd, 64, iteration);
-        ++stats.exec_runs;
-        bpf.DetachAll();
+  }
+  if (injector != nullptr) {
+    stats.fault_injected += injector->total_failures();
+  }
+
+  const bool panicked = sub.kernel.reports().panicked();
+  ++stats.outcomes[ClassifyOutcome(panicked, result.prog_fd, result.exec_errs)];
+  if (panicked) {
+    ++stats.panics;
+  }
+
+  // Oracle: convert this case's reports into deduped findings, confirming
+  // each new one before the substrate is rewound.
+  const bpf::FaultLog empty_log;
+  for (Finding& finding : ClassifyReports(sub.kernel.reports(), 0, iteration)) {
+    if (stats.finding_signatures.insert(finding.signature).second) {
+      if (options_.confirm_runs > 0) {
+        ConfirmFinding(finding, the_case, iteration,
+                       injector != nullptr ? injector->log() : empty_log);
       }
-    }
-    if (the_case.do_xdp_install && the_case.prog.type == bpf::ProgType::kXdp) {
-      if (bpf.XdpInstall(prog_fd) == 0) {
-        bpf.XdpRun(64, iteration);
-        bpf.XdpRun(96, iteration + 1);
-        ++stats.exec_runs;
-      }
-    }
-    if (the_case.do_map_batch) {
-      // Several batched lookups so the simulated bucket-lock contention tick
-      // (every 3rd trylock) is reached.
-      for (const auto& map : kernel.maps().maps()) {
-        if (map->def().type == bpf::MapType::kHash) {
-          for (int round = 0; round < 4; ++round) {
-            bpf.MapLookupBatch(map->id(), 16);
-          }
-        }
-      }
+      stats.findings.push_back(std::move(finding));
     }
   }
 
-  // Oracle: convert this kernel's reports into deduped findings.
-  for (Finding& finding : ClassifyReports(kernel.reports(), 0, iteration)) {
-    if (stats.finding_signatures.insert(finding.signature).second) {
-      stats.findings.push_back(std::move(finding));
-    }
+  // Panic containment: a panicked machine is dead — tear it down and let the
+  // next case boot a replacement. Otherwise rewind (or discard, when substrate
+  // reuse is off).
+  if (panicked) {
+    substrate_.reset();
+    ++stats.substrate_rebuilds;
+  } else if (options_.reuse_substrate) {
+    sub.bpf.ResetCaseState();
+  } else {
+    substrate_.reset();
   }
 }
 
@@ -132,18 +352,61 @@ CampaignStats Fuzzer::Run() {
   stats.options = options_;
   sanitizer_.ResetStats();
   corpus_.clear();
+  substrate_.reset();
 
-  if (options_.reset_coverage) {
+  bpf::Rng rng(options_.seed);
+  uint64_t start_iteration = 1;
+  const std::string fingerprint = FingerprintOptions(options_, stats.tool);
+
+  if (!options_.resume_path.empty()) {
+    CampaignCheckpoint cp;
+    std::string error;
+    if (LoadCheckpoint(options_.resume_path, &cp, &error) != 0) {
+      stats.resume_error = error.empty() ? "checkpoint load failed" : error;
+      return stats;
+    }
+    if (cp.fingerprint != fingerprint) {
+      stats.resume_error =
+          "checkpoint fingerprint mismatch: the checkpoint was written by a "
+          "campaign with different options";
+      return stats;
+    }
+    stats = std::move(cp.stats);
+    stats.options = options_;
+    stats.tool = generator_.name();
+    corpus_ = std::move(cp.corpus);
+    rng.RestoreState(cp.rng_state);
+    Coverage::Get().ResetHits();
+    Coverage::Get().RestoreHitKeys(cp.coverage_keys);
+    sanitizer_.RestoreStats(stats.sanitizer);
+    start_iteration = cp.next_iteration;
+    stats.resumed_from = start_iteration;
+  } else if (options_.reset_coverage) {
     Coverage::Get().ResetHits();
   }
 
-  bpf::Rng rng(options_.seed);
   const uint64_t sample_every =
       options_.coverage_points > 0
           ? std::max<uint64_t>(1, options_.iterations / options_.coverage_points)
           : 0;
+  const uint64_t last_iteration =
+      options_.stop_after != 0 ? std::min(options_.stop_after, options_.iterations)
+                               : options_.iterations;
 
-  for (uint64_t i = 1; i <= options_.iterations; ++i) {
+  const auto save_checkpoint = [&](uint64_t next_iteration) {
+    CampaignCheckpoint cp;
+    cp.next_iteration = next_iteration;
+    cp.fingerprint = fingerprint;
+    cp.rng_state = rng.SaveState();
+    cp.corpus = corpus_;
+    cp.stats = stats;
+    cp.stats.sanitizer = sanitizer_.stats();
+    cp.stats.final_coverage = Coverage::Get().hit_count();
+    cp.coverage_keys = Coverage::Get().SerializeHitKeys();
+    SaveCheckpoint(options_.checkpoint_path, cp);
+  };
+
+  for (uint64_t i = start_iteration; i <= last_iteration; ++i) {
     Coverage::Get().MarkRun();
 
     FuzzCase the_case;
@@ -164,10 +427,19 @@ CampaignStats Fuzzer::Run() {
       stats.curve.push_back(CoveragePoint{i, Coverage::Get().hit_count()});
     }
     ++stats.iterations;
+
+    if (!options_.checkpoint_path.empty() && options_.checkpoint_every != 0 &&
+        i % options_.checkpoint_every == 0 && i != last_iteration) {
+      save_checkpoint(i + 1);
+    }
   }
 
   stats.final_coverage = Coverage::Get().hit_count();
   stats.sanitizer = sanitizer_.stats();
+  if (!options_.checkpoint_path.empty()) {
+    save_checkpoint(last_iteration + 1);
+  }
+  substrate_.reset();
   return stats;
 }
 

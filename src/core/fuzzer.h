@@ -8,12 +8,15 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "src/core/generator.h"
 #include "src/core/oracle.h"
+#include "src/kernel/fault_inject.h"
+#include "src/runtime/exec_context.h"
 #include "src/sanitizer/instrument.h"
 #include "src/verifier/bug_registry.h"
 #include "src/verifier/kernel_version.h"
@@ -31,12 +34,54 @@ struct CampaignOptions {
   int coverage_points = 48;           // curve samples ("hours" in Fig. 6)
   bool reset_coverage = true;         // reset the global hit set at start
   size_t arena_size = 512 * 1024;
+
+  // -- Robustness engine (DESIGN.md §8) --
+  // Kernel fault injection (failslab/fail_function model). Each case gets a
+  // fresh injector seeded from FaultSeed(seed, iteration), so schedules are
+  // independent of the campaign RNG stream and survive checkpoint/resume.
+  bpf::FaultConfig fault;
+  // Per-invocation execution guards (step budget, wall watchdog, call depth).
+  bpf::ExecLimits limits;
+  // KASAN-arena allocation budget per case in bytes (0 = arena size only).
+  size_t arena_budget = 0;
+  // Findings re-executed this many times for deterministic/flaky
+  // classification (0 = confirmation off).
+  int confirm_runs = 0;
+  // Reuse one kernel substrate across cases (boot-snapshot rewind between
+  // cases; full teardown + rebuild after a simulated panic). Off = the
+  // pre-robustness behaviour of one substrate per case.
+  bool reuse_substrate = true;
+  // Campaign checkpointing: serialize resumable state to |checkpoint_path|
+  // every |checkpoint_every| iterations (and at completion).
+  std::string checkpoint_path;
+  uint64_t checkpoint_every = 0;
+  // Resume a previous campaign from this checkpoint file.
+  std::string resume_path;
+  // Deterministic simulated kill: stop after this absolute iteration
+  // (0 = run to |iterations|). Checkpoint accounting stays identical to an
+  // uninterrupted run, which is what makes resume bit-identity testable.
+  uint64_t stop_after = 0;
 };
 
 struct CoveragePoint {
   uint64_t iteration;
   size_t covered;
 };
+
+// Per-case terminal classification. Every iteration lands in exactly one
+// bucket; kUnclassified existing in a campaign's totals is itself a bug (the
+// smoke gate asserts it stays at zero).
+enum class CaseOutcome {
+  kUnclassified = 0,
+  kRejected,            // verifier refused the program
+  kExecOk,              // loaded and every execution returned cleanly
+  kExecFault,           // some execution aborted (-EFAULT and friends)
+  kExecTimeout,         // step budget / wall-clock watchdog trip
+  kResourceExhausted,   // allocation failure (-ENOMEM/-E2BIG/-ENOSPC/-EAGAIN)
+  kPanic,               // the simulated kernel panicked during the case
+};
+
+const char* CaseOutcomeName(CaseOutcome outcome);
 
 struct CampaignStats {
   std::string tool;
@@ -45,8 +90,20 @@ struct CampaignStats {
   uint64_t iterations = 0;
   uint64_t accepted = 0;
   uint64_t rejected = 0;
-  std::map<int, uint64_t> reject_errno;  // errno (positive) -> count
+  std::map<int, uint64_t> reject_errno;  // load errno (positive) -> count
   uint64_t exec_runs = 0;
+  std::map<int, uint64_t> exec_errno;    // execution errno (positive) -> count
+  uint64_t exec_failures = 0;            // executions that returned an error
+
+  // Robustness accounting.
+  std::map<CaseOutcome, uint64_t> outcomes;
+  uint64_t panics = 0;             // simulated panics contained in-run
+  uint64_t substrate_rebuilds = 0; // teardown + reboot cycles after panics
+  uint64_t fault_injected = 0;     // fault-point failures actually injected
+
+  // Resume bookkeeping (not part of checkpoints or digests).
+  uint64_t resumed_from = 0;       // first iteration executed after resume
+  std::string resume_error;        // non-empty when --resume was rejected
 
   std::vector<Finding> findings;  // deduped by signature
   std::set<std::string> finding_signatures;
@@ -77,18 +134,44 @@ struct CampaignStats {
 
 class Fuzzer {
  public:
-  Fuzzer(Generator& generator, CampaignOptions options)
-      : generator_(generator), options_(options) {}
+  Fuzzer(Generator& generator, CampaignOptions options);
+  ~Fuzzer();
 
   CampaignStats Run();
 
  private:
+  // One simulated machine: kernel substrate + its bpf(2) facade. Torn down
+  // and rebuilt after a panic; otherwise rewound between cases.
+  struct Substrate;
+
+  // Aggregate of one case's driver pass, fed to outcome classification.
+  struct DriveResult {
+    int prog_fd = 0;
+    uint64_t exec_runs = 0;
+    std::vector<int> exec_errs;  // err of every execution, 0 included
+  };
+
+  Substrate& EnsureSubstrate();
+  void ConfigureSubstrate(Substrate& sub, Sanitizer* sanitizer);
+  // Replays the exact RunCase driver sequence (map setup, test runs, attach,
+  // XDP, batched lookups) against |sub| with the case's iteration-derived
+  // seeds. Shared by the campaign pass and finding confirmation.
+  DriveResult DriveCase(Substrate& sub, const FuzzCase& the_case, uint64_t iteration);
   void RunCase(FuzzCase& the_case, CampaignStats& stats, uint64_t iteration);
+
+  // Finding confirmation: re-executes the originating case |confirm_runs|
+  // times, first clean, then (if clean runs don't reproduce) replaying the
+  // recorded fault schedule. Sets finding.confirmation.
+  void ConfirmFinding(Finding& finding, const FuzzCase& the_case, uint64_t iteration,
+                      const bpf::FaultLog& fault_log);
+  bool ReproduceOnce(const FuzzCase& the_case, uint64_t iteration,
+                     const std::string& signature, const bpf::FaultLog* replay);
 
   Generator& generator_;
   CampaignOptions options_;
   Sanitizer sanitizer_;
   std::vector<FuzzCase> corpus_;
+  std::unique_ptr<Substrate> substrate_;
 };
 
 }  // namespace bvf

@@ -40,6 +40,20 @@ const char* KnownBugName(KnownBug bug) {
   return "unknown";
 }
 
+const char* ConfirmationName(Confirmation confirmation) {
+  switch (confirmation) {
+    case Confirmation::kUnconfirmed:
+      return "unconfirmed";
+    case Confirmation::kDeterministic:
+      return "deterministic";
+    case Confirmation::kFaultDependent:
+      return "fault-dependent";
+    case Confirmation::kFlaky:
+      return "flaky";
+  }
+  return "unconfirmed";
+}
+
 namespace {
 
 // Extracts the faulting address from "... at 0x................" details.

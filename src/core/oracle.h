@@ -35,6 +35,19 @@ enum class KnownBug {
 
 const char* KnownBugName(KnownBug bug);
 
+// Re-execution verdict for a finding (campaign confirmation pass): whether
+// replaying the originating case reproduces the report without faults
+// (deterministic), only under the recorded fault schedule (fault-dependent),
+// or not reliably at all (flaky).
+enum class Confirmation {
+  kUnconfirmed = 0,   // confirmation disabled or not yet run
+  kDeterministic,     // reproduces on every clean re-execution
+  kFaultDependent,    // reproduces on every fault-log replay, not cleanly
+  kFlaky,             // fails to reproduce consistently either way
+};
+
+const char* ConfirmationName(Confirmation confirmation);
+
 struct Finding {
   bpf::ReportKind kind;
   std::string signature;  // stable dedup key
@@ -42,6 +55,11 @@ struct Finding {
   int indicator;          // 1 or 2 (paper §3.1/§3.2), or 3 (state audit)
   KnownBug triaged = KnownBug::kUnknown;
   uint64_t iteration = 0;  // campaign iteration that first triggered it
+
+  // Confirmation pass results (Fuzzer::ConfirmFinding).
+  Confirmation confirmation = Confirmation::kUnconfirmed;
+  int confirm_hits = 0;  // re-executions that reproduced the signature
+  int confirm_runs = 0;  // re-executions attempted
 };
 
 // Converts reports filed since |watermark| into findings (indicator

@@ -6,10 +6,16 @@ uint64_t KernelAllocator::Kmalloc(size_t size, const std::string& tag) {
   if (size > kKmallocMax) {
     return 0;
   }
+  if (fault_ != nullptr && fault_->ShouldFail(FaultPoint::kKmalloc)) {
+    return 0;  // failslab: the allocation attempt itself fails
+  }
   return arena_.Alloc(size, tag);
 }
 
 uint64_t KernelAllocator::Kvmalloc(size_t size, const std::string& tag) {
+  if (fault_ != nullptr && fault_->ShouldFail(FaultPoint::kKvmalloc)) {
+    return 0;
+  }
   return arena_.Alloc(size, tag);
 }
 

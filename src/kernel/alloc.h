@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <string>
 
+#include "src/kernel/fault_inject.h"
 #include "src/kernel/kasan.h"
 
 namespace bpf {
@@ -35,8 +36,13 @@ class KernelAllocator {
   uint64_t Kmemdup(const void* src, size_t size, const std::string& tag);
   uint64_t Kvmemdup(const void* src, size_t size, const std::string& tag);
 
+  // failslab-style error injection: when set, kmalloc/kvmalloc consult the
+  // injector and return 0 on an injected fault. Non-owning; nullptr disarms.
+  void set_fault_injector(FaultInjector* injector) { fault_ = injector; }
+
  private:
   KasanArena& arena_;
+  FaultInjector* fault_ = nullptr;
 };
 
 }  // namespace bpf

@@ -1,5 +1,7 @@
 #include "src/kernel/coverage.h"
 
+#include <algorithm>
+
 namespace bpf {
 
 Coverage& Coverage::Get() {
@@ -7,26 +9,69 @@ Coverage& Coverage::Get() {
   return instance;
 }
 
+std::string Coverage::SiteKey(const Site& site) {
+  return std::string(site.file) + ":" + std::to_string(site.line) + ":" +
+         std::to_string(site.idx);
+}
+
 int Coverage::RegisterSite(const char* file, int line) {
-  sites_.push_back(Site{file, line});
+  sites_.push_back(Site{file, line, 0});
   hit_.push_back(0);
-  return static_cast<int>(sites_.size()) - 1;
+  const int id = static_cast<int>(sites_.size()) - 1;
+  if (!pending_.empty() && pending_.erase(SiteKey(sites_.back())) > 0) {
+    // Already counted toward hit_count_ at restore time; just materialize.
+    hit_[id] = 1;
+  }
+  return id;
 }
 
 int Coverage::RegisterGroup(const char* file, int line, int count) {
   const int base = static_cast<int>(sites_.size());
   for (int i = 0; i < count; ++i) {
-    sites_.push_back(Site{file, line});
+    sites_.push_back(Site{file, line, i});
     hit_.push_back(0);
+    if (!pending_.empty() && pending_.erase(SiteKey(sites_.back())) > 0) {
+      hit_[base + i] = 1;
+    }
   }
   return base;
 }
 
 void Coverage::ResetHits() {
   std::fill(hit_.begin(), hit_.end(), 0);
+  pending_.clear();
   hit_count_ = 0;
   new_since_mark_ = 0;
   run_trace_len_ = 0;
+}
+
+std::vector<std::string> Coverage::SerializeHitKeys() const {
+  std::vector<std::string> keys;
+  for (size_t i = 0; i < sites_.size(); ++i) {
+    if (hit_[i]) {
+      keys.push_back(SiteKey(sites_[i]));
+    }
+  }
+  // Sites pending restoration are still part of the campaign's hit set even
+  // though their code has not run in this process yet.
+  keys.insert(keys.end(), pending_.begin(), pending_.end());
+  return keys;
+}
+
+void Coverage::RestoreHitKeys(const std::vector<std::string>& keys) {
+  // Every distinct restored key is part of the campaign's covered set and
+  // counts immediately — including keys for sites this process has not
+  // registered yet (those stay pending and are materialized, without
+  // recounting, the moment their code first runs).
+  std::set<std::string> wanted(keys.begin(), keys.end());
+  for (size_t i = 0; i < sites_.size() && !wanted.empty(); ++i) {
+    if (wanted.erase(SiteKey(sites_[i])) > 0 && !hit_[i]) {
+      hit_[i] = 1;
+      ++hit_count_;
+    }
+  }
+  hit_count_ += wanted.size();
+  pending_.insert(wanted.begin(), wanted.end());
 }
 
 std::vector<std::string> Coverage::CoveredSites() const {

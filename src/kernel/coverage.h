@@ -14,6 +14,7 @@
 #define SRC_KERNEL_COVERAGE_H_
 
 #include <cstdint>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -48,11 +49,21 @@ class Coverage {
   void MarkRun() { new_since_mark_ = 0; }             // call before each execution
   size_t NewSinceMark() const { return new_since_mark_; }  // new sites since MarkRun
 
+  // Checkpoint support. Hit sites serialize as stable "file:line:idx" keys
+  // (idx = position within a RegisterGroup block, 0 for plain sites), so a
+  // restored campaign's hit set is independent of registration order. Keys
+  // naming sites that are not registered yet (site registration is lazy —
+  // a static local per call site) are kept pending and applied the moment
+  // the site registers, without counting as new coverage.
+  std::vector<std::string> SerializeHitKeys() const;
+  void RestoreHitKeys(const std::vector<std::string>& keys);
+
   size_t hit_count() const { return hit_count_; }
   size_t site_count() const { return hit_.size(); }
   size_t run_trace_len() const { return run_trace_len_; }
 
   void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
 
   // Debug: list covered site locations.
   std::vector<std::string> CoveredSites() const;
@@ -63,10 +74,14 @@ class Coverage {
   struct Site {
     const char* file;
     int line;
+    int idx;  // index within a RegisterGroup block; 0 for plain sites
   };
+
+  static std::string SiteKey(const Site& site);
 
   std::vector<Site> sites_;
   std::vector<uint8_t> hit_;
+  std::set<std::string> pending_;  // restored keys awaiting registration
   size_t hit_count_ = 0;
   size_t new_since_mark_ = 0;
   size_t run_trace_len_ = 0;

@@ -1,0 +1,79 @@
+#include "src/kernel/fault_inject.h"
+
+namespace bpf {
+
+const char* FaultPointName(FaultPoint point) {
+  switch (point) {
+    case FaultPoint::kKmalloc:
+      return "kmalloc";
+    case FaultPoint::kKvmalloc:
+      return "kvmalloc";
+    case FaultPoint::kMapCreate:
+      return "map_create";
+    case FaultPoint::kMapUpdate:
+      return "map_update";
+    case FaultPoint::kHelperCall:
+      return "helper_call";
+    default:
+      return "unknown";
+  }
+}
+
+FaultInjector FaultInjector::Replay(const FaultLog& log) {
+  FaultInjector injector(FaultConfig{}, 0);
+  injector.replay_ = true;
+  for (const FaultRecord& record : log) {
+    injector.replay_nth_[static_cast<int>(record.point)].insert(record.nth);
+  }
+  return injector;
+}
+
+bool FaultInjector::ShouldFail(FaultPoint point) {
+  const int idx = static_cast<int>(point);
+  const uint64_t nth = ++calls_[idx];
+
+  if (replay_) {
+    if (replay_nth_[idx].count(nth) == 0) {
+      return false;
+    }
+    ++failures_[idx];
+    log_.push_back(FaultRecord{point, nth});
+    return true;
+  }
+
+  if (!config_.enabled[idx] || !config_.Active()) {
+    return false;
+  }
+  if (nth <= config_.space) {
+    return false;
+  }
+  if (config_.times >= 0 && static_cast<int64_t>(total_failures()) >= config_.times) {
+    return false;
+  }
+
+  bool fail = false;
+  if (config_.interval > 0 && nth % config_.interval == 0) {
+    fail = true;
+  }
+  // The RNG is consumed for every eligible call, failing or not, so the
+  // decision stream depends only on the call sequence, not on prior outcomes.
+  if (config_.probability > 0.0 && rng_.Chance(config_.probability)) {
+    fail = true;
+  }
+  if (!fail) {
+    return false;
+  }
+  ++failures_[idx];
+  log_.push_back(FaultRecord{point, nth});
+  return true;
+}
+
+uint64_t FaultInjector::total_failures() const {
+  uint64_t total = 0;
+  for (const uint64_t count : failures_) {
+    total += count;
+  }
+  return total;
+}
+
+}  // namespace bpf

@@ -26,6 +26,10 @@ uint64_t KasanArena::Alloc(size_t size, const std::string& tag) {
   if (bump_ + total > mem_.size()) {
     return 0;  // arena exhausted (simulated -ENOMEM)
   }
+  if (alloc_budget_ != 0 && bytes_in_use_ + size > alloc_budget_) {
+    ++budget_trips_;  // per-case memory guard: fail like an exhausted arena
+    return 0;
+  }
   const size_t start = bump_ + kRedzoneSize;
   // Left redzone.
   std::fill(shadow_.begin() + bump_, shadow_.begin() + start,
@@ -53,7 +57,40 @@ void KasanArena::Free(uint64_t addr) {
   std::fill(shadow_.begin() + start, shadow_.begin() + start + it->second.size,
             static_cast<uint8_t>(Shadow::kFreed));
   bytes_in_use_ -= it->second.size;
+  // Freed-object metadata moves to the quarantine (bounded FIFO) so
+  // use-after-free accesses can still be attributed to their object.
+  if (quarantine_.size() >= kQuarantineSlots) {
+    quarantine_.erase(quarantine_.begin());
+  }
+  quarantine_.push_back(Quarantined{addr, it->second.size, std::move(it->second.tag)});
   allocations_.erase(it);
+}
+
+void KasanArena::TakeBootSnapshot() {
+  boot_bump_ = bump_;
+  boot_bytes_in_use_ = bytes_in_use_;
+  boot_mem_.assign(mem_.begin(), mem_.begin() + static_cast<long>(bump_));
+  boot_shadow_.assign(shadow_.begin(), shadow_.begin() + static_cast<long>(bump_));
+  boot_allocations_ = allocations_;
+  has_boot_snapshot_ = true;
+}
+
+void KasanArena::ResetToBootSnapshot() {
+  if (!has_boot_snapshot_) {
+    return;
+  }
+  // Restore the boot image (undoing any silent corruption of boot objects)
+  // and scrub everything above it back to pristine unallocated zeros, so a
+  // reused substrate is byte-identical to a freshly booted one.
+  std::copy(boot_mem_.begin(), boot_mem_.end(), mem_.begin());
+  std::fill(mem_.begin() + static_cast<long>(boot_bump_), mem_.end(), 0);
+  std::copy(boot_shadow_.begin(), boot_shadow_.end(), shadow_.begin());
+  std::fill(shadow_.begin() + static_cast<long>(boot_bump_), shadow_.end(),
+            static_cast<uint8_t>(Shadow::kUnallocated));
+  allocations_ = boot_allocations_;
+  quarantine_.clear();
+  bump_ = boot_bump_;
+  bytes_in_use_ = boot_bytes_in_use_;
 }
 
 AccessResult KasanArena::Classify(uint64_t addr, size_t size) const {
@@ -192,6 +229,12 @@ std::string KasanArena::DescribeNearest(uint64_t addr, size_t size) const {
   for (const auto& [start, alloc] : allocations_) {
     if (addr + size >= start && addr <= start + alloc.size + kRedzoneSize) {
       return " near object '" + alloc.tag + "' of size " + std::to_string(alloc.size);
+    }
+  }
+  // Fall back to quarantined (freed) objects, like KASAN's freed-object dump.
+  for (const Quarantined& q : quarantine_) {
+    if (addr + size >= q.addr && addr <= q.addr + q.size + kRedzoneSize) {
+      return " near freed object '" + q.tag + "' of size " + std::to_string(q.size);
     }
   }
   return "";

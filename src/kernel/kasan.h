@@ -51,9 +51,27 @@ class KasanArena {
   explicit KasanArena(size_t size = 8u << 20);
 
   // Allocates |size| bytes with redzones; returns the guest address, or 0 when
-  // the arena is exhausted. |tag| names the allocation in reports.
+  // the arena is exhausted (or the per-case allocation budget is exceeded).
+  // |tag| names the allocation in reports.
   uint64_t Alloc(size_t size, const std::string& tag);
   void Free(uint64_t addr);
+
+  // Per-case execution guard: when non-zero, allocations that would push
+  // bytes_in_use() past |bytes| fail as if the arena were exhausted. Trips are
+  // counted so campaigns can classify kResourceExhausted outcomes.
+  void set_alloc_budget(size_t bytes) { alloc_budget_ = bytes; }
+  size_t alloc_budget() const { return alloc_budget_; }
+  uint64_t budget_trips() const { return budget_trips_; }
+
+  // Case-hygiene support for substrate reuse. TakeBootSnapshot() captures the
+  // arena immediately after kernel boot (memory image, shadow, allocation
+  // metadata); ResetToBootSnapshot() restores exactly that state — post-boot
+  // allocations vanish, silent corruption of boot objects is undone, and the
+  // KASAN quarantine is purged so no freed-object state leaks across cases.
+  void TakeBootSnapshot();
+  void ResetToBootSnapshot();
+
+  size_t quarantine_size() const { return quarantine_.size(); }
 
   // Classifies an access without reporting.
   AccessResult Classify(uint64_t addr, size_t size) const;
@@ -94,6 +112,13 @@ class KasanArena {
     size_t size;
     std::string tag;
   };
+  // A freed object whose metadata is retained (real KASAN keeps freed objects
+  // in a quarantine so use-after-free reports can still name them).
+  struct Quarantined {
+    uint64_t addr;
+    size_t size;
+    std::string tag;
+  };
 
   bool InArena(uint64_t addr, size_t size) const {
     return addr >= kArenaBase && addr + size <= kArenaBase + mem_.size() && addr + size >= addr;
@@ -108,11 +133,23 @@ class KasanArena {
   std::vector<uint8_t> mem_;
   std::vector<uint8_t> shadow_;
   std::unordered_map<uint64_t, Allocation> allocations_;  // start addr -> meta
+  std::vector<Quarantined> quarantine_;                   // bounded FIFO
   size_t bump_ = 0;
   size_t bytes_in_use_ = 0;
+  size_t alloc_budget_ = 0;  // 0 = unlimited
+  uint64_t budget_trips_ = 0;
+
+  // Boot-time snapshot for ResetToBootSnapshot().
+  std::vector<uint8_t> boot_mem_;
+  std::vector<uint8_t> boot_shadow_;
+  std::unordered_map<uint64_t, Allocation> boot_allocations_;
+  size_t boot_bump_ = 0;
+  size_t boot_bytes_in_use_ = 0;
+  bool has_boot_snapshot_ = false;
 
   static constexpr size_t kRedzoneSize = 32;
   static constexpr size_t kAlign = 16;
+  static constexpr size_t kQuarantineSlots = 64;
 };
 
 }  // namespace bpf

@@ -49,6 +49,18 @@ class Lockdep {
   // force-released by the test harness, as BPF_PROG_TEST_RUN effectively does).
   void Reset();
 
+  // Full case-boundary reset: drops held locks AND the per-class usage bits,
+  // so a reused kernel substrate cannot carry lock-usage history (and the
+  // inconsistent-use detector's inputs) from one fuzz case into the next.
+  // Registered classes persist — they are code, not state.
+  void ResetCaseState() {
+    held_.clear();
+    for (LockClass& cls : classes_) {
+      cls.used_in_normal = false;
+      cls.used_in_tracepoint = false;
+    }
+  }
+
   const std::string& ClassName(int class_id) const { return classes_[class_id].name; }
 
   // Usage-state observability (which contexts a class has been taken in).

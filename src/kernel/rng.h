@@ -5,6 +5,7 @@
 #ifndef SRC_KERNEL_RNG_H_
 #define SRC_KERNEL_RNG_H_
 
+#include <array>
 #include <cstdint>
 
 namespace bpf {
@@ -48,6 +49,17 @@ class Rng {
   // True with probability num/den.
   bool OneIn(uint64_t den) { return Below(den) == 0; }
   bool Chance(double p) { return static_cast<double>(Next() >> 11) * 0x1.0p-53 < p; }
+
+  // Snapshot/restore of the generator position, for campaign checkpointing:
+  // restoring a saved state resumes the exact output stream.
+  std::array<uint64_t, 4> SaveState() const {
+    return {state_[0], state_[1], state_[2], state_[3]};
+  }
+  void RestoreState(const std::array<uint64_t, 4>& state) {
+    for (int i = 0; i < 4; ++i) {
+      state_[i] = state[i];
+    }
+  }
 
   // Picks a random element of a container.
   template <typename C>

@@ -189,6 +189,15 @@ class MapRegistry {
   const std::vector<std::unique_ptr<Map>>& maps() const { return maps_; }
   size_t size() const { return maps_.size(); }
 
+  // Case-boundary reset for substrate reuse: drops every map and restarts id
+  // assignment, so a reused kernel hands out the same fds a fresh one would.
+  // (Backing arena storage is reclaimed separately by the arena snapshot
+  // rewind; maps never free their elements on the real no-reuse arena either.)
+  void Clear() {
+    maps_.clear();
+    next_id_ = 1;
+  }
+
  private:
   KasanArena& arena_;
   ReportSink& sink_;

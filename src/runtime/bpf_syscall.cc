@@ -20,6 +20,9 @@ uint8_t SeedByte(uint64_t seed, uint32_t i) {
 }  // namespace
 
 int Bpf::MapCreate(const MapDef& def) {
+  if (kernel_.ShouldInjectFault(FaultPoint::kMapCreate)) {
+    return -ENOMEM;
+  }
   const int id = kernel_.maps().Create(def, kernel_.bugs().bug9_bucket_iteration);
   if (id < 0) {
     return id;
@@ -35,7 +38,13 @@ int Bpf::MapCreate(const MapDef& def) {
 
 int Bpf::MapUpdateElem(int map_fd, const void* key, const void* value) {
   Map* map = kernel_.maps().Find(map_fd);
-  return map != nullptr ? map->Update(key, value) : -EBADF;
+  if (map == nullptr) {
+    return -EBADF;
+  }
+  if (kernel_.ShouldInjectFault(FaultPoint::kMapUpdate)) {
+    return -ENOMEM;  // element allocation failed
+  }
+  return map->Update(key, value);
 }
 
 int Bpf::MapLookupElem(int map_fd, const void* key, void* value_out) {
@@ -210,6 +219,16 @@ void Bpf::ReleaseCtx(ExecContext& ctx) {
 ExecResult Bpf::RunProgram(const LoadedProgram& prog, uint32_t pkt_len, uint64_t seed,
                            bool in_tracepoint, bool in_irq, TracepointId attach_point) {
   ExecContext ctx = MakeCtx(prog, pkt_len, seed);
+  // Under memory pressure (arena budget guard, fault injection) the context
+  // or stack allocation can fail; a real kernel returns -ENOMEM from the
+  // test-run path rather than entering the program with NULL pointers.
+  if (ctx.ctx_addr == 0 || ctx.stack_base == 0 || (ctx.pkt_len != 0 && ctx.pkt_addr == 0)) {
+    ReleaseCtx(ctx);
+    ExecResult result;
+    result.err = -ENOMEM;
+    result.abort_reason = "execution context allocation failed";
+    return result;
+  }
   ctx.in_tracepoint = in_tracepoint;
   ctx.in_irq = in_irq;
   ctx.attach_point = attach_point;
@@ -219,7 +238,7 @@ ExecResult Bpf::RunProgram(const LoadedProgram& prog, uint32_t pkt_len, uint64_t
   if (exec_observer_) {
     ctx.witness = &trace;
   }
-  ExecResult result = interp_.Run(prog, ctx);
+  ExecResult result = interp_.Run(prog, ctx, exec_limits_);
   if (exec_observer_) {
     exec_observer_(prog, trace);
   }
@@ -249,6 +268,12 @@ ExecResult Bpf::ProgTestRunRepeat(int prog_fd, int repeat, uint32_t pkt_len, uin
     return result;
   }
   ExecContext ctx = MakeCtx(*prog, pkt_len, seed);
+  if (ctx.ctx_addr == 0 || ctx.stack_base == 0 || (ctx.pkt_len != 0 && ctx.pkt_addr == 0)) {
+    ReleaseCtx(ctx);
+    result.err = -ENOMEM;
+    result.abort_reason = "execution context allocation failed";
+    return result;
+  }
   WitnessTrace trace;
   uint64_t total_insns = 0;
   for (int run = 0; run < repeat; ++run) {
@@ -256,7 +281,7 @@ ExecResult Bpf::ProgTestRunRepeat(int prog_fd, int repeat, uint32_t pkt_len, uin
       trace.Clear();
       ctx.witness = &trace;
     }
-    ExecResult one = interp_.Run(*prog, ctx);
+    ExecResult one = interp_.Run(*prog, ctx, exec_limits_);
     if (exec_observer_) {
       exec_observer_(*prog, trace);
     }

@@ -37,6 +37,23 @@ class Bpf {
   using ExecObserver = std::function<void(const LoadedProgram&, const WitnessTrace&)>;
   void set_exec_observer(ExecObserver observer) { exec_observer_ = std::move(observer); }
 
+  // Per-invocation execution guards applied to every program run through this
+  // syscall surface (test runs, attach handlers, XDP).
+  void set_exec_limits(const ExecLimits& limits) { exec_limits_ = limits; }
+  const ExecLimits& exec_limits() const { return exec_limits_; }
+
+  // Case-boundary reset for substrate reuse: unloads every program, resets fd
+  // assignment and the XDP dispatcher, and rewinds the kernel substrate
+  // (Kernel::ResetCaseState). After this, the facade behaves like one freshly
+  // constructed over a freshly booted kernel.
+  void ResetCaseState() {
+    progs_.clear();
+    next_prog_fd_ = 1;
+    xdp_prog_fd_ = 0;
+    xdp_update_window_ = false;
+    kernel_.ResetCaseState();
+  }
+
   // ---- BPF_MAP_* ----
   int MapCreate(const MapDef& def);  // returns map fd (>0) or -errno
   int MapUpdateElem(int map_fd, const void* key, const void* value);
@@ -76,6 +93,7 @@ class Bpf {
 
   Kernel& kernel_;
   Interpreter interp_;
+  ExecLimits exec_limits_;
   std::function<void(Program&, std::vector<InsnAux>&)> instrument_;
   ExecObserver exec_observer_;
   std::vector<std::unique_ptr<LoadedProgram>> progs_;

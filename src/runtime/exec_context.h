@@ -23,6 +23,17 @@ namespace bpf {
 // space that is also invisible to the program").
 inline constexpr int kExtendedStackSize = 64;
 
+// Per-invocation execution guards. The step budget is the classic runaway-
+// loop bound; the wall-clock watchdog additionally catches cases whose
+// *per-instruction* cost explodes (pathological dispatch chains), and the
+// call-depth ceiling bounds bpf-to-bpf recursion. Guard trips surface as
+// classified ExecResult errors (-ELOOP / -ETIMEDOUT / -EFAULT), never hangs.
+struct ExecLimits {
+  uint64_t step_budget = 1u << 18;  // instructions per invocation
+  uint64_t wall_budget_ms = 0;      // wall-clock watchdog (0 = off)
+  int max_call_depth = 8;           // bpf-to-bpf call frames
+};
+
 // Concrete register values captured by the interpreter immediately before
 // executing an instruction that carries abstract-state claims
 // (InsnAux::claims). Compared offline against those claims by the
@@ -89,7 +100,9 @@ struct LoadedProgram {
 
 struct ExecResult {
   uint64_t r0 = 0;
-  int err = 0;  // 0, -EFAULT (fault abort), -ELOOP (runaway execution)
+  // 0, -EFAULT (fault abort), -ELOOP (step budget), -ETIMEDOUT (wall-clock
+  // watchdog), -ENOMEM (allocation failure on the execution path).
+  int err = 0;
   uint64_t insns_executed = 0;
   std::string abort_reason;
 

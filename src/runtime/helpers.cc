@@ -186,6 +186,38 @@ uint64_t HelperTaskStorageDelete(Kernel& kernel, ExecContext& ctx, const uint64_
 
 uint64_t DispatchHelper(Kernel& kernel, ExecContext& ctx, int32_t helper_id,
                         const uint64_t args[5]) {
+  // Fault-injectable helper error paths (fail_function analogue). Only
+  // helpers whose kernel contract includes a failure return are eligible;
+  // each fails with the errno (or NULL) a real implementation can produce,
+  // so injected failures are indistinguishable from organic ones.
+  if (kernel.fault_injector() != nullptr) {
+    switch (helper_id) {
+      case kHelperMapLookupElem:
+      case kHelperTaskStorageGet:
+        if (kernel.ShouldInjectFault(FaultPoint::kHelperCall)) {
+          return 0;  // NULL: lookup miss / storage allocation failure
+        }
+        break;
+      case kHelperMapUpdateElem:
+      case kHelperMapDeleteElem:
+        if (kernel.ShouldInjectFault(FaultPoint::kHelperCall)) {
+          return static_cast<uint64_t>(-ENOMEM);
+        }
+        break;
+      case kHelperPerfEventOutput:
+        if (kernel.ShouldInjectFault(FaultPoint::kHelperCall)) {
+          return static_cast<uint64_t>(-ENOSPC);
+        }
+        break;
+      case kHelperRingbufOutput:
+        if (kernel.ShouldInjectFault(FaultPoint::kHelperCall)) {
+          return static_cast<uint64_t>(-ENOMEM);
+        }
+        break;
+      default:
+        break;
+    }
+  }
   switch (helper_id) {
     case kHelperMapLookupElem:
       return HelperMapLookup(kernel, args);

@@ -1,6 +1,7 @@
 #include "src/runtime/interpreter.h"
 
 #include <cerrno>
+#include <chrono>
 #include <vector>
 
 #include "src/runtime/helpers.h"
@@ -115,10 +116,23 @@ struct CallFrame {
 
 }  // namespace
 
-ExecResult Interpreter::Run(const LoadedProgram& prog, ExecContext& ctx, uint64_t max_insns) {
+ExecResult Interpreter::Run(const LoadedProgram& prog, ExecContext& ctx,
+                            const ExecLimits& limits) {
   ExecResult result;
   KasanArena& arena = kernel_.arena();
   ReportSink& sink = kernel_.reports();
+  const uint64_t max_insns = limits.step_budget;
+
+  // Wall-clock watchdog: checked every few thousand instructions so the hot
+  // loop stays branch-cheap. Only armed when a budget is configured, keeping
+  // default campaigns fully deterministic.
+  const bool watchdog = limits.wall_budget_ms > 0;
+  std::chrono::steady_clock::time_point deadline;
+  if (watchdog) {
+    deadline = std::chrono::steady_clock::now() +
+               std::chrono::milliseconds(limits.wall_budget_ms);
+  }
+  constexpr uint64_t kWatchdogStride = 4096;
 
   uint64_t regs[kNumTotalRegs] = {};
   regs[kR1] = ctx.ctx_addr;
@@ -139,6 +153,13 @@ ExecResult Interpreter::Run(const LoadedProgram& prog, ExecContext& ctx, uint64_
       sink.Report(ReportKind::kWarn, "bpf_prog_run",
                   "soft lockup: eBPF program exceeded the execution budget");
       abort_exec(-ELOOP, "execution budget exceeded");
+      break;
+    }
+    if (watchdog && result.insns_executed % kWatchdogStride == 0 &&
+        std::chrono::steady_clock::now() >= deadline) {
+      sink.Report(ReportKind::kWarn, "bpf_prog_run",
+                  "watchdog: eBPF program exceeded the wall-clock budget");
+      abort_exec(-ETIMEDOUT, "wall-clock budget exceeded");
       break;
     }
     if (pc < 0 || pc >= static_cast<int>(insns.size())) {
@@ -314,7 +335,7 @@ ExecResult Interpreter::Run(const LoadedProgram& prog, ExecContext& ctx, uint64_
       }
       if (op == kJmpCall) {
         if (insn.src == kPseudoCallFunc) {
-          if (frames.size() >= 8) {
+          if (frames.size() >= static_cast<size_t>(limits.max_call_depth)) {
             abort_exec(-EFAULT, "call depth exceeded");
             break;
           }

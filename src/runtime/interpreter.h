@@ -17,10 +17,19 @@ class Interpreter {
  public:
   explicit Interpreter(Kernel& kernel) : kernel_(kernel) {}
 
-  // Executes |prog| in |ctx|. |max_insns| bounds runaway loops (the real
-  // kernel relies on the verifier; a missed unbounded loop here is reported
-  // as a soft lockup).
-  ExecResult Run(const LoadedProgram& prog, ExecContext& ctx, uint64_t max_insns = 1 << 18);
+  // Executes |prog| in |ctx| under the given execution guards (step budget,
+  // optional wall-clock watchdog, call-depth ceiling). Guard trips abort with
+  // a classified error instead of hanging the campaign.
+  ExecResult Run(const LoadedProgram& prog, ExecContext& ctx, const ExecLimits& limits);
+
+  // Convenience overload: default guards with an explicit step budget (the
+  // real kernel relies on the verifier; a missed unbounded loop here is
+  // reported as a soft lockup).
+  ExecResult Run(const LoadedProgram& prog, ExecContext& ctx, uint64_t max_insns = 1 << 18) {
+    ExecLimits limits;
+    limits.step_budget = max_insns;
+    return Run(prog, ctx, limits);
+  }
 
  private:
   Kernel& kernel_;

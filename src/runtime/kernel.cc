@@ -47,6 +47,22 @@ Kernel::Kernel(KernelVersion version, BugConfig bugs, size_t arena_size)
   }
   put(cgroup_addr_, 0, 1, 8);   // cgroup id
   put(cgroup_addr_, 16, 0, 8);  // parent cgroup = NULL (root)
+
+  // Everything allocated so far is boot state; snapshot it so the substrate
+  // can be rewound between fuzz cases (ResetCaseState).
+  arena_.TakeBootSnapshot();
+}
+
+void Kernel::ResetCaseState() {
+  set_fault_injector(nullptr);
+  reports_.Clear();
+  lockdep_.ResetCaseState();
+  tracepoints_.DetachAll();
+  maps_.Clear();
+  arena_.ResetToBootSnapshot();
+  ktime_ = 1'000'000'000;
+  prandom_ = 0x12345678;
+  task_refs_ = 0;
 }
 
 uint64_t Kernel::BtfObjAddr(int btf_struct_id) const {

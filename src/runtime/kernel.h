@@ -12,6 +12,7 @@
 
 #include "src/kernel/alloc.h"
 #include "src/kernel/btf.h"
+#include "src/kernel/fault_inject.h"
 #include "src/kernel/kasan.h"
 #include "src/kernel/lockdep.h"
 #include "src/kernel/report.h"
@@ -46,6 +47,25 @@ class Kernel {
   KernelVersion version() const { return version_; }
   const BugConfig& bugs() const { return bugs_; }
   BugConfig& mutable_bugs() { return bugs_; }
+
+  // Arms fault injection for the current case (failslab/fail_function model):
+  // propagates to the allocator and is consulted by the syscall and helper
+  // layers. Non-owning; nullptr disarms. Cleared by ResetCaseState().
+  void set_fault_injector(FaultInjector* injector) {
+    fault_injector_ = injector;
+    alloc_.set_fault_injector(injector);
+  }
+  FaultInjector* fault_injector() { return fault_injector_; }
+  bool ShouldInjectFault(FaultPoint point) {
+    return fault_injector_ != nullptr && fault_injector_->ShouldFail(point);
+  }
+
+  // Restores the substrate to its post-boot state between fuzz cases:
+  // reports, lockdep (held locks + usage bits), tracepoint attachments, maps,
+  // the KASAN arena (boot snapshot rewind, quarantine purge), and the
+  // deterministic entropy sources. After this, a reused kernel is
+  // indistinguishable from a freshly constructed one.
+  void ResetCaseState();
 
   // Runtime addresses of the BTF object instances reachable from programs.
   // Deliberately, mm_struct resolves to 0: the current task is a kernel
@@ -96,6 +116,7 @@ class Kernel {
   int lock_irq_work_ = 0;
 
   std::map<int32_t, InternalFn> internal_funcs_;
+  FaultInjector* fault_injector_ = nullptr;
   uint64_t ktime_ = 1'000'000'000;
   uint32_t prandom_ = 0x12345678;
   int task_refs_ = 0;

@@ -69,6 +69,8 @@ class Sanitizer {
 
   const SanitizerStats& stats() const { return stats_; }
   void ResetStats() { stats_ = SanitizerStats{}; }
+  // Campaign resume: reinstate counters saved in a checkpoint.
+  void RestoreStats(const SanitizerStats& stats) { stats_ = stats; }
 
  private:
   SanitizerOptions options_;

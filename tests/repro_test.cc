@@ -39,6 +39,22 @@ TEST(RemoveInsnPatchedTest, LdImm64RemovedAsPair) {
   EXPECT_EQ(CheckEncoding(prog, nullptr), 0);
 }
 
+TEST(RemoveInsnPatchedTest, JumpIntoLdImm64HighSlotLandsOnSuccessor) {
+  // The branch targets the *second* slot of a ld_imm64 pair. When the pair is
+  // removed, that interior target must remap to the pair's successor — the
+  // `t_pre > p && t_pre < p + w` clause — not to a stale mid-pair offset.
+  Program prog;
+  prog.insns = {MovImm(kR0, 0),       JmpImm(kJmpJeq, kR0, 0, 2), MovImm(kR1, 1),
+                LdImm64Lo(kR2, 0, 9), LdImm64Hi(9),               MovImm(kR3, 3),
+                Exit()};
+  RemoveInsnPatched(prog, 3);  // drops both ld_imm64 slots (indices 3 and 4)
+  ASSERT_EQ(prog.insns.size(), 5u);
+  // Jump at index 1 used to target index 4 (the high slot); it must now land
+  // on what was index 5 (MovImm kR3), i.e. index 3 after the 2-slot shift.
+  EXPECT_EQ(prog.insns[1].off, 1);
+  EXPECT_EQ(CheckEncoding(prog, nullptr), 0);
+}
+
 TEST(RemoveInsnPatchedTest, BackEdgeShrinks) {
   Program prog;
   prog.insns = {MovImm(kR6, 3), MovImm(kR7, 0), AluImm(kAluSub, kR6, 1),
@@ -120,6 +136,46 @@ TEST(MinimizeTest, ShrinksNoisyTriggerToCore) {
   EXPECT_LE(result.insns_after, result.insns_before - 4);
   EXPECT_GT(ExecuteCase(result.reduced, options).count(signature), 0u);
   EXPECT_GT(result.executions, 0);
+}
+
+TEST(MinimizeTest, RespectsExecutionBudgetMidFixpoint) {
+  // Same trigger as NoiseShrinksAway, but with a budget far too small to reach
+  // the fixpoint: minimization must stop mid-pass, never exceed the cap, and
+  // still hand back a case that reproduces the signature.
+  FuzzCase the_case;
+  ProgramBuilder b(ProgType::kKprobe);
+  b.Mov(kR7, 111);  // noise
+  b.LdBtfId(kR6, kBtfMmStruct);
+  b.StoreImm(kSizeDw, kR10, -8, 7777);
+  b.LdMapFd(kR1, 1);
+  b.Mov(kR2, kR10);
+  b.Add(kR2, -8);
+  b.Call(kHelperMapLookupElem);
+  b.Mov(kR9, 3);  // noise
+  b.JmpIfReg(kJmpJne, kR0, kR6, 1);
+  b.Load(kSizeDw, kR8, kR0, 0);
+  b.RetImm(0);
+  the_case.prog = b.Build();
+  MapDef def;
+  def.type = MapType::kHash;
+  def.key_size = 8;
+  def.value_size = 16;
+  def.max_entries = 8;
+  the_case.maps.push_back(def);
+
+  CampaignOptions options;
+  options.bugs.bug1_nullness_propagation = true;
+  const std::string signature = "bpf-asan: null-ptr-deref in bpf_asan_load";
+  ASSERT_GT(ExecuteCase(the_case, options).count(signature), 0u);
+
+  const MinimizeResult result = MinimizeCase(the_case, signature, options, 3);
+  EXPECT_LE(result.executions, 3);
+  EXPECT_LE(result.insns_after, result.insns_before);
+  EXPECT_GT(ExecuteCase(result.reduced, options).count(signature), 0u);
+
+  // A larger budget keeps shrinking from where the small one stopped.
+  const MinimizeResult full = MinimizeCase(the_case, signature, options);
+  EXPECT_LE(full.insns_after, result.insns_after);
 }
 
 TEST(MinimizeTest, GeneratedTriggerShrinks) {

@@ -1,0 +1,536 @@
+// Robustness engine (DESIGN.md §8): fault-injection schedules and replay,
+// per-case execution guards, panic containment with substrate rebuild,
+// case-boundary kernel hygiene, finding confirmation, and campaign
+// checkpoint/resume bit-identity.
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <cstdio>
+
+#include "src/core/checkpoint.h"
+#include "src/core/fuzzer.h"
+#include "src/core/structured_gen.h"
+#include "src/ebpf/insn.h"
+#include "src/kernel/coverage.h"
+#include "src/kernel/fault_inject.h"
+#include "src/runtime/bpf_syscall.h"
+
+namespace bvf {
+namespace {
+
+uint64_t OutcomeCount(const CampaignStats& stats, CaseOutcome outcome) {
+  const auto it = stats.outcomes.find(outcome);
+  return it == stats.outcomes.end() ? 0 : it->second;
+}
+
+uint64_t ExecErrnoCount(const CampaignStats& stats, int err) {
+  const auto it = stats.exec_errno.find(err);
+  return it == stats.exec_errno.end() ? 0 : it->second;
+}
+
+using bpf::BugConfig;
+using bpf::Coverage;
+using bpf::FaultConfig;
+using bpf::FaultInjector;
+using bpf::FaultLog;
+using bpf::FaultPoint;
+using bpf::KernelVersion;
+
+// ---- Fault injector semantics ----
+
+TEST(FaultInjectorTest, InactiveConfigNeverFails) {
+  FaultInjector injector(FaultConfig{}, 42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(injector.ShouldFail(FaultPoint::kKmalloc));
+  }
+  EXPECT_EQ(injector.total_failures(), 0u);
+  EXPECT_TRUE(injector.log().empty());
+}
+
+TEST(FaultInjectorTest, DeterministicForSeed) {
+  FaultConfig config;
+  config.probability = 0.3;
+  FaultInjector a(config, 7);
+  FaultInjector b(config, 7);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(a.ShouldFail(FaultPoint::kHelperCall), b.ShouldFail(FaultPoint::kHelperCall));
+  }
+  EXPECT_EQ(a.log().size(), b.log().size());
+  EXPECT_GT(a.total_failures(), 0u);
+}
+
+TEST(FaultInjectorTest, IntervalFiresEveryNth) {
+  FaultConfig config;
+  config.interval = 3;
+  FaultInjector injector(config, 1);
+  int failures = 0;
+  for (int i = 1; i <= 9; ++i) {
+    const bool failed = injector.ShouldFail(FaultPoint::kMapCreate);
+    EXPECT_EQ(failed, i % 3 == 0) << "call " << i;
+    failures += failed ? 1 : 0;
+  }
+  EXPECT_EQ(failures, 3);
+}
+
+TEST(FaultInjectorTest, SpaceSkipsInitialCallsAndTimesCaps) {
+  FaultConfig config;
+  config.interval = 1;  // would otherwise fail every call
+  config.space = 4;
+  config.times = 2;
+  FaultInjector injector(config, 1);
+  std::vector<bool> decisions;
+  for (int i = 0; i < 10; ++i) {
+    decisions.push_back(injector.ShouldFail(FaultPoint::kKmalloc));
+  }
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_FALSE(decisions[i]) << "space should protect call " << i + 1;
+  }
+  EXPECT_EQ(injector.total_failures(), 2u);  // capped by times
+}
+
+TEST(FaultInjectorTest, DisabledPointNeverFails) {
+  FaultConfig config;
+  config.interval = 1;
+  config.enabled[static_cast<int>(FaultPoint::kMapUpdate)] = false;
+  FaultInjector injector(config, 1);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(injector.ShouldFail(FaultPoint::kMapUpdate));
+  }
+  EXPECT_TRUE(injector.ShouldFail(FaultPoint::kMapCreate));
+}
+
+TEST(FaultInjectorTest, ReplayReproducesExactSchedule) {
+  FaultConfig config;
+  config.probability = 0.4;
+  FaultInjector original(config, 99);
+  std::vector<bool> decisions;
+  for (int i = 0; i < 200; ++i) {
+    decisions.push_back(original.ShouldFail(FaultPoint::kHelperCall));
+  }
+  ASSERT_GT(original.total_failures(), 0u);
+
+  FaultInjector replay = FaultInjector::Replay(original.log());
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(replay.ShouldFail(FaultPoint::kHelperCall), decisions[i]) << "call " << i + 1;
+  }
+  EXPECT_EQ(replay.total_failures(), original.total_failures());
+}
+
+TEST(FaultInjectorTest, FaultSeedIsIterationSensitive) {
+  EXPECT_NE(bpf::FaultSeed(1, 1), bpf::FaultSeed(1, 2));
+  EXPECT_NE(bpf::FaultSeed(1, 1), bpf::FaultSeed(2, 1));
+  EXPECT_EQ(bpf::FaultSeed(5, 17), bpf::FaultSeed(5, 17));
+}
+
+// ---- Fault points wired into the substrate ----
+
+TEST(FaultPointTest, AllocatorFailsUnderInjection) {
+  bpf::Kernel kernel(KernelVersion::kBpfNext, BugConfig::None());
+  FaultConfig config;
+  config.interval = 1;
+  FaultInjector injector(config, 1);
+  kernel.set_fault_injector(&injector);
+  EXPECT_EQ(kernel.alloc().Kmalloc(64, "test"), 0u);
+  EXPECT_EQ(kernel.alloc().Kvmalloc(64, "test"), 0u);
+  kernel.set_fault_injector(nullptr);
+  EXPECT_NE(kernel.alloc().Kmalloc(64, "test"), 0u);
+}
+
+TEST(FaultPointTest, MapCreateFailsUnderInjection) {
+  bpf::Kernel kernel(KernelVersion::kBpfNext, BugConfig::None());
+  bpf::Bpf bpf(kernel);
+  FaultConfig config;
+  config.interval = 1;
+  config.enabled[static_cast<int>(FaultPoint::kKmalloc)] = false;
+  config.enabled[static_cast<int>(FaultPoint::kKvmalloc)] = false;
+  FaultInjector injector(config, 1);
+  kernel.set_fault_injector(&injector);
+  EXPECT_EQ(bpf.MapCreate(bpf::MapDef{}), -ENOMEM);
+  kernel.set_fault_injector(nullptr);
+  EXPECT_GT(bpf.MapCreate(bpf::MapDef{}), 0);
+}
+
+// ---- Execution guards ----
+
+TEST(ExecGuardTest, StepBudgetClassifiesAsTimeout) {
+  CampaignOptions options;
+  options.iterations = 60;
+  options.seed = 5;
+  options.limits.step_budget = 4;  // nothing real finishes in four steps
+  StructuredGenerator generator(options.version);
+  Fuzzer fuzzer(generator, options);
+  const CampaignStats stats = fuzzer.Run();
+  EXPECT_GT(OutcomeCount(stats, CaseOutcome::kExecTimeout), 0u);
+  EXPECT_GT(ExecErrnoCount(stats, ELOOP), 0u);
+  EXPECT_GT(stats.exec_failures, 0u);
+}
+
+TEST(ExecGuardTest, ArenaBudgetClassifiesAsResourceExhausted) {
+  CampaignOptions options;
+  options.iterations = 40;
+  options.seed = 5;
+  options.arena_budget = 1;  // below even the execution-context allocation
+  StructuredGenerator generator(options.version);
+  Fuzzer fuzzer(generator, options);
+  const CampaignStats stats = fuzzer.Run();
+  EXPECT_GT(OutcomeCount(stats, CaseOutcome::kResourceExhausted), 0u);
+  EXPECT_GT(ExecErrnoCount(stats, ENOMEM), 0u);
+  // Allocation failure is a classified outcome, not a crash signature: the
+  // fixed kernel must stay finding-free even while starved.
+  EXPECT_TRUE(stats.findings.empty());
+}
+
+TEST(ExecGuardTest, BudgetTripsAreCounted) {
+  bpf::Kernel kernel(KernelVersion::kBpfNext, BugConfig::None());
+  kernel.arena().set_alloc_budget(kernel.arena().bytes_in_use() + 64);
+  EXPECT_NE(kernel.arena().Alloc(32, "fits"), 0u);
+  EXPECT_EQ(kernel.arena().Alloc(4096, "too big"), 0u);
+  EXPECT_GE(kernel.arena().budget_trips(), 1u);
+}
+
+// ---- Case-boundary hygiene (satellite: no cross-case state leaks) ----
+
+TEST(ResetCaseStateTest, RestoresBootSubstrate) {
+  bpf::Kernel kernel(KernelVersion::kBpfNext, BugConfig::None());
+  const size_t boot_bytes = kernel.arena().bytes_in_use();
+  const size_t boot_allocs = kernel.arena().live_allocations();
+
+  // Dirty every subsystem ResetCaseState must scrub.
+  bpf::Bpf bpf(kernel);
+  ASSERT_GT(bpf.MapCreate(bpf::MapDef{}), 0);
+  const uint64_t addr = kernel.arena().Alloc(128, "case junk");
+  ASSERT_NE(addr, 0u);
+  kernel.arena().Free(addr);  // parks metadata in the KASAN quarantine
+  EXPECT_GT(kernel.arena().quarantine_size(), 0u);
+  kernel.lockdep().Acquire(kernel.lock_rq(), bpf::LockContext::kNormal);
+  kernel.reports().Report(bpf::ReportKind::kWarn, "test", "leftover");
+  kernel.NextKtime();
+  kernel.NextPrandom();
+
+  kernel.ResetCaseState();
+
+  EXPECT_TRUE(kernel.reports().empty());
+  EXPECT_EQ(kernel.lockdep().depth(), 0u);
+  EXPECT_EQ(kernel.maps().maps().size(), 0u);
+  EXPECT_EQ(kernel.arena().bytes_in_use(), boot_bytes);
+  EXPECT_EQ(kernel.arena().live_allocations(), boot_allocs);
+  EXPECT_EQ(kernel.arena().quarantine_size(), 0u);
+
+  // Determinism: a rewound substrate hands out the same guest addresses a
+  // freshly booted one would (bump allocation restarts at the boot mark).
+  bpf::Kernel fresh(KernelVersion::kBpfNext, BugConfig::None());
+  EXPECT_EQ(kernel.arena().Alloc(64, "probe"), fresh.arena().Alloc(64, "probe"));
+}
+
+TEST(ResetCaseStateTest, LockdepUsageDoesNotLeakAcrossCases) {
+  bpf::Kernel kernel(KernelVersion::kBpfNext, BugConfig::None());
+  // Case 1 uses rq_lock in tracepoint context.
+  kernel.lockdep().Acquire(kernel.lock_rq(), bpf::LockContext::kTracepoint);
+  kernel.lockdep().Release(kernel.lock_rq());
+  EXPECT_TRUE(kernel.lockdep().UsedInTracepoint(kernel.lock_rq()));
+
+  kernel.ResetCaseState();
+
+  // Case 2 uses it in normal context: without the reset this pairing would
+  // (falsely) look like an inconsistent-lock-state report waiting to happen.
+  EXPECT_FALSE(kernel.lockdep().UsedInTracepoint(kernel.lock_rq()));
+  kernel.lockdep().Acquire(kernel.lock_rq(), bpf::LockContext::kNormal);
+  kernel.lockdep().Release(kernel.lock_rq());
+  EXPECT_TRUE(kernel.reports().empty());
+}
+
+// ---- Campaign-level robustness ----
+
+TEST(RobustCampaignTest, FaultCampaignOnFixedKernelStaysClean) {
+  CampaignOptions options;
+  options.iterations = 150;
+  options.seed = 13;
+  options.fault.probability = 0.2;
+  StructuredGenerator generator(options.version);
+  Fuzzer fuzzer(generator, options);
+  const CampaignStats stats = fuzzer.Run();
+
+  EXPECT_GT(stats.fault_injected, 0u);
+  // Injected failures surface as classified outcomes, never as findings: a
+  // fixed kernel under memory pressure is degraded, not buggy.
+  EXPECT_TRUE(stats.findings.empty());
+  uint64_t classified = 0;
+  for (const auto& [outcome, count] : stats.outcomes) {
+    if (outcome != CaseOutcome::kUnclassified) {
+      classified += count;
+    }
+  }
+  EXPECT_EQ(classified, stats.iterations);
+  EXPECT_EQ(stats.outcomes.count(CaseOutcome::kUnclassified), 0u);
+}
+
+TEST(RobustCampaignTest, FaultCampaignIsDeterministic) {
+  CampaignOptions options;
+  options.iterations = 120;
+  options.seed = 29;
+  options.bugs = BugConfig::All();
+  options.fault.probability = 0.15;
+  StructuredGenerator g1(options.version);
+  Fuzzer f1(g1, options);
+  const CampaignStats a = f1.Run();
+  StructuredGenerator g2(options.version);
+  Fuzzer f2(g2, options);
+  const CampaignStats b = f2.Run();
+  EXPECT_EQ(StatsDigest(a), StatsDigest(b));
+  EXPECT_GT(a.fault_injected, 0u);
+}
+
+TEST(RobustCampaignTest, PanicIsContainedAndCampaignCompletes) {
+  CampaignOptions options;
+  options.iterations = 400;
+  options.seed = 7;
+  options.bugs = BugConfig::All();  // includes bug #6, whose trigger panics
+  StructuredGenerator generator(options.version);
+  Fuzzer fuzzer(generator, options);
+  const CampaignStats stats = fuzzer.Run();
+
+  ASSERT_GT(stats.panics, 0u);
+  EXPECT_EQ(stats.substrate_rebuilds, stats.panics);
+  EXPECT_EQ(stats.iterations, options.iterations);  // ran to completion
+  EXPECT_EQ(OutcomeCount(stats, CaseOutcome::kPanic), stats.panics);
+  EXPECT_TRUE(stats.FoundBug(KnownBug::kBug6SendSignal));
+}
+
+TEST(RobustCampaignTest, SubstrateReuseMatchesFreshPerCase) {
+  CampaignOptions options;
+  options.iterations = 200;
+  options.seed = 77;
+  options.bugs = BugConfig::All();
+  StructuredGenerator g1(options.version);
+  Fuzzer f1(g1, options);
+  const CampaignStats reused = f1.Run();
+
+  options.reuse_substrate = false;
+  StructuredGenerator g2(options.version);
+  Fuzzer f2(g2, options);
+  const CampaignStats fresh = f2.Run();
+
+  EXPECT_EQ(StatsDigest(reused), StatsDigest(fresh));
+}
+
+// ---- Finding confirmation ----
+
+TEST(ConfirmationTest, InjectedBugFindingsAreDeterministic) {
+  CampaignOptions options;
+  options.iterations = 200;
+  options.seed = 7;
+  options.bugs = BugConfig::All();
+  options.confirm_runs = 3;
+  StructuredGenerator generator(options.version);
+  Fuzzer fuzzer(generator, options);
+  const CampaignStats stats = fuzzer.Run();
+
+  ASSERT_FALSE(stats.findings.empty());
+  for (const Finding& finding : stats.findings) {
+    EXPECT_EQ(finding.confirmation, Confirmation::kDeterministic) << finding.signature;
+    EXPECT_EQ(finding.confirm_hits, 3) << finding.signature;
+    EXPECT_EQ(finding.confirm_runs, 3) << finding.signature;
+  }
+}
+
+TEST(ConfirmationTest, FaultOnlyFindingClassifiedFaultDependent) {
+  // Bug #8 mishandles kmemdup failure; organically that needs a program past
+  // KMALLOC_MAX, but a kmalloc fault point makes every load hit the path.
+  // Clean re-execution cannot reproduce it; fault-log replay must.
+  CampaignOptions options;
+  options.iterations = 30;
+  options.seed = 3;
+  options.bugs.bug8_kmemdup = true;
+  options.fault.probability = 1.0;
+  options.fault.enabled = {};  // disarm everything...
+  options.fault.enabled[static_cast<int>(FaultPoint::kKmalloc)] = true;  // ...but kmalloc
+  options.confirm_runs = 2;
+  StructuredGenerator generator(options.version);
+  Fuzzer fuzzer(generator, options);
+  const CampaignStats stats = fuzzer.Run();
+
+  bool saw_fault_dependent = false;
+  for (const Finding& finding : stats.findings) {
+    if (finding.confirmation == Confirmation::kFaultDependent) {
+      saw_fault_dependent = true;
+      EXPECT_EQ(finding.confirm_runs, 4);  // 2 clean misses + 2 replay hits
+    }
+  }
+  EXPECT_TRUE(saw_fault_dependent);
+}
+
+// ---- Checkpoint / resume ----
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(CheckpointTest, RoundTripPreservesEverything) {
+  CampaignCheckpoint cp;
+  cp.next_iteration = 42;
+  cp.fingerprint = "00ff00ff00ff00ff";
+  cp.rng_state = {1ull, 0xffffffffffffffffull, 3ull, 0x8000000000000000ull};
+  cp.stats.tool = "bvf structured";
+  cp.stats.iterations = 41;
+  cp.stats.accepted = 30;
+  cp.stats.rejected = 11;
+  cp.stats.reject_errno[22] = 7;
+  cp.stats.exec_errno[12] = 2;
+  cp.stats.exec_failures = 2;
+  cp.stats.outcomes[CaseOutcome::kExecOk] = 28;
+  cp.stats.outcomes[CaseOutcome::kPanic] = 1;
+  cp.stats.panics = 1;
+  cp.stats.curve.push_back(CoveragePoint{10, 100});
+  Finding finding;
+  finding.kind = bpf::ReportKind::kKasanUseAfterFree;
+  finding.signature = "KASAN: uaf with\nnewline and \\backslash";
+  finding.details = "details";
+  finding.indicator = 2;
+  finding.triaged = KnownBug::kBug9BucketIteration;
+  finding.iteration = 17;
+  finding.confirmation = Confirmation::kFaultDependent;
+  finding.confirm_hits = 2;
+  finding.confirm_runs = 4;
+  cp.stats.findings.push_back(finding);
+  cp.stats.finding_signatures.insert(finding.signature);
+  FuzzCase fc;
+  fc.prog.type = bpf::ProgType::kXdp;
+  fc.prog.insns = {bpf::MovImm(bpf::kR0, -5), bpf::Exit()};
+  fc.maps.push_back(bpf::MapDef{bpf::MapType::kHash, 4, 16, 8});
+  fc.do_attach = true;
+  fc.events.push_back(bpf::TracepointId::kSysEnter);
+  cp.corpus.push_back(fc);
+  cp.coverage_keys = {"a.cc:10:0", "b.cc:20:3"};
+
+  const std::string path = TempPath("roundtrip.bvfcp");
+  ASSERT_EQ(SaveCheckpoint(path, cp), 0);
+  CampaignCheckpoint loaded;
+  std::string error;
+  ASSERT_EQ(LoadCheckpoint(path, &loaded, &error), 0) << error;
+
+  EXPECT_EQ(loaded.next_iteration, cp.next_iteration);
+  EXPECT_EQ(loaded.fingerprint, cp.fingerprint);
+  EXPECT_EQ(loaded.rng_state, cp.rng_state);
+  EXPECT_EQ(loaded.coverage_keys, cp.coverage_keys);
+  EXPECT_EQ(StatsDigest(loaded.stats), StatsDigest(cp.stats));
+  ASSERT_EQ(loaded.stats.findings.size(), 1u);
+  EXPECT_EQ(loaded.stats.findings[0].signature, finding.signature);
+  EXPECT_EQ(loaded.stats.findings[0].confirmation, Confirmation::kFaultDependent);
+  ASSERT_EQ(loaded.corpus.size(), 1u);
+  EXPECT_EQ(loaded.corpus[0].prog.insns.size(), 2u);
+  EXPECT_EQ(loaded.corpus[0].prog.insns[0].imm, -5);
+  EXPECT_EQ(loaded.corpus[0].prog.type, bpf::ProgType::kXdp);
+  ASSERT_EQ(loaded.corpus[0].maps.size(), 1u);
+  EXPECT_EQ(loaded.corpus[0].maps[0].value_size, 16u);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, LoadRejectsCorruptFile) {
+  const std::string path = TempPath("corrupt.bvfcp");
+  FILE* f = fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  fputs("not a checkpoint\n", f);
+  fclose(f);
+  CampaignCheckpoint cp;
+  std::string error;
+  EXPECT_LT(LoadCheckpoint(path, &cp, &error), 0);
+  EXPECT_FALSE(error.empty());
+  std::remove(path.c_str());
+}
+
+TEST(ResumeTest, ResumedCampaignIsBitIdenticalToStraightRun) {
+  CampaignOptions options;
+  options.iterations = 300;
+  options.seed = 7;
+  options.bugs = BugConfig::All();
+  options.fault.probability = 0.1;
+
+  StructuredGenerator g1(options.version);
+  Fuzzer straight(g1, options);
+  const CampaignStats full = straight.Run();
+
+  // Simulated mid-run kill at iteration 150, checkpointing along the way.
+  const std::string path = TempPath("resume.bvfcp");
+  CampaignOptions first_leg = options;
+  first_leg.stop_after = 150;
+  first_leg.checkpoint_path = path;
+  first_leg.checkpoint_every = 70;
+  StructuredGenerator g2(options.version);
+  Fuzzer interrupted(g2, first_leg);
+  const CampaignStats partial = interrupted.Run();
+  EXPECT_EQ(partial.iterations, 150u);
+
+  CampaignOptions second_leg = options;
+  second_leg.resume_path = path;
+  StructuredGenerator g3(options.version);
+  Fuzzer resumed(g3, second_leg);
+  const CampaignStats continued = resumed.Run();
+
+  EXPECT_TRUE(continued.resume_error.empty()) << continued.resume_error;
+  EXPECT_EQ(continued.resumed_from, 151u);
+  EXPECT_EQ(continued.iterations, 300u);
+  EXPECT_EQ(StatsDigest(continued), StatsDigest(full));
+  EXPECT_EQ(continued.findings.size(), full.findings.size());
+  EXPECT_EQ(continued.final_coverage, full.final_coverage);
+  std::remove(path.c_str());
+}
+
+TEST(ResumeTest, MismatchedOptionsAreRejected) {
+  CampaignOptions options;
+  options.iterations = 40;
+  options.seed = 11;
+  const std::string path = TempPath("mismatch.bvfcp");
+  options.checkpoint_path = path;
+  StructuredGenerator g1(options.version);
+  Fuzzer writer(g1, options);
+  writer.Run();
+
+  CampaignOptions other = options;
+  other.checkpoint_path.clear();
+  other.resume_path = path;
+  other.seed = 12;  // different campaign: fingerprint must not match
+  StructuredGenerator g2(options.version);
+  Fuzzer reader(g2, other);
+  const CampaignStats stats = reader.Run();
+  EXPECT_FALSE(stats.resume_error.empty());
+  EXPECT_EQ(stats.iterations, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(CoverageCheckpointTest, HitKeysRoundTripIncludingPending) {
+  Coverage& cov = Coverage::Get();
+  cov.ResetHits();
+
+  // Produce real coverage, then restore it onto a cleared hit set.
+  CampaignOptions options;
+  options.iterations = 30;
+  options.seed = 2;
+  StructuredGenerator generator(options.version);
+  Fuzzer fuzzer(generator, options);
+  fuzzer.Run();
+  const size_t covered = cov.hit_count();
+  ASSERT_GT(covered, 0u);
+  const std::vector<std::string> keys = cov.SerializeHitKeys();
+  EXPECT_EQ(keys.size(), covered);
+
+  cov.ResetHits();
+  EXPECT_EQ(cov.hit_count(), 0u);
+  cov.RestoreHitKeys(keys);
+  EXPECT_EQ(cov.hit_count(), covered);
+
+  // A key for a site this process never registered stays pending but still
+  // counts as covered (cross-process resume), and round-trips on re-save.
+  cov.ResetHits();
+  std::vector<std::string> with_pending = keys;
+  with_pending.push_back("not_a_real_file.cc:1:0");
+  cov.RestoreHitKeys(with_pending);
+  EXPECT_EQ(cov.hit_count(), covered + 1);
+  const std::vector<std::string> resaved = cov.SerializeHitKeys();
+  EXPECT_EQ(resaved.size(), covered + 1);
+
+  cov.ResetHits();  // leave the process-global clean for other tests
+}
+
+}  // namespace
+}  // namespace bvf
