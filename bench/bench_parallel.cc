@@ -1,0 +1,179 @@
+// Experiment: parallel sharded campaign engine throughput (DESIGN.md §9).
+//
+// Measures the same campaign (all bugs, faults off, structured generation,
+// verdict cache on) on the legacy serial engine and on the parallel engine at
+// jobs ∈ {1, 2, 4, 8}, reporting executions/sec, covered-branches/sec, and
+// the verdict-cache hit rate. Because the engine is bit-deterministic across
+// job counts, every parallel row is required to produce the same StatsDigest
+// — a throughput run that diverges is a correctness failure, not a perf data
+// point.
+//
+// Acceptance bars (enforced only where the host can express them):
+//   * jobs=1 parallel within 10% of the legacy serial engine (always checked:
+//     the sharded machinery may not tax a single-threaded campaign), and
+//   * ≥3x throughput at jobs=8 — checked only when the host actually has ≥8
+//     hardware threads; on smaller hosts the scaling rows are informational
+//     (a 1-core container cannot demonstrate parallel speedup).
+//
+// Results go to stdout as a table and to bench_parallel.json for tooling.
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+#include <thread>
+
+#include "bench/bench_util.h"
+#include "src/core/checkpoint.h"
+#include "src/core/parallel.h"
+
+namespace bvf {
+namespace {
+
+constexpr uint64_t kIterations = 2000;
+constexpr int kRepeats = 3;  // best-of to damp scheduler noise
+
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct RunResult {
+  double seconds = 0;
+  uint64_t exec_runs = 0;
+  size_t coverage = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  std::string digest;
+};
+
+CampaignOptions BenchOptions(int jobs) {
+  CampaignOptions options;
+  options.version = bpf::KernelVersion::kBpfNext;
+  options.bugs = bpf::BugConfig::All();
+  options.iterations = kIterations;
+  options.seed = 1;
+  options.jobs = jobs;
+  options.verdict_cache = true;
+  return options;
+}
+
+RunResult Measure(int jobs, bool serial_engine) {
+  const CampaignOptions options = BenchOptions(jobs);
+  RunResult best;
+  for (int repeat = 0; repeat < kRepeats; ++repeat) {
+    StructuredGenerator generator(options.version);
+    CampaignStats stats;
+    const double start = Now();
+    if (serial_engine) {
+      Fuzzer fuzzer(generator, options);
+      stats = fuzzer.Run();
+    } else {
+      ParallelFuzzer fuzzer(generator, options);
+      stats = fuzzer.Run();
+    }
+    const double seconds = Now() - start;
+    if (repeat == 0 || seconds < best.seconds) {
+      best.seconds = seconds;
+      best.exec_runs = stats.exec_runs;
+      best.coverage = stats.final_coverage;
+      best.cache_hits = stats.verdict_cache_hits;
+      best.cache_misses = stats.verdict_cache_misses;
+      best.digest = StatsDigest(stats);
+    }
+  }
+  return best;
+}
+
+double HitRate(const RunResult& r) {
+  const uint64_t total = r.cache_hits + r.cache_misses;
+  return total == 0 ? 0.0 : static_cast<double>(r.cache_hits) / static_cast<double>(total);
+}
+
+}  // namespace
+}  // namespace bvf
+
+int main() {
+  using namespace bvf;
+  const unsigned hw_threads = std::thread::hardware_concurrency();
+  PrintHeader("parallel sharded campaign engine: throughput and determinism");
+  printf("campaign: %" PRIu64 " iterations, all bugs, verdict cache on, best of %d runs\n",
+         kIterations, kRepeats);
+  printf("host: %u hardware threads\n\n", hw_threads);
+
+  const RunResult serial = Measure(1, /*serial_engine=*/true);
+  const int kJobs[] = {1, 2, 4, 8};
+  RunResult parallel[4];
+  for (int i = 0; i < 4; ++i) {
+    parallel[i] = Measure(kJobs[i], /*serial_engine=*/false);
+  }
+
+  printf("%-12s %9s %10s %10s %9s %8s\n", "engine", "seconds", "iters/s", "execs/s",
+         "cov/s", "hit%");
+  PrintRule(64);
+  printf("%-12s %9.3f %10.0f %10.0f %9.0f %7.1f%%\n", "serial", serial.seconds,
+         kIterations / serial.seconds, serial.exec_runs / serial.seconds,
+         serial.coverage / serial.seconds, 100 * HitRate(serial));
+  bool digests_match = true;
+  for (int i = 0; i < 4; ++i) {
+    char label[16];
+    snprintf(label, sizeof(label), "jobs=%d", kJobs[i]);
+    printf("%-12s %9.3f %10.0f %10.0f %9.0f %7.1f%%\n", label, parallel[i].seconds,
+           kIterations / parallel[i].seconds, parallel[i].exec_runs / parallel[i].seconds,
+           parallel[i].coverage / parallel[i].seconds, 100 * HitRate(parallel[i]));
+    digests_match = digests_match && parallel[i].digest == parallel[0].digest;
+  }
+
+  const double single_job_overhead =
+      100 * (parallel[0].seconds / serial.seconds - 1);
+  const double speedup8 = parallel[0].seconds / parallel[3].seconds;
+  printf("\nparallel digests identical across job counts: %s (%s)\n",
+         digests_match ? "yes" : "NO", parallel[0].digest.c_str());
+  printf("jobs=1 vs serial engine: %+.2f%% (acceptance bar < 10%%)\n", single_job_overhead);
+  printf("jobs=8 speedup over jobs=1: %.2fx (bar >= 3x, enforced only with >= 8 hw threads)\n",
+         speedup8);
+
+  FILE* json = fopen("bench_parallel.json", "w");
+  if (json) {
+    fprintf(json,
+            "{\n"
+            "  \"iterations\": %" PRIu64 ",\n"
+            "  \"repeats\": %d,\n"
+            "  \"hardware_threads\": %u,\n"
+            "  \"serial_seconds\": %.4f,\n"
+            "  \"serial_execs_per_sec\": %.1f,\n"
+            "  \"single_job_overhead_pct\": %.2f,\n"
+            "  \"jobs8_speedup\": %.3f,\n"
+            "  \"digests_match\": %s,\n"
+            "  \"stats_digest\": \"%s\",\n"
+            "  \"per_jobs\": [\n",
+            kIterations, kRepeats, hw_threads, serial.seconds,
+            serial.exec_runs / serial.seconds, single_job_overhead, speedup8,
+            digests_match ? "true" : "false", parallel[0].digest.c_str());
+    for (int i = 0; i < 4; ++i) {
+      fprintf(json,
+              "    {\"jobs\": %d, \"seconds\": %.4f, \"iters_per_sec\": %.1f, "
+              "\"execs_per_sec\": %.1f, \"coverage_per_sec\": %.1f, "
+              "\"cache_hit_rate\": %.4f}%s\n",
+              kJobs[i], parallel[i].seconds, kIterations / parallel[i].seconds,
+              parallel[i].exec_runs / parallel[i].seconds,
+              parallel[i].coverage / parallel[i].seconds, HitRate(parallel[i]),
+              i == 3 ? "" : ",");
+    }
+    fprintf(json, "  ]\n}\n");
+    fclose(json);
+    printf("wrote bench_parallel.json\n");
+  }
+
+  if (!digests_match) {
+    return 1;
+  }
+  if (single_job_overhead >= 10) {
+    return 1;
+  }
+  if (hw_threads >= 8 && speedup8 < 3) {
+    return 1;
+  }
+  return 0;
+}

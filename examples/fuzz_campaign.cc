@@ -6,7 +6,13 @@
 // Usage: fuzz_campaign [iterations] [seed] [--analysis]
 //          [--fault-rate=F] [--confirm-runs=K]
 //          [--checkpoint=PATH] [--checkpoint-every=N] [--resume=PATH]
-//          [--stop-after=N] [--smoke]
+//          [--stop-after=N] [--jobs=N] [--verdict-cache=on|off] [--smoke]
+//
+// Without --jobs the original serial engine runs. Any explicit --jobs=N
+// (including N=1) selects the parallel sharded engine (src/core/parallel.h),
+// whose results are bit-identical for every N — so a checkpoint written at
+// --jobs=8 resumes at --jobs=1. --verdict-cache=on enables the digest-keyed
+// verifier-verdict cache in either engine.
 //
 // With --analysis, the first finding's regenerated trigger is run through the
 // static-analysis passes: CFG dump, lints, liveness, and the per-instruction
@@ -15,8 +21,10 @@
 // With --smoke, the run acts as the robustness gate: it asserts that every
 // iteration landed in a classified outcome bucket and (when confirmation is
 // on) that every finding carries a confirmation verdict, then prints a
-// `campaign-digest` line usable for resume bit-identity comparison. Exits
-// non-zero on any violation.
+// `campaign-digest` line usable for resume bit-identity comparison. It also
+// runs two small embedded parallel campaigns (jobs=1 vs jobs=2) and asserts
+// their digests are identical — the job-count-invariance gate. Exits non-zero
+// on any violation.
 
 #include <cinttypes>
 #include <cstdio>
@@ -25,6 +33,7 @@
 
 #include "src/core/checkpoint.h"
 #include "src/core/fuzzer.h"
+#include "src/core/parallel.h"
 #include "src/core/repro.h"
 #include "src/core/structured_gen.h"
 
@@ -39,6 +48,9 @@ int main(int argc, char** argv) {
   uint64_t checkpoint_every = 0;
   const char* resume_path = nullptr;
   uint64_t stop_after = 0;
+  int jobs = 1;
+  bool jobs_given = false;  // explicit --jobs selects the parallel engine even at 1
+  bool verdict_cache = false;
   uint64_t positional[2] = {3000, 1};  // iterations, seed
   int npos = 0;
   for (int i = 1; i < argc; ++i) {
@@ -46,6 +58,11 @@ int main(int argc, char** argv) {
       analysis = true;
     } else if (strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (strncmp(argv[i], "--jobs=", 7) == 0) {
+      jobs = static_cast<int>(strtol(argv[i] + 7, nullptr, 10));
+      jobs_given = true;
+    } else if (strncmp(argv[i], "--verdict-cache=", 16) == 0) {
+      verdict_cache = strcmp(argv[i] + 16, "on") == 0;
     } else if (strncmp(argv[i], "--fault-rate=", 13) == 0) {
       fault_rate = strtod(argv[i] + 13, nullptr);
     } else if (strncmp(argv[i], "--confirm-runs=", 15) == 0) {
@@ -79,6 +96,8 @@ int main(int argc, char** argv) {
     options.resume_path = resume_path;
   }
   options.stop_after = stop_after;
+  options.jobs = jobs;
+  options.verdict_cache = verdict_cache;
 
   printf("BVF campaign: %" PRIu64 " programs against %s with %d injected bugs (seed %" PRIu64
          ")\n",
@@ -88,10 +107,25 @@ int main(int argc, char** argv) {
     printf("  fault injection: p=%.3f on %d kernel fault points\n",
            options.fault.probability, bpf::kNumFaultPoints);
   }
+  // Passing --jobs (even --jobs=1) opts into the parallel engine; this is what
+  // lets a checkpoint taken at --jobs=8 resume at --jobs=1 (serial and
+  // parallel checkpoints are intentionally incompatible — different RNG
+  // models — so the engines never mix).
+  const bool parallel_engine = jobs_given || jobs > 1;
+  if (parallel_engine) {
+    printf("  parallel engine: %d jobs, epoch length %" PRIu64 "\n", jobs,
+           options.epoch_len);
+  }
 
   StructuredGenerator generator(options.version);
-  Fuzzer fuzzer(generator, options);
-  const CampaignStats stats = fuzzer.Run();
+  CampaignStats stats;
+  if (parallel_engine) {
+    ParallelFuzzer fuzzer(generator, options);
+    stats = fuzzer.Run();
+  } else {
+    Fuzzer fuzzer(generator, options);
+    stats = fuzzer.Run();
+  }
 
   if (!stats.resume_error.empty()) {
     fprintf(stderr, "resume failed: %s\n", stats.resume_error.c_str());
@@ -111,6 +145,11 @@ int main(int argc, char** argv) {
   printf("  sanitizer:       %zu mem sites, %zu alu checks, %.2fx footprint\n",
          stats.sanitizer.mem_sites, stats.sanitizer.alu_sites, stats.sanitizer.Footprint());
   printf("  faults injected: %" PRIu64 "\n", stats.fault_injected);
+  if (verdict_cache) {
+    printf("  verdict cache:   %" PRIu64 " hits / %" PRIu64 " misses (%.1f%% hit rate)\n",
+           stats.verdict_cache_hits, stats.verdict_cache_misses,
+           100 * stats.VerdictCacheHitRate());
+  }
   printf("  panics contained:%" PRIu64 " (%" PRIu64 " substrate rebuilds)\n", stats.panics,
          stats.substrate_rebuilds);
   printf("  outcomes:\n");
@@ -158,6 +197,30 @@ int main(int argc, char** argv) {
                   finding.signature.c_str());
           ++failures;
         }
+      }
+    }
+    // Job-count-invariance gate: a small embedded parallel campaign must
+    // produce the same digest at jobs=1 and jobs=2.
+    {
+      CampaignOptions par = options;
+      par.iterations = 200;
+      par.stop_after = 0;
+      par.checkpoint_path.clear();
+      par.checkpoint_every = 0;
+      par.resume_path.clear();
+      std::string digests[2];
+      for (int j = 0; j < 2; ++j) {
+        par.jobs = j + 1;
+        StructuredGenerator par_gen(par.version);
+        ParallelFuzzer par_fuzzer(par_gen, par);
+        digests[j] = StatsDigest(par_fuzzer.Run());
+      }
+      if (digests[0] != digests[1]) {
+        fprintf(stderr, "SMOKE FAIL: parallel digest differs across job counts (%s vs %s)\n",
+                digests[0].c_str(), digests[1].c_str());
+        ++failures;
+      } else {
+        printf("parallel-invariance-digest %s\n", digests[0].c_str());
       }
     }
     printf("\ncampaign-digest %s\n", StatsDigest(stats).c_str());

@@ -22,6 +22,9 @@ class SyzkallerGenerator : public Generator {
   explicit SyzkallerGenerator(bpf::KernelVersion version) : version_(version) {}
   const char* name() const override { return "syzkaller"; }
   FuzzCase Generate(bpf::Rng& rng) override;
+  std::unique_ptr<Generator> Clone() const override {
+    return std::make_unique<SyzkallerGenerator>(version_);
+  }
 
  private:
   bpf::KernelVersion version_;
@@ -37,6 +40,9 @@ class BuzzerGenerator : public Generator {
     return mode_ == Mode::kAluJmp ? "buzzer" : "buzzer-random";
   }
   FuzzCase Generate(bpf::Rng& rng) override;
+  std::unique_ptr<Generator> Clone() const override {
+    return std::make_unique<BuzzerGenerator>(version_, mode_);
+  }
 
  private:
   bpf::KernelVersion version_;

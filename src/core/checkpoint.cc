@@ -333,6 +333,13 @@ std::string FingerprintOptions(const CampaignOptions& options, const std::string
   return Hex(Fnv1a(os.str()));
 }
 
+std::string ParallelFingerprint(const CampaignOptions& options, const std::string& tool) {
+  std::ostringstream os;
+  os << FingerprintOptions(options, tool) << " epoch=" << options.epoch_len
+     << " engine=parallel";
+  return Hex(Fnv1a(os.str()));
+}
+
 int SaveCheckpoint(const std::string& path, const CampaignCheckpoint& checkpoint) {
   const std::string tmp = path + ".tmp";
   {
@@ -351,6 +358,11 @@ int SaveCheckpoint(const std::string& path, const CampaignCheckpoint& checkpoint
     for (const std::string& key : checkpoint.coverage_keys) {
       os << "k " << Escape(key) << "\n";
     }
+    // Verdict-cache counters ride outside the SerializeStats body: they are
+    // resumable state but not part of the result digest (cache on/off must
+    // stay digest-comparable).
+    os << "vcache " << checkpoint.stats.verdict_cache_hits << " "
+       << checkpoint.stats.verdict_cache_misses << "\n";
     os << "end\n";
     os.flush();
     if (!os) {
@@ -397,6 +409,9 @@ int LoadCheckpoint(const std::string& path, CampaignCheckpoint* out, std::string
   for (uint64_t i = 0, n = reader.Count("coverage"); i < n && reader.ok(); ++i) {
     cp.coverage_keys.push_back(Unescape(reader.Line("k")));
   }
+  const std::vector<int64_t> vcache = reader.Fields("vcache", 2);
+  cp.stats.verdict_cache_hits = static_cast<uint64_t>(vcache[0]);
+  cp.stats.verdict_cache_misses = static_cast<uint64_t>(vcache[1]);
   reader.Line("end");
   if (!reader.ok()) {
     if (error != nullptr) {

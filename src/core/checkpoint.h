@@ -34,6 +34,15 @@ struct CampaignCheckpoint {
 // the point), and the checkpoint/resume paths themselves.
 std::string FingerprintOptions(const CampaignOptions& options, const std::string& tool);
 
+// Fingerprint for the parallel engine's checkpoints. Derived from
+// FingerprintOptions plus the epoch length (part of the parallel campaign's
+// semantics) and an engine tag (serial and parallel checkpoints are not
+// interchangeable: the serial engine's RNG stream has no meaning to the
+// parallel engine and vice versa). Deliberately excludes jobs — resuming an
+// 8-job campaign with 1 job is the point — and verdict_cache, which is
+// digest-invisible.
+std::string ParallelFingerprint(const CampaignOptions& options, const std::string& tool);
+
 // Returns 0 or a negative errno. The file appears atomically.
 int SaveCheckpoint(const std::string& path, const CampaignCheckpoint& checkpoint);
 

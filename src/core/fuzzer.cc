@@ -8,6 +8,7 @@
 #include "src/core/checkpoint.h"
 #include "src/kernel/coverage.h"
 #include "src/runtime/bpf_syscall.h"
+#include "src/runtime/verdict_cache.h"
 #include "src/sanitizer/asan_funcs.h"
 
 namespace bvf {
@@ -53,9 +54,45 @@ uint64_t CampaignStats::FoundAtIteration(KnownBug bug) const {
   return first;
 }
 
+void AccumulateInsnMix(const FuzzCase& the_case, CampaignStats& stats) {
+  for (const bpf::Insn& insn : the_case.prog.insns) {
+    ++stats.insns_total;
+    if (insn.IsAlu() || (insn.IsJmp() && !insn.IsCall() && !insn.IsExit())) {
+      ++stats.insns_alu_jmp;
+    } else if (insn.IsMemLoad() || insn.IsMemStore() || insn.IsAtomic() ||
+               insn.IsLdImm64()) {
+      ++stats.insns_mem;
+    } else if (insn.IsCall()) {
+      ++stats.insns_call;
+    }
+  }
+}
+
+void AccumulateCaseCounters(const CaseRunner::CaseResult& result, CampaignStats& stats) {
+  if (result.prog_fd < 0) {
+    ++stats.rejected;
+    ++stats.reject_errno[-result.prog_fd];
+  } else {
+    ++stats.accepted;
+  }
+  stats.exec_runs += result.exec_runs;
+  for (const int err : result.exec_errs) {
+    if (err != 0) {
+      ++stats.exec_failures;
+      ++stats.exec_errno[-err];
+    }
+  }
+  stats.fault_injected += result.faults_injected;
+  ++stats.outcomes[result.outcome];
+  if (result.panicked) {
+    ++stats.panics;
+    ++stats.substrate_rebuilds;
+  }
+}
+
 // One simulated machine. Rebuilt from scratch after a panic (the contained
 // analogue of a reboot); otherwise rewound between cases via ResetCaseState.
-struct Fuzzer::Substrate {
+struct CaseRunner::Substrate {
   bpf::Kernel kernel;
   bpf::Bpf bpf;
 
@@ -63,20 +100,28 @@ struct Fuzzer::Substrate {
       : kernel(options.version, options.bugs, options.arena_size), bpf(kernel) {}
 };
 
-Fuzzer::Fuzzer(Generator& generator, CampaignOptions options)
-    : generator_(generator), options_(std::move(options)) {}
+CaseRunner::CaseRunner(const CampaignOptions& options) : options_(options) {}
 
-Fuzzer::~Fuzzer() = default;
+CaseRunner::~CaseRunner() = default;
 
-Fuzzer::Substrate& Fuzzer::EnsureSubstrate() {
+void CaseRunner::set_verdict_shard(bpf::VerdictCacheShard* shard) {
+  verdict_shard_ = shard;
+  if (substrate_) {
+    substrate_->bpf.set_verdict_cache(verdict_shard_, &sanitizer_);
+  }
+}
+
+void CaseRunner::Teardown() { substrate_.reset(); }
+
+CaseRunner::Substrate& CaseRunner::EnsureSubstrate() {
   if (!substrate_) {
     substrate_ = std::make_unique<Substrate>(options_);
-    ConfigureSubstrate(*substrate_, &sanitizer_);
+    ConfigureSubstrate(*substrate_, &sanitizer_, /*campaign=*/true);
   }
   return *substrate_;
 }
 
-void Fuzzer::ConfigureSubstrate(Substrate& sub, Sanitizer* sanitizer) {
+void CaseRunner::ConfigureSubstrate(Substrate& sub, Sanitizer* sanitizer, bool campaign) {
   if (options_.sanitize) {
     bpf::BpfAsan::Register(sub.kernel);
     sub.bpf.set_instrument(sanitizer->Hook());
@@ -92,10 +137,15 @@ void Fuzzer::ConfigureSubstrate(Substrate& sub, Sanitizer* sanitizer) {
   }
   sub.kernel.arena().set_alloc_budget(options_.arena_budget);
   sub.bpf.set_exec_limits(options_.limits);
+  if (campaign && verdict_shard_ != nullptr) {
+    // Confirmation substrates stay uncached: a confirmation run must exercise
+    // the real verifier, and its stats are thrown away anyway.
+    sub.bpf.set_verdict_cache(verdict_shard_, &sanitizer_);
+  }
 }
 
-Fuzzer::DriveResult Fuzzer::DriveCase(Substrate& sub, const FuzzCase& the_case,
-                                      uint64_t iteration) {
+CaseRunner::DriveResult CaseRunner::DriveCase(Substrate& sub, const FuzzCase& the_case,
+                                              uint64_t iteration) {
   DriveResult result;
   bpf::Bpf& bpf = sub.bpf;
 
@@ -206,13 +256,63 @@ CaseOutcome ClassifyOutcome(bool panicked, int prog_fd, const std::vector<int>& 
 
 }  // namespace
 
-bool Fuzzer::ReproduceOnce(const FuzzCase& the_case, uint64_t iteration,
-                           const std::string& signature, const bpf::FaultLog* replay) {
+CaseRunner::CaseResult CaseRunner::RunOne(const FuzzCase& the_case, uint64_t iteration) {
+  Substrate& sub = EnsureSubstrate();
+  CaseResult result;
+
+  // Per-case fault schedule, seeded independently of the campaign RNG stream
+  // (FaultSeed mixes the campaign seed with the iteration), so fault decisions
+  // neither perturb generation nor drift across checkpoint/resume.
+  std::unique_ptr<bpf::FaultInjector> injector;
+  if (options_.fault.Active()) {
+    injector = std::make_unique<bpf::FaultInjector>(
+        options_.fault, bpf::FaultSeed(options_.seed, iteration));
+    sub.kernel.set_fault_injector(injector.get());
+  }
+  if (verdict_shard_ != nullptr) {
+    verdict_shard_->set_iteration(iteration);
+  }
+
+  const DriveResult drive = DriveCase(sub, the_case, iteration);
+  sub.kernel.set_fault_injector(nullptr);
+
+  result.prog_fd = drive.prog_fd;
+  result.exec_runs = drive.exec_runs;
+  result.exec_errs = drive.exec_errs;
+  if (injector != nullptr) {
+    result.faults_injected = injector->total_failures();
+  }
+
+  result.panicked = sub.kernel.reports().panicked();
+  result.outcome = ClassifyOutcome(result.panicked, drive.prog_fd, drive.exec_errs);
+
+  // Oracle: convert this case's reports into findings before the substrate is
+  // rewound (reports live on the kernel and do not survive the reset).
+  result.findings = ClassifyReports(sub.kernel.reports(), 0, iteration);
+  if (injector != nullptr && !result.findings.empty()) {
+    result.fault_log = injector->log();
+  }
+
+  // Panic containment: a panicked machine is dead — tear it down and let the
+  // next case boot a replacement. Otherwise rewind (or discard, when substrate
+  // reuse is off).
+  if (result.panicked) {
+    substrate_.reset();
+  } else if (options_.reuse_substrate) {
+    sub.bpf.ResetCaseState();
+  } else {
+    substrate_.reset();
+  }
+  return result;
+}
+
+bool CaseRunner::ReproduceOnce(const FuzzCase& the_case, uint64_t iteration,
+                               const std::string& signature, const bpf::FaultLog* replay) {
   // Confirmation runs on a throwaway substrate with a local sanitizer, so
   // they cannot disturb the campaign's substrate or instrumentation stats.
   Substrate sub(options_);
   Sanitizer confirm_sanitizer;
-  ConfigureSubstrate(sub, &confirm_sanitizer);
+  ConfigureSubstrate(sub, &confirm_sanitizer, /*campaign=*/false);
   bpf::FaultInjector injector =
       replay != nullptr ? bpf::FaultInjector::Replay(*replay)
                         : bpf::FaultInjector(bpf::FaultConfig{}, 0);
@@ -229,17 +329,16 @@ bool Fuzzer::ReproduceOnce(const FuzzCase& the_case, uint64_t iteration,
   return false;
 }
 
-void Fuzzer::ConfirmFinding(Finding& finding, const FuzzCase& the_case, uint64_t iteration,
-                            const bpf::FaultLog& fault_log) {
+void CaseRunner::ConfirmFinding(Finding& finding, const FuzzCase& the_case,
+                                uint64_t iteration, const bpf::FaultLog& fault_log) {
   const int k = options_.confirm_runs;
   if (k <= 0) {
     return;
   }
-  // Coverage is a process-global; confirmation re-executions must not feed
-  // the campaign's corpus-growth or curve accounting.
-  Coverage& cov = Coverage::Get();
-  const bool cov_was_enabled = cov.enabled();
-  cov.set_enabled(false);
+  // Coverage is process-global; confirmation re-executions must not feed the
+  // campaign's corpus-growth or curve accounting. In a worker thread this
+  // mutes the thread's sink; single-threaded it disables the global recorder.
+  bpf::ScopedCoverageSuppress suppress;
 
   int clean_hits = 0;
   for (int run = 0; run < k; ++run) {
@@ -264,85 +363,27 @@ void Fuzzer::ConfirmFinding(Finding& finding, const FuzzCase& the_case, uint64_t
     finding.confirm_hits = clean_hits;
     finding.confirm_runs = k;
   }
-
-  cov.set_enabled(cov_was_enabled);
 }
 
+Fuzzer::Fuzzer(Generator& generator, CampaignOptions options)
+    : generator_(generator), options_(std::move(options)) {}
+
+Fuzzer::~Fuzzer() = default;
+
 void Fuzzer::RunCase(FuzzCase& the_case, CampaignStats& stats, uint64_t iteration) {
-  Substrate& sub = EnsureSubstrate();
-
   // Instruction-mix statistics over the as-generated program.
-  for (const bpf::Insn& insn : the_case.prog.insns) {
-    ++stats.insns_total;
-    if (insn.IsAlu() || (insn.IsJmp() && !insn.IsCall() && !insn.IsExit())) {
-      ++stats.insns_alu_jmp;
-    } else if (insn.IsMemLoad() || insn.IsMemStore() || insn.IsAtomic() ||
-               insn.IsLdImm64()) {
-      ++stats.insns_mem;
-    } else if (insn.IsCall()) {
-      ++stats.insns_call;
-    }
-  }
+  AccumulateInsnMix(the_case, stats);
 
-  // Per-case fault schedule, seeded independently of the campaign RNG stream
-  // (FaultSeed mixes the campaign seed with the iteration), so fault decisions
-  // neither perturb generation nor drift across checkpoint/resume.
-  std::unique_ptr<bpf::FaultInjector> injector;
-  if (options_.fault.Active()) {
-    injector = std::make_unique<bpf::FaultInjector>(
-        options_.fault, bpf::FaultSeed(options_.seed, iteration));
-    sub.kernel.set_fault_injector(injector.get());
-  }
+  const CaseRunner::CaseResult result = runner_->RunOne(the_case, iteration);
+  AccumulateCaseCounters(result, stats);
 
-  const DriveResult result = DriveCase(sub, the_case, iteration);
-  sub.kernel.set_fault_injector(nullptr);
-
-  if (result.prog_fd < 0) {
-    ++stats.rejected;
-    ++stats.reject_errno[-result.prog_fd];
-  } else {
-    ++stats.accepted;
-  }
-  stats.exec_runs += result.exec_runs;
-  for (const int err : result.exec_errs) {
-    if (err != 0) {
-      ++stats.exec_failures;
-      ++stats.exec_errno[-err];
-    }
-  }
-  if (injector != nullptr) {
-    stats.fault_injected += injector->total_failures();
-  }
-
-  const bool panicked = sub.kernel.reports().panicked();
-  ++stats.outcomes[ClassifyOutcome(panicked, result.prog_fd, result.exec_errs)];
-  if (panicked) {
-    ++stats.panics;
-  }
-
-  // Oracle: convert this case's reports into deduped findings, confirming
-  // each new one before the substrate is rewound.
-  const bpf::FaultLog empty_log;
-  for (Finding& finding : ClassifyReports(sub.kernel.reports(), 0, iteration)) {
+  for (Finding finding : result.findings) {
     if (stats.finding_signatures.insert(finding.signature).second) {
       if (options_.confirm_runs > 0) {
-        ConfirmFinding(finding, the_case, iteration,
-                       injector != nullptr ? injector->log() : empty_log);
+        runner_->ConfirmFinding(finding, the_case, iteration, result.fault_log);
       }
       stats.findings.push_back(std::move(finding));
     }
-  }
-
-  // Panic containment: a panicked machine is dead — tear it down and let the
-  // next case boot a replacement. Otherwise rewind (or discard, when substrate
-  // reuse is off).
-  if (panicked) {
-    substrate_.reset();
-    ++stats.substrate_rebuilds;
-  } else if (options_.reuse_substrate) {
-    sub.bpf.ResetCaseState();
-  } else {
-    substrate_.reset();
   }
 }
 
@@ -350,9 +391,17 @@ CampaignStats Fuzzer::Run() {
   CampaignStats stats;
   stats.tool = generator_.name();
   stats.options = options_;
-  sanitizer_.ResetStats();
   corpus_.clear();
-  substrate_.reset();
+  runner_ = std::make_unique<CaseRunner>(options_);
+
+  // The serial engine can use the verdict cache in immediate mode: each
+  // iteration sees every earlier iteration's verdicts, and since a cache hit
+  // is digest-invisible this preserves the legacy campaign bit-for-bit.
+  bpf::VerdictCache cache;
+  bpf::VerdictCacheShard shard(cache, /*immediate=*/true);
+  if (options_.verdict_cache) {
+    runner_->set_verdict_shard(&shard);
+  }
 
   bpf::Rng rng(options_.seed);
   uint64_t start_iteration = 1;
@@ -378,7 +427,7 @@ CampaignStats Fuzzer::Run() {
     rng.RestoreState(cp.rng_state);
     Coverage::Get().ResetHits();
     Coverage::Get().RestoreHitKeys(cp.coverage_keys);
-    sanitizer_.RestoreStats(stats.sanitizer);
+    runner_->sanitizer().RestoreStats(stats.sanitizer);
     start_iteration = cp.next_iteration;
     stats.resumed_from = start_iteration;
   } else if (options_.reset_coverage) {
@@ -400,7 +449,7 @@ CampaignStats Fuzzer::Run() {
     cp.rng_state = rng.SaveState();
     cp.corpus = corpus_;
     cp.stats = stats;
-    cp.stats.sanitizer = sanitizer_.stats();
+    cp.stats.sanitizer = runner_->sanitizer().stats();
     cp.stats.final_coverage = Coverage::Get().hit_count();
     cp.coverage_keys = Coverage::Get().SerializeHitKeys();
     SaveCheckpoint(options_.checkpoint_path, cp);
@@ -418,6 +467,8 @@ CampaignStats Fuzzer::Run() {
     }
 
     RunCase(the_case, stats, i);
+    stats.verdict_cache_hits += shard.TakeHits();
+    stats.verdict_cache_misses += shard.TakeMisses();
 
     if (options_.coverage_feedback && Coverage::Get().NewSinceMark() > 0 &&
         corpus_.size() < 512) {
@@ -435,11 +486,11 @@ CampaignStats Fuzzer::Run() {
   }
 
   stats.final_coverage = Coverage::Get().hit_count();
-  stats.sanitizer = sanitizer_.stats();
+  stats.sanitizer = runner_->sanitizer().stats();
   if (!options_.checkpoint_path.empty()) {
     save_checkpoint(last_iteration + 1);
   }
-  substrate_.reset();
+  runner_.reset();
   return stats;
 }
 

@@ -2,6 +2,13 @@
 // load it through the (instrumented) verifier, execute and drive it, and
 // convert kernel reports into correctness-bug findings via the oracle.
 // Coverage feedback preserves interesting programs for mutation.
+//
+// Two engines share the per-case machinery (CaseRunner):
+//  * Fuzzer — the original single-threaded loop: one RNG stream threaded
+//    through all iterations, immediate corpus growth and coverage commits.
+//  * ParallelFuzzer (src/core/parallel.h) — sharded workers with
+//    iteration-derived seeds and epoch-barrier merges; bit-identical results
+//    for any job count.
 
 #ifndef SRC_CORE_FUZZER_H_
 #define SRC_CORE_FUZZER_H_
@@ -20,6 +27,10 @@
 #include "src/sanitizer/instrument.h"
 #include "src/verifier/bug_registry.h"
 #include "src/verifier/kernel_version.h"
+
+namespace bpf {
+class VerdictCacheShard;
+}  // namespace bpf
 
 namespace bvf {
 
@@ -60,7 +71,20 @@ struct CampaignOptions {
   // Deterministic simulated kill: stop after this absolute iteration
   // (0 = run to |iterations|). Checkpoint accounting stays identical to an
   // uninterrupted run, which is what makes resume bit-identity testable.
+  // The parallel engine rounds up to the end of the containing epoch.
   uint64_t stop_after = 0;
+
+  // -- Parallel engine (DESIGN.md §9; ParallelFuzzer only) --
+  // Worker threads. The result is bit-identical for every value ≥ 1.
+  int jobs = 1;
+  // Iterations per synchronization epoch: the grain at which coverage,
+  // corpus, findings, and the verdict cache merge. Part of the campaign's
+  // semantics (and fingerprint) — changing it changes results; changing
+  // |jobs| does not.
+  uint64_t epoch_len = 64;
+  // Digest-keyed verifier-verdict cache (src/runtime/verdict_cache.h).
+  // On/off is invisible in the StatsDigest; only the hit/miss counters move.
+  bool verdict_cache = false;
 };
 
 struct CoveragePoint {
@@ -101,6 +125,11 @@ struct CampaignStats {
   uint64_t substrate_rebuilds = 0; // teardown + reboot cycles after panics
   uint64_t fault_injected = 0;     // fault-point failures actually injected
 
+  // Verdict-cache accounting (deterministic for any job count, but excluded
+  // from StatsDigest so cache on/off campaigns stay digest-comparable).
+  uint64_t verdict_cache_hits = 0;
+  uint64_t verdict_cache_misses = 0;
+
   // Resume bookkeeping (not part of checkpoints or digests).
   uint64_t resumed_from = 0;       // first iteration executed after resume
   std::string resume_error;        // non-empty when --resume was rejected
@@ -127,17 +156,58 @@ struct CampaignStats {
                             : static_cast<double>(insns_alu_jmp) /
                                   static_cast<double>(insns_total);
   }
+  double VerdictCacheHitRate() const {
+    const uint64_t total = verdict_cache_hits + verdict_cache_misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(verdict_cache_hits) / static_cast<double>(total);
+  }
   bool FoundBug(KnownBug bug) const;
   // First iteration at which |bug| was observed; 0 when never found.
   uint64_t FoundAtIteration(KnownBug bug) const;
 };
 
-class Fuzzer {
+// One simulated machine plus the per-case drive/classify/confirm logic,
+// shared by both campaign engines. A CaseRunner is single-owner state: the
+// serial engine holds one, each parallel worker holds its own (substrates
+// are private; the only cross-runner state is the process-global Coverage
+// registry and the epoch-frozen verdict cache, both handled by their own
+// synchronization disciplines).
+class CaseRunner {
  public:
-  Fuzzer(Generator& generator, CampaignOptions options);
-  ~Fuzzer();
+  explicit CaseRunner(const CampaignOptions& options);
+  ~CaseRunner();
 
-  CampaignStats Run();
+  struct CaseResult {
+    int prog_fd = 0;
+    uint64_t exec_runs = 0;
+    std::vector<int> exec_errs;       // err of every execution, 0 included
+    CaseOutcome outcome = CaseOutcome::kUnclassified;
+    bool panicked = false;
+    uint64_t faults_injected = 0;
+    std::vector<Finding> findings;    // classified; dedup/confirm is the engine's job
+    bpf::FaultLog fault_log;          // recorded fault schedule (empty if faults off)
+  };
+
+  // Runs one case end-to-end: fault schedule from FaultSeed(seed, iteration),
+  // map setup + load + test runs + attach/XDP/batch drive, outcome
+  // classification, report→finding conversion, then the panic/reuse substrate
+  // policy. The substrate is boot-equivalent again when this returns.
+  CaseResult RunOne(const FuzzCase& the_case, uint64_t iteration);
+
+  // Finding confirmation: re-executes the originating case |confirm_runs|
+  // times on throwaway substrates, first clean, then (if clean runs don't
+  // reproduce) replaying the recorded fault schedule. Coverage recording is
+  // suppressed throughout. Sets finding.confirmation.
+  void ConfirmFinding(Finding& finding, const FuzzCase& the_case, uint64_t iteration,
+                      const bpf::FaultLog& fault_log);
+
+  Sanitizer& sanitizer() { return sanitizer_; }
+  // Binds a verdict-cache shard to this runner's campaign substrate (not to
+  // confirmation substrates: confirmation must exercise the real verifier).
+  void set_verdict_shard(bpf::VerdictCacheShard* shard);
+
+  // Drops the substrate (end of campaign).
+  void Teardown();
 
  private:
   // One simulated machine: kernel substrate + its bpf(2) facade. Torn down
@@ -148,31 +218,47 @@ class Fuzzer {
   struct DriveResult {
     int prog_fd = 0;
     uint64_t exec_runs = 0;
-    std::vector<int> exec_errs;  // err of every execution, 0 included
+    std::vector<int> exec_errs;
   };
 
   Substrate& EnsureSubstrate();
-  void ConfigureSubstrate(Substrate& sub, Sanitizer* sanitizer);
-  // Replays the exact RunCase driver sequence (map setup, test runs, attach,
+  void ConfigureSubstrate(Substrate& sub, Sanitizer* sanitizer, bool campaign);
+  // Replays the exact RunOne driver sequence (map setup, test runs, attach,
   // XDP, batched lookups) against |sub| with the case's iteration-derived
   // seeds. Shared by the campaign pass and finding confirmation.
   DriveResult DriveCase(Substrate& sub, const FuzzCase& the_case, uint64_t iteration);
-  void RunCase(FuzzCase& the_case, CampaignStats& stats, uint64_t iteration);
-
-  // Finding confirmation: re-executes the originating case |confirm_runs|
-  // times, first clean, then (if clean runs don't reproduce) replaying the
-  // recorded fault schedule. Sets finding.confirmation.
-  void ConfirmFinding(Finding& finding, const FuzzCase& the_case, uint64_t iteration,
-                      const bpf::FaultLog& fault_log);
   bool ReproduceOnce(const FuzzCase& the_case, uint64_t iteration,
                      const std::string& signature, const bpf::FaultLog* replay);
 
-  Generator& generator_;
-  CampaignOptions options_;
+  const CampaignOptions& options_;
   Sanitizer sanitizer_;
-  std::vector<FuzzCase> corpus_;
+  bpf::VerdictCacheShard* verdict_shard_ = nullptr;
   std::unique_ptr<Substrate> substrate_;
 };
+
+class Fuzzer {
+ public:
+  Fuzzer(Generator& generator, CampaignOptions options);
+  ~Fuzzer();
+
+  CampaignStats Run();
+
+ private:
+  void RunCase(FuzzCase& the_case, CampaignStats& stats, uint64_t iteration);
+
+  Generator& generator_;
+  CampaignOptions options_;
+  std::vector<FuzzCase> corpus_;
+  std::unique_ptr<CaseRunner> runner_;
+};
+
+// Folds one case's instruction-mix statistics into |stats| (shared by both
+// engines so the accounting cannot drift).
+void AccumulateInsnMix(const FuzzCase& the_case, CampaignStats& stats);
+
+// Folds a CaseResult's order-independent counters (accept/reject, errno
+// histograms, outcome buckets, panic/fault accounting) into |stats|.
+void AccumulateCaseCounters(const CaseRunner::CaseResult& result, CampaignStats& stats);
 
 }  // namespace bvf
 

@@ -6,6 +6,7 @@
 #define SRC_CORE_GENERATOR_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "src/ebpf/program.h"
@@ -37,6 +38,12 @@ class Generator {
   virtual FuzzCase Generate(bpf::Rng& rng) = 0;
   // Optional corpus mutation; default regenerates from scratch.
   virtual void Mutate(bpf::Rng& rng, FuzzCase& the_case) { the_case = Generate(rng); }
+  // Independent copy for a parallel worker. BVF generators are stateless
+  // between calls (all randomness flows through the Rng argument), so a clone
+  // is just a configuration copy. Returning nullptr (the default) tells the
+  // parallel engine the generator cannot be replicated; it then degrades to a
+  // single worker rather than sharing one generator across threads.
+  virtual std::unique_ptr<Generator> Clone() const { return nullptr; }
 };
 
 // Inserts |insn| at |pos| in the program, patching every branch and

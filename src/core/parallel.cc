@@ -1,0 +1,366 @@
+#include "src/core/parallel.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "src/core/checkpoint.h"
+#include "src/kernel/coverage.h"
+#include "src/runtime/verdict_cache.h"
+
+namespace bvf {
+
+using bpf::Coverage;
+
+namespace {
+
+// Everything one worker produced for one iteration that the barrier merge
+// has to order by iteration number. Pure counters do not need ordering and
+// travel separately (WorkerState::partial).
+struct CaseRecord {
+  uint64_t iteration = 0;
+  bool corpus_candidate = false;
+  FuzzCase the_case;              // stored only when corpus_candidate
+  std::vector<Finding> findings;  // already confirmed (see epoch rule below)
+};
+
+struct WorkerState {
+  std::unique_ptr<Generator> gen_owned;  // null for the prototype's worker
+  Generator* gen = nullptr;
+  std::unique_ptr<CaseRunner> runner;
+  std::unique_ptr<bpf::VerdictCacheShard> shard;
+  bpf::CoverageSink sink;
+  CampaignStats partial;           // order-independent counters, this epoch
+  std::vector<CaseRecord> records; // iteration-ascending (worker strides up)
+};
+
+// Sums the order-independent counter fields of |partial| into |into| and
+// clears |partial| for the next epoch. Findings/corpus/curve/coverage are
+// merged separately, in iteration order.
+void MergeCounters(CampaignStats& into, CampaignStats& partial) {
+  into.iterations += partial.iterations;
+  into.accepted += partial.accepted;
+  into.rejected += partial.rejected;
+  into.exec_runs += partial.exec_runs;
+  into.exec_failures += partial.exec_failures;
+  into.panics += partial.panics;
+  into.substrate_rebuilds += partial.substrate_rebuilds;
+  into.fault_injected += partial.fault_injected;
+  into.insns_total += partial.insns_total;
+  into.insns_alu_jmp += partial.insns_alu_jmp;
+  into.insns_mem += partial.insns_mem;
+  into.insns_call += partial.insns_call;
+  for (const auto& [err, count] : partial.reject_errno) {
+    into.reject_errno[err] += count;
+  }
+  for (const auto& [err, count] : partial.exec_errno) {
+    into.exec_errno[err] += count;
+  }
+  for (const auto& [outcome, count] : partial.outcomes) {
+    into.outcomes[outcome] += count;
+  }
+  partial = CampaignStats{};
+}
+
+}  // namespace
+
+ParallelFuzzer::ParallelFuzzer(Generator& generator, CampaignOptions options)
+    : generator_(generator), options_(std::move(options)) {}
+
+CampaignStats ParallelFuzzer::Run() {
+  CampaignStats stats;
+  stats.tool = generator_.name();
+  stats.options = options_;
+
+  const uint64_t epoch_len = std::max<uint64_t>(1, options_.epoch_len);
+  int jobs = std::max(1, options_.jobs);
+
+  // Worker 0 drives the prototype generator; every further worker needs an
+  // independent clone. No clone support → degrade to one worker (results are
+  // identical by construction, only throughput changes).
+  std::vector<std::unique_ptr<Generator>> clones;
+  for (int w = 1; w < jobs; ++w) {
+    std::unique_ptr<Generator> clone = generator_.Clone();
+    if (clone == nullptr) {
+      jobs = 1;
+      clones.clear();
+      break;
+    }
+    clones.push_back(std::move(clone));
+  }
+
+  const std::string fingerprint = ParallelFingerprint(options_, stats.tool);
+  std::vector<FuzzCase> corpus;
+  uint64_t start_iteration = 1;
+
+  if (!options_.resume_path.empty()) {
+    CampaignCheckpoint cp;
+    std::string error;
+    if (LoadCheckpoint(options_.resume_path, &cp, &error) != 0) {
+      stats.resume_error = error.empty() ? "checkpoint load failed" : error;
+      return stats;
+    }
+    if (cp.fingerprint != fingerprint) {
+      stats.resume_error =
+          "checkpoint fingerprint mismatch: the checkpoint was written by a "
+          "campaign with different options";
+      return stats;
+    }
+    stats = std::move(cp.stats);
+    stats.options = options_;
+    stats.tool = generator_.name();
+    corpus = std::move(cp.corpus);
+    Coverage::Get().ResetHits();
+    Coverage::Get().RestoreHitKeys(cp.coverage_keys);
+    start_iteration = cp.next_iteration;
+    stats.resumed_from = start_iteration;
+  } else if (options_.reset_coverage) {
+    Coverage::Get().ResetHits();
+  }
+
+  // Sanitizer counters restored from a checkpoint belong to work done by a
+  // previous process; each worker's sanitizer starts from zero and the
+  // barrier recomputes stats.sanitizer = base + Σ workers.
+  const SanitizerStats base_sanitizer = stats.sanitizer;
+
+  const uint64_t sample_every =
+      options_.coverage_points > 0
+          ? std::max<uint64_t>(1, options_.iterations / options_.coverage_points)
+          : 0;
+  // A simulated kill is quantized UP to the containing epoch's end: the
+  // parallel engine's state is only well-defined at barriers.
+  uint64_t last_iteration = options_.iterations;
+  if (options_.stop_after != 0 && options_.stop_after < last_iteration) {
+    last_iteration =
+        std::min(last_iteration, ((options_.stop_after - 1) / epoch_len + 1) * epoch_len);
+  }
+
+  bpf::VerdictCache cache;
+  std::vector<WorkerState> workers(static_cast<size_t>(jobs));
+  std::vector<bpf::VerdictCacheShard*> shards;
+  for (int w = 0; w < jobs; ++w) {
+    WorkerState& worker = workers[static_cast<size_t>(w)];
+    if (w == 0) {
+      worker.gen = &generator_;
+    } else {
+      worker.gen_owned = std::move(clones[static_cast<size_t>(w - 1)]);
+      worker.gen = worker.gen_owned.get();
+    }
+    worker.runner = std::make_unique<CaseRunner>(options_);
+    if (options_.verdict_cache) {
+      worker.shard = std::make_unique<bpf::VerdictCacheShard>(cache, /*immediate=*/false);
+      worker.runner->set_verdict_shard(worker.shard.get());
+      shards.push_back(worker.shard.get());
+    }
+  }
+
+  // Epoch-frozen snapshots the workers read; only the coordinator writes
+  // them, at barriers, while every worker is parked (the barrier mutex
+  // provides the happens-before edges).
+  const std::set<std::string>* frozen_sigs = &stats.finding_signatures;
+
+  std::mutex mu;
+  std::condition_variable cv_work;
+  std::condition_variable cv_done;
+  uint64_t generation = 0;
+  uint64_t epoch_start = 0;
+  uint64_t epoch_end = 0;
+  int done_count = 0;
+  bool shutdown = false;
+
+  const auto run_epoch = [&](WorkerState& worker, int index, uint64_t start, uint64_t end) {
+    std::set<std::string> local_sigs;  // signatures this worker saw this epoch
+    for (uint64_t i = start + static_cast<uint64_t>(index); i <= end;
+         i += static_cast<uint64_t>(jobs)) {
+      bpf::Rng rng(CaseSeed(options_.seed, i));
+      FuzzCase the_case;
+      if (options_.coverage_feedback && !corpus.empty() && rng.Chance(0.4)) {
+        the_case = rng.Pick(corpus);
+        worker.gen->Mutate(rng, the_case);
+      } else {
+        the_case = worker.gen->Generate(rng);
+      }
+
+      AccumulateInsnMix(the_case, worker.partial);
+      worker.sink.BeginCase();
+      const CaseRunner::CaseResult result = worker.runner->RunOne(the_case, i);
+      AccumulateCaseCounters(result, worker.partial);
+      ++worker.partial.iterations;
+
+      CaseRecord record;
+      record.iteration = i;
+      for (const Finding& found : result.findings) {
+        // Confirm iff the signature was unknown at epoch start AND this is
+        // the worker's first local occurrence this epoch. The merge keeps the
+        // globally earliest occurrence per signature, and the globally
+        // earliest is always its worker's first local occurrence — so every
+        // finding the merge keeps carries a confirmation, for any job count.
+        if (frozen_sigs->count(found.signature) == 0 &&
+            local_sigs.insert(found.signature).second) {
+          Finding finding = found;
+          if (options_.confirm_runs > 0) {
+            worker.runner->ConfirmFinding(finding, the_case, i, result.fault_log);
+          }
+          record.findings.push_back(std::move(finding));
+        }
+      }
+      if (options_.coverage_feedback && worker.sink.NewSinceCase() > 0) {
+        record.corpus_candidate = true;
+        record.the_case = the_case;
+      }
+      if (record.corpus_candidate || !record.findings.empty()) {
+        worker.records.push_back(std::move(record));
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(jobs));
+  for (int w = 0; w < jobs; ++w) {
+    threads.emplace_back([&, w] {
+      WorkerState& worker = workers[static_cast<size_t>(w)];
+      Coverage::InstallThreadSink(&worker.sink);
+      uint64_t seen_generation = 0;
+      for (;;) {
+        uint64_t start = 0;
+        uint64_t end = 0;
+        {
+          std::unique_lock<std::mutex> lock(mu);
+          cv_work.wait(lock,
+                       [&] { return shutdown || generation != seen_generation; });
+          if (shutdown) {
+            break;
+          }
+          seen_generation = generation;
+          start = epoch_start;
+          end = epoch_end;
+        }
+        run_epoch(worker, w, start, end);
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          if (++done_count == jobs) {
+            cv_done.notify_one();
+          }
+        }
+      }
+      Coverage::InstallThreadSink(nullptr);
+    });
+  }
+
+  const auto save_checkpoint = [&](uint64_t next_iteration) {
+    CampaignCheckpoint cp;
+    cp.next_iteration = next_iteration;
+    cp.fingerprint = fingerprint;
+    cp.rng_state = {};  // per-iteration seeds; there is no stream position
+    cp.corpus = corpus;
+    cp.stats = stats;
+    cp.stats.final_coverage = Coverage::Get().hit_count();
+    cp.coverage_keys = Coverage::Get().SerializeHitKeys();
+    SaveCheckpoint(options_.checkpoint_path, cp);
+  };
+
+  uint64_t next = start_iteration;
+  while (next <= last_iteration) {
+    const uint64_t end =
+        std::min(last_iteration, ((next - 1) / epoch_len + 1) * epoch_len);
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      epoch_start = next;
+      epoch_end = end;
+      done_count = 0;
+      ++generation;
+    }
+    cv_work.notify_all();
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      cv_done.wait(lock, [&] { return done_count == jobs; });
+    }
+
+    // ---- Barrier merge (workers parked) ----
+    // 1. Order-independent counters.
+    for (WorkerState& worker : workers) {
+      MergeCounters(stats, worker.partial);
+    }
+    // 2. Coverage: union each worker's epoch delta into the committed set.
+    for (WorkerState& worker : workers) {
+      Coverage::Get().Commit(worker.sink);
+    }
+    // 3. Verdict cache: commit pending inserts in iteration order (the
+    //    entry-cap cutoff must not depend on the sharding) and fold counters.
+    if (options_.verdict_cache) {
+      cache.CommitShards(shards);
+      for (WorkerState& worker : workers) {
+        stats.verdict_cache_hits += worker.shard->TakeHits();
+        stats.verdict_cache_misses += worker.shard->TakeMisses();
+      }
+    }
+    // 4. Findings and corpus growth, in iteration order across all workers.
+    {
+      std::vector<CaseRecord*> merged;
+      for (WorkerState& worker : workers) {
+        for (CaseRecord& record : worker.records) {
+          merged.push_back(&record);
+        }
+      }
+      std::sort(merged.begin(), merged.end(), [](const CaseRecord* a, const CaseRecord* b) {
+        return a->iteration < b->iteration;
+      });
+      for (CaseRecord* record : merged) {
+        for (Finding& finding : record->findings) {
+          if (stats.finding_signatures.insert(finding.signature).second) {
+            stats.findings.push_back(std::move(finding));
+          }
+        }
+        if (record->corpus_candidate && corpus.size() < 512) {
+          corpus.push_back(std::move(record->the_case));
+        }
+      }
+      for (WorkerState& worker : workers) {
+        worker.records.clear();
+      }
+    }
+    // 5. Coverage curve, epoch-quantized: every sample point inside this
+    //    epoch reports the committed count after the epoch's merge.
+    if (sample_every != 0) {
+      const size_t covered = Coverage::Get().hit_count();
+      for (uint64_t m = ((next + sample_every - 1) / sample_every) * sample_every;
+           m <= end; m += sample_every) {
+        stats.curve.push_back(CoveragePoint{m, covered});
+      }
+    }
+    // 6. Sanitizer totals: checkpoint base plus every worker's cumulative
+    //    counters (workers never reset; sums are order-independent).
+    stats.sanitizer = base_sanitizer;
+    for (WorkerState& worker : workers) {
+      stats.sanitizer.Add(worker.runner->sanitizer().stats());
+    }
+
+    if (!options_.checkpoint_path.empty() && options_.checkpoint_every != 0 &&
+        end != last_iteration &&
+        end / options_.checkpoint_every > (next - 1) / options_.checkpoint_every) {
+      save_checkpoint(end + 1);
+    }
+    next = end + 1;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    shutdown = true;
+  }
+  cv_work.notify_all();
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+
+  stats.final_coverage = Coverage::Get().hit_count();
+  if (!options_.checkpoint_path.empty()) {
+    save_checkpoint(last_iteration + 1);
+  }
+  return stats;
+}
+
+}  // namespace bvf

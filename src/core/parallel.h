@@ -1,0 +1,63 @@
+// Parallel sharded campaign engine (DESIGN.md §9).
+//
+// The legacy Fuzzer threads one RNG stream through every iteration, so each
+// case's randomness depends on everything that ran before it — inherently
+// serial. ParallelFuzzer replaces that with per-iteration seeds
+// (CaseSeed(campaign_seed, i), the same construction FaultSeed already uses)
+// and partitions iterations across worker threads in fixed epochs:
+//
+//   epoch e = iterations (e*epoch_len, (e+1)*epoch_len]   (absolute numbers)
+//   iteration i in an epoch starting at s runs on worker (i - s) % jobs
+//
+// Within an epoch every worker sees the same frozen snapshots — the committed
+// coverage set, the corpus, the campaign's finding-signature set, and the
+// committed verdict cache — and buffers everything it produces. At the epoch
+// barrier the coordinator merges worker output in iteration order. Because
+// per-case decisions depend only on (campaign seed, iteration number, frozen
+// snapshots) and merges are iteration-ordered, the campaign's findings,
+// outcome histograms, coverage set, corpus, and final StatsDigest are
+// bit-identical for every jobs value ≥ 1.
+//
+// Checkpoints are written at epoch barriers only, tagged with a
+// parallel-specific fingerprint: an 8-job campaign's checkpoint resumes
+// bit-identically under any other job count (including 1).
+
+#ifndef SRC_CORE_PARALLEL_H_
+#define SRC_CORE_PARALLEL_H_
+
+#include <cstdint>
+
+#include "src/core/fuzzer.h"
+
+namespace bvf {
+
+// Per-iteration RNG seed: a splitmix64-style mix of the campaign seed and the
+// absolute iteration number. Deliberately a different stream than
+// bpf::FaultSeed (different pre-mix constants), so a case's generation
+// randomness and its fault schedule stay decorrelated.
+inline uint64_t CaseSeed(uint64_t campaign_seed, uint64_t iteration) {
+  uint64_t z = (campaign_seed ^ 0x6a09e667f3bcc909ull) +
+               iteration * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+class ParallelFuzzer {
+ public:
+  // |generator| is the prototype: with jobs > 1 each extra worker runs
+  // Generator::Clone() of it. A generator that cannot clone degrades the
+  // campaign to one worker (results are identical either way; that is the
+  // engine's whole invariant).
+  ParallelFuzzer(Generator& generator, CampaignOptions options);
+
+  CampaignStats Run();
+
+ private:
+  Generator& generator_;
+  CampaignOptions options_;
+};
+
+}  // namespace bvf
+
+#endif  // SRC_CORE_PARALLEL_H_

@@ -44,6 +44,9 @@ class StructuredGenerator : public Generator {
   const char* name() const override { return "bvf"; }
   FuzzCase Generate(bpf::Rng& rng) override;
   void Mutate(bpf::Rng& rng, FuzzCase& the_case) override;
+  std::unique_ptr<Generator> Clone() const override {
+    return std::make_unique<StructuredGenerator>(version_, options_);
+  }
 
  private:
   FuzzCase GenerateOnce(bpf::Rng& rng);

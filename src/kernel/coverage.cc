@@ -1,54 +1,121 @@
 #include "src/kernel/coverage.h"
 
-#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 
 namespace bpf {
+
+thread_local CoverageSink* Coverage::tls_sink_ = nullptr;
+
+CoverageSink::CoverageSink()
+    : case_hit_(Coverage::kMaxSites, 0), epoch_hit_(Coverage::kMaxSites, 0) {}
+
+void CoverageSink::BeginCase() {
+  for (const int site : case_marks_) {
+    case_hit_[site] = 0;
+  }
+  case_marks_.clear();
+  new_since_case_ = 0;
+}
+
+void CoverageSink::ClearEpoch() {
+  for (const int site : epoch_sites_) {
+    epoch_hit_[site] = 0;
+  }
+  epoch_sites_.clear();
+}
+
+void CoverageSink::Record(int site, const Coverage& cov) {
+  if (muted_) {
+    return;
+  }
+  ++trace_len_;
+  if (!case_hit_[site]) {
+    case_hit_[site] = 1;
+    case_marks_.push_back(site);
+    if (!cov.Committed(site)) {
+      ++new_since_case_;
+    }
+  }
+  if (!epoch_hit_[site]) {
+    epoch_hit_[site] = 1;
+    epoch_sites_.push_back(site);
+  }
+}
 
 Coverage& Coverage::Get() {
   static Coverage instance;
   return instance;
 }
 
+Coverage::Coverage() : hit_(new std::atomic<uint8_t>[kMaxSites]()) {}
+
 std::string Coverage::SiteKey(const Site& site) {
   return std::string(site.file) + ":" + std::to_string(site.line) + ":" +
          std::to_string(site.idx);
 }
 
+CoverageSink* Coverage::InstallThreadSink(CoverageSink* sink) {
+  CoverageSink* previous = tls_sink_;
+  tls_sink_ = sink;
+  return previous;
+}
+
 int Coverage::RegisterSite(const char* file, int line) {
-  sites_.push_back(Site{file, line, 0});
-  hit_.push_back(0);
-  const int id = static_cast<int>(sites_.size()) - 1;
-  if (!pending_.empty() && pending_.erase(SiteKey(sites_.back())) > 0) {
-    // Already counted toward hit_count_ at restore time; just materialize.
-    hit_[id] = 1;
-  }
-  return id;
+  return RegisterGroup(file, line, 1);
 }
 
 int Coverage::RegisterGroup(const char* file, int line, int count) {
-  const int base = static_cast<int>(sites_.size());
+  std::lock_guard<std::mutex> lock(mu_);
+  const size_t base = sites_.size();
+  if (base + static_cast<size_t>(count) > kMaxSites) {
+    std::fprintf(stderr, "coverage: site registry overflow (%zu + %d > %zu)\n", base,
+                 count, kMaxSites);
+    std::abort();
+  }
   for (int i = 0; i < count; ++i) {
     sites_.push_back(Site{file, line, i});
-    hit_.push_back(0);
+    const size_t id = base + static_cast<size_t>(i);
     if (!pending_.empty() && pending_.erase(SiteKey(sites_.back())) > 0) {
-      hit_[base + i] = 1;
+      // Already counted toward hit_count_ at restore time; just materialize.
+      hit_[id].store(1, std::memory_order_relaxed);
     }
   }
-  return base;
+  site_count_.store(sites_.size(), std::memory_order_release);
+  return static_cast<int>(base);
 }
 
 void Coverage::ResetHits() {
-  std::fill(hit_.begin(), hit_.end(), 0);
+  std::lock_guard<std::mutex> lock(mu_);
+  const size_t n = sites_.size();
+  for (size_t i = 0; i < n; ++i) {
+    hit_[i].store(0, std::memory_order_relaxed);
+  }
   pending_.clear();
-  hit_count_ = 0;
-  new_since_mark_ = 0;
-  run_trace_len_ = 0;
+  hit_count_.store(0, std::memory_order_relaxed);
+  new_since_mark_.store(0, std::memory_order_relaxed);
+  run_trace_len_.store(0, std::memory_order_relaxed);
+}
+
+size_t Coverage::Commit(CoverageSink& sink) {
+  size_t newly = 0;
+  for (const int site : sink.epoch_sites()) {
+    if (hit_[site].exchange(1, std::memory_order_relaxed) == 0) {
+      ++newly;
+    }
+  }
+  hit_count_.fetch_add(newly, std::memory_order_relaxed);
+  run_trace_len_.fetch_add(sink.trace_len_, std::memory_order_relaxed);
+  sink.trace_len_ = 0;
+  sink.ClearEpoch();
+  return newly;
 }
 
 std::vector<std::string> Coverage::SerializeHitKeys() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> keys;
   for (size_t i = 0; i < sites_.size(); ++i) {
-    if (hit_[i]) {
+    if (hit_[i].load(std::memory_order_relaxed)) {
       keys.push_back(SiteKey(sites_[i]));
     }
   }
@@ -59,29 +126,50 @@ std::vector<std::string> Coverage::SerializeHitKeys() const {
 }
 
 void Coverage::RestoreHitKeys(const std::vector<std::string>& keys) {
+  std::lock_guard<std::mutex> lock(mu_);
   // Every distinct restored key is part of the campaign's covered set and
   // counts immediately — including keys for sites this process has not
   // registered yet (those stay pending and are materialized, without
   // recounting, the moment their code first runs).
   std::set<std::string> wanted(keys.begin(), keys.end());
+  size_t restored = 0;
   for (size_t i = 0; i < sites_.size() && !wanted.empty(); ++i) {
-    if (wanted.erase(SiteKey(sites_[i])) > 0 && !hit_[i]) {
-      hit_[i] = 1;
-      ++hit_count_;
+    if (wanted.erase(SiteKey(sites_[i])) > 0 &&
+        hit_[i].exchange(1, std::memory_order_relaxed) == 0) {
+      ++restored;
     }
   }
-  hit_count_ += wanted.size();
+  hit_count_.fetch_add(restored + wanted.size(), std::memory_order_relaxed);
   pending_.insert(wanted.begin(), wanted.end());
 }
 
 std::vector<std::string> Coverage::CoveredSites() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> out;
   for (size_t i = 0; i < sites_.size(); ++i) {
-    if (hit_[i]) {
+    if (hit_[i].load(std::memory_order_relaxed)) {
       out.push_back(std::string(sites_[i].file) + ":" + std::to_string(sites_[i].line));
     }
   }
   return out;
+}
+
+ScopedCoverageSuppress::ScopedCoverageSuppress() : sink_(Coverage::ThreadSink()) {
+  if (sink_ != nullptr) {
+    sink_was_muted_ = sink_->muted();
+    sink_->set_muted(true);
+  } else {
+    global_was_enabled_ = Coverage::Get().enabled();
+    Coverage::Get().set_enabled(false);
+  }
+}
+
+ScopedCoverageSuppress::~ScopedCoverageSuppress() {
+  if (sink_ != nullptr) {
+    sink_->set_muted(sink_was_muted_);
+  } else {
+    Coverage::Get().set_enabled(global_was_enabled_);
+  }
 }
 
 }  // namespace bpf

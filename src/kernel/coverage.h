@@ -9,23 +9,89 @@
 // The registry is process-global, mirroring kcov: coverage belongs to the
 // "machine", not to a kernel object. Reset() clears hit state between
 // campaigns; registered sites persist (they are code locations).
+//
+// Threading model (DESIGN.md §9). Registration is mutex-guarded and hit
+// storage is a fixed-capacity array of atomics, so instrumented code may run
+// on any number of threads. Two hit-recording modes exist:
+//
+//  * Global mode (default, no sink installed on the thread): Hit() commits
+//    straight into the process-global hit set. This is the single-threaded
+//    campaign / test path; hit_count(), MarkRun()/NewSinceMark() behave as
+//    they always have.
+//  * Buffered mode: a worker thread installs a CoverageSink; its hits are
+//    recorded privately (per-case marks + an epoch delta) and only merged
+//    into the global committed set at a synchronization barrier via
+//    Commit(). Between barriers the committed set is frozen, which is what
+//    makes per-case novelty (NewSinceCase) independent of how iterations are
+//    sharded across workers.
 
 #ifndef SRC_KERNEL_COVERAGE_H_
 #define SRC_KERNEL_COVERAGE_H_
 
+#include <atomic>
 #include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
 
 namespace bpf {
 
+class Coverage;
+
+// Per-worker hit buffer for the parallel campaign engine. Owned by exactly
+// one thread; installed with Coverage::InstallThreadSink(). All methods are
+// called by the owning thread only, except epoch_sites()/ClearEpoch() which
+// the merge coordinator calls while the owner is parked at a barrier.
+class CoverageSink {
+ public:
+  CoverageSink();
+
+  // Per-case feedback: forget case-local marks; NewSinceCase() then counts
+  // distinct sites this case hits that are absent from the global committed
+  // set (frozen between barriers).
+  void BeginCase();
+  size_t NewSinceCase() const { return new_since_case_; }
+
+  // Suppress recording entirely (finding-confirmation re-executions must not
+  // feed campaign feedback), mirroring Coverage::set_enabled for the
+  // single-threaded path.
+  void set_muted(bool muted) { muted_ = muted; }
+  bool muted() const { return muted_; }
+
+  // Distinct sites hit since the last ClearEpoch(), in first-hit order.
+  const std::vector<int>& epoch_sites() const { return epoch_sites_; }
+  void ClearEpoch();
+
+  size_t trace_len() const { return trace_len_; }
+
+ private:
+  friend class Coverage;
+  void Record(int site, const Coverage& cov);
+
+  std::vector<uint8_t> case_hit_;   // sites hit by the current case
+  std::vector<int> case_marks_;     // for O(case) reset
+  std::vector<uint8_t> epoch_hit_;  // sites hit since the last barrier
+  std::vector<int> epoch_sites_;
+  size_t new_since_case_ = 0;
+  size_t trace_len_ = 0;
+  bool muted_ = false;
+};
+
 class Coverage {
  public:
+  // Hard capacity of the site registry. Instrumentation sites are static code
+  // locations (a few thousand in this tree); the fixed bound is what lets
+  // Hit() be a lock-free array index even while other threads register.
+  static constexpr size_t kMaxSites = 1 << 16;
+
   static Coverage& Get();
 
   // Registers a static code site; returns its id. Idempotent per call site via
-  // the static-local in BVF_COV().
+  // the static-local in BVF_COV(). Thread-safe (mutex-guarded); the C++ magic
+  // static in the macro serializes first-executions of one call site.
   int RegisterSite(const char* file, int line);
 
   // Registers |count| contiguous sites for an indexed decision (a switch over
@@ -33,21 +99,43 @@ class Coverage {
   int RegisterGroup(const char* file, int line, int count);
 
   void Hit(int site) {
-    if (!enabled_) {
+    if (!enabled_.load(std::memory_order_relaxed)) {
       return;
     }
-    if (!hit_[site]) {
-      hit_[site] = 1;
-      ++hit_count_;
-      ++new_since_mark_;
+    CoverageSink* sink = tls_sink_;
+    if (sink != nullptr) {
+      sink->Record(site, *this);
+      return;
     }
-    ++run_trace_len_;
+    // Global mode. exchange() keeps the distinct-hit accounting exact even if
+    // legacy-mode code races on one site (each site increments hit_count_
+    // exactly once).
+    if (hit_[site].exchange(1, std::memory_order_relaxed) == 0) {
+      hit_count_.fetch_add(1, std::memory_order_relaxed);
+      new_since_mark_.fetch_add(1, std::memory_order_relaxed);
+    }
+    run_trace_len_.fetch_add(1, std::memory_order_relaxed);
   }
 
-  // Campaign control.
+  // True when |site| is in the committed global hit set. Frozen between
+  // barriers while sinks are active, which is what sink novelty tests rely on.
+  bool Committed(int site) const { return hit_[site].load(std::memory_order_relaxed) != 0; }
+
+  // Campaign control (global mode).
   void ResetHits();
-  void MarkRun() { new_since_mark_ = 0; }             // call before each execution
-  size_t NewSinceMark() const { return new_since_mark_; }  // new sites since MarkRun
+  void MarkRun() { new_since_mark_.store(0, std::memory_order_relaxed); }
+  size_t NewSinceMark() const { return new_since_mark_.load(std::memory_order_relaxed); }
+
+  // -- Parallel campaign support --
+  // Installs |sink| as the calling thread's hit buffer (nullptr restores
+  // global mode); returns the previously installed sink.
+  static CoverageSink* InstallThreadSink(CoverageSink* sink);
+  static CoverageSink* ThreadSink() { return tls_sink_; }
+
+  // Merges a worker's epoch delta into the committed set and clears it.
+  // Returns the number of sites that were new to the committed set. Call from
+  // one thread at a barrier (workers parked).
+  size_t Commit(CoverageSink& sink);
 
   // Checkpoint support. Hit sites serialize as stable "file:line:idx" keys
   // (idx = position within a RegisterGroup block, 0 for plain sites), so a
@@ -58,18 +146,18 @@ class Coverage {
   std::vector<std::string> SerializeHitKeys() const;
   void RestoreHitKeys(const std::vector<std::string>& keys);
 
-  size_t hit_count() const { return hit_count_; }
-  size_t site_count() const { return hit_.size(); }
-  size_t run_trace_len() const { return run_trace_len_; }
+  size_t hit_count() const { return hit_count_.load(std::memory_order_relaxed); }
+  size_t site_count() const { return site_count_.load(std::memory_order_relaxed); }
+  size_t run_trace_len() const { return run_trace_len_.load(std::memory_order_relaxed); }
 
-  void set_enabled(bool enabled) { enabled_ = enabled; }
-  bool enabled() const { return enabled_; }
+  void set_enabled(bool enabled) { enabled_.store(enabled, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
   // Debug: list covered site locations.
   std::vector<std::string> CoveredSites() const;
 
  private:
-  Coverage() = default;
+  Coverage();
 
   struct Site {
     const char* file;
@@ -79,13 +167,34 @@ class Coverage {
 
   static std::string SiteKey(const Site& site);
 
-  std::vector<Site> sites_;
-  std::vector<uint8_t> hit_;
-  std::set<std::string> pending_;  // restored keys awaiting registration
-  size_t hit_count_ = 0;
-  size_t new_since_mark_ = 0;
-  size_t run_trace_len_ = 0;
-  bool enabled_ = true;
+  static thread_local CoverageSink* tls_sink_;
+
+  mutable std::mutex mu_;                     // guards sites_ and pending_
+  std::deque<Site> sites_;                    // stable storage; ids are indices
+  std::set<std::string> pending_;             // restored keys awaiting registration
+  std::unique_ptr<std::atomic<uint8_t>[]> hit_;  // committed global hit set
+  std::atomic<size_t> site_count_{0};
+  std::atomic<size_t> hit_count_{0};
+  std::atomic<size_t> new_since_mark_{0};
+  std::atomic<size_t> run_trace_len_{0};
+  std::atomic<bool> enabled_{true};
+};
+
+// Suppresses campaign-feedback coverage recording on the current thread for
+// the scope's lifetime: mutes the installed sink if one exists (worker
+// thread), otherwise disables the global registry (legacy single-threaded
+// confirmation path).
+class ScopedCoverageSuppress {
+ public:
+  ScopedCoverageSuppress();
+  ~ScopedCoverageSuppress();
+  ScopedCoverageSuppress(const ScopedCoverageSuppress&) = delete;
+  ScopedCoverageSuppress& operator=(const ScopedCoverageSuppress&) = delete;
+
+ private:
+  CoverageSink* sink_;
+  bool sink_was_muted_ = false;
+  bool global_was_enabled_ = false;
 };
 
 }  // namespace bpf

@@ -16,7 +16,13 @@
 #include "src/runtime/kernel.h"
 #include "src/verifier/verifier.h"
 
+namespace bvf {
+class Sanitizer;
+}  // namespace bvf
+
 namespace bpf {
+
+class VerdictCacheShard;
 
 class Bpf {
  public:
@@ -41,6 +47,15 @@ class Bpf {
   // syscall surface (test runs, attach handlers, XDP).
   void set_exec_limits(const ExecLimits& limits) { exec_limits_ = limits; }
   const ExecLimits& exec_limits() const { return exec_limits_; }
+
+  // Installs a digest-keyed verifier-verdict cache shard: ProgLoad skips
+  // VerifyProgram when the program's digest is committed, replaying the
+  // original verification's sanitizer-stat delta into |sanitizer| (may be
+  // null when instrumentation is off). nullptr disables caching.
+  void set_verdict_cache(VerdictCacheShard* shard, bvf::Sanitizer* sanitizer) {
+    verdict_cache_ = shard;
+    cache_sanitizer_ = sanitizer;
+  }
 
   // Case-boundary reset for substrate reuse: unloads every program, resets fd
   // assignment and the XDP dispatcher, and rewinds the kernel substrate
@@ -94,6 +109,8 @@ class Bpf {
   Kernel& kernel_;
   Interpreter interp_;
   ExecLimits exec_limits_;
+  VerdictCacheShard* verdict_cache_ = nullptr;
+  bvf::Sanitizer* cache_sanitizer_ = nullptr;
   std::function<void(Program&, std::vector<InsnAux>&)> instrument_;
   ExecObserver exec_observer_;
   std::vector<std::unique_ptr<LoadedProgram>> progs_;

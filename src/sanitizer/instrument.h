@@ -49,6 +49,31 @@ struct SanitizerStats {
                              : static_cast<double>(insns_after) /
                                    static_cast<double>(insns_before);
   }
+
+  // Counter-wise accumulation (parallel-campaign merge; verdict-cache hit
+  // crediting).
+  void Add(const SanitizerStats& other) {
+    programs += other.programs;
+    insns_before += other.insns_before;
+    insns_after += other.insns_after;
+    mem_sites += other.mem_sites;
+    alu_sites += other.alu_sites;
+    skipped_fp += other.skipped_fp;
+    skipped_rewritten += other.skipped_rewritten;
+  }
+
+  // Counter-wise delta against an earlier snapshot of the same sanitizer.
+  SanitizerStats Since(const SanitizerStats& before) const {
+    SanitizerStats delta;
+    delta.programs = programs - before.programs;
+    delta.insns_before = insns_before - before.insns_before;
+    delta.insns_after = insns_after - before.insns_after;
+    delta.mem_sites = mem_sites - before.mem_sites;
+    delta.alu_sites = alu_sites - before.alu_sites;
+    delta.skipped_fp = skipped_fp - before.skipped_fp;
+    delta.skipped_rewritten = skipped_rewritten - before.skipped_rewritten;
+    return delta;
+  }
 };
 
 // Rewrites |prog| in place, extending |aux| in lockstep (inserted
@@ -71,6 +96,9 @@ class Sanitizer {
   void ResetStats() { stats_ = SanitizerStats{}; }
   // Campaign resume: reinstate counters saved in a checkpoint.
   void RestoreStats(const SanitizerStats& stats) { stats_ = stats; }
+  // Verdict-cache hit: account the instrumentation work the original
+  // verification of this program performed.
+  void Credit(const SanitizerStats& delta) { stats_.Add(delta); }
 
  private:
   SanitizerOptions options_;

@@ -1,0 +1,363 @@
+// Parallel sharded campaign engine (DESIGN.md §9): job-count invariance of
+// findings / outcome histograms / coverage / StatsDigest, cross-job-count
+// checkpoint resume, the digest-keyed verdict cache's digest-invisibility,
+// and thread safety of the global coverage registry.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/checkpoint.h"
+#include "src/core/parallel.h"
+#include "src/core/structured_gen.h"
+#include "src/ebpf/insn.h"
+#include "src/kernel/coverage.h"
+#include "src/kernel/fault_inject.h"
+
+namespace bvf {
+namespace {
+
+using bpf::BugConfig;
+using bpf::Coverage;
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+CampaignOptions SmallCampaign() {
+  CampaignOptions options;
+  options.iterations = 240;
+  options.seed = 11;
+  options.bugs = BugConfig::All();
+  options.fault.probability = 0.05;
+  options.confirm_runs = 1;
+  options.epoch_len = 32;
+  return options;
+}
+
+CampaignStats RunParallel(const CampaignOptions& options) {
+  StructuredGenerator generator(options.version);
+  ParallelFuzzer fuzzer(generator, options);
+  return fuzzer.Run();
+}
+
+// Signature+iteration pairs identify the finding set independent of digests.
+std::vector<std::pair<std::string, uint64_t>> FindingKeys(const CampaignStats& stats) {
+  std::vector<std::pair<std::string, uint64_t>> keys;
+  for (const Finding& finding : stats.findings) {
+    keys.emplace_back(finding.signature, finding.iteration);
+  }
+  return keys;
+}
+
+std::set<std::string> CoverageKeySet() {
+  const std::vector<std::string> keys = Coverage::Get().SerializeHitKeys();
+  return std::set<std::string>(keys.begin(), keys.end());
+}
+
+// ---- CaseSeed ----
+
+TEST(CaseSeedTest, DecorrelatedFromFaultSeedAndSpread) {
+  // Different iterations give different seeds, and the stream is not the
+  // fault-schedule stream (a correlated pair would couple generation
+  // randomness to fault decisions).
+  std::set<uint64_t> seen;
+  for (uint64_t i = 1; i <= 1000; ++i) {
+    const uint64_t s = CaseSeed(42, i);
+    EXPECT_NE(s, bpf::FaultSeed(42, i));
+    seen.insert(s);
+  }
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+// ---- Job-count invariance ----
+
+TEST(ParallelInvarianceTest, FourJobsMatchOneJobBitForBit) {
+  CampaignOptions options = SmallCampaign();
+
+  options.jobs = 1;
+  const CampaignStats one = RunParallel(options);
+  const std::set<std::string> one_coverage = CoverageKeySet();
+
+  options.jobs = 4;
+  const CampaignStats four = RunParallel(options);
+  const std::set<std::string> four_coverage = CoverageKeySet();
+
+  EXPECT_EQ(StatsDigest(one), StatsDigest(four));
+  EXPECT_EQ(FindingKeys(one), FindingKeys(four));
+  EXPECT_EQ(one.outcomes, four.outcomes);
+  EXPECT_EQ(one.exec_errno, four.exec_errno);
+  EXPECT_EQ(one.reject_errno, four.reject_errno);
+  EXPECT_EQ(one.final_coverage, four.final_coverage);
+  EXPECT_EQ(one_coverage, four_coverage);
+  EXPECT_EQ(one.fault_injected, four.fault_injected);
+  EXPECT_EQ(one.panics, four.panics);
+  EXPECT_EQ(one.substrate_rebuilds, four.substrate_rebuilds);
+  // Both ran real campaigns.
+  EXPECT_EQ(one.iterations, options.iterations);
+  EXPECT_GT(one.accepted, 0u);
+  EXPECT_FALSE(one.findings.empty());
+  // Confirmation verdicts survive the merge identically.
+  for (size_t i = 0; i < one.findings.size(); ++i) {
+    EXPECT_EQ(one.findings[i].confirmation, four.findings[i].confirmation);
+  }
+}
+
+TEST(ParallelInvarianceTest, OddJobCountAndShortFinalEpoch) {
+  // 240 is not a multiple of 3*32; exercises uneven worker strides and the
+  // short final epoch path.
+  CampaignOptions options = SmallCampaign();
+  options.iterations = 230;  // not a multiple of epoch_len
+  options.jobs = 3;
+  const CampaignStats three = RunParallel(options);
+  options.jobs = 1;
+  const CampaignStats one = RunParallel(options);
+  EXPECT_EQ(StatsDigest(one), StatsDigest(three));
+  EXPECT_EQ(one.iterations, 230u);
+}
+
+TEST(ParallelInvarianceTest, EpochLengthIsSemantics) {
+  // Changing jobs must not change results; changing epoch_len may (it moves
+  // the snapshot barriers). Guard that the fingerprint separates the two.
+  CampaignOptions options = SmallCampaign();
+  const std::string base = ParallelFingerprint(options, "bvf");
+  options.jobs = 8;
+  EXPECT_EQ(ParallelFingerprint(options, "bvf"), base);
+  options.epoch_len = 64;
+  EXPECT_NE(ParallelFingerprint(options, "bvf"), base);
+  EXPECT_NE(base, FingerprintOptions(options, "bvf"));  // engine-tagged
+}
+
+// ---- Checkpoint / resume across job counts ----
+
+TEST(ParallelResumeTest, FourJobCheckpointResumesBitIdenticallyAtOneJob) {
+  CampaignOptions options = SmallCampaign();
+
+  options.jobs = 2;
+  const CampaignStats full = RunParallel(options);
+
+  // Simulated kill mid-run at 8 jobs; stop_after is quantized up to the
+  // containing epoch's end (100 -> 128 with epoch_len 32).
+  const std::string path = TempPath("parallel_resume.bvfcp");
+  CampaignOptions first_leg = options;
+  first_leg.jobs = 4;
+  first_leg.stop_after = 100;
+  first_leg.checkpoint_path = path;
+  first_leg.checkpoint_every = 64;
+  const CampaignStats partial = RunParallel(first_leg);
+  EXPECT_EQ(partial.iterations, 128u);
+
+  CampaignOptions second_leg = options;
+  second_leg.jobs = 1;
+  second_leg.resume_path = path;
+  const CampaignStats continued = RunParallel(second_leg);
+
+  EXPECT_TRUE(continued.resume_error.empty()) << continued.resume_error;
+  EXPECT_EQ(continued.resumed_from, 129u);
+  EXPECT_EQ(continued.iterations, options.iterations);
+  EXPECT_EQ(StatsDigest(continued), StatsDigest(full));
+  EXPECT_EQ(FindingKeys(continued), FindingKeys(full));
+  EXPECT_EQ(continued.final_coverage, full.final_coverage);
+  std::remove(path.c_str());
+}
+
+TEST(ParallelResumeTest, SerialCheckpointIsRejected) {
+  // Serial and parallel checkpoints are not interchangeable: the serial
+  // engine's RNG stream position has no meaning for per-iteration seeds.
+  CampaignOptions options = SmallCampaign();
+  options.confirm_runs = 0;
+  const std::string path = TempPath("serial_for_parallel.bvfcp");
+  CampaignOptions serial_leg = options;
+  serial_leg.stop_after = 64;
+  serial_leg.checkpoint_path = path;
+  StructuredGenerator generator(options.version);
+  Fuzzer serial(generator, serial_leg);
+  serial.Run();
+
+  CampaignOptions resume_leg = options;
+  resume_leg.resume_path = path;
+  const CampaignStats rejected = RunParallel(resume_leg);
+  EXPECT_FALSE(rejected.resume_error.empty());
+  EXPECT_EQ(rejected.iterations, 0u);
+  std::remove(path.c_str());
+}
+
+// ---- Verdict cache ----
+
+// Generates tiny accept-able programs drawn from a 4-element space, so cache
+// hits are guaranteed once a program repeats across epochs.
+class TinySpaceGenerator : public Generator {
+ public:
+  const char* name() const override { return "tiny-space"; }
+  FuzzCase Generate(bpf::Rng& rng) override {
+    FuzzCase fc;
+    fc.prog.type = bpf::ProgType::kSocketFilter;
+    fc.prog.insns = {bpf::MovImm(bpf::kR0, static_cast<int32_t>(rng.Below(4))),
+                     bpf::Exit()};
+    fc.test_runs = 1;
+    return fc;
+  }
+  std::unique_ptr<Generator> Clone() const override {
+    return std::make_unique<TinySpaceGenerator>();
+  }
+};
+
+CampaignStats RunTiny(int jobs, bool cache) {
+  CampaignOptions options;
+  options.iterations = 200;
+  options.seed = 5;
+  options.epoch_len = 32;
+  options.jobs = jobs;
+  options.verdict_cache = cache;
+  options.coverage_feedback = false;  // a 4-program space has no corpus to grow
+  TinySpaceGenerator generator;
+  ParallelFuzzer fuzzer(generator, options);
+  return fuzzer.Run();
+}
+
+TEST(VerdictCacheTest, HitsNeverChangeResults) {
+  const CampaignStats off = RunTiny(1, false);
+  const CampaignStats on = RunTiny(1, true);
+  EXPECT_EQ(StatsDigest(off), StatsDigest(on));
+  EXPECT_EQ(off.verdict_cache_hits, 0u);
+  EXPECT_EQ(off.verdict_cache_misses, 0u);
+  // 4 distinct programs, 200 iterations, lookups against the previous epoch's
+  // committed store: everything after epoch 1 hits.
+  EXPECT_GT(on.verdict_cache_hits, 100u);
+  EXPECT_GE(on.verdict_cache_misses, 4u);
+  EXPECT_EQ(on.verdict_cache_hits + on.verdict_cache_misses, 200u);
+}
+
+TEST(VerdictCacheTest, HitMissCountersAreJobCountInvariant) {
+  const CampaignStats one = RunTiny(1, true);
+  const CampaignStats three = RunTiny(3, true);
+  EXPECT_EQ(StatsDigest(one), StatsDigest(three));
+  EXPECT_EQ(one.verdict_cache_hits, three.verdict_cache_hits);
+  EXPECT_EQ(one.verdict_cache_misses, three.verdict_cache_misses);
+}
+
+TEST(VerdictCacheTest, CacheWorksOnRealCampaignWithoutChangingDigest) {
+  CampaignOptions options = SmallCampaign();
+  options.jobs = 2;
+  const CampaignStats off = RunParallel(options);
+  options.verdict_cache = true;
+  const CampaignStats on = RunParallel(options);
+  EXPECT_EQ(StatsDigest(off), StatsDigest(on));
+  EXPECT_EQ(FindingKeys(off), FindingKeys(on));
+  EXPECT_EQ(on.verdict_cache_hits + on.verdict_cache_misses, options.iterations);
+}
+
+TEST(VerdictCacheTest, SerialEngineImmediateModeIsDigestPreserving) {
+  CampaignOptions options = SmallCampaign();
+  StructuredGenerator g1(options.version);
+  Fuzzer off(g1, options);
+  const CampaignStats stats_off = off.Run();
+
+  options.verdict_cache = true;
+  StructuredGenerator g2(options.version);
+  Fuzzer on(g2, options);
+  const CampaignStats stats_on = on.Run();
+
+  EXPECT_EQ(StatsDigest(stats_off), StatsDigest(stats_on));
+  EXPECT_EQ(stats_off.findings.size(), stats_on.findings.size());
+  EXPECT_EQ(stats_on.verdict_cache_hits + stats_on.verdict_cache_misses,
+            options.iterations);
+}
+
+// ---- Checkpoint carries cache counters ----
+
+TEST(VerdictCacheTest, CountersSurviveCheckpointResume) {
+  const std::string path = TempPath("vcache_resume.bvfcp");
+  CampaignOptions options;
+  options.iterations = 200;
+  options.seed = 5;
+  options.epoch_len = 32;
+  options.verdict_cache = true;
+  options.coverage_feedback = false;
+  options.jobs = 2;
+
+  TinySpaceGenerator g1;
+  ParallelFuzzer full_fuzzer(g1, options);
+  const CampaignStats full = full_fuzzer.Run();
+
+  CampaignOptions first_leg = options;
+  first_leg.stop_after = 96;
+  first_leg.checkpoint_path = path;
+  TinySpaceGenerator g2;
+  ParallelFuzzer interrupted(g2, first_leg);
+  interrupted.Run();
+
+  CampaignOptions second_leg = options;
+  second_leg.jobs = 1;
+  second_leg.resume_path = path;
+  TinySpaceGenerator g3;
+  ParallelFuzzer resumed(g3, second_leg);
+  const CampaignStats continued = resumed.Run();
+
+  EXPECT_TRUE(continued.resume_error.empty()) << continued.resume_error;
+  EXPECT_EQ(StatsDigest(continued), StatsDigest(full));
+  // The resumed process starts with a cold cache, so it re-misses what the
+  // first leg had committed: hit totals are process-dependent, but every
+  // lookup is still accounted exactly once.
+  EXPECT_EQ(continued.verdict_cache_hits + continued.verdict_cache_misses,
+            options.iterations);
+  std::remove(path.c_str());
+}
+
+// ---- Coverage registry thread safety ----
+
+TEST(CoverageThreadingTest, ConcurrentGlobalHitsCountEachSiteOnce) {
+  Coverage& cov = Coverage::Get();
+  const int base = cov.RegisterGroup(__FILE__, __LINE__, 64);
+  cov.ResetHits();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < 1000; ++round) {
+        for (int i = 0; i < 64; ++i) {
+          cov.Hit(base + i);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(cov.hit_count(), 64u);
+  cov.ResetHits();
+}
+
+TEST(CoverageThreadingTest, SinksIsolateWorkersUntilCommit) {
+  Coverage& cov = Coverage::Get();
+  const int base = cov.RegisterGroup(__FILE__, __LINE__, 8);
+  cov.ResetHits();
+
+  bpf::CoverageSink sink;
+  bpf::CoverageSink* previous = Coverage::InstallThreadSink(&sink);
+  sink.BeginCase();
+  cov.Hit(base);
+  cov.Hit(base + 1);
+  cov.Hit(base);  // duplicate
+  EXPECT_EQ(sink.NewSinceCase(), 2u);
+  EXPECT_EQ(cov.hit_count(), 0u);  // nothing committed yet
+
+  EXPECT_EQ(cov.Commit(sink), 2u);
+  EXPECT_EQ(cov.hit_count(), 2u);
+  EXPECT_TRUE(cov.Committed(base));
+
+  // After commit, the same sites are no longer case-novel.
+  sink.BeginCase();
+  cov.Hit(base);
+  EXPECT_EQ(sink.NewSinceCase(), 0u);
+
+  Coverage::InstallThreadSink(previous);
+  cov.ResetHits();
+}
+
+}  // namespace
+}  // namespace bvf
