@@ -6,13 +6,17 @@
 // Usage: fuzz_campaign [iterations] [seed] [--analysis]
 //          [--fault-rate=F] [--confirm-runs=K]
 //          [--checkpoint=PATH] [--checkpoint-every=N] [--resume=PATH]
-//          [--stop-after=N] [--jobs=N] [--verdict-cache=on|off] [--smoke]
+//          [--stop-after=N] [--jobs=N] [--verdict-cache=on|off]
+//          [--interp=decoded|legacy] [--smoke]
 //
 // Without --jobs the original serial engine runs. Any explicit --jobs=N
 // (including N=1) selects the parallel sharded engine (src/core/parallel.h),
 // whose results are bit-identical for every N — so a checkpoint written at
 // --jobs=8 resumes at --jobs=1. --verdict-cache=on enables the digest-keyed
-// verifier-verdict cache in either engine.
+// verifier-verdict cache in either engine. --interp selects the execution
+// engine: decoded micro-op dispatch with the digest-keyed decode cache (the
+// default) or the legacy instruction-at-a-time interpreter; the two are
+// digest-identical, so the flag is a pure throughput switch.
 //
 // With --analysis, the first finding's regenerated trigger is run through the
 // static-analysis passes: CFG dump, lints, liveness, and the per-instruction
@@ -51,6 +55,7 @@ int main(int argc, char** argv) {
   int jobs = 1;
   bool jobs_given = false;  // explicit --jobs selects the parallel engine even at 1
   bool verdict_cache = false;
+  bool interp_decoded = true;
   uint64_t positional[2] = {3000, 1};  // iterations, seed
   int npos = 0;
   for (int i = 1; i < argc; ++i) {
@@ -63,6 +68,8 @@ int main(int argc, char** argv) {
       jobs_given = true;
     } else if (strncmp(argv[i], "--verdict-cache=", 16) == 0) {
       verdict_cache = strcmp(argv[i] + 16, "on") == 0;
+    } else if (strncmp(argv[i], "--interp=", 9) == 0) {
+      interp_decoded = strcmp(argv[i] + 9, "legacy") != 0;
     } else if (strncmp(argv[i], "--fault-rate=", 13) == 0) {
       fault_rate = strtod(argv[i] + 13, nullptr);
     } else if (strncmp(argv[i], "--confirm-runs=", 15) == 0) {
@@ -98,6 +105,7 @@ int main(int argc, char** argv) {
   options.stop_after = stop_after;
   options.jobs = jobs;
   options.verdict_cache = verdict_cache;
+  options.interp_decoded = interp_decoded;
 
   printf("BVF campaign: %" PRIu64 " programs against %s with %d injected bugs (seed %" PRIu64
          ")\n",
@@ -149,6 +157,12 @@ int main(int argc, char** argv) {
     printf("  verdict cache:   %" PRIu64 " hits / %" PRIu64 " misses (%.1f%% hit rate)\n",
            stats.verdict_cache_hits, stats.verdict_cache_misses,
            100 * stats.VerdictCacheHitRate());
+  }
+  if (interp_decoded) {
+    printf("  decode cache:    %" PRIu64 " hits / %" PRIu64 " misses / %" PRIu64
+           " evictions (%.1f%% hit rate)\n",
+           stats.decode_cache_hits, stats.decode_cache_misses,
+           stats.decode_cache_evictions, 100 * stats.DecodeCacheHitRate());
   }
   printf("  panics contained:%" PRIu64 " (%" PRIu64 " substrate rebuilds)\n", stats.panics,
          stats.substrate_rebuilds);

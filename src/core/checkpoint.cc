@@ -363,6 +363,9 @@ int SaveCheckpoint(const std::string& path, const CampaignCheckpoint& checkpoint
     // stay digest-comparable).
     os << "vcache " << checkpoint.stats.verdict_cache_hits << " "
        << checkpoint.stats.verdict_cache_misses << "\n";
+    os << "dcache " << checkpoint.stats.decode_cache_hits << " "
+       << checkpoint.stats.decode_cache_misses << " "
+       << checkpoint.stats.decode_cache_evictions << "\n";
     os << "end\n";
     os.flush();
     if (!os) {
@@ -412,6 +415,10 @@ int LoadCheckpoint(const std::string& path, CampaignCheckpoint* out, std::string
   const std::vector<int64_t> vcache = reader.Fields("vcache", 2);
   cp.stats.verdict_cache_hits = static_cast<uint64_t>(vcache[0]);
   cp.stats.verdict_cache_misses = static_cast<uint64_t>(vcache[1]);
+  const std::vector<int64_t> dcache = reader.Fields("dcache", 3);
+  cp.stats.decode_cache_hits = static_cast<uint64_t>(dcache[0]);
+  cp.stats.decode_cache_misses = static_cast<uint64_t>(dcache[1]);
+  cp.stats.decode_cache_evictions = static_cast<uint64_t>(dcache[2]);
   reader.Line("end");
   if (!reader.ok()) {
     if (error != nullptr) {

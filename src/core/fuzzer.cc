@@ -8,6 +8,7 @@
 #include "src/core/checkpoint.h"
 #include "src/kernel/coverage.h"
 #include "src/runtime/bpf_syscall.h"
+#include "src/runtime/decoded_prog.h"
 #include "src/runtime/verdict_cache.h"
 #include "src/sanitizer/asan_funcs.h"
 
@@ -111,6 +112,13 @@ void CaseRunner::set_verdict_shard(bpf::VerdictCacheShard* shard) {
   }
 }
 
+void CaseRunner::set_decode_shard(bpf::DecodeCacheShard* shard) {
+  decode_shard_ = shard;
+  if (substrate_) {
+    substrate_->bpf.set_decode_cache(decode_shard_);
+  }
+}
+
 void CaseRunner::Teardown() { substrate_.reset(); }
 
 CaseRunner::Substrate& CaseRunner::EnsureSubstrate() {
@@ -122,6 +130,11 @@ CaseRunner::Substrate& CaseRunner::EnsureSubstrate() {
 }
 
 void CaseRunner::ConfigureSubstrate(Substrate& sub, Sanitizer* sanitizer, bool campaign) {
+  // Every substrate — campaign and confirmation alike — runs the selected
+  // engine, so a confirmation re-execution reproduces through the exact same
+  // path as the original case (the engines are digest-identical anyway; this
+  // keeps the intent honest).
+  sub.bpf.set_decoded_exec(options_.interp_decoded);
   if (options_.sanitize) {
     bpf::BpfAsan::Register(sub.kernel);
     sub.bpf.set_instrument(sanitizer->Hook());
@@ -141,6 +154,9 @@ void CaseRunner::ConfigureSubstrate(Substrate& sub, Sanitizer* sanitizer, bool c
     // Confirmation substrates stay uncached: a confirmation run must exercise
     // the real verifier, and its stats are thrown away anyway.
     sub.bpf.set_verdict_cache(verdict_shard_, &sanitizer_);
+  }
+  if (campaign && decode_shard_ != nullptr) {
+    sub.bpf.set_decode_cache(decode_shard_);
   }
 }
 
@@ -271,6 +287,9 @@ CaseRunner::CaseResult CaseRunner::RunOne(const FuzzCase& the_case, uint64_t ite
   }
   if (verdict_shard_ != nullptr) {
     verdict_shard_->set_iteration(iteration);
+  }
+  if (decode_shard_ != nullptr) {
+    decode_shard_->set_iteration(iteration);
   }
 
   const DriveResult drive = DriveCase(sub, the_case, iteration);
@@ -403,6 +422,15 @@ CampaignStats Fuzzer::Run() {
     runner_->set_verdict_shard(&shard);
   }
 
+  // Decode cache, same immediate-mode reasoning: a decode-cache hit returns
+  // the identical DecodedProgram the miss path would have produced (the
+  // digest pins the verifier-rewritten program bytes), so reuse is invisible.
+  bpf::DecodeCache dcache;
+  bpf::DecodeCacheShard dshard(dcache, /*immediate=*/true);
+  if (options_.interp_decoded) {
+    runner_->set_decode_shard(&dshard);
+  }
+
   bpf::Rng rng(options_.seed);
   uint64_t start_iteration = 1;
   const std::string fingerprint = FingerprintOptions(options_, stats.tool);
@@ -433,6 +461,10 @@ CampaignStats Fuzzer::Run() {
   } else if (options_.reset_coverage) {
     Coverage::Get().ResetHits();
   }
+
+  // Evictions restored from a checkpoint happened in a previous process; this
+  // process's cache starts empty, so the running total is base + local.
+  const uint64_t base_decode_evictions = stats.decode_cache_evictions;
 
   const uint64_t sample_every =
       options_.coverage_points > 0
@@ -469,6 +501,9 @@ CampaignStats Fuzzer::Run() {
     RunCase(the_case, stats, i);
     stats.verdict_cache_hits += shard.TakeHits();
     stats.verdict_cache_misses += shard.TakeMisses();
+    stats.decode_cache_hits += dshard.TakeHits();
+    stats.decode_cache_misses += dshard.TakeMisses();
+    stats.decode_cache_evictions = base_decode_evictions + dcache.evictions();
 
     if (options_.coverage_feedback && Coverage::Get().NewSinceMark() > 0 &&
         corpus_.size() < 512) {

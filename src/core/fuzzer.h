@@ -29,6 +29,7 @@
 #include "src/verifier/kernel_version.h"
 
 namespace bpf {
+class DecodeCacheShard;
 class VerdictCacheShard;
 }  // namespace bpf
 
@@ -85,6 +86,12 @@ struct CampaignOptions {
   // Digest-keyed verifier-verdict cache (src/runtime/verdict_cache.h).
   // On/off is invisible in the StatsDigest; only the hit/miss counters move.
   bool verdict_cache = false;
+  // Execution engine: decoded micro-op dispatch (default) or the legacy
+  // instruction-at-a-time interpreter. Purely a throughput switch — both
+  // engines are digest-identical (tests/interp_parity_test.cc) — so it is
+  // excluded from the options fingerprint. Decoded mode also enables the
+  // digest-keyed DecodedProgram cache (src/runtime/decoded_prog.h).
+  bool interp_decoded = true;
 };
 
 struct CoveragePoint {
@@ -130,6 +137,13 @@ struct CampaignStats {
   uint64_t verdict_cache_hits = 0;
   uint64_t verdict_cache_misses = 0;
 
+  // Decode-cache accounting (decoded engine only). Same digest discipline as
+  // the verdict-cache counters: deterministic for any job count, excluded
+  // from StatsDigest so --interp=decoded|legacy campaigns stay comparable.
+  uint64_t decode_cache_hits = 0;
+  uint64_t decode_cache_misses = 0;
+  uint64_t decode_cache_evictions = 0;
+
   // Resume bookkeeping (not part of checkpoints or digests).
   uint64_t resumed_from = 0;       // first iteration executed after resume
   std::string resume_error;        // non-empty when --resume was rejected
@@ -160,6 +174,11 @@ struct CampaignStats {
     const uint64_t total = verdict_cache_hits + verdict_cache_misses;
     return total == 0 ? 0.0
                       : static_cast<double>(verdict_cache_hits) / static_cast<double>(total);
+  }
+  double DecodeCacheHitRate() const {
+    const uint64_t total = decode_cache_hits + decode_cache_misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(decode_cache_hits) / static_cast<double>(total);
   }
   bool FoundBug(KnownBug bug) const;
   // First iteration at which |bug| was observed; 0 when never found.
@@ -205,6 +224,11 @@ class CaseRunner {
   // Binds a verdict-cache shard to this runner's campaign substrate (not to
   // confirmation substrates: confirmation must exercise the real verifier).
   void set_verdict_shard(bpf::VerdictCacheShard* shard);
+  // Binds a decode-cache shard to this runner's campaign substrate (only
+  // consulted while options.interp_decoded is on). Confirmation substrates
+  // decode fresh: their loads are throwaway and must not move the campaign's
+  // cache counters.
+  void set_decode_shard(bpf::DecodeCacheShard* shard);
 
   // Drops the substrate (end of campaign).
   void Teardown();
@@ -233,6 +257,7 @@ class CaseRunner {
   const CampaignOptions& options_;
   Sanitizer sanitizer_;
   bpf::VerdictCacheShard* verdict_shard_ = nullptr;
+  bpf::DecodeCacheShard* decode_shard_ = nullptr;
   std::unique_ptr<Substrate> substrate_;
 };
 

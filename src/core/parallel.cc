@@ -10,6 +10,7 @@
 
 #include "src/core/checkpoint.h"
 #include "src/kernel/coverage.h"
+#include "src/runtime/decoded_prog.h"
 #include "src/runtime/verdict_cache.h"
 
 namespace bvf {
@@ -33,6 +34,7 @@ struct WorkerState {
   Generator* gen = nullptr;
   std::unique_ptr<CaseRunner> runner;
   std::unique_ptr<bpf::VerdictCacheShard> shard;
+  std::unique_ptr<bpf::DecodeCacheShard> dshard;
   bpf::CoverageSink sink;
   CampaignStats partial;           // order-independent counters, this epoch
   std::vector<CaseRecord> records; // iteration-ascending (worker strides up)
@@ -140,8 +142,13 @@ CampaignStats ParallelFuzzer::Run() {
   }
 
   bpf::VerdictCache cache;
+  bpf::DecodeCache dcache;
   std::vector<WorkerState> workers(static_cast<size_t>(jobs));
   std::vector<bpf::VerdictCacheShard*> shards;
+  std::vector<bpf::DecodeCacheShard*> dshards;
+  // Evictions restored from a checkpoint happened in a previous process; this
+  // process's cache starts empty, so the running total is base + local.
+  const uint64_t base_decode_evictions = stats.decode_cache_evictions;
   for (int w = 0; w < jobs; ++w) {
     WorkerState& worker = workers[static_cast<size_t>(w)];
     if (w == 0) {
@@ -155,6 +162,14 @@ CampaignStats ParallelFuzzer::Run() {
       worker.shard = std::make_unique<bpf::VerdictCacheShard>(cache, /*immediate=*/false);
       worker.runner->set_verdict_shard(worker.shard.get());
       shards.push_back(worker.shard.get());
+    }
+    if (options_.interp_decoded) {
+      // Same epoch discipline as the verdict cache: workers read the frozen
+      // committed set and buffer inserts; the barrier commits in iteration
+      // order, so hit/miss/evict counts are job-count invariant.
+      worker.dshard = std::make_unique<bpf::DecodeCacheShard>(dcache, /*immediate=*/false);
+      worker.runner->set_decode_shard(worker.dshard.get());
+      dshards.push_back(worker.dshard.get());
     }
   }
 
@@ -297,6 +312,14 @@ CampaignStats ParallelFuzzer::Run() {
         stats.verdict_cache_hits += worker.shard->TakeHits();
         stats.verdict_cache_misses += worker.shard->TakeMisses();
       }
+    }
+    if (options_.interp_decoded) {
+      dcache.CommitShards(dshards);
+      for (WorkerState& worker : workers) {
+        stats.decode_cache_hits += worker.dshard->TakeHits();
+        stats.decode_cache_misses += worker.dshard->TakeMisses();
+      }
+      stats.decode_cache_evictions = base_decode_evictions + dcache.evictions();
     }
     // 4. Findings and corpus growth, in iteration order across all workers.
     {

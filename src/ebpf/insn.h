@@ -147,6 +147,13 @@ struct Insn {
   // Number of bytes accessed by a load/store instruction.
   int AccessBytes() const;
 
+  // Absolute target instruction index of a jump located at |pc| (offset
+  // field) and of a bpf-to-bpf call (immediate field). Both execution
+  // engines and the micro-op decoder resolve branch targets through these,
+  // so relative-offset arithmetic lives in one place.
+  constexpr int JumpTargetPc(int pc) const { return pc + 1 + off; }
+  constexpr int CallTargetPc(int pc) const { return pc + 1 + imm; }
+
   bool operator==(const Insn& other) const = default;
 };
 

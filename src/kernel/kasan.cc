@@ -101,6 +101,16 @@ AccessResult KasanArena::Classify(uint64_t addr, size_t size) const {
     return AccessResult::kWild;
   }
   const size_t start = Offset(addr);
+  // Fast path: for word-sized accesses (the interpreter's case), test all
+  // shadow bytes at once. kAddressable is 0, so an all-zero shadow word means
+  // every byte is backed; anything else falls through to the classifying walk.
+  if (size <= 8) {
+    uint64_t shadow_word = 0;
+    std::memcpy(&shadow_word, shadow_.data() + start, size);
+    if (shadow_word == 0) {
+      return AccessResult::kOk;
+    }
+  }
   for (size_t i = 0; i < size; ++i) {
     switch (static_cast<Shadow>(shadow_[start + i])) {
       case Shadow::kAddressable:
@@ -144,7 +154,7 @@ void KasanArena::ReportViolation(AccessResult result, uint64_t addr, size_t size
 }
 
 bool KasanArena::CheckedRead(uint64_t addr, size_t size, uint64_t* out, ReportSink& sink,
-                             const std::string& ctx) {
+                             const char* ctx) {
   const AccessResult result = Classify(addr, size);
   if (result != AccessResult::kOk) {
     ReportViolation(result, addr, size, /*write=*/false, sink, ctx, /*from_bpf_asan=*/false);
@@ -161,7 +171,7 @@ bool KasanArena::CheckedRead(uint64_t addr, size_t size, uint64_t* out, ReportSi
 }
 
 bool KasanArena::CheckedWrite(uint64_t addr, size_t size, uint64_t value, ReportSink& sink,
-                              const std::string& ctx) {
+                              const char* ctx) {
   const AccessResult result = Classify(addr, size);
   if (result != AccessResult::kOk) {
     ReportViolation(result, addr, size, /*write=*/true, sink, ctx, /*from_bpf_asan=*/false);
@@ -174,7 +184,7 @@ bool KasanArena::CheckedWrite(uint64_t addr, size_t size, uint64_t value, Report
 }
 
 bool KasanArena::RawRead(uint64_t addr, size_t size, uint64_t* out, ReportSink& sink,
-                         const std::string& ctx) {
+                         const char* ctx) {
   if (addr < 4096 || !InArena(addr, size)) {
     // Native execution faults on unmapped memory: kernel oops.
     ReportViolation(addr < 4096 ? AccessResult::kNull : AccessResult::kWild, addr, size,
@@ -190,7 +200,7 @@ bool KasanArena::RawRead(uint64_t addr, size_t size, uint64_t* out, ReportSink& 
 }
 
 bool KasanArena::RawWrite(uint64_t addr, size_t size, uint64_t value, ReportSink& sink,
-                          const std::string& ctx) {
+                          const char* ctx) {
   if (addr < 4096 || !InArena(addr, size)) {
     ReportViolation(addr < 4096 ? AccessResult::kNull : AccessResult::kWild, addr, size,
                     /*write=*/true, sink, ctx, /*from_bpf_asan=*/false);

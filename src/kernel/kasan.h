@@ -18,6 +18,7 @@
 #define SRC_KERNEL_KASAN_H_
 
 #include <cstdint>
+#include <cstring>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -76,19 +77,82 @@ class KasanArena {
   // Classifies an access without reporting.
   AccessResult Classify(uint64_t addr, size_t size) const;
 
+  // Range-only classification: null page / outside the arena / mapped,
+  // without walking shadow bytes. Exactly the distinction the uninstrumented
+  // (native-JIT-model) access path needs — Raw* accesses succeed anywhere
+  // inside the arena regardless of shadow state, so kOk here means "mapped",
+  // and the result matches Classify() whenever Classify() would return kNull
+  // or kWild. Kept inline: this runs once per interpreted load.
+  AccessResult ClassifyRange(uint64_t addr, size_t size) const {
+    if (addr < 4096) {
+      return AccessResult::kNull;
+    }
+    if (!InArena(addr, size)) {
+      return AccessResult::kWild;
+    }
+    return AccessResult::kOk;
+  }
+
+  // Dispatch-free cores of the bpf_asan_{load,store}{8..64} fast paths used
+  // by the pre-decoded execution engine's asan micro-ops. Both work on whole
+  // 8-byte words (one shadow-word test, one value word) and return false —
+  // without reporting — whenever the access is not a plain all-addressable
+  // interior hit; the caller then takes the out-of-line AsanChecked* path,
+  // which re-classifies and reports exactly as the dispatched bpf_asan_*
+  // functions do. A fast-path true is possible only when Classify() would
+  // say kOk, so taking it never changes observable behavior.
+  bool FastCheckedLoad(uint64_t addr, size_t size, uint64_t* out) const {
+    if (addr < 4096 || !InArena(addr, 8)) {
+      return false;  // null/wild/too close to the arena end for word access
+    }
+    const size_t start = Offset(addr);
+    uint64_t shadow_word;
+    std::memcpy(&shadow_word, shadow_.data() + start, 8);
+    const uint64_t mask = size >= 8 ? ~0ull : ((1ull << (size * 8)) - 1);
+    if ((shadow_word & mask) != 0) {
+      return false;  // some byte is a redzone/freed/unallocated
+    }
+    uint64_t value;
+    std::memcpy(&value, mem_.data() + start, 8);
+    *out = value & mask;
+    return true;
+  }
+  bool FastCheckedStore(uint64_t addr, size_t size, uint64_t value) {
+    if (addr < 4096 || !InArena(addr, 8)) {
+      return false;
+    }
+    const size_t start = Offset(addr);
+    uint64_t shadow_word;
+    std::memcpy(&shadow_word, shadow_.data() + start, 8);
+    const uint64_t mask = size >= 8 ? ~0ull : ((1ull << (size * 8)) - 1);
+    if ((shadow_word & mask) != 0) {
+      return false;
+    }
+    // Branchless sub-word store: blend into the containing word. The bytes
+    // above the access are rewritten with their current values, which is
+    // invisible (single-threaded kernel model).
+    uint64_t current;
+    std::memcpy(&current, mem_.data() + start, 8);
+    current = (current & ~mask) | (value & mask);
+    std::memcpy(mem_.data() + start, &current, 8);
+    return true;
+  }
+
   // KASAN-instrumented access: checks shadow, files a report on violation (and
   // still performs the access when the bytes are backed, as real KASAN does).
+  // |ctx| is a static origin string; it is only materialized on violation, so
+  // the hot non-faulting path never constructs a std::string.
   bool CheckedRead(uint64_t addr, size_t size, uint64_t* out, ReportSink& sink,
-                   const std::string& ctx);
+                   const char* ctx);
   bool CheckedWrite(uint64_t addr, size_t size, uint64_t value, ReportSink& sink,
-                    const std::string& ctx);
+                    const char* ctx);
 
   // Uninstrumented native access: succeeds anywhere inside the arena
   // (including redzones/freed memory -> silent corruption); faults outside.
   bool RawRead(uint64_t addr, size_t size, uint64_t* out, ReportSink& sink,
-               const std::string& ctx);
+               const char* ctx);
   bool RawWrite(uint64_t addr, size_t size, uint64_t value, ReportSink& sink,
-                const std::string& ctx);
+                const char* ctx);
 
   // Bulk accessors for kernel-side code operating on its own objects.
   uint8_t* HostPtr(uint64_t addr, size_t size);  // nullptr if out of arena

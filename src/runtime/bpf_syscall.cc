@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "src/ebpf/insn.h"
+#include "src/runtime/decoded_prog.h"
 #include "src/runtime/verdict_cache.h"
 #include "src/sanitizer/instrument.h"
 
@@ -104,11 +105,18 @@ int Bpf::ProgLoad(const Program& prog, VerifierResult* result_out) {
   // verification produced is replayed; verifier branch coverage needs no
   // replay because a hit implies the same program was verified in an earlier
   // sync epoch, so its sites are already in the committed global set.
+  // The decode cache shares the verdict digest: identical key implies the
+  // same verifier output, hence the same rewritten program and aux, hence
+  // the same lowering — so one key computation serves both caches.
+  const bool want_decode_cache = decoded_exec_ && decode_cache_ != nullptr;
+  VerdictKey key{};
+  if (verdict_cache_ != nullptr || want_decode_cache) {
+    key = MakeVerdictKey(prog, kernel_, static_cast<bool>(instrument_),
+                         env.collect_state_claims);
+  }
+
   VerifierResult result;
   if (verdict_cache_ != nullptr) {
-    const VerdictKey key =
-        MakeVerdictKey(prog, kernel_, static_cast<bool>(instrument_),
-                       env.collect_state_claims);
     if (const CachedVerdict* cached = verdict_cache_->Lookup(key)) {
       result = cached->result;
       if (cache_sanitizer_ != nullptr) {
@@ -167,6 +175,19 @@ int Bpf::ProgLoad(const Program& prog, VerifierResult* result_out) {
   loaded->uses_printk_helper = result.uses_printk_helper;
   loaded->uses_signal_helper = result.uses_signal_helper;
   loaded->uses_irqwork_helper = result.uses_irqwork_helper;
+  if (decoded_exec_) {
+    if (want_decode_cache) {
+      loaded->decoded = decode_cache_->Lookup(key);
+      if (loaded->decoded == nullptr) {
+        std::shared_ptr<const DecodedProgram> fresh =
+            DecodeProgram(loaded->prog, loaded->aux);
+        loaded->decoded = fresh;
+        decode_cache_->Insert(key, std::move(fresh));
+      }
+    } else {
+      loaded->decoded = DecodeProgram(loaded->prog, loaded->aux);
+    }
+  }
   const int fd = loaded->id;
   progs_.push_back(std::move(loaded));
   return fd;

@@ -22,6 +22,7 @@ class Sanitizer;
 
 namespace bpf {
 
+class DecodeCacheShard;
 class VerdictCacheShard;
 
 class Bpf {
@@ -56,6 +57,21 @@ class Bpf {
     verdict_cache_ = shard;
     cache_sanitizer_ = sanitizer;
   }
+
+  // Selects the execution engine for programs loaded through this facade:
+  // when on (the default), ProgLoad lowers the verified, rewritten program
+  // into micro-ops once and every run dispatches through the decoded engine;
+  // when off, runs take the legacy instruction-at-a-time path. Both produce
+  // bit-identical results — this is a pure throughput switch. Affects
+  // programs loaded after the call.
+  void set_decoded_exec(bool on) { decoded_exec_ = on; }
+  bool decoded_exec() const { return decoded_exec_; }
+
+  // Installs a digest-keyed decode cache shard: ProgLoad reuses a committed
+  // DecodedProgram instead of re-lowering when the program digest (the same
+  // key the verdict cache uses) is already committed. nullptr decodes fresh
+  // on every load. Only consulted while decoded execution is on.
+  void set_decode_cache(DecodeCacheShard* shard) { decode_cache_ = shard; }
 
   // Case-boundary reset for substrate reuse: unloads every program, resets fd
   // assignment and the XDP dispatcher, and rewinds the kernel substrate
@@ -111,6 +127,8 @@ class Bpf {
   ExecLimits exec_limits_;
   VerdictCacheShard* verdict_cache_ = nullptr;
   bvf::Sanitizer* cache_sanitizer_ = nullptr;
+  DecodeCacheShard* decode_cache_ = nullptr;
+  bool decoded_exec_ = true;
   std::function<void(Program&, std::vector<InsnAux>&)> instrument_;
   ExecObserver exec_observer_;
   std::vector<std::unique_ptr<LoadedProgram>> progs_;

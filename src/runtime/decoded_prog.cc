@@ -1,0 +1,664 @@
+#include "src/runtime/decoded_prog.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+
+#include "src/runtime/helpers.h"
+#include "src/runtime/interp_ops.h"
+#include "src/runtime/kernel.h"
+#include "src/sanitizer/asan_check.h"
+#include "src/verifier/helper_protos.h"
+
+// Dispatch model: with BVF_THREADED_DISPATCH (and a toolchain that has GNU
+// address-of-label), every uop body ends by jumping straight to the next
+// body through a per-opcode jump table — the branch predictor sees one
+// indirect branch per uop site instead of a single shared switch branch.
+// Without it, the same bodies compile as cases of a portable switch. The
+// bodies themselves are written once; only the UOP()/DISPATCH() glue differs.
+#if defined(BVF_THREADED_DISPATCH) && (defined(__GNUC__) || defined(__clang__))
+#define BVF_COMPUTED_GOTO 1
+#else
+#define BVF_COMPUTED_GOTO 0
+#endif
+
+namespace bpf {
+
+namespace {
+
+// Absolute uop index for a control transfer to instruction |target|: anything
+// outside the program lands on the trailing kPcOob sentinel, which reproduces
+// the legacy engine's "pc out of range" abort (including its step charge).
+int32_t MapTarget(int64_t target, size_t insn_count) {
+  return (target < 0 || target > static_cast<int64_t>(insn_count))
+             ? static_cast<int32_t>(insn_count)
+             : static_cast<int32_t>(target);
+}
+
+bool IsAsanLoadId(int32_t id, uint8_t* size, bool* null_ok) {
+  switch (id) {
+    case kAsanLoad8:
+    case kAsanLoad16:
+    case kAsanLoad32:
+    case kAsanLoad64:
+      *size = static_cast<uint8_t>(1u << (id - kAsanLoad8));
+      *null_ok = false;
+      return true;
+    case kAsanLoadBtf8:
+    case kAsanLoadBtf16:
+    case kAsanLoadBtf32:
+    case kAsanLoadBtf64:
+      *size = static_cast<uint8_t>(1u << (id - kAsanLoadBtf8));
+      *null_ok = true;
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsAsanStoreId(int32_t id, uint8_t* size) {
+  switch (id) {
+    case kAsanStore8:
+    case kAsanStore16:
+    case kAsanStore32:
+    case kAsanStore64:
+      *size = static_cast<uint8_t>(1u << (id - kAsanStore8));
+      return true;
+    default:
+      return false;
+  }
+}
+
+struct DecodedFrame {
+  int32_t return_upc;
+  uint64_t saved_regs[4];  // R6-R9
+  uint64_t saved_fp;
+  uint64_t stack_alloc;
+};
+
+}  // namespace
+
+std::shared_ptr<const DecodedProgram> DecodeProgram(const Program& prog,
+                                                    const std::vector<InsnAux>& aux) {
+  auto decoded = std::make_shared<DecodedProgram>();
+  const auto& insns = prog.insns;
+  const size_t n = insns.size();
+  decoded->insn_count = n;
+  decoded->uops.resize(n + 1);
+
+  for (size_t pc = 0; pc < n; ++pc) {
+    const Insn& insn = insns[pc];
+    Uop& u = decoded->uops[pc];
+    u.orig_pc = static_cast<int32_t>(pc);
+    u.dst = insn.dst;
+    u.src = insn.src;
+    u.off = insn.off;
+    // Same predicate the legacy engine evaluates per step: claims describe
+    // the state before the original (non-rewritten) instruction executes.
+    u.witness = pc < aux.size() && !aux[pc].rewritten && !aux[pc].claims.empty();
+    const uint8_t cls = insn.Class();
+
+    if (insn.IsLdImm64()) {
+      if (pc + 1 < n) {
+        u.code = UopCode::kLdImm64;
+        u.imm = static_cast<int64_t>(
+            (static_cast<uint64_t>(static_cast<uint32_t>(insns[pc + 1].imm)) << 32) |
+            static_cast<uint32_t>(insn.imm));
+        u.target = MapTarget(static_cast<int64_t>(pc) + 2, n);
+        // The high slot is decoded on its own loop pass: opcode 0 classifies
+        // to kInvalid, so a jump into the pair aborts exactly like legacy.
+      } else {
+        // A trailing lone ld_imm64 has no high slot to read; the verifier
+        // rejects such encodings, so this is defensive only.
+        u.code = UopCode::kInvalid;
+      }
+      continue;
+    }
+
+    if (cls == kClassAlu64 || cls == kClassAlu) {
+      const uint8_t op = insn.AluOp();
+      if (op == kAluNeg) {
+        u.code = cls == kClassAlu64 ? UopCode::kNeg64 : UopCode::kNeg32;
+        continue;
+      }
+      if (op == kAluEnd) {
+        u.code = UopCode::kEndian;
+        u.flag = (insn.opcode & 0x08) != 0;  // to_be
+        u.imm = insn.imm;                    // width
+        continue;
+      }
+      u.subop = op;
+      if (insn.SrcIsReg()) {
+        u.code = cls == kClassAlu64 ? UopCode::kAlu64Reg : UopCode::kAlu32Reg;
+      } else {
+        u.code = cls == kClassAlu64 ? UopCode::kAlu64Imm : UopCode::kAlu32Imm;
+        u.imm = static_cast<int64_t>(insn.imm);
+      }
+      continue;
+    }
+
+    if (insn.IsMemLoad()) {
+      u.code = UopCode::kLoad;
+      u.size = static_cast<uint8_t>(insn.AccessBytes());
+      u.flag = pc < aux.size() && aux[pc].mem_ptr_type == RegType::kPtrToBtfId;
+      continue;
+    }
+
+    if (insn.IsStore()) {
+      u.size = static_cast<uint8_t>(insn.AccessBytes());
+      if (insn.IsAtomic()) {
+        u.code = UopCode::kAtomic;
+        u.imm = insn.imm;
+        continue;
+      }
+      if (cls == kClassSt) {
+        u.code = UopCode::kStoreImm;
+        u.imm = static_cast<int64_t>(insn.imm);
+      } else {
+        u.code = UopCode::kStoreReg;
+      }
+      continue;
+    }
+
+    if (cls == kClassJmp || cls == kClassJmp32) {
+      const uint8_t op = insn.JmpOp();
+      if (op == kJmpJa) {
+        u.code = UopCode::kJa;
+        u.target = MapTarget(insn.JumpTargetPc(static_cast<int>(pc)), n);
+        continue;
+      }
+      if (op == kJmpExit) {
+        u.code = UopCode::kExit;
+        continue;
+      }
+      if (op == kJmpCall) {
+        // Classification order mirrors the legacy engine: pseudo-func call,
+        // then the internal-id range (regardless of src), then kfunc/helper.
+        if (insn.src == kPseudoCallFunc) {
+          u.code = UopCode::kCallSubprog;
+          u.target = MapTarget(insn.CallTargetPc(static_cast<int>(pc)), n);
+          continue;
+        }
+        u.imm = insn.imm;
+        if (insn.imm >= kInternalBase) {
+          uint8_t size = 0;
+          bool null_ok = false;
+          if (IsAsanLoadId(insn.imm, &size, &null_ok)) {
+            u.code = UopCode::kAsanLoad;
+            u.size = size;
+            u.flag = null_ok;
+          } else if (IsAsanStoreId(insn.imm, &size)) {
+            u.code = UopCode::kAsanStore;
+            u.size = size;
+          } else if (insn.imm == kAsanAluCheckPos) {
+            u.code = UopCode::kAsanAluPos;
+          } else if (insn.imm == kAsanAluCheckNeg) {
+            u.code = UopCode::kAsanAluNeg;
+          } else {
+            u.code = UopCode::kCallInternal;
+          }
+          continue;
+        }
+        u.code = insn.src == kPseudoKfuncCall ? UopCode::kCallKfunc : UopCode::kCallHelper;
+        continue;
+      }
+      // Conditional jump; ops outside the defined set behave as never-taken,
+      // exactly as JmpTaken's default does in the legacy engine.
+      u.subop = op;
+      u.target = MapTarget(insn.JumpTargetPc(static_cast<int>(pc)), n);
+      if (insn.SrcIsReg()) {
+        u.code = cls == kClassJmp32 ? UopCode::kJmp32Reg : UopCode::kJmpReg;
+      } else {
+        u.code = cls == kClassJmp32 ? UopCode::kJmp32Imm : UopCode::kJmpImm;
+        u.imm = static_cast<int64_t>(insn.imm);
+      }
+      continue;
+    }
+
+    u.code = UopCode::kInvalid;  // legacy "unknown opcode"
+  }
+
+  Uop& sentinel = decoded->uops[n];
+  sentinel.code = UopCode::kPcOob;
+  sentinel.orig_pc = static_cast<int32_t>(n);
+  return decoded;
+}
+
+// The run loop is specialized on whether a witness trace is being recorded:
+// campaign executions overwhelmingly run without one, and compiling the
+// witness branch out of the per-uop prologue keeps the hot path to a step
+// check, a watchdog countdown, and the dispatch. Both instantiations execute
+// identical semantics — the parity suite runs with and without witnesses.
+template <bool kWitness>
+ExecResult RunDecodedImpl(Kernel& kernel, const DecodedProgram& decoded, ExecContext& ctx,
+                          const ExecLimits& limits) {
+  ExecResult result;
+  KasanArena& arena = kernel.arena();
+  ReportSink& sink = kernel.reports();
+  const uint64_t max_insns = limits.step_budget;
+
+  // Identical guard setup to the legacy engine: wall-clock watchdog checked
+  // every few thousand steps, armed only when a budget is configured.
+  const bool watchdog = limits.wall_budget_ms > 0;
+  std::chrono::steady_clock::time_point deadline;
+  if (watchdog) {
+    deadline = std::chrono::steady_clock::now() +
+               std::chrono::milliseconds(limits.wall_budget_ms);
+  }
+  constexpr uint64_t kWatchdogStride = 4096;
+  // Countdown replaces the legacy engine's per-step modulo: it reaches zero
+  // exactly when the post-increment step count is a kWatchdogStride multiple,
+  // so the clock is sampled at the same instants as interpreter.cc.
+  uint64_t watchdog_left = kWatchdogStride;
+  // Step counter lives in a local so the hot loop never writes through the
+  // result struct; it is published to result.insns_executed on every exit.
+  uint64_t steps = 0;
+
+  uint64_t regs[kNumTotalRegs] = {};
+  regs[kR1] = ctx.ctx_addr;
+  regs[kR10] = ctx.fp;
+
+  std::vector<DecodedFrame> frames;
+  uint64_t call_counter = 0;
+  // When BpfAsan's own entries back the internal-function table, asan uops
+  // take the inlined checked-access path; otherwise they fall back to the
+  // generic table dispatch (preserving test-installed overrides and the
+  // "unknown internal func" abort when nothing is registered).
+  const bool asan_native = kernel.asan_funcs_native();
+
+  const Uop* const uops = decoded.uops.data();
+  const Uop* u = uops;
+  int32_t upc = 0;
+
+  auto abort_exec = [&](int err, const char* reason) {
+    result.err = err;
+    result.abort_reason = reason;
+  };
+
+#if BVF_COMPUTED_GOTO
+  // Must list every UopCode in declaration order.
+  static const void* const kJumpTable[] = {
+      &&uop_kAlu64Imm,  &&uop_kAlu64Reg,    &&uop_kAlu32Imm,   &&uop_kAlu32Reg,
+      &&uop_kNeg64,     &&uop_kNeg32,       &&uop_kEndian,     &&uop_kLdImm64,
+      &&uop_kLoad,      &&uop_kStoreReg,    &&uop_kStoreImm,   &&uop_kAtomic,
+      &&uop_kJa,        &&uop_kJmpImm,      &&uop_kJmpReg,     &&uop_kJmp32Imm,
+      &&uop_kJmp32Reg,  &&uop_kExit,        &&uop_kCallSubprog, &&uop_kCallHelper,
+      &&uop_kCallKfunc, &&uop_kCallInternal, &&uop_kAsanLoad,  &&uop_kAsanStore,
+      &&uop_kAsanAluPos, &&uop_kAsanAluNeg, &&uop_kInvalid,    &&uop_kPcOob,
+  };
+  static_assert(sizeof(kJumpTable) / sizeof(kJumpTable[0]) == kNumUopCodes,
+                "jump table must cover every UopCode");
+#define UOP(name) uop_##name
+#define DISPATCH() goto* kJumpTable[static_cast<size_t>(u->code)]
+#else
+#define UOP(name) case UopCode::name
+#define DISPATCH() goto dispatch_switch
+#endif
+// One uop is exactly one legacy loop iteration: every transfer re-runs the
+// step prologue — budget charge, watchdog countdown, witness — before the
+// next dispatch, exactly as interpreter.cc does. The prologue is replicated
+// into every handler (classic threaded-code layout): each handler ends in its
+// own indirect jump, so the branch predictor learns per-handler successor
+// patterns instead of funneling every transfer through one shared,
+// maximally-mispredicted dispatch site. The cold halves (budget trip,
+// watchdog fire, witness append) stay out of line.
+#define NEXT(n)                                              \
+  do {                                                       \
+    upc = (n);                                               \
+    if (steps++ >= max_insns) goto budget_exceeded;          \
+    if (watchdog && --watchdog_left == 0) goto watchdog_due; \
+    u = &uops[upc];                                          \
+    if (kWitness && u->witness) goto witness_due;            \
+    DISPATCH();                                              \
+  } while (0)
+
+  NEXT(0);
+
+budget_exceeded:
+  sink.Report(ReportKind::kWarn, "bpf_prog_run",
+              "soft lockup: eBPF program exceeded the execution budget");
+  abort_exec(-ELOOP, "execution budget exceeded");
+  goto done;
+
+watchdog_due:
+  watchdog_left = kWatchdogStride;
+  if (std::chrono::steady_clock::now() >= deadline) {
+    sink.Report(ReportKind::kWarn, "bpf_prog_run",
+                "watchdog: eBPF program exceeded the wall-clock budget");
+    abort_exec(-ETIMEDOUT, "wall-clock budget exceeded");
+    goto done;
+  }
+  u = &uops[upc];
+  if (kWitness && u->witness) goto witness_due;
+  DISPATCH();
+
+witness_due: {
+  WitnessTrace::Entry* entry = ctx.witness->Append(u->orig_pc);
+  if (entry != nullptr) {
+    for (int r = 0; r < kClaimRegs; ++r) {
+      entry->regs[r] = regs[r];
+    }
+  }
+  DISPATCH();
+}
+
+#if !BVF_COMPUTED_GOTO
+dispatch_switch:
+  switch (u->code) {
+#endif
+
+    UOP(kAlu64Imm) : {
+      regs[u->dst] = AluOp64(u->subop, regs[u->dst], static_cast<uint64_t>(u->imm));
+    }
+    NEXT(upc + 1);
+
+    UOP(kAlu64Reg) : {
+      regs[u->dst] = AluOp64(u->subop, regs[u->dst], regs[u->src]);
+    }
+    NEXT(upc + 1);
+
+    UOP(kAlu32Imm) : {
+      regs[u->dst] = AluOp32(u->subop, static_cast<uint32_t>(regs[u->dst]),
+                             static_cast<uint32_t>(u->imm));
+    }
+    NEXT(upc + 1);
+
+    UOP(kAlu32Reg) : {
+      regs[u->dst] = AluOp32(u->subop, static_cast<uint32_t>(regs[u->dst]),
+                             static_cast<uint32_t>(regs[u->src]));
+    }
+    NEXT(upc + 1);
+
+    UOP(kNeg64) : {
+      regs[u->dst] = static_cast<uint64_t>(-static_cast<int64_t>(regs[u->dst]));
+    }
+    NEXT(upc + 1);
+
+    UOP(kNeg32) : {
+      regs[u->dst] = static_cast<uint32_t>(-static_cast<int32_t>(regs[u->dst]));
+    }
+    NEXT(upc + 1);
+
+    UOP(kEndian) : {
+      regs[u->dst] = ExecEndian(regs[u->dst], u->flag, static_cast<int32_t>(u->imm));
+    }
+    NEXT(upc + 1);
+
+    UOP(kLdImm64) : {
+      regs[u->dst] = static_cast<uint64_t>(u->imm);
+    }
+    NEXT(u->target);
+
+    UOP(kLoad) : {
+      if (!ExecMemLoad(arena, sink, regs, u->dst, u->src, u->off, u->size, u->flag)) {
+        abort_exec(-EFAULT, "page fault on load");
+        goto done;
+      }
+    }
+    NEXT(upc + 1);
+
+    UOP(kStoreReg) : {
+      if (!ExecMemStore(arena, sink, regs, u->dst, u->off, regs[u->src], u->size)) {
+        abort_exec(-EFAULT, "page fault on store");
+        goto done;
+      }
+    }
+    NEXT(upc + 1);
+
+    UOP(kStoreImm) : {
+      if (!ExecMemStore(arena, sink, regs, u->dst, u->off, static_cast<uint64_t>(u->imm),
+                        u->size)) {
+        abort_exec(-EFAULT, "page fault on store");
+        goto done;
+      }
+    }
+    NEXT(upc + 1);
+
+    UOP(kAtomic) : {
+      if (!ExecAtomicRmw(arena, sink, regs, u->dst, u->src, u->off, u->size,
+                         static_cast<int32_t>(u->imm))) {
+        abort_exec(-EFAULT, "page fault on atomic");
+        goto done;
+      }
+    }
+    NEXT(upc + 1);
+
+    UOP(kJa) : { }
+    NEXT(u->target);
+
+    UOP(kJmpImm) : {
+      if (JmpTaken(u->subop, regs[u->dst], static_cast<uint64_t>(u->imm), false)) {
+        NEXT(u->target);
+      }
+    }
+    NEXT(upc + 1);
+
+    UOP(kJmpReg) : {
+      if (JmpTaken(u->subop, regs[u->dst], regs[u->src], false)) {
+        NEXT(u->target);
+      }
+    }
+    NEXT(upc + 1);
+
+    UOP(kJmp32Imm) : {
+      if (JmpTaken(u->subop, regs[u->dst], static_cast<uint64_t>(u->imm), true)) {
+        NEXT(u->target);
+      }
+    }
+    NEXT(upc + 1);
+
+    UOP(kJmp32Reg) : {
+      if (JmpTaken(u->subop, regs[u->dst], regs[u->src], true)) {
+        NEXT(u->target);
+      }
+    }
+    NEXT(upc + 1);
+
+    UOP(kExit) : {
+      if (frames.empty()) {
+        result.r0 = regs[kR0];
+        goto done;
+      }
+      const DecodedFrame& frame = frames.back();
+      for (int i = 0; i < 4; ++i) {
+        regs[kR6 + i] = frame.saved_regs[i];
+      }
+      regs[kR10] = frame.saved_fp;
+      arena.Free(frame.stack_alloc);
+      const int32_t return_upc = frame.return_upc;
+      frames.pop_back();
+      NEXT(return_upc);
+    }
+
+    UOP(kCallSubprog) : {
+      if (frames.size() >= static_cast<size_t>(limits.max_call_depth)) {
+        abort_exec(-EFAULT, "call depth exceeded");
+        goto done;
+      }
+      DecodedFrame frame;
+      frame.return_upc = upc + 1;
+      for (int i = 0; i < 4; ++i) {
+        frame.saved_regs[i] = regs[kR6 + i];
+      }
+      frame.saved_fp = regs[kR10];
+      frame.stack_alloc = arena.Alloc(kStackSize + kExtendedStackSize, "bpf_subprog_stack");
+      if (frame.stack_alloc == 0) {
+        abort_exec(-ENOMEM, "subprog stack allocation failed");
+        goto done;
+      }
+      regs[kR10] = frame.stack_alloc + kExtendedStackSize + kStackSize;
+      frames.push_back(frame);
+      NEXT(u->target);
+    }
+
+    UOP(kCallHelper) : {
+      const uint64_t args[5] = {regs[kR1], regs[kR2], regs[kR3], regs[kR4], regs[kR5]};
+      regs[kR0] = DispatchHelper(kernel, ctx, static_cast<int32_t>(u->imm), args);
+      ClobberCallerSaved(regs, ++call_counter);
+    }
+    NEXT(upc + 1);
+
+    UOP(kCallKfunc) : {
+      const uint64_t args[5] = {regs[kR1], regs[kR2], regs[kR3], regs[kR4], regs[kR5]};
+      regs[kR0] = DispatchKfunc(kernel, ctx, static_cast<int32_t>(u->imm), args);
+      ClobberCallerSaved(regs, ++call_counter);
+    }
+    NEXT(upc + 1);
+
+    UOP(kCallInternal) : {
+      const InternalFn* fn = kernel.FindInternalFunc(static_cast<int32_t>(u->imm));
+      if (fn == nullptr) {
+        abort_exec(-EFAULT, "unknown internal func");
+        goto done;
+      }
+      const uint64_t args[5] = {regs[kR1], regs[kR2], regs[kR3], regs[kR4], regs[kR5]};
+      regs[kR0] = (*fn)(kernel, ctx, args);
+    }
+    NEXT(upc + 1);
+
+    UOP(kAsanLoad) : {
+      if (asan_native) {
+        // Word-wide fast path; anything but a clean interior hit falls back
+        // to the reporting path, which re-classifies from scratch.
+        uint64_t value;
+        if (arena.FastCheckedLoad(regs[kR1], u->size, &value)) {
+          regs[kR0] = value;
+        } else {
+          regs[kR0] = AsanCheckedLoad(arena, sink, regs[kR1], u->size, u->flag);
+        }
+      } else {
+        const InternalFn* fn = kernel.FindInternalFunc(static_cast<int32_t>(u->imm));
+        if (fn == nullptr) {
+          abort_exec(-EFAULT, "unknown internal func");
+          goto done;
+        }
+        const uint64_t args[5] = {regs[kR1], regs[kR2], regs[kR3], regs[kR4], regs[kR5]};
+        regs[kR0] = (*fn)(kernel, ctx, args);
+      }
+    }
+    NEXT(upc + 1);
+
+    UOP(kAsanStore) : {
+      if (asan_native) {
+        if (!arena.FastCheckedStore(regs[kR1], u->size, regs[kR2])) {
+          AsanCheckedStore(arena, sink, regs[kR1], regs[kR2], u->size);
+        }
+        regs[kR0] = 0;
+      } else {
+        const InternalFn* fn = kernel.FindInternalFunc(static_cast<int32_t>(u->imm));
+        if (fn == nullptr) {
+          abort_exec(-EFAULT, "unknown internal func");
+          goto done;
+        }
+        const uint64_t args[5] = {regs[kR1], regs[kR2], regs[kR3], regs[kR4], regs[kR5]};
+        regs[kR0] = (*fn)(kernel, ctx, args);
+      }
+    }
+    NEXT(upc + 1);
+
+    UOP(kAsanAluPos) : {
+      if (asan_native) {
+        AsanCheckAluPos(sink, regs[kR1], regs[kR2]);
+        regs[kR0] = 0;
+      } else {
+        const InternalFn* fn = kernel.FindInternalFunc(static_cast<int32_t>(u->imm));
+        if (fn == nullptr) {
+          abort_exec(-EFAULT, "unknown internal func");
+          goto done;
+        }
+        const uint64_t args[5] = {regs[kR1], regs[kR2], regs[kR3], regs[kR4], regs[kR5]};
+        regs[kR0] = (*fn)(kernel, ctx, args);
+      }
+    }
+    NEXT(upc + 1);
+
+    UOP(kAsanAluNeg) : {
+      if (asan_native) {
+        AsanCheckAluNeg(sink, regs[kR1], regs[kR2]);
+        regs[kR0] = 0;
+      } else {
+        const InternalFn* fn = kernel.FindInternalFunc(static_cast<int32_t>(u->imm));
+        if (fn == nullptr) {
+          abort_exec(-EFAULT, "unknown internal func");
+          goto done;
+        }
+        const uint64_t args[5] = {regs[kR1], regs[kR2], regs[kR3], regs[kR4], regs[kR5]};
+        regs[kR0] = (*fn)(kernel, ctx, args);
+      }
+    }
+    NEXT(upc + 1);
+
+    UOP(kInvalid) : {
+      abort_exec(-EINVAL, "unknown opcode");
+      goto done;
+    }
+
+    UOP(kPcOob) : {
+      abort_exec(-EFAULT, "pc out of range");
+      goto done;
+    }
+
+#if !BVF_COMPUTED_GOTO
+  }
+  abort_exec(-EINVAL, "unknown opcode");  // unreachable: the switch is total
+  goto done;
+#endif
+
+#undef UOP
+#undef DISPATCH
+#undef NEXT
+
+done:
+  result.insns_executed = steps;
+  // Release any leaked subprogram stacks on abnormal exit.
+  for (const DecodedFrame& frame : frames) {
+    arena.Free(frame.stack_alloc);
+  }
+  return result;
+}
+
+ExecResult RunDecoded(Kernel& kernel, const DecodedProgram& decoded, ExecContext& ctx,
+                      const ExecLimits& limits) {
+  if (ctx.witness != nullptr) {
+    return RunDecodedImpl<true>(kernel, decoded, ctx, limits);
+  }
+  return RunDecodedImpl<false>(kernel, decoded, ctx, limits);
+}
+
+void DecodeCache::CommitOne(const VerdictKey& key,
+                            std::shared_ptr<const DecodedProgram> decoded) {
+  if (committed_.find(key) != committed_.end()) {
+    return;  // first commit wins
+  }
+  if (committed_.size() >= max_entries_ && !fifo_.empty()) {
+    committed_.erase(fifo_.front());
+    fifo_.pop_front();
+    ++evictions_;
+  }
+  committed_.emplace(key, std::move(decoded));
+  fifo_.push_back(key);
+}
+
+void DecodeCache::CommitShards(const std::vector<DecodeCacheShard*>& shards) {
+  // Iteration-ordered merge: both the insert order and the FIFO eviction
+  // order — and therefore every later epoch's hit/miss/evict sequence — are
+  // independent of how iterations were sharded across workers.
+  std::vector<DecodeCacheShard::Pending*> merged;
+  for (DecodeCacheShard* shard : shards) {
+    for (auto& pending : shard->pending_) {
+      merged.push_back(&pending);
+    }
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const DecodeCacheShard::Pending* a, const DecodeCacheShard::Pending* b) {
+              return a->iteration < b->iteration;
+            });
+  for (DecodeCacheShard::Pending* pending : merged) {
+    CommitOne(pending->key, std::move(pending->decoded));
+  }
+  for (DecodeCacheShard* shard : shards) {
+    shard->pending_.clear();
+  }
+}
+
+}  // namespace bpf

@@ -7,6 +7,7 @@
 #define SRC_RUNTIME_EXEC_CONTEXT_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -83,6 +84,8 @@ struct ExecContext {
   }
 };
 
+struct DecodedProgram;
+
 // A verified, rewritten, loadable program as stored by the syscall layer.
 struct LoadedProgram {
   int id = 0;
@@ -90,6 +93,12 @@ struct LoadedProgram {
   Program prog;               // rewritten instruction stream
   std::vector<InsnAux> aux;   // parallel per-insn metadata
   bool offloaded = false;     // XDP device offload requested (bug #11 path)
+
+  // Micro-op lowering of |prog| (src/runtime/decoded_prog.h), produced at
+  // load time when decoded execution is enabled; null runs the legacy
+  // instruction-at-a-time interpreter. Shared with the decode cache, so an
+  // evicted entry stays alive for as long as any loaded program uses it.
+  std::shared_ptr<const DecodedProgram> decoded;
 
   // Behavioural summary from verification (attach policy input).
   bool uses_lock_helper = false;

@@ -1,0 +1,233 @@
+// Shared per-instruction semantics of the eBPF execution engines.
+//
+// Both the legacy instruction-at-a-time interpreter (interpreter.cc) and the
+// pre-decoded micro-op engine (decoded_prog.cc) execute through these inline
+// primitives, so the edge semantics audited against the Linux interpreter —
+// shift-count masking (&63 / &31, matching the kernel's since-4.16 JIT/interp
+// behavior), div/mod-by-zero (dst=0 / dst unchanged, BPF's defined result
+// rather than a trap), 32-bit div/mod operating on truncated operands, and
+// ByteSwap treating any width outside {16,32,64} as a no-op for bswap/to_be
+// and as a plain mask for to_le — are locked down in exactly one place.
+// A divergence between the engines would have to be introduced outside this
+// header, which the differential parity suite (tests/interp_parity_test.cc)
+// would catch.
+
+#ifndef SRC_RUNTIME_INTERP_OPS_H_
+#define SRC_RUNTIME_INTERP_OPS_H_
+
+#include <cstdint>
+
+#include "src/ebpf/insn.h"
+#include "src/kernel/kasan.h"
+#include "src/kernel/report.h"
+
+namespace bpf {
+
+inline uint64_t ByteSwap(uint64_t value, int width) {
+  switch (width) {
+    case 16:
+      return __builtin_bswap16(static_cast<uint16_t>(value));
+    case 32:
+      return __builtin_bswap32(static_cast<uint32_t>(value));
+    case 64:
+      return __builtin_bswap64(value);
+    default:
+      return value;
+  }
+}
+
+// BPF_END. to_le on this little-endian model is a pure truncation mask,
+// exactly the kernel interpreter's (__u16)/(__u32) casts; to_be byteswaps.
+// Reserved widths are rejected at load (program.cc ValidAluOpcode, matching
+// Linux's "BPF_END uses reserved fields"), so the out-of-range arms are
+// defensive — but they are still pinned down (interpreter_test.cc
+// EdgeSemanticsTest): to_be at an unknown width is a no-op (ByteSwap's
+// default), to_le at width >= 64 is a no-op, and width <= 0 clears the value
+// instead of shifting by a negative amount.
+inline uint64_t ExecEndian(uint64_t value, bool to_be, int32_t width) {
+  if (to_be) {
+    return ByteSwap(value, width);
+  }
+  if (width >= 64) {
+    return value;
+  }
+  if (width <= 0) {
+    return 0;
+  }
+  return value & ((1ull << width) - 1);
+}
+
+inline uint64_t AluOp64(uint8_t op, uint64_t dst, uint64_t src) {
+  switch (op) {
+    case kAluAdd:
+      return dst + src;
+    case kAluSub:
+      return dst - src;
+    case kAluMul:
+      return dst * src;
+    case kAluDiv:
+      return src == 0 ? 0 : dst / src;
+    case kAluOr:
+      return dst | src;
+    case kAluAnd:
+      return dst & src;
+    case kAluLsh:
+      return dst << (src & 63);
+    case kAluRsh:
+      return dst >> (src & 63);
+    case kAluMod:
+      return src == 0 ? dst : dst % src;
+    case kAluXor:
+      return dst ^ src;
+    case kAluMov:
+      return src;
+    case kAluArsh:
+      return static_cast<uint64_t>(static_cast<int64_t>(dst) >> (src & 63));
+    default:
+      return dst;
+  }
+}
+
+inline uint32_t AluOp32(uint8_t op, uint32_t dst, uint32_t src) {
+  switch (op) {
+    case kAluArsh:
+      return static_cast<uint32_t>(static_cast<int32_t>(dst) >> (src & 31));
+    case kAluLsh:
+      return dst << (src & 31);
+    case kAluRsh:
+      return dst >> (src & 31);
+    case kAluDiv:
+      return src == 0 ? 0 : dst / src;
+    case kAluMod:
+      return src == 0 ? dst : dst % src;
+    default:
+      return static_cast<uint32_t>(AluOp64(op, dst, src));
+  }
+}
+
+inline bool JmpTaken(uint8_t op, uint64_t dst, uint64_t src, bool is32) {
+  if (is32) {
+    dst = static_cast<uint32_t>(dst);
+    src = static_cast<uint32_t>(src);
+  }
+  const int64_t sdst = is32 ? static_cast<int32_t>(dst) : static_cast<int64_t>(dst);
+  const int64_t ssrc = is32 ? static_cast<int32_t>(src) : static_cast<int64_t>(src);
+  switch (op) {
+    case kJmpJeq:
+      return dst == src;
+    case kJmpJne:
+      return dst != src;
+    case kJmpJgt:
+      return dst > src;
+    case kJmpJge:
+      return dst >= src;
+    case kJmpJlt:
+      return dst < src;
+    case kJmpJle:
+      return dst <= src;
+    case kJmpJset:
+      return (dst & src) != 0;
+    case kJmpJsgt:
+      return sdst > ssrc;
+    case kJmpJsge:
+      return sdst >= ssrc;
+    case kJmpJslt:
+      return sdst < ssrc;
+    case kJmpJsle:
+      return sdst <= ssrc;
+    default:
+      return false;
+  }
+}
+
+// Uninstrumented memory load. Returns false when the access faulted and the
+// caller must abort with -EFAULT "page fault on load" (the oops was already
+// filed). |btf_load| marks PTR_TO_BTF_ID loads, which are exception-table
+// handled: a faulting access reads as zero instead of oopsing.
+inline bool ExecMemLoad(KasanArena& arena, ReportSink& sink, uint64_t* regs,
+                        uint8_t dst, uint8_t src, int64_t off, int size,
+                        bool btf_load) {
+  const uint64_t addr = regs[src] + off;
+  // ClassifyRange suffices: an uninstrumented load only faults on unbacked
+  // memory (kNull/kWild), which is a range property; shadow state is
+  // irrelevant here (redzones/freed bytes read silently, as in JITed code).
+  const AccessResult probe = arena.ClassifyRange(addr, size);
+  if (probe == AccessResult::kNull || probe == AccessResult::kWild) {
+    if (btf_load) {
+      regs[dst] = 0;
+      return true;
+    }
+    arena.RawRead(addr, size, nullptr, sink, "bpf_prog_run");  // files the oops
+    return false;
+  }
+  uint64_t value = 0;
+  arena.RawRead(addr, size, &value, sink, "bpf_prog_run");
+  regs[dst] = value;
+  return true;
+}
+
+// Uninstrumented store of |value| through regs[dst]+off. Returns false when
+// the caller must abort with -EFAULT "page fault on store".
+inline bool ExecMemStore(KasanArena& arena, ReportSink& sink, const uint64_t* regs,
+                         uint8_t dst, int64_t off, uint64_t value, int size) {
+  return arena.RawWrite(regs[dst] + off, size, value, sink, "bpf_prog_run");
+}
+
+// Atomic read-modify-write (BPF_STX | BPF_ATOMIC). Returns false when the
+// initial read faulted and the caller must abort with -EFAULT "page fault on
+// atomic". cmpxchg compares against R0 and always writes the old value back
+// to R0; xchg and any FETCH-flagged op write the old value to regs[src].
+inline bool ExecAtomicRmw(KasanArena& arena, ReportSink& sink, uint64_t* regs,
+                          uint8_t dst, uint8_t src, int64_t off, int size,
+                          int32_t imm) {
+  const uint64_t addr = regs[dst] + off;
+  uint64_t old = 0;
+  if (!arena.RawRead(addr, size, &old, sink, "bpf_prog_run")) {
+    return false;
+  }
+  const uint64_t operand = regs[src];
+  uint64_t updated = old;
+  switch (imm & ~kAtomicFetch) {
+    case kAtomicAdd:
+      updated = old + operand;
+      break;
+    case kAtomicOr:
+      updated = old | operand;
+      break;
+    case kAtomicAnd:
+      updated = old & operand;
+      break;
+    case kAtomicXor:
+      updated = old ^ operand;
+      break;
+    default:
+      break;
+  }
+  if (imm == kAtomicXchg) {
+    updated = operand;
+  } else if (imm == kAtomicCmpXchg) {
+    updated = (old == regs[kR0]) ? operand : old;
+    regs[kR0] = old;
+  }
+  if (size == 4) {
+    updated = static_cast<uint32_t>(updated);
+  }
+  arena.RawWrite(addr, size, updated, sink, "bpf_prog_run");
+  if ((imm & kAtomicFetch) != 0 || imm == kAtomicXchg) {
+    regs[src] = old;
+  }
+  return true;
+}
+
+// Native calling convention: helper and kfunc calls clobber the argument
+// registers. The garbage left behind is what makes stale verifier bounds
+// (bug #3) observable at runtime.
+inline void ClobberCallerSaved(uint64_t* regs, uint64_t call_counter) {
+  for (int r = kR1; r <= kR5; ++r) {
+    regs[r] = 0xdead0000beef0000ull ^ (call_counter << 8) ^ static_cast<uint64_t>(r);
+  }
+}
+
+}  // namespace bpf
+
+#endif  // SRC_RUNTIME_INTERP_OPS_H_

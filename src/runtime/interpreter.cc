@@ -4,108 +4,14 @@
 #include <chrono>
 #include <vector>
 
+#include "src/runtime/decoded_prog.h"
 #include "src/runtime/helpers.h"
+#include "src/runtime/interp_ops.h"
 #include "src/verifier/helper_protos.h"
 
 namespace bpf {
 
 namespace {
-
-uint64_t ByteSwap(uint64_t value, int width) {
-  switch (width) {
-    case 16:
-      return __builtin_bswap16(static_cast<uint16_t>(value));
-    case 32:
-      return __builtin_bswap32(static_cast<uint32_t>(value));
-    case 64:
-      return __builtin_bswap64(value);
-    default:
-      return value;
-  }
-}
-
-uint64_t AluOp64(uint8_t op, uint64_t dst, uint64_t src) {
-  switch (op) {
-    case kAluAdd:
-      return dst + src;
-    case kAluSub:
-      return dst - src;
-    case kAluMul:
-      return dst * src;
-    case kAluDiv:
-      return src == 0 ? 0 : dst / src;
-    case kAluOr:
-      return dst | src;
-    case kAluAnd:
-      return dst & src;
-    case kAluLsh:
-      return dst << (src & 63);
-    case kAluRsh:
-      return dst >> (src & 63);
-    case kAluMod:
-      return src == 0 ? dst : dst % src;
-    case kAluXor:
-      return dst ^ src;
-    case kAluMov:
-      return src;
-    case kAluArsh:
-      return static_cast<uint64_t>(static_cast<int64_t>(dst) >> (src & 63));
-    default:
-      return dst;
-  }
-}
-
-uint32_t AluOp32(uint8_t op, uint32_t dst, uint32_t src) {
-  switch (op) {
-    case kAluArsh:
-      return static_cast<uint32_t>(static_cast<int32_t>(dst) >> (src & 31));
-    case kAluLsh:
-      return dst << (src & 31);
-    case kAluRsh:
-      return dst >> (src & 31);
-    case kAluDiv:
-      return src == 0 ? 0 : dst / src;
-    case kAluMod:
-      return src == 0 ? dst : dst % src;
-    default:
-      return static_cast<uint32_t>(AluOp64(op, dst, src));
-  }
-}
-
-bool JmpTaken(uint8_t op, uint64_t dst, uint64_t src, bool is32) {
-  if (is32) {
-    dst = static_cast<uint32_t>(dst);
-    src = static_cast<uint32_t>(src);
-  }
-  const int64_t sdst = is32 ? static_cast<int32_t>(dst) : static_cast<int64_t>(dst);
-  const int64_t ssrc = is32 ? static_cast<int32_t>(src) : static_cast<int64_t>(src);
-  switch (op) {
-    case kJmpJeq:
-      return dst == src;
-    case kJmpJne:
-      return dst != src;
-    case kJmpJgt:
-      return dst > src;
-    case kJmpJge:
-      return dst >= src;
-    case kJmpJlt:
-      return dst < src;
-    case kJmpJle:
-      return dst <= src;
-    case kJmpJset:
-      return (dst & src) != 0;
-    case kJmpJsgt:
-      return sdst > ssrc;
-    case kJmpJsge:
-      return sdst >= ssrc;
-    case kJmpJslt:
-      return sdst < ssrc;
-    case kJmpJsle:
-      return sdst <= ssrc;
-    default:
-      return false;
-  }
-}
 
 struct CallFrame {
   int return_pc;
@@ -118,6 +24,14 @@ struct CallFrame {
 
 ExecResult Interpreter::Run(const LoadedProgram& prog, ExecContext& ctx,
                             const ExecLimits& limits) {
+  if (prog.decoded != nullptr) {
+    return RunDecoded(kernel_, *prog.decoded, ctx, limits);
+  }
+  return RunLegacy(prog, ctx, limits);
+}
+
+ExecResult Interpreter::RunLegacy(const LoadedProgram& prog, ExecContext& ctx,
+                                  const ExecLimits& limits) {
   ExecResult result;
   KasanArena& arena = kernel_.arena();
   ReportSink& sink = kernel_.reports();
@@ -205,13 +119,7 @@ ExecResult Interpreter::Run(const LoadedProgram& prog, ExecContext& ctx,
       }
       if (op == kAluEnd) {
         const bool to_be = (insn.opcode & 0x08) != 0;
-        uint64_t v = regs[insn.dst];
-        if (to_be) {
-          v = ByteSwap(v, insn.imm);
-        } else {
-          v = insn.imm >= 64 ? v : (v & ((1ull << insn.imm) - 1));
-        }
-        regs[insn.dst] = v;
+        regs[insn.dst] = ExecEndian(regs[insn.dst], to_be, insn.imm);
         ++pc;
         continue;
       }
@@ -232,70 +140,25 @@ ExecResult Interpreter::Run(const LoadedProgram& prog, ExecContext& ctx,
 
     // ---- Loads ----
     if (insn.IsMemLoad()) {
-      const uint64_t addr = regs[insn.src] + static_cast<int64_t>(insn.off);
-      const int size = insn.AccessBytes();
-      const AccessResult probe = arena.Classify(addr, size);
-      if (probe == AccessResult::kNull || probe == AccessResult::kWild) {
-        const bool btf_load = pc < static_cast<int>(prog.aux.size()) &&
-                              prog.aux[pc].mem_ptr_type == RegType::kPtrToBtfId;
-        if (btf_load) {
-          // PTR_TO_BTF_ID loads are exception-table handled: a faulting
-          // access reads as zero instead of oopsing.
-          regs[insn.dst] = 0;
-          ++pc;
-          continue;
-        }
-        arena.RawRead(addr, size, nullptr, sink, "bpf_prog_run");  // files the oops
+      const bool btf_load = pc < static_cast<int>(prog.aux.size()) &&
+                            prog.aux[pc].mem_ptr_type == RegType::kPtrToBtfId;
+      if (!ExecMemLoad(arena, sink, regs, insn.dst, insn.src, insn.off,
+                       insn.AccessBytes(), btf_load)) {
         abort_exec(-EFAULT, "page fault on load");
         break;
       }
-      uint64_t value = 0;
-      arena.RawRead(addr, size, &value, sink, "bpf_prog_run");
-      regs[insn.dst] = value;
       ++pc;
       continue;
     }
 
     // ---- Stores / atomics ----
     if (insn.IsStore()) {
-      const uint64_t addr = regs[insn.dst] + static_cast<int64_t>(insn.off);
       const int size = insn.AccessBytes();
       if (insn.IsAtomic()) {
-        uint64_t old = 0;
-        if (!arena.RawRead(addr, size, &old, sink, "bpf_prog_run")) {
+        if (!ExecAtomicRmw(arena, sink, regs, insn.dst, insn.src, insn.off, size,
+                           insn.imm)) {
           abort_exec(-EFAULT, "page fault on atomic");
           break;
-        }
-        const uint64_t operand = regs[insn.src];
-        uint64_t updated = old;
-        switch (insn.imm & ~kAtomicFetch) {
-          case kAtomicAdd:
-            updated = old + operand;
-            break;
-          case kAtomicOr:
-            updated = old | operand;
-            break;
-          case kAtomicAnd:
-            updated = old & operand;
-            break;
-          case kAtomicXor:
-            updated = old ^ operand;
-            break;
-          default:
-            break;
-        }
-        if (insn.imm == kAtomicXchg) {
-          updated = operand;
-        } else if (insn.imm == kAtomicCmpXchg) {
-          updated = (old == regs[kR0]) ? operand : old;
-          regs[kR0] = old;
-        }
-        if (size == 4) {
-          updated = static_cast<uint32_t>(updated);
-        }
-        arena.RawWrite(addr, size, updated, sink, "bpf_prog_run");
-        if ((insn.imm & kAtomicFetch) != 0 || insn.imm == kAtomicXchg) {
-          regs[insn.src] = old;
         }
         ++pc;
         continue;
@@ -303,7 +166,7 @@ ExecResult Interpreter::Run(const LoadedProgram& prog, ExecContext& ctx,
       const uint64_t value =
           insn.Class() == kClassSt ? static_cast<uint64_t>(static_cast<int64_t>(insn.imm))
                                    : regs[insn.src];
-      if (!arena.RawWrite(addr, size, value, sink, "bpf_prog_run")) {
+      if (!ExecMemStore(arena, sink, regs, insn.dst, insn.off, value, size)) {
         abort_exec(-EFAULT, "page fault on store");
         break;
       }
@@ -315,7 +178,7 @@ ExecResult Interpreter::Run(const LoadedProgram& prog, ExecContext& ctx,
     if (cls == kClassJmp || cls == kClassJmp32) {
       const uint8_t op = insn.JmpOp();
       if (op == kJmpJa) {
-        pc += 1 + insn.off;
+        pc = insn.JumpTargetPc(pc);
         continue;
       }
       if (op == kJmpExit) {
@@ -353,7 +216,7 @@ ExecResult Interpreter::Run(const LoadedProgram& prog, ExecContext& ctx,
           }
           regs[kR10] = frame.stack_alloc + kExtendedStackSize + kStackSize;
           frames.push_back(frame);
-          pc = pc + 1 + insn.imm;
+          pc = insn.CallTargetPc(pc);
           continue;
         }
         const uint64_t args[5] = {regs[kR1], regs[kR2], regs[kR3], regs[kR4], regs[kR5]};
@@ -373,13 +236,7 @@ ExecResult Interpreter::Run(const LoadedProgram& prog, ExecContext& ctx,
         } else {
           regs[kR0] = DispatchHelper(kernel_, ctx, insn.imm, args);
         }
-        // Native calling convention clobbers the argument registers. The
-        // garbage left behind is what makes stale verifier bounds (bug #3)
-        // observable at runtime.
-        ++call_counter;
-        for (int r = kR1; r <= kR5; ++r) {
-          regs[r] = 0xdead0000beef0000ull ^ (call_counter << 8) ^ static_cast<uint64_t>(r);
-        }
+        ClobberCallerSaved(regs, ++call_counter);
         ++pc;
         continue;
       }
@@ -388,7 +245,7 @@ ExecResult Interpreter::Run(const LoadedProgram& prog, ExecContext& ctx,
                                    ? regs[insn.src]
                                    : static_cast<uint64_t>(static_cast<int64_t>(insn.imm));
       if (JmpTaken(op, regs[insn.dst], src_val, cls == kClassJmp32)) {
-        pc += 1 + insn.off;
+        pc = insn.JumpTargetPc(pc);
       } else {
         ++pc;
       }

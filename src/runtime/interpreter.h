@@ -19,8 +19,15 @@ class Interpreter {
 
   // Executes |prog| in |ctx| under the given execution guards (step budget,
   // optional wall-clock watchdog, call-depth ceiling). Guard trips abort with
-  // a classified error instead of hanging the campaign.
+  // a classified error instead of hanging the campaign. Takes the pre-decoded
+  // micro-op engine when the program carries a DecodedProgram (the default
+  // load path), else the instruction-at-a-time path; both are behaviorally
+  // identical (tests/interp_parity_test.cc).
   ExecResult Run(const LoadedProgram& prog, ExecContext& ctx, const ExecLimits& limits);
+
+  // Always interprets the raw instruction stream, ignoring prog.decoded.
+  // Exposed for the differential parity suite and the interpreter benchmark.
+  ExecResult RunLegacy(const LoadedProgram& prog, ExecContext& ctx, const ExecLimits& limits);
 
   // Convenience overload: default guards with an explicit step budget (the
   // real kernel relies on the verifier; a missed unbounded loop here is

@@ -81,6 +81,10 @@ uint64_t Kernel::BtfObjAddr(int btf_struct_id) const {
 }
 
 void Kernel::RegisterInternalFunc(int32_t id, InternalFn fn) {
+  // Any (re)binding may replace a BpfAsan entry, so the decoded engine's
+  // inlined fast paths are no longer known-equivalent to the table.
+  // BpfAsan::Register re-asserts the flag once its full set is installed.
+  asan_funcs_native_ = false;
   internal_funcs_[id] = std::move(fn);
 }
 

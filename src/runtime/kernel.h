@@ -84,6 +84,14 @@ class Kernel {
   void RegisterInternalFunc(int32_t id, InternalFn fn);
   const InternalFn* FindInternalFunc(int32_t id) const;
 
+  // True while the bpf_asan_* ids resolve to BpfAsan's own entries
+  // (BpfAsan::Register sets it; re-registering any id in the asan range
+  // clears it). The pre-decoded engine consults this before taking its
+  // inlined asan fast paths; when false it falls back to the generic
+  // internal-function table, preserving whatever a test installed.
+  bool asan_funcs_native() const { return asan_funcs_native_; }
+  void set_asan_funcs_native(bool native) { asan_funcs_native_ = native; }
+
   // Deterministic "entropy" sources for helpers.
   uint64_t NextKtime() { return ktime_ += 1000; }
   uint32_t NextPrandom() {
@@ -116,6 +124,7 @@ class Kernel {
   int lock_irq_work_ = 0;
 
   std::map<int32_t, InternalFn> internal_funcs_;
+  bool asan_funcs_native_ = false;
   FaultInjector* fault_injector_ = nullptr;
   uint64_t ktime_ = 1'000'000'000;
   uint32_t prandom_ = 0x12345678;

@@ -1,0 +1,113 @@
+// Header-only core of the bpf_asan_* checked-access semantics.
+//
+// BpfAsan (asan_funcs.cc) registers these as internal kernel functions that
+// sanitized programs dispatch to through the generic call path, and the
+// pre-decoded execution engine (src/runtime/decoded_prog.cc) inlines the same
+// code directly into its asan micro-ops — bypassing the id->std::function
+// table on the hot path. Keeping one definition here is what makes the fast
+// path behaviorally identical to the dispatched path: same classification,
+// same report kinds, origins ("bpf_asan_load"/"bpf_asan_store"/"bpf_asan_alu")
+// and detail strings, byte for byte.
+//
+// Only kernel-layer types appear here (KasanArena, ReportSink), so including
+// this header from src/runtime does not create a link dependency on the
+// sanitizer library.
+
+#ifndef SRC_SANITIZER_ASAN_CHECK_H_
+#define SRC_SANITIZER_ASAN_CHECK_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "src/kernel/kasan.h"
+#include "src/kernel/report.h"
+
+namespace bpf {
+namespace asan_detail {
+
+inline std::string DescribeAccess(uint64_t addr, int size, bool write) {
+  char buf[96];
+  snprintf(buf, sizeof(buf), "%s of size %d at 0x%016llx in verified program",
+           write ? "write" : "read", size, static_cast<unsigned long long>(addr));
+  return buf;
+}
+
+inline ReportKind KindForAccess(AccessResult result) {
+  switch (result) {
+    case AccessResult::kOob:
+      return ReportKind::kBpfAsanOob;
+    case AccessResult::kUseAfterFree:
+      return ReportKind::kBpfAsanUseAfterFree;
+    case AccessResult::kNull:
+      return ReportKind::kBpfAsanNullDeref;
+    default:
+      return ReportKind::kBpfAsanWild;
+  }
+}
+
+}  // namespace asan_detail
+
+// R1 = target address: the checked |size|-byte load. |null_ok| marks
+// exception-handled PTR_TO_BTF_ID loads, whose NULL dereference the kernel
+// fixes up (returns 0) rather than oopsing.
+inline uint64_t AsanCheckedLoad(KasanArena& arena, ReportSink& sink, uint64_t addr,
+                                int size, bool null_ok) {
+  const AccessResult result = arena.Classify(addr, size);
+  if (result == AccessResult::kOk) {
+    uint64_t value = 0;
+    arena.CopyOut(addr, &value, size);
+    return value;
+  }
+  if (null_ok && result == AccessResult::kNull) {
+    return 0;  // exception-table handled BTF load
+  }
+  std::string details = asan_detail::DescribeAccess(addr, size, /*write=*/false);
+  if (result == AccessResult::kOob) {
+    details += arena.DescribeNearest(addr, size);
+  }
+  sink.Report(asan_detail::KindForAccess(result), "bpf_asan_load", std::move(details));
+  return 0;
+}
+
+// R1 = target address, R2 = value: the checked |size|-byte store.
+inline void AsanCheckedStore(KasanArena& arena, ReportSink& sink, uint64_t addr,
+                             uint64_t value, int size) {
+  const AccessResult result = arena.Classify(addr, size);
+  if (result == AccessResult::kOk) {
+    arena.CopyIn(addr, &value, size);
+    return;
+  }
+  std::string details = asan_detail::DescribeAccess(addr, size, /*write=*/true);
+  if (result == AccessResult::kOob) {
+    details += arena.DescribeNearest(addr, size);
+  }
+  sink.Report(asan_detail::KindForAccess(result), "bpf_asan_store", std::move(details));
+}
+
+// R1 = runtime scalar offset, R2 = limit: assert(offset <= alu_limit) in the
+// positive direction (paper: assert(offset < alu_limit)).
+inline void AsanCheckAluPos(ReportSink& sink, uint64_t value, uint64_t limit) {
+  if (value > limit) {
+    char buf[96];
+    snprintf(buf, sizeof(buf), "runtime offset %llu exceeds alu_limit %llu",
+             static_cast<unsigned long long>(value), static_cast<unsigned long long>(limit));
+    sink.Report(ReportKind::kAluLimitViolation, "bpf_asan_alu", buf);
+  }
+}
+
+// Negative direction: the offset must be a non-positive value whose magnitude
+// stays within the limit.
+inline void AsanCheckAluNeg(ReportSink& sink, uint64_t value, uint64_t limit) {
+  const uint64_t magnitude = static_cast<uint64_t>(-static_cast<int64_t>(value));
+  if (static_cast<int64_t>(value) > 0 || magnitude > limit) {
+    char buf[96];
+    snprintf(buf, sizeof(buf), "runtime offset %lld outside negative alu_limit %llu",
+             static_cast<long long>(value), static_cast<unsigned long long>(limit));
+    sink.Report(ReportKind::kAluLimitViolation, "bpf_asan_alu", buf);
+  }
+}
+
+}  // namespace bpf
+
+#endif  // SRC_SANITIZER_ASAN_CHECK_H_

@@ -1,85 +1,28 @@
 #include "src/sanitizer/asan_funcs.h"
 
-#include <cstdio>
-
+#include "src/sanitizer/asan_check.h"
 #include "src/verifier/helper_protos.h"
 
 namespace bpf {
 
-namespace {
-
-std::string Describe(uint64_t addr, int size, bool write) {
-  char buf[96];
-  snprintf(buf, sizeof(buf), "%s of size %d at 0x%016llx in verified program",
-           write ? "write" : "read", size, static_cast<unsigned long long>(addr));
-  return buf;
-}
-
-ReportKind KindFor(AccessResult result) {
-  switch (result) {
-    case AccessResult::kOob:
-      return ReportKind::kBpfAsanOob;
-    case AccessResult::kUseAfterFree:
-      return ReportKind::kBpfAsanUseAfterFree;
-    case AccessResult::kNull:
-      return ReportKind::kBpfAsanNullDeref;
-    default:
-      return ReportKind::kBpfAsanWild;
-  }
-}
-
-}  // namespace
+// The checked-access semantics live in asan_check.h so the pre-decoded
+// execution engine can inline them; these entry points keep the historical
+// BpfAsan surface and the internal-function registrations.
 
 uint64_t BpfAsan::CheckLoad(Kernel& kernel, uint64_t addr, int size, bool null_ok) {
-  KasanArena& arena = kernel.arena();
-  const AccessResult result = arena.Classify(addr, size);
-  if (result == AccessResult::kOk) {
-    uint64_t value = 0;
-    arena.CopyOut(addr, &value, size);
-    return value;
-  }
-  if (null_ok && result == AccessResult::kNull) {
-    return 0;  // exception-table handled BTF load
-  }
-  std::string details = Describe(addr, size, /*write=*/false);
-  if (result == AccessResult::kOob) {
-    details += arena.DescribeNearest(addr, size);
-  }
-  kernel.reports().Report(KindFor(result), "bpf_asan_load", std::move(details));
-  return 0;
+  return AsanCheckedLoad(kernel.arena(), kernel.reports(), addr, size, null_ok);
 }
 
 void BpfAsan::CheckStore(Kernel& kernel, uint64_t addr, uint64_t value, int size) {
-  KasanArena& arena = kernel.arena();
-  const AccessResult result = arena.Classify(addr, size);
-  if (result == AccessResult::kOk) {
-    arena.CopyIn(addr, &value, size);
-    return;
-  }
-  std::string details = Describe(addr, size, /*write=*/true);
-  if (result == AccessResult::kOob) {
-    details += arena.DescribeNearest(addr, size);
-  }
-  kernel.reports().Report(KindFor(result), "bpf_asan_store", std::move(details));
+  AsanCheckedStore(kernel.arena(), kernel.reports(), addr, value, size);
 }
 
 void BpfAsan::CheckAluPos(Kernel& kernel, uint64_t value, uint64_t limit) {
-  if (value > limit) {
-    char buf[96];
-    snprintf(buf, sizeof(buf), "runtime offset %llu exceeds alu_limit %llu",
-             static_cast<unsigned long long>(value), static_cast<unsigned long long>(limit));
-    kernel.reports().Report(ReportKind::kAluLimitViolation, "bpf_asan_alu", buf);
-  }
+  AsanCheckAluPos(kernel.reports(), value, limit);
 }
 
 void BpfAsan::CheckAluNeg(Kernel& kernel, uint64_t value, uint64_t limit) {
-  const uint64_t magnitude = static_cast<uint64_t>(-static_cast<int64_t>(value));
-  if (static_cast<int64_t>(value) > 0 || magnitude > limit) {
-    char buf[96];
-    snprintf(buf, sizeof(buf), "runtime offset %lld outside negative alu_limit %llu",
-             static_cast<long long>(value), static_cast<unsigned long long>(limit));
-    kernel.reports().Report(ReportKind::kAluLimitViolation, "bpf_asan_alu", buf);
-  }
+  AsanCheckAluNeg(kernel.reports(), value, limit);
 }
 
 void BpfAsan::Register(Kernel& kernel) {
@@ -116,6 +59,10 @@ void BpfAsan::Register(Kernel& kernel) {
                                 BpfAsan::CheckAluNeg(k, args[0], args[1]);
                                 return 0ull;
                               });
+  // Every asan id now resolves to the canonical implementation above, so the
+  // decoded engine's inlined fast paths (also built from asan_check.h) are
+  // exact stand-ins for the table dispatch.
+  kernel.set_asan_funcs_native(true);
 }
 
 }  // namespace bpf

@@ -1,0 +1,517 @@
+// Differential parity gate for the decoded micro-op engine (DESIGN.md §10):
+// every observable of an execution — ExecResult (r0, errno, insns_executed,
+// abort_reason), kernel reports, sanitizer stats, coverage, and ultimately
+// the campaign StatsDigest — must be bit-identical between the legacy
+// instruction-at-a-time interpreter and the decoded engine, for handwritten
+// edge programs, injected-bug repros, generated program sweeps, and full
+// serial/parallel campaigns. Also locks down the decode cache's determinism:
+// job-count-invariant hit/miss/evict counters, FIFO eviction, and the
+// shared_ptr lifetime rule (an evicted entry still runs).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/core/checkpoint.h"
+#include "src/core/fuzzer.h"
+#include "src/core/parallel.h"
+#include "src/core/structured_gen.h"
+#include "src/ebpf/builder.h"
+#include "src/runtime/bpf_syscall.h"
+#include "src/runtime/decoded_prog.h"
+#include "src/runtime/verdict_cache.h"
+#include "src/sanitizer/asan_funcs.h"
+#include "src/sanitizer/instrument.h"
+
+namespace bvf {
+namespace {
+
+using bpf::BugConfig;
+using bpf::Insn;
+using bpf::kR0;
+using bpf::kR1;
+using bpf::kR2;
+using bpf::kR3;
+using bpf::kR4;
+using bpf::kR6;
+using bpf::kR7;
+using bpf::kR8;
+using bpf::kR10;
+using bpf::Kernel;
+using bpf::KernelVersion;
+using bpf::MapDef;
+using bpf::MapType;
+using bpf::Program;
+using bpf::ProgramBuilder;
+using bpf::ProgType;
+
+// Everything one engine's run of a program exposes to the rest of the system.
+struct Observation {
+  int fd = 0;
+  std::string log;
+  bpf::ExecResult exec;
+  std::vector<std::string> reports;
+  SanitizerStats san;
+};
+
+struct RunSpec {
+  bool sanitize = false;
+  int repeat = 1;
+  uint32_t pkt_len = 64;
+  uint64_t seed = 1;
+  bpf::ExecLimits limits;
+  BugConfig bugs = BugConfig::All();
+  // Builds the program against the freshly booted facade (so it can create
+  // maps and reference their fds); called identically for both engines.
+  std::function<Program(bpf::Bpf&)> make_prog;
+};
+
+Observation Observe(const RunSpec& spec, bool decoded) {
+  Kernel kernel(KernelVersion::kBpfNext, spec.bugs);
+  bpf::Bpf facade(kernel);
+  facade.set_decoded_exec(decoded);
+  facade.set_exec_limits(spec.limits);
+  Sanitizer sanitizer;
+  if (spec.sanitize) {
+    bpf::BpfAsan::Register(kernel);
+    facade.set_instrument(sanitizer.Hook());
+  }
+  const Program prog = spec.make_prog(facade);
+
+  Observation obs;
+  bpf::VerifierResult result;
+  obs.fd = facade.ProgLoad(prog, &result);
+  obs.log = result.log;
+  if (obs.fd > 0) {
+    obs.exec = spec.repeat > 1
+                   ? facade.ProgTestRunRepeat(obs.fd, spec.repeat, spec.pkt_len, spec.seed)
+                   : facade.ProgTestRun(obs.fd, spec.pkt_len, spec.seed);
+  }
+  for (const bpf::KernelReport& report : kernel.reports().reports()) {
+    obs.reports.push_back(std::string(bpf::ReportKindName(report.kind)) + ": " +
+                          report.title + " | " + report.details);
+  }
+  obs.san = sanitizer.stats();
+  return obs;
+}
+
+void ExpectParity(const RunSpec& spec, const char* what) {
+  const Observation legacy = Observe(spec, /*decoded=*/false);
+  const Observation decoded = Observe(spec, /*decoded=*/true);
+  EXPECT_EQ(legacy.fd, decoded.fd) << what;
+  EXPECT_EQ(legacy.exec.r0, decoded.exec.r0) << what;
+  EXPECT_EQ(legacy.exec.err, decoded.exec.err) << what;
+  EXPECT_EQ(legacy.exec.insns_executed, decoded.exec.insns_executed) << what;
+  EXPECT_EQ(legacy.exec.abort_reason, decoded.exec.abort_reason) << what;
+  EXPECT_EQ(legacy.reports, decoded.reports) << what;
+  EXPECT_EQ(legacy.san.programs, decoded.san.programs) << what;
+  EXPECT_EQ(legacy.san.insns_before, decoded.san.insns_before) << what;
+  EXPECT_EQ(legacy.san.insns_after, decoded.san.insns_after) << what;
+  EXPECT_EQ(legacy.san.mem_sites, decoded.san.mem_sites) << what;
+  EXPECT_EQ(legacy.san.alu_sites, decoded.san.alu_sites) << what;
+}
+
+RunSpec Spec(Program prog) {
+  RunSpec spec;
+  spec.make_prog = [prog = std::move(prog)](bpf::Bpf&) { return prog; };
+  return spec;
+}
+
+// ---- Handwritten edge programs ----
+
+TEST(InterpParityTest, AluEdgeSemantics) {
+  // Masked shifts, div/mod by zero, 32-bit truncation, bswap widths — the
+  // semantics audited against Linux in tests/interpreter_test.cc, here run
+  // through both engines.
+  ProgramBuilder b;
+  b.LdImm64(kR6, 0x1122334455667788ull);
+  b.Mov(kR1, 64);
+  b.Alu(bpf::kAluLsh, kR6, kR1);       // shift masked &63 -> unchanged
+  b.LdImm64(kR7, 0x100000005ull);
+  b.Mov(kR2, 0);
+  b.Raw(bpf::Alu32Reg(bpf::kAluMod, kR7, kR2));  // mod32 by 0 keeps truncated dst
+  b.Raw(bpf::Alu32Reg(bpf::kAluDiv, kR6, kR2));  // div32 by 0 zeroes dst
+  b.Mov(kR0, kR7);
+  b.Ret();
+  ExpectParity(Spec(b.Build()), "alu edges");
+}
+
+TEST(InterpParityTest, ByteSwapAllWidths) {
+  ProgramBuilder b;
+  b.LdImm64(kR0, 0x0102030405060708ull);
+  for (const int width : {16, 32, 64, 8 /* invalid: engine-defined no-op */}) {
+    Insn swap;
+    swap.opcode = bpf::kClassAlu | bpf::kAluEnd | 0x08;  // to_be
+    swap.dst = kR0;
+    swap.imm = width;
+    b.Raw(swap);
+  }
+  Insn to_le;
+  to_le.opcode = bpf::kClassAlu | bpf::kAluEnd;
+  to_le.dst = kR0;
+  to_le.imm = 8;  // invalid width: legacy masks to 0xff
+  b.Raw(to_le);
+  b.Ret();
+  ExpectParity(Spec(b.Build()), "bswap widths");
+}
+
+TEST(InterpParityTest, JumpsSignedUnsigned32And64) {
+  ProgramBuilder b;
+  b.LdImm64(kR6, 0x100000005ull);
+  b.Mov(kR0, 0);
+  b.Raw(bpf::Jmp32Imm(bpf::kJmpJlt, kR6, 10, 1));  // wr6 == 5 < 10: taken
+  b.Ret();
+  b.Mov(kR1, -5);
+  b.JmpIf(bpf::kJmpJslt, kR1, 3, 1);               // signed: taken
+  b.Ret();
+  b.JmpIfReg(bpf::kJmpJgt, kR6, kR1, 1);           // unsigned 64: r1 huge, not taken
+  b.RetImm(7);
+  ExpectParity(Spec(b.Build()), "jumps");
+}
+
+TEST(InterpParityTest, AtomicsAllOps) {
+  for (const uint8_t size : {bpf::kSizeW, bpf::kSizeDw}) {
+    ProgramBuilder b;
+    b.StoreImm(bpf::kSizeDw, kR10, -8, 0);
+    b.StoreImm(size, kR10, -8, 0x0f);
+    for (const int32_t op : {bpf::kAtomicAdd, bpf::kAtomicOr, bpf::kAtomicAnd,
+                             bpf::kAtomicXor, bpf::kAtomicAdd | bpf::kAtomicFetch,
+                             bpf::kAtomicXor | bpf::kAtomicFetch}) {
+      b.Mov(kR1, 0x35);
+      b.Raw(bpf::AtomicOp(size, kR10, kR1, -8, op));
+    }
+    b.Mov(kR1, 9);
+    b.Raw(bpf::AtomicOp(size, kR10, kR1, -8, bpf::kAtomicXchg));
+    b.Mov(kR0, kR1);  // old value
+    b.Mov(kR2, 33);
+    b.Raw(bpf::AtomicOp(size, kR10, kR2, -8, bpf::kAtomicCmpXchg));
+    b.Load(size, kR3, kR10, -8);
+    b.Alu(bpf::kAluAdd, kR0, kR3);
+    b.Ret();
+    ExpectParity(Spec(b.Build()), size == bpf::kSizeW ? "atomics w" : "atomics dw");
+  }
+}
+
+TEST(InterpParityTest, SubprogramsAndHelperClobber) {
+  ProgramBuilder b(ProgType::kKprobe);
+  b.Mov(kR6, 7);
+  b.Mov(kR1, 3);
+  b.Raw(bpf::CallPseudoFunc(4));  // sub at insn 7
+  b.Alu(bpf::kAluAdd, kR0, kR6);
+  b.Call(bpf::kHelperKtimeGetNs);  // clobbers r1-r5 identically in both engines
+  b.Mov(kR0, kR6);
+  b.Ret();
+  // sub: own stack slot, callee-saved restore.
+  b.StoreImm(bpf::kSizeDw, kR10, -8, 1);
+  b.Mov(kR6, 99);
+  b.Mov(kR0, kR1);
+  b.Ret();
+  ExpectParity(Spec(b.Build()), "subprog + clobber");
+}
+
+TEST(InterpParityTest, RunawayLoopTripsBudgetAtSameStep) {
+  ProgramBuilder b;
+  b.Mov(kR6, 1 << 20);
+  b.Mov(kR0, 0);
+  b.Alu(bpf::kAluSub, kR6, 1);
+  b.JmpIf(bpf::kJmpJne, kR6, 0, -2);
+  b.Ret();
+  RunSpec spec = Spec(b.Build());
+  spec.limits.step_budget = 777;  // trip mid-loop; insns_executed must match
+  ExpectParity(spec, "step budget");
+}
+
+TEST(InterpParityTest, SanitizedMapValueAccess) {
+  RunSpec spec;
+  spec.sanitize = true;
+  spec.make_prog = [](bpf::Bpf& facade) {
+    MapDef def;
+    def.type = MapType::kHash;
+    def.key_size = 4;
+    def.value_size = 8;
+    def.max_entries = 4;
+    const int map_fd = facade.MapCreate(def);
+    ProgramBuilder b(ProgType::kKprobe);
+    b.StoreImm(bpf::kSizeW, kR10, -4, 5);
+    b.StoreImm(bpf::kSizeDw, kR10, -16, 777);
+    b.LdMapFd(kR1, map_fd);
+    b.Mov(kR2, kR10);
+    b.Add(kR2, -4);
+    b.Mov(kR3, kR10);
+    b.Add(kR3, -16);
+    b.Mov(kR4, 0);
+    b.Call(bpf::kHelperMapUpdateElem);
+    b.LdMapFd(kR1, map_fd);
+    b.Mov(kR2, kR10);
+    b.Add(kR2, -4);
+    b.Call(bpf::kHelperMapLookupElem);
+    b.JmpIf(bpf::kJmpJeq, kR0, 0, 2);
+    b.StoreImm(bpf::kSizeW, kR0, 0, 42);  // rewritten to bpf_asan_store
+    b.Load(bpf::kSizeDw, kR0, kR0, 0);    // rewritten to bpf_asan_load
+    b.Ret();
+    return b.Build();
+  };
+  ExpectParity(spec, "sanitized map access");
+}
+
+TEST(InterpParityTest, SanitizedPacketAccess) {
+  RunSpec spec;
+  spec.sanitize = true;
+  spec.make_prog = [](bpf::Bpf&) {
+    ProgramBuilder b(ProgType::kXdp);
+    b.Mov(kR0, 0);
+    b.Load(bpf::kSizeDw, kR2, kR1, 0);
+    b.Load(bpf::kSizeDw, kR3, kR1, 8);
+    b.Mov(kR4, kR2);
+    b.Add(kR4, 4);
+    b.JmpIfReg(bpf::kJmpJgt, kR4, kR3, 1);
+    b.Load(bpf::kSizeW, kR0, kR2, 0);
+    b.Ret();
+    return b.Build();
+  };
+  spec.repeat = 8;
+  ExpectParity(spec, "sanitized packet access");
+}
+
+TEST(InterpParityTest, InjectedBug1NullDerefReproducesIdentically) {
+  // The Listing-2 nullness-propagation repro: the buggy verifier accepts a
+  // NULL dereference; sanitation catches it at runtime. Reports (and the
+  // BTF-load null path feeding it) must match across engines.
+  RunSpec spec;
+  spec.sanitize = true;
+  spec.make_prog = [](bpf::Bpf& facade) {
+    MapDef def;
+    def.type = MapType::kHash;
+    def.key_size = 8;
+    def.value_size = 8;
+    def.max_entries = 4;
+    const int hash_fd = facade.MapCreate(def);
+    ProgramBuilder b(ProgType::kKprobe);
+    b.LdBtfId(kR6, bpf::kBtfMmStruct);
+    b.StoreImm(bpf::kSizeDw, kR10, -8, 7777);  // never-inserted key
+    b.LdMapFd(kR1, hash_fd);
+    b.Mov(kR2, kR10);
+    b.Add(kR2, -8);
+    b.Call(bpf::kHelperMapLookupElem);
+    b.JmpIfReg(bpf::kJmpJne, kR0, kR6, 1);
+    b.Load(bpf::kSizeDw, kR8, kR0, 0);
+    b.RetImm(0);
+    return b.Build();
+  };
+  ExpectParity(spec, "bug1 repro");
+}
+
+TEST(InterpParityTest, RepeatedTestRunAccumulatesIdenticalInsnCounts) {
+  ProgramBuilder b;
+  b.Mov(kR6, 100);
+  b.Mov(kR0, 0);
+  b.Alu(bpf::kAluAdd, kR0, kR6);
+  b.Alu(bpf::kAluSub, kR6, 1);
+  b.JmpIf(bpf::kJmpJne, kR6, 0, -3);
+  b.Ret();
+  RunSpec spec = Spec(b.Build());
+  spec.repeat = 64;
+  ExpectParity(spec, "repeat=64");
+}
+
+// ---- Generated sweep: structured programs, sanitized, all bugs injected ----
+
+TEST(InterpParityTest, GeneratedProgramSweep) {
+  StructuredGenerator generator(KernelVersion::kBpfNext);
+  bpf::Rng rng(1234);
+  for (int i = 0; i < 150; ++i) {
+    FuzzCase the_case = generator.Generate(rng);
+    RunSpec spec;
+    spec.sanitize = true;
+    spec.seed = static_cast<uint64_t>(i);
+    spec.make_prog = [&the_case](bpf::Bpf& facade) {
+      for (const MapDef& def : the_case.maps) {
+        facade.MapCreate(def);
+      }
+      return the_case.prog;
+    };
+    ExpectParity(spec, "generated sweep");
+    if (::testing::Test::HasFailure()) {
+      FAIL() << "first divergence at generated program " << i;
+    }
+  }
+}
+
+// ---- Campaign-level digest parity ----
+
+CampaignOptions SmallCampaign() {
+  CampaignOptions options;
+  options.iterations = 200;
+  options.seed = 17;
+  options.bugs = BugConfig::All();
+  options.fault.probability = 0.05;
+  options.confirm_runs = 1;
+  options.epoch_len = 32;
+  return options;
+}
+
+CampaignStats RunSerial(const CampaignOptions& options) {
+  StructuredGenerator generator(options.version);
+  Fuzzer fuzzer(generator, options);
+  return fuzzer.Run();
+}
+
+CampaignStats RunParallel(const CampaignOptions& options) {
+  StructuredGenerator generator(options.version);
+  ParallelFuzzer fuzzer(generator, options);
+  return fuzzer.Run();
+}
+
+TEST(InterpParityTest, SerialCampaignDigestIdenticalAcrossEngines) {
+  CampaignOptions options = SmallCampaign();
+  options.interp_decoded = false;
+  const CampaignStats legacy = RunSerial(options);
+  options.interp_decoded = true;
+  const CampaignStats decoded = RunSerial(options);
+  EXPECT_EQ(StatsDigest(legacy), StatsDigest(decoded));
+  EXPECT_EQ(legacy.findings.size(), decoded.findings.size());
+  EXPECT_EQ(legacy.sanitizer.mem_sites, decoded.sanitizer.mem_sites);
+  // Only the decoded run exercises the decode cache.
+  EXPECT_EQ(legacy.decode_cache_hits + legacy.decode_cache_misses, 0u);
+  EXPECT_GT(decoded.decode_cache_misses, 0u);
+}
+
+TEST(InterpParityTest, ParallelCampaignDigestIdenticalAcrossEngines) {
+  CampaignOptions options = SmallCampaign();
+  options.jobs = 2;
+  options.interp_decoded = false;
+  const CampaignStats legacy = RunParallel(options);
+  options.interp_decoded = true;
+  const CampaignStats decoded = RunParallel(options);
+  EXPECT_EQ(StatsDigest(legacy), StatsDigest(decoded));
+}
+
+TEST(InterpParityTest, SanitizeOffCampaignAlsoDigestIdentical) {
+  CampaignOptions options = SmallCampaign();
+  options.sanitize = false;
+  options.audit_state = false;
+  options.interp_decoded = false;
+  const CampaignStats legacy = RunSerial(options);
+  options.interp_decoded = true;
+  const CampaignStats decoded = RunSerial(options);
+  EXPECT_EQ(StatsDigest(legacy), StatsDigest(decoded));
+}
+
+// ---- Decode cache determinism ----
+
+TEST(DecodeCacheTest, CountersAreJobCountInvariant) {
+  CampaignOptions options = SmallCampaign();
+  options.jobs = 1;
+  const CampaignStats one = RunParallel(options);
+  options.jobs = 3;
+  const CampaignStats three = RunParallel(options);
+  EXPECT_EQ(StatsDigest(one), StatsDigest(three));
+  EXPECT_EQ(one.decode_cache_hits, three.decode_cache_hits);
+  EXPECT_EQ(one.decode_cache_misses, three.decode_cache_misses);
+  EXPECT_EQ(one.decode_cache_evictions, three.decode_cache_evictions);
+}
+
+TEST(DecodeCacheTest, CountersSurviveCheckpointResume) {
+  const std::string path = std::string(::testing::TempDir()) + "/dcache_resume.ckpt";
+  CampaignOptions options = SmallCampaign();
+  options.jobs = 2;
+
+  const CampaignStats full = RunParallel(options);
+
+  CampaignOptions first_leg = options;
+  first_leg.checkpoint_path = path;
+  first_leg.stop_after = 96;
+  RunParallel(first_leg);
+
+  CampaignOptions second_leg = options;
+  second_leg.resume_path = path;
+  const CampaignStats resumed = RunParallel(second_leg);
+  ASSERT_TRUE(resumed.resume_error.empty()) << resumed.resume_error;
+  EXPECT_EQ(StatsDigest(resumed), StatsDigest(full));
+  // The decode cache itself restarts empty after resume, so the second leg
+  // re-misses programs the first leg had cached: totals are >= the
+  // uninterrupted run's, and hits+misses (loads) stay conserved.
+  EXPECT_EQ(resumed.decode_cache_hits + resumed.decode_cache_misses,
+            full.decode_cache_hits + full.decode_cache_misses);
+  EXPECT_GE(resumed.decode_cache_misses, full.decode_cache_misses);
+  std::remove(path.c_str());
+}
+
+TEST(DecodeCacheTest, FifoEvictionIsDeterministicAndBounded) {
+  bpf::DecodeCache cache(/*max_entries=*/2);
+  bpf::DecodeCacheShard shard(cache, /*immediate=*/true);
+  const auto decoded = std::make_shared<const bpf::DecodedProgram>();
+  const bpf::VerdictKey a{1, 1};
+  const bpf::VerdictKey b{2, 2};
+  const bpf::VerdictKey c{3, 3};
+  shard.Insert(a, decoded);
+  shard.Insert(b, decoded);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 0u);
+  shard.Insert(c, decoded);  // evicts a (oldest commit)
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.Lookup(a), nullptr);
+  EXPECT_NE(cache.Lookup(b), nullptr);
+  EXPECT_NE(cache.Lookup(c), nullptr);
+}
+
+TEST(DecodeCacheTest, EvictedEntryStillRunsWhileLoaded) {
+  // A program loaded from the cache holds a shared_ptr; evicting its cache
+  // entry must not invalidate the running program.
+  Kernel kernel(KernelVersion::kBpfNext, BugConfig::None());
+  bpf::Bpf facade(kernel);
+  bpf::DecodeCache cache(/*max_entries=*/1);
+  bpf::DecodeCacheShard shard(cache, /*immediate=*/true);
+  facade.set_decode_cache(&shard);
+
+  ProgramBuilder first;
+  first.RetImm(41);
+  const int fd = facade.ProgLoad(first.Build());
+  ASSERT_GT(fd, 0);
+
+  ProgramBuilder second;
+  second.RetImm(42);
+  const int fd2 = facade.ProgLoad(second.Build());  // evicts the first entry
+  ASSERT_GT(fd2, 0);
+  EXPECT_EQ(cache.evictions(), 1u);
+
+  EXPECT_EQ(facade.ProgTestRun(fd).r0, 41u);
+  EXPECT_EQ(facade.ProgTestRun(fd2).r0, 42u);
+}
+
+TEST(DecodeCacheTest, CacheHitProducesIdenticalExecution) {
+  Kernel kernel(KernelVersion::kBpfNext, BugConfig::None());
+  bpf::Bpf facade(kernel);
+  bpf::DecodeCache cache;
+  bpf::DecodeCacheShard shard(cache, /*immediate=*/true);
+  facade.set_decode_cache(&shard);
+
+  ProgramBuilder b;
+  b.Mov(kR6, 5);
+  b.Mov(kR0, 0);
+  b.Alu(bpf::kAluAdd, kR0, kR6);
+  b.Alu(bpf::kAluSub, kR6, 1);
+  b.JmpIf(bpf::kJmpJne, kR6, 0, -3);
+  b.Ret();
+  const Program prog = b.Build();
+
+  const int miss_fd = facade.ProgLoad(prog);
+  ASSERT_GT(miss_fd, 0);
+  const int hit_fd = facade.ProgLoad(prog);
+  ASSERT_GT(hit_fd, 0);
+  EXPECT_EQ(shard.TakeMisses(), 1u);
+  EXPECT_EQ(shard.TakeHits(), 1u);
+  // Both fds share one DecodedProgram; executions are interchangeable.
+  const bpf::ExecResult a = facade.ProgTestRun(miss_fd);
+  const bpf::ExecResult h = facade.ProgTestRun(hit_fd);
+  EXPECT_EQ(a.r0, h.r0);
+  EXPECT_EQ(a.insns_executed, h.insns_executed);
+  EXPECT_EQ(facade.FindProg(miss_fd)->decoded.get(), facade.FindProg(hit_fd)->decoded.get());
+}
+
+}  // namespace
+}  // namespace bvf

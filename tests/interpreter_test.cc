@@ -7,6 +7,7 @@
 
 #include "src/ebpf/builder.h"
 #include "src/runtime/bpf_syscall.h"
+#include "src/runtime/interp_ops.h"
 
 namespace bpf {
 namespace {
@@ -326,6 +327,153 @@ TEST_F(InterpreterTest, MapHelperRoundTrip) {
   uint64_t value = 0;
   EXPECT_EQ(bpf_.MapLookupElem(map_fd, &key, &value), 0);
   EXPECT_EQ(value, 777u);
+}
+
+// ---------------------------------------------------------------------------
+// Edge-semantics audit (ISSUE 4 satellite): the corners of AluOp32/AluOp64,
+// and ExecEndian where our model could plausibly diverge from the Linux
+// interpreter — shift-count masking, div/mod-by-zero, 32-bit operand
+// truncation/zero-extension, and reserved byte-swap widths — pinned down in
+// BOTH execution engines. Every program is loaded twice, once per engine, and
+// the decoded micro-op result must equal the legacy result must equal the
+// Linux-derived expectation.
+// ---------------------------------------------------------------------------
+
+class EdgeSemanticsTest : public ::testing::Test {
+ protected:
+  // Runs |prog| through the legacy and the decoded engine (fresh substrate
+  // each, so neither leaks state into the other) and returns r0 after
+  // asserting the engines agree and both runs completed cleanly.
+  uint64_t RunBoth(const Program& prog) {
+    uint64_t r0[2] = {0, 0};
+    for (int decoded = 0; decoded < 2; ++decoded) {
+      Kernel kernel(KernelVersion::kBpfNext, BugConfig::None());
+      Bpf bpf(kernel);
+      bpf.set_decoded_exec(decoded == 1);
+      VerifierResult result;
+      const int fd = bpf.ProgLoad(prog, &result);
+      EXPECT_GT(fd, 0) << result.log;
+      if (fd <= 0) {
+        return 0;
+      }
+      const ExecResult exec = bpf.ProgTestRun(fd);
+      EXPECT_EQ(exec.err, 0) << exec.abort_reason;
+      r0[decoded] = exec.r0;
+    }
+    EXPECT_EQ(r0[0], r0[1]) << "legacy and decoded engines diverge";
+    return r0[0];
+  }
+
+  // r0 = dst; r1 = src; r0 op= r1 (register form); exit.
+  uint64_t AluBoth(uint8_t op, bool is64, uint64_t dst, uint64_t src) {
+    ProgramBuilder b;
+    b.LdImm64(kR0, dst);
+    b.LdImm64(kR1, src);
+    b.Raw(is64 ? AluReg(op, kR0, kR1) : Alu32Reg(op, kR0, kR1));
+    b.Ret();
+    return RunBoth(b.Build());
+  }
+
+  // r0 = value; bswap/truncate r0 with the given direction and width; exit.
+  uint64_t EndianBoth(bool to_be, int32_t width, uint64_t value) {
+    ProgramBuilder b;
+    b.LdImm64(kR0, value);
+    Insn end;
+    end.opcode = kClassAlu | kAluEnd | (to_be ? 0x08 : 0x00);
+    end.dst = kR0;
+    end.imm = width;
+    b.Raw(end);
+    b.Ret();
+    return RunBoth(b.Build());
+  }
+};
+
+// Linux masks 64-bit shift counts to 6 bits (interpreter and JITs alike since
+// 4.16): shifting by 64 is shifting by 0, by 65 is by 1, never UB.
+TEST_F(EdgeSemanticsTest, Shift64CountsMaskedToSixBits) {
+  EXPECT_EQ(AluBoth(kAluLsh, true, 0x1234, 64), 0x1234u);
+  EXPECT_EQ(AluBoth(kAluLsh, true, 1, 66), 4u);
+  EXPECT_EQ(AluBoth(kAluRsh, true, 0x80, 65), 0x40u);
+  // 127 & 63 == 63: arithmetic shift propagates the sign bit all the way.
+  EXPECT_EQ(AluBoth(kAluArsh, true, 0x8000000000000000ull, 127), ~0ull);
+}
+
+// 32-bit shifts mask to 5 bits and operate on the truncated subregister; the
+// result is zero-extended like every other 32-bit ALU write.
+TEST_F(EdgeSemanticsTest, Shift32CountsMaskedToFiveBits) {
+  // Count 32 & 31 == 0: dst's low word survives, high word is zapped.
+  EXPECT_EQ(AluBoth(kAluLsh, false, 0xdead000012345678ull, 32), 0x12345678u);
+  EXPECT_EQ(AluBoth(kAluLsh, false, 1, 33), 2u);
+  EXPECT_EQ(AluBoth(kAluRsh, false, 0x80000000u, 63), 0x1u);
+  // arsh32 by 36 (& 31 == 4) keeps the 32-bit sign, then zero-extends.
+  EXPECT_EQ(AluBoth(kAluArsh, false, 0x80000000u, 36), 0xf8000000u);
+}
+
+// BPF defines division by zero (dst = 0) and modulo by zero (dst unchanged)
+// instead of trapping — the verifier's runtime patch semantics.
+TEST_F(EdgeSemanticsTest, DivModByZero64) {
+  EXPECT_EQ(AluBoth(kAluDiv, true, 42, 0), 0u);
+  EXPECT_EQ(AluBoth(kAluMod, true, 0xdeadbeefcafef00dull, 0), 0xdeadbeefcafef00dull);
+}
+
+// The 32-bit forms work on truncated operands and zero-extend the result —
+// including mod-by-zero, where Linux's patched sequence still writes dst via
+// a 32-bit mov, so the untouched value comes back truncated and zexted.
+TEST_F(EdgeSemanticsTest, DivModByZero32TruncatesAndZeroExtends) {
+  EXPECT_EQ(AluBoth(kAluDiv, false, 0x1'00000005ull, 0), 0u);
+  EXPECT_EQ(AluBoth(kAluMod, false, 0x1'00000005ull, 0), 5u);
+  // Non-zero divisors: only the low words participate.
+  EXPECT_EQ(AluBoth(kAluDiv, false, 0xffffffff'00000008ull, 0x1'00000002ull), 4u);
+  EXPECT_EQ(AluBoth(kAluMod, false, 0xffffffff'00000009ull, 0x1'00000002ull), 1u);
+}
+
+TEST_F(EdgeSemanticsTest, ByteSwapValidWidths) {
+  EXPECT_EQ(EndianBoth(/*to_be=*/true, 16, 0x0102ull), 0x0201u);
+  EXPECT_EQ(EndianBoth(/*to_be=*/true, 32, 0x01020304ull), 0x04030201u);
+  EXPECT_EQ(EndianBoth(/*to_be=*/true, 64, 0x0102030405060708ull), 0x0807060504030201ull);
+  // to_le on a little-endian model is the kernel's (__uN) cast: truncation.
+  EXPECT_EQ(EndianBoth(/*to_be=*/false, 16, 0xaabbccddull), 0xccddu);
+  EXPECT_EQ(EndianBoth(/*to_be=*/false, 32, 0x11223344'55667788ull), 0x55667788u);
+  EXPECT_EQ(EndianBoth(/*to_be=*/false, 64, 0x1122334455667788ull), 0x1122334455667788ull);
+}
+
+// Reserved swap widths never reach either engine: the front-end sanity check
+// rejects them exactly like Linux's verifier ("BPF_END uses reserved fields").
+TEST_F(EdgeSemanticsTest, ByteSwapReservedWidthsRejectedAtLoad) {
+  for (const int32_t width : {0, 8, 24, 65, -16}) {
+    for (const bool to_be : {false, true}) {
+      Kernel kernel(KernelVersion::kBpfNext, BugConfig::None());
+      Bpf bpf(kernel);
+      ProgramBuilder b;
+      b.LdImm64(kR0, 0x1234ull);
+      Insn end;
+      end.opcode = kClassAlu | kAluEnd | (to_be ? 0x08 : 0x00);
+      end.dst = kR0;
+      end.imm = width;
+      b.Raw(end);
+      b.Ret();
+      VerifierResult result;
+      EXPECT_EQ(bpf.ProgLoad(b.Build(), &result), -EINVAL)
+          << "width " << width << " to_be " << to_be;
+      EXPECT_NE(result.log.find("invalid ALU opcode"), std::string::npos) << result.log;
+    }
+  }
+}
+
+// Defensive semantics of the shared ExecEndian primitive for widths the
+// loader already rejects: both engines execute this one inline helper
+// (interpreter.cc and the kEndian uop), so pinning it here pins them both.
+// to_be at an unknown width is a no-op (ByteSwap's default case); to_le
+// masks, with width >= 64 a no-op and width <= 0 — including negatives,
+// which the old open-coded mask shifted by — clearing the value.
+TEST_F(EdgeSemanticsTest, ExecEndianReservedWidthSemantics) {
+  EXPECT_EQ(ExecEndian(0x1234ull, /*to_be=*/true, 8), 0x1234u);
+  EXPECT_EQ(ExecEndian(0x1234ull, /*to_be=*/true, 0), 0x1234u);
+  EXPECT_EQ(ExecEndian(0x1234ull, /*to_be=*/true, -32), 0x1234u);
+  EXPECT_EQ(ExecEndian(0xa5a5ull, /*to_be=*/false, 8), 0xa5u);
+  EXPECT_EQ(ExecEndian(0x1234ull, /*to_be=*/false, 0), 0u);
+  EXPECT_EQ(ExecEndian(0x1234ull, /*to_be=*/false, -16), 0u);
+  EXPECT_EQ(ExecEndian(0x1234ull, /*to_be=*/false, 65), 0x1234u);
 }
 
 }  // namespace
