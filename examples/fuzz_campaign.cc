@@ -7,7 +7,7 @@
 //          [--fault-rate=F] [--confirm-runs=K]
 //          [--checkpoint=PATH] [--checkpoint-every=N] [--resume=PATH]
 //          [--stop-after=N] [--jobs=N] [--verdict-cache=on|off]
-//          [--interp=decoded|legacy] [--smoke]
+//          [--interp=decoded|legacy] [--metamorph] [--metamorph-k=K] [--smoke]
 //
 // Without --jobs the original serial engine runs. Any explicit --jobs=N
 // (including N=1) selects the parallel sharded engine (src/core/parallel.h),
@@ -16,7 +16,11 @@
 // verifier-verdict cache in either engine. --interp selects the execution
 // engine: decoded micro-op dispatch with the digest-keyed decode cache (the
 // default) or the legacy instruction-at-a-time interpreter; the two are
-// digest-identical, so the flag is a pure throughput switch.
+// digest-identical, so the flag is a pure throughput switch. --metamorph
+// turns on the Indicator #4 metamorphic oracle: every accepted case is
+// re-derived into --metamorph-k semantics-preserving variants and any
+// base/variant divergence (verdict flip, witness mismatch, indicator
+// asymmetry) becomes a finding and an escalated case outcome.
 //
 // With --analysis, the first finding's regenerated trigger is run through the
 // static-analysis passes: CFG dump, lints, liveness, and the per-instruction
@@ -56,6 +60,8 @@ int main(int argc, char** argv) {
   bool jobs_given = false;  // explicit --jobs selects the parallel engine even at 1
   bool verdict_cache = false;
   bool interp_decoded = true;
+  bool metamorph = false;
+  int metamorph_k = 2;
   uint64_t positional[2] = {3000, 1};  // iterations, seed
   int npos = 0;
   for (int i = 1; i < argc; ++i) {
@@ -70,6 +76,10 @@ int main(int argc, char** argv) {
       verdict_cache = strcmp(argv[i] + 16, "on") == 0;
     } else if (strncmp(argv[i], "--interp=", 9) == 0) {
       interp_decoded = strcmp(argv[i] + 9, "legacy") != 0;
+    } else if (strcmp(argv[i], "--metamorph") == 0) {
+      metamorph = true;
+    } else if (strncmp(argv[i], "--metamorph-k=", 14) == 0) {
+      metamorph_k = static_cast<int>(strtol(argv[i] + 14, nullptr, 10));
     } else if (strncmp(argv[i], "--fault-rate=", 13) == 0) {
       fault_rate = strtod(argv[i] + 13, nullptr);
     } else if (strncmp(argv[i], "--confirm-runs=", 15) == 0) {
@@ -106,6 +116,8 @@ int main(int argc, char** argv) {
   options.jobs = jobs;
   options.verdict_cache = verdict_cache;
   options.interp_decoded = interp_decoded;
+  options.metamorph = metamorph;
+  options.metamorph_k = metamorph_k;
 
   printf("BVF campaign: %" PRIu64 " programs against %s with %d injected bugs (seed %" PRIu64
          ")\n",
@@ -163,6 +175,13 @@ int main(int argc, char** argv) {
            " evictions (%.1f%% hit rate)\n",
            stats.decode_cache_hits, stats.decode_cache_misses,
            stats.decode_cache_evictions, 100 * stats.DecodeCacheHitRate());
+  }
+  if (metamorph) {
+    printf("  metamorph:       %" PRIu64 " bases, %" PRIu64 " variants; divergences %" PRIu64
+           " verdict / %" PRIu64 " witness / %" PRIu64 " sanitizer\n",
+           stats.metamorph_bases, stats.metamorph_variants,
+           stats.metamorph_verdict_divergences, stats.metamorph_witness_divergences,
+           stats.metamorph_sanitizer_divergences);
   }
   printf("  panics contained:%" PRIu64 " (%" PRIu64 " substrate rebuilds)\n", stats.panics,
          stats.substrate_rebuilds);

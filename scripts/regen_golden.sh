@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Regenerates the golden-corpus disassembly snapshots (tests/data/golden/)
+# after an *intentional* generator change. The diff this produces is the
+# review artifact: every changed snapshot is a seed whose campaign results
+# move.
+#
+# Usage: scripts/regen_golden.sh [build-dir]   (default: build)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+
+cmake --build "$BUILD_DIR" --target golden_corpus_test
+BVF_GOLDEN_REGEN=1 "$BUILD_DIR/tests/golden_corpus_test" \
+  --gtest_filter='GoldenCorpusTest.SnapshotsAreByteStable'
+
+echo "regenerated $(ls tests/data/golden/seed_*.txt | wc -l) golden snapshots:"
+git status --short tests/data/golden/ || true

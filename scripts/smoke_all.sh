@@ -1,0 +1,98 @@
+#!/usr/bin/env bash
+# Umbrella smoke gate (ISSUE 5 satellite): one command that runs every
+# subsystem's smoke script plus the metamorphic-oracle gates this PR adds.
+#
+#   1. scripts/smoke_robustness.sh — fault injection + resume digest (ASan).
+#   2. scripts/smoke_parallel.sh   — job-count invariance (TSan).
+#   3. scripts/smoke_interp.sh     — engine parity + decode cache (ASan).
+#   4. Metamorph gate: a short --metamorph --metamorph-k=2 campaign under
+#      ASan/UBSan must produce one bit-identical campaign digest across
+#      {--jobs=1, --jobs=4} x {--interp=decoded, --interp=legacy}, and the
+#      metamorph counter line must be identical on every leg.
+#   5. Tier-1 label audit: every discovered ctest test must carry the tier1
+#      label (`ctest -N` count == `ctest -N -L tier1` count), so nothing can
+#      silently drop out of the gate the driver runs.
+#
+# Usage: scripts/smoke_all.sh [asan-build-dir] [tsan-build-dir]
+#        (defaults: build-smoke build-tsan)
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+ASAN_DIR="${1:-build-smoke}"
+TSAN_DIR="${2:-build-tsan}"
+MM_ITERATIONS=200
+MM_SEED=7
+
+echo "==== [1/5] smoke_robustness ===="
+scripts/smoke_robustness.sh "$ASAN_DIR"
+
+echo
+echo "==== [2/5] smoke_parallel ===="
+scripts/smoke_parallel.sh "$TSAN_DIR"
+
+echo
+echo "==== [3/5] smoke_interp ===="
+scripts/smoke_interp.sh "$ASAN_DIR"
+
+echo
+echo "==== [4/5] metamorph digest gate (ASan/UBSan) ===="
+CAMPAIGN="$ASAN_DIR/examples/fuzz_campaign"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+declare -A DIGESTS
+for INTERP in decoded legacy; do
+    for JOBS in 1 4; do
+        echo
+        echo "== campaign --metamorph --interp=$INTERP --jobs=$JOBS =="
+        "$CAMPAIGN" "$MM_ITERATIONS" "$MM_SEED" --metamorph --metamorph-k=2 \
+            --interp="$INTERP" --jobs="$JOBS" --smoke \
+            | tee "$WORK/mm-$INTERP-jobs$JOBS.log"
+        DIGESTS[$INTERP-$JOBS]="$(grep '^campaign-digest ' "$WORK/mm-$INTERP-jobs$JOBS.log" | awk '{print $2}')"
+    done
+done
+
+echo
+REF="${DIGESTS[decoded-1]}"
+for KEY in decoded-4 legacy-1 legacy-4; do
+    if [[ -z "$REF" || "${DIGESTS[$KEY]}" != "$REF" ]]; then
+        echo "SMOKE FAIL: metamorph campaign digest at $KEY (${DIGESTS[$KEY]}) != decoded-1 ($REF)"
+        exit 1
+    fi
+done
+
+# The oracle's volume counters (bases/variants/divergences) are digest-
+# excluded, so gate them separately: all four legs must report the same line.
+MMREF="$(grep 'metamorph:' "$WORK/mm-decoded-jobs1.log")"
+for KEY in decoded-jobs4 legacy-jobs1 legacy-jobs4; do
+    MM="$(grep 'metamorph:' "$WORK/mm-$KEY.log")"
+    if [[ -z "$MMREF" || "$MM" != "$MMREF" ]]; then
+        echo "SMOKE FAIL: metamorph counters diverge at $KEY:"
+        echo "  decoded-jobs1: $MMREF"
+        echo "  $KEY: $MM"
+        exit 1
+    fi
+done
+echo "smoke: metamorph campaign digest $REF on all four engine/jobs legs"
+echo "smoke: metamorph counters identical ($(echo "$MMREF" | sed 's/^ *//'))"
+
+echo
+echo "==== [5/5] tier-1 label audit ===="
+# gtest test discovery happens at build time, so the audit needs the whole
+# tree built in the ASan dir (the earlier legs only built their own targets).
+cmake --build "$ASAN_DIR" -j"$(nproc)" >/dev/null
+ALL_TESTS="$(ctest --test-dir "$ASAN_DIR" -N 2>/dev/null | sed -n 's/^Total Tests: *//p')"
+TIER1_TESTS="$(ctest --test-dir "$ASAN_DIR" -N -L tier1 2>/dev/null | sed -n 's/^Total Tests: *//p')"
+if [[ -z "$ALL_TESTS" || "$ALL_TESTS" -eq 0 ]]; then
+    echo "SMOKE FAIL: ctest discovered no tests in $ASAN_DIR (build the test targets first)"
+    exit 1
+fi
+if [[ "$ALL_TESTS" != "$TIER1_TESTS" ]]; then
+    echo "SMOKE FAIL: $ALL_TESTS tests discovered but only $TIER1_TESTS carry the tier1 label"
+    exit 1
+fi
+echo "smoke: all $ALL_TESTS discovered tests carry the tier1 label"
+
+echo
+echo "smoke_all: PASS"

@@ -329,7 +329,9 @@ std::string FingerprintOptions(const CampaignOptions& options, const std::string
      << bugs.bug3_kfunc_backtrack << bugs.bug4_trace_printk_recursion
      << bugs.bug5_contention_begin << bugs.bug6_send_signal << bugs.bug7_dispatcher_sync
      << bugs.bug8_kmemdup << bugs.bug9_bucket_iteration << bugs.bug10_irq_work
-     << bugs.bug11_xdp_offload << bugs.bug12_jmp32_signed_refine << bugs.cve_2022_23222;
+     << bugs.bug11_xdp_offload << bugs.bug12_jmp32_signed_refine << bugs.cve_2022_23222
+     << bugs.bug13_ld_imm64_pessimize;
+  os << " mmorph=" << options.metamorph << "/" << options.metamorph_k;
   return Hex(Fnv1a(os.str()));
 }
 
@@ -366,6 +368,14 @@ int SaveCheckpoint(const std::string& path, const CampaignCheckpoint& checkpoint
     os << "dcache " << checkpoint.stats.decode_cache_hits << " "
        << checkpoint.stats.decode_cache_misses << " "
        << checkpoint.stats.decode_cache_evictions << "\n";
+    // Metamorph volume counters: same discipline as the cache counters —
+    // resumable, but digest-excluded (the divergence outcomes/findings in the
+    // stats body are what the oracle contributes to the result).
+    os << "mmorph " << checkpoint.stats.metamorph_bases << " "
+       << checkpoint.stats.metamorph_variants << " "
+       << checkpoint.stats.metamorph_verdict_divergences << " "
+       << checkpoint.stats.metamorph_witness_divergences << " "
+       << checkpoint.stats.metamorph_sanitizer_divergences << "\n";
     os << "end\n";
     os.flush();
     if (!os) {
@@ -419,6 +429,12 @@ int LoadCheckpoint(const std::string& path, CampaignCheckpoint* out, std::string
   cp.stats.decode_cache_hits = static_cast<uint64_t>(dcache[0]);
   cp.stats.decode_cache_misses = static_cast<uint64_t>(dcache[1]);
   cp.stats.decode_cache_evictions = static_cast<uint64_t>(dcache[2]);
+  const std::vector<int64_t> mmorph = reader.Fields("mmorph", 5);
+  cp.stats.metamorph_bases = static_cast<uint64_t>(mmorph[0]);
+  cp.stats.metamorph_variants = static_cast<uint64_t>(mmorph[1]);
+  cp.stats.metamorph_verdict_divergences = static_cast<uint64_t>(mmorph[2]);
+  cp.stats.metamorph_witness_divergences = static_cast<uint64_t>(mmorph[3]);
+  cp.stats.metamorph_sanitizer_divergences = static_cast<uint64_t>(mmorph[4]);
   reader.Line("end");
   if (!reader.ok()) {
     if (error != nullptr) {

@@ -6,6 +6,7 @@
 
 #include "src/analysis/state_audit.h"
 #include "src/core/checkpoint.h"
+#include "src/core/metamorph/metamorph.h"
 #include "src/kernel/coverage.h"
 #include "src/runtime/bpf_syscall.h"
 #include "src/runtime/decoded_prog.h"
@@ -32,6 +33,12 @@ const char* CaseOutcomeName(CaseOutcome outcome) {
       return "resource-exhausted";
     case CaseOutcome::kPanic:
       return "panic";
+    case CaseOutcome::kVerdictDivergence:
+      return "verdict-divergence";
+    case CaseOutcome::kWitnessDivergence:
+      return "witness-divergence";
+    case CaseOutcome::kSanitizerDivergence:
+      return "sanitizer-divergence";
   }
   return "unclassified";
 }
@@ -89,6 +96,11 @@ void AccumulateCaseCounters(const CaseRunner::CaseResult& result, CampaignStats&
     ++stats.panics;
     ++stats.substrate_rebuilds;
   }
+  stats.metamorph_bases += result.metamorph_bases;
+  stats.metamorph_variants += result.metamorph_variants;
+  stats.metamorph_verdict_divergences += result.metamorph_verdict_divergences;
+  stats.metamorph_witness_divergences += result.metamorph_witness_divergences;
+  stats.metamorph_sanitizer_divergences += result.metamorph_sanitizer_divergences;
 }
 
 // One simulated machine. Rebuilt from scratch after a panic (the contained
@@ -101,7 +113,11 @@ struct CaseRunner::Substrate {
       : kernel(options.version, options.bugs, options.arena_size), bpf(kernel) {}
 };
 
-CaseRunner::CaseRunner(const CampaignOptions& options) : options_(options) {}
+CaseRunner::CaseRunner(const CampaignOptions& options) : options_(options) {
+  if (options_.metamorph) {
+    metamorph_ = std::make_unique<MetamorphOracle>(options_);
+  }
+}
 
 CaseRunner::~CaseRunner() = default;
 
@@ -312,6 +328,24 @@ CaseRunner::CaseResult CaseRunner::RunOne(const FuzzCase& the_case, uint64_t ite
     result.fault_log = injector->log();
   }
 
+  // Indicator #4: metamorphic examination of accepted cases. The oracle runs
+  // on its own throwaway substrates (never this one) with coverage
+  // suppressed, so it cannot disturb the campaign stream; it only adds
+  // counters, findings, and — on divergence — an escalated outcome.
+  if (metamorph_ != nullptr && !result.panicked && result.prog_fd > 0) {
+    const MetamorphOracle::Result mm = metamorph_->Examine(the_case, iteration);
+    result.metamorph_bases = mm.bases_examined;
+    result.metamorph_variants = mm.variants_executed;
+    result.metamorph_verdict_divergences = mm.verdict_divergences;
+    result.metamorph_witness_divergences = mm.witness_divergences;
+    result.metamorph_sanitizer_divergences = mm.sanitizer_divergences;
+    result.findings.insert(result.findings.end(), mm.findings.begin(),
+                           mm.findings.end());
+    if (mm.escalated != CaseOutcome::kUnclassified) {
+      result.outcome = mm.escalated;
+    }
+  }
+
   // Panic containment: a panicked machine is dead — tear it down and let the
   // next case boot a replacement. Otherwise rewind (or discard, when substrate
   // reuse is off).
@@ -358,6 +392,28 @@ void CaseRunner::ConfirmFinding(Finding& finding, const FuzzCase& the_case,
   // campaign's corpus-growth or curve accounting. In a worker thread this
   // mutes the thread's sink; single-threaded it disables the global recorder.
   bpf::ScopedCoverageSuppress suppress;
+
+  if (finding.indicator == 4) {
+    // Metamorphic findings are fault-free by construction (the oracle drives
+    // clean substrates), so confirmation is re-examination: deterministic iff
+    // every re-run reproduces the divergence signature.
+    MetamorphOracle oracle(options_);
+    int hits = 0;
+    for (int run = 0; run < k; ++run) {
+      const MetamorphOracle::Result mm = oracle.Examine(the_case, iteration);
+      for (const Finding& repro : mm.findings) {
+        if (repro.signature == finding.signature) {
+          ++hits;
+          break;
+        }
+      }
+    }
+    finding.confirmation =
+        hits == k ? Confirmation::kDeterministic : Confirmation::kFlaky;
+    finding.confirm_hits = hits;
+    finding.confirm_runs = k;
+    return;
+  }
 
   int clean_hits = 0;
   for (int run = 0; run < k; ++run) {

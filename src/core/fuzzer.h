@@ -35,6 +35,8 @@ class VerdictCacheShard;
 
 namespace bvf {
 
+class MetamorphOracle;
+
 struct CampaignOptions {
   bpf::KernelVersion version = bpf::KernelVersion::kBpfNext;
   bpf::BugConfig bugs = bpf::BugConfig::None();
@@ -92,6 +94,14 @@ struct CampaignOptions {
   // excluded from the options fingerprint. Decoded mode also enables the
   // digest-keyed DecodedProgram cache (src/runtime/decoded_prog.h).
   bool interp_decoded = true;
+
+  // -- Metamorphic oracle (Indicator #4, DESIGN.md §11) --
+  // For every accepted case, execute |metamorph_k| semantics-preserving
+  // variants on clean throwaway substrates and classify base/variant
+  // divergences (verdict flip, witness mismatch, indicator asymmetry).
+  // Results-changing, so both knobs are part of the options fingerprint.
+  bool metamorph = false;
+  int metamorph_k = 2;
 };
 
 struct CoveragePoint {
@@ -110,6 +120,12 @@ enum class CaseOutcome {
   kExecTimeout,         // step budget / wall-clock watchdog trip
   kResourceExhausted,   // allocation failure (-ENOMEM/-E2BIG/-ENOSPC/-EAGAIN)
   kPanic,               // the simulated kernel panicked during the case
+  // Metamorphic-oracle escalations (checkpoint-serialized as ints: append
+  // only). A case whose base execution was clean but whose variants diverged
+  // lands in the highest-precedence divergence bucket.
+  kVerdictDivergence,   // a variant's PROG_LOAD verdict flipped
+  kWitnessDivergence,   // a variant's per-run error/R0 differed
+  kSanitizerDivergence, // indicator kinds fired on one side only
 };
 
 const char* CaseOutcomeName(CaseOutcome outcome);
@@ -143,6 +159,16 @@ struct CampaignStats {
   uint64_t decode_cache_hits = 0;
   uint64_t decode_cache_misses = 0;
   uint64_t decode_cache_evictions = 0;
+
+  // Metamorphic-oracle accounting (Indicator #4). The divergence *outcomes*
+  // land in |outcomes| (digest-included); these volume counters follow the
+  // cache-counter discipline — deterministic for any job count, excluded
+  // from StatsDigest, carried across resume by their own checkpoint line.
+  uint64_t metamorph_bases = 0;     // accepted cases the oracle examined
+  uint64_t metamorph_variants = 0;  // variants executed to a witness
+  uint64_t metamorph_verdict_divergences = 0;
+  uint64_t metamorph_witness_divergences = 0;
+  uint64_t metamorph_sanitizer_divergences = 0;
 
   // Resume bookkeeping (not part of checkpoints or digests).
   uint64_t resumed_from = 0;       // first iteration executed after resume
@@ -205,6 +231,14 @@ class CaseRunner {
     uint64_t faults_injected = 0;
     std::vector<Finding> findings;    // classified; dedup/confirm is the engine's job
     bpf::FaultLog fault_log;          // recorded fault schedule (empty if faults off)
+
+    // Metamorphic-oracle accounting for this case (all zero when the oracle
+    // is off or the case was rejected).
+    uint64_t metamorph_bases = 0;
+    uint64_t metamorph_variants = 0;
+    uint64_t metamorph_verdict_divergences = 0;
+    uint64_t metamorph_witness_divergences = 0;
+    uint64_t metamorph_sanitizer_divergences = 0;
   };
 
   // Runs one case end-to-end: fault schedule from FaultSeed(seed, iteration),
@@ -259,6 +293,7 @@ class CaseRunner {
   bpf::VerdictCacheShard* verdict_shard_ = nullptr;
   bpf::DecodeCacheShard* decode_shard_ = nullptr;
   std::unique_ptr<Substrate> substrate_;
+  std::unique_ptr<MetamorphOracle> metamorph_;  // non-null iff options.metamorph
 };
 
 class Fuzzer {

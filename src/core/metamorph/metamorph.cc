@@ -1,0 +1,145 @@
+#include "src/core/metamorph/metamorph.h"
+
+#include <cstdio>
+#include <string>
+
+#include "src/core/metamorph/transform.h"
+#include "src/core/metamorph/witness.h"
+#include "src/kernel/coverage.h"
+#include "src/kernel/rng.h"
+
+namespace bvf {
+
+namespace {
+
+Finding MakeDivergenceFinding(bpf::ReportKind kind, TransformKind transform,
+                              uint64_t program_fnv, int variant,
+                              const std::string& what, uint64_t iteration) {
+  Finding finding;
+  finding.kind = kind;
+  // Same shape as KernelReport::Signature() ("<kind name> in <where>"), with
+  // the transform as the location: stable across program identities, so one
+  // verifier asymmetry dedups to one finding however many programs hit it.
+  finding.signature = std::string(bpf::ReportKindName(kind)) + " in " +
+                      TransformKindName(transform);
+  char buf[160];
+  snprintf(buf, sizeof(buf), "prog fnv=0x%016llx variant k=%d (%s): %s",
+           static_cast<unsigned long long>(program_fnv), variant,
+           TransformKindName(transform), what.c_str());
+  finding.details = buf;
+  finding.indicator = 4;
+  if (kind == bpf::ReportKind::kMetamorphVerdictDivergence &&
+      transform == TransformKind::kConstRemat) {
+    // A verdict flip under constant re-materialization is exactly the
+    // mov-imm/ld_imm64 tracking asymmetry bug13 models.
+    finding.triaged = KnownBug::kBug13LdImm64Pessimize;
+  }
+  finding.iteration = iteration;
+  return finding;
+}
+
+std::string DescribeRuns(const ExecWitness& base, const ExecWitness& variant) {
+  for (size_t i = 0; i < base.run_errs.size() && i < variant.run_errs.size(); ++i) {
+    if (base.run_errs[i] != variant.run_errs[i] || base.run_r0[i] != variant.run_r0[i]) {
+      char buf[128];
+      snprintf(buf, sizeof(buf),
+               "run %zu: base err=%d r0=0x%llx, variant err=%d r0=0x%llx", i,
+               base.run_errs[i], static_cast<unsigned long long>(base.run_r0[i]),
+               variant.run_errs[i],
+               static_cast<unsigned long long>(variant.run_r0[i]));
+      return buf;
+    }
+  }
+  return "run counts differ";
+}
+
+}  // namespace
+
+MetamorphOracle::Result MetamorphOracle::Examine(const FuzzCase& the_case,
+                                                 uint64_t iteration) const {
+  Result result;
+  if (options_.metamorph_k <= 0) {
+    return result;
+  }
+  // Oracle executions must not feed coverage: corpus evolution (and with it
+  // the campaign digest) has to be identical whether metamorph is on or off
+  // for the base stream, and independent of worker scheduling.
+  bpf::ScopedCoverageSuppress suppress;
+
+  const uint64_t fnv = ProgramFnv(the_case.prog);
+  const ExecWitness base = CollectWitness(the_case.prog, the_case, options_);
+  if (!base.accepted || base.panicked) {
+    return result;  // the oracle's contract starts at an accepted base
+  }
+  result.bases_examined = 1;
+
+  // Per-program rotation of the transform order: variant k starts its
+  // first-applicable scan at kind (rotation + k), so K >= kNumTransformKinds
+  // provably tries every kind, smaller K tries K distinct kinds, and the
+  // rotation still varies across programs. The sentinel variant index -1
+  // keeps the rotation draw out of every per-variant stream.
+  const int rotation =
+      static_cast<int>(MetamorphSeed(options_.seed, fnv, -1) % kNumTransformKinds);
+
+  for (int k = 0; k < options_.metamorph_k; ++k) {
+    bpf::Rng rng(MetamorphSeed(options_.seed, fnv, k));
+    bpf::Program variant_prog = the_case.prog;
+    TransformKind kind = TransformKind::kRegRename;
+    bool applied = false;
+    const int start = (rotation + k) % kNumTransformKinds;
+    for (int step = 0; step < kNumTransformKinds && !applied; ++step) {
+      kind = static_cast<TransformKind>((start + step) % kNumTransformKinds);
+      applied = ApplyTransform(kind, variant_prog, rng);
+    }
+    if (!applied) {
+      continue;  // no transform has an applicable site (tiny programs)
+    }
+
+    const ExecWitness variant = CollectWitness(variant_prog, the_case, options_);
+    ++result.variants_executed;
+
+    if (variant.accepted != base.accepted) {
+      ++result.verdict_divergences;
+      char what[96];
+      snprintf(what, sizeof(what), "base accepted, variant rejected (errno %d)",
+               -variant.load_err);
+      result.findings.push_back(MakeDivergenceFinding(
+          bpf::ReportKind::kMetamorphVerdictDivergence, kind, fnv, k, what,
+          iteration));
+      if (result.escalated == CaseOutcome::kUnclassified ||
+          result.escalated == CaseOutcome::kWitnessDivergence ||
+          result.escalated == CaseOutcome::kSanitizerDivergence) {
+        result.escalated = CaseOutcome::kVerdictDivergence;
+      }
+      continue;
+    }
+    if (!base.SameExecution(variant) || variant.panicked != base.panicked) {
+      ++result.witness_divergences;
+      result.findings.push_back(MakeDivergenceFinding(
+          bpf::ReportKind::kMetamorphWitnessDivergence, kind, fnv, k,
+          variant.panicked != base.panicked ? "panic state differs"
+                                            : DescribeRuns(base, variant),
+          iteration));
+      if (result.escalated != CaseOutcome::kVerdictDivergence) {
+        result.escalated = CaseOutcome::kWitnessDivergence;
+      }
+      continue;
+    }
+    if (variant.report_kinds != base.report_kinds) {
+      ++result.sanitizer_divergences;
+      char what[96];
+      snprintf(what, sizeof(what),
+               "indicator kind sets differ (base %zu kinds, variant %zu kinds)",
+               base.report_kinds.size(), variant.report_kinds.size());
+      result.findings.push_back(MakeDivergenceFinding(
+          bpf::ReportKind::kMetamorphSanitizerDivergence, kind, fnv, k, what,
+          iteration));
+      if (result.escalated == CaseOutcome::kUnclassified) {
+        result.escalated = CaseOutcome::kSanitizerDivergence;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace bvf

@@ -1,0 +1,358 @@
+#include "src/core/metamorph/transform.h"
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "src/analysis/cfg.h"
+#include "src/analysis/liveness.h"
+#include "src/core/generator.h"
+
+namespace bvf {
+
+namespace {
+
+using bpf::Insn;
+
+bool IsLdImm64Hi(const bpf::Program& prog, size_t idx) {
+  return idx > 0 && prog.insns[idx - 1].IsLdImm64();
+}
+
+bool IsBranch(const Insn& insn) {
+  return insn.IsJmp() && insn.JmpOp() != bpf::kJmpCall && insn.JmpOp() != bpf::kJmpExit;
+}
+
+bool HasBpfToBpfCall(const bpf::Program& prog) {
+  for (const Insn& insn : prog.insns) {
+    if (insn.IsBpfToBpfCall()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool SizeHeadroom(const bpf::Program& prog, size_t extra) {
+  return !prog.insns.empty() && prog.insns.size() + extra <= kMaxVariantInsns;
+}
+
+// -- kRegRename --
+
+bool UsesScratchReg(const bpf::Program& prog) {
+  for (size_t i = 0; i < prog.insns.size(); ++i) {
+    if (IsLdImm64Hi(prog, i)) {
+      continue;
+    }
+    const Insn& insn = prog.insns[i];
+    if ((insn.dst >= bpf::kR6 && insn.dst <= bpf::kR9) ||
+        (insn.src >= bpf::kR6 && insn.src <= bpf::kR9)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ApplyRegRename(bpf::Program& prog, bpf::Rng& rng) {
+  if (!UsesScratchReg(prog)) {
+    return false;
+  }
+  // A uniform non-identity permutation of {r6..r9}, applied to every
+  // register field. Pseudo-src codes (ld_imm64, calls) and the fixed
+  // registers r0-r5/r10 are all outside 6..9, so a blanket map is exact.
+  std::array<uint8_t, 16> perm{};
+  for (uint8_t r = 0; r < perm.size(); ++r) {
+    perm[r] = r;
+  }
+  for (uint8_t r = bpf::kR9; r > bpf::kR6; --r) {
+    const uint8_t other =
+        bpf::kR6 + static_cast<uint8_t>(rng.Below(r - bpf::kR6 + 1));
+    std::swap(perm[r], perm[other]);
+  }
+  if (perm[bpf::kR6] == bpf::kR6 && perm[bpf::kR7] == bpf::kR7 &&
+      perm[bpf::kR8] == bpf::kR8 && perm[bpf::kR9] == bpf::kR9) {
+    std::swap(perm[bpf::kR6], perm[bpf::kR7]);
+  }
+  for (size_t i = 0; i < prog.insns.size(); ++i) {
+    if (IsLdImm64Hi(prog, i)) {
+      continue;  // dst/src are always 0, but keep the intent explicit
+    }
+    prog.insns[i].dst = perm[prog.insns[i].dst];
+    prog.insns[i].src = perm[prog.insns[i].src];
+  }
+  return true;
+}
+
+// -- kDeadCodeInsert --
+
+std::vector<uint8_t> DeadEntryRegs(const bpf::Program& prog) {
+  std::vector<uint8_t> dead;
+  if (prog.insns.empty()) {
+    return dead;
+  }
+  const Cfg cfg = BuildCfg(prog);
+  const LivenessResult liveness = ComputeLiveness(prog, cfg);
+  if (liveness.live_in.empty()) {
+    return dead;
+  }
+  const RegMask entry = liveness.live_in[0];
+  for (uint8_t r = bpf::kR0; r <= bpf::kR9; ++r) {
+    if (r == bpf::kR1) {
+      continue;  // the context argument; never shadow it
+    }
+    if ((entry & RegBit(r)) == 0) {
+      dead.push_back(r);
+    }
+  }
+  return dead;
+}
+
+bool ApplyDeadCodeInsert(bpf::Program& prog, bpf::Rng& rng) {
+  if (!SizeHeadroom(prog, 2)) {
+    return false;
+  }
+  const std::vector<uint8_t> dead = DeadEntryRegs(prog);
+  if (dead.empty()) {
+    return false;
+  }
+  const uint8_t reg = dead[rng.Below(dead.size())];
+  if (rng.Below(2) == 0) {
+    // Init-header pool, small-imm flavor. The constant is drawn from a
+    // distinctive high range so it cannot coincide with program constants and
+    // perturb state-equality at loop headers (a dead register still sits in
+    // the verifier's pruning state until the program overwrites it).
+    const int32_t imm = static_cast<int32_t>(0x5a000000u | rng.Below(4096));
+    InsertInsnPatched(prog, 0, bpf::MovImm(reg, imm));
+  } else {
+    // Init-header pool, random-imm64 flavor (two slots).
+    const uint64_t value = rng.Next();
+    InsertInsnPatched(prog, 0, bpf::LdImm64Lo(reg, 0, value));
+    InsertInsnPatched(prog, 1, bpf::LdImm64Hi(value));
+  }
+  return true;
+}
+
+// -- kNopPad --
+
+// Positions where an inserted instruction is reachable by fall-through and
+// does not split a ld_imm64 pair. Jumps spanning the position are re-linked
+// by InsertInsnPatched; jumps *to* the position bypass the pad, so the pad
+// must be reachable from its predecessor (or be the entry).
+std::vector<size_t> FallThroughSlots(const bpf::Program& prog) {
+  std::vector<size_t> slots;
+  for (size_t p = 0; p < prog.insns.size(); ++p) {
+    if (p == 0) {
+      slots.push_back(p);
+      continue;
+    }
+    const Insn& prev = prog.insns[p - 1];
+    if (prev.IsLdImm64()) {
+      continue;  // between the pair's slots
+    }
+    if (prev.IsExit()) {
+      continue;
+    }
+    if (prev.IsJmp() && prev.JmpOp() == bpf::kJmpJa) {
+      continue;
+    }
+    slots.push_back(p);
+  }
+  return slots;
+}
+
+bool ApplyNopPad(bpf::Program& prog, bpf::Rng& rng) {
+  if (!SizeHeadroom(prog, 1)) {
+    return false;
+  }
+  if (rng.Below(2) == 0) {
+    // Identity move of the always-initialized context register at entry.
+    InsertInsnPatched(prog, 0, bpf::MovReg(bpf::kR1, bpf::kR1));
+    return true;
+  }
+  const std::vector<size_t> slots = FallThroughSlots(prog);
+  if (slots.empty()) {
+    return false;
+  }
+  InsertInsnPatched(prog, slots[rng.Below(slots.size())], bpf::JmpA(0));
+  return true;
+}
+
+// -- kJumpRelayout --
+
+std::vector<size_t> BranchSites(const bpf::Program& prog) {
+  std::vector<size_t> sites;
+  for (size_t p = 0; p < prog.insns.size(); ++p) {
+    if (IsBranch(prog.insns[p]) && !IsLdImm64Hi(prog, p)) {
+      const int target = prog.insns[p].JumpTargetPc(static_cast<int>(p));
+      if (target >= 0 && target < static_cast<int>(prog.insns.size())) {
+        sites.push_back(p);
+      }
+    }
+  }
+  return sites;
+}
+
+bool ApplyJumpRelayout(bpf::Program& prog, bpf::Rng& rng) {
+  // Restricted to single-subprogram programs: the landing pad shifts every
+  // downstream index, and jumps must never cross subprogram boundaries.
+  if (!SizeHeadroom(prog, 1) || HasBpfToBpfCall(prog)) {
+    return false;
+  }
+  const std::vector<size_t> sites = BranchSites(prog);
+  if (sites.empty()) {
+    return false;
+  }
+  const size_t p = sites[rng.Below(sites.size())];
+  const size_t t =
+      static_cast<size_t>(prog.insns[p].JumpTargetPc(static_cast<int>(p)));
+  // Insert a `ja +0` landing pad immediately before the target and redirect
+  // the chosen jump onto it; every other edge to the target bypasses the pad
+  // (InsertInsnPatched shifts their offsets). Placing the pad at the target —
+  // rather than appending a trampoline at program end — keeps each hop's
+  // direction identical to the base jump's, so the verifier's back-edge
+  // bookkeeping (infinite-loop checks prune only what the base pruned, and
+  // the pad's forward fall-through can only *add* prune opportunities, which
+  // never reject).
+  InsertInsnPatched(prog, t, bpf::JmpA(0));
+  const size_t p_now = p >= t ? p + 1 : p;
+  prog.insns[p_now].off =
+      static_cast<int16_t>(static_cast<int64_t>(t) - static_cast<int64_t>(p_now) - 1);
+  return true;
+}
+
+// -- kAluIdentity / kConstRemat --
+
+std::vector<size_t> MovImmSites(const bpf::Program& prog, bool include_alu32) {
+  std::vector<size_t> sites;
+  for (size_t p = 0; p < prog.insns.size(); ++p) {
+    if (IsLdImm64Hi(prog, p)) {
+      continue;
+    }
+    const Insn& insn = prog.insns[p];
+    if (!insn.IsAlu() || insn.AluOp() != bpf::kAluMov || insn.SrcIsReg()) {
+      continue;
+    }
+    if (!include_alu32 && insn.Class() != bpf::kClassAlu64) {
+      continue;
+    }
+    sites.push_back(p);
+  }
+  return sites;
+}
+
+bool ApplyAluIdentity(bpf::Program& prog, bpf::Rng& rng) {
+  if (!SizeHeadroom(prog, 1)) {
+    return false;
+  }
+  // Only after a mov-imm: the destination is a known scalar constant there,
+  // so the identity is exact in the abstract domain too (no tnum/bounds
+  // widening that could flip a downstream bounds check). x&0 and x*0 are
+  // excluded — they are not identities.
+  const std::vector<size_t> sites = MovImmSites(prog, /*include_alu32=*/true);
+  if (sites.empty()) {
+    return false;
+  }
+  static constexpr uint8_t kIdentityOps[] = {
+      bpf::kAluAdd, bpf::kAluSub, bpf::kAluOr,   bpf::kAluXor,
+      bpf::kAluLsh, bpf::kAluRsh, bpf::kAluArsh,
+  };
+  const size_t p = sites[rng.Below(sites.size())];
+  const uint8_t op = kIdentityOps[rng.Below(sizeof(kIdentityOps))];
+  InsertInsnPatched(prog, p + 1, bpf::AluImm(op, prog.insns[p].dst, 0));
+  return true;
+}
+
+bool ApplyConstRemat(bpf::Program& prog, bpf::Rng& rng) {
+  if (!SizeHeadroom(prog, 1)) {
+    return false;
+  }
+  // 64-bit mov-imm only: `mov rX, imm` sign-extends, and ld_imm64 of the
+  // sign-extended value materializes the identical constant through the
+  // wide-immediate verifier path (the asymmetry bug13 models).
+  const std::vector<size_t> sites = MovImmSites(prog, /*include_alu32=*/false);
+  if (sites.empty()) {
+    return false;
+  }
+  const size_t p = sites[rng.Below(sites.size())];
+  const uint8_t dst = prog.insns[p].dst;
+  const uint64_t imm64 =
+      static_cast<uint64_t>(static_cast<int64_t>(prog.insns[p].imm));
+  prog.insns[p] = bpf::LdImm64Lo(dst, 0, imm64);
+  InsertInsnPatched(prog, p + 1, bpf::LdImm64Hi(imm64));
+  return true;
+}
+
+}  // namespace
+
+const char* TransformKindName(TransformKind kind) {
+  switch (kind) {
+    case TransformKind::kRegRename:
+      return "reg-rename";
+    case TransformKind::kDeadCodeInsert:
+      return "dead-code-insert";
+    case TransformKind::kNopPad:
+      return "nop-pad";
+    case TransformKind::kJumpRelayout:
+      return "jump-relayout";
+    case TransformKind::kAluIdentity:
+      return "alu-identity";
+    case TransformKind::kConstRemat:
+      return "const-remat";
+  }
+  return "unknown";
+}
+
+bool TransformApplicable(TransformKind kind, const bpf::Program& prog) {
+  switch (kind) {
+    case TransformKind::kRegRename:
+      return SizeHeadroom(prog, 0) && UsesScratchReg(prog);
+    case TransformKind::kDeadCodeInsert:
+      return SizeHeadroom(prog, 2) && !DeadEntryRegs(prog).empty();
+    case TransformKind::kNopPad:
+      return SizeHeadroom(prog, 1);
+    case TransformKind::kJumpRelayout:
+      return SizeHeadroom(prog, 1) && !HasBpfToBpfCall(prog) &&
+             !BranchSites(prog).empty();
+    case TransformKind::kAluIdentity:
+      return SizeHeadroom(prog, 1) && !MovImmSites(prog, true).empty();
+    case TransformKind::kConstRemat:
+      return SizeHeadroom(prog, 1) && !MovImmSites(prog, false).empty();
+  }
+  return false;
+}
+
+bool ApplyTransform(TransformKind kind, bpf::Program& prog, bpf::Rng& rng) {
+  switch (kind) {
+    case TransformKind::kRegRename:
+      return SizeHeadroom(prog, 0) && ApplyRegRename(prog, rng);
+    case TransformKind::kDeadCodeInsert:
+      return ApplyDeadCodeInsert(prog, rng);
+    case TransformKind::kNopPad:
+      return ApplyNopPad(prog, rng);
+    case TransformKind::kJumpRelayout:
+      return ApplyJumpRelayout(prog, rng);
+    case TransformKind::kAluIdentity:
+      return ApplyAluIdentity(prog, rng);
+    case TransformKind::kConstRemat:
+      return ApplyConstRemat(prog, rng);
+  }
+  return false;
+}
+
+uint64_t ProgramFnv(const bpf::Program& prog) {
+  uint64_t hash = 14695981039346656037ull;
+  const auto mix = [&hash](uint64_t value) {
+    for (int b = 0; b < 8; ++b) {
+      hash ^= (value >> (8 * b)) & 0xff;
+      hash *= 1099511628211ull;
+    }
+  };
+  mix(static_cast<uint64_t>(prog.type));
+  for (const Insn& insn : prog.insns) {
+    mix(static_cast<uint64_t>(insn.opcode) | (static_cast<uint64_t>(insn.dst) << 8) |
+        (static_cast<uint64_t>(insn.src) << 16) |
+        (static_cast<uint64_t>(static_cast<uint16_t>(insn.off)) << 24) |
+        (static_cast<uint64_t>(static_cast<uint32_t>(insn.imm)) << 40));
+  }
+  return hash;
+}
+
+}  // namespace bvf

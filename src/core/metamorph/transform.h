@@ -1,0 +1,80 @@
+// Semantics-preserving eBPF program transforms (DESIGN.md §11).
+//
+// Each transform rewrites a program into a variant that is guaranteed to
+// produce the same execution witness — same per-run error and R0 — under the
+// Linux edge-rule semantics deduplicated in src/runtime/interp_ops.h (shift
+// masking, div/mod-by-zero, endian truncation), and that a *correct* verifier
+// must give the same verdict. A divergence between base and variant is
+// therefore evidence of a verifier or runtime bug, not of the transform.
+//
+// Every transform carries a validity predicate: when the predicate fails
+// (no applicable site, structural hazard like splitting a ld_imm64 pair or
+// jumping across a subprogram boundary, size headroom exhausted),
+// ApplyTransform returns false and leaves the program untouched. Decisions —
+// which site, which register permutation, which identity op — are drawn from
+// the caller-provided RNG, so a fixed RNG seed yields a fixed variant.
+
+#ifndef SRC_CORE_METAMORPH_TRANSFORM_H_
+#define SRC_CORE_METAMORPH_TRANSFORM_H_
+
+#include <cstdint>
+
+#include "src/ebpf/program.h"
+#include "src/kernel/rng.h"
+
+namespace bvf {
+
+enum class TransformKind {
+  // Apply one consistent permutation of the callee-saved scratch registers
+  // r6-r9 to every instruction. The verifier is symmetric in these registers
+  // and the exit value lives in r0, so the witness is unchanged.
+  kRegRename = 0,
+  // Insert a write to a register proven dead at entry (backward liveness,
+  // src/analysis/liveness.h) — a mov-imm or ld_imm64 from the init-header
+  // object pool. No path reads the register before writing it.
+  kDeadCodeInsert,
+  // Insert a no-op: `ja +0` at any fall-through-reachable position, or the
+  // identity move `r1 = r1` at entry (r1 is the always-initialized context).
+  kNopPad,
+  // Re-layout one jump: insert a `ja +0` landing pad immediately before the
+  // jump's target and redirect the jump onto it (other edges to the target
+  // bypass the pad). The pad keeps both hops in the base jump's direction, so
+  // the verifier's back-edge loop checks see the same edge classes as the
+  // base program. Restricted to single-subprogram programs (jumps must not
+  // cross subprog boundaries).
+  kJumpRelayout,
+  // Insert an ALU identity (x+0, x-0, x|0, x^0, x<<0, x>>0, x s>>0) right
+  // after a mov-imm, where the operand is a known constant and the identity
+  // is exact in both the abstract and the concrete domain.
+  kAluIdentity,
+  // Re-materialize a 64-bit mov-imm constant through a two-slot ld_imm64 of
+  // the identical sign-extended value.
+  kConstRemat,
+};
+
+inline constexpr int kNumTransformKinds = 6;
+
+const char* TransformKindName(TransformKind kind);
+
+// Variants never grow past this instruction count (well under the loader's
+// kMaxInsns and the verifier's exploration budget, so padding alone can
+// never flip a verdict through a resource limit).
+inline constexpr size_t kMaxVariantInsns = 4096;
+
+// True when |kind| has at least one applicable site in |prog| (the validity
+// predicate, without mutating anything).
+bool TransformApplicable(TransformKind kind, const bpf::Program& prog);
+
+// Applies |kind| to |prog| using decisions drawn from |rng|. Returns false —
+// with |prog| untouched — when the validity predicate rejects the program.
+bool ApplyTransform(TransformKind kind, bpf::Program& prog, bpf::Rng& rng);
+
+// FNV-1a over the instruction stream (opcode/dst/src/off/imm), the identity
+// of a program for metamorphic-seed derivation: variants depend on what the
+// program *is*, never on when or where it was generated, which is what makes
+// metamorph findings replayable outside the campaign loop.
+uint64_t ProgramFnv(const bpf::Program& prog);
+
+}  // namespace bvf
+
+#endif  // SRC_CORE_METAMORPH_TRANSFORM_H_

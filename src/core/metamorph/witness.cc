@@ -1,0 +1,68 @@
+#include "src/core/metamorph/witness.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/analysis/state_audit.h"
+#include "src/runtime/bpf_syscall.h"
+#include "src/sanitizer/asan_funcs.h"
+#include "src/sanitizer/instrument.h"
+
+namespace bvf {
+
+ExecWitness CollectWitness(const bpf::Program& prog, const FuzzCase& the_case,
+                           const CampaignOptions& options) {
+  ExecWitness witness;
+
+  bpf::Kernel kernel(options.version, options.bugs, options.arena_size);
+  bpf::Bpf bpf(kernel);
+  Sanitizer sanitizer;
+  if (options.sanitize) {
+    bpf::BpfAsan::Register(kernel);
+    bpf.set_instrument(sanitizer.Hook());
+  }
+  if (options.audit_state) {
+    bpf.set_exec_observer(
+        [&kernel](const bpf::LoadedProgram& loaded, const bpf::WitnessTrace& trace) {
+          AuditAndReport(loaded, trace, kernel.reports());
+        });
+  }
+  bpf.set_exec_limits(options.limits);
+  bpf.set_decoded_exec(options.interp_decoded);
+  kernel.arena().set_alloc_budget(options.arena_budget);
+
+  for (const bpf::MapDef& def : the_case.maps) {
+    const int fd = bpf.MapCreate(def);
+    if (fd < 0) {
+      continue;
+    }
+    if (def.type == bpf::MapType::kHash || def.type == bpf::MapType::kArray) {
+      for (uint32_t k = 0; k < 2 && k < def.max_entries; ++k) {
+        std::vector<uint8_t> key(def.key_size, 0);
+        std::memcpy(key.data(), &k, std::min<size_t>(sizeof(k), key.size()));
+        std::vector<uint8_t> value(def.value_size, 0);
+        bpf.MapUpdateElem(fd, key.data(), value.data());
+      }
+    }
+  }
+
+  const int prog_fd = bpf.ProgLoad(prog);
+  witness.accepted = prog_fd > 0;
+  witness.load_err = prog_fd > 0 ? 0 : prog_fd;
+  if (prog_fd > 0) {
+    for (int run = 0; run < the_case.test_runs; ++run) {
+      const bpf::ExecResult result = bpf.ProgTestRun(
+          prog_fd, static_cast<uint32_t>(32 + 16 * run), static_cast<uint64_t>(run));
+      witness.run_errs.push_back(result.err);
+      witness.run_r0.push_back(result.r0);
+    }
+  }
+
+  for (const bpf::KernelReport& report : kernel.reports().reports()) {
+    witness.report_kinds.insert(report.kind);
+  }
+  witness.panicked = kernel.reports().panicked();
+  return witness;
+}
+
+}  // namespace bvf

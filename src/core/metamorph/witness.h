@@ -1,0 +1,46 @@
+// Execution witness for metamorphic comparison: everything observable about
+// one program standing in for the case's program — the verifier verdict, the
+// per-test-run error and R0, the set of indicator kinds fired, and whether
+// the substrate panicked. Two witnesses of semantics-equal programs must be
+// identical; any difference is a divergence for the oracle to classify.
+
+#ifndef SRC_CORE_METAMORPH_WITNESS_H_
+#define SRC_CORE_METAMORPH_WITNESS_H_
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "src/core/fuzzer.h"
+#include "src/core/generator.h"
+#include "src/kernel/report.h"
+
+namespace bvf {
+
+struct ExecWitness {
+  bool accepted = false;
+  int load_err = 0;                        // 0 when accepted, -errno otherwise
+  std::vector<int> run_errs;               // err of every test run, 0 included
+  std::vector<uint64_t> run_r0;            // R0 of every test run
+  std::set<bpf::ReportKind> report_kinds;  // indicator kinds fired (set, not
+                                           // signatures: titles embed PCs,
+                                           // which transforms legally shift)
+  bool panicked = false;
+
+  bool SameExecution(const ExecWitness& other) const {
+    return run_errs == other.run_errs && run_r0 == other.run_r0;
+  }
+};
+
+// Executes |prog| standing in for |the_case|'s program on a fresh throwaway
+// substrate: the case's maps (with the seeded entries every replay path
+// writes), PROG_LOAD, then the case's test runs with the iteration-free
+// input formula ExecuteCase uses (pkt 32+16*run, seed run). No fault
+// injection, no caches — a clean, deterministic witness, identical for any
+// --jobs/--interp/resume configuration.
+ExecWitness CollectWitness(const bpf::Program& prog, const FuzzCase& the_case,
+                           const CampaignOptions& options);
+
+}  // namespace bvf
+
+#endif  // SRC_CORE_METAMORPH_WITNESS_H_

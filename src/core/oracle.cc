@@ -36,6 +36,8 @@ const char* KnownBugName(KnownBug bug) {
       return "CVE-2022-23222: ALU on nullable pointers";
     case KnownBug::kBug12Jmp32SignedRefine:
       return "#12 verifier: jmp32 unsigned refinement corrupts signed-32 bounds";
+    case KnownBug::kBug13LdImm64Pessimize:
+      return "#13 verifier: ld_imm64 drops small-constant tracking (spurious rejection)";
   }
   return "unknown";
 }

@@ -31,6 +31,11 @@ enum class KnownBug {
   // corrupted s32 range never feeds a pointer offset, so indicators #1/#2
   // stay silent (src/verifier/bug_registry.h, bug12_jmp32_signed_refine).
   kBug12Jmp32SignedRefine,
+  // Synthetic spurious-rejection asymmetry only the metamorphic oracle can
+  // see: the ld_imm64 path drops small-constant tracking that the mov-imm
+  // path keeps, so an accepted program's ld_imm64-spelled variant fails to
+  // load (src/verifier/bug_registry.h, bug13_ld_imm64_pessimize).
+  kBug13LdImm64Pessimize,
 };
 
 const char* KnownBugName(KnownBug bug);
@@ -52,7 +57,8 @@ struct Finding {
   bpf::ReportKind kind;
   std::string signature;  // stable dedup key
   std::string details;
-  int indicator;          // 1 or 2 (paper §3.1/§3.2), or 3 (state audit)
+  int indicator;          // 1 or 2 (paper §3.1/§3.2), 3 (state audit),
+                          // or 4 (metamorphic divergence)
   KnownBug triaged = KnownBug::kUnknown;
   uint64_t iteration = 0;  // campaign iteration that first triggered it
 

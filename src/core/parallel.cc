@@ -65,6 +65,11 @@ void MergeCounters(CampaignStats& into, CampaignStats& partial) {
   for (const auto& [outcome, count] : partial.outcomes) {
     into.outcomes[outcome] += count;
   }
+  into.metamorph_bases += partial.metamorph_bases;
+  into.metamorph_variants += partial.metamorph_variants;
+  into.metamorph_verdict_divergences += partial.metamorph_verdict_divergences;
+  into.metamorph_witness_divergences += partial.metamorph_witness_divergences;
+  into.metamorph_sanitizer_divergences += partial.metamorph_sanitizer_divergences;
   partial = CampaignStats{};
 }
 

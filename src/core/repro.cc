@@ -7,6 +7,7 @@
 #include "src/analysis/lints.h"
 #include "src/analysis/liveness.h"
 #include "src/analysis/state_audit.h"
+#include "src/core/metamorph/metamorph.h"
 #include "src/core/oracle.h"
 #include "src/runtime/bpf_syscall.h"
 #include "src/sanitizer/asan_funcs.h"
@@ -79,6 +80,17 @@ std::set<std::string> ExecuteCase(const FuzzCase& the_case, const CampaignOption
   std::set<std::string> signatures;
   for (const bpf::KernelReport& report : kernel.reports().reports()) {
     signatures.insert(report.Signature());
+  }
+
+  // Indicator #4 replay: variant derivation depends only on (seed, program,
+  // k), so re-examining here reproduces exactly the campaign's divergences —
+  // which is what lets MinimizeCase shrink a metamorph finding like any
+  // other.
+  if (options.metamorph && prog_fd > 0) {
+    const MetamorphOracle oracle(options);
+    for (const Finding& finding : oracle.Examine(the_case, 0).findings) {
+      signatures.insert(finding.signature);
+    }
   }
   return signatures;
 }

@@ -36,6 +36,12 @@ const char* ReportKindName(ReportKind kind) {
       return "BUG: stack guard page was hit";
     case ReportKind::kStateAuditViolation:
       return "state-audit: witness outside verifier claim";
+    case ReportKind::kMetamorphVerdictDivergence:
+      return "metamorph: verdict divergence";
+    case ReportKind::kMetamorphWitnessDivergence:
+      return "metamorph: witness divergence";
+    case ReportKind::kMetamorphSanitizerDivergence:
+      return "metamorph: sanitizer divergence";
   }
   return "unknown";
 }

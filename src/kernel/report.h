@@ -38,6 +38,14 @@ enum class ReportKind {
   // verifier's claimed abstract state (witness-containment audit,
   // src/analysis/state_audit.h).
   kStateAuditViolation,
+
+  // Indicator #4: metamorphic divergences (src/core/metamorph). These are
+  // never filed through a ReportSink — the oracle compares whole cases, not
+  // single kernel events — but the kinds live here so metamorph findings
+  // serialize, triage, and dedup through the same Finding machinery.
+  kMetamorphVerdictDivergence,    // accept/reject flip on a variant
+  kMetamorphWitnessDivergence,    // exit-value/errno mismatch across variants
+  kMetamorphSanitizerDivergence,  // indicator fires on one variant only
 };
 
 const char* ReportKindName(ReportKind kind);

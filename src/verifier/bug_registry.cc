@@ -16,6 +16,7 @@ BugConfig BugConfig::All() {
   bugs.bug10_irq_work = true;
   bugs.bug11_xdp_offload = true;
   bugs.bug12_jmp32_signed_refine = true;
+  bugs.bug13_ld_imm64_pessimize = true;
   bugs.cve_2022_23222 = true;
   return bugs;
 }
@@ -63,6 +64,7 @@ std::vector<std::string> BugConfig::EnabledNames() const {
   if (bug10_irq_work) names.push_back("bug10_irq_work");
   if (bug11_xdp_offload) names.push_back("bug11_xdp_offload");
   if (bug12_jmp32_signed_refine) names.push_back("bug12_jmp32_signed_refine");
+  if (bug13_ld_imm64_pessimize) names.push_back("bug13_ld_imm64_pessimize");
   if (cve_2022_23222) names.push_back("cve_2022_23222");
   return names;
 }

@@ -50,6 +50,18 @@ struct BugConfig {
   // caught only by the abstract-state witness audit.
   bool bug12_jmp32_signed_refine = false;
 
+  // -- Synthetic refinement asymmetry (metamorphic-oracle target) --
+  // #13: the ld_imm64 constant-load path drops constant tracking for small
+  // immediates (1..255), marking the destination unknown where the mov-imm
+  // path of the same value keeps the exact constant. A pure spurious-
+  // rejection asymmetry: any program whose acceptance depends on a small
+  // constant (e.g. a bounded loop counter) still loads when the constant is
+  // materialized through mov, but is rejected when it is materialized through
+  // ld_imm64. No accepted program misbehaves, so Indicators #1-#3 can never
+  // fire; only a verdict comparison between semantically equal programs
+  // (src/core/metamorph) observes it.
+  bool bug13_ld_imm64_pessimize = false;
+
   // -- Historical: CVE-2022-23222, ALU permitted on nullable map pointers. --
   bool cve_2022_23222 = false;
 

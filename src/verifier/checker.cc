@@ -399,6 +399,15 @@ int Checker::CheckLdImm64(VerifierState& state, const Insn& insn, int idx) {
   switch (insn.src) {
     case 0:
       BVF_COV();
+      if (env_.bugs.bug13_ld_imm64_pessimize && imm64 >= 1 && imm64 <= 255) {
+        // Bug #13 model: the wide-immediate path loses constant tracking for
+        // small values. mov-imm of the same constant stays exact, so the two
+        // materializations verify asymmetrically — a spurious rejection shape
+        // only the metamorphic oracle can see (the program never runs wrong,
+        // it merely fails to load in one of its equivalent spellings).
+        dst.MarkUnknown();
+        return 0;
+      }
       dst.MarkKnown(imm64);
       return 0;
     case kPseudoMapFd: {

@@ -7,7 +7,9 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <set>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -305,6 +307,94 @@ TEST(VerdictCacheTest, CountersSurviveCheckpointResume) {
   // first leg had committed: hit totals are process-dependent, but every
   // lookup is still accounted exactly once.
   EXPECT_EQ(continued.verdict_cache_hits + continued.verdict_cache_misses,
+            options.iterations);
+  std::remove(path.c_str());
+}
+
+// Extracts the space-separated counter fields of the checkpoint line that
+// starts with `tag` ("vcache" / "dcache"), or an empty vector if absent.
+std::vector<uint64_t> CheckpointLineFields(const std::string& path,
+                                           const std::string& tag) {
+  std::ifstream is(path);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.rfind(tag + " ", 0) == 0) {
+      std::vector<uint64_t> fields;
+      std::istringstream fs(line.substr(tag.size() + 1));
+      uint64_t v = 0;
+      while (fs >> v) {
+        fields.push_back(v);
+      }
+      return fields;
+    }
+  }
+  return {};
+}
+
+TEST(CacheCounterResumeTest, BothCachesResumeIdenticallyAtAnyJobCount) {
+  // The round-trip gap this guards: a mid-campaign checkpoint whose vcache
+  // AND dcache lines both carry real traffic must resume with identical
+  // hit/miss/evict counters whatever --jobs the second leg uses. The tiny
+  // 4-program space guarantees verdict hits; interp_decoded gives the decode
+  // cache the same traffic.
+  const std::string path = TempPath("both_caches_resume.bvfcp");
+  CampaignOptions options;
+  options.iterations = 200;
+  options.seed = 5;
+  options.epoch_len = 32;
+  options.verdict_cache = true;
+  options.interp_decoded = true;
+  options.coverage_feedback = false;
+  options.jobs = 2;
+
+  TinySpaceGenerator g1;
+  ParallelFuzzer full_fuzzer(g1, options);
+  const CampaignStats full = full_fuzzer.Run();
+
+  CampaignOptions first_leg = options;
+  first_leg.stop_after = 96;
+  first_leg.checkpoint_path = path;
+  TinySpaceGenerator g2;
+  ParallelFuzzer interrupted(g2, first_leg);
+  interrupted.Run();
+
+  // The checkpoint must carry non-empty cache counter lines: both caches saw
+  // traffic before the cut, and that state is what the resume inherits.
+  const std::vector<uint64_t> vcache = CheckpointLineFields(path, "vcache");
+  ASSERT_EQ(vcache.size(), 2u);
+  EXPECT_GT(vcache[0] + vcache[1], 0u) << "checkpoint vcache line is empty";
+  const std::vector<uint64_t> dcache = CheckpointLineFields(path, "dcache");
+  ASSERT_EQ(dcache.size(), 3u);
+  EXPECT_GT(dcache[0] + dcache[1], 0u) << "checkpoint dcache line is empty";
+
+  // Resume the same checkpoint at two different job counts.
+  CampaignOptions second_leg = options;
+  second_leg.jobs = 1;
+  second_leg.resume_path = path;
+  TinySpaceGenerator g3;
+  ParallelFuzzer resumed_one(g3, second_leg);
+  const CampaignStats one = resumed_one.Run();
+
+  second_leg.jobs = 3;
+  TinySpaceGenerator g4;
+  ParallelFuzzer resumed_three(g4, second_leg);
+  const CampaignStats three = resumed_three.Run();
+
+  EXPECT_TRUE(one.resume_error.empty()) << one.resume_error;
+  EXPECT_TRUE(three.resume_error.empty()) << three.resume_error;
+  EXPECT_EQ(StatsDigest(one), StatsDigest(full));
+  EXPECT_EQ(StatsDigest(three), StatsDigest(full));
+
+  // The counters themselves must not drift with the resume's job count.
+  EXPECT_EQ(one.verdict_cache_hits, three.verdict_cache_hits);
+  EXPECT_EQ(one.verdict_cache_misses, three.verdict_cache_misses);
+  EXPECT_EQ(one.decode_cache_hits, three.decode_cache_hits);
+  EXPECT_EQ(one.decode_cache_misses, three.decode_cache_misses);
+  EXPECT_EQ(one.decode_cache_evictions, three.decode_cache_evictions);
+  // Every lookup is accounted exactly once across the two processes.
+  EXPECT_EQ(one.verdict_cache_hits + one.verdict_cache_misses,
+            options.iterations);
+  EXPECT_EQ(one.decode_cache_hits + one.decode_cache_misses,
             options.iterations);
   std::remove(path.c_str());
 }

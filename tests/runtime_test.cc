@@ -221,7 +221,7 @@ TEST_F(RuntimeTest, VersionedKernels) {
   Kernel next(KernelVersion::kBpfNext, BugConfig::ForVersion(KernelVersion::kBpfNext));
   EXPECT_TRUE(next.bugs().bug1_nullness_propagation);
   EXPECT_FALSE(next.bugs().cve_2022_23222);
-  EXPECT_EQ(BugConfig::All().Count(), 13);
+  EXPECT_EQ(BugConfig::All().Count(), 14);
   EXPECT_EQ(BugConfig::None().Count(), 0);
 }
 
