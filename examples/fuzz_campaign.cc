@@ -8,6 +8,8 @@
 //          [--checkpoint=PATH] [--checkpoint-every=N] [--resume=PATH]
 //          [--stop-after=N] [--jobs=N] [--verdict-cache=on|off]
 //          [--interp=decoded|legacy] [--metamorph] [--metamorph-k=K] [--smoke]
+//          [--supervise] [--worker-retries=K] [--hang-timeout=MS]
+//          [--quarantine=PATH] [--journal=PATH] [--replay-quarantine=PATH]
 //
 // Without --jobs the original serial engine runs. Any explicit --jobs=N
 // (including N=1) selects the parallel sharded engine (src/core/parallel.h),
@@ -21,6 +23,19 @@
 // re-derived into --metamorph-k semantics-preserving variants and any
 // base/variant divergence (verdict flip, witness mismatch, indicator
 // asymmetry) becomes a finding and an escalated case outcome.
+//
+// --supervise runs the epoch-shard discipline with crash-isolated worker
+// *processes* (src/core/supervisor): a worker that crashes, hangs past
+// --hang-timeout, or exits is re-forked with backoff; after --worker-retries
+// consecutive failures the in-flight case is written to --quarantine (replay
+// it later with --replay-quarantine) and its iteration skipped. --journal
+// names a write-ahead findings/corpus journal that both the parallel and
+// supervised engines fsync at every epoch barrier, so a kill between
+// checkpoints cannot lose a recorded finding. Supervised results are
+// digest-identical to --jobs=N in-process runs (same engine=parallel
+// checkpoints, interchangeable both ways). Hidden test hooks
+// --test-crash-at/--test-crash-mode/--test-crash-marker inject a
+// deterministic worker failure for the smoke gate.
 //
 // With --analysis, the first finding's regenerated trigger is run through the
 // static-analysis passes: CFG dump, lints, liveness, and the per-instruction
@@ -38,12 +53,16 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <set>
+#include <string>
+#include <vector>
 
 #include "src/core/checkpoint.h"
 #include "src/core/fuzzer.h"
 #include "src/core/parallel.h"
 #include "src/core/repro.h"
 #include "src/core/structured_gen.h"
+#include "src/core/supervisor/supervisor.h"
 
 int main(int argc, char** argv) {
   using namespace bvf;
@@ -62,6 +81,15 @@ int main(int argc, char** argv) {
   bool interp_decoded = true;
   bool metamorph = false;
   int metamorph_k = 2;
+  bool supervise = false;
+  int worker_retries = 3;
+  int hang_timeout_ms = 30000;
+  const char* quarantine_path = nullptr;
+  const char* journal_path = nullptr;
+  const char* replay_quarantine = nullptr;
+  uint64_t test_crash_at = 0;
+  int test_crash_mode = 0;
+  const char* test_crash_marker = nullptr;
   uint64_t positional[2] = {3000, 1};  // iterations, seed
   int npos = 0;
   for (int i = 1; i < argc; ++i) {
@@ -92,6 +120,24 @@ int main(int argc, char** argv) {
       resume_path = argv[i] + 9;
     } else if (strncmp(argv[i], "--stop-after=", 13) == 0) {
       stop_after = strtoull(argv[i] + 13, nullptr, 10);
+    } else if (strcmp(argv[i], "--supervise") == 0) {
+      supervise = true;
+    } else if (strncmp(argv[i], "--worker-retries=", 17) == 0) {
+      worker_retries = static_cast<int>(strtol(argv[i] + 17, nullptr, 10));
+    } else if (strncmp(argv[i], "--hang-timeout=", 15) == 0) {
+      hang_timeout_ms = static_cast<int>(strtol(argv[i] + 15, nullptr, 10));
+    } else if (strncmp(argv[i], "--quarantine=", 13) == 0) {
+      quarantine_path = argv[i] + 13;
+    } else if (strncmp(argv[i], "--journal=", 10) == 0) {
+      journal_path = argv[i] + 10;
+    } else if (strncmp(argv[i], "--replay-quarantine=", 20) == 0) {
+      replay_quarantine = argv[i] + 20;
+    } else if (strncmp(argv[i], "--test-crash-at=", 16) == 0) {
+      test_crash_at = strtoull(argv[i] + 16, nullptr, 10);
+    } else if (strncmp(argv[i], "--test-crash-mode=", 18) == 0) {
+      test_crash_mode = static_cast<int>(strtol(argv[i] + 18, nullptr, 10));
+    } else if (strncmp(argv[i], "--test-crash-marker=", 20) == 0) {
+      test_crash_marker = argv[i] + 20;
     } else if (npos < 2) {
       positional[npos++] = strtoull(argv[i], nullptr, 10);
     }
@@ -118,6 +164,44 @@ int main(int argc, char** argv) {
   options.interp_decoded = interp_decoded;
   options.metamorph = metamorph;
   options.metamorph_k = metamorph_k;
+  options.worker_retries = worker_retries;
+  options.hang_timeout_ms = hang_timeout_ms;
+  if (quarantine_path != nullptr) {
+    options.quarantine_path = quarantine_path;
+  }
+  if (journal_path != nullptr) {
+    options.journal_path = journal_path;
+  }
+  options.test_crash_at = test_crash_at;
+  options.test_crash_mode = test_crash_mode;
+  if (test_crash_marker != nullptr) {
+    options.test_crash_marker = test_crash_marker;
+  }
+
+  // Quarantine replay: no campaign, just re-execute each quarantined case
+  // through the deterministic repro path and report its signatures.
+  if (replay_quarantine != nullptr) {
+    std::vector<QuarantineRecord> records;
+    std::string error;
+    if (LoadQuarantine(replay_quarantine, &records, &error) != 0) {
+      fprintf(stderr, "replay failed: %s\n", error.c_str());
+      return 2;
+    }
+    printf("replaying %zu quarantined case(s) from %s\n", records.size(),
+           replay_quarantine);
+    for (const QuarantineRecord& record : records) {
+      bool accepted = false;
+      const std::set<std::string> sigs = ExecuteCase(record.the_case, options, &accepted);
+      printf("  iteration %" PRIu64 " (%d failed attempts, signal/code %d): %s, %zu "
+             "signature(s)\n",
+             record.iteration, record.attempts, record.signal_or_code,
+             accepted ? "accepted" : "rejected", sigs.size());
+      for (const std::string& sig : sigs) {
+        printf("    %s\n", sig.c_str());
+      }
+    }
+    return 0;
+  }
 
   printf("BVF campaign: %" PRIu64 " programs against %s with %d injected bugs (seed %" PRIu64
          ")\n",
@@ -132,14 +216,21 @@ int main(int argc, char** argv) {
   // parallel checkpoints are intentionally incompatible — different RNG
   // models — so the engines never mix).
   const bool parallel_engine = jobs_given || jobs > 1;
-  if (parallel_engine) {
+  if (supervise) {
+    printf("  supervised engine: %d worker process(es), epoch length %" PRIu64
+           ", %d retries, %d ms hang timeout\n",
+           jobs, options.epoch_len, options.worker_retries, options.hang_timeout_ms);
+  } else if (parallel_engine) {
     printf("  parallel engine: %d jobs, epoch length %" PRIu64 "\n", jobs,
            options.epoch_len);
   }
 
   StructuredGenerator generator(options.version);
   CampaignStats stats;
-  if (parallel_engine) {
+  if (supervise) {
+    SupervisedFuzzer fuzzer(generator, options);
+    stats = fuzzer.Run();
+  } else if (parallel_engine) {
     ParallelFuzzer fuzzer(generator, options);
     stats = fuzzer.Run();
   } else {
@@ -185,6 +276,16 @@ int main(int argc, char** argv) {
   }
   printf("  panics contained:%" PRIu64 " (%" PRIu64 " substrate rebuilds)\n", stats.panics,
          stats.substrate_rebuilds);
+  if (supervise) {
+    printf("  supervisor:      %" PRIu64 " crashes / %" PRIu64 " hangs / %" PRIu64
+           " exits; %" PRIu64 " restarts, %" PRIu64 " quarantined, %" PRIu64
+           " epochs degraded\n",
+           stats.worker_crashes, stats.worker_hangs, stats.worker_exits,
+           stats.worker_restarts, stats.quarantined_cases, stats.epochs_abandoned);
+    for (const Finding& crash : stats.crash_findings) {
+      printf("  worker-crash:    %s\n", crash.signature.c_str());
+    }
+  }
   printf("  outcomes:\n");
   for (const auto& [outcome, count] : stats.outcomes) {
     printf("    %-18s %" PRIu64 "\n", CaseOutcomeName(outcome), count);

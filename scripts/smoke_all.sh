@@ -5,13 +5,18 @@
 #   1. scripts/smoke_robustness.sh — fault injection + resume digest (ASan).
 #   2. scripts/smoke_parallel.sh   — job-count invariance (TSan).
 #   3. scripts/smoke_interp.sh     — engine parity + decode cache (ASan).
-#   4. Metamorph gate: a short --metamorph --metamorph-k=2 campaign under
+#   4. scripts/smoke_supervisor.sh — crash-isolated supervisor: supervised vs
+#      in-process digest equality, forced-crash recovery, poison-case
+#      quarantine + replay, SIGTERM + resume bit-identity (ASan).
+#   5. Metamorph gate: a short --metamorph --metamorph-k=2 campaign under
 #      ASan/UBSan must produce one bit-identical campaign digest across
 #      {--jobs=1, --jobs=4} x {--interp=decoded, --interp=legacy}, and the
 #      metamorph counter line must be identical on every leg.
-#   5. Tier-1 label audit: every discovered ctest test must carry the tier1
-#      label (`ctest -N` count == `ctest -N -L tier1` count), so nothing can
-#      silently drop out of the gate the driver runs.
+#   6. Tier-1 label audit: every discovered ctest test must carry the tier1
+#      label (`ctest -N` count == `ctest -N -L tier1` count) and the suites
+#      this tree considers load-bearing (supervisor, journal, parallel,
+#      robustness) must actually be discovered, so nothing can silently drop
+#      out of the gate the driver runs.
 #
 # Usage: scripts/smoke_all.sh [asan-build-dir] [tsan-build-dir]
 #        (defaults: build-smoke build-tsan)
@@ -24,19 +29,23 @@ TSAN_DIR="${2:-build-tsan}"
 MM_ITERATIONS=200
 MM_SEED=7
 
-echo "==== [1/5] smoke_robustness ===="
+echo "==== [1/6] smoke_robustness ===="
 scripts/smoke_robustness.sh "$ASAN_DIR"
 
 echo
-echo "==== [2/5] smoke_parallel ===="
+echo "==== [2/6] smoke_parallel ===="
 scripts/smoke_parallel.sh "$TSAN_DIR"
 
 echo
-echo "==== [3/5] smoke_interp ===="
+echo "==== [3/6] smoke_interp ===="
 scripts/smoke_interp.sh "$ASAN_DIR"
 
 echo
-echo "==== [4/5] metamorph digest gate (ASan/UBSan) ===="
+echo "==== [4/6] smoke_supervisor ===="
+scripts/smoke_supervisor.sh "$ASAN_DIR"
+
+echo
+echo "==== [5/6] metamorph digest gate (ASan/UBSan) ===="
 CAMPAIGN="$ASAN_DIR/examples/fuzz_campaign"
 WORK="$(mktemp -d)"
 trap 'rm -rf "$WORK"' EXIT
@@ -78,7 +87,7 @@ echo "smoke: metamorph campaign digest $REF on all four engine/jobs legs"
 echo "smoke: metamorph counters identical ($(echo "$MMREF" | sed 's/^ *//'))"
 
 echo
-echo "==== [5/5] tier-1 label audit ===="
+echo "==== [6/6] tier-1 label audit ===="
 # gtest test discovery happens at build time, so the audit needs the whole
 # tree built in the ASan dir (the earlier legs only built their own targets).
 cmake --build "$ASAN_DIR" -j"$(nproc)" >/dev/null
@@ -92,7 +101,13 @@ if [[ "$ALL_TESTS" != "$TIER1_TESTS" ]]; then
     echo "SMOKE FAIL: $ALL_TESTS tests discovered but only $TIER1_TESTS carry the tier1 label"
     exit 1
 fi
-echo "smoke: all $ALL_TESTS discovered tests carry the tier1 label"
+for SUITE in SupervisorDigestTest JournalTest ParallelInvarianceTest CheckpointTest; do
+    if ! ctest --test-dir "$ASAN_DIR" -N -L tier1 2>/dev/null | grep -q "$SUITE"; then
+        echo "SMOKE FAIL: load-bearing suite $SUITE not discovered under the tier1 label"
+        exit 1
+    fi
+done
+echo "smoke: all $ALL_TESTS discovered tests carry the tier1 label (load-bearing suites present)"
 
 echo
 echo "smoke_all: PASS"

@@ -1,308 +1,62 @@
 #include "src/core/checkpoint.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
+
+#include "src/core/serialize.h"
 
 namespace bvf {
 
 namespace {
 
-constexpr char kMagic[] = "bvf-checkpoint v1";
+using serialize::Escape;
+using serialize::Fnv1a;
+using serialize::Hex64;
+using serialize::Reader;
+using serialize::Unescape;
 
-uint64_t Fnv1a(const std::string& data) {
-  uint64_t hash = 14695981039346656037ull;
-  for (const char c : data) {
-    hash ^= static_cast<uint8_t>(c);
-    hash *= 1099511628211ull;
+constexpr char kMagic[] = "bvf-checkpoint v2";
+constexpr char kMagicV1[] = "bvf-checkpoint v1";
+constexpr char kSumTag[] = "sum ";
+
+// Writes |content| to |path| atomically: temp file in the same directory,
+// fsync, rename. A kill at any point leaves either the old file or the new
+// one, never a hybrid.
+int AtomicWrite(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return -errno;
   }
-  return hash;
-}
-
-std::string Hex(uint64_t value) {
-  char buf[17];
-  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(value));
-  return buf;
-}
-
-// Strings live to end-of-line after their tag; only line-structure characters
-// need escaping.
-std::string Escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    switch (c) {
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      default:
-        out += c;
-    }
-  }
-  return out;
-}
-
-std::string Unescape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (size_t i = 0; i < s.size(); ++i) {
-    if (s[i] == '\\' && i + 1 < s.size()) {
-      ++i;
-      switch (s[i]) {
-        case 'n':
-          out += '\n';
-          break;
-        case 'r':
-          out += '\r';
-          break;
-        default:
-          out += s[i];
+  size_t written = 0;
+  while (written < content.size()) {
+    const ssize_t n = ::write(fd, content.data() + written, content.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
       }
-    } else {
-      out += s[i];
+      const int err = errno;
+      ::close(fd);
+      std::remove(tmp.c_str());
+      return -err;
     }
+    written += static_cast<size_t>(n);
   }
-  return out;
-}
-
-// Canonical stats body shared by checkpoint files and StatsDigest. Excludes
-// stats.options (covered by the fingerprint) and the resume bookkeeping
-// fields (resumed_from / resume_error describe the *process*, not the
-// campaign result).
-void SerializeStats(std::ostream& os, const CampaignStats& stats) {
-  os << "tool " << Escape(stats.tool) << "\n";
-  os << "counters " << stats.iterations << " " << stats.accepted << " " << stats.rejected
-     << " " << stats.exec_runs << " " << stats.exec_failures << " " << stats.panics << " "
-     << stats.substrate_rebuilds << " " << stats.fault_injected << " " << stats.insns_total
-     << " " << stats.insns_alu_jmp << " " << stats.insns_mem << " " << stats.insns_call
-     << " " << stats.final_coverage << "\n";
-  os << "reject_errno " << stats.reject_errno.size() << "\n";
-  for (const auto& [err, count] : stats.reject_errno) {
-    os << "e " << err << " " << count << "\n";
+  if (::fsync(fd) != 0 || ::close(fd) != 0) {
+    std::remove(tmp.c_str());
+    return -EIO;
   }
-  os << "exec_errno " << stats.exec_errno.size() << "\n";
-  for (const auto& [err, count] : stats.exec_errno) {
-    os << "x " << err << " " << count << "\n";
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return -EIO;
   }
-  os << "outcomes " << stats.outcomes.size() << "\n";
-  for (const auto& [outcome, count] : stats.outcomes) {
-    os << "o " << static_cast<int>(outcome) << " " << count << "\n";
-  }
-  os << "sanitizer " << stats.sanitizer.programs << " " << stats.sanitizer.insns_before
-     << " " << stats.sanitizer.insns_after << " " << stats.sanitizer.mem_sites << " "
-     << stats.sanitizer.alu_sites << " " << stats.sanitizer.skipped_fp << " "
-     << stats.sanitizer.skipped_rewritten << "\n";
-  os << "curve " << stats.curve.size() << "\n";
-  for (const CoveragePoint& point : stats.curve) {
-    os << "c " << point.iteration << " " << point.covered << "\n";
-  }
-  os << "findings " << stats.findings.size() << "\n";
-  for (const Finding& finding : stats.findings) {
-    os << "f " << static_cast<int>(finding.kind) << " " << finding.indicator << " "
-       << static_cast<int>(finding.triaged) << " " << finding.iteration << " "
-       << static_cast<int>(finding.confirmation) << " " << finding.confirm_hits << " "
-       << finding.confirm_runs << "\n";
-    os << "fs " << Escape(finding.signature) << "\n";
-    os << "fd " << Escape(finding.details) << "\n";
-  }
-}
-
-void SerializeCorpus(std::ostream& os, const std::vector<FuzzCase>& corpus) {
-  os << "corpus " << corpus.size() << "\n";
-  for (const FuzzCase& fc : corpus) {
-    os << "case " << static_cast<int>(fc.prog.type) << " "
-       << (fc.prog.offload_requested ? 1 : 0) << " " << fc.prog.insns.size() << " "
-       << fc.maps.size() << " " << fc.test_runs << " " << (fc.do_attach ? 1 : 0) << " "
-       << static_cast<int>(fc.attach_target) << " " << fc.events.size() << " "
-       << (fc.do_xdp_install ? 1 : 0) << " " << (fc.do_map_batch ? 1 : 0) << "\n";
-    for (const bpf::Insn& insn : fc.prog.insns) {
-      os << "i " << static_cast<int>(insn.opcode) << " " << static_cast<int>(insn.dst)
-         << " " << static_cast<int>(insn.src) << " " << insn.off << " " << insn.imm
-         << "\n";
-    }
-    for (const bpf::MapDef& def : fc.maps) {
-      os << "m " << static_cast<int>(def.type) << " " << def.key_size << " "
-         << def.value_size << " " << def.max_entries << "\n";
-    }
-    for (const bpf::TracepointId event : fc.events) {
-      os << "ev " << static_cast<int>(event) << "\n";
-    }
-  }
-}
-
-// Line reader with tag validation; records the first error and makes every
-// subsequent read a no-op so parse code stays linear.
-class Reader {
- public:
-  explicit Reader(std::istream& is) : is_(is) {}
-
-  bool ok() const { return error_.empty(); }
-  const std::string& error() const { return error_; }
-
-  void Fail(const std::string& message) {
-    if (error_.empty()) {
-      error_ = message;
-    }
-  }
-
-  // Reads one line, checks its tag, and returns the remainder after the tag
-  // (without leading space). Empty optional-style: "" on failure.
-  std::string Line(const std::string& tag) {
-    if (!ok()) {
-      return "";
-    }
-    std::string line;
-    if (!std::getline(is_, line)) {
-      Fail("unexpected end of file, wanted '" + tag + "'");
-      return "";
-    }
-    if (line.compare(0, tag.size(), tag) != 0 ||
-        (line.size() > tag.size() && line[tag.size()] != ' ')) {
-      Fail("malformed line, wanted '" + tag + "': " + line);
-      return "";
-    }
-    return line.size() > tag.size() ? line.substr(tag.size() + 1) : "";
-  }
-
-  // Parses space-separated integer fields from a tagged line.
-  std::vector<int64_t> Fields(const std::string& tag, size_t count) {
-    std::vector<int64_t> out;
-    std::istringstream ss(Line(tag));
-    int64_t value = 0;
-    while (ss >> value) {
-      out.push_back(value);
-    }
-    if (ok() && out.size() != count) {
-      Fail("field count mismatch on '" + tag + "'");
-    }
-    out.resize(count, 0);
-    return out;
-  }
-
-  uint64_t Count(const std::string& tag) {
-    const std::vector<int64_t> fields = Fields(tag, 1);
-    if (ok() && fields[0] < 0) {
-      Fail("negative count on '" + tag + "'");
-      return 0;
-    }
-    // Refuse absurd counts so a corrupt file can't balloon allocation.
-    if (ok() && fields[0] > (1ll << 24)) {
-      Fail("implausible count on '" + tag + "'");
-      return 0;
-    }
-    return ok() ? static_cast<uint64_t>(fields[0]) : 0;
-  }
-
- private:
-  std::istream& is_;
-  std::string error_;
-};
-
-void ParseStats(Reader& reader, CampaignStats* stats) {
-  stats->tool = Unescape(reader.Line("tool"));
-  const std::vector<int64_t> counters = reader.Fields("counters", 13);
-  stats->iterations = counters[0];
-  stats->accepted = counters[1];
-  stats->rejected = counters[2];
-  stats->exec_runs = counters[3];
-  stats->exec_failures = counters[4];
-  stats->panics = counters[5];
-  stats->substrate_rebuilds = counters[6];
-  stats->fault_injected = counters[7];
-  stats->insns_total = counters[8];
-  stats->insns_alu_jmp = counters[9];
-  stats->insns_mem = counters[10];
-  stats->insns_call = counters[11];
-  stats->final_coverage = counters[12];
-  for (uint64_t i = 0, n = reader.Count("reject_errno"); i < n && reader.ok(); ++i) {
-    const std::vector<int64_t> kv = reader.Fields("e", 2);
-    stats->reject_errno[static_cast<int>(kv[0])] = kv[1];
-  }
-  for (uint64_t i = 0, n = reader.Count("exec_errno"); i < n && reader.ok(); ++i) {
-    const std::vector<int64_t> kv = reader.Fields("x", 2);
-    stats->exec_errno[static_cast<int>(kv[0])] = kv[1];
-  }
-  for (uint64_t i = 0, n = reader.Count("outcomes"); i < n && reader.ok(); ++i) {
-    const std::vector<int64_t> kv = reader.Fields("o", 2);
-    stats->outcomes[static_cast<CaseOutcome>(kv[0])] = kv[1];
-  }
-  const std::vector<int64_t> san = reader.Fields("sanitizer", 7);
-  stats->sanitizer.programs = san[0];
-  stats->sanitizer.insns_before = san[1];
-  stats->sanitizer.insns_after = san[2];
-  stats->sanitizer.mem_sites = san[3];
-  stats->sanitizer.alu_sites = san[4];
-  stats->sanitizer.skipped_fp = san[5];
-  stats->sanitizer.skipped_rewritten = san[6];
-  for (uint64_t i = 0, n = reader.Count("curve"); i < n && reader.ok(); ++i) {
-    const std::vector<int64_t> point = reader.Fields("c", 2);
-    stats->curve.push_back(
-        CoveragePoint{static_cast<uint64_t>(point[0]), static_cast<size_t>(point[1])});
-  }
-  for (uint64_t i = 0, n = reader.Count("findings"); i < n && reader.ok(); ++i) {
-    const std::vector<int64_t> fields = reader.Fields("f", 7);
-    Finding finding;
-    finding.kind = static_cast<bpf::ReportKind>(fields[0]);
-    finding.indicator = static_cast<int>(fields[1]);
-    finding.triaged = static_cast<KnownBug>(fields[2]);
-    finding.iteration = fields[3];
-    finding.confirmation = static_cast<Confirmation>(fields[4]);
-    finding.confirm_hits = static_cast<int>(fields[5]);
-    finding.confirm_runs = static_cast<int>(fields[6]);
-    finding.signature = Unescape(reader.Line("fs"));
-    finding.details = Unescape(reader.Line("fd"));
-    if (reader.ok()) {
-      stats->finding_signatures.insert(finding.signature);
-      stats->findings.push_back(std::move(finding));
-    }
-  }
-}
-
-void ParseCorpus(Reader& reader, std::vector<FuzzCase>* corpus) {
-  for (uint64_t i = 0, n = reader.Count("corpus"); i < n && reader.ok(); ++i) {
-    const std::vector<int64_t> header = reader.Fields("case", 10);
-    FuzzCase fc;
-    fc.prog.type = static_cast<bpf::ProgType>(header[0]);
-    fc.prog.offload_requested = header[1] != 0;
-    fc.test_runs = static_cast<int>(header[4]);
-    fc.do_attach = header[5] != 0;
-    fc.attach_target = static_cast<bpf::TracepointId>(header[6]);
-    fc.do_xdp_install = header[8] != 0;
-    fc.do_map_batch = header[9] != 0;
-    for (int64_t k = 0; k < header[2] && reader.ok(); ++k) {
-      const std::vector<int64_t> fields = reader.Fields("i", 5);
-      bpf::Insn insn;
-      insn.opcode = static_cast<uint8_t>(fields[0]);
-      insn.dst = static_cast<uint8_t>(fields[1]);
-      insn.src = static_cast<uint8_t>(fields[2]);
-      insn.off = static_cast<int16_t>(fields[3]);
-      insn.imm = static_cast<int32_t>(fields[4]);
-      fc.prog.insns.push_back(insn);
-    }
-    for (int64_t k = 0; k < header[3] && reader.ok(); ++k) {
-      const std::vector<int64_t> fields = reader.Fields("m", 4);
-      bpf::MapDef def;
-      def.type = static_cast<bpf::MapType>(fields[0]);
-      def.key_size = static_cast<uint32_t>(fields[1]);
-      def.value_size = static_cast<uint32_t>(fields[2]);
-      def.max_entries = static_cast<uint32_t>(fields[3]);
-      fc.maps.push_back(def);
-    }
-    for (int64_t k = 0; k < header[7] && reader.ok(); ++k) {
-      const std::vector<int64_t> fields = reader.Fields("ev", 1);
-      fc.events.push_back(static_cast<bpf::TracepointId>(fields[0]));
-    }
-    if (reader.ok()) {
-      corpus->push_back(std::move(fc));
-    }
-  }
+  return 0;
 }
 
 }  // namespace
@@ -332,81 +86,167 @@ std::string FingerprintOptions(const CampaignOptions& options, const std::string
      << bugs.bug11_xdp_offload << bugs.bug12_jmp32_signed_refine << bugs.cve_2022_23222
      << bugs.bug13_ld_imm64_pessimize;
   os << " mmorph=" << options.metamorph << "/" << options.metamorph_k;
-  return Hex(Fnv1a(os.str()));
+  return Hex64(Fnv1a(os.str()));
 }
 
-std::string ParallelFingerprint(const CampaignOptions& options, const std::string& tool) {
-  std::ostringstream os;
-  os << FingerprintOptions(options, tool) << " epoch=" << options.epoch_len
-     << " engine=parallel";
-  return Hex(Fnv1a(os.str()));
+std::string ValidateCheckpointCompat(const CampaignCheckpoint& checkpoint,
+                                     const CampaignOptions& options,
+                                     const std::string& tool, const std::string& engine) {
+  if (checkpoint.engine != engine) {
+    return "checkpoint engine mismatch: checkpoint was written by the '" +
+           checkpoint.engine + "' engine, this campaign runs the '" + engine +
+           "' engine (their RNG models are incompatible)";
+  }
+  if (engine == kEngineParallel && checkpoint.epoch_len != options.epoch_len) {
+    return "checkpoint epoch_len mismatch: checkpoint used " +
+           std::to_string(checkpoint.epoch_len) + ", this campaign uses " +
+           std::to_string(options.epoch_len) +
+           " (epoch length is campaign semantics; pass --epoch=" +
+           std::to_string(checkpoint.epoch_len) + " to resume)";
+  }
+  const std::string want = FingerprintOptions(options, tool);
+  if (checkpoint.fingerprint != want) {
+    return "checkpoint options-fingerprint mismatch: checkpoint " +
+           checkpoint.fingerprint + " vs campaign " + want +
+           " (seed, kernel version, bug set, sanitize/audit/coverage flags, "
+           "fault plan, or metamorph config differ)";
+  }
+  return "";
 }
 
 int SaveCheckpoint(const std::string& path, const CampaignCheckpoint& checkpoint) {
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream os(tmp, std::ios::trunc);
-    if (!os) {
-      return -EIO;
-    }
-    os << kMagic << "\n";
-    os << "fingerprint " << checkpoint.fingerprint << "\n";
-    os << "next_iteration " << checkpoint.next_iteration << "\n";
-    os << "rng " << checkpoint.rng_state[0] << " " << checkpoint.rng_state[1] << " "
-       << checkpoint.rng_state[2] << " " << checkpoint.rng_state[3] << "\n";
-    SerializeStats(os, checkpoint.stats);
-    SerializeCorpus(os, checkpoint.corpus);
-    os << "coverage " << checkpoint.coverage_keys.size() << "\n";
-    for (const std::string& key : checkpoint.coverage_keys) {
-      os << "k " << Escape(key) << "\n";
-    }
-    // Verdict-cache counters ride outside the SerializeStats body: they are
-    // resumable state but not part of the result digest (cache on/off must
-    // stay digest-comparable).
-    os << "vcache " << checkpoint.stats.verdict_cache_hits << " "
-       << checkpoint.stats.verdict_cache_misses << "\n";
-    os << "dcache " << checkpoint.stats.decode_cache_hits << " "
-       << checkpoint.stats.decode_cache_misses << " "
-       << checkpoint.stats.decode_cache_evictions << "\n";
-    // Metamorph volume counters: same discipline as the cache counters —
-    // resumable, but digest-excluded (the divergence outcomes/findings in the
-    // stats body are what the oracle contributes to the result).
-    os << "mmorph " << checkpoint.stats.metamorph_bases << " "
-       << checkpoint.stats.metamorph_variants << " "
-       << checkpoint.stats.metamorph_verdict_divergences << " "
-       << checkpoint.stats.metamorph_witness_divergences << " "
-       << checkpoint.stats.metamorph_sanitizer_divergences << "\n";
-    os << "end\n";
-    os.flush();
-    if (!os) {
-      return -EIO;
-    }
+  std::ostringstream os;
+  os << kMagic << "\n";
+  os << "fingerprint " << checkpoint.fingerprint << " engine=" << checkpoint.engine
+     << " epoch=" << checkpoint.epoch_len << "\n";
+  os << "next_iteration " << checkpoint.next_iteration << "\n";
+  os << "rng " << checkpoint.rng_state[0] << " " << checkpoint.rng_state[1] << " "
+     << checkpoint.rng_state[2] << " " << checkpoint.rng_state[3] << "\n";
+  serialize::SerializeStats(os, checkpoint.stats);
+  serialize::SerializeCorpus(os, checkpoint.corpus);
+  os << "coverage " << checkpoint.coverage_keys.size() << "\n";
+  for (const std::string& key : checkpoint.coverage_keys) {
+    os << "k " << Escape(key) << "\n";
   }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    return -EIO;
+  // Verdict-cache counters ride outside the SerializeStats body: they are
+  // resumable state but not part of the result digest (cache on/off must
+  // stay digest-comparable).
+  os << "vcache " << checkpoint.stats.verdict_cache_hits << " "
+     << checkpoint.stats.verdict_cache_misses << "\n";
+  os << "dcache " << checkpoint.stats.decode_cache_hits << " "
+     << checkpoint.stats.decode_cache_misses << " "
+     << checkpoint.stats.decode_cache_evictions << "\n";
+  // Metamorph volume counters: same discipline as the cache counters —
+  // resumable, but digest-excluded (the divergence outcomes/findings in the
+  // stats body are what the oracle contributes to the result).
+  os << "mmorph " << checkpoint.stats.metamorph_bases << " "
+     << checkpoint.stats.metamorph_variants << " "
+     << checkpoint.stats.metamorph_verdict_divergences << " "
+     << checkpoint.stats.metamorph_witness_divergences << " "
+     << checkpoint.stats.metamorph_sanitizer_divergences << "\n";
+  // Supervisor accounting and per-worker crash findings: digest-excluded for
+  // the same reason (a campaign that survived a crash must stay
+  // digest-comparable to one that never crashed).
+  os << "supv " << checkpoint.stats.worker_crashes << " "
+     << checkpoint.stats.worker_hangs << " " << checkpoint.stats.worker_exits << " "
+     << checkpoint.stats.worker_restarts << " " << checkpoint.stats.epochs_abandoned
+     << " " << checkpoint.stats.quarantined_cases << "\n";
+  os << "crashes " << checkpoint.stats.crash_findings.size() << "\n";
+  for (const Finding& finding : checkpoint.stats.crash_findings) {
+    serialize::SerializeFinding(os, finding);
   }
-  return 0;
+  os << "end\n";
+  // Whole-file checksum trailer: covers every byte above, including "end\n".
+  // A torn write is detectable as a missing trailer; bit rot as a mismatch.
+  std::string content = os.str();
+  content += kSumTag + Hex64(Fnv1a(content)) + "\n";
+  return AtomicWrite(path, content);
 }
 
 int LoadCheckpoint(const std::string& path, CampaignCheckpoint* out, std::string* error) {
-  std::ifstream is(path);
-  if (!is) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
     if (error != nullptr) {
       *error = "cannot open checkpoint file: " + path;
     }
     return -ENOENT;
   }
-  Reader reader(is);
-  std::string magic;
-  if (!std::getline(is, magic) || magic != kMagic) {
+  std::ostringstream buf;
+  buf << file.rdbuf();
+  const std::string data = buf.str();
+
+  // Magic first: a clear "wrong format" beats a checksum complaint when the
+  // file is not a checkpoint at all (or is a pre-v2 one).
+  const size_t first_nl = data.find('\n');
+  const std::string magic = data.substr(0, first_nl == std::string::npos ? data.size() : first_nl);
+  if (magic == kMagicV1) {
+    if (error != nullptr) {
+      *error = "unsupported checkpoint format '" + std::string(kMagicV1) +
+               "' (this build reads v2; re-run the campaign to produce a v2 checkpoint)";
+    }
+    return -EINVAL;
+  }
+  if (magic != kMagic) {
     if (error != nullptr) {
       *error = "not a bvf checkpoint (bad magic)";
     }
     return -EINVAL;
   }
+
+  // The file must end with the checksum trailer. Anything else means the
+  // write was cut short (the atomic rename makes this near-impossible for
+  // SaveCheckpoint's own output, but copies and crashes mid-copy happen).
+  constexpr size_t kTrailerLen = sizeof(kSumTag) - 1 + 16 + 1;  // "sum " + hex + \n
+  if (data.size() < first_nl + 1 + kTrailerLen || data.back() != '\n') {
+    if (error != nullptr) {
+      *error = "truncated checkpoint: missing checksum trailer (file cut short?)";
+    }
+    return -EINVAL;
+  }
+  const size_t trailer_start = data.size() - kTrailerLen;
+  if (data.compare(trailer_start, sizeof(kSumTag) - 1, kSumTag) != 0 ||
+      (trailer_start != 0 && data[trailer_start - 1] != '\n')) {
+    if (error != nullptr) {
+      *error = "truncated checkpoint: missing checksum trailer (file cut short?)";
+    }
+    return -EINVAL;
+  }
+  const std::string body = data.substr(0, trailer_start);
+  const std::string want_sum = data.substr(trailer_start + sizeof(kSumTag) - 1, 16);
+  if (Hex64(Fnv1a(body)) != want_sum) {
+    if (error != nullptr) {
+      *error = "checkpoint checksum mismatch: file is corrupt or was partially "
+               "overwritten";
+    }
+    return -EINVAL;
+  }
+
+  std::istringstream is(body);
+  Reader reader(is);
+  std::string magic_line;
+  std::getline(is, magic_line);  // already validated above
   CampaignCheckpoint cp;
-  cp.fingerprint = reader.Line("fingerprint");
+  {
+    // fingerprint <options-hash> engine=<serial|parallel> epoch=<n>
+    std::istringstream ss(reader.Line("fingerprint"));
+    std::string engine_field;
+    std::string epoch_field;
+    if (!(ss >> cp.fingerprint >> engine_field >> epoch_field) ||
+        engine_field.compare(0, 7, "engine=") != 0 ||
+        epoch_field.compare(0, 6, "epoch=") != 0) {
+      reader.Fail("malformed fingerprint line (want '<hash> engine=<e> epoch=<n>')");
+    } else {
+      cp.engine = engine_field.substr(7);
+      char* endp = nullptr;
+      cp.epoch_len = std::strtoull(epoch_field.c_str() + 6, &endp, 10);
+      if (endp == nullptr || *endp != '\0') {
+        reader.Fail("malformed epoch field on fingerprint line");
+      }
+      if (cp.engine != kEngineSerial && cp.engine != kEngineParallel) {
+        reader.Fail("unknown engine '" + cp.engine + "' on fingerprint line");
+      }
+    }
+  }
   cp.next_iteration = static_cast<uint64_t>(reader.Fields("next_iteration", 1)[0]);
   {
     // Full-range uint64 words; parsed separately from the signed field path.
@@ -417,8 +257,8 @@ int LoadCheckpoint(const std::string& path, CampaignCheckpoint* out, std::string
       }
     }
   }
-  ParseStats(reader, &cp.stats);
-  ParseCorpus(reader, &cp.corpus);
+  serialize::ParseStats(reader, &cp.stats);
+  serialize::ParseCorpus(reader, &cp.corpus);
   for (uint64_t i = 0, n = reader.Count("coverage"); i < n && reader.ok(); ++i) {
     cp.coverage_keys.push_back(Unescape(reader.Line("k")));
   }
@@ -435,6 +275,20 @@ int LoadCheckpoint(const std::string& path, CampaignCheckpoint* out, std::string
   cp.stats.metamorph_verdict_divergences = static_cast<uint64_t>(mmorph[2]);
   cp.stats.metamorph_witness_divergences = static_cast<uint64_t>(mmorph[3]);
   cp.stats.metamorph_sanitizer_divergences = static_cast<uint64_t>(mmorph[4]);
+  const std::vector<int64_t> supv = reader.Fields("supv", 6);
+  cp.stats.worker_crashes = static_cast<uint64_t>(supv[0]);
+  cp.stats.worker_hangs = static_cast<uint64_t>(supv[1]);
+  cp.stats.worker_exits = static_cast<uint64_t>(supv[2]);
+  cp.stats.worker_restarts = static_cast<uint64_t>(supv[3]);
+  cp.stats.epochs_abandoned = static_cast<uint64_t>(supv[4]);
+  cp.stats.quarantined_cases = static_cast<uint64_t>(supv[5]);
+  for (uint64_t i = 0, n = reader.Count("crashes"); i < n && reader.ok(); ++i) {
+    Finding finding;
+    serialize::ParseFinding(reader, &finding);
+    if (reader.ok()) {
+      cp.stats.crash_findings.push_back(std::move(finding));
+    }
+  }
   reader.Line("end");
   if (!reader.ok()) {
     if (error != nullptr) {
@@ -448,8 +302,8 @@ int LoadCheckpoint(const std::string& path, CampaignCheckpoint* out, std::string
 
 std::string StatsDigest(const CampaignStats& stats) {
   std::ostringstream os;
-  SerializeStats(os, stats);
-  return Hex(Fnv1a(os.str()));
+  serialize::SerializeStats(os, stats);
+  return Hex64(Fnv1a(os.str()));
 }
 
 }  // namespace bvf

@@ -1,11 +1,20 @@
-// Campaign checkpoint/resume (DESIGN.md §8.4): serializes everything the
-// fuzz loop needs to continue bit-identically — RNG position, corpus, stats
-// (including findings and the coverage curve), and the global coverage hit
-// set — into a line-oriented text file written atomically (tmp + rename).
+// Campaign checkpoint/resume (DESIGN.md §8.4, §12.4): serializes everything
+// the fuzz loop needs to continue bit-identically — RNG position, corpus,
+// stats (including findings and the coverage curve), and the global coverage
+// hit set — into a line-oriented text file written atomically (tmp + fsync +
+// rename), with a whole-file checksum trailer so a torn or corrupted file is
+// rejected with a clear error instead of silently misparsing.
 //
-// A fingerprint of the resume-relevant campaign options guards against
-// resuming under a different configuration, which would silently produce a
-// divergent (and therefore meaningless) continuation.
+// Format v2 ("bvf-checkpoint v2"). The fingerprint line carries the campaign
+// compatibility contract as separate fields:
+//
+//   fingerprint <options-hash> engine=<serial|parallel> epoch=<n>
+//
+// so a rejected resume can say *which* field mismatched (engine, epoch
+// length, or the campaign options behind the hash) rather than a generic
+// failure. The supervised engine (src/core/supervisor) writes engine=parallel
+// — its checkpoints are interchangeable with in-process --jobs N checkpoints
+// by construction (same epoch-shard discipline, same merge order).
 
 #ifndef SRC_CORE_CHECKPOINT_H_
 #define SRC_CORE_CHECKPOINT_H_
@@ -19,9 +28,17 @@
 
 namespace bvf {
 
+// Engine tags stored on the fingerprint line. Serial and parallel checkpoints
+// are not interchangeable: the serial engine's RNG stream position has no
+// meaning for per-iteration seeds and vice versa.
+inline constexpr char kEngineSerial[] = "serial";
+inline constexpr char kEngineParallel[] = "parallel";
+
 struct CampaignCheckpoint {
   uint64_t next_iteration = 1;  // first iteration the resumed run executes
   std::string fingerprint;      // FingerprintOptions() of the saving campaign
+  std::string engine = kEngineSerial;  // kEngineSerial | kEngineParallel
+  uint64_t epoch_len = 0;       // parallel engines only; 0 for serial
   std::array<uint64_t, 4> rng_state = {};
   std::vector<FuzzCase> corpus;
   CampaignStats stats;
@@ -31,23 +48,28 @@ struct CampaignCheckpoint {
 // Canonical hash of the options that must match between the saving and the
 // resuming campaign for the continuation to be bit-identical. Deliberately
 // excludes: iterations and stop_after (resuming to a different horizon is
-// the point), and the checkpoint/resume paths themselves.
+// the point), the checkpoint/resume/journal paths themselves, jobs (resuming
+// an 8-job campaign with 1 job is the point), and every supervisor knob
+// (worker process management is a process concern, not campaign semantics).
 std::string FingerprintOptions(const CampaignOptions& options, const std::string& tool);
 
-// Fingerprint for the parallel engine's checkpoints. Derived from
-// FingerprintOptions plus the epoch length (part of the parallel campaign's
-// semantics) and an engine tag (serial and parallel checkpoints are not
-// interchangeable: the serial engine's RNG stream has no meaning to the
-// parallel engine and vice versa). Deliberately excludes jobs — resuming an
-// 8-job campaign with 1 job is the point — and verdict_cache, which is
-// digest-invisible.
-std::string ParallelFingerprint(const CampaignOptions& options, const std::string& tool);
+// Field-wise compatibility check between a loaded checkpoint and the resuming
+// campaign. Returns "" when the checkpoint can be resumed bit-identically;
+// otherwise a message naming the first mismatching field (engine, epoch_len,
+// or the options fingerprint). Call this before touching any RNG, stats,
+// corpus, or coverage state.
+std::string ValidateCheckpointCompat(const CampaignCheckpoint& checkpoint,
+                                     const CampaignOptions& options,
+                                     const std::string& tool, const std::string& engine);
 
-// Returns 0 or a negative errno. The file appears atomically.
+// Returns 0 or a negative errno. The file appears atomically (tmp + fsync +
+// rename), so a kill mid-write can never leave a half-written checkpoint.
 int SaveCheckpoint(const std::string& path, const CampaignCheckpoint& checkpoint);
 
 // Returns 0 on success; on failure returns a negative errno and, when
-// |error| is non-null, a human-readable reason.
+// |error| is non-null, a human-readable reason. Truncated files (missing
+// checksum trailer) and corrupt files (checksum mismatch, malformed lines)
+// are rejected before any field is interpreted.
 int LoadCheckpoint(const std::string& path, CampaignCheckpoint* out, std::string* error);
 
 // Order-independent digest of a campaign's result state (counters, findings,

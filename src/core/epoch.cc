@@ -1,0 +1,121 @@
+#include "src/core/epoch.h"
+
+#include <algorithm>
+
+#include "src/kernel/rng.h"
+
+namespace bvf {
+
+void RunEpochShard(const CampaignOptions& options, Generator& gen, CaseRunner& runner,
+                   bpf::CoverageSink& sink, const std::vector<FuzzCase>& corpus,
+                   const std::set<std::string>& frozen_sigs, int index, int jobs,
+                   uint64_t start, uint64_t end, EpochShardResult& out,
+                   const EpochShardHooks& hooks) {
+  const SanitizerStats sanitizer_at_start = runner.sanitizer().stats();
+  std::set<std::string> local_sigs;  // signatures this shard saw this epoch
+  for (uint64_t i = start + static_cast<uint64_t>(index); i <= end;
+       i += static_cast<uint64_t>(jobs)) {
+    if (hooks.skip && hooks.skip(i)) {
+      continue;
+    }
+    bpf::Rng rng(CaseSeed(options.seed, i));
+    FuzzCase the_case;
+    if (options.coverage_feedback && !corpus.empty() && rng.Chance(0.4)) {
+      the_case = rng.Pick(corpus);
+      gen.Mutate(rng, the_case);
+    } else {
+      the_case = gen.Generate(rng);
+    }
+    if (hooks.on_case_begin) {
+      hooks.on_case_begin(i, the_case);
+    }
+
+    AccumulateInsnMix(the_case, out.partial);
+    sink.BeginCase();
+    const CaseRunner::CaseResult result = runner.RunOne(the_case, i);
+    AccumulateCaseCounters(result, out.partial);
+    ++out.partial.iterations;
+
+    CaseRecord record;
+    record.iteration = i;
+    for (const Finding& found : result.findings) {
+      if (frozen_sigs.count(found.signature) == 0 &&
+          local_sigs.insert(found.signature).second) {
+        Finding finding = found;
+        if (options.confirm_runs > 0) {
+          runner.ConfirmFinding(finding, the_case, i, result.fault_log);
+        }
+        record.findings.push_back(std::move(finding));
+      }
+    }
+    if (options.coverage_feedback && sink.NewSinceCase() > 0) {
+      record.corpus_candidate = true;
+      record.the_case = the_case;
+    }
+    if (record.corpus_candidate || !record.findings.empty()) {
+      out.records.push_back(std::move(record));
+    }
+  }
+  out.partial.sanitizer = runner.sanitizer().stats().Since(sanitizer_at_start);
+}
+
+void MergeEpochCounters(CampaignStats& into, CampaignStats& partial) {
+  into.iterations += partial.iterations;
+  into.accepted += partial.accepted;
+  into.rejected += partial.rejected;
+  into.exec_runs += partial.exec_runs;
+  into.exec_failures += partial.exec_failures;
+  into.panics += partial.panics;
+  into.substrate_rebuilds += partial.substrate_rebuilds;
+  into.fault_injected += partial.fault_injected;
+  into.insns_total += partial.insns_total;
+  into.insns_alu_jmp += partial.insns_alu_jmp;
+  into.insns_mem += partial.insns_mem;
+  into.insns_call += partial.insns_call;
+  for (const auto& [err, count] : partial.reject_errno) {
+    into.reject_errno[err] += count;
+  }
+  for (const auto& [err, count] : partial.exec_errno) {
+    into.exec_errno[err] += count;
+  }
+  for (const auto& [outcome, count] : partial.outcomes) {
+    into.outcomes[outcome] += count;
+  }
+  into.metamorph_bases += partial.metamorph_bases;
+  into.metamorph_variants += partial.metamorph_variants;
+  into.metamorph_verdict_divergences += partial.metamorph_verdict_divergences;
+  into.metamorph_witness_divergences += partial.metamorph_witness_divergences;
+  into.metamorph_sanitizer_divergences += partial.metamorph_sanitizer_divergences;
+  into.sanitizer.Add(partial.sanitizer);
+  partial = CampaignStats{};
+}
+
+void MergeEpochRecords(std::vector<CaseRecord*> records, CampaignStats& stats,
+                       std::vector<FuzzCase>& corpus) {
+  std::sort(records.begin(), records.end(), [](const CaseRecord* a, const CaseRecord* b) {
+    return a->iteration < b->iteration;
+  });
+  for (CaseRecord* record : records) {
+    for (Finding& finding : record->findings) {
+      if (stats.finding_signatures.insert(finding.signature).second) {
+        stats.findings.push_back(std::move(finding));
+      }
+    }
+    if (record->corpus_candidate && corpus.size() < 512) {
+      corpus.push_back(std::move(record->the_case));
+    }
+  }
+}
+
+void AppendEpochCurve(CampaignStats& stats, uint64_t next_iteration, uint64_t epoch_end,
+                      uint64_t sample_every, size_t covered) {
+  if (sample_every == 0) {
+    return;
+  }
+  for (uint64_t m = ((next_iteration + sample_every - 1) / sample_every) * sample_every;
+       m <= epoch_end; m += sample_every) {
+    stats.curve.push_back(CoveragePoint{m, covered});
+  }
+}
+
+}  // namespace bvf

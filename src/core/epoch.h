@@ -1,0 +1,105 @@
+// Shared epoch-shard machinery (DESIGN.md §9, §12).
+//
+// Two campaign engines run the same sharded epoch discipline: ParallelFuzzer
+// (worker threads, src/core/parallel.cc) and SupervisedFuzzer (worker
+// processes, src/core/supervisor/). Bit-identical StatsDigests across the two
+// — and across job counts within each — depend on the shard loop and the
+// barrier merge being literally the same code, so both live here and the
+// engines only differ in transport (shared memory vs pipe frames).
+//
+// Contract for one epoch, for any engine:
+//  * every worker sees the same frozen epoch-start snapshots (committed
+//    coverage, corpus, finding signatures);
+//  * iteration i of an epoch starting at s runs on shard (i - s) % jobs with
+//    RNG seeded CaseSeed(campaign_seed, i) — no cross-iteration state;
+//  * the coordinator merges shard output in iteration order at the barrier.
+
+#ifndef SRC_CORE_EPOCH_H_
+#define SRC_CORE_EPOCH_H_
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/core/fuzzer.h"
+#include "src/kernel/coverage.h"
+
+namespace bvf {
+
+// Per-iteration RNG seed: a splitmix64-style mix of the campaign seed and the
+// absolute iteration number. Deliberately a different stream than
+// bpf::FaultSeed (different pre-mix constants), so a case's generation
+// randomness and its fault schedule stay decorrelated.
+inline uint64_t CaseSeed(uint64_t campaign_seed, uint64_t iteration) {
+  uint64_t z = (campaign_seed ^ 0x6a09e667f3bcc909ull) +
+               iteration * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+// Everything one shard produced for one iteration that the barrier merge has
+// to order by iteration number. Pure counters do not need ordering and travel
+// separately (EpochShardResult::partial).
+struct CaseRecord {
+  uint64_t iteration = 0;
+  bool corpus_candidate = false;
+  FuzzCase the_case;              // stored only when corpus_candidate
+  std::vector<Finding> findings;  // already confirmed (see epoch rule below)
+};
+
+struct EpochShardResult {
+  // Order-independent counters for this shard's slice of the epoch. The
+  // sanitizer field holds this epoch's *delta* (not a cumulative total), so
+  // the merge is a plain Add and survives a worker process being re-forked.
+  CampaignStats partial;
+  std::vector<CaseRecord> records;  // iteration-ascending (the shard strides up)
+};
+
+// Optional per-case instrumentation. The supervised worker uses on_case_begin
+// as its heartbeat (and to stage the in-flight case for quarantine
+// forensics), and skip to suppress poisoned iterations after an epoch is
+// abandoned. The in-process engine passes neither.
+struct EpochShardHooks {
+  std::function<void(uint64_t iteration, const FuzzCase& the_case)> on_case_begin;
+  std::function<bool(uint64_t iteration)> skip;
+};
+
+// Runs iterations start+index, start+index+jobs, ... ≤ end through |runner|.
+// |corpus| and |frozen_sigs| are the epoch-start snapshots; |sink| must be
+// installed as the calling thread's coverage sink. Findings are confirmed iff
+// their signature was unknown at epoch start AND this is the shard's first
+// local occurrence this epoch: the merge keeps the globally earliest
+// occurrence per signature, and the globally earliest is always its shard's
+// first local occurrence — so every finding the merge keeps carries a
+// confirmation, for any job count. Skipped iterations contribute nothing (not
+// even an iterations tick): they did not run.
+void RunEpochShard(const CampaignOptions& options, Generator& gen, CaseRunner& runner,
+                   bpf::CoverageSink& sink, const std::vector<FuzzCase>& corpus,
+                   const std::set<std::string>& frozen_sigs, int index, int jobs,
+                   uint64_t start, uint64_t end, EpochShardResult& out,
+                   const EpochShardHooks& hooks = {});
+
+// Sums the order-independent counter fields of |partial| into |into|
+// (including the per-epoch sanitizer delta) and clears |partial| for the next
+// epoch. Findings/corpus/curve/coverage merge separately, in iteration order.
+void MergeEpochCounters(CampaignStats& into, CampaignStats& partial);
+
+// Barrier step: folds case records (across all shards of one epoch) into the
+// campaign in iteration order — findings deduped by signature, corpus growth
+// capped at 512. Sorts |records| internally; pointers must stay valid for the
+// call only.
+void MergeEpochRecords(std::vector<CaseRecord*> records, CampaignStats& stats,
+                       std::vector<FuzzCase>& corpus);
+
+// Barrier step: epoch-quantized coverage-curve points. Every sample point
+// inside (next_iteration .. epoch_end] reports |covered|, the committed count
+// after this epoch's merge.
+void AppendEpochCurve(CampaignStats& stats, uint64_t next_iteration, uint64_t epoch_end,
+                      uint64_t sample_every, size_t covered);
+
+}  // namespace bvf
+
+#endif  // SRC_CORE_EPOCH_H_

@@ -498,10 +498,13 @@ CampaignStats Fuzzer::Run() {
       stats.resume_error = error.empty() ? "checkpoint load failed" : error;
       return stats;
     }
-    if (cp.fingerprint != fingerprint) {
-      stats.resume_error =
-          "checkpoint fingerprint mismatch: the checkpoint was written by a "
-          "campaign with different options";
+    // Validate the full fingerprint line (engine, then options hash) before
+    // touching any RNG/stats/corpus/coverage state, and report which field
+    // mismatched — a rejected resume must leave the campaign untouched.
+    const std::string mismatch =
+        ValidateCheckpointCompat(cp, options_, stats.tool, kEngineSerial);
+    if (!mismatch.empty()) {
+      stats.resume_error = mismatch;
       return stats;
     }
     stats = std::move(cp.stats);
@@ -534,6 +537,8 @@ CampaignStats Fuzzer::Run() {
     CampaignCheckpoint cp;
     cp.next_iteration = next_iteration;
     cp.fingerprint = fingerprint;
+    cp.engine = kEngineSerial;
+    cp.epoch_len = 0;  // no epochs: the RNG stream position is the state
     cp.rng_state = rng.SaveState();
     cp.corpus = corpus_;
     cp.stats = stats;

@@ -102,6 +102,33 @@ struct CampaignOptions {
   // Results-changing, so both knobs are part of the options fingerprint.
   bool metamorph = false;
   int metamorph_k = 2;
+
+  // -- Crash-isolated supervisor (DESIGN.md §12; SupervisedFuzzer only) --
+  // All process-management knobs: none is part of the options fingerprint
+  // (a supervised campaign must resume as an in-process one and vice versa).
+  // Failures tolerated per epoch before its in-flight cases are quarantined
+  // and the epoch is re-run with the poison iterations skipped.
+  int worker_retries = 3;
+  // Missed-heartbeat deadline in milliseconds (0 disables hang detection).
+  // Workers heartbeat once per case, so this bounds a single case's runtime.
+  int hang_timeout_ms = 30000;
+  // Base of the bounded exponential backoff between worker re-forks.
+  int retry_backoff_ms = 50;
+  // Poison-case records (replayable via bvf_repro) land here after
+  // |worker_retries| consecutive failures of the same epoch.
+  std::string quarantine_path;
+  // Write-ahead findings/corpus journal (src/core/journal). Records are
+  // appended at every epoch barrier before the checkpoint write, so findings
+  // survive a supervisor kill between checkpoints.
+  std::string journal_path;
+  // Deterministic crash injection for tests and the smoke gate: the worker
+  // executing absolute iteration |test_crash_at| first checks
+  // |test_crash_marker| — if the file does not exist it creates it and
+  // performs |test_crash_mode| (so the injected failure fires exactly once
+  // and the retry proceeds cleanly). 0 = injection off.
+  uint64_t test_crash_at = 0;
+  int test_crash_mode = 0;  // 0=SIGABRT 1=SIGKILL 2=hang 3=exit(3)
+  std::string test_crash_marker;
 };
 
 struct CoveragePoint {
@@ -169,6 +196,21 @@ struct CampaignStats {
   uint64_t metamorph_verdict_divergences = 0;
   uint64_t metamorph_witness_divergences = 0;
   uint64_t metamorph_sanitizer_divergences = 0;
+
+  // Supervisor accounting (SupervisedFuzzer only). Same digest discipline as
+  // the cache counters: these describe the *process* (how many workers died,
+  // how often the supervisor re-forked), not the campaign result, so they are
+  // excluded from StatsDigest and ride their own checkpoint line.
+  uint64_t worker_crashes = 0;     // workers reaped on a crash signal
+  uint64_t worker_hangs = 0;       // workers reaped past the heartbeat deadline
+  uint64_t worker_exits = 0;       // workers reaped on an unexpected clean exit
+  uint64_t worker_restarts = 0;    // re-forks (includes retries of one epoch)
+  uint64_t epochs_abandoned = 0;   // epochs re-run with poison cases skipped
+  uint64_t quarantined_cases = 0;  // poison records written to the quarantine
+  // kWorkerCrash findings (one per reaped worker, carrying the captured
+  // stderr tail). Kept out of |findings| and the digest so a supervised
+  // campaign with a crash stays digest-comparable to an uninterrupted run.
+  std::vector<Finding> crash_findings;
 
   // Resume bookkeeping (not part of checkpoints or digests).
   uint64_t resumed_from = 0;       // first iteration executed after resume

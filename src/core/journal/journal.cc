@@ -1,0 +1,297 @@
+#include "src/core/journal/journal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "src/core/serialize.h"
+
+namespace bvf {
+
+namespace {
+
+constexpr char kMagicLine[] = "bvf-journal v1\n";
+constexpr uint32_t kFrameMagic = 0x4a465642;  // "BVFJ" little-endian
+constexpr size_t kHeaderSize = 4 + 4 + 8 + 4 + 8;
+// A corrupt length field must not drive a multi-gigabyte read; real payloads
+// are single findings or cases (a few KB).
+constexpr uint32_t kMaxPayload = 64u << 20;
+
+void PutU32(std::string& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU64(std::string& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+uint32_t GetU32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | static_cast<uint8_t>(p[i]);
+  }
+  return v;
+}
+
+uint64_t GetU64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | static_cast<uint8_t>(p[i]);
+  }
+  return v;
+}
+
+// Checksum covers the header fields (sans the checksum itself) and the
+// payload, so a bit flip anywhere in the record is caught.
+uint64_t RecordChecksum(uint32_t type, uint64_t iteration, const std::string& payload) {
+  std::string hdr;
+  PutU32(hdr, type);
+  PutU64(hdr, iteration);
+  PutU32(hdr, static_cast<uint32_t>(payload.size()));
+  return serialize::Fnv1a(hdr + payload);
+}
+
+void EncodeRecord(std::string& out, const JournalRecord& record) {
+  PutU32(out, kFrameMagic);
+  PutU32(out, static_cast<uint32_t>(record.type));
+  PutU64(out, record.iteration);
+  PutU32(out, static_cast<uint32_t>(record.payload.size()));
+  PutU64(out, RecordChecksum(static_cast<uint32_t>(record.type), record.iteration,
+                             record.payload));
+  out += record.payload;
+}
+
+// Scans |data| (past the magic line, starting at |offset|) and appends intact
+// records to |out|. Returns the byte offset just past the last intact record;
+// |damage| is empty when the scan consumed everything, else it describes why
+// the remainder is unusable (torn tail / checksum mismatch / bad framing).
+size_t ScanRecords(const std::string& data, size_t offset,
+                   std::vector<JournalRecord>* out, std::string* damage) {
+  size_t pos = offset;
+  while (pos < data.size()) {
+    if (data.size() - pos < kHeaderSize) {
+      *damage = "torn record header at offset " + std::to_string(pos);
+      return pos;
+    }
+    const char* hdr = data.data() + pos;
+    if (GetU32(hdr) != kFrameMagic) {
+      *damage = "bad frame magic at offset " + std::to_string(pos);
+      return pos;
+    }
+    const uint32_t type = GetU32(hdr + 4);
+    const uint64_t iteration = GetU64(hdr + 8);
+    const uint32_t len = GetU32(hdr + 16);
+    const uint64_t sum = GetU64(hdr + 20);
+    if (len > kMaxPayload) {
+      *damage = "implausible payload length at offset " + std::to_string(pos);
+      return pos;
+    }
+    if (data.size() - pos - kHeaderSize < len) {
+      *damage = "torn record payload at offset " + std::to_string(pos);
+      return pos;
+    }
+    JournalRecord record;
+    record.type = static_cast<JournalRecordType>(type);
+    record.iteration = iteration;
+    record.payload = data.substr(pos + kHeaderSize, len);
+    if (RecordChecksum(type, iteration, record.payload) != sum) {
+      *damage = "record checksum mismatch at offset " + std::to_string(pos);
+      return pos;
+    }
+    if (out != nullptr) {
+      out->push_back(std::move(record));
+    }
+    pos += kHeaderSize + len;
+  }
+  damage->clear();
+  return pos;
+}
+
+int ReadWhole(const std::string& path, std::string* data) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    return -ENOENT;
+  }
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  *data = buf.str();
+  return 0;
+}
+
+}  // namespace
+
+Journal::~Journal() { Close(); }
+
+int Journal::Open(const std::string& path, std::string* error, std::string* recovered) {
+  Close();
+  if (recovered != nullptr) {
+    recovered->clear();
+  }
+  std::string data;
+  const bool exists = ReadWhole(path, &data) == 0;
+  size_t valid_end = 0;
+  if (exists && !data.empty()) {
+    if (data.compare(0, sizeof(kMagicLine) - 1, kMagicLine) != 0) {
+      if (error != nullptr) {
+        *error = "not a bvf journal (bad magic): " + path;
+      }
+      return -EINVAL;
+    }
+    std::string damage;
+    valid_end = ScanRecords(data, sizeof(kMagicLine) - 1, nullptr, &damage);
+    if (!damage.empty() && recovered != nullptr) {
+      *recovered = "dropped " + std::to_string(data.size() - valid_end) +
+                   " bytes after the last intact record (" + damage + ")";
+    }
+  }
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT, 0644);
+  if (fd < 0) {
+    if (error != nullptr) {
+      *error = "cannot open journal: " + path + ": " + std::strerror(errno);
+    }
+    return -errno;
+  }
+  if (!exists || data.empty()) {
+    // Fresh journal: magic line first, so Replay can tell "empty journal"
+    // from "not a journal".
+    if (::write(fd, kMagicLine, sizeof(kMagicLine) - 1) !=
+        static_cast<ssize_t>(sizeof(kMagicLine) - 1)) {
+      ::close(fd);
+      if (error != nullptr) {
+        *error = "cannot initialize journal: " + path;
+      }
+      return -EIO;
+    }
+  } else if (valid_end < data.size()) {
+    // Truncate away the torn/corrupt suffix; appends continue after the last
+    // intact record.
+    if (::ftruncate(fd, static_cast<off_t>(valid_end)) != 0) {
+      ::close(fd);
+      if (error != nullptr) {
+        *error = "cannot truncate damaged journal tail: " + path;
+      }
+      return -EIO;
+    }
+  }
+  if (::lseek(fd, 0, SEEK_END) < 0) {
+    ::close(fd);
+    return -EIO;
+  }
+  fd_ = fd;
+  path_ = path;
+  buffer_.clear();
+  return 0;
+}
+
+int Journal::Append(const JournalRecord& record) {
+  if (fd_ < 0) {
+    return -EBADF;
+  }
+  EncodeRecord(buffer_, record);
+  return 0;
+}
+
+int Journal::Sync() {
+  if (fd_ < 0) {
+    return -EBADF;
+  }
+  size_t written = 0;
+  while (written < buffer_.size()) {
+    const ssize_t n = ::write(fd_, buffer_.data() + written, buffer_.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return -errno;
+    }
+    written += static_cast<size_t>(n);
+  }
+  buffer_.clear();
+  if (::fdatasync(fd_) != 0) {
+    return -errno;
+  }
+  return 0;
+}
+
+int Journal::Rotate() {
+  if (fd_ < 0) {
+    return -EBADF;
+  }
+  const std::string path = path_;
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return -errno;
+  }
+  if (::write(fd, kMagicLine, sizeof(kMagicLine) - 1) !=
+          static_cast<ssize_t>(sizeof(kMagicLine) - 1) ||
+      ::fsync(fd) != 0) {
+    ::close(fd);
+    std::remove(tmp.c_str());
+    return -EIO;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::close(fd);
+    std::remove(tmp.c_str());
+    return -EIO;
+  }
+  // The renamed fd is the live journal now; drop the old one.
+  ::close(fd_);
+  fd_ = fd;
+  buffer_.clear();
+  return 0;
+}
+
+void Journal::Close() {
+  if (fd_ >= 0) {
+    if (!buffer_.empty()) {
+      Sync();
+    }
+    ::close(fd_);
+    fd_ = -1;
+  }
+  path_.clear();
+  buffer_.clear();
+}
+
+int Journal::Replay(const std::string& path, std::vector<JournalRecord>* out,
+                    std::string* error, bool* truncated_tail) {
+  if (truncated_tail != nullptr) {
+    *truncated_tail = false;
+  }
+  std::string data;
+  if (ReadWhole(path, &data) != 0) {
+    if (error != nullptr) {
+      *error = "cannot open journal: " + path;
+    }
+    return -ENOENT;
+  }
+  if (data.compare(0, sizeof(kMagicLine) - 1, kMagicLine) != 0) {
+    if (error != nullptr) {
+      *error = "not a bvf journal (bad magic): " + path;
+    }
+    return -EINVAL;
+  }
+  std::string damage;
+  ScanRecords(data, sizeof(kMagicLine) - 1, out, &damage);
+  if (!damage.empty()) {
+    if (truncated_tail != nullptr) {
+      *truncated_tail = true;
+    }
+    if (error != nullptr) {
+      *error = damage;
+    }
+  }
+  return 0;
+}
+
+}  // namespace bvf

@@ -1,0 +1,95 @@
+// Write-ahead findings/corpus journal (DESIGN.md §12.3).
+//
+// Checkpoints are written at most every --checkpoint-every iterations; a
+// campaign killed between checkpoints would lose every finding since the
+// last one. The journal closes that window: at every epoch barrier the
+// engines append what the barrier merged (new findings, corpus growth,
+// worker-crash records, quarantine events, then a barrier mark) and fsync —
+// so after any kill, `Replay` proves exactly which findings had been recorded
+// before the lights went out. The resumed campaign re-derives the same
+// findings deterministically from the checkpoint (the journal is evidence and
+// forensics, not resume state), which is why replaying it does not perturb
+// digest identity.
+//
+// Format: a text magic line ("bvf-journal v1"), then length+checksum framed
+// records:
+//
+//   u32 frame-magic | u32 type | u64 iteration | u32 payload-len |
+//   u64 fnv64(type‖iteration‖len‖payload) | payload bytes
+//
+// Payloads are the shared text grammar of src/core/serialize.h — the same
+// bytes a checkpoint would hold. A writer killed mid-append leaves a torn
+// tail; reopening truncates the tail (and any trailing corruption) back to
+// the last intact record and continues appending. Rotation (after a
+// checkpoint save supersedes the journal's contents) is atomic: fresh temp
+// file + rename.
+
+#ifndef SRC_CORE_JOURNAL_JOURNAL_H_
+#define SRC_CORE_JOURNAL_JOURNAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bvf {
+
+enum class JournalRecordType : uint32_t {
+  kFinding = 1,     // payload: serialize::SerializeFinding (f/fs/fd triplet)
+  kCorpusCase = 2,  // payload: serialize::SerializeCase
+  kCrash = 3,       // payload: a kWorkerCrash finding (same triplet shape)
+  kQuarantine = 4,  // payload: quarantine record (see supervisor.h)
+  kMark = 5,        // barrier mark; iteration = next iteration, no payload
+};
+
+struct JournalRecord {
+  JournalRecordType type = JournalRecordType::kMark;
+  uint64_t iteration = 0;
+  std::string payload;
+};
+
+class Journal {
+ public:
+  Journal() = default;
+  ~Journal();
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  // Opens |path| for appending, creating it if absent. An existing file is
+  // validated first: a torn tail or trailing corruption is truncated back to
+  // the last intact record (|recovered|, when non-null, describes what was
+  // dropped; empty when the file was clean). Returns 0 or a negative errno.
+  int Open(const std::string& path, std::string* error, std::string* recovered = nullptr);
+
+  bool is_open() const { return fd_ >= 0; }
+  const std::string& path() const { return path_; }
+
+  // Buffers one record; nothing touches the disk until Sync().
+  int Append(const JournalRecord& record);
+
+  // Durability point: writes the buffer and fdatasyncs. The engines call this
+  // once per epoch barrier, before any checkpoint write — write-ahead order.
+  int Sync();
+
+  // Atomically empties the journal (fresh temp file + rename). Call after a
+  // checkpoint save lands: the checkpoint now covers everything the journal
+  // held, so keeping the records would only duplicate them.
+  int Rotate();
+
+  void Close();
+
+  // Reads every intact record of |path|. If the file ends in a torn or
+  // corrupt suffix, returns the valid prefix with |truncated_tail| set (and
+  // |error| describing the damage); a missing file or bad magic fails with a
+  // negative errno.
+  static int Replay(const std::string& path, std::vector<JournalRecord>* out,
+                    std::string* error, bool* truncated_tail);
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+}  // namespace bvf
+
+#endif  // SRC_CORE_JOURNAL_JOURNAL_H_

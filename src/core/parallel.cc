@@ -5,10 +5,13 @@
 #include <memory>
 #include <mutex>
 #include <set>
+#include <sstream>
 #include <thread>
 #include <vector>
 
 #include "src/core/checkpoint.h"
+#include "src/core/journal/journal.h"
+#include "src/core/serialize.h"
 #include "src/kernel/coverage.h"
 #include "src/runtime/decoded_prog.h"
 #include "src/runtime/verdict_cache.h"
@@ -19,16 +22,6 @@ using bpf::Coverage;
 
 namespace {
 
-// Everything one worker produced for one iteration that the barrier merge
-// has to order by iteration number. Pure counters do not need ordering and
-// travel separately (WorkerState::partial).
-struct CaseRecord {
-  uint64_t iteration = 0;
-  bool corpus_candidate = false;
-  FuzzCase the_case;              // stored only when corpus_candidate
-  std::vector<Finding> findings;  // already confirmed (see epoch rule below)
-};
-
 struct WorkerState {
   std::unique_ptr<Generator> gen_owned;  // null for the prototype's worker
   Generator* gen = nullptr;
@@ -36,42 +29,8 @@ struct WorkerState {
   std::unique_ptr<bpf::VerdictCacheShard> shard;
   std::unique_ptr<bpf::DecodeCacheShard> dshard;
   bpf::CoverageSink sink;
-  CampaignStats partial;           // order-independent counters, this epoch
-  std::vector<CaseRecord> records; // iteration-ascending (worker strides up)
+  EpochShardResult out;  // counters + iteration-ordered records, this epoch
 };
-
-// Sums the order-independent counter fields of |partial| into |into| and
-// clears |partial| for the next epoch. Findings/corpus/curve/coverage are
-// merged separately, in iteration order.
-void MergeCounters(CampaignStats& into, CampaignStats& partial) {
-  into.iterations += partial.iterations;
-  into.accepted += partial.accepted;
-  into.rejected += partial.rejected;
-  into.exec_runs += partial.exec_runs;
-  into.exec_failures += partial.exec_failures;
-  into.panics += partial.panics;
-  into.substrate_rebuilds += partial.substrate_rebuilds;
-  into.fault_injected += partial.fault_injected;
-  into.insns_total += partial.insns_total;
-  into.insns_alu_jmp += partial.insns_alu_jmp;
-  into.insns_mem += partial.insns_mem;
-  into.insns_call += partial.insns_call;
-  for (const auto& [err, count] : partial.reject_errno) {
-    into.reject_errno[err] += count;
-  }
-  for (const auto& [err, count] : partial.exec_errno) {
-    into.exec_errno[err] += count;
-  }
-  for (const auto& [outcome, count] : partial.outcomes) {
-    into.outcomes[outcome] += count;
-  }
-  into.metamorph_bases += partial.metamorph_bases;
-  into.metamorph_variants += partial.metamorph_variants;
-  into.metamorph_verdict_divergences += partial.metamorph_verdict_divergences;
-  into.metamorph_witness_divergences += partial.metamorph_witness_divergences;
-  into.metamorph_sanitizer_divergences += partial.metamorph_sanitizer_divergences;
-  partial = CampaignStats{};
-}
 
 }  // namespace
 
@@ -81,9 +40,10 @@ ParallelFuzzer::ParallelFuzzer(Generator& generator, CampaignOptions options)
 CampaignStats ParallelFuzzer::Run() {
   CampaignStats stats;
   stats.tool = generator_.name();
+  options_.epoch_len = std::max<uint64_t>(1, options_.epoch_len);
   stats.options = options_;
 
-  const uint64_t epoch_len = std::max<uint64_t>(1, options_.epoch_len);
+  const uint64_t epoch_len = options_.epoch_len;
   int jobs = std::max(1, options_.jobs);
 
   // Worker 0 drives the prototype generator; every further worker needs an
@@ -100,7 +60,7 @@ CampaignStats ParallelFuzzer::Run() {
     clones.push_back(std::move(clone));
   }
 
-  const std::string fingerprint = ParallelFingerprint(options_, stats.tool);
+  const std::string fingerprint = FingerprintOptions(options_, stats.tool);
   std::vector<FuzzCase> corpus;
   uint64_t start_iteration = 1;
 
@@ -111,10 +71,13 @@ CampaignStats ParallelFuzzer::Run() {
       stats.resume_error = error.empty() ? "checkpoint load failed" : error;
       return stats;
     }
-    if (cp.fingerprint != fingerprint) {
-      stats.resume_error =
-          "checkpoint fingerprint mismatch: the checkpoint was written by a "
-          "campaign with different options";
+    // Field-wise validation (engine, epoch_len, options hash) before any
+    // RNG/stats/corpus/coverage state is touched; a rejected resume reports
+    // which field mismatched and leaves the campaign untouched.
+    const std::string mismatch =
+        ValidateCheckpointCompat(cp, options_, stats.tool, kEngineParallel);
+    if (!mismatch.empty()) {
+      stats.resume_error = mismatch;
       return stats;
     }
     stats = std::move(cp.stats);
@@ -129,10 +92,17 @@ CampaignStats ParallelFuzzer::Run() {
     Coverage::Get().ResetHits();
   }
 
-  // Sanitizer counters restored from a checkpoint belong to work done by a
-  // previous process; each worker's sanitizer starts from zero and the
-  // barrier recomputes stats.sanitizer = base + Σ workers.
-  const SanitizerStats base_sanitizer = stats.sanitizer;
+  // Write-ahead journal: every barrier's newly merged findings and corpus
+  // growth are appended + fsynced before the epoch is considered done, so a
+  // kill between checkpoints cannot lose a recorded finding.
+  Journal journal;
+  if (!options_.journal_path.empty()) {
+    std::string error;
+    if (journal.Open(options_.journal_path, &error) != 0) {
+      stats.resume_error = "journal open failed: " + error;
+      return stats;
+    }
+  }
 
   const uint64_t sample_every =
       options_.coverage_points > 0
@@ -192,52 +162,6 @@ CampaignStats ParallelFuzzer::Run() {
   int done_count = 0;
   bool shutdown = false;
 
-  const auto run_epoch = [&](WorkerState& worker, int index, uint64_t start, uint64_t end) {
-    std::set<std::string> local_sigs;  // signatures this worker saw this epoch
-    for (uint64_t i = start + static_cast<uint64_t>(index); i <= end;
-         i += static_cast<uint64_t>(jobs)) {
-      bpf::Rng rng(CaseSeed(options_.seed, i));
-      FuzzCase the_case;
-      if (options_.coverage_feedback && !corpus.empty() && rng.Chance(0.4)) {
-        the_case = rng.Pick(corpus);
-        worker.gen->Mutate(rng, the_case);
-      } else {
-        the_case = worker.gen->Generate(rng);
-      }
-
-      AccumulateInsnMix(the_case, worker.partial);
-      worker.sink.BeginCase();
-      const CaseRunner::CaseResult result = worker.runner->RunOne(the_case, i);
-      AccumulateCaseCounters(result, worker.partial);
-      ++worker.partial.iterations;
-
-      CaseRecord record;
-      record.iteration = i;
-      for (const Finding& found : result.findings) {
-        // Confirm iff the signature was unknown at epoch start AND this is
-        // the worker's first local occurrence this epoch. The merge keeps the
-        // globally earliest occurrence per signature, and the globally
-        // earliest is always its worker's first local occurrence — so every
-        // finding the merge keeps carries a confirmation, for any job count.
-        if (frozen_sigs->count(found.signature) == 0 &&
-            local_sigs.insert(found.signature).second) {
-          Finding finding = found;
-          if (options_.confirm_runs > 0) {
-            worker.runner->ConfirmFinding(finding, the_case, i, result.fault_log);
-          }
-          record.findings.push_back(std::move(finding));
-        }
-      }
-      if (options_.coverage_feedback && worker.sink.NewSinceCase() > 0) {
-        record.corpus_candidate = true;
-        record.the_case = the_case;
-      }
-      if (record.corpus_candidate || !record.findings.empty()) {
-        worker.records.push_back(std::move(record));
-      }
-    }
-  };
-
   std::vector<std::thread> threads;
   threads.reserve(static_cast<size_t>(jobs));
   for (int w = 0; w < jobs; ++w) {
@@ -259,7 +183,8 @@ CampaignStats ParallelFuzzer::Run() {
           start = epoch_start;
           end = epoch_end;
         }
-        run_epoch(worker, w, start, end);
+        RunEpochShard(options_, *worker.gen, *worker.runner, worker.sink, corpus,
+                      *frozen_sigs, w, jobs, start, end, worker.out);
         {
           std::lock_guard<std::mutex> lock(mu);
           if (++done_count == jobs) {
@@ -275,12 +200,17 @@ CampaignStats ParallelFuzzer::Run() {
     CampaignCheckpoint cp;
     cp.next_iteration = next_iteration;
     cp.fingerprint = fingerprint;
+    cp.engine = kEngineParallel;
+    cp.epoch_len = epoch_len;
     cp.rng_state = {};  // per-iteration seeds; there is no stream position
     cp.corpus = corpus;
     cp.stats = stats;
     cp.stats.final_coverage = Coverage::Get().hit_count();
     cp.coverage_keys = Coverage::Get().SerializeHitKeys();
-    SaveCheckpoint(options_.checkpoint_path, cp);
+    if (SaveCheckpoint(options_.checkpoint_path, cp) == 0 && journal.is_open()) {
+      // The checkpoint covers everything the journal held; restart it empty.
+      journal.Rotate();
+    }
   };
 
   uint64_t next = start_iteration;
@@ -301,9 +231,9 @@ CampaignStats ParallelFuzzer::Run() {
     }
 
     // ---- Barrier merge (workers parked) ----
-    // 1. Order-independent counters.
+    // 1. Order-independent counters (including per-epoch sanitizer deltas).
     for (WorkerState& worker : workers) {
-      MergeCounters(stats, worker.partial);
+      MergeEpochCounters(stats, worker.out.partial);
     }
     // 2. Coverage: union each worker's epoch delta into the committed set.
     for (WorkerState& worker : workers) {
@@ -327,44 +257,47 @@ CampaignStats ParallelFuzzer::Run() {
       stats.decode_cache_evictions = base_decode_evictions + dcache.evictions();
     }
     // 4. Findings and corpus growth, in iteration order across all workers.
+    const size_t findings_before = stats.findings.size();
+    const size_t corpus_before = corpus.size();
     {
       std::vector<CaseRecord*> merged;
       for (WorkerState& worker : workers) {
-        for (CaseRecord& record : worker.records) {
+        for (CaseRecord& record : worker.out.records) {
           merged.push_back(&record);
         }
       }
-      std::sort(merged.begin(), merged.end(), [](const CaseRecord* a, const CaseRecord* b) {
-        return a->iteration < b->iteration;
-      });
-      for (CaseRecord* record : merged) {
-        for (Finding& finding : record->findings) {
-          if (stats.finding_signatures.insert(finding.signature).second) {
-            stats.findings.push_back(std::move(finding));
-          }
-        }
-        if (record->corpus_candidate && corpus.size() < 512) {
-          corpus.push_back(std::move(record->the_case));
-        }
-      }
+      MergeEpochRecords(std::move(merged), stats, corpus);
       for (WorkerState& worker : workers) {
-        worker.records.clear();
+        worker.out.records.clear();
       }
     }
     // 5. Coverage curve, epoch-quantized: every sample point inside this
     //    epoch reports the committed count after the epoch's merge.
-    if (sample_every != 0) {
-      const size_t covered = Coverage::Get().hit_count();
-      for (uint64_t m = ((next + sample_every - 1) / sample_every) * sample_every;
-           m <= end; m += sample_every) {
-        stats.curve.push_back(CoveragePoint{m, covered});
+    AppendEpochCurve(stats, next, end, sample_every, Coverage::Get().hit_count());
+
+    // Write-ahead order: journal what this barrier merged, fsync, and only
+    // then (possibly) checkpoint.
+    if (journal.is_open()) {
+      for (size_t i = findings_before; i < stats.findings.size(); ++i) {
+        JournalRecord record;
+        record.type = JournalRecordType::kFinding;
+        record.iteration = stats.findings[i].iteration;
+        std::ostringstream payload;
+        serialize::SerializeFinding(payload, stats.findings[i]);
+        record.payload = payload.str();
+        journal.Append(record);
       }
-    }
-    // 6. Sanitizer totals: checkpoint base plus every worker's cumulative
-    //    counters (workers never reset; sums are order-independent).
-    stats.sanitizer = base_sanitizer;
-    for (WorkerState& worker : workers) {
-      stats.sanitizer.Add(worker.runner->sanitizer().stats());
+      for (size_t i = corpus_before; i < corpus.size(); ++i) {
+        JournalRecord record;
+        record.type = JournalRecordType::kCorpusCase;
+        record.iteration = end;
+        std::ostringstream payload;
+        serialize::SerializeCase(payload, corpus[i]);
+        record.payload = payload.str();
+        journal.Append(record);
+      }
+      journal.Append(JournalRecord{JournalRecordType::kMark, end + 1, ""});
+      journal.Sync();
     }
 
     if (!options_.checkpoint_path.empty() && options_.checkpoint_every != 0 &&

@@ -18,30 +18,24 @@
 // outcome histograms, coverage set, corpus, and final StatsDigest are
 // bit-identical for every jobs value ≥ 1.
 //
-// Checkpoints are written at epoch barriers only, tagged with a
-// parallel-specific fingerprint: an 8-job campaign's checkpoint resumes
-// bit-identically under any other job count (including 1).
+// Checkpoints are written at epoch barriers only, tagged engine=parallel
+// (plus the epoch length) on the fingerprint line: an 8-job campaign's
+// checkpoint resumes bit-identically under any other job count (including 1),
+// and supervised (multi-process) checkpoints are interchangeable with
+// in-process ones because both run this same discipline.
 
 #ifndef SRC_CORE_PARALLEL_H_
 #define SRC_CORE_PARALLEL_H_
 
 #include <cstdint>
 
+// The shard loop, the barrier-merge steps, and CaseSeed live in
+// src/core/epoch.h, shared with the multi-process supervisor
+// (src/core/supervisor) so the two engines cannot drift.
+#include "src/core/epoch.h"
 #include "src/core/fuzzer.h"
 
 namespace bvf {
-
-// Per-iteration RNG seed: a splitmix64-style mix of the campaign seed and the
-// absolute iteration number. Deliberately a different stream than
-// bpf::FaultSeed (different pre-mix constants), so a case's generation
-// randomness and its fault schedule stay decorrelated.
-inline uint64_t CaseSeed(uint64_t campaign_seed, uint64_t iteration) {
-  uint64_t z = (campaign_seed ^ 0x6a09e667f3bcc909ull) +
-               iteration * 0xbf58476d1ce4e5b9ull;
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
-  return z ^ (z >> 31);
-}
 
 class ParallelFuzzer {
  public:

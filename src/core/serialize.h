@@ -1,0 +1,85 @@
+// Line-oriented campaign serialization shared by the checkpoint format
+// (src/core/checkpoint.cc), the write-ahead findings journal
+// (src/core/journal), and the supervisor's pipe protocol
+// (src/core/supervisor/wire.cc). One grammar, three transports: a FuzzCase,
+// a Finding, or a stats body serializes to the same bytes whether it lands
+// in a checkpoint file, a journal record, or an epoch-result frame, so the
+// formats cannot drift apart.
+//
+// Strings live to end-of-line after their tag; only line-structure
+// characters (backslash, newline, carriage return) are escaped.
+
+#ifndef SRC_CORE_SERIALIZE_H_
+#define SRC_CORE_SERIALIZE_H_
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/core/fuzzer.h"
+
+namespace bvf {
+namespace serialize {
+
+uint64_t Fnv1a(const std::string& data);
+std::string Hex64(uint64_t value);
+
+std::string Escape(const std::string& s);
+std::string Unescape(const std::string& s);
+
+// Line reader with tag validation; records the first error and makes every
+// subsequent read a no-op so parse code stays linear.
+class Reader {
+ public:
+  explicit Reader(std::istream& is) : is_(is) {}
+
+  bool ok() const { return error_.empty(); }
+  const std::string& error() const { return error_; }
+
+  void Fail(const std::string& message) {
+    if (error_.empty()) {
+      error_ = message;
+    }
+  }
+
+  // Reads one line, checks its tag, and returns the remainder after the tag
+  // (without leading space). Empty optional-style: "" on failure.
+  std::string Line(const std::string& tag);
+
+  // Parses space-separated integer fields from a tagged line.
+  std::vector<int64_t> Fields(const std::string& tag, size_t count);
+
+  // A one-field line holding a plausible element count.
+  uint64_t Count(const std::string& tag);
+
+ private:
+  std::istream& is_;
+  std::string error_;
+};
+
+// Canonical stats body shared by checkpoint files, StatsDigest, and the
+// supervisor's epoch-result frames. Excludes stats.options (covered by the
+// fingerprint), the digest-excluded counters (caches, metamorph volume,
+// supervisor accounting — each rides its own checkpoint line), and the
+// resume bookkeeping fields.
+void SerializeStats(std::ostream& os, const CampaignStats& stats);
+void ParseStats(Reader& reader, CampaignStats* stats);
+
+// One fuzz case ("case" header + i/m/ev lines).
+void SerializeCase(std::ostream& os, const FuzzCase& fc);
+void ParseCase(Reader& reader, FuzzCase* fc);
+
+// A corpus: "corpus <n>" followed by n cases.
+void SerializeCorpus(std::ostream& os, const std::vector<FuzzCase>& corpus);
+void ParseCorpus(Reader& reader, std::vector<FuzzCase>* corpus);
+
+// One finding (f/fs/fd triplet, the same shape the stats body uses).
+void SerializeFinding(std::ostream& os, const Finding& finding);
+void ParseFinding(Reader& reader, Finding* finding);
+
+}  // namespace serialize
+}  // namespace bvf
+
+#endif  // SRC_CORE_SERIALIZE_H_

@@ -1,0 +1,80 @@
+// Crash-isolated multi-process campaign supervisor (DESIGN.md §12).
+//
+// SupervisedFuzzer runs the §9 epoch-shard discipline with worker *processes*
+// instead of threads: the coordinator forks one worker per shard, streams
+// each epoch's range + state-sync deltas (corpus, finding signatures,
+// coverage keys) over a command pipe, and workers stream per-case heartbeats
+// and epoch results back. The barrier merge is the shared src/core/epoch.cc
+// code, so the StatsDigest is bit-identical to an in-process `--jobs N` run —
+// and checkpoints are tagged engine=parallel, interchangeable both ways.
+//
+// What the isolation buys (and the in-process engine cannot have): a worker
+// that crashes on a real sanitizer abort, hangs past the heartbeat deadline,
+// or exits unexpectedly is reaped and re-forked with bounded exponential
+// backoff, its half-done epoch shard discarded and re-run; the campaign keeps
+// going. Each death is recorded as a first-class kWorkerCrash finding
+// carrying the worker's captured stderr (digest-excluded: crashes describe
+// the process, not the campaign result). After --worker-retries consecutive
+// failures of one shard, the case that was in flight at each death is written
+// to the quarantine file (replayable through the existing repro path), its
+// iteration is skipped, and the campaign degrades gracefully instead of
+// dying. Determinism note: retries of *transient* failures are digest-neutral
+// (the re-run shard re-derives identical results); an abandoned epoch is not
+// — its skipped iterations never execute, which is the degradation, and the
+// quarantine file records exactly what was given up.
+
+#ifndef SRC_CORE_SUPERVISOR_SUPERVISOR_H_
+#define SRC_CORE_SUPERVISOR_SUPERVISOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/fuzzer.h"
+#include "src/core/generator.h"
+
+namespace bvf {
+
+class SupervisedFuzzer {
+ public:
+  // |generator| is the prototype; worker processes inherit their own copy via
+  // fork (process isolation is the clone mechanism — Generator::Clone() is
+  // not needed). Supervisor knobs ride in |options| (worker_retries,
+  // hang_timeout_ms, retry_backoff_ms, quarantine_path, journal_path).
+  SupervisedFuzzer(Generator& generator, CampaignOptions options);
+
+  // Runs the campaign. SIGTERM requests a graceful stop: the in-flight epoch
+  // finishes, its barrier merges and checkpoints, and Run returns the stats
+  // so far (resume continues bit-identically). On an unrecoverable supervisor
+  // failure stats.resume_error describes it.
+  CampaignStats Run();
+
+ private:
+  Generator& generator_;
+  CampaignOptions options_;
+};
+
+// Worker-process entry point: services kEpoch commands from |cmd_fd| until
+// kShutdown (or EOF, which a dying supervisor turns into SIGKILL via
+// PR_SET_PDEATHSIG anyway). Called in the forked child; returns its exit
+// code. Exposed for the smoke/bench drivers that embed a worker directly.
+int RunWorkerProcess(Generator& generator, const CampaignOptions& options, int cmd_fd,
+                     int res_fd);
+
+// One poisoned case: after --worker-retries consecutive failures of a shard,
+// the case in flight at each death lands here.
+struct QuarantineRecord {
+  uint64_t iteration = 0;
+  int attempts = 0;        // failures observed before quarantining
+  int signal_or_code = 0;  // death signal (>0) or negated exit code (<0)
+  FuzzCase the_case;
+};
+
+// Parses a quarantine file (replay each record via ExecuteCase /
+// --replay-quarantine). Returns 0 or a negative errno.
+int LoadQuarantine(const std::string& path, std::vector<QuarantineRecord>* out,
+                   std::string* error);
+
+}  // namespace bvf
+
+#endif  // SRC_CORE_SUPERVISOR_SUPERVISOR_H_

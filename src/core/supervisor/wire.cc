@@ -1,0 +1,160 @@
+#include "src/core/supervisor/wire.h"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "src/core/serialize.h"
+
+namespace bvf {
+namespace supervisor {
+
+namespace {
+
+constexpr uint32_t kFrameMagic = 0x50465642;  // "BVFP" little-endian
+constexpr size_t kHeaderSize = 4 + 4 + 4 + 8;
+// Largest plausible payload: a full-state sync (corpus cap 512 cases, each a
+// few KB) stays well under this; a corrupt length must not drive allocation.
+constexpr uint32_t kMaxPayload = 256u << 20;
+
+void PutU32(std::string& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU64(std::string& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+uint32_t GetU32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | static_cast<uint8_t>(p[i]);
+  }
+  return v;
+}
+
+uint64_t GetU64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | static_cast<uint8_t>(p[i]);
+  }
+  return v;
+}
+
+uint64_t FrameChecksum(uint32_t type, const std::string& payload) {
+  std::string hdr;
+  PutU32(hdr, type);
+  PutU32(hdr, static_cast<uint32_t>(payload.size()));
+  return serialize::Fnv1a(hdr + payload);
+}
+
+int64_t NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Reads exactly |len| bytes, honoring an absolute deadline (or blocking when
+// |deadline_ms| < 0).
+int ReadExact(int fd, char* buf, size_t len, int64_t deadline_ms) {
+  size_t got = 0;
+  while (got < len) {
+    if (deadline_ms >= 0) {
+      const int64_t remaining = deadline_ms - NowMs();
+      if (remaining <= 0) {
+        return -ETIMEDOUT;
+      }
+      struct pollfd pfd;
+      pfd.fd = fd;
+      pfd.events = POLLIN;
+      pfd.revents = 0;
+      const int pr = ::poll(&pfd, 1, static_cast<int>(remaining));
+      if (pr < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        return -errno;
+      }
+      if (pr == 0) {
+        return -ETIMEDOUT;
+      }
+    }
+    const ssize_t n = ::read(fd, buf + got, len - got);
+    if (n == 0) {
+      return -EPIPE;
+    }
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return -errno;
+    }
+    got += static_cast<size_t>(n);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int WriteFrame(int fd, MsgType type, const std::string& payload) {
+  std::string frame;
+  frame.reserve(kHeaderSize + payload.size());
+  PutU32(frame, kFrameMagic);
+  PutU32(frame, static_cast<uint32_t>(type));
+  PutU32(frame, static_cast<uint32_t>(payload.size()));
+  PutU64(frame, FrameChecksum(static_cast<uint32_t>(type), payload));
+  frame += payload;
+  size_t written = 0;
+  while (written < frame.size()) {
+    const ssize_t n = ::write(fd, frame.data() + written, frame.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return -errno;
+    }
+    written += static_cast<size_t>(n);
+  }
+  return 0;
+}
+
+int ReadFrame(int fd, Frame* out, int timeout_ms) {
+  const int64_t deadline_ms = timeout_ms < 0 ? -1 : NowMs() + timeout_ms;
+  char hdr[kHeaderSize];
+  int rc = ReadExact(fd, hdr, kHeaderSize, deadline_ms);
+  if (rc != 0) {
+    return rc;
+  }
+  if (GetU32(hdr) != kFrameMagic) {
+    return -EBADMSG;
+  }
+  const uint32_t type = GetU32(hdr + 4);
+  const uint32_t len = GetU32(hdr + 8);
+  const uint64_t sum = GetU64(hdr + 12);
+  if (len > kMaxPayload) {
+    return -EBADMSG;
+  }
+  std::string payload(len, '\0');
+  if (len > 0) {
+    rc = ReadExact(fd, payload.data(), len, deadline_ms);
+    if (rc != 0) {
+      return rc;
+    }
+  }
+  if (FrameChecksum(type, payload) != sum) {
+    return -EBADMSG;
+  }
+  out->type = static_cast<MsgType>(type);
+  out->payload = std::move(payload);
+  return 0;
+}
+
+}  // namespace supervisor
+}  // namespace bvf

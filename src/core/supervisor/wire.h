@@ -1,0 +1,49 @@
+// Pipe framing for the crash-isolated campaign supervisor (DESIGN.md §12.2).
+//
+// The coordinator and its worker processes exchange length+checksum framed
+// messages over anonymous pipes:
+//
+//   u32 frame-magic | u32 type | u32 payload-len |
+//   u64 fnv64(type‖len‖payload) | payload bytes
+//
+// Payloads are the shared text grammar of src/core/serialize.h, so a case or
+// a stats body crossing the pipe is byte-identical to the same object in a
+// checkpoint or journal. Framing errors are fatal for the sending worker (the
+// supervisor treats -EBADMSG exactly like a crash): a half-written frame from
+// a dying process must never be interpreted as data.
+
+#ifndef SRC_CORE_SUPERVISOR_WIRE_H_
+#define SRC_CORE_SUPERVISOR_WIRE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace bvf {
+namespace supervisor {
+
+enum class MsgType : uint32_t {
+  kEpoch = 1,      // coordinator → worker: epoch range + state sync deltas
+  kCaseBegin = 2,  // worker → coordinator: heartbeat + in-flight case forensics
+  kResult = 3,     // worker → coordinator: one shard's epoch output
+  kShutdown = 4,   // coordinator → worker: exit cleanly
+};
+
+struct Frame {
+  MsgType type = MsgType::kShutdown;
+  std::string payload;
+};
+
+// Writes one frame; retries EINTR/partial writes. Returns 0 or a negative
+// errno (-EPIPE when the peer is gone).
+int WriteFrame(int fd, MsgType type, const std::string& payload);
+
+// Reads one complete frame. |timeout_ms| < 0 blocks indefinitely; otherwise
+// the whole frame must arrive within the budget. Returns 0 on success,
+// -ETIMEDOUT on deadline, -EPIPE on EOF, -EBADMSG on a corrupt frame, or a
+// negative errno.
+int ReadFrame(int fd, Frame* out, int timeout_ms);
+
+}  // namespace supervisor
+}  // namespace bvf
+
+#endif  // SRC_CORE_SUPERVISOR_WIRE_H_

@@ -143,6 +143,18 @@ void Coverage::RestoreHitKeys(const std::vector<std::string>& keys) {
   pending_.insert(wanted.begin(), wanted.end());
 }
 
+std::vector<std::string> Coverage::SiteKeysFor(const std::vector<int>& site_ids) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> keys;
+  keys.reserve(site_ids.size());
+  for (const int id : site_ids) {
+    if (id >= 0 && static_cast<size_t>(id) < sites_.size()) {
+      keys.push_back(SiteKey(sites_[static_cast<size_t>(id)]));
+    }
+  }
+  return keys;
+}
+
 std::vector<std::string> Coverage::CoveredSites() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> out;

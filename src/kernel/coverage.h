@@ -146,6 +146,12 @@ class Coverage {
   std::vector<std::string> SerializeHitKeys() const;
   void RestoreHitKeys(const std::vector<std::string>& keys);
 
+  // Stable keys for a list of site ids (a sink's epoch delta). The supervised
+  // campaign's workers ship their epoch coverage to the coordinator as keys —
+  // site ids are lazy-registration order and differ between processes, keys
+  // do not. Out-of-range ids are skipped.
+  std::vector<std::string> SiteKeysFor(const std::vector<int>& site_ids) const;
+
   size_t hit_count() const { return hit_count_.load(std::memory_order_relaxed); }
   size_t site_count() const { return site_count_.load(std::memory_order_relaxed); }
   size_t run_trace_len() const { return run_trace_len_.load(std::memory_order_relaxed); }

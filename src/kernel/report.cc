@@ -42,6 +42,8 @@ const char* ReportKindName(ReportKind kind) {
       return "metamorph: witness divergence";
     case ReportKind::kMetamorphSanitizerDivergence:
       return "metamorph: sanitizer divergence";
+    case ReportKind::kWorkerCrash:
+      return "supervisor: worker crash";
   }
   return "unknown";
 }

@@ -46,6 +46,14 @@ enum class ReportKind {
   kMetamorphVerdictDivergence,    // accept/reject flip on a variant
   kMetamorphWitnessDivergence,    // exit-value/errno mismatch across variants
   kMetamorphSanitizerDivergence,  // indicator fires on one variant only
+
+  // Supervisor (src/core/supervisor): a campaign worker *process* died — a
+  // real sanitizer abort, a hang past the heartbeat deadline, or an
+  // unexpected exit. Like the metamorph kinds, never filed through a
+  // ReportSink; the supervisor synthesizes the finding (with the worker's
+  // captured stderr as details) and keeps it in the digest-excluded
+  // crash_findings list.
+  kWorkerCrash,
 };
 
 const char* ReportKindName(ReportKind kind);

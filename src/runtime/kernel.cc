@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "src/kernel/coverage.h"
+
 namespace bpf {
 
 Kernel::Kernel(KernelVersion version, BugConfig bugs, size_t arena_size)
@@ -100,6 +102,11 @@ void Kernel::TaskRefDec() {
                     "refcount underflow on task_struct");
     task_refs_ = 0;
   }
+}
+
+void ResetWorkerProcessState() {
+  Coverage::InstallThreadSink(nullptr);
+  Coverage::Get().ResetHits();
 }
 
 }  // namespace bpf

@@ -131,6 +131,14 @@ class Kernel {
   int task_refs_ = 0;
 };
 
+// Resets every piece of process-global simulated-machine state a freshly
+// forked (or re-forked) campaign worker process must not inherit from its
+// parent: the coverage registry's hit set (workers rebuild their committed
+// view from the coordinator's key sync) and any thread-installed coverage
+// sink. Kernel instances themselves are per-CaseRunner objects and need no
+// reset — a worker constructs its own after calling this.
+void ResetWorkerProcessState();
+
 }  // namespace bpf
 
 #endif  // SRC_RUNTIME_KERNEL_H_

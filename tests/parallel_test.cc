@@ -125,14 +125,37 @@ TEST(ParallelInvarianceTest, OddJobCountAndShortFinalEpoch) {
 
 TEST(ParallelInvarianceTest, EpochLengthIsSemantics) {
   // Changing jobs must not change results; changing epoch_len may (it moves
-  // the snapshot barriers). Guard that the fingerprint separates the two.
+  // the snapshot barriers). Since checkpoint v2 the engine and epoch length
+  // are structured checkpoint fields, validated field-wise on resume — guard
+  // that the validator separates the two and names the mismatching field.
   CampaignOptions options = SmallCampaign();
-  const std::string base = ParallelFingerprint(options, "bvf");
+  CampaignCheckpoint cp;
+  cp.fingerprint = FingerprintOptions(options, "bvf");
+  cp.engine = kEngineParallel;
+  cp.epoch_len = options.epoch_len;
+  EXPECT_EQ(ValidateCheckpointCompat(cp, options, "bvf", kEngineParallel), "");
+
+  // jobs is not semantics: any job count resumes the same checkpoint.
   options.jobs = 8;
-  EXPECT_EQ(ParallelFingerprint(options, "bvf"), base);
+  EXPECT_EQ(ValidateCheckpointCompat(cp, options, "bvf", kEngineParallel), "");
+
+  // epoch_len is semantics: the mismatch is rejected, by name.
   options.epoch_len = 64;
-  EXPECT_NE(ParallelFingerprint(options, "bvf"), base);
-  EXPECT_NE(base, FingerprintOptions(options, "bvf"));  // engine-tagged
+  const std::string epoch_mismatch =
+      ValidateCheckpointCompat(cp, options, "bvf", kEngineParallel);
+  EXPECT_NE(epoch_mismatch.find("epoch_len"), std::string::npos) << epoch_mismatch;
+  options.epoch_len = cp.epoch_len;
+
+  // Engine tag separates serial from parallel checkpoints, by name.
+  const std::string engine_mismatch =
+      ValidateCheckpointCompat(cp, options, "bvf", kEngineSerial);
+  EXPECT_NE(engine_mismatch.find("engine"), std::string::npos) << engine_mismatch;
+
+  // Options-fingerprint mismatch is the third named axis.
+  options.seed += 1;
+  const std::string options_mismatch =
+      ValidateCheckpointCompat(cp, options, "bvf", kEngineParallel);
+  EXPECT_NE(options_mismatch.find("fingerprint"), std::string::npos) << options_mismatch;
 }
 
 // ---- Checkpoint / resume across job counts ----
