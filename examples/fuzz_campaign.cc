@@ -7,6 +7,7 @@
 //          [--fault-rate=F] [--confirm-runs=K]
 //          [--checkpoint=PATH] [--checkpoint-every=N] [--resume=PATH]
 //          [--stop-after=N] [--jobs=N] [--verdict-cache=on|off]
+//          [--canonical-cache=on|off]
 //          [--interp=decoded|legacy] [--metamorph] [--metamorph-k=K] [--smoke]
 //          [--supervise] [--worker-retries=K] [--hang-timeout=MS]
 //          [--quarantine=PATH] [--journal=PATH] [--replay-quarantine=PATH]
@@ -15,7 +16,10 @@
 // (including N=1) selects the parallel sharded engine (src/core/parallel.h),
 // whose results are bit-identical for every N — so a checkpoint written at
 // --jobs=8 resumes at --jobs=1. --verdict-cache=on enables the digest-keyed
-// verifier-verdict cache in either engine. --interp selects the execution
+// verifier-verdict cache in either engine; --canonical-cache=on (requires the
+// verdict cache) adds the canonical level, which serves committed rejections
+// to alpha-equivalent program spellings without re-verifying. --interp
+// selects the execution
 // engine: decoded micro-op dispatch with the digest-keyed decode cache (the
 // default) or the legacy instruction-at-a-time interpreter; the two are
 // digest-identical, so the flag is a pure throughput switch. --metamorph
@@ -78,6 +82,7 @@ int main(int argc, char** argv) {
   int jobs = 1;
   bool jobs_given = false;  // explicit --jobs selects the parallel engine even at 1
   bool verdict_cache = false;
+  bool canonical_cache = false;
   bool interp_decoded = true;
   bool metamorph = false;
   int metamorph_k = 2;
@@ -102,6 +107,8 @@ int main(int argc, char** argv) {
       jobs_given = true;
     } else if (strncmp(argv[i], "--verdict-cache=", 16) == 0) {
       verdict_cache = strcmp(argv[i] + 16, "on") == 0;
+    } else if (strncmp(argv[i], "--canonical-cache=", 18) == 0) {
+      canonical_cache = strcmp(argv[i] + 18, "on") == 0;
     } else if (strncmp(argv[i], "--interp=", 9) == 0) {
       interp_decoded = strcmp(argv[i] + 9, "legacy") != 0;
     } else if (strcmp(argv[i], "--metamorph") == 0) {
@@ -161,6 +168,7 @@ int main(int argc, char** argv) {
   options.stop_after = stop_after;
   options.jobs = jobs;
   options.verdict_cache = verdict_cache;
+  options.canonical_cache = canonical_cache && verdict_cache;
   options.interp_decoded = interp_decoded;
   options.metamorph = metamorph;
   options.metamorph_k = metamorph_k;
@@ -260,6 +268,11 @@ int main(int argc, char** argv) {
     printf("  verdict cache:   %" PRIu64 " hits / %" PRIu64 " misses (%.1f%% hit rate)\n",
            stats.verdict_cache_hits, stats.verdict_cache_misses,
            100 * stats.VerdictCacheHitRate());
+  }
+  if (verdict_cache && canonical_cache) {
+    printf("  canonical cache: %" PRIu64 " hits / %" PRIu64 " misses (%.1f%% hit rate)\n",
+           stats.canonical_cache_hits, stats.canonical_cache_misses,
+           100 * stats.CanonicalCacheHitRate());
   }
   if (interp_decoded) {
     printf("  decode cache:    %" PRIu64 " hits / %" PRIu64 " misses / %" PRIu64

@@ -8,11 +8,14 @@
 #   4. scripts/smoke_supervisor.sh — crash-isolated supervisor: supervised vs
 #      in-process digest equality, forced-crash recovery, poison-case
 #      quarantine + replay, SIGTERM + resume bit-identity (ASan).
-#   5. Metamorph gate: a short --metamorph --metamorph-k=2 campaign under
+#   5. scripts/smoke_reset.sh     — BVF_PARANOID_RESET=1 digest gate: the
+#      dirty-tracked arena reset cross-checked against the full rewind across
+#      jobs x interp x --supervise legs, plus checkpoint/resume (ASan).
+#   6. Metamorph gate: a short --metamorph --metamorph-k=2 campaign under
 #      ASan/UBSan must produce one bit-identical campaign digest across
 #      {--jobs=1, --jobs=4} x {--interp=decoded, --interp=legacy}, and the
 #      metamorph counter line must be identical on every leg.
-#   6. Tier-1 label audit: every discovered ctest test must carry the tier1
+#   7. Tier-1 label audit: every discovered ctest test must carry the tier1
 #      label (`ctest -N` count == `ctest -N -L tier1` count) and the suites
 #      this tree considers load-bearing (supervisor, journal, parallel,
 #      robustness) must actually be discovered, so nothing can silently drop
@@ -29,23 +32,27 @@ TSAN_DIR="${2:-build-tsan}"
 MM_ITERATIONS=200
 MM_SEED=7
 
-echo "==== [1/6] smoke_robustness ===="
+echo "==== [1/7] smoke_robustness ===="
 scripts/smoke_robustness.sh "$ASAN_DIR"
 
 echo
-echo "==== [2/6] smoke_parallel ===="
+echo "==== [2/7] smoke_parallel ===="
 scripts/smoke_parallel.sh "$TSAN_DIR"
 
 echo
-echo "==== [3/6] smoke_interp ===="
+echo "==== [3/7] smoke_interp ===="
 scripts/smoke_interp.sh "$ASAN_DIR"
 
 echo
-echo "==== [4/6] smoke_supervisor ===="
+echo "==== [4/7] smoke_supervisor ===="
 scripts/smoke_supervisor.sh "$ASAN_DIR"
 
 echo
-echo "==== [5/6] metamorph digest gate (ASan/UBSan) ===="
+echo "==== [5/7] smoke_reset ===="
+scripts/smoke_reset.sh "$ASAN_DIR"
+
+echo
+echo "==== [6/7] metamorph digest gate (ASan/UBSan) ===="
 CAMPAIGN="$ASAN_DIR/examples/fuzz_campaign"
 WORK="$(mktemp -d)"
 trap 'rm -rf "$WORK"' EXIT
@@ -87,7 +94,7 @@ echo "smoke: metamorph campaign digest $REF on all four engine/jobs legs"
 echo "smoke: metamorph counters identical ($(echo "$MMREF" | sed 's/^ *//'))"
 
 echo
-echo "==== [6/6] tier-1 label audit ===="
+echo "==== [7/7] tier-1 label audit ===="
 # gtest test discovery happens at build time, so the audit needs the whole
 # tree built in the ASan dir (the earlier legs only built their own targets).
 cmake --build "$ASAN_DIR" -j"$(nproc)" >/dev/null

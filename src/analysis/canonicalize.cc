@@ -1,0 +1,275 @@
+#include "src/analysis/canonicalize.h"
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "src/analysis/cfg.h"
+#include "src/analysis/liveness.h"
+#include "src/analysis/patch.h"
+
+namespace bvf {
+
+namespace {
+
+using bpf::Insn;
+
+bool IsLdImm64Hi(const bpf::Program& prog, size_t idx) {
+  return idx > 0 && prog.insns[idx - 1].IsLdImm64();
+}
+
+bool IsBranch(const Insn& insn) {
+  return insn.IsJmp() && insn.JmpOp() != bpf::kJmpCall && insn.JmpOp() != bpf::kJmpExit;
+}
+
+// Instruction indices some branch jumps to. Out-of-range targets cannot occur
+// here (the caller pre-validates with CheckEncoding).
+std::vector<uint8_t> JumpTargets(const bpf::Program& prog) {
+  std::vector<uint8_t> targeted(prog.insns.size(), 0);
+  for (size_t p = 0; p < prog.insns.size(); ++p) {
+    if (IsLdImm64Hi(prog, p)) {
+      continue;
+    }
+    const Insn& insn = prog.insns[p];
+    if (IsBranch(insn)) {
+      targeted[static_cast<size_t>(insn.JumpTargetPc(static_cast<int>(p)))] = 1;
+    }
+  }
+  return targeted;
+}
+
+bool IsMov64Imm(const Insn& insn) {
+  return insn.opcode == (bpf::kClassAlu64 | bpf::kAluMov | bpf::kSrcK);
+}
+
+bool IsMov32Imm(const Insn& insn) {
+  return insn.opcode == (bpf::kClassAlu | bpf::kAluMov | bpf::kSrcK);
+}
+
+// `ja +0` falls through to the instruction a jump onto it would reach anyway,
+// so removal (which re-links jumps-to-it onto its successor) is exact. This
+// inverts both kNopPad's ja-flavor and kJumpRelayout's landing pad.
+bool StripJaZero(bpf::Program& prog) {
+  for (size_t p = 0; p < prog.insns.size(); ++p) {
+    if (IsLdImm64Hi(prog, p)) {
+      continue;
+    }
+    const Insn& insn = prog.insns[p];
+    if (insn.Class() == bpf::kClassJmp && insn.JmpOp() == bpf::kJmpJa &&
+        insn.off == 0) {
+      RemoveInsnPatched(prog, p);
+      return true;
+    }
+  }
+  return false;
+}
+
+// `r1 = r1` at entry is the identity on the always-initialized context
+// register — but only when entry is its sole predecessor. With a jump landing
+// on index 0, the mov would also execute mid-program, where r1 may have been
+// clobbered by a call and the extra read changes (or creates) the verifier's
+// rejection; such programs canonicalize to themselves.
+bool StripLeadingCtxMov(bpf::Program& prog) {
+  if (prog.insns.empty()) {
+    return false;
+  }
+  const Insn& first = prog.insns[0];
+  const bool is_ctx_mov =
+      first.opcode == (bpf::kClassAlu64 | bpf::kAluMov | bpf::kSrcX) &&
+      first.dst == bpf::kR1 && first.src == bpf::kR1 && first.off == 0 &&
+      first.imm == 0;
+  if (!is_ctx_mov || prog.insns.size() < 2) {
+    return false;
+  }
+  if (JumpTargets(prog)[0] != 0) {
+    return false;
+  }
+  RemoveInsnPatched(prog, 0);
+  return true;
+}
+
+// A 64-bit ALU identity (`rX op= 0` for op in {add,sub,or,xor,lsh,rsh,arsh})
+// is exactly removable when rX is a known scalar constant — guaranteed when
+// the instruction is fall-through-only (not a jump target) and immediately
+// preceded by a const-write to the same register. Without the const-write
+// guard the strip would be unsound: `rPtr += 0` is pointer arithmetic the
+// verifier tracks, and or/xor/shift on a pointer is an outright rejection.
+bool StripConstAluIdentity(bpf::Program& prog) {
+  const std::vector<uint8_t> targeted = JumpTargets(prog);
+  for (size_t p = 1; p < prog.insns.size(); ++p) {
+    if (IsLdImm64Hi(prog, p) || targeted[p] != 0) {
+      continue;
+    }
+    const Insn& insn = prog.insns[p];
+    if (insn.Class() != bpf::kClassAlu64 || insn.SrcIsReg() || insn.imm != 0 ||
+        insn.off != 0) {
+      continue;
+    }
+    const uint8_t op = insn.AluOp();
+    const bool identity_op = op == bpf::kAluAdd || op == bpf::kAluSub ||
+                             op == bpf::kAluOr || op == bpf::kAluXor ||
+                             op == bpf::kAluLsh || op == bpf::kAluRsh ||
+                             op == bpf::kAluArsh;
+    if (!identity_op) {
+      continue;
+    }
+    // The immediately preceding instruction must leave insn.dst holding a
+    // known scalar constant: mov-imm of either width, or a plain (src == 0,
+    // i.e. non-pseudo) ld_imm64 whose high slot directly precedes |p|.
+    const Insn& prev = prog.insns[p - 1];
+    bool const_before = false;
+    if (!IsLdImm64Hi(prog, p - 1)) {
+      const_before = (IsMov64Imm(prev) || IsMov32Imm(prev)) && prev.dst == insn.dst;
+    } else if (p >= 2) {
+      const Insn& lo = prog.insns[p - 2];
+      const_before = lo.src == 0 && lo.dst == insn.dst;
+    }
+    if (!const_before) {
+      continue;
+    }
+    RemoveInsnPatched(prog, p);
+    return true;
+  }
+  return false;
+}
+
+// Inverts kDeadCodeInsert: a leading const-write (mov64-imm or plain
+// ld_imm64) to a register the rest of the program never reads is removable
+// when entry is the instruction's sole predecessor. The jump-target guard
+// matters beyond semantics: re-executing a const-write on a back edge pins
+// the register to one known value at the loop header, which perturbs the
+// verifier's state-equality bookkeeping; stripping it could flip an
+// infinite-loop verdict. Fall-through-only leading writes have no such
+// effect.
+bool StripLeadingDeadConstWrite(bpf::Program& prog) {
+  if (prog.insns.size() < 2) {
+    return false;
+  }
+  const Insn& first = prog.insns[0];
+  const bool mov_imm = IsMov64Imm(first) && first.off == 0;
+  const bool ld_imm64 = first.IsLdImm64() && first.src == 0;
+  if ((!mov_imm && !ld_imm64) || first.dst == bpf::kR1 || first.dst > bpf::kR9) {
+    return false;
+  }
+  const size_t width = ld_imm64 ? 2 : 1;
+  if (prog.insns.size() < width + 1) {
+    return false;
+  }
+  const std::vector<uint8_t> targeted = JumpTargets(prog);
+  for (size_t p = 0; p < width; ++p) {
+    if (targeted[p] != 0) {
+      return false;
+    }
+  }
+  const Cfg cfg = BuildCfg(prog);
+  const LivenessResult liveness = ComputeLiveness(prog, cfg);
+  if (liveness.live_out.empty() ||
+      (liveness.live_out[0] & RegBit(first.dst)) != 0) {
+    return false;
+  }
+  RemoveInsnPatched(prog, 0);
+  return true;
+}
+
+// Inverts kConstRemat: a plain ld_imm64 whose 64-bit value is the sign
+// extension of its low word materializes the same constant `mov64 rX, imm`
+// would, so (absent bug #13, which breaks that symmetry) the two spellings
+// are verdict-equivalent. The high slot must not be a jump target: a jump
+// into the middle of a ld_imm64 pair is its own verifier error, which the
+// fold would erase.
+bool FoldLdImm64(bpf::Program& prog) {
+  const std::vector<uint8_t> targeted = JumpTargets(prog);
+  for (size_t p = 0; p + 1 < prog.insns.size(); ++p) {
+    if (IsLdImm64Hi(prog, p)) {
+      continue;
+    }
+    const Insn& insn = prog.insns[p];
+    if (!insn.IsLdImm64() || insn.src != 0 || targeted[p + 1] != 0) {
+      continue;
+    }
+    const uint64_t value =
+        static_cast<uint32_t>(insn.imm) |
+        (static_cast<uint64_t>(static_cast<uint32_t>(prog.insns[p + 1].imm)) << 32);
+    if (static_cast<uint64_t>(static_cast<int64_t>(insn.imm)) != value) {
+      continue;
+    }
+    const uint8_t dst = insn.dst;
+    const int32_t imm = insn.imm;
+    prog.insns[p] = bpf::MovImm(dst, imm);
+    RemoveInsnPatched(prog, p + 1);
+    return true;
+  }
+  return false;
+}
+
+// Inverts kRegRename: renumber the callee-saved scratch registers r6-r9 in
+// first-appearance order (dst before src, program order, ld_imm64 high slots
+// skipped). The verifier is symmetric in r6-r9, so any uniform permutation —
+// this one included — is verdict-preserving; picking the first-appearance
+// one makes every member of a rename orbit land on the same spelling.
+bool CanonicalRegRename(bpf::Program& prog) {
+  std::array<uint8_t, 16> perm{};
+  std::array<bool, 16> assigned{};
+  for (uint8_t r = 0; r < perm.size(); ++r) {
+    perm[r] = r;
+  }
+  uint8_t next = bpf::kR6;
+  auto visit = [&](uint8_t reg) {
+    if (reg >= bpf::kR6 && reg <= bpf::kR9 && !assigned[reg]) {
+      assigned[reg] = true;
+      perm[reg] = next++;
+    }
+  };
+  for (size_t p = 0; p < prog.insns.size(); ++p) {
+    if (IsLdImm64Hi(prog, p)) {
+      continue;
+    }
+    visit(prog.insns[p].dst);
+    visit(prog.insns[p].src);
+  }
+  // Unreferenced scratch registers take the remaining slots in order.
+  for (uint8_t r = bpf::kR6; r <= bpf::kR9; ++r) {
+    if (!assigned[r]) {
+      perm[r] = next++;
+    }
+  }
+  if (perm[bpf::kR6] == bpf::kR6 && perm[bpf::kR7] == bpf::kR7 &&
+      perm[bpf::kR8] == bpf::kR8 && perm[bpf::kR9] == bpf::kR9) {
+    return false;
+  }
+  for (size_t p = 0; p < prog.insns.size(); ++p) {
+    if (IsLdImm64Hi(prog, p)) {
+      continue;
+    }
+    prog.insns[p].dst = perm[prog.insns[p].dst];
+    prog.insns[p].src = perm[prog.insns[p].src];
+  }
+  return true;
+}
+
+}  // namespace
+
+bpf::Program Canonicalize(const bpf::Program& prog, const CanonicalizeOptions& options) {
+  bpf::Program canon = prog;
+  if (bpf::CheckEncoding(canon, nullptr) != 0) {
+    return canon;  // ill-formed: canonicalizes to itself
+  }
+  // Strip passes to fixpoint (each removal can expose another site — e.g. a
+  // folded ld_imm64 becomes the const-write guarding an ALU identity), then
+  // one register renumbering. Every strip shrinks the program, so the loop
+  // terminates.
+  bool changed = true;
+  while (changed) {
+    changed = StripJaZero(canon);
+    changed = StripLeadingCtxMov(canon) || changed;
+    changed = StripConstAluIdentity(canon) || changed;
+    changed = StripLeadingDeadConstWrite(canon) || changed;
+    if (options.fold_ld_imm64) {
+      changed = FoldLdImm64(canon) || changed;
+    }
+  }
+  CanonicalRegRename(canon);
+  return canon;
+}
+
+}  // namespace bvf

@@ -1,0 +1,48 @@
+// Program canonicalization for the canonical verdict-cache level.
+//
+// Canonicalize() maps alpha-equivalent programs — programs related by the
+// verdict-preserving metamorphic transforms of DESIGN.md §11 (register
+// renaming, dead init-header writes, nop padding, jump relayout, ALU
+// identities, constant rematerialization) — to one shared representative, so
+// a PROG_LOAD verdict computed for any member of the equivalence class can be
+// served to every other member from the cache.
+//
+// Every rewrite below is deliberately narrower than the transform it inverts:
+// a strip fires only where the construction site guarantees the rewrite
+// cannot change the verifier's verdict (e.g. an ALU identity is removed only
+// when its operand is a known constant from an immediately preceding
+// const-write and no jump lands on the identity itself; a leading nop/dead
+// write is removed only when entry is its sole predecessor). Programs the
+// passes do not recognize simply canonicalize to themselves — missing a
+// rewrite costs a cache miss, never a wrong verdict.
+//
+// Ill-formed programs (failing bpf::CheckEncoding) are returned unchanged:
+// both a malformed program and its malformed variants then take the same
+// fresh-verification path, so the guard is consistent across an equivalence
+// class.
+
+#ifndef SRC_ANALYSIS_CANONICALIZE_H_
+#define SRC_ANALYSIS_CANONICALIZE_H_
+
+#include "src/ebpf/program.h"
+
+namespace bvf {
+
+// Options controlling which rewrites are sound under the armed bug set.
+struct CanonicalizeOptions {
+  // Folding `ld_imm64 rX, v` (with v == sext32(lo32)) into `mov64 rX, imm`
+  // is verdict-preserving only when the verifier treats both constant
+  // materializations identically. Table 2 bug #13 (ld_imm64 pessimization)
+  // breaks exactly that symmetry, so callers must clear this when
+  // bug13_ld_imm64_pessimize is armed.
+  bool fold_ld_imm64 = true;
+};
+
+// Returns the canonical representative of |prog|'s equivalence class.
+// Deterministic and idempotent: Canonicalize(Canonicalize(p)) ==
+// Canonicalize(p). The input is never mutated.
+bpf::Program Canonicalize(const bpf::Program& prog, const CanonicalizeOptions& options);
+
+}  // namespace bvf
+
+#endif  // SRC_ANALYSIS_CANONICALIZE_H_

@@ -133,6 +133,8 @@ int SaveCheckpoint(const std::string& path, const CampaignCheckpoint& checkpoint
   // stay digest-comparable).
   os << "vcache " << checkpoint.stats.verdict_cache_hits << " "
      << checkpoint.stats.verdict_cache_misses << "\n";
+  os << "ccache " << checkpoint.stats.canonical_cache_hits << " "
+     << checkpoint.stats.canonical_cache_misses << "\n";
   os << "dcache " << checkpoint.stats.decode_cache_hits << " "
      << checkpoint.stats.decode_cache_misses << " "
      << checkpoint.stats.decode_cache_evictions << "\n";
@@ -265,6 +267,12 @@ int LoadCheckpoint(const std::string& path, CampaignCheckpoint* out, std::string
   const std::vector<int64_t> vcache = reader.Fields("vcache", 2);
   cp.stats.verdict_cache_hits = static_cast<uint64_t>(vcache[0]);
   cp.stats.verdict_cache_misses = static_cast<uint64_t>(vcache[1]);
+  // Optional (checkpoints predating the canonical cache level lack it).
+  if (reader.PeekTag() == "ccache") {
+    const std::vector<int64_t> ccache = reader.Fields("ccache", 2);
+    cp.stats.canonical_cache_hits = static_cast<uint64_t>(ccache[0]);
+    cp.stats.canonical_cache_misses = static_cast<uint64_t>(ccache[1]);
+  }
   const std::vector<int64_t> dcache = reader.Fields("dcache", 3);
   cp.stats.decode_cache_hits = static_cast<uint64_t>(dcache[0]);
   cp.stats.decode_cache_misses = static_cast<uint64_t>(dcache[1]);

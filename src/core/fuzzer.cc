@@ -4,6 +4,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "src/analysis/canonicalize.h"
 #include "src/analysis/state_audit.h"
 #include "src/core/checkpoint.h"
 #include "src/core/metamorph/metamorph.h"
@@ -165,11 +166,22 @@ void CaseRunner::ConfigureSubstrate(Substrate& sub, Sanitizer* sanitizer, bool c
         });
   }
   sub.kernel.arena().set_alloc_budget(options_.arena_budget);
+  sub.kernel.arena().set_dirty_reset(options_.dirty_reset);
   sub.bpf.set_exec_limits(options_.limits);
   if (campaign && verdict_shard_ != nullptr) {
     // Confirmation substrates stay uncached: a confirmation run must exercise
     // the real verifier, and its stats are thrown away anyway.
     sub.bpf.set_verdict_cache(verdict_shard_, &sanitizer_);
+    if (options_.canonical_cache) {
+      // The ld_imm64 fold is the one canonicalization bug #13 breaks — its
+      // whole premise is that the verifier treats the two constant spellings
+      // differently — so it is disabled when that bug is armed.
+      bvf::CanonicalizeOptions canon_options;
+      canon_options.fold_ld_imm64 = !options_.bugs.bug13_ld_imm64_pessimize;
+      sub.bpf.set_canonicalizer([canon_options](const bpf::Program& prog) {
+        return Canonicalize(prog, canon_options);
+      });
+    }
   }
   if (campaign && decode_shard_ != nullptr) {
     sub.bpf.set_decode_cache(decode_shard_);
@@ -562,6 +574,8 @@ CampaignStats Fuzzer::Run() {
     RunCase(the_case, stats, i);
     stats.verdict_cache_hits += shard.TakeHits();
     stats.verdict_cache_misses += shard.TakeMisses();
+    stats.canonical_cache_hits += shard.TakeCanonicalHits();
+    stats.canonical_cache_misses += shard.TakeCanonicalMisses();
     stats.decode_cache_hits += dshard.TakeHits();
     stats.decode_cache_misses += dshard.TakeMisses();
     stats.decode_cache_evictions = base_decode_evictions + dcache.evictions();

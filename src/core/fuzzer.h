@@ -88,6 +88,17 @@ struct CampaignOptions {
   // Digest-keyed verifier-verdict cache (src/runtime/verdict_cache.h).
   // On/off is invisible in the StatsDigest; only the hit/miss counters move.
   bool verdict_cache = false;
+  // Canonical verdict-cache level (DESIGN.md §13): on a raw miss, the program
+  // is canonicalized (src/analysis/canonicalize.h) and a committed rejection
+  // for any alpha-equivalent spelling is served without re-verification.
+  // Requires |verdict_cache|; same digest discipline — only the
+  // canonical_cache_* counters move.
+  bool canonical_cache = false;
+  // Dirty-tracked arena reset (src/kernel/kasan.h): ResetCaseState rewrites
+  // only the pages the case touched instead of the whole arena. Byte-for-byte
+  // identical to the full rewind (BVF_PARANOID_RESET cross-checks), so it is
+  // digest-invisible; off exists as the bench_reset baseline.
+  bool dirty_reset = true;
   // Execution engine: decoded micro-op dispatch (default) or the legacy
   // instruction-at-a-time interpreter. Purely a throughput switch — both
   // engines are digest-identical (tests/interp_parity_test.cc) — so it is
@@ -176,9 +187,13 @@ struct CampaignStats {
   uint64_t fault_injected = 0;     // fault-point failures actually injected
 
   // Verdict-cache accounting (deterministic for any job count, but excluded
-  // from StatsDigest so cache on/off campaigns stay digest-comparable).
+  // from StatsDigest so cache on/off campaigns stay digest-comparable). The
+  // canonical counters partition the raw misses: every load that misses the
+  // raw level either hits or misses the canonical one (when enabled).
   uint64_t verdict_cache_hits = 0;
   uint64_t verdict_cache_misses = 0;
+  uint64_t canonical_cache_hits = 0;
+  uint64_t canonical_cache_misses = 0;
 
   // Decode-cache accounting (decoded engine only). Same digest discipline as
   // the verdict-cache counters: deterministic for any job count, excluded
@@ -242,6 +257,11 @@ struct CampaignStats {
     const uint64_t total = verdict_cache_hits + verdict_cache_misses;
     return total == 0 ? 0.0
                       : static_cast<double>(verdict_cache_hits) / static_cast<double>(total);
+  }
+  double CanonicalCacheHitRate() const {
+    const uint64_t total = canonical_cache_hits + canonical_cache_misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(canonical_cache_hits) / static_cast<double>(total);
   }
   double DecodeCacheHitRate() const {
     const uint64_t total = decode_cache_hits + decode_cache_misses;

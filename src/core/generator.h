@@ -9,6 +9,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/analysis/patch.h"
 #include "src/ebpf/program.h"
 #include "src/kernel/rng.h"
 #include "src/kernel/tracepoint.h"
@@ -46,11 +47,9 @@ class Generator {
   virtual std::unique_ptr<Generator> Clone() const { return nullptr; }
 };
 
-// Inserts |insn| at |pos| in the program, patching every branch and
-// pseudo-call offset that spans the insertion point (the kernel's
-// bpf_patch_insn_data shape). Used by the fuzzer's adjacent-instruction
-// duplication mutation (paper §4.1: "simulating unrolled loops").
-void InsertInsnPatched(bpf::Program& prog, size_t pos, const bpf::Insn& insn);
+// InsertInsnPatched — used by the fuzzer's adjacent-instruction duplication
+// mutation (paper §4.1: "simulating unrolled loops") — lives in
+// src/analysis/patch.h, included above.
 
 }  // namespace bvf
 

@@ -246,6 +246,8 @@ CampaignStats ParallelFuzzer::Run() {
       for (WorkerState& worker : workers) {
         stats.verdict_cache_hits += worker.shard->TakeHits();
         stats.verdict_cache_misses += worker.shard->TakeMisses();
+        stats.canonical_cache_hits += worker.shard->TakeCanonicalHits();
+        stats.canonical_cache_misses += worker.shard->TakeCanonicalMisses();
       }
     }
     if (options_.interp_decoded) {

@@ -95,43 +95,6 @@ std::set<std::string> ExecuteCase(const FuzzCase& the_case, const CampaignOption
   return signatures;
 }
 
-void RemoveInsnPatched(bpf::Program& prog, size_t pos) {
-  auto& insns = prog.insns;
-  size_t width = 1;
-  if (insns[pos].IsLdImm64()) {
-    width = 2;  // both slots go
-  }
-  insns.erase(insns.begin() + static_cast<long>(pos),
-              insns.begin() + static_cast<long>(pos + width));
-  // Positions map as f(x) = x > pos ? x - width : x (a jump *to* the removed
-  // instruction lands on its successor, which now sits at pos).
-  const int64_t p = static_cast<int64_t>(pos);
-  const int64_t w = static_cast<int64_t>(width);
-  auto shifted = [p, w](int64_t x) { return x > p ? x - w : x; };
-  for (size_t j = 0; j < insns.size(); ++j) {
-    bpf::Insn& cur = insns[j];
-    const bool is_branch =
-        cur.IsJmp() && cur.JmpOp() != bpf::kJmpCall && cur.JmpOp() != bpf::kJmpExit;
-    const bool is_pseudo_call = cur.IsBpfToBpfCall();
-    if (!is_branch && !is_pseudo_call) {
-      continue;
-    }
-    const int64_t i_pre = static_cast<int64_t>(j) >= p ? static_cast<int64_t>(j) + w
-                                                       : static_cast<int64_t>(j);
-    const int64_t delta = is_branch ? cur.off : cur.imm;
-    int64_t t_pre = i_pre + 1 + delta;
-    if (t_pre > p && t_pre < p + w) {
-      t_pre = p + w;  // targeted a ld_imm64 high slot: fall to the successor
-    }
-    const int64_t new_delta = shifted(t_pre) - (static_cast<int64_t>(j) + 1);
-    if (is_branch) {
-      cur.off = static_cast<int16_t>(new_delta);
-    } else {
-      cur.imm = static_cast<int32_t>(new_delta);
-    }
-  }
-}
-
 std::string AnalyzeCase(const FuzzCase& the_case, const CampaignOptions& options) {
   std::string out;
 

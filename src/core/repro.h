@@ -22,11 +22,8 @@ namespace bvf {
 std::set<std::string> ExecuteCase(const FuzzCase& the_case, const CampaignOptions& options,
                                   bool* accepted_out = nullptr);
 
-// Deletes the instruction at |pos| (both slots for ld_imm64), re-linking
-// every branch and pseudo-call offset that spans the deletion. The inverse
-// of InsertInsnPatched. Jumps targeting the removed instruction fall to its
-// successor.
-void RemoveInsnPatched(bpf::Program& prog, size_t pos);
+// RemoveInsnPatched — the minimizer's deletion primitive — lives in
+// src/analysis/patch.h (via generator.h above).
 
 struct MinimizeResult {
   FuzzCase reduced;

@@ -96,6 +96,22 @@ std::vector<int64_t> Reader::Fields(const std::string& tag, size_t count) {
   return out;
 }
 
+std::string Reader::PeekTag() {
+  if (!ok()) {
+    return "";
+  }
+  const std::istream::pos_type pos = is_.tellg();
+  std::string line;
+  if (!std::getline(is_, line)) {
+    is_.clear();
+    is_.seekg(pos);
+    return "";
+  }
+  is_.seekg(pos);
+  const size_t space = line.find(' ');
+  return space == std::string::npos ? line : line.substr(0, space);
+}
+
 uint64_t Reader::Count(const std::string& tag) {
   const std::vector<int64_t> fields = Fields(tag, 1);
   if (ok() && fields[0] < 0) {

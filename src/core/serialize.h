@@ -51,6 +51,11 @@ class Reader {
   // Parses space-separated integer fields from a tagged line.
   std::vector<int64_t> Fields(const std::string& tag, size_t count);
 
+  // Tag of the next line without consuming it ("" at EOF/after an error).
+  // Lets parsers accept files from before an optional line existed: peek,
+  // and only consume when the tag matches.
+  std::string PeekTag();
+
   // A one-field line holding a plausible element count.
   uint64_t Count(const std::string& tag);
 

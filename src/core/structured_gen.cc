@@ -1136,36 +1136,4 @@ void StructuredGenerator::Mutate(bpf::Rng& rng, FuzzCase& the_case) {
   }
 }
 
-void InsertInsnPatched(bpf::Program& prog, size_t pos, const Insn& insn) {
-  auto& insns = prog.insns;
-  insns.insert(insns.begin() + static_cast<long>(pos), insn);
-  // Positions map as f(x) = x >= pos ? x + 1 : x. For a pre-insertion jump
-  // at i_pre targeting t_pre = i_pre + 1 + delta, the new delta is
-  // f(t_pre) - (f(i_pre) + 1).
-  const int64_t p = static_cast<int64_t>(pos);
-  auto shifted = [p](int64_t x) { return x >= p ? x + 1 : x; };
-  for (size_t j = 0; j < insns.size(); ++j) {
-    if (j == pos) {
-      continue;  // the inserted instruction itself
-    }
-    Insn& cur = insns[j];
-    const bool is_branch =
-        cur.IsJmp() && cur.JmpOp() != bpf::kJmpCall && cur.JmpOp() != bpf::kJmpExit;
-    const bool is_pseudo_call = cur.IsBpfToBpfCall();
-    if (!is_branch && !is_pseudo_call) {
-      continue;
-    }
-    const int64_t i_pre = static_cast<int64_t>(j) > p ? static_cast<int64_t>(j) - 1
-                                                      : static_cast<int64_t>(j);
-    const int64_t delta = is_branch ? cur.off : cur.imm;
-    const int64_t t_pre = i_pre + 1 + delta;
-    const int64_t new_delta = shifted(t_pre) - (static_cast<int64_t>(j) + 1);
-    if (is_branch) {
-      cur.off = static_cast<int16_t>(new_delta);
-    } else {
-      cur.imm = static_cast<int32_t>(new_delta);
-    }
-  }
-}
-
 }  // namespace bvf

@@ -72,6 +72,7 @@ struct WorkerProc {
   EpochShardResult out;
   std::vector<std::string> result_keys;
   uint64_t vcache_hits = 0, vcache_misses = 0;
+  uint64_t ccache_hits = 0, ccache_misses = 0;
   uint64_t dcache_hits = 0, dcache_misses = 0, dcache_evictions = 0;
   // Failure forensics.
   int consecutive_failures = 0;
@@ -133,6 +134,9 @@ bool ParseResultPayload(const std::string& payload, WorkerProc* w) {
   const std::vector<int64_t> vc = reader.Fields("vcache", 2);
   w->vcache_hits = static_cast<uint64_t>(vc[0]);
   w->vcache_misses = static_cast<uint64_t>(vc[1]);
+  const std::vector<int64_t> cc = reader.Fields("ccache", 2);
+  w->ccache_hits = static_cast<uint64_t>(cc[0]);
+  w->ccache_misses = static_cast<uint64_t>(cc[1]);
   const std::vector<int64_t> dc = reader.Fields("dcache", 3);
   w->dcache_hits = static_cast<uint64_t>(dc[0]);
   w->dcache_misses = static_cast<uint64_t>(dc[1]);
@@ -739,10 +743,13 @@ CampaignStats SupervisedFuzzer::Run() {
     for (WorkerProc& w : workers) {
       stats.verdict_cache_hits += w.vcache_hits;
       stats.verdict_cache_misses += w.vcache_misses;
+      stats.canonical_cache_hits += w.ccache_hits;
+      stats.canonical_cache_misses += w.ccache_misses;
       stats.decode_cache_hits += w.dcache_hits;
       stats.decode_cache_misses += w.dcache_misses;
       stats.decode_cache_evictions += w.dcache_evictions;
       w.vcache_hits = w.vcache_misses = 0;
+      w.ccache_hits = w.ccache_misses = 0;
       w.dcache_hits = w.dcache_misses = w.dcache_evictions = 0;
     }
     const size_t findings_before = stats.findings.size();

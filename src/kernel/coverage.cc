@@ -25,29 +25,6 @@ void CoverageSink::ClearEpoch() {
   epoch_sites_.clear();
 }
 
-void CoverageSink::Record(int site, const Coverage& cov) {
-  if (muted_) {
-    return;
-  }
-  ++trace_len_;
-  if (!case_hit_[site]) {
-    case_hit_[site] = 1;
-    case_marks_.push_back(site);
-    if (!cov.Committed(site)) {
-      ++new_since_case_;
-    }
-  }
-  if (!epoch_hit_[site]) {
-    epoch_hit_[site] = 1;
-    epoch_sites_.push_back(site);
-  }
-}
-
-Coverage& Coverage::Get() {
-  static Coverage instance;
-  return instance;
-}
-
 Coverage::Coverage() : hit_(new std::atomic<uint8_t>[kMaxSites]()) {}
 
 std::string Coverage::SiteKey(const Site& site) {

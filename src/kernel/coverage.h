@@ -69,7 +69,7 @@ class CoverageSink {
 
  private:
   friend class Coverage;
-  void Record(int site, const Coverage& cov);
+  inline void Record(int site, const Coverage& cov);  // body below Coverage
 
   std::vector<uint8_t> case_hit_;   // sites hit by the current case
   std::vector<int> case_marks_;     // for O(case) reset
@@ -87,7 +87,12 @@ class Coverage {
   // Hit() be a lock-free array index even while other threads register.
   static constexpr size_t kMaxSites = 1 << 16;
 
-  static Coverage& Get();
+  // Inline Meyers singleton: Hit()/Record() run once per instrumented branch
+  // per verified instruction, so the accessor must not cost a function call.
+  static Coverage& Get() {
+    static Coverage instance;
+    return instance;
+  }
 
   // Registers a static code site; returns its id. Idempotent per call site via
   // the static-local in BVF_COV(). Thread-safe (mutex-guarded); the C++ magic
@@ -107,14 +112,22 @@ class Coverage {
       sink->Record(site, *this);
       return;
     }
-    // Global mode. exchange() keeps the distinct-hit accounting exact even if
-    // legacy-mode code races on one site (each site increments hit_count_
-    // exactly once).
-    if (hit_[site].exchange(1, std::memory_order_relaxed) == 0) {
+    // Global mode. Nearly every call re-hits an already-hit site, so check
+    // with a plain load before the locked RMW; the exchange() then keeps the
+    // distinct-hit accounting exact even if legacy-mode code races on one
+    // site (each site increments hit_count_ exactly once).
+    std::atomic<uint8_t>& slot = hit_[site];
+    if (slot.load(std::memory_order_relaxed) == 0 &&
+        slot.exchange(1, std::memory_order_relaxed) == 0) {
       hit_count_.fetch_add(1, std::memory_order_relaxed);
       new_since_mark_.fetch_add(1, std::memory_order_relaxed);
     }
-    run_trace_len_.fetch_add(1, std::memory_order_relaxed);
+    // Load+store, not fetch_add: global-mode hits come from one thread at a
+    // time (workers run buffered through sinks), and the trace length is a
+    // diagnostic counter no campaign result reads — not worth a locked add
+    // per instrumented branch.
+    run_trace_len_.store(run_trace_len_.load(std::memory_order_relaxed) + 1,
+                         std::memory_order_relaxed);
   }
 
   // True when |site| is in the committed global hit set. Frozen between
@@ -190,6 +203,24 @@ class Coverage {
 // the scope's lifetime: mutes the installed sink if one exists (worker
 // thread), otherwise disables the global registry (legacy single-threaded
 // confirmation path).
+inline void CoverageSink::Record(int site, const Coverage& cov) {
+  if (muted_) {
+    return;
+  }
+  ++trace_len_;
+  if (!case_hit_[site]) {
+    case_hit_[site] = 1;
+    case_marks_.push_back(site);
+    if (!cov.Committed(site)) {
+      ++new_since_case_;
+    }
+  }
+  if (!epoch_hit_[site]) {
+    epoch_hit_[site] = 1;
+    epoch_sites_.push_back(site);
+  }
+}
+
 class ScopedCoverageSuppress {
  public:
   ScopedCoverageSuppress();

@@ -1,5 +1,8 @@
 #include "src/kernel/kasan.h"
 
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 namespace bpf {
@@ -12,10 +15,18 @@ std::string HexAddr(uint64_t addr) {
   return buf;
 }
 
+bool ParanoidResetFromEnv() {
+  const char* env = std::getenv("BVF_PARANOID_RESET");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
 }  // namespace
 
 KasanArena::KasanArena(size_t size)
-    : mem_(size, 0), shadow_(size, static_cast<uint8_t>(Shadow::kUnallocated)) {}
+    : mem_(size, 0),
+      shadow_(size, static_cast<uint8_t>(Shadow::kUnallocated)),
+      page_dirty_((size + kPageSize - 1) / kPageSize, 0),
+      paranoid_reset_(ParanoidResetFromEnv()) {}
 
 uint64_t KasanArena::Alloc(size_t size, const std::string& tag) {
   if (size == 0) {
@@ -31,6 +42,7 @@ uint64_t KasanArena::Alloc(size_t size, const std::string& tag) {
     return 0;
   }
   const size_t start = bump_ + kRedzoneSize;
+  MarkDirty(bump_, total);
   // Left redzone.
   std::fill(shadow_.begin() + bump_, shadow_.begin() + start,
             static_cast<uint8_t>(Shadow::kRedzone));
@@ -54,6 +66,7 @@ void KasanArena::Free(uint64_t addr) {
     return;
   }
   const size_t start = Offset(addr);
+  MarkDirty(start, it->second.size);
   std::fill(shadow_.begin() + start, shadow_.begin() + start + it->second.size,
             static_cast<uint8_t>(Shadow::kFreed));
   bytes_in_use_ -= it->second.size;
@@ -73,12 +86,31 @@ void KasanArena::TakeBootSnapshot() {
   boot_shadow_.assign(shadow_.begin(), shadow_.begin() + static_cast<long>(bump_));
   boot_allocations_ = allocations_;
   has_boot_snapshot_ = true;
+  // The snapshot itself is now the restore target: pages written during boot
+  // need no restore, and pages marked before this point must not be replayed.
+  std::fill(page_dirty_.begin(), page_dirty_.end(), 0);
+  dirty_pages_.clear();
 }
 
-void KasanArena::ResetToBootSnapshot() {
-  if (!has_boot_snapshot_) {
-    return;
+void KasanArena::RestorePage(size_t page) {
+  const size_t begin = page * kPageSize;
+  const size_t end = std::min(begin + kPageSize, mem_.size());
+  // Below boot_bump_ the pristine bytes come from the boot image; above it
+  // they are the unallocated fill. A page straddling boot_bump_ gets both.
+  const size_t snap_end = std::min(end, boot_bump_);
+  if (begin < snap_end) {
+    std::memcpy(mem_.data() + begin, boot_mem_.data() + begin, snap_end - begin);
+    std::memcpy(shadow_.data() + begin, boot_shadow_.data() + begin, snap_end - begin);
   }
+  const size_t fill_begin = std::max(begin, boot_bump_);
+  if (fill_begin < end) {
+    std::memset(mem_.data() + fill_begin, 0, end - fill_begin);
+    std::memset(shadow_.data() + fill_begin, static_cast<int>(Shadow::kUnallocated),
+                end - fill_begin);
+  }
+}
+
+void KasanArena::FullRewind() {
   // Restore the boot image (undoing any silent corruption of boot objects)
   // and scrub everything above it back to pristine unallocated zeros, so a
   // reused substrate is byte-identical to a freshly booted one.
@@ -87,10 +119,56 @@ void KasanArena::ResetToBootSnapshot() {
   std::copy(boot_shadow_.begin(), boot_shadow_.end(), shadow_.begin());
   std::fill(shadow_.begin() + static_cast<long>(boot_bump_), shadow_.end(),
             static_cast<uint8_t>(Shadow::kUnallocated));
+}
+
+void KasanArena::VerifyPristine() const {
+  const auto die = [](const char* what, size_t offset) {
+    std::fprintf(stderr,
+                 "BVF_PARANOID_RESET: dirty-tracked reset diverged from full "
+                 "rewind (%s at arena offset %zu)\n",
+                 what, offset);
+    std::abort();
+  };
+  for (size_t i = 0; i < boot_bump_; ++i) {
+    if (mem_[i] != boot_mem_[i]) {
+      die("boot memory byte", i);
+    }
+    if (shadow_[i] != boot_shadow_[i]) {
+      die("boot shadow byte", i);
+    }
+  }
+  for (size_t i = boot_bump_; i < mem_.size(); ++i) {
+    if (mem_[i] != 0) {
+      die("post-boot memory byte", i);
+    }
+    if (shadow_[i] != static_cast<uint8_t>(Shadow::kUnallocated)) {
+      die("post-boot shadow byte", i);
+    }
+  }
+}
+
+void KasanArena::ResetToBootSnapshot() {
+  if (!has_boot_snapshot_) {
+    return;
+  }
+  if (dirty_reset_) {
+    for (const uint32_t page : dirty_pages_) {
+      RestorePage(page);
+      page_dirty_[page] = 0;
+    }
+    dirty_pages_.clear();
+  } else {
+    FullRewind();
+    std::fill(page_dirty_.begin(), page_dirty_.end(), 0);
+    dirty_pages_.clear();
+  }
   allocations_ = boot_allocations_;
   quarantine_.clear();
   bump_ = boot_bump_;
   bytes_in_use_ = boot_bytes_in_use_;
+  if (paranoid_reset_) {
+    VerifyPristine();
+  }
 }
 
 AccessResult KasanArena::Classify(uint64_t addr, size_t size) const {
@@ -179,6 +257,7 @@ bool KasanArena::CheckedWrite(uint64_t addr, size_t size, uint64_t value, Report
       return false;
     }
   }
+  MarkDirty(Offset(addr), size);
   std::memcpy(mem_.data() + Offset(addr), &value, size);
   return result == AccessResult::kOk;
 }
@@ -206,6 +285,7 @@ bool KasanArena::RawWrite(uint64_t addr, size_t size, uint64_t value, ReportSink
                     /*write=*/true, sink, ctx, /*from_bpf_asan=*/false);
     return false;
   }
+  MarkDirty(Offset(addr), size);
   std::memcpy(mem_.data() + Offset(addr), &value, size);
   return true;
 }
@@ -214,6 +294,9 @@ uint8_t* KasanArena::HostPtr(uint64_t addr, size_t size) {
   if (!InArena(addr, size)) {
     return nullptr;
   }
+  // The caller gets a mutable pointer, so assume the whole range will be
+  // written; read-only bulk access goes through CopyOut, which does not dirty.
+  MarkDirty(Offset(addr), size);
   return mem_.data() + Offset(addr);
 }
 
@@ -227,11 +310,10 @@ bool KasanArena::CopyIn(uint64_t addr, const void* src, size_t size) {
 }
 
 bool KasanArena::CopyOut(uint64_t addr, void* dst, size_t size) {
-  const uint8_t* src = HostPtr(addr, size);
-  if (src == nullptr) {
+  if (!InArena(addr, size)) {
     return false;
   }
-  std::memcpy(dst, src, size);
+  std::memcpy(dst, mem_.data() + Offset(addr), size);
   return true;
 }
 

@@ -69,8 +69,24 @@ class KasanArena {
   // metadata); ResetToBootSnapshot() restores exactly that state — post-boot
   // allocations vanish, silent corruption of boot objects is undone, and the
   // KASAN quarantine is purged so no freed-object state leaks across cases.
+  //
+  // The restore is dirty-tracked: every write path marks the 4KiB pages it
+  // touches, and the reset rewrites only those pages (memory and shadow both),
+  // so its cost scales with what the case actually used instead of the arena
+  // size. set_dirty_reset(false) forces the original full-arena rewind
+  // (benchmark baseline); paranoid mode (BVF_PARANOID_RESET=1 or
+  // set_paranoid_reset) cross-checks the dirty restore byte-for-byte against
+  // the pristine boot image after every reset and aborts on any divergence.
   void TakeBootSnapshot();
   void ResetToBootSnapshot();
+  void set_dirty_reset(bool enabled) { dirty_reset_ = enabled; }
+  bool dirty_reset() const { return dirty_reset_; }
+  void set_paranoid_reset(bool enabled) { paranoid_reset_ = enabled; }
+  bool paranoid_reset() const { return paranoid_reset_; }
+  // Pages currently marked dirty (test/bench introspection).
+  size_t dirty_page_count() const { return dirty_pages_.size(); }
+
+  static constexpr size_t kPageSize = 4096;
 
   size_t quarantine_size() const { return quarantine_.size(); }
 
@@ -128,6 +144,7 @@ class KasanArena {
     if ((shadow_word & mask) != 0) {
       return false;
     }
+    MarkDirty(start, 8);
     // Branchless sub-word store: blend into the containing word. The bytes
     // above the access are rewritten with their current values, which is
     // invisible (single-threaded kernel model).
@@ -189,6 +206,33 @@ class KasanArena {
   }
   size_t Offset(uint64_t addr) const { return static_cast<size_t>(addr - kArenaBase); }
 
+  // Marks the pages overlapping [offset, offset+size) as touched by the
+  // current case. Over-marking is sound (a clean page is restored to itself);
+  // under-marking is not, so every path that mutates mem_ or shadow_ — or
+  // hands out a mutable pointer into mem_ — must call this first.
+  void MarkDirty(size_t offset, size_t size) {
+    if (size == 0) {
+      return;
+    }
+    const size_t last = (offset + size - 1) / kPageSize;
+    for (size_t page = offset / kPageSize; page <= last; ++page) {
+      if (page_dirty_[page] == 0) {
+        page_dirty_[page] = 1;
+        dirty_pages_.push_back(static_cast<uint32_t>(page));
+      }
+    }
+  }
+
+  // Rewrites one page of mem_ and shadow_ back to the pristine post-boot
+  // image (boot snapshot below boot_bump_, unallocated fill above it).
+  void RestorePage(size_t page);
+  // Full-arena rewind (the pre-dirty-tracking reset), also used as the
+  // paranoid-mode reference.
+  void FullRewind();
+  // Paranoid cross-check: abort unless mem_/shadow_ are byte-for-byte
+  // identical to what FullRewind() would produce.
+  void VerifyPristine() const;
+
   void ReportViolation(AccessResult result, uint64_t addr, size_t size, bool write,
                        ReportSink& sink, const std::string& ctx, bool from_bpf_asan);
 
@@ -198,6 +242,10 @@ class KasanArena {
   std::vector<uint8_t> shadow_;
   std::unordered_map<uint64_t, Allocation> allocations_;  // start addr -> meta
   std::vector<Quarantined> quarantine_;                   // bounded FIFO
+  std::vector<uint8_t> page_dirty_;    // 1 byte per kPageSize page
+  std::vector<uint32_t> dirty_pages_;  // indices of set page_dirty_ entries
+  bool dirty_reset_ = true;
+  bool paranoid_reset_ = false;
   size_t bump_ = 0;
   size_t bytes_in_use_ = 0;
   size_t alloc_budget_ = 0;  // 0 = unlimited

@@ -36,6 +36,9 @@ void Lockdep::Acquire(int class_id, LockContext ctx) {
   // Usage-state bookkeeping. Note that merely taking a class in both normal
   // and tracepoint context is fine (handlers that cannot interrupt a holder
   // are safe); only re-acquiring a *held* class — detected above — is a bug.
+  if (!cls.used_in_normal && !cls.used_in_tracepoint) {
+    usage_touched_.push_back(class_id);
+  }
   if (ctx == LockContext::kTracepoint) {
     cls.used_in_tracepoint = true;
   } else {

@@ -52,14 +52,20 @@ class Lockdep {
   // Full case-boundary reset: drops held locks AND the per-class usage bits,
   // so a reused kernel substrate cannot carry lock-usage history (and the
   // inconsistent-use detector's inputs) from one fuzz case into the next.
-  // Registered classes persist — they are code, not state.
+  // Registered classes persist — they are code, not state. Dirty-tracked:
+  // Acquire records which classes it set usage bits on, so the reset walks
+  // only the classes the case touched rather than the whole registry.
   void ResetCaseState() {
     held_.clear();
-    for (LockClass& cls : classes_) {
-      cls.used_in_normal = false;
-      cls.used_in_tracepoint = false;
+    for (const int class_id : usage_touched_) {
+      classes_[class_id].used_in_normal = false;
+      classes_[class_id].used_in_tracepoint = false;
     }
+    usage_touched_.clear();
   }
+
+  // Classes whose usage bits are currently set (test/bench introspection).
+  size_t usage_touched_count() const { return usage_touched_.size(); }
 
   const std::string& ClassName(int class_id) const { return classes_[class_id].name; }
 
@@ -83,6 +89,7 @@ class Lockdep {
   ReportSink& sink_;
   std::vector<LockClass> classes_;
   std::vector<HeldLock> held_;
+  std::vector<int> usage_touched_;  // class ids with a usage bit set
 };
 
 }  // namespace bpf

@@ -58,6 +58,18 @@ class Bpf {
     cache_sanitizer_ = sanitizer;
   }
 
+  // Enables the canonical verdict-cache level: on a raw-key miss, ProgLoad
+  // runs |canonicalize| over the program, keys the result, and serves a
+  // committed canonical REJECTION without re-verifying (acceptances always
+  // verify fresh — their results carry spelling-specific rewritten programs).
+  // The hook lives above this layer (src/analysis/canonicalize.h) because the
+  // canonicalizer builds on the analysis library, which links against the
+  // runtime; injecting it keeps the layering acyclic. No-op without a
+  // verdict-cache shard; nullptr disables the level.
+  void set_canonicalizer(std::function<Program(const Program&)> canonicalize) {
+    canonicalize_ = std::move(canonicalize);
+  }
+
   // Selects the execution engine for programs loaded through this facade:
   // when on (the default), ProgLoad lowers the verified, rewritten program
   // into micro-ops once and every run dispatches through the decoded engine;
@@ -127,6 +139,7 @@ class Bpf {
   ExecLimits exec_limits_;
   VerdictCacheShard* verdict_cache_ = nullptr;
   bvf::Sanitizer* cache_sanitizer_ = nullptr;
+  std::function<Program(const Program&)> canonicalize_;
   DecodeCacheShard* decode_cache_ = nullptr;
   bool decoded_exec_ = true;
   std::function<void(Program&, std::vector<InsnAux>&)> instrument_;

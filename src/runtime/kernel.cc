@@ -53,6 +53,7 @@ Kernel::Kernel(KernelVersion version, BugConfig bugs, size_t arena_size)
   // Everything allocated so far is boot state; snapshot it so the substrate
   // can be rewound between fuzz cases (ResetCaseState).
   arena_.TakeBootSnapshot();
+  boot_scalars_ = scalars_;
 }
 
 void Kernel::ResetCaseState() {
@@ -62,9 +63,7 @@ void Kernel::ResetCaseState() {
   tracepoints_.DetachAll();
   maps_.Clear();
   arena_.ResetToBootSnapshot();
-  ktime_ = 1'000'000'000;
-  prandom_ = 0x12345678;
-  task_refs_ = 0;
+  scalars_ = boot_scalars_;
 }
 
 uint64_t Kernel::BtfObjAddr(int btf_struct_id) const {
@@ -96,11 +95,11 @@ const InternalFn* Kernel::FindInternalFunc(int32_t id) const {
 }
 
 void Kernel::TaskRefDec() {
-  --task_refs_;
-  if (task_refs_ < 0) {
+  --scalars_.task_refs;
+  if (scalars_.task_refs < 0) {
     reports_.Report(ReportKind::kWarn, "bpf_task_release",
                     "refcount underflow on task_struct");
-    task_refs_ = 0;
+    scalars_.task_refs = 0;
   }
 }
 

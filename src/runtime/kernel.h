@@ -92,16 +92,30 @@ class Kernel {
   bool asan_funcs_native() const { return asan_funcs_native_; }
   void set_asan_funcs_native(bool native) { asan_funcs_native_ = native; }
 
+  // Per-case scalar substrate state, restored from one boot snapshot by
+  // ResetCaseState(). Any new per-case scalar belongs HERE, not as a loose
+  // Kernel member: the struct-wide assignment in ResetCaseState() then resets
+  // it automatically, so a field can't be silently forgotten the way the old
+  // hand-written per-field resets could forget one.
+  struct CaseScalars {
+    // Deterministic "entropy" sources for helpers.
+    uint64_t ktime = 1'000'000'000;
+    uint32_t prandom = 0x12345678;
+    // Acquired-task refcount (kfunc task_acquire/release bookkeeping).
+    int task_refs = 0;
+  };
+
   // Deterministic "entropy" sources for helpers.
-  uint64_t NextKtime() { return ktime_ += 1000; }
+  uint64_t NextKtime() { return scalars_.ktime += 1000; }
   uint32_t NextPrandom() {
-    prandom_ = prandom_ * 1664525u + 1013904223u;
-    return prandom_;
+    scalars_.prandom = scalars_.prandom * 1664525u + 1013904223u;
+    return scalars_.prandom;
   }
 
   // Acquired-task refcount (kfunc task_acquire/release bookkeeping).
-  void TaskRefInc() { ++task_refs_; }
+  void TaskRefInc() { ++scalars_.task_refs; }
   void TaskRefDec();
+  int task_refs() const { return scalars_.task_refs; }
 
  private:
   KernelVersion version_;
@@ -126,9 +140,10 @@ class Kernel {
   std::map<int32_t, InternalFn> internal_funcs_;
   bool asan_funcs_native_ = false;
   FaultInjector* fault_injector_ = nullptr;
-  uint64_t ktime_ = 1'000'000'000;
-  uint32_t prandom_ = 0x12345678;
-  int task_refs_ = 0;
+  CaseScalars scalars_;
+  // Boot-time copy captured at construction; ResetCaseState() restores from
+  // it with one struct assignment (mirrors arena_.TakeBootSnapshot()).
+  CaseScalars boot_scalars_;
 };
 
 // Resets every piece of process-global simulated-machine state a freshly

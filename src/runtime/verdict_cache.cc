@@ -34,7 +34,7 @@ struct Digest2 {
 VerdictKey MakeVerdictKey(const Program& prog, Kernel& kernel, bool instrumented,
                           bool collect_claims) {
   Digest2 d;
-  d.Byte(1);  // key-format version
+  d.Byte(2);  // key-format version (2: bug13 joined the packed bug bits)
   d.U32(static_cast<uint32_t>(kernel.version()));
   const BugConfig& bugs = kernel.bugs();
   const bool bug_bits[] = {
@@ -44,7 +44,7 @@ VerdictKey MakeVerdictKey(const Program& prog, Kernel& kernel, bool instrumented
       bugs.bug7_dispatcher_sync,      bugs.bug8_kmemdup,
       bugs.bug9_bucket_iteration,     bugs.bug10_irq_work,
       bugs.bug11_xdp_offload,         bugs.bug12_jmp32_signed_refine,
-      bugs.cve_2022_23222,
+      bugs.cve_2022_23222,            bugs.bug13_ld_imm64_pessimize,
   };
   uint32_t packed = 0;
   for (size_t i = 0; i < sizeof(bug_bits) / sizeof(bug_bits[0]); ++i) {
@@ -80,24 +80,34 @@ VerdictKey MakeVerdictKey(const Program& prog, Kernel& kernel, bool instrumented
 void VerdictCache::CommitShards(const std::vector<VerdictCacheShard*>& shards) {
   // Gather (iteration-ordered) so the max_entries cutoff — and therefore the
   // committed set every later epoch looks up against — is independent of how
-  // iterations were sharded across workers.
-  std::vector<VerdictCacheShard::Pending*> merged;
+  // iterations were sharded across workers. Both levels follow the same
+  // discipline.
+  const auto merge = [this](Store& store, std::vector<VerdictCacheShard::Pending*>& merged) {
+    std::sort(merged.begin(), merged.end(),
+              [](const VerdictCacheShard::Pending* a, const VerdictCacheShard::Pending* b) {
+                return a->iteration < b->iteration;
+              });
+    for (VerdictCacheShard::Pending* pending : merged) {
+      if (store.find(pending->key) == store.end()) {
+        CommitOne(store, pending->key, std::move(pending->verdict));
+      }
+    }
+  };
+  std::vector<VerdictCacheShard::Pending*> raw;
+  std::vector<VerdictCacheShard::Pending*> canon;
   for (VerdictCacheShard* shard : shards) {
     for (auto& pending : shard->pending_) {
-      merged.push_back(&pending);
+      raw.push_back(&pending);
+    }
+    for (auto& pending : shard->pending_canon_) {
+      canon.push_back(&pending);
     }
   }
-  std::sort(merged.begin(), merged.end(),
-            [](const VerdictCacheShard::Pending* a, const VerdictCacheShard::Pending* b) {
-              return a->iteration < b->iteration;
-            });
-  for (VerdictCacheShard::Pending* pending : merged) {
-    if (committed_.find(pending->key) == committed_.end()) {
-      CommitOne(pending->key, std::move(pending->verdict));
-    }
-  }
+  merge(committed_, raw);
+  merge(canon_committed_, canon);
   for (VerdictCacheShard* shard : shards) {
     shard->pending_.clear();
+    shard->pending_canon_.clear();
   }
 }
 

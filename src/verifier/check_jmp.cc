@@ -356,9 +356,9 @@ void Checker::MarkPtrOrNull(VerifierState& state, uint32_t id, bool is_null) {
     for (int i = 0; i < kNumProgRegs; ++i) {
       mark(frame.regs[i]);
     }
-    for (int i = 0; i < kStackSlots; ++i) {
-      if (frame.stack[i].type == SlotType::kSpill) {
-        mark(frame.stack[i].spilled_reg);
+    for (SpillSlot& entry : frame.spills) {
+      if (frame.slot_type(entry.slot) == SlotType::kSpill) {
+        mark(entry.reg);
       }
     }
   }
@@ -377,9 +377,9 @@ void Checker::FindGoodPktPointers(VerifierState& state, uint32_t pkt_id, uint16_
     for (int i = 0; i < kNumProgRegs; ++i) {
       improve(frame.regs[i]);
     }
-    for (int i = 0; i < kStackSlots; ++i) {
-      if (frame.stack[i].type == SlotType::kSpill) {
-        improve(frame.stack[i].spilled_reg);
+    for (SpillSlot& entry : frame.spills) {
+      if (frame.slot_type(entry.slot) == SlotType::kSpill) {
+        improve(entry.reg);
       }
     }
   }
@@ -415,7 +415,7 @@ int Checker::CheckCondJmp(VerifierState& state, const Insn& insn, int idx, int* 
   const bool src_is_zero = src_val.type == RegType::kScalar && src_val.var_off.EqualsConst(0);
   if (IsOrNullType(dst_val.type) && src_is_zero && (op == kJmpJeq || op == kJmpJne) && !is32) {
     BVF_COV();
-    VerifierState taken = state;
+    VerifierState taken = CloneState(state);
     MarkPtrOrNull(taken, dst_val.id, /*is_null=*/op == kJmpJeq);
     MarkPtrOrNull(state, dst_val.id, /*is_null=*/op != kJmpJeq);
     PushBranch(taken_idx, std::move(taken), taken_idx <= idx);
@@ -433,7 +433,7 @@ int Checker::CheckCondJmp(VerifierState& state, const Insn& insn, int idx, int* 
     const uint16_t range =
         pkt.off > 0 && pkt.off <= 0xffff ? static_cast<uint16_t>(pkt.off) : 0;
 
-    VerifierState taken = state;
+    VerifierState taken = CloneState(state);
     // In which branch does `data + off <= data_end` hold?
     bool good_in_taken = false;
     bool good_in_fall = false;
@@ -473,7 +473,7 @@ int Checker::CheckCondJmp(VerifierState& state, const Insn& insn, int idx, int* 
   if (features_.nullness_propagation && !is32 && insn.SrcIsReg() && dst_is_ptr && src_is_ptr &&
       (op == kJmpJeq || op == kJmpJne)) {
     BVF_COV();
-    VerifierState taken = state;
+    VerifierState taken = CloneState(state);
     VerifierState* eq_state = op == kJmpJeq ? &taken : &state;
 
     auto propagate = [&](const RegState& nullable, const RegState& other) {
@@ -506,7 +506,7 @@ int Checker::CheckCondJmp(VerifierState& state, const Insn& insn, int idx, int* 
   // loads; we follow the privileged behaviour).
   if (dst_is_ptr || src_is_ptr) {
     BVF_COV();
-    VerifierState taken = state;
+    VerifierState taken = CloneState(state);
     PushBranch(taken_idx, std::move(taken), taken_idx <= idx);
     *next = fall_idx;
     return 0;
@@ -533,7 +533,7 @@ int Checker::CheckCondJmp(VerifierState& state, const Insn& insn, int idx, int* 
   // 32-bit refinement only exists from v6.1 on (the jmp32_bounds feature);
   // earlier kernels explore JMP32 branches without tightening.
   BVF_COV();
-  VerifierState taken_state = state;
+  VerifierState taken_state = CloneState(state);
   if (is32 && !features_.jmp32_bounds) {
     BVF_COV();
     PushBranch(taken_idx, std::move(taken_state), taken_idx <= idx);

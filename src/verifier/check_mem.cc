@@ -172,14 +172,13 @@ int Checker::CheckStackAccess(VerifierState& state, const Insn& insn, int idx,
       // and the operand, never a spilled copy of the register.
       BVF_COV();
       for (int slot = first_slot; slot <= last_slot; ++slot) {
-        if (frame.stack[slot].type == SlotType::kInvalid) {
+        if (frame.slot_type(slot) == SlotType::kInvalid) {
           BVF_COV();
           Log("insn %d: atomic op on uninitialized stack off=%lld", idx,
               static_cast<long long>(total_off));
           return -EACCES;
         }
-        frame.stack[slot].type = SlotType::kMisc;
-        frame.stack[slot].spilled_reg = RegState();
+        frame.SetSlot(slot, SlotType::kMisc);
       }
       return 0;
     }
@@ -190,48 +189,45 @@ int Checker::CheckStackAccess(VerifierState& state, const Insn& insn, int idx,
         return -EACCES;
       }
       BVF_COV();
-      frame.stack[first_slot].type = SlotType::kSpill;
-      frame.stack[first_slot].spilled_reg = Reg(state, value_regno);
+      frame.SetSpill(first_slot, Reg(state, value_regno));
       return 0;
     }
     if (aligned_full && value_regno >= 0) {
       // Scalar spill: preserves bounds across fill.
       BVF_COV();
-      frame.stack[first_slot].type = SlotType::kSpill;
-      frame.stack[first_slot].spilled_reg = Reg(state, value_regno);
+      frame.SetSpill(first_slot, Reg(state, value_regno));
       return 0;
     }
     const bool zero_imm_full = value_regno < 0 && insn.imm == 0 && aligned_full;
     for (int slot = first_slot; slot <= last_slot; ++slot) {
       BVF_COV();
-      frame.stack[slot].type = zero_imm_full ? SlotType::kZero : SlotType::kMisc;
-      frame.stack[slot].spilled_reg = RegState();
+      frame.SetSlot(slot, zero_imm_full ? SlotType::kZero : SlotType::kMisc);
     }
     return 0;
   }
 
   // Load.
   const bool aligned_full = size == 8 && (total_off % 8) == 0;
-  if (aligned_full && frame.stack[first_slot].type == SlotType::kSpill) {
+  if (aligned_full && frame.slot_type(first_slot) == SlotType::kSpill) {
     BVF_COV();
-    Reg(state, value_regno) = frame.stack[first_slot].spilled_reg;
+    Reg(state, value_regno) = frame.SpillData(first_slot);
     return 0;
   }
   for (int slot = first_slot; slot <= last_slot; ++slot) {
-    if (frame.stack[slot].type == SlotType::kInvalid) {
+    if (frame.slot_type(slot) == SlotType::kInvalid) {
       BVF_COV();
       Log("insn %d: invalid read from uninitialized stack off=%lld", idx,
           static_cast<long long>(total_off));
       return -EACCES;
     }
-    if (frame.stack[slot].type == SlotType::kSpill &&
-        IsPointerType(frame.stack[slot].spilled_reg.type) && !aligned_full) {
+    if (frame.slot_type(slot) == SlotType::kSpill &&
+        IsPointerType(frame.SpillData(slot).type) && !aligned_full) {
       BVF_COV();
       Log("insn %d: partial read of spilled pointer prohibited", idx);
       return -EACCES;
     }
   }
-  if (aligned_full && frame.stack[first_slot].type == SlotType::kZero) {
+  if (aligned_full && frame.slot_type(first_slot) == SlotType::kZero) {
     BVF_COV();
     Reg(state, value_regno).MarkKnown(0);
   } else {
@@ -452,8 +448,11 @@ int Checker::CheckHelperMemArg(VerifierState& state, int regno, int size, bool i
       const int last_slot = static_cast<int>((-total_off - 1) / 8);
       for (int slot = first_slot; slot <= last_slot; ++slot) {
         if (is_store) {
-          frame.stack[slot].type = SlotType::kMisc;
-        } else if (frame.stack[slot].type == SlotType::kInvalid) {
+          // Type-only downgrade: any stale spill payload stays behind and
+          // remains part of state equality (historical behaviour the prune
+          // and loop-detection digests depend on).
+          frame.SetSlotKeepPayload(slot, SlotType::kMisc);
+        } else if (frame.slot_type(slot) == SlotType::kInvalid) {
           BVF_COV();
           Log("insn %d: %s argument reads uninitialized stack", idx, what);
           return -EACCES;

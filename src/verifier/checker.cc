@@ -3,12 +3,25 @@
 
 #include "src/verifier/checker.h"
 
+#include <atomic>
 #include <cerrno>
 #include <cstdio>
 
 #include "src/kernel/coverage.h"
 
 namespace bpf {
+
+namespace {
+std::atomic<bool> g_prune_fingerprint{true};
+}  // namespace
+
+void SetPruneFingerprintEnabled(bool enabled) {
+  g_prune_fingerprint.store(enabled, std::memory_order_relaxed);
+}
+
+bool PruneFingerprintEnabled() {
+  return g_prune_fingerprint.load(std::memory_order_relaxed);
+}
 
 VerifierResult VerifyProgram(const Program& prog, VerifierEnv& env) {
   VerifierResult result;
@@ -181,6 +194,23 @@ int Checker::CheckCfg() {
   return 0;
 }
 
+VerifierState Checker::CloneState(const VerifierState& src) {
+  if (state_pool_.empty()) {
+    return src;
+  }
+  VerifierState out = std::move(state_pool_.back());
+  state_pool_.pop_back();
+  out = src;  // assignment into recycled capacity; no allocation
+  return out;
+}
+
+void Checker::RecycleState(VerifierState&& state) {
+  constexpr size_t kMaxPooledStates = 64;
+  if (state_pool_.size() < kMaxPooledStates) {
+    state_pool_.push_back(std::move(state));
+  }
+}
+
 void Checker::PushBranch(int idx, VerifierState state, bool back_edge) {
   stack_.push_back(Pending{idx, std::move(state), back_edge});
   if (stack_.size() > res_.peak_states) {
@@ -190,24 +220,55 @@ void Checker::PushBranch(int idx, VerifierState state, bool back_edge) {
 
 bool Checker::TryPrune(int idx, VerifierState& state, bool via_back_edge, int* err) {
   auto& seen = explored_[idx];
-  for (const VerifierState& old_state : seen) {
-    if (via_back_edge && StateEqual(old_state, state)) {
-      BVF_COV();
-      Log("infinite loop detected at insn %d", idx);
-      *err = -EINVAL;
-      return true;
+  // One fingerprint of the incoming state replaces up to kMaxExploredPerInsn
+  // full state compares on the back-edge (loop-detection) path: a mismatch
+  // proves inequality, a match falls through to the exact StateEqual, so the
+  // prune decisions are identical with the fast path on or off. Subsumption
+  // has no such shortcut (it is an order, not an equivalence), but forward
+  // arrivals scan far shorter lists in practice.
+  const bool use_fp = PruneFingerprintEnabled();
+  // Hashing is itself a cost, so fingerprints exist only where they pay:
+  // the incoming state is hashed on back-edge arrivals with a non-empty
+  // list, and stored states are hashed lazily the first time a back edge
+  // scans their insn. Prune points no back edge ever reaches — the large
+  // majority — never hash anything.
+  uint64_t fp = 0;
+  bool have_fp = false;
+  if (use_fp && via_back_edge && !seen.empty()) {
+    fp = StateFingerprint(state);
+    have_fp = true;
+  }
+  for (Explored& old_entry : seen) {
+    if (via_back_edge) {
+      if (have_fp) {
+        if (!old_entry.has_fingerprint) {
+          old_entry.fingerprint = StateFingerprint(old_entry.state);
+          old_entry.has_fingerprint = true;
+        }
+        if (old_entry.fingerprint != fp) {
+          continue;  // hash-unequal proves state-unequal
+        }
+      }
+      if (StateEqual(old_entry.state, state)) {
+        BVF_COV();
+        Log("infinite loop detected at insn %d", idx);
+        *err = -EINVAL;
+        return true;
+      }
+      continue;
     }
     // Subsumption pruning applies to forward (converging) arrivals only.
     // Pruning a back-edge arrival against a wider state would accept loops
     // with no termination proof (the kernel's states_maybe_looping guard).
-    if (!via_back_edge && StateSubsumes(old_state, state)) {
+    if (StateSubsumes(old_entry.state, state)) {
       BVF_COV();
       ++res_.states_pruned;
       return true;
     }
   }
   if (seen.size() < kMaxExploredPerInsn) {
-    seen.push_back(state);
+    Explored entry{fp, have_fp, CloneState(state)};
+    seen.push_back(std::move(entry));
   }
   return false;
 }
@@ -268,6 +329,7 @@ int Checker::DoCheck() {
       }
       idx = next;
     }
+    RecycleState(std::move(state));
 
     if (stack_.size() > kMaxPendingStates) {
       BVF_COV();
@@ -279,14 +341,23 @@ int Checker::DoCheck() {
 }
 
 void Checker::RecordStateClaims(const VerifierState& state, int idx) {
-  std::vector<RegClaim>& claims = aux_[idx].claims;
+  InsnAux& aux = aux_[idx];
+  std::vector<RegClaim>& claims = aux.claims;
   if (claims.empty()) {
     claims.resize(kClaimRegs);
+    aux.live_claims = (1u << kClaimRegs) - 1;
   }
   const RegState* regs = state.regs();
-  for (int r = 0; r < kClaimRegs; ++r) {
-    claims[r].Observe(regs[r]);
+  uint32_t live = aux.live_claims;
+  for (uint32_t m = live; m != 0; m &= m - 1) {
+    const int r = __builtin_ctz(m);
+    RegClaim& claim = claims[r];
+    claim.Observe(regs[r]);
+    if (claim.status == RegClaim::Status::kInvalid) {
+      live &= ~(1u << r);
+    }
   }
+  aux.live_claims = static_cast<uint16_t>(live);
 }
 
 int Checker::ProcessInsn(VerifierState& state, int idx, int* next) {

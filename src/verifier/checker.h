@@ -36,6 +36,11 @@ class Checker {
   // Joins the current frame's R0..R9 into aux_[idx].claims (state audit).
   void RecordStateClaims(const VerifierState& state, int idx);
   void PushBranch(int idx, VerifierState state, bool back_edge);
+  // Copy of |src| that reuses a recycled dead state's heap buffers when one
+  // is available (copy-assignment into warm capacity skips the allocator).
+  VerifierState CloneState(const VerifierState& src);
+  // Returns a finished path's state to the recycle pool.
+  void RecycleState(VerifierState&& state);
   int CheckExit(VerifierState& state, int idx, int* next);
 
   // --- ALU (check_alu.cc) ---
@@ -101,8 +106,19 @@ class Checker {
     bool back_edge;
   };
   std::vector<Pending> stack_;
-  std::vector<std::vector<VerifierState>> explored_;
+  // Explored states per prune point, each carrying its StateFingerprint so
+  // back-edge equality scans can reject non-matches without a full compare.
+  struct Explored {
+    uint64_t fingerprint;
+    // Lazily filled: the hash is computed the first time a back-edge arrival
+    // scans this insn's list, never for insns no back edge reaches.
+    bool has_fingerprint;
+    VerifierState state;
+  };
+  std::vector<std::vector<Explored>> explored_;
   std::vector<uint8_t> prune_point_;
+  // Dead path states awaiting reuse by CloneState (bounded; per-program).
+  std::vector<VerifierState> state_pool_;
   std::vector<uint8_t> reachable_;
   uint32_t id_gen_ = 0;
   uint32_t insns_processed_ = 0;

@@ -263,38 +263,6 @@ bool RegSubsumes(const RegState& old_reg, const RegState& cur_reg) {
          old_reg.smax == cur_reg.smax;
 }
 
-void RegClaim::Observe(const RegState& reg) {
-  if (status == Status::kInvalid) {
-    return;
-  }
-  if (reg.type != RegType::kScalar) {
-    status = Status::kInvalid;
-    return;
-  }
-  if (status == Status::kUnseen) {
-    status = Status::kValid;
-    var_off = reg.var_off;
-    smin = reg.smin;
-    smax = reg.smax;
-    umin = reg.umin;
-    umax = reg.umax;
-    s32_min = reg.s32_min;
-    s32_max = reg.s32_max;
-    u32_min = reg.u32_min;
-    u32_max = reg.u32_max;
-    return;
-  }
-  var_off = TnumUnion(var_off, reg.var_off);
-  smin = std::min(smin, reg.smin);
-  smax = std::max(smax, reg.smax);
-  umin = std::min(umin, reg.umin);
-  umax = std::max(umax, reg.umax);
-  s32_min = std::min(s32_min, reg.s32_min);
-  s32_max = std::max(s32_max, reg.s32_max);
-  u32_min = std::min(u32_min, reg.u32_min);
-  u32_max = std::max(u32_max, reg.u32_max);
-}
-
 std::string RegClaim::ToString() const {
   switch (status) {
     case Status::kUnseen:

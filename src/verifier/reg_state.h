@@ -4,6 +4,7 @@
 #ifndef SRC_VERIFIER_REG_STATE_H_
 #define SRC_VERIFIER_REG_STATE_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <limits>
 #include <string>
@@ -149,8 +150,40 @@ struct RegClaim {
 
   // Joins |reg| into the claim. A register that is not a scalar on some path
   // (pointer, not initialized) invalidates the claim permanently: its runtime
-  // bit pattern is not comparable against scalar bounds.
-  void Observe(const RegState& reg);
+  // bit pattern is not comparable against scalar bounds. Inline: this runs
+  // once per tracked register per verified instruction, and the invalid/
+  // non-scalar early outs are the overwhelmingly common paths.
+  void Observe(const RegState& reg) {
+    if (status == Status::kInvalid) {
+      return;
+    }
+    if (reg.type != RegType::kScalar) {
+      status = Status::kInvalid;
+      return;
+    }
+    if (status == Status::kUnseen) {
+      status = Status::kValid;
+      var_off = reg.var_off;
+      smin = reg.smin;
+      smax = reg.smax;
+      umin = reg.umin;
+      umax = reg.umax;
+      s32_min = reg.s32_min;
+      s32_max = reg.s32_max;
+      u32_min = reg.u32_min;
+      u32_max = reg.u32_max;
+      return;
+    }
+    var_off = TnumUnion(var_off, reg.var_off);
+    smin = std::min(smin, reg.smin);
+    smax = std::max(smax, reg.smax);
+    umin = std::min(umin, reg.umin);
+    umax = std::max(umax, reg.umax);
+    s32_min = std::min(s32_min, reg.s32_min);
+    s32_max = std::max(s32_max, reg.s32_max);
+    u32_min = std::min(u32_min, reg.u32_min);
+    u32_max = std::max(u32_max, reg.u32_max);
+  }
 
   bool valid() const { return status == Status::kValid; }
 

@@ -83,9 +83,18 @@ Tnum TnumXor(Tnum a, Tnum b) {
 namespace {
 Tnum Hma(Tnum acc, uint64_t value, uint64_t mask) {
   while (mask != 0) {
-    if (mask & 1) {
-      acc = TnumAdd(acc, Tnum{0, value});
+    // Fully-unknown is a fixed point of acc += {0, v} (TnumAdd folds any
+    // addend into the all-ones mask), so the remaining iterations are no-ops.
+    // Multiplies by unknown scalars saturate within a few bits; without this
+    // exit they would walk all 64.
+    if (acc.value == 0 && acc.mask == ~0ull) {
+      return acc;
     }
+    // Jump straight to the next set bit; the skipped iterations only shift.
+    const int skip = __builtin_ctzll(mask);
+    mask >>= skip;
+    value <<= skip;
+    acc = TnumAdd(acc, Tnum{0, value});
     mask >>= 1;
     value <<= 1;
   }

@@ -55,6 +55,10 @@ struct InsnAux {
   // VerifierEnv::collect_state_claims is set; audited against concrete
   // register witnesses by src/analysis/state_audit (Indicator #3).
   std::vector<RegClaim> claims;
+  // Bit r set while claims[r] is not yet permanently invalid. Observing an
+  // invalid claim is a no-op, so the recording loop skips those registers;
+  // most claims invalidate on first visit (non-scalar or uninitialized).
+  uint16_t live_claims = 0;
 };
 
 struct VerifierResult {
@@ -123,6 +127,15 @@ const CtxDescriptor& CtxDescriptorFor(ProgType type);
 
 // Runs the full pipeline on |prog|.
 VerifierResult VerifyProgram(const Program& prog, VerifierEnv& env);
+
+// Process-wide switch for the pruning-loop fingerprint fast path (cached
+// StateFingerprint compare before the exact StateEqual on back-edge
+// arrivals). On by default; equality outcomes are identical either way, so
+// this only exists so benchmarks can measure the unaccelerated walk and
+// paranoid tests can cross-check the two paths. Not thread-safe against
+// in-flight verifications; flip it only between campaigns.
+void SetPruneFingerprintEnabled(bool enabled);
+bool PruneFingerprintEnabled();
 
 // ---- Abstract transfer functions, exposed for tooling and property tests ----
 

@@ -10,12 +10,10 @@ bool FuncState::operator==(const FuncState& other) const {
       return false;
     }
   }
-  for (int i = 0; i < kStackSlots; ++i) {
-    if (!(stack[i] == other.stack[i])) {
-      return false;
-    }
-  }
-  return callsite == other.callsite;
+  // The sparse-payload invariant (see the struct comment) makes this
+  // memberwise comparison equivalent to the old dense per-slot one.
+  return stack_types == other.stack_types && spills == other.spills &&
+         callsite == other.callsite;
 }
 
 VerifierState VerifierState::Entry() {
@@ -51,14 +49,14 @@ std::string VerifierState::ToString() const {
     out += " R" + std::to_string(i) + "=" + frame.regs[i].ToString();
   }
   for (int i = 0; i < kStackSlots; ++i) {
-    if (frame.stack[i].type == SlotType::kInvalid) {
+    if (frame.slot_type(i) == SlotType::kInvalid) {
       continue;
     }
     const int off = -8 * (i + 1);
     out += " fp" + std::to_string(off) + "=";
-    switch (frame.stack[i].type) {
+    switch (frame.slot_type(i)) {
       case SlotType::kSpill:
-        out += frame.stack[i].spilled_reg.ToString();
+        out += frame.SpillData(i).ToString();
         break;
       case SlotType::kMisc:
         out += "mmmm";
@@ -75,21 +73,23 @@ std::string VerifierState::ToString() const {
 
 namespace {
 
-bool SlotSubsumes(const StackSlot& old_slot, const StackSlot& cur_slot) {
-  if (old_slot.type == SlotType::kInvalid) {
+bool SlotSubsumes(const FuncState& old_frame, const FuncState& cur_frame, int i) {
+  const SlotType old_type = old_frame.slot_type(i);
+  const SlotType cur_type = cur_frame.slot_type(i);
+  if (old_type == SlotType::kInvalid) {
     return true;  // old path never relied on this slot
   }
-  if (old_slot.type == SlotType::kMisc) {
+  if (old_type == SlotType::kMisc) {
     // Misc admits any data except spilled pointers the program may reload.
-    return cur_slot.type == SlotType::kMisc || cur_slot.type == SlotType::kZero ||
-           (cur_slot.type == SlotType::kSpill &&
-            cur_slot.spilled_reg.type == RegType::kScalar);
+    return cur_type == SlotType::kMisc || cur_type == SlotType::kZero ||
+           (cur_type == SlotType::kSpill &&
+            cur_frame.SpillData(i).type == RegType::kScalar);
   }
-  if (old_slot.type != cur_slot.type) {
+  if (old_type != cur_type) {
     return false;
   }
-  if (old_slot.type == SlotType::kSpill) {
-    return RegSubsumes(old_slot.spilled_reg, cur_slot.spilled_reg);
+  if (old_type == SlotType::kSpill) {
+    return RegSubsumes(old_frame.SpillData(i), cur_frame.SpillData(i));
   }
   return true;
 }
@@ -115,7 +115,7 @@ bool StateSubsumes(const VerifierState& old_state, const VerifierState& cur_stat
       }
     }
     for (int i = 0; i < kStackSlots; ++i) {
-      if (!SlotSubsumes(old_frame.stack[i], cur_frame.stack[i])) {
+      if (!SlotSubsumes(old_frame, cur_frame, i)) {
         return false;
       }
     }
@@ -125,6 +125,59 @@ bool StateSubsumes(const VerifierState& old_state, const VerifierState& cur_stat
 
 bool StateEqual(const VerifierState& a, const VerifierState& b) {
   return a.frames == b.frames && a.acquired_refs == b.acquired_refs;
+}
+
+uint64_t StateFingerprint(const VerifierState& state) {
+  uint64_t h = 0x9e3779b97f4a7c15ull ^ (state.frames.size() * 0xff51afd7ed558ccdull);
+  const auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 0xff51afd7ed558ccdull;
+    h = (h << 23) | (h >> 41);
+  };
+  // Soundness rule: every value mixed in must be a deterministic function of
+  // fields the member-wise operator== chains compare, in a fixed order.
+  // Omitting or combining fields is fine (equal states still collide onto
+  // one fingerprint, and a collision merely costs the full StateEqual
+  // fallback); mixing anything outside the compared set is not. The
+  // selection below is deliberately slim — this runs once per back-edge
+  // arrival at a prune point, and three words per register discriminate the
+  // states loops actually produce (the induction variable moves its value
+  // and bounds together).
+  const auto reg_digest = [&mix](const RegState& reg) {
+    mix(static_cast<uint64_t>(reg.type) |
+        (static_cast<uint64_t>(static_cast<uint32_t>(reg.off)) << 8) |
+        (static_cast<uint64_t>(reg.id) << 40));
+    mix(reg.var_off.value);
+    mix(static_cast<uint64_t>(reg.smin) ^ (reg.umax * 0x9e3779b97f4a7c15ull));
+  };
+  mix(state.acquired_refs.size());
+  for (int ref : state.acquired_refs) {
+    mix(static_cast<uint64_t>(static_cast<uint32_t>(ref)) + 0x100);
+  }
+  for (const FuncState& frame : state.frames) {
+    mix(static_cast<uint64_t>(static_cast<uint32_t>(frame.callsite)) + 1);
+    for (const RegState& reg : frame.regs) {
+      reg_digest(reg);
+    }
+    for (int i = 0; i < kStackSlots; i += 8) {
+      uint64_t word = 0;
+      for (int j = 0; j < 8; ++j) {
+        word |= static_cast<uint64_t>(frame.stack_types[i + j]) << (8 * j);
+      }
+      mix(word);
+    }
+    // Entries are slot-ordered, so this mixes the same values in the same
+    // order as a dense ascending slot walk; stale payloads under non-spill
+    // types are compared by operator== but (soundly) omitted here.
+    for (const SpillSlot& entry : frame.spills) {
+      if (frame.slot_type(entry.slot) != SlotType::kSpill) {
+        continue;
+      }
+      mix(static_cast<uint64_t>(entry.slot) + 0x200);
+      reg_digest(entry.reg);
+    }
+  }
+  return h;
 }
 
 }  // namespace bpf

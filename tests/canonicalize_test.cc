@@ -1,0 +1,331 @@
+// Canonicalizer tests (DESIGN.md §13): the invariant the canonical
+// verdict-cache level rests on is that every member of a transform orbit maps
+// to one spelling. Property tests check Canonicalize(T(p)) == Canonicalize(p)
+// for every metamorphic transform kind over the golden 32-seed corpus,
+// idempotence, the per-pass guards, and — end to end — that a rejection
+// served from the canonical cache level equals a fresh PROG_LOAD.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/analysis/canonicalize.h"
+#include "src/core/checkpoint.h"
+#include "src/core/fuzzer.h"
+#include "src/core/metamorph/transform.h"
+#include "src/core/structured_gen.h"
+#include "src/ebpf/insn.h"
+#include "src/ebpf/program.h"
+#include "src/kernel/rng.h"
+#include "src/runtime/bpf_syscall.h"
+#include "src/runtime/verdict_cache.h"
+
+namespace bvf {
+namespace {
+
+constexpr uint64_t kNumSeeds = 32;  // mirrors tests/data/golden/
+
+bpf::Program Golden(uint64_t seed) {
+  StructuredGenerator generator(bpf::KernelVersion::kBpfNext);
+  bpf::Rng rng(seed);
+  return generator.Generate(rng).prog;
+}
+
+std::string Pretty(const bpf::Program& prog) {
+  return prog.Disassemble();
+}
+
+TEST(CanonicalizeTest, IdempotentOnGoldenCorpus) {
+  const CanonicalizeOptions options;
+  for (uint64_t seed = 1; seed <= kNumSeeds; ++seed) {
+    const bpf::Program prog = Golden(seed);
+    const bpf::Program once = Canonicalize(prog, options);
+    const bpf::Program twice = Canonicalize(once, options);
+    EXPECT_EQ(ProgramFnv(once), ProgramFnv(twice))
+        << "seed " << seed << "\nonce:\n"
+        << Pretty(once) << "twice:\n"
+        << Pretty(twice);
+    // A canonical program is still structurally loadable.
+    EXPECT_EQ(bpf::CheckEncoding(once, nullptr), 0) << "seed " << seed;
+  }
+}
+
+// The core orbit property: applying any semantics-preserving transform first
+// must not change the canonical form. Each (seed, kind) pair draws its own
+// transform RNG so the corpus exercises every insertion flavor.
+TEST(CanonicalizeTest, TransformsPreserveCanonicalForm) {
+  const CanonicalizeOptions options;
+  size_t applied = 0;
+  for (uint64_t seed = 1; seed <= kNumSeeds; ++seed) {
+    const bpf::Program prog = Golden(seed);
+    if (bpf::CheckEncoding(prog, nullptr) != 0) {
+      continue;  // ill-formed programs canonicalize to themselves; no orbit
+    }
+    const uint64_t canon = ProgramFnv(Canonicalize(prog, options));
+    for (int t = 0; t < kNumTransformKinds; ++t) {
+      const TransformKind kind = static_cast<TransformKind>(t);
+      for (uint64_t draw = 0; draw < 4; ++draw) {
+        bpf::Program variant = prog;
+        bpf::Rng rng(seed * 977 + static_cast<uint64_t>(t) * 31 + draw);
+        if (!ApplyTransform(kind, variant, rng)) {
+          continue;
+        }
+        const bpf::Program canon_variant = Canonicalize(variant, options);
+        EXPECT_EQ(ProgramFnv(canon_variant), canon)
+            << "seed " << seed << " transform " << TransformKindName(kind)
+            << " draw " << draw << "\nvariant:\n"
+            << Pretty(variant) << "canonical variant:\n"
+            << Pretty(canon_variant) << "canonical base:\n"
+            << Pretty(Canonicalize(prog, options));
+        ++applied;
+      }
+    }
+  }
+  // The corpus must actually exercise the orbits, not vacuously pass.
+  EXPECT_GE(applied, 200u);
+}
+
+// Stacked transforms stay in the orbit too: the canonicalizer runs its strip
+// passes to fixpoint, so any composition must collapse to the same form.
+TEST(CanonicalizeTest, StackedTransformsCollapse) {
+  const CanonicalizeOptions options;
+  size_t stacked = 0;
+  for (uint64_t seed = 1; seed <= kNumSeeds; ++seed) {
+    const bpf::Program prog = Golden(seed);
+    if (bpf::CheckEncoding(prog, nullptr) != 0) {
+      continue;
+    }
+    const uint64_t canon = ProgramFnv(Canonicalize(prog, options));
+    bpf::Program variant = prog;
+    bpf::Rng rng(seed * 7919);
+    int layers = 0;
+    for (int t = 0; t < kNumTransformKinds; ++t) {
+      if (ApplyTransform(static_cast<TransformKind>(t), variant, rng)) {
+        ++layers;
+      }
+    }
+    if (layers < 2) {
+      continue;
+    }
+    EXPECT_EQ(ProgramFnv(Canonicalize(variant, options)), canon)
+        << "seed " << seed << " layers " << layers << "\nvariant:\n"
+        << Pretty(variant);
+    ++stacked;
+  }
+  EXPECT_GE(stacked, 16u);
+}
+
+TEST(CanonicalizeTest, StripsJaZeroAndLeadingCtxMov) {
+  bpf::Program prog;
+  prog.type = bpf::ProgType::kSocketFilter;
+  prog.insns = {
+      bpf::MovReg(bpf::kR1, bpf::kR1),
+      bpf::JmpA(0),
+      bpf::MovImm(bpf::kR0, 3),
+      bpf::Exit(),
+  };
+  bpf::Program want;
+  want.type = prog.type;
+  want.insns = {bpf::MovImm(bpf::kR0, 3), bpf::Exit()};
+  const bpf::Program got = Canonicalize(prog, CanonicalizeOptions{});
+  EXPECT_EQ(ProgramFnv(got), ProgramFnv(want)) << Pretty(got);
+}
+
+// A jump landing on index 0 makes the leading `r1 = r1` a loop-body
+// instruction, not a pad: stripping it would change what the back edge
+// re-executes. The guard must keep it.
+TEST(CanonicalizeTest, KeepsJumpTargetedLeadingCtxMov) {
+  bpf::Program prog;
+  prog.type = bpf::ProgType::kSocketFilter;
+  prog.insns = {
+      bpf::MovReg(bpf::kR1, bpf::kR1),
+      bpf::MovImm(bpf::kR0, 0),
+      bpf::JmpImm(bpf::kJmpJeq, bpf::kR0, 7, -3),  // targets index 0
+      bpf::Exit(),
+  };
+  ASSERT_EQ(bpf::CheckEncoding(prog, nullptr), 0);
+  const bpf::Program got = Canonicalize(prog, CanonicalizeOptions{});
+  EXPECT_EQ(ProgramFnv(got), ProgramFnv(prog)) << Pretty(got);
+}
+
+// `rPtr += 0` is pointer arithmetic the verifier tracks; without a
+// const-write directly before it the ALU identity must survive.
+TEST(CanonicalizeTest, KeepsAluIdentityWithoutConstWriteGuard) {
+  bpf::Program prog;
+  prog.type = bpf::ProgType::kSocketFilter;
+  prog.insns = {
+      bpf::MovReg(bpf::kR6, bpf::kR1),
+      bpf::AluImm(bpf::kAluAdd, bpf::kR6, 0),
+      bpf::MovImm(bpf::kR0, 0),
+      bpf::Exit(),
+  };
+  ASSERT_EQ(bpf::CheckEncoding(prog, nullptr), 0);
+  const bpf::Program got = Canonicalize(prog, CanonicalizeOptions{});
+  EXPECT_EQ(got.insns.size(), prog.insns.size()) << Pretty(got);
+}
+
+TEST(CanonicalizeTest, FoldGateMatchesBug13Arming) {
+  bpf::Program prog;
+  prog.type = bpf::ProgType::kSocketFilter;
+  prog.insns = {
+      bpf::LdImm64Lo(bpf::kR0, 0, 5),
+      bpf::LdImm64Hi(5),
+      bpf::Exit(),
+  };
+  ASSERT_EQ(bpf::CheckEncoding(prog, nullptr), 0);
+
+  CanonicalizeOptions fold_on;
+  fold_on.fold_ld_imm64 = true;
+  bpf::Program want;
+  want.type = prog.type;
+  want.insns = {bpf::MovImm(bpf::kR0, 5), bpf::Exit()};
+  EXPECT_EQ(ProgramFnv(Canonicalize(prog, fold_on)), ProgramFnv(want));
+
+  // With bug13 armed the two spellings are deliberately verdict-distinct, so
+  // the fold must stay off and the ld_imm64 spelling must survive.
+  CanonicalizeOptions fold_off;
+  fold_off.fold_ld_imm64 = false;
+  EXPECT_EQ(ProgramFnv(Canonicalize(prog, fold_off)), ProgramFnv(prog));
+
+  // Values that are not the sign extension of their low word have no mov-imm
+  // spelling; the fold must skip them even when enabled.
+  bpf::Program wide;
+  wide.type = prog.type;
+  wide.insns = {
+      bpf::LdImm64Lo(bpf::kR0, 0, 0x1234567800000005ull),
+      bpf::LdImm64Hi(0x1234567800000005ull),
+      bpf::Exit(),
+  };
+  EXPECT_EQ(ProgramFnv(Canonicalize(wide, fold_on)), ProgramFnv(wide));
+}
+
+TEST(CanonicalizeTest, IllFormedProgramsCanonicalizeToThemselves) {
+  bpf::Program prog;
+  prog.type = bpf::ProgType::kSocketFilter;
+  prog.insns = {bpf::MovImm(bpf::kR0, 0)};  // no exit
+  ASSERT_NE(bpf::CheckEncoding(prog, nullptr), 0);
+  const bpf::Program got = Canonicalize(prog, CanonicalizeOptions{});
+  EXPECT_EQ(ProgramFnv(got), ProgramFnv(prog));
+}
+
+// -- the canonical verdict-cache level, end to end --
+
+// Two alpha-equivalent spellings of the same rejected program (the scratch
+// register differs). The canonical level must serve the second from the
+// first's verdict, and the served result must equal a fresh PROG_LOAD.
+TEST(CanonicalCacheTest, ServedRejectionMatchesFreshLoad) {
+  bpf::Program a;
+  a.type = bpf::ProgType::kSocketFilter;
+  a.insns = {bpf::MovReg(bpf::kR0, bpf::kR6), bpf::Exit()};  // r6 uninitialized
+  bpf::Program b = a;
+  b.insns[0].src = bpf::kR7;
+  ASSERT_NE(ProgramFnv(a), ProgramFnv(b));
+  const CanonicalizeOptions options;
+  ASSERT_EQ(ProgramFnv(Canonicalize(a, options)), ProgramFnv(Canonicalize(b, options)));
+
+  // Fresh, uncached loads: the ground truth both spellings must match.
+  int fresh_a = 0;
+  int fresh_b = 0;
+  {
+    bpf::Kernel kernel(bpf::KernelVersion::kBpfNext, bpf::BugConfig::None());
+    bpf::Bpf bpf(kernel);
+    fresh_a = bpf.ProgLoad(a);
+    fresh_b = bpf.ProgLoad(b);
+  }
+  ASSERT_LT(fresh_a, 0);
+  ASSERT_EQ(fresh_a, fresh_b);
+
+  bpf::Kernel kernel(bpf::KernelVersion::kBpfNext, bpf::BugConfig::None());
+  bpf::Bpf bpf(kernel);
+  bpf::VerdictCache cache;
+  bpf::VerdictCacheShard shard(cache, /*immediate=*/true);
+  bpf.set_verdict_cache(&shard, nullptr);
+  bpf.set_canonicalizer(
+      [options](const bpf::Program& prog) { return Canonicalize(prog, options); });
+
+  // First spelling: raw miss, canonical miss, fresh verify, rejection cached
+  // at both levels.
+  EXPECT_EQ(bpf.ProgLoad(a), fresh_a);
+  EXPECT_EQ(shard.TakeCanonicalHits(), 0u);
+  EXPECT_EQ(shard.TakeCanonicalMisses(), 1u);
+  shard.TakeHits();
+  shard.TakeMisses();
+
+  // Second spelling: raw miss, canonical hit — and the exact fresh verdict.
+  EXPECT_EQ(bpf.ProgLoad(b), fresh_b);
+  EXPECT_EQ(shard.TakeCanonicalHits(), 1u);
+  EXPECT_EQ(shard.TakeCanonicalMisses(), 0u);
+  EXPECT_EQ(shard.TakeMisses(), 1u);
+
+  // The canonical hit promoted the verdict to the raw level: reloading the
+  // second spelling is now a raw hit and never consults the canonical level.
+  EXPECT_EQ(bpf.ProgLoad(b), fresh_b);
+  EXPECT_EQ(shard.TakeHits(), 1u);
+  EXPECT_EQ(shard.TakeCanonicalHits(), 0u);
+  EXPECT_EQ(shard.TakeCanonicalMisses(), 0u);
+}
+
+// Acceptances must never be served canonically: the accepted path touches the
+// substrate (kmemdup, instrumentation bookkeeping), so a served acceptance
+// would skip side effects the digest sees.
+TEST(CanonicalCacheTest, AcceptancesAreNotServedCanonically) {
+  bpf::Program a;
+  a.type = bpf::ProgType::kSocketFilter;
+  a.insns = {
+      bpf::MovImm(bpf::kR6, 1),
+      bpf::MovReg(bpf::kR0, bpf::kR6),
+      bpf::Exit(),
+  };
+  bpf::Program b = a;
+  b.insns[0].dst = bpf::kR7;
+  b.insns[1].src = bpf::kR7;
+  const CanonicalizeOptions options;
+  ASSERT_EQ(ProgramFnv(Canonicalize(a, options)), ProgramFnv(Canonicalize(b, options)));
+
+  bpf::Kernel kernel(bpf::KernelVersion::kBpfNext, bpf::BugConfig::None());
+  bpf::Bpf bpf(kernel);
+  bpf::VerdictCache cache;
+  bpf::VerdictCacheShard shard(cache, /*immediate=*/true);
+  bpf.set_verdict_cache(&shard, nullptr);
+  bpf.set_canonicalizer(
+      [options](const bpf::Program& prog) { return Canonicalize(prog, options); });
+
+  EXPECT_GT(bpf.ProgLoad(a), 0);
+  EXPECT_GT(bpf.ProgLoad(b), 0);
+  // Both loads missed at both levels: the acceptance was never inserted at —
+  // and so never served from — the canonical level.
+  EXPECT_EQ(shard.TakeCanonicalHits(), 0u);
+  EXPECT_EQ(shard.TakeCanonicalMisses(), 2u);
+  EXPECT_EQ(cache.canonical_size(), 0u);
+}
+
+// The campaign-level gate: flipping the canonical cache on must not move the
+// result digest (same discipline the verdict cache and decode cache follow).
+TEST(CanonicalCacheTest, CampaignDigestInvariant) {
+  CampaignOptions options;
+  options.version = bpf::KernelVersion::kBpfNext;
+  options.bugs = bpf::BugConfig::All();
+  options.iterations = 200;
+  options.seed = 5;
+  options.verdict_cache = true;
+  options.canonical_cache = false;
+
+  StructuredGenerator gen_off(options.version);
+  Fuzzer off(gen_off, options);
+  const CampaignStats stats_off = off.Run();
+
+  options.canonical_cache = true;
+  StructuredGenerator gen_on(options.version);
+  Fuzzer on(gen_on, options);
+  const CampaignStats stats_on = on.Run();
+
+  EXPECT_EQ(StatsDigest(stats_off), StatsDigest(stats_on));
+  EXPECT_EQ(stats_off.accepted, stats_on.accepted);
+  EXPECT_EQ(stats_off.final_coverage, stats_on.final_coverage);
+  // The canonical counters partition the raw misses.
+  EXPECT_EQ(stats_on.canonical_cache_hits + stats_on.canonical_cache_misses,
+            stats_on.verdict_cache_misses);
+}
+
+}  // namespace
+}  // namespace bvf

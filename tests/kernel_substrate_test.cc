@@ -1,6 +1,8 @@
 // Simulated-kernel substrate: KASAN arena + shadow memory, allocator
 // (kmalloc/kvmalloc/kmemdup limits), lockdep, tracepoints, BTF, and reports.
 
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "src/kernel/alloc.h"
@@ -9,6 +11,7 @@
 #include "src/kernel/lockdep.h"
 #include "src/kernel/report.h"
 #include "src/kernel/tracepoint.h"
+#include "src/runtime/kernel.h"
 
 namespace bpf {
 namespace {
@@ -333,6 +336,107 @@ TEST(ReportTest, SignatureIsStable) {
   const KernelReport a{ReportKind::kKasanOob, "htab", "x"};
   const KernelReport b{ReportKind::kKasanOob, "htab", "y"};
   EXPECT_EQ(a.Signature(), b.Signature());
+}
+
+// ---- Dirty-tracked case reset ----
+
+// The dirty-page restore must be byte-for-byte identical to the full-arena
+// rewind. Paranoid mode runs that comparison inside ResetToBootSnapshot()
+// and aborts on any divergence, so surviving the reset IS the assertion.
+TEST(KasanResetTest, DirtyResetMatchesFullRewindByteForByte) {
+  ReportSink sink;
+  KasanArena arena(256 * 1024);
+  const uint64_t boot_obj = arena.Alloc(64, "boot_obj");
+  arena.CheckedWrite(boot_obj, 8, 0x1122334455667788ull, sink, "t");
+  arena.TakeBootSnapshot();
+  arena.set_paranoid_reset(true);
+  ASSERT_TRUE(arena.dirty_reset());  // the default; this test gates it
+
+  // A busy case: allocations (some freed into quarantine, some leaked),
+  // checked and raw writes, and silent corruption of a boot object.
+  std::vector<uint64_t> addrs;
+  for (int i = 0; i < 32; ++i) {
+    addrs.push_back(arena.Alloc(128 + 8 * i, "case_obj"));
+    arena.CheckedWrite(addrs.back(), 8, 0xdeadbeef00ull + i, sink, "t");
+  }
+  for (size_t i = 0; i < addrs.size(); i += 2) {
+    arena.Free(addrs[i]);
+  }
+  arena.RawWrite(boot_obj + 8, 8, 0x4141414141414141ull, sink, "t");
+  EXPECT_GT(arena.dirty_page_count(), 0u);
+
+  arena.ResetToBootSnapshot();  // paranoid cross-check runs in here
+
+  EXPECT_EQ(arena.dirty_page_count(), 0u);
+  EXPECT_EQ(arena.quarantine_size(), 0u);
+  // The silently corrupted boot object is pristine again.
+  uint64_t value = 0;
+  ASSERT_TRUE(arena.CheckedRead(boot_obj, 8, &value, sink, "t"));
+  EXPECT_EQ(value, 0x1122334455667788ull);
+  // Post-boot allocations vanished: the bump allocator hands out the same
+  // address a fresh post-boot arena would.
+  const uint64_t first_after_reset = arena.Alloc(64, "case_obj");
+  arena.ResetToBootSnapshot();
+  EXPECT_EQ(arena.Alloc(64, "case_obj"), first_after_reset);
+}
+
+TEST(KasanResetTest, RepeatedResetsStayPristineUnderParanoia) {
+  ReportSink sink;
+  KasanArena arena(128 * 1024);
+  arena.TakeBootSnapshot();
+  arena.set_paranoid_reset(true);
+  for (int round = 0; round < 4; ++round) {
+    const uint64_t a = arena.Alloc(96, "obj");
+    arena.CheckedWrite(a, 8, 0x5a5a5a5a5a5a5a5aull + round, sink, "t");
+    const uint64_t b = arena.Alloc(4096 * 3, "big");  // spans multiple pages
+    arena.CheckedWrite(b + 4096, 8, 7, sink, "t");
+    arena.Free(a);
+    arena.ResetToBootSnapshot();  // aborts if any byte diverges
+    EXPECT_EQ(arena.dirty_page_count(), 0u) << "round " << round;
+  }
+}
+
+// ---- Kernel case scalars ----
+
+// Every per-case scalar lives in Kernel::CaseScalars and is restored by the
+// struct-wide assignment in ResetCaseState(). A leaked task refcount — the
+// bug class the struct extraction exists to prevent — must be visible via
+// the accessor before the reset and gone after it.
+TEST(KernelCaseScalarsTest, LeakedTaskRefsCaughtAndResetRestoresBootState) {
+  Kernel kernel(KernelVersion::kBpfNext, BugConfig::None());
+  Kernel fresh(KernelVersion::kBpfNext, BugConfig::None());
+
+  // A case that leaks two task references and drains the entropy sources.
+  kernel.TaskRefInc();
+  kernel.TaskRefInc();
+  kernel.TaskRefInc();
+  kernel.TaskRefDec();
+  for (int i = 0; i < 10; ++i) {
+    kernel.NextKtime();
+    kernel.NextPrandom();
+  }
+  EXPECT_EQ(kernel.task_refs(), 2);  // the leak is observable
+
+  kernel.ResetCaseState();
+
+  // Indistinguishable from a freshly booted kernel: refcount cleared and
+  // both entropy streams rewound to their boot seeds.
+  EXPECT_EQ(kernel.task_refs(), 0);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(kernel.NextKtime(), fresh.NextKtime()) << "draw " << i;
+    EXPECT_EQ(kernel.NextPrandom(), fresh.NextPrandom()) << "draw " << i;
+  }
+}
+
+TEST(KernelCaseScalarsTest, TaskRefUnderflowWarnsAndClamps) {
+  Kernel kernel(KernelVersion::kBpfNext, BugConfig::None());
+  kernel.TaskRefDec();
+  EXPECT_EQ(kernel.task_refs(), 0);  // clamped, not negative
+  bool warned = false;
+  for (const KernelReport& report : kernel.reports().reports()) {
+    warned |= report.kind == ReportKind::kWarn;
+  }
+  EXPECT_TRUE(warned);
 }
 
 TEST(ReportTest, Indicator1Classification) {

@@ -60,17 +60,36 @@ TEST(VerifierStateTest, StackSlotSubsumption) {
   VerifierState old_state = VerifierState::Entry();
   VerifierState cur = VerifierState::Entry();
   // Old path never touched the slot: anything is fine.
-  cur.cur().stack[0].type = SlotType::kMisc;
+  cur.cur().SetSlot(0, SlotType::kMisc);
   EXPECT_TRUE(StateSubsumes(old_state, cur));
   // Old path relied on a spilled pointer; current holds misc: unsafe.
-  old_state.cur().stack[0].type = SlotType::kSpill;
-  old_state.cur().stack[0].spilled_reg = RegState::Pointer(RegType::kPtrToStack);
+  old_state.cur().SetSpill(0, RegState::Pointer(RegType::kPtrToStack));
   EXPECT_FALSE(StateSubsumes(old_state, cur));
   // Misc old-slot accepts a scalar spill.
-  old_state.cur().stack[0].type = SlotType::kMisc;
-  cur.cur().stack[0].type = SlotType::kSpill;
-  cur.cur().stack[0].spilled_reg = RegState::Known(3);
+  old_state.cur().SetSlotKeepPayload(0, SlotType::kMisc);
+  cur.cur().SetSpill(0, RegState::Known(3));
   EXPECT_TRUE(StateSubsumes(old_state, cur));
+}
+
+TEST(VerifierStateTest, StaleSpillPayloadStaysObservableInEquality) {
+  // The helper-argument store downgrades a spill slot to kMisc without
+  // clearing its payload, and that stale payload has always been part of
+  // state equality (it can delay loop-detection convergence). The sparse
+  // spill representation must preserve that, not canonicalize it away.
+  VerifierState a = VerifierState::Entry();
+  VerifierState b = VerifierState::Entry();
+  a.cur().SetSpill(0, RegState::Known(7));
+  a.cur().SetSlotKeepPayload(0, SlotType::kMisc);
+  b.cur().SetSlot(0, SlotType::kMisc);
+  EXPECT_EQ(a.cur().slot_type(0), b.cur().slot_type(0));
+  EXPECT_FALSE(StateEqual(a, b));  // stale payload still observable
+  a.cur().SetSlot(0, SlotType::kMisc);  // explicit clear restores equality
+  EXPECT_TRUE(StateEqual(a, b));
+  // And the spill payload round-trips through the sparse store.
+  b.cur().SetSpill(3, RegState::Known(9));
+  EXPECT_EQ(b.cur().slot_type(3), SlotType::kSpill);
+  EXPECT_EQ(b.cur().SpillData(3).var_off.value, 9u);
+  EXPECT_EQ(b.cur().SpillData(2).type, RegType::kNotInit);
 }
 
 TEST(VerifierStateTest, AcquiredRefsBlockSubsumption) {
