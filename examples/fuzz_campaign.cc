@@ -8,7 +8,8 @@
 //          [--checkpoint=PATH] [--checkpoint-every=N] [--resume=PATH]
 //          [--stop-after=N] [--jobs=N] [--verdict-cache=on|off]
 //          [--canonical-cache=on|off]
-//          [--interp=decoded|legacy] [--metamorph] [--metamorph-k=K] [--smoke]
+//          [--interp=decoded|legacy|jit] [--jit-oracle]
+//          [--metamorph] [--metamorph-k=K] [--smoke]
 //          [--supervise] [--worker-retries=K] [--hang-timeout=MS]
 //          [--quarantine=PATH] [--journal=PATH] [--replay-quarantine=PATH]
 //
@@ -19,10 +20,16 @@
 // verifier-verdict cache in either engine; --canonical-cache=on (requires the
 // verdict cache) adds the canonical level, which serves committed rejections
 // to alpha-equivalent program spellings without re-verifying. --interp
-// selects the execution
-// engine: decoded micro-op dispatch with the digest-keyed decode cache (the
-// default) or the legacy instruction-at-a-time interpreter; the two are
-// digest-identical, so the flag is a pure throughput switch. --metamorph
+// selects the execution engine: decoded micro-op dispatch with the
+// digest-keyed decode cache (the default), the native x86-64 JIT tier with
+// the additional digest-keyed code cache, or the legacy
+// instruction-at-a-time interpreter; all three are digest-identical, so the
+// flag is a pure throughput switch (--interp=jit on a host without JIT
+// support warns once and runs decoded). --jit-oracle turns on the Indicator
+// #5 differential oracle: every accepted case is executed under both the
+// decoded interpreter and the JIT on clean throwaway substrates, and any
+// witness difference — a miscompile by construction — becomes a finding and
+// a jit-divergence case outcome. --metamorph
 // turns on the Indicator #4 metamorphic oracle: every accepted case is
 // re-derived into --metamorph-k semantics-preserving variants and any
 // base/variant divergence (verdict flip, witness mismatch, indicator
@@ -83,7 +90,8 @@ int main(int argc, char** argv) {
   bool jobs_given = false;  // explicit --jobs selects the parallel engine even at 1
   bool verdict_cache = false;
   bool canonical_cache = false;
-  bool interp_decoded = true;
+  bpf::ExecEngine interp_engine = bpf::ExecEngine::kDecoded;
+  bool jit_oracle = false;
   bool metamorph = false;
   int metamorph_k = 2;
   bool supervise = false;
@@ -110,7 +118,12 @@ int main(int argc, char** argv) {
     } else if (strncmp(argv[i], "--canonical-cache=", 18) == 0) {
       canonical_cache = strcmp(argv[i] + 18, "on") == 0;
     } else if (strncmp(argv[i], "--interp=", 9) == 0) {
-      interp_decoded = strcmp(argv[i] + 9, "legacy") != 0;
+      const char* engine = argv[i] + 9;
+      interp_engine = strcmp(engine, "legacy") == 0 ? bpf::ExecEngine::kLegacy
+                      : strcmp(engine, "jit") == 0  ? bpf::ExecEngine::kJit
+                                                    : bpf::ExecEngine::kDecoded;
+    } else if (strcmp(argv[i], "--jit-oracle") == 0) {
+      jit_oracle = true;
     } else if (strcmp(argv[i], "--metamorph") == 0) {
       metamorph = true;
     } else if (strncmp(argv[i], "--metamorph-k=", 14) == 0) {
@@ -169,7 +182,8 @@ int main(int argc, char** argv) {
   options.jobs = jobs;
   options.verdict_cache = verdict_cache;
   options.canonical_cache = canonical_cache && verdict_cache;
-  options.interp_decoded = interp_decoded;
+  options.interp_engine = interp_engine;
+  options.jit_oracle = jit_oracle;
   options.metamorph = metamorph;
   options.metamorph_k = metamorph_k;
   options.worker_retries = worker_retries;
@@ -274,11 +288,27 @@ int main(int argc, char** argv) {
            stats.canonical_cache_hits, stats.canonical_cache_misses,
            100 * stats.CanonicalCacheHitRate());
   }
-  if (interp_decoded) {
+  if (interp_engine != bpf::ExecEngine::kLegacy) {
     printf("  decode cache:    %" PRIu64 " hits / %" PRIu64 " misses / %" PRIu64
            " evictions (%.1f%% hit rate)\n",
            stats.decode_cache_hits, stats.decode_cache_misses,
            stats.decode_cache_evictions, 100 * stats.DecodeCacheHitRate());
+  }
+  if (interp_engine == bpf::ExecEngine::kJit) {
+    printf("  jit cache:       %" PRIu64 " hits / %" PRIu64 " misses / %" PRIu64
+           " evictions (%.1f%% hit rate)\n",
+           stats.jit_cache_hits, stats.jit_cache_misses, stats.jit_cache_evictions,
+           100 * stats.JitCacheHitRate());
+  }
+  if (jit_oracle) {
+    uint64_t jit_divergences = 0;
+    for (const Finding& finding : stats.findings) {
+      jit_divergences += finding.indicator == 5 ? 1 : 0;
+    }
+    printf("  jit oracle:      %s; %" PRIu64 " divergence finding(s)\n",
+           bpf::JitAvailable() ? "decoded-vs-jit compare on accepted cases"
+                               : "inactive (jit unavailable on this host)",
+           jit_divergences);
   }
   if (metamorph) {
     printf("  metamorph:       %" PRIu64 " bases, %" PRIu64 " variants; divergences %" PRIu64

@@ -11,15 +11,19 @@
 #   5. scripts/smoke_reset.sh     — BVF_PARANOID_RESET=1 digest gate: the
 #      dirty-tracked arena reset cross-checked against the full rewind across
 #      jobs x interp x --supervise legs, plus checkpoint/resume (ASan).
-#   6. Metamorph gate: a short --metamorph --metamorph-k=2 campaign under
+#   6. scripts/smoke_jit.sh      — JIT execution tier: jit suites under ASan,
+#      the 3x3 {--interp=jit,decoded,legacy} x {jobs=1, jobs=4, --supervise}
+#      digest matrix, jit-cache job invariance, and jit + cross-engine
+#      checkpoint/resume bit-identity.
+#   7. Metamorph gate: a short --metamorph --metamorph-k=2 campaign under
 #      ASan/UBSan must produce one bit-identical campaign digest across
 #      {--jobs=1, --jobs=4} x {--interp=decoded, --interp=legacy}, and the
 #      metamorph counter line must be identical on every leg.
-#   7. Tier-1 label audit: every discovered ctest test must carry the tier1
+#   8. Tier-1 label audit: every discovered ctest test must carry the tier1
 #      label (`ctest -N` count == `ctest -N -L tier1` count) and the suites
 #      this tree considers load-bearing (supervisor, journal, parallel,
-#      robustness) must actually be discovered, so nothing can silently drop
-#      out of the gate the driver runs.
+#      robustness, jit) must actually be discovered, so nothing can silently
+#      drop out of the gate the driver runs.
 #
 # Usage: scripts/smoke_all.sh [asan-build-dir] [tsan-build-dir]
 #        (defaults: build-smoke build-tsan)
@@ -32,27 +36,31 @@ TSAN_DIR="${2:-build-tsan}"
 MM_ITERATIONS=200
 MM_SEED=7
 
-echo "==== [1/7] smoke_robustness ===="
+echo "==== [1/8] smoke_robustness ===="
 scripts/smoke_robustness.sh "$ASAN_DIR"
 
 echo
-echo "==== [2/7] smoke_parallel ===="
+echo "==== [2/8] smoke_parallel ===="
 scripts/smoke_parallel.sh "$TSAN_DIR"
 
 echo
-echo "==== [3/7] smoke_interp ===="
+echo "==== [3/8] smoke_interp ===="
 scripts/smoke_interp.sh "$ASAN_DIR"
 
 echo
-echo "==== [4/7] smoke_supervisor ===="
+echo "==== [4/8] smoke_supervisor ===="
 scripts/smoke_supervisor.sh "$ASAN_DIR"
 
 echo
-echo "==== [5/7] smoke_reset ===="
+echo "==== [5/8] smoke_reset ===="
 scripts/smoke_reset.sh "$ASAN_DIR"
 
 echo
-echo "==== [6/7] metamorph digest gate (ASan/UBSan) ===="
+echo "==== [6/8] smoke_jit ===="
+scripts/smoke_jit.sh "$ASAN_DIR"
+
+echo
+echo "==== [7/8] metamorph digest gate (ASan/UBSan) ===="
 CAMPAIGN="$ASAN_DIR/examples/fuzz_campaign"
 WORK="$(mktemp -d)"
 trap 'rm -rf "$WORK"' EXIT
@@ -94,7 +102,7 @@ echo "smoke: metamorph campaign digest $REF on all four engine/jobs legs"
 echo "smoke: metamorph counters identical ($(echo "$MMREF" | sed 's/^ *//'))"
 
 echo
-echo "==== [7/7] tier-1 label audit ===="
+echo "==== [8/8] tier-1 label audit ===="
 # gtest test discovery happens at build time, so the audit needs the whole
 # tree built in the ASan dir (the earlier legs only built their own targets).
 cmake --build "$ASAN_DIR" -j"$(nproc)" >/dev/null
@@ -108,7 +116,7 @@ if [[ "$ALL_TESTS" != "$TIER1_TESTS" ]]; then
     echo "SMOKE FAIL: $ALL_TESTS tests discovered but only $TIER1_TESTS carry the tier1 label"
     exit 1
 fi
-for SUITE in SupervisorDigestTest JournalTest ParallelInvarianceTest CheckpointTest; do
+for SUITE in SupervisorDigestTest JournalTest ParallelInvarianceTest CheckpointTest JitCacheTest JitEngineTest; do
     if ! ctest --test-dir "$ASAN_DIR" -N -L tier1 2>/dev/null | grep -q "$SUITE"; then
         echo "SMOKE FAIL: load-bearing suite $SUITE not discovered under the tier1 label"
         exit 1

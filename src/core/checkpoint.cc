@@ -86,6 +86,10 @@ std::string FingerprintOptions(const CampaignOptions& options, const std::string
      << bugs.bug11_xdp_offload << bugs.bug12_jmp32_signed_refine << bugs.cve_2022_23222
      << bugs.bug13_ld_imm64_pessimize;
   os << " mmorph=" << options.metamorph << "/" << options.metamorph_k;
+  // interp_engine is deliberately absent: the engines are digest-identical,
+  // so a --interp=jit checkpoint must resume under --interp=legacy and vice
+  // versa. The jit oracle, by contrast, changes outcomes and findings.
+  os << " joracle=" << options.jit_oracle;
   return Hex64(Fnv1a(os.str()));
 }
 
@@ -138,6 +142,9 @@ int SaveCheckpoint(const std::string& path, const CampaignCheckpoint& checkpoint
   os << "dcache " << checkpoint.stats.decode_cache_hits << " "
      << checkpoint.stats.decode_cache_misses << " "
      << checkpoint.stats.decode_cache_evictions << "\n";
+  os << "jcache " << checkpoint.stats.jit_cache_hits << " "
+     << checkpoint.stats.jit_cache_misses << " "
+     << checkpoint.stats.jit_cache_evictions << "\n";
   // Metamorph volume counters: same discipline as the cache counters —
   // resumable, but digest-excluded (the divergence outcomes/findings in the
   // stats body are what the oracle contributes to the result).
@@ -277,6 +284,13 @@ int LoadCheckpoint(const std::string& path, CampaignCheckpoint* out, std::string
   cp.stats.decode_cache_hits = static_cast<uint64_t>(dcache[0]);
   cp.stats.decode_cache_misses = static_cast<uint64_t>(dcache[1]);
   cp.stats.decode_cache_evictions = static_cast<uint64_t>(dcache[2]);
+  // Optional (checkpoints predating the JIT tier lack it).
+  if (reader.PeekTag() == "jcache") {
+    const std::vector<int64_t> jcache = reader.Fields("jcache", 3);
+    cp.stats.jit_cache_hits = static_cast<uint64_t>(jcache[0]);
+    cp.stats.jit_cache_misses = static_cast<uint64_t>(jcache[1]);
+    cp.stats.jit_cache_evictions = static_cast<uint64_t>(jcache[2]);
+  }
   const std::vector<int64_t> mmorph = reader.Fields("mmorph", 5);
   cp.stats.metamorph_bases = static_cast<uint64_t>(mmorph[0]);
   cp.stats.metamorph_variants = static_cast<uint64_t>(mmorph[1]);

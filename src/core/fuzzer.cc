@@ -2,12 +2,16 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
+#include <iterator>
 
 #include "src/analysis/canonicalize.h"
 #include "src/analysis/state_audit.h"
 #include "src/core/checkpoint.h"
 #include "src/core/metamorph/metamorph.h"
+#include "src/core/metamorph/transform.h"
+#include "src/core/metamorph/witness.h"
 #include "src/kernel/coverage.h"
 #include "src/runtime/bpf_syscall.h"
 #include "src/runtime/decoded_prog.h"
@@ -40,6 +44,8 @@ const char* CaseOutcomeName(CaseOutcome outcome) {
       return "witness-divergence";
     case CaseOutcome::kSanitizerDivergence:
       return "sanitizer-divergence";
+    case CaseOutcome::kJitDivergence:
+      return "jit-divergence";
   }
   return "unclassified";
 }
@@ -136,6 +142,13 @@ void CaseRunner::set_decode_shard(bpf::DecodeCacheShard* shard) {
   }
 }
 
+void CaseRunner::set_jit_shard(bpf::JitCacheShard* shard) {
+  jit_shard_ = shard;
+  if (substrate_) {
+    substrate_->bpf.set_jit_cache(jit_shard_);
+  }
+}
+
 void CaseRunner::Teardown() { substrate_.reset(); }
 
 CaseRunner::Substrate& CaseRunner::EnsureSubstrate() {
@@ -151,7 +164,7 @@ void CaseRunner::ConfigureSubstrate(Substrate& sub, Sanitizer* sanitizer, bool c
   // engine, so a confirmation re-execution reproduces through the exact same
   // path as the original case (the engines are digest-identical anyway; this
   // keeps the intent honest).
-  sub.bpf.set_decoded_exec(options_.interp_decoded);
+  sub.bpf.set_exec_engine(options_.interp_engine);
   if (options_.sanitize) {
     bpf::BpfAsan::Register(sub.kernel);
     sub.bpf.set_instrument(sanitizer->Hook());
@@ -185,6 +198,9 @@ void CaseRunner::ConfigureSubstrate(Substrate& sub, Sanitizer* sanitizer, bool c
   }
   if (campaign && decode_shard_ != nullptr) {
     sub.bpf.set_decode_cache(decode_shard_);
+  }
+  if (campaign && jit_shard_ != nullptr) {
+    sub.bpf.set_jit_cache(jit_shard_);
   }
 }
 
@@ -298,6 +314,90 @@ CaseOutcome ClassifyOutcome(bool panicked, int prog_fd, const std::vector<int>& 
   return CaseOutcome::kExecOk;
 }
 
+// JIT differential oracle (Indicator #5): execute the case's program once
+// under the decoded interpreter and once under the JIT, each on a clean
+// throwaway substrate, and compare the witnesses. The two engines implement
+// one semantics, so ANY difference is a miscompile by construction. The
+// signature keys on which witness field diverged (not the program), so one
+// codegen bug dedups to one finding however many programs hit it — the same
+// discipline the metamorphic oracle uses. Returns an empty vector when the
+// witnesses agree or the JIT is unavailable (the jit leg would silently run
+// decoded: nothing to compare).
+std::vector<Finding> RunJitOracle(const FuzzCase& the_case, uint64_t iteration,
+                                  const CampaignOptions& options) {
+  std::vector<Finding> findings;
+  if (!bpf::JitAvailable()) {
+    return findings;
+  }
+  // Oracle executions must not feed coverage: corpus evolution (and with it
+  // the campaign digest) has to be identical whether the oracle is on or off
+  // for the base stream.
+  bpf::ScopedCoverageSuppress suppress;
+
+  CampaignOptions decoded_options = options;
+  decoded_options.interp_engine = bpf::ExecEngine::kDecoded;
+  CampaignOptions jit_options = options;
+  jit_options.interp_engine = bpf::ExecEngine::kJit;
+  const ExecWitness decoded = CollectWitness(the_case.prog, the_case, decoded_options);
+  const ExecWitness jit = CollectWitness(the_case.prog, the_case, jit_options);
+
+  const char* field = nullptr;
+  std::string what;
+  if (decoded.accepted != jit.accepted) {
+    // Cannot happen today (verification precedes engine selection), but a
+    // future load-time compile error surfacing as -errno would land here.
+    field = "verdict";
+    char buf[96];
+    snprintf(buf, sizeof(buf), "decoded %s (errno %d), jit %s (errno %d)",
+             decoded.accepted ? "accepted" : "rejected", -decoded.load_err,
+             jit.accepted ? "accepted" : "rejected", -jit.load_err);
+    what = buf;
+  } else if (!decoded.SameExecution(jit)) {
+    field = "execution";
+    for (size_t i = 0; i < decoded.run_errs.size() && i < jit.run_errs.size(); ++i) {
+      if (decoded.run_errs[i] != jit.run_errs[i] || decoded.run_r0[i] != jit.run_r0[i]) {
+        char buf[128];
+        snprintf(buf, sizeof(buf),
+                 "run %zu: decoded err=%d r0=0x%llx, jit err=%d r0=0x%llx", i,
+                 decoded.run_errs[i],
+                 static_cast<unsigned long long>(decoded.run_r0[i]), jit.run_errs[i],
+                 static_cast<unsigned long long>(jit.run_r0[i]));
+        what = buf;
+        break;
+      }
+    }
+    if (what.empty()) {
+      what = "run counts differ";
+    }
+  } else if (decoded.panicked != jit.panicked) {
+    field = "panic";
+    what = "panic state differs";
+  } else if (decoded.report_kinds != jit.report_kinds) {
+    field = "reports";
+    char buf[96];
+    snprintf(buf, sizeof(buf),
+             "indicator kind sets differ (decoded %zu kinds, jit %zu kinds)",
+             decoded.report_kinds.size(), jit.report_kinds.size());
+    what = buf;
+  }
+  if (field == nullptr) {
+    return findings;
+  }
+
+  Finding finding;
+  finding.kind = bpf::ReportKind::kJitDivergence;
+  finding.signature =
+      std::string(bpf::ReportKindName(finding.kind)) + " in " + field;
+  char buf[160];
+  snprintf(buf, sizeof(buf), "prog fnv=0x%016llx: %s",
+           static_cast<unsigned long long>(ProgramFnv(the_case.prog)), what.c_str());
+  finding.details = buf;
+  finding.indicator = 5;
+  finding.iteration = iteration;
+  findings.push_back(std::move(finding));
+  return findings;
+}
+
 }  // namespace
 
 CaseRunner::CaseResult CaseRunner::RunOne(const FuzzCase& the_case, uint64_t iteration) {
@@ -318,6 +418,9 @@ CaseRunner::CaseResult CaseRunner::RunOne(const FuzzCase& the_case, uint64_t ite
   }
   if (decode_shard_ != nullptr) {
     decode_shard_->set_iteration(iteration);
+  }
+  if (jit_shard_ != nullptr) {
+    jit_shard_->set_iteration(iteration);
   }
 
   const DriveResult drive = DriveCase(sub, the_case, iteration);
@@ -355,6 +458,20 @@ CaseRunner::CaseResult CaseRunner::RunOne(const FuzzCase& the_case, uint64_t ite
                            mm.findings.end());
     if (mm.escalated != CaseOutcome::kUnclassified) {
       result.outcome = mm.escalated;
+    }
+  }
+
+  // Indicator #5: JIT-vs-interpreter differential comparison of accepted
+  // cases. Like the metamorphic oracle it runs on throwaway substrates with
+  // coverage suppressed; a divergence is the highest-precedence outcome (a
+  // miscompile trumps any other classification of the same case).
+  if (options_.jit_oracle && !result.panicked && result.prog_fd > 0) {
+    std::vector<Finding> jit_findings = RunJitOracle(the_case, iteration, options_);
+    if (!jit_findings.empty()) {
+      result.outcome = CaseOutcome::kJitDivergence;
+      result.findings.insert(result.findings.end(),
+                             std::make_move_iterator(jit_findings.begin()),
+                             std::make_move_iterator(jit_findings.end()));
     }
   }
 
@@ -404,6 +521,26 @@ void CaseRunner::ConfirmFinding(Finding& finding, const FuzzCase& the_case,
   // campaign's corpus-growth or curve accounting. In a worker thread this
   // mutes the thread's sink; single-threaded it disables the global recorder.
   bpf::ScopedCoverageSuppress suppress;
+
+  if (finding.indicator == 5) {
+    // JIT-divergence findings are fault-free by construction (the oracle
+    // drives clean substrates), so confirmation is re-comparison:
+    // deterministic iff every re-run reproduces the divergence signature.
+    int hits = 0;
+    for (int run = 0; run < k; ++run) {
+      for (const Finding& repro : RunJitOracle(the_case, iteration, options_)) {
+        if (repro.signature == finding.signature) {
+          ++hits;
+          break;
+        }
+      }
+    }
+    finding.confirmation =
+        hits == k ? Confirmation::kDeterministic : Confirmation::kFlaky;
+    finding.confirm_hits = hits;
+    finding.confirm_runs = k;
+    return;
+  }
 
   if (finding.indicator == 4) {
     // Metamorphic findings are fault-free by construction (the oracle drives
@@ -495,8 +632,16 @@ CampaignStats Fuzzer::Run() {
   // digest pins the verifier-rewritten program bytes), so reuse is invisible.
   bpf::DecodeCache dcache;
   bpf::DecodeCacheShard dshard(dcache, /*immediate=*/true);
-  if (options_.interp_decoded) {
+  if (options_.interp_engine != bpf::ExecEngine::kLegacy) {
     runner_->set_decode_shard(&dshard);
+  }
+
+  // JIT code cache, same discipline again: a hit returns the identical native
+  // blob a fresh compile of the digest-pinned program would produce.
+  bpf::JitCache jcache;
+  bpf::JitCacheShard jshard(jcache, /*immediate=*/true);
+  if (options_.interp_engine == bpf::ExecEngine::kJit && bpf::JitAvailable()) {
+    runner_->set_jit_shard(&jshard);
   }
 
   bpf::Rng rng(options_.seed);
@@ -536,6 +681,7 @@ CampaignStats Fuzzer::Run() {
   // Evictions restored from a checkpoint happened in a previous process; this
   // process's cache starts empty, so the running total is base + local.
   const uint64_t base_decode_evictions = stats.decode_cache_evictions;
+  const uint64_t base_jit_evictions = stats.jit_cache_evictions;
 
   const uint64_t sample_every =
       options_.coverage_points > 0
@@ -579,6 +725,9 @@ CampaignStats Fuzzer::Run() {
     stats.decode_cache_hits += dshard.TakeHits();
     stats.decode_cache_misses += dshard.TakeMisses();
     stats.decode_cache_evictions = base_decode_evictions + dcache.evictions();
+    stats.jit_cache_hits += jshard.TakeHits();
+    stats.jit_cache_misses += jshard.TakeMisses();
+    stats.jit_cache_evictions = base_jit_evictions + jcache.evictions();
 
     if (options_.coverage_feedback && Coverage::Get().NewSinceMark() > 0 &&
         corpus_.size() < 512) {

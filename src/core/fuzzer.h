@@ -23,13 +23,14 @@
 #include "src/core/generator.h"
 #include "src/core/oracle.h"
 #include "src/kernel/fault_inject.h"
+#include "src/runtime/decoded_prog.h"
 #include "src/runtime/exec_context.h"
+#include "src/runtime/jit_prog.h"
 #include "src/sanitizer/instrument.h"
 #include "src/verifier/bug_registry.h"
 #include "src/verifier/kernel_version.h"
 
 namespace bpf {
-class DecodeCacheShard;
 class VerdictCacheShard;
 }  // namespace bpf
 
@@ -99,12 +100,28 @@ struct CampaignOptions {
   // identical to the full rewind (BVF_PARANOID_RESET cross-checks), so it is
   // digest-invisible; off exists as the bench_reset baseline.
   bool dirty_reset = true;
-  // Execution engine: decoded micro-op dispatch (default) or the legacy
-  // instruction-at-a-time interpreter. Purely a throughput switch — both
+  // Execution engine: decoded micro-op dispatch (default), the native x86-64
+  // JIT tier compiled from the same micro-ops, or the legacy
+  // instruction-at-a-time interpreter. Purely a throughput switch — all three
   // engines are digest-identical (tests/interp_parity_test.cc) — so it is
-  // excluded from the options fingerprint. Decoded mode also enables the
-  // digest-keyed DecodedProgram cache (src/runtime/decoded_prog.h).
-  bool interp_decoded = true;
+  // excluded from the options fingerprint. Decoded and jit modes also enable
+  // the digest-keyed DecodedProgram cache (src/runtime/decoded_prog.h); jit
+  // additionally enables the digest-keyed native-code cache
+  // (src/runtime/jit_prog.h). Selecting kJit where the JIT is unavailable
+  // (non-x86-64, W^X mappings denied) downgrades to kDecoded with a one-line
+  // warning.
+  bpf::ExecEngine interp_engine = bpf::ExecEngine::kDecoded;
+
+  // -- JIT differential oracle (Indicator #5) --
+  // For every accepted case, execute the program once under the decoded
+  // interpreter and once under the JIT on clean throwaway substrates and
+  // compare the witnesses (verdict, per-run err/R0, indicator kinds, panic
+  // state). Any difference is a kJitDivergence finding — a miscompile by
+  // construction, since the engines implement one semantics. Results-changing,
+  // so it is part of the options fingerprint. Independent of |interp_engine|:
+  // the oracle always compares decoded vs jit. No-op when the JIT is
+  // unavailable on this host.
+  bool jit_oracle = false;
 
   // -- Metamorphic oracle (Indicator #4, DESIGN.md §11) --
   // For every accepted case, execute |metamorph_k| semantics-preserving
@@ -164,6 +181,10 @@ enum class CaseOutcome {
   kVerdictDivergence,   // a variant's PROG_LOAD verdict flipped
   kWitnessDivergence,   // a variant's per-run error/R0 differed
   kSanitizerDivergence, // indicator kinds fired on one side only
+  // JIT differential oracle (Indicator #5): the decoded interpreter and the
+  // JIT disagreed on this case's witness. Appended last — checkpoint
+  // serialization stores outcomes as ints.
+  kJitDivergence,
 };
 
 const char* CaseOutcomeName(CaseOutcome outcome);
@@ -201,6 +222,14 @@ struct CampaignStats {
   uint64_t decode_cache_hits = 0;
   uint64_t decode_cache_misses = 0;
   uint64_t decode_cache_evictions = 0;
+
+  // JIT code-cache accounting (jit engine only). Identical discipline to the
+  // decode-cache counters: deterministic for any job count, excluded from
+  // StatsDigest so --interp=jit|decoded|legacy campaigns stay comparable,
+  // carried across resume by their own checkpoint line.
+  uint64_t jit_cache_hits = 0;
+  uint64_t jit_cache_misses = 0;
+  uint64_t jit_cache_evictions = 0;
 
   // Metamorphic-oracle accounting (Indicator #4). The divergence *outcomes*
   // land in |outcomes| (digest-included); these volume counters follow the
@@ -268,6 +297,11 @@ struct CampaignStats {
     return total == 0 ? 0.0
                       : static_cast<double>(decode_cache_hits) / static_cast<double>(total);
   }
+  double JitCacheHitRate() const {
+    const uint64_t total = jit_cache_hits + jit_cache_misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(jit_cache_hits) / static_cast<double>(total);
+  }
   bool FoundBug(KnownBug bug) const;
   // First iteration at which |bug| was observed; 0 when never found.
   uint64_t FoundAtIteration(KnownBug bug) const;
@@ -321,10 +355,14 @@ class CaseRunner {
   // confirmation substrates: confirmation must exercise the real verifier).
   void set_verdict_shard(bpf::VerdictCacheShard* shard);
   // Binds a decode-cache shard to this runner's campaign substrate (only
-  // consulted while options.interp_decoded is on). Confirmation substrates
-  // decode fresh: their loads are throwaway and must not move the campaign's
-  // cache counters.
+  // consulted while options.interp_engine is not kLegacy). Confirmation
+  // substrates decode fresh: their loads are throwaway and must not move the
+  // campaign's cache counters.
   void set_decode_shard(bpf::DecodeCacheShard* shard);
+  // Binds a JIT code-cache shard to this runner's campaign substrate (only
+  // consulted while options.interp_engine is kJit and the JIT is available).
+  // Same confirmation-substrate exclusion as the decode cache.
+  void set_jit_shard(bpf::JitCacheShard* shard);
 
   // Drops the substrate (end of campaign).
   void Teardown();
@@ -354,6 +392,7 @@ class CaseRunner {
   Sanitizer sanitizer_;
   bpf::VerdictCacheShard* verdict_shard_ = nullptr;
   bpf::DecodeCacheShard* decode_shard_ = nullptr;
+  bpf::JitCacheShard* jit_shard_ = nullptr;
   std::unique_ptr<Substrate> substrate_;
   std::unique_ptr<MetamorphOracle> metamorph_;  // non-null iff options.metamorph
 };

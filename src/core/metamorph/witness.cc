@@ -28,7 +28,7 @@ ExecWitness CollectWitness(const bpf::Program& prog, const FuzzCase& the_case,
         });
   }
   bpf.set_exec_limits(options.limits);
-  bpf.set_decoded_exec(options.interp_decoded);
+  bpf.set_exec_engine(options.interp_engine);
   kernel.arena().set_alloc_budget(options.arena_budget);
 
   for (const bpf::MapDef& def : the_case.maps) {

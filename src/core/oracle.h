@@ -58,7 +58,8 @@ struct Finding {
   std::string signature;  // stable dedup key
   std::string details;
   int indicator;          // 1 or 2 (paper §3.1/§3.2), 3 (state audit),
-                          // or 4 (metamorphic divergence)
+                          // 4 (metamorphic divergence), or 5 (jit-vs-
+                          // interpreter differential, DESIGN.md §14.5)
   KnownBug triaged = KnownBug::kUnknown;
   uint64_t iteration = 0;  // campaign iteration that first triggered it
 

@@ -14,6 +14,7 @@
 #include "src/core/serialize.h"
 #include "src/kernel/coverage.h"
 #include "src/runtime/decoded_prog.h"
+#include "src/runtime/jit_prog.h"
 #include "src/runtime/verdict_cache.h"
 
 namespace bvf {
@@ -28,6 +29,7 @@ struct WorkerState {
   std::unique_ptr<CaseRunner> runner;
   std::unique_ptr<bpf::VerdictCacheShard> shard;
   std::unique_ptr<bpf::DecodeCacheShard> dshard;
+  std::unique_ptr<bpf::JitCacheShard> jshard;
   bpf::CoverageSink sink;
   EpochShardResult out;  // counters + iteration-ordered records, this epoch
 };
@@ -118,12 +120,17 @@ CampaignStats ParallelFuzzer::Run() {
 
   bpf::VerdictCache cache;
   bpf::DecodeCache dcache;
+  bpf::JitCache jcache;
   std::vector<WorkerState> workers(static_cast<size_t>(jobs));
   std::vector<bpf::VerdictCacheShard*> shards;
   std::vector<bpf::DecodeCacheShard*> dshards;
+  std::vector<bpf::JitCacheShard*> jshards;
   // Evictions restored from a checkpoint happened in a previous process; this
   // process's cache starts empty, so the running total is base + local.
   const uint64_t base_decode_evictions = stats.decode_cache_evictions;
+  const uint64_t base_jit_evictions = stats.jit_cache_evictions;
+  const bool use_jit_cache =
+      options_.interp_engine == bpf::ExecEngine::kJit && bpf::JitAvailable();
   for (int w = 0; w < jobs; ++w) {
     WorkerState& worker = workers[static_cast<size_t>(w)];
     if (w == 0) {
@@ -138,13 +145,18 @@ CampaignStats ParallelFuzzer::Run() {
       worker.runner->set_verdict_shard(worker.shard.get());
       shards.push_back(worker.shard.get());
     }
-    if (options_.interp_decoded) {
+    if (options_.interp_engine != bpf::ExecEngine::kLegacy) {
       // Same epoch discipline as the verdict cache: workers read the frozen
       // committed set and buffer inserts; the barrier commits in iteration
       // order, so hit/miss/evict counts are job-count invariant.
       worker.dshard = std::make_unique<bpf::DecodeCacheShard>(dcache, /*immediate=*/false);
       worker.runner->set_decode_shard(worker.dshard.get());
       dshards.push_back(worker.dshard.get());
+    }
+    if (use_jit_cache) {
+      worker.jshard = std::make_unique<bpf::JitCacheShard>(jcache, /*immediate=*/false);
+      worker.runner->set_jit_shard(worker.jshard.get());
+      jshards.push_back(worker.jshard.get());
     }
   }
 
@@ -250,13 +262,21 @@ CampaignStats ParallelFuzzer::Run() {
         stats.canonical_cache_misses += worker.shard->TakeCanonicalMisses();
       }
     }
-    if (options_.interp_decoded) {
+    if (options_.interp_engine != bpf::ExecEngine::kLegacy) {
       dcache.CommitShards(dshards);
       for (WorkerState& worker : workers) {
         stats.decode_cache_hits += worker.dshard->TakeHits();
         stats.decode_cache_misses += worker.dshard->TakeMisses();
       }
       stats.decode_cache_evictions = base_decode_evictions + dcache.evictions();
+    }
+    if (use_jit_cache) {
+      jcache.CommitShards(jshards);
+      for (WorkerState& worker : workers) {
+        stats.jit_cache_hits += worker.jshard->TakeHits();
+        stats.jit_cache_misses += worker.jshard->TakeMisses();
+      }
+      stats.jit_cache_evictions = base_jit_evictions + jcache.evictions();
     }
     // 4. Findings and corpus growth, in iteration order across all workers.
     const size_t findings_before = stats.findings.size();

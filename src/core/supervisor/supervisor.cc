@@ -74,6 +74,7 @@ struct WorkerProc {
   uint64_t vcache_hits = 0, vcache_misses = 0;
   uint64_t ccache_hits = 0, ccache_misses = 0;
   uint64_t dcache_hits = 0, dcache_misses = 0, dcache_evictions = 0;
+  uint64_t jcache_hits = 0, jcache_misses = 0, jcache_evictions = 0;
   // Failure forensics.
   int consecutive_failures = 0;
   bool inflight_valid = false;
@@ -141,6 +142,10 @@ bool ParseResultPayload(const std::string& payload, WorkerProc* w) {
   w->dcache_hits = static_cast<uint64_t>(dc[0]);
   w->dcache_misses = static_cast<uint64_t>(dc[1]);
   w->dcache_evictions = static_cast<uint64_t>(dc[2]);
+  const std::vector<int64_t> jc = reader.Fields("jcache", 3);
+  w->jcache_hits = static_cast<uint64_t>(jc[0]);
+  w->jcache_misses = static_cast<uint64_t>(jc[1]);
+  w->jcache_evictions = static_cast<uint64_t>(jc[2]);
   reader.Line("end");
   return reader.ok();
 }
@@ -748,9 +753,13 @@ CampaignStats SupervisedFuzzer::Run() {
       stats.decode_cache_hits += w.dcache_hits;
       stats.decode_cache_misses += w.dcache_misses;
       stats.decode_cache_evictions += w.dcache_evictions;
+      stats.jit_cache_hits += w.jcache_hits;
+      stats.jit_cache_misses += w.jcache_misses;
+      stats.jit_cache_evictions += w.jcache_evictions;
       w.vcache_hits = w.vcache_misses = 0;
       w.ccache_hits = w.ccache_misses = 0;
       w.dcache_hits = w.dcache_misses = w.dcache_evictions = 0;
+      w.jcache_hits = w.jcache_misses = w.jcache_evictions = 0;
     }
     const size_t findings_before = stats.findings.size();
     const size_t corpus_before = corpus.size();

@@ -21,6 +21,7 @@
 #include "src/core/supervisor/wire.h"
 #include "src/kernel/coverage.h"
 #include "src/runtime/decoded_prog.h"
+#include "src/runtime/jit_prog.h"
 #include "src/runtime/kernel.h"
 #include "src/runtime/verdict_cache.h"
 
@@ -134,13 +135,19 @@ int RunWorkerProcess(Generator& generator, const CampaignOptions& options, int c
   }
   bpf::DecodeCache dcache;
   bpf::DecodeCacheShard dshard(dcache, /*immediate=*/true);
-  if (options.interp_decoded) {
+  if (options.interp_engine != bpf::ExecEngine::kLegacy) {
     runner.set_decode_shard(&dshard);
+  }
+  bpf::JitCache jcache;
+  bpf::JitCacheShard jshard(jcache, /*immediate=*/true);
+  if (options.interp_engine == bpf::ExecEngine::kJit && bpf::JitAvailable()) {
+    runner.set_jit_shard(&jshard);
   }
 
   std::vector<FuzzCase> corpus;
   std::set<std::string> sigs;
   uint64_t last_evictions = 0;
+  uint64_t last_jit_evictions = 0;
 
   for (;;) {
     Frame frame;
@@ -228,6 +235,10 @@ int RunWorkerProcess(Generator& generator, const CampaignOptions& options, int c
     payload << "dcache " << dshard.TakeHits() << " " << dshard.TakeMisses() << " "
             << (evictions - last_evictions) << "\n";
     last_evictions = evictions;
+    const uint64_t jit_evictions = jcache.evictions();
+    payload << "jcache " << jshard.TakeHits() << " " << jshard.TakeMisses() << " "
+            << (jit_evictions - last_jit_evictions) << "\n";
+    last_jit_evictions = jit_evictions;
     payload << "end\n";
     if (WriteFrame(res_fd, MsgType::kResult, payload.str()) != 0) {
       return 0;  // supervisor is gone

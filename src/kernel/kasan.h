@@ -155,6 +155,19 @@ class KasanArena {
     return true;
   }
 
+  // Raw buffer pointers for the JIT execution tier (src/runtime/jit_prog.h).
+  // Generated code receives them through the per-invocation JitRt block —
+  // never baked into code — and replicates ClassifyRange/FastChecked* checks
+  // inline. The vectors never resize after construction, so the pointers stay
+  // valid for the arena's lifetime. page_dirty is read-only to generated
+  // code: the native store fast path requires the page to be dirty already
+  // (so skipping MarkDirty is a no-op) and routes everything else through the
+  // C++ path, which marks pages normally.
+  uint8_t* jit_mem_base() { return mem_.data(); }
+  const uint8_t* jit_shadow_base() const { return shadow_.data(); }
+  const uint8_t* jit_page_dirty_base() const { return page_dirty_.data(); }
+  size_t jit_arena_size() const { return mem_.size(); }
+
   // KASAN-instrumented access: checks shadow, files a report on violation (and
   // still performs the access when the bytes are backed, as real KASAN does).
   // |ctx| is a static origin string; it is only materialized on violation, so

@@ -44,6 +44,8 @@ const char* ReportKindName(ReportKind kind) {
       return "metamorph: sanitizer divergence";
     case ReportKind::kWorkerCrash:
       return "supervisor: worker crash";
+    case ReportKind::kJitDivergence:
+      return "jit: interpreter/jit divergence";
   }
   return "unknown";
 }

@@ -54,6 +54,13 @@ enum class ReportKind {
   // captured stderr as details) and keeps it in the digest-excluded
   // crash_findings list.
   kWorkerCrash,
+
+  // Indicator #5: JIT differential oracle (src/core/fuzzer.cc). The decoded
+  // interpreter and the JIT tier produced different witnesses for one
+  // program — a miscompile by construction (they implement one semantics).
+  // Never filed through a ReportSink; the oracle synthesizes the finding.
+  // Appended last: findings serialize the kind as an int.
+  kJitDivergence,
 };
 
 const char* ReportKindName(ReportKind kind);

@@ -1,6 +1,8 @@
 #include "src/runtime/bpf_syscall.h"
 
+#include <atomic>
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 
 #include "src/ebpf/insn.h"
@@ -85,6 +87,21 @@ int Bpf::MapLookupBatch(int map_fd, int max_count) {
   return htab->LookupBatch(&values, max_count);
 }
 
+void Bpf::set_exec_engine(ExecEngine engine) {
+  if (engine == ExecEngine::kJit && !JitAvailable()) {
+    // Graceful degradation: warn once per process, then behave exactly like
+    // --interp=decoded (same digests, same findings — only throughput differs).
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true, std::memory_order_relaxed)) {
+      std::fprintf(stderr,
+                   "bvf: jit tier unavailable on this host; "
+                   "falling back to --interp=decoded\n");
+    }
+    engine = ExecEngine::kDecoded;
+  }
+  engine_ = engine;
+}
+
 int Bpf::ProgLoad(const Program& prog, VerifierResult* result_out) {
   VerifierEnv env;
   env.maps = &kernel_.maps();
@@ -105,12 +122,16 @@ int Bpf::ProgLoad(const Program& prog, VerifierResult* result_out) {
   // verification produced is replayed; verifier branch coverage needs no
   // replay because a hit implies the same program was verified in an earlier
   // sync epoch, so its sites are already in the committed global set.
-  // The decode cache shares the verdict digest: identical key implies the
-  // same verifier output, hence the same rewritten program and aux, hence
-  // the same lowering — so one key computation serves both caches.
-  const bool want_decode_cache = decoded_exec_ && decode_cache_ != nullptr;
+  // The decode and JIT caches share the verdict digest: identical key implies
+  // the same verifier output, hence the same rewritten program and aux, hence
+  // the same lowering and the same machine code — so one key computation
+  // serves all three caches.
+  const bool want_decode = engine_ != ExecEngine::kLegacy;
+  const bool want_decode_cache = want_decode && decode_cache_ != nullptr;
+  const bool want_jit = engine_ == ExecEngine::kJit && JitAvailable();
+  const bool want_jit_cache = want_jit && jit_cache_ != nullptr;
   VerdictKey key{};
-  if (verdict_cache_ != nullptr || want_decode_cache) {
+  if (verdict_cache_ != nullptr || want_decode_cache || want_jit_cache) {
     key = MakeVerdictKey(prog, kernel_, static_cast<bool>(instrument_),
                          env.collect_state_claims);
   }
@@ -203,7 +224,7 @@ int Bpf::ProgLoad(const Program& prog, VerifierResult* result_out) {
   loaded->uses_printk_helper = result.uses_printk_helper;
   loaded->uses_signal_helper = result.uses_signal_helper;
   loaded->uses_irqwork_helper = result.uses_irqwork_helper;
-  if (decoded_exec_) {
+  if (want_decode) {
     if (want_decode_cache) {
       loaded->decoded = decode_cache_->Lookup(key);
       if (loaded->decoded == nullptr) {
@@ -214,6 +235,22 @@ int Bpf::ProgLoad(const Program& prog, VerifierResult* result_out) {
       }
     } else {
       loaded->decoded = DecodeProgram(loaded->prog, loaded->aux);
+    }
+  }
+  if (want_jit) {
+    if (want_jit_cache) {
+      loaded->jit = jit_cache_->Lookup(key);
+      if (loaded->jit == nullptr) {
+        std::shared_ptr<const JitProgram> fresh = CompileJit(*loaded->decoded);
+        if (fresh != nullptr) {
+          loaded->jit = fresh;
+          jit_cache_->Insert(key, std::move(fresh));
+        }
+        // Compile failure (code mapping refused mid-run) is not cached: the
+        // program simply runs on the decoded engine.
+      }
+    } else {
+      loaded->jit = CompileJit(*loaded->decoded);
     }
   }
   const int fd = loaded->id;

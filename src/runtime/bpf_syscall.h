@@ -11,8 +11,10 @@
 #include <memory>
 #include <vector>
 
+#include "src/runtime/decoded_prog.h"
 #include "src/runtime/exec_context.h"
 #include "src/runtime/interpreter.h"
+#include "src/runtime/jit_prog.h"
 #include "src/runtime/kernel.h"
 #include "src/verifier/verifier.h"
 
@@ -22,7 +24,6 @@ class Sanitizer;
 
 namespace bpf {
 
-class DecodeCacheShard;
 class VerdictCacheShard;
 
 class Bpf {
@@ -70,20 +71,34 @@ class Bpf {
     canonicalize_ = std::move(canonicalize);
   }
 
-  // Selects the execution engine for programs loaded through this facade:
-  // when on (the default), ProgLoad lowers the verified, rewritten program
-  // into micro-ops once and every run dispatches through the decoded engine;
-  // when off, runs take the legacy instruction-at-a-time path. Both produce
-  // bit-identical results — this is a pure throughput switch. Affects
-  // programs loaded after the call.
-  void set_decoded_exec(bool on) { decoded_exec_ = on; }
-  bool decoded_exec() const { return decoded_exec_; }
+  // Selects the execution tier for programs loaded through this facade:
+  // kDecoded (the default) lowers the verified, rewritten program into
+  // micro-ops once at load; kJit additionally compiles the micro-ops to
+  // native x86-64 code; kLegacy runs the instruction-at-a-time path. All
+  // three produce bit-identical results — this is a pure throughput switch.
+  // Selecting kJit on a host where the JIT is unavailable (non-x86-64, or
+  // W^X mappings denied) logs a one-line warning once per process and
+  // downgrades to kDecoded. Affects programs loaded after the call.
+  void set_exec_engine(ExecEngine engine);
+  ExecEngine exec_engine() const { return engine_; }
+
+  // Back-compat shim for the pre-JIT two-state switch.
+  void set_decoded_exec(bool on) {
+    set_exec_engine(on ? ExecEngine::kDecoded : ExecEngine::kLegacy);
+  }
+  bool decoded_exec() const { return engine_ != ExecEngine::kLegacy; }
 
   // Installs a digest-keyed decode cache shard: ProgLoad reuses a committed
   // DecodedProgram instead of re-lowering when the program digest (the same
   // key the verdict cache uses) is already committed. nullptr decodes fresh
   // on every load. Only consulted while decoded execution is on.
   void set_decode_cache(DecodeCacheShard* shard) { decode_cache_ = shard; }
+
+  // Installs a digest-keyed JIT code cache shard (same key and commit
+  // discipline as the decode cache): ProgLoad reuses a committed JitProgram
+  // instead of recompiling. nullptr compiles fresh on every load. Only
+  // consulted while the JIT tier is selected and available.
+  void set_jit_cache(JitCacheShard* shard) { jit_cache_ = shard; }
 
   // Case-boundary reset for substrate reuse: unloads every program, resets fd
   // assignment and the XDP dispatcher, and rewinds the kernel substrate
@@ -141,7 +156,8 @@ class Bpf {
   bvf::Sanitizer* cache_sanitizer_ = nullptr;
   std::function<Program(const Program&)> canonicalize_;
   DecodeCacheShard* decode_cache_ = nullptr;
-  bool decoded_exec_ = true;
+  JitCacheShard* jit_cache_ = nullptr;
+  ExecEngine engine_ = ExecEngine::kDecoded;
   std::function<void(Program&, std::vector<InsnAux>&)> instrument_;
   ExecObserver exec_observer_;
   std::vector<std::unique_ptr<LoadedProgram>> progs_;

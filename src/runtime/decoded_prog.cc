@@ -625,40 +625,4 @@ ExecResult RunDecoded(Kernel& kernel, const DecodedProgram& decoded, ExecContext
   return RunDecodedImpl<false>(kernel, decoded, ctx, limits);
 }
 
-void DecodeCache::CommitOne(const VerdictKey& key,
-                            std::shared_ptr<const DecodedProgram> decoded) {
-  if (committed_.find(key) != committed_.end()) {
-    return;  // first commit wins
-  }
-  if (committed_.size() >= max_entries_ && !fifo_.empty()) {
-    committed_.erase(fifo_.front());
-    fifo_.pop_front();
-    ++evictions_;
-  }
-  committed_.emplace(key, std::move(decoded));
-  fifo_.push_back(key);
-}
-
-void DecodeCache::CommitShards(const std::vector<DecodeCacheShard*>& shards) {
-  // Iteration-ordered merge: both the insert order and the FIFO eviction
-  // order — and therefore every later epoch's hit/miss/evict sequence — are
-  // independent of how iterations were sharded across workers.
-  std::vector<DecodeCacheShard::Pending*> merged;
-  for (DecodeCacheShard* shard : shards) {
-    for (auto& pending : shard->pending_) {
-      merged.push_back(&pending);
-    }
-  }
-  std::sort(merged.begin(), merged.end(),
-            [](const DecodeCacheShard::Pending* a, const DecodeCacheShard::Pending* b) {
-              return a->iteration < b->iteration;
-            });
-  for (DecodeCacheShard::Pending* pending : merged) {
-    CommitOne(pending->key, std::move(pending->decoded));
-  }
-  for (DecodeCacheShard* shard : shards) {
-    shard->pending_.clear();
-  }
-}
-
 }  // namespace bpf

@@ -36,23 +36,22 @@
 //
 // DecodedProgram objects are cached under the same 128-bit digest the
 // VerdictCache keys on (identical key => identical verifier output =>
-// identical rewritten program and aux => identical decode). The cache follows
-// the verdict cache's epoch-shard discipline so hit/miss/evict counters are
-// job-count-invariant under the parallel engine; entries are evicted FIFO in
-// commit order, which is itself deterministic. LoadedProgram holds a
-// shared_ptr, so eviction or case reset never invalidates a program that is
-// still loaded (prog-fd close simply drops the last reference).
+// identical rewritten program and aux => identical decode). The cache is an
+// instantiation of the shared digest-cache discipline
+// (src/runtime/digest_cache.h): epoch-shard commits keep hit/miss/evict
+// counters job-count-invariant under the parallel engine, and entries are
+// evicted FIFO in commit order, which is itself deterministic. LoadedProgram
+// holds a shared_ptr, so eviction or case reset never invalidates a program
+// that is still loaded (prog-fd close simply drops the last reference).
 
 #ifndef SRC_RUNTIME_DECODED_PROG_H_
 #define SRC_RUNTIME_DECODED_PROG_H_
 
 #include <cstdint>
-#include <deque>
 #include <memory>
-#include <unordered_map>
-#include <utility>
 #include <vector>
 
+#include "src/runtime/digest_cache.h"
 #include "src/runtime/exec_context.h"
 #include "src/runtime/verdict_cache.h"
 
@@ -127,96 +126,11 @@ std::shared_ptr<const DecodedProgram> DecodeProgram(const Program& prog,
 ExecResult RunDecoded(Kernel& kernel, const DecodedProgram& decoded, ExecContext& ctx,
                       const ExecLimits& limits);
 
-class DecodeCacheShard;
-
-// Shared committed store of decoded programs, keyed by the verdict digest
-// (VerdictKey). Concurrency model is the VerdictCache's: read-only between
-// epoch barriers, mutated only by the coordinator in CommitShards while
-// workers are parked; a shard in immediate mode commits on the spot.
-// Capacity-bounded with FIFO eviction in commit order — deterministic because
-// commits happen in iteration order.
-class DecodeCache {
- public:
-  static constexpr size_t kDefaultMaxEntries = 1 << 12;
-
-  explicit DecodeCache(size_t max_entries = kDefaultMaxEntries)
-      : max_entries_(max_entries) {}
-
-  std::shared_ptr<const DecodedProgram> Lookup(const VerdictKey& key) const {
-    const auto it = committed_.find(key);
-    return it == committed_.end() ? nullptr : it->second;
-  }
-
-  // Merges every shard's pending inserts in iteration order (so both the
-  // insert sequence and the eviction sequence are job-count-invariant), then
-  // clears them.
-  void CommitShards(const std::vector<DecodeCacheShard*>& shards);
-
-  size_t size() const { return committed_.size(); }
-  uint64_t evictions() const { return evictions_; }
-
- private:
-  friend class DecodeCacheShard;
-
-  void CommitOne(const VerdictKey& key, std::shared_ptr<const DecodedProgram> decoded);
-
-  size_t max_entries_;
-  uint64_t evictions_ = 0;
-  std::unordered_map<VerdictKey, std::shared_ptr<const DecodedProgram>, VerdictKeyHash>
-      committed_;
-  std::deque<VerdictKey> fifo_;  // committed keys in commit order
-};
-
-// Per-worker handle. Lookups see only the committed store — never this
-// shard's own pending inserts — keeping the hit/miss sequence identical for
-// every job count.
-class DecodeCacheShard {
- public:
-  DecodeCacheShard(DecodeCache& owner, bool immediate)
-      : owner_(owner), immediate_(immediate) {}
-
-  void set_iteration(uint64_t iteration) { iteration_ = iteration; }
-
-  std::shared_ptr<const DecodedProgram> Lookup(const VerdictKey& key) {
-    std::shared_ptr<const DecodedProgram> cached = owner_.Lookup(key);
-    if (cached != nullptr) {
-      ++hits_;
-    } else {
-      ++misses_;
-    }
-    return cached;
-  }
-
-  void Insert(const VerdictKey& key, std::shared_ptr<const DecodedProgram> decoded) {
-    if (immediate_) {
-      owner_.CommitOne(key, std::move(decoded));
-    } else {
-      pending_.emplace_back(iteration_, key, std::move(decoded));
-    }
-  }
-
-  // Counter drain (the engines fold these into CampaignStats per epoch).
-  uint64_t TakeHits() { return std::exchange(hits_, 0); }
-  uint64_t TakeMisses() { return std::exchange(misses_, 0); }
-
- private:
-  friend class DecodeCache;
-
-  struct Pending {
-    uint64_t iteration;
-    VerdictKey key;
-    std::shared_ptr<const DecodedProgram> decoded;
-    Pending(uint64_t i, const VerdictKey& k, std::shared_ptr<const DecodedProgram>&& d)
-        : iteration(i), key(k), decoded(std::move(d)) {}
-  };
-
-  DecodeCache& owner_;
-  bool immediate_;
-  uint64_t iteration_ = 0;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
-  std::vector<Pending> pending_;
-};
+// Decoded programs follow the shared digest-cache discipline
+// (src/runtime/digest_cache.h); the names are kept so call sites read as
+// "the decode cache".
+using DecodeCache = DigestCache<const DecodedProgram>;
+using DecodeCacheShard = DigestCacheShard<const DecodedProgram>;
 
 }  // namespace bpf
 

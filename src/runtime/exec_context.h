@@ -24,6 +24,27 @@ namespace bpf {
 // space that is also invisible to the program").
 inline constexpr int kExtendedStackSize = 64;
 
+// Execution tier for verified programs. All three produce bit-identical
+// observable results (ExecResult, reports, sanitizer stats, campaign
+// digests); the choice is a pure throughput switch:
+//  * kLegacy  — instruction-at-a-time interpretation of the raw Insn stream;
+//  * kDecoded — decode-once micro-op engine (DESIGN.md §10);
+//  * kJit     — single-pass x86-64 native compilation of the micro-ops
+//    (DESIGN.md §14); falls back to kDecoded on unsupported hosts.
+enum class ExecEngine : uint8_t { kLegacy, kDecoded, kJit };
+
+inline const char* ExecEngineName(ExecEngine engine) {
+  switch (engine) {
+    case ExecEngine::kLegacy:
+      return "legacy";
+    case ExecEngine::kDecoded:
+      return "decoded";
+    case ExecEngine::kJit:
+      return "jit";
+  }
+  return "?";
+}
+
 // Per-invocation execution guards. The step budget is the classic runaway-
 // loop bound; the wall-clock watchdog additionally catches cases whose
 // *per-instruction* cost explodes (pathological dispatch chains), and the
@@ -85,6 +106,7 @@ struct ExecContext {
 };
 
 struct DecodedProgram;
+struct JitProgram;
 
 // A verified, rewritten, loadable program as stored by the syscall layer.
 struct LoadedProgram {
@@ -99,6 +121,12 @@ struct LoadedProgram {
   // instruction-at-a-time interpreter. Shared with the decode cache, so an
   // evicted entry stays alive for as long as any loaded program uses it.
   std::shared_ptr<const DecodedProgram> decoded;
+
+  // Native x86-64 compilation of |decoded| (src/runtime/jit_prog.h), produced
+  // at load time when the JIT tier is selected and available; null falls back
+  // to the decoded engine. Shared with the JIT code cache under the same
+  // eviction-survival rule as |decoded|.
+  std::shared_ptr<const JitProgram> jit;
 
   // Behavioural summary from verification (attach policy input).
   bool uses_lock_helper = false;

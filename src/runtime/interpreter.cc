@@ -7,6 +7,7 @@
 #include "src/runtime/decoded_prog.h"
 #include "src/runtime/helpers.h"
 #include "src/runtime/interp_ops.h"
+#include "src/runtime/jit_prog.h"
 #include "src/verifier/helper_protos.h"
 
 namespace bpf {
@@ -24,6 +25,9 @@ struct CallFrame {
 
 ExecResult Interpreter::Run(const LoadedProgram& prog, ExecContext& ctx,
                             const ExecLimits& limits) {
+  if (prog.jit != nullptr) {
+    return RunJit(kernel_, *prog.jit, ctx, limits);
+  }
   if (prog.decoded != nullptr) {
     return RunDecoded(kernel_, *prog.decoded, ctx, limits);
   }

@@ -1,0 +1,1028 @@
+// Single-pass x86-64 lowering of DecodedProgram micro-ops (DESIGN.md §14).
+//
+// Machine model:
+//   r12 = JitRt*          (BPF registers live in memory at [r12 + 8*i])
+//   r13 = step counter    (published to JitRt::steps on every exit)
+//   r14 = step budget     (ExecLimits::step_budget)
+//   r15 = watchdog countdown (reload value in JitRt::wd_reload; a sentinel
+//         reload keeps the countdown unreachable when the watchdog is off)
+//   rax/rcx/rdx/rsi/rdi   scratch within one uop body
+//
+// Every uop begins with the exact step prologue the decoded engine's NEXT()
+// macro runs — budget charge (post-increment semantics: the tripping step is
+// still counted), watchdog countdown with the clock sampled out of line every
+// 4096 steps, then the witness check — so step accounting, watchdog firing
+// instants, and witness entries are bit-identical across engines. Pure ops
+// compile to native sequences whose edge cases coincide with interp_ops.h
+// (x86 masks 64/32-bit shift counts to 6/5 bits; cmp/test sign-extend imm32;
+// 32-bit ops zero-extend), division guards the src==0 definitions explicitly,
+// and memory/sanitizer ops inline the KasanArena fast-path checks with slow
+// cases routed to the BvfJit* trampolines, which run the interpreters' C++.
+// Cold code (watchdog stubs, slow paths) is emitted after the hot stream so
+// the fall-through path stays dense.
+
+#include "src/runtime/jit_emit_x86_64.h"
+
+#if defined(__x86_64__)
+
+#include <cstddef>
+#include <functional>
+
+#include "src/ebpf/insn.h"
+#include "src/kernel/kasan.h"
+#include "src/runtime/jit_prog.h"
+
+namespace bpf {
+namespace {
+
+enum X64Reg : uint8_t {
+  RAX = 0, RCX = 1, RDX = 2, RBX = 3, RSP = 4, RBP = 5, RSI = 6, RDI = 7,
+  R8 = 8, R9 = 9, R10 = 10, R11 = 11, R12 = 12, R13 = 13, R14 = 14, R15 = 15,
+};
+
+// Condition codes for 0F 8x jcc.
+enum Cond : uint8_t {
+  CC_B = 0x2, CC_AE = 0x3, CC_E = 0x4, CC_NE = 0x5, CC_BE = 0x6, CC_A = 0x7,
+  CC_L = 0xC, CC_GE = 0xD, CC_LE = 0xE, CC_G = 0xF,
+};
+
+// x86 immediate-group extensions (81 /ext, 83 /ext).
+constexpr uint8_t kExtAdd = 0, kExtAnd = 4, kExtSub = 5, kExtCmp = 7;
+// Shift-group extensions (C1 / D3 /ext).
+constexpr uint8_t kExtShl = 4, kExtShr = 5, kExtSar = 7;
+
+class Asm {
+ public:
+  int NewLabel() {
+    labels_.push_back(-1);
+    return static_cast<int>(labels_.size()) - 1;
+  }
+  void Bind(int label) { labels_[label] = static_cast<int64_t>(buf_.size()); }
+  size_t LabelOffset(int label) const { return static_cast<size_t>(labels_[label]); }
+
+  // ---- raw emission ----
+  void B(uint8_t b) { buf_.push_back(b); }
+  void U32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) B(static_cast<uint8_t>(v >> (8 * i)));
+  }
+  void U64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) B(static_cast<uint8_t>(v >> (8 * i)));
+  }
+
+  void Rex(bool w, uint8_t reg, uint8_t index, uint8_t base) {
+    const uint8_t rex = 0x40 | (w ? 8 : 0) | (((reg >> 3) & 1) << 2) |
+                        (((index >> 3) & 1) << 1) | ((base >> 3) & 1);
+    if (rex != 0x40) B(rex);
+  }
+  void ModRR(uint8_t reg, uint8_t rm) { B(0xC0 | ((reg & 7) << 3) | (rm & 7)); }
+
+  // ModRM(+SIB)+disp for [base + disp].
+  void MemBaseDisp(uint8_t reg_field, uint8_t base, int32_t disp) {
+    const uint8_t basel = base & 7;
+    const bool need_sib = basel == 4;  // rsp/r12 encodings require a SIB byte
+    uint8_t mod;
+    if (disp == 0 && basel != 5) {
+      mod = 0;  // rbp/r13 as base require an explicit displacement
+    } else if (disp >= -128 && disp <= 127) {
+      mod = 1;
+    } else {
+      mod = 2;
+    }
+    B(static_cast<uint8_t>((mod << 6) | ((reg_field & 7) << 3) | (need_sib ? 4 : basel)));
+    if (need_sib) B(0x20 | basel);  // scale 1, no index
+    if (mod == 1) {
+      B(static_cast<uint8_t>(disp));
+    } else if (mod == 2) {
+      U32(static_cast<uint32_t>(disp));
+    }
+  }
+  // ModRM+SIB for [base + index] (scale 1, no displacement). |index| must not
+  // encode as 4 in its low bits (rsp); we never pass rsp/r12 as an index.
+  void MemBaseIndex(uint8_t reg_field, uint8_t base, uint8_t index) {
+    const uint8_t basel = base & 7;
+    if (basel == 5) {  // rbp/r13 base needs mod=01 + disp8 0
+      B(static_cast<uint8_t>(0x44 | ((reg_field & 7) << 3)));
+      B(((index & 7) << 3) | basel);
+      B(0);
+      return;
+    }
+    B(static_cast<uint8_t>(0x04 | ((reg_field & 7) << 3)));
+    B(((index & 7) << 3) | basel);
+  }
+
+  // ---- instructions ----
+  void Push(uint8_t r) { Rex(false, 0, 0, r); B(0x50 + (r & 7)); }
+  void Pop(uint8_t r) { Rex(false, 0, 0, r); B(0x58 + (r & 7)); }
+  void Ret() { B(0xC3); }
+
+  void MovRR64(uint8_t dst, uint8_t src) { Rex(true, src, 0, dst); B(0x89); ModRR(src, dst); }
+  void MovRR32(uint8_t dst, uint8_t src) { Rex(false, src, 0, dst); B(0x89); ModRR(src, dst); }
+  void MovRI64(uint8_t r, uint64_t imm) { Rex(true, 0, 0, r); B(0xB8 + (r & 7)); U64(imm); }
+  void MovRI32(uint8_t r, uint32_t imm) { Rex(false, 0, 0, r); B(0xB8 + (r & 7)); U32(imm); }
+  void MovRI32s(uint8_t r, int32_t imm) {  // mov r64, imm32 (sign-extends)
+    Rex(true, 0, 0, r);
+    B(0xC7);
+    ModRR(0, r);
+    U32(static_cast<uint32_t>(imm));
+  }
+
+  void LoadQ(uint8_t dst, uint8_t base, int32_t disp) {
+    Rex(true, dst, 0, base); B(0x8B); MemBaseDisp(dst, base, disp);
+  }
+  void LoadD(uint8_t dst, uint8_t base, int32_t disp) {  // zero-extends
+    Rex(false, dst, 0, base); B(0x8B); MemBaseDisp(dst, base, disp);
+  }
+  void StoreQ(uint8_t base, int32_t disp, uint8_t src) {
+    Rex(true, src, 0, base); B(0x89); MemBaseDisp(src, base, disp);
+  }
+  void StoreQImm32s(uint8_t base, int32_t disp, int32_t imm) {  // sign-extends
+    Rex(true, 0, 0, base); B(0xC7); MemBaseDisp(0, base, disp); U32(static_cast<uint32_t>(imm));
+  }
+  void Lea(uint8_t dst, uint8_t base, int32_t disp) {
+    Rex(true, dst, 0, base); B(0x8D); MemBaseDisp(dst, base, disp);
+  }
+
+  // Zero-/sign-agnostic sized load/store at [base + index], scale 1.
+  void LoadSized(uint8_t dst, uint8_t base, uint8_t index, int size) {
+    switch (size) {
+      case 1: Rex(false, dst, index, base); B(0x0F); B(0xB6); MemBaseIndex(dst, base, index); break;
+      case 2: Rex(false, dst, index, base); B(0x0F); B(0xB7); MemBaseIndex(dst, base, index); break;
+      case 4: Rex(false, dst, index, base); B(0x8B); MemBaseIndex(dst, base, index); break;
+      default: Rex(true, dst, index, base); B(0x8B); MemBaseIndex(dst, base, index); break;
+    }
+  }
+  void StoreSized(uint8_t base, uint8_t index, uint8_t src, int size) {
+    switch (size) {
+      case 1: Rex(false, src, index, base); B(0x88); MemBaseIndex(src, base, index); break;
+      case 2: B(0x66); Rex(false, src, index, base); B(0x89); MemBaseIndex(src, base, index); break;
+      case 4: Rex(false, src, index, base); B(0x89); MemBaseIndex(src, base, index); break;
+      default: Rex(true, src, index, base); B(0x89); MemBaseIndex(src, base, index); break;
+    }
+  }
+
+  // reg-direction ALU forms: |opcode| is the r/m,reg byte (01 add, 29 sub,
+  // 09 or, 21 and, 31 xor, 39 cmp, 85 test).
+  void AluRR64(uint8_t opcode, uint8_t rm, uint8_t reg) {
+    Rex(true, reg, 0, rm); B(opcode); ModRR(reg, rm);
+  }
+  void AluRR32(uint8_t opcode, uint8_t rm, uint8_t reg) {
+    Rex(false, reg, 0, rm); B(opcode); ModRR(reg, rm);
+  }
+  void AluMR64(uint8_t opcode, uint8_t base, int32_t disp, uint8_t reg) {
+    Rex(true, reg, 0, base); B(opcode); MemBaseDisp(reg, base, disp);
+  }
+  void AluMR32(uint8_t opcode, uint8_t base, int32_t disp, uint8_t reg) {
+    Rex(false, reg, 0, base); B(opcode); MemBaseDisp(reg, base, disp);
+  }
+  // cmp reg, [base+disp] (3B /r: reg - rm).
+  void CmpRM64(uint8_t reg, uint8_t base, int32_t disp) {
+    Rex(true, reg, 0, base); B(0x3B); MemBaseDisp(reg, base, disp);
+  }
+
+  // imm-group ALU (81 /ext imm32, 83 /ext imm8).
+  void AluRI64(uint8_t ext, uint8_t r, int32_t imm) {
+    Rex(true, 0, 0, r); B(0x81); ModRR(ext, r); U32(static_cast<uint32_t>(imm));
+  }
+  void AluRI32(uint8_t ext, uint8_t r, int32_t imm) {
+    Rex(false, 0, 0, r); B(0x81); ModRR(ext, r); U32(static_cast<uint32_t>(imm));
+  }
+  void AluRI8_64(uint8_t ext, uint8_t r, int8_t imm) {
+    Rex(true, 0, 0, r); B(0x83); ModRR(ext, r); B(static_cast<uint8_t>(imm));
+  }
+  void AluMI64(uint8_t ext, uint8_t base, int32_t disp, int32_t imm) {
+    Rex(true, 0, 0, base); B(0x81); MemBaseDisp(ext, base, disp); U32(static_cast<uint32_t>(imm));
+  }
+  void AluMI32(uint8_t ext, uint8_t base, int32_t disp, int32_t imm) {
+    Rex(false, 0, 0, base); B(0x81); MemBaseDisp(ext, base, disp); U32(static_cast<uint32_t>(imm));
+  }
+
+  void TestRR64(uint8_t a, uint8_t b) { AluRR64(0x85, a, b); }
+  void TestRR32(uint8_t a, uint8_t b) { AluRR32(0x85, a, b); }
+  void TestMI64(uint8_t base, int32_t disp, int32_t imm) {
+    Rex(true, 0, 0, base); B(0xF7); MemBaseDisp(0, base, disp); U32(static_cast<uint32_t>(imm));
+  }
+  void TestMI32(uint8_t base, int32_t disp, int32_t imm) {
+    Rex(false, 0, 0, base); B(0xF7); MemBaseDisp(0, base, disp); U32(static_cast<uint32_t>(imm));
+  }
+  void XorRR32(uint8_t r) { AluRR32(0x31, r, r); }
+
+  void CmpByteMemDisp0(uint8_t base, int32_t disp) {  // cmp byte [base+disp], 0
+    Rex(false, 0, 0, base); B(0x80); MemBaseDisp(7, base, disp); B(0);
+  }
+  void CmpByteMemIndex0(uint8_t base, uint8_t index) {  // cmp byte [base+index], 0
+    Rex(false, 0, index, base); B(0x80); MemBaseIndex(7, base, index); B(0);
+  }
+
+  void ImulRM64(uint8_t dst, uint8_t base, int32_t disp) {
+    Rex(true, dst, 0, base); B(0x0F); B(0xAF); MemBaseDisp(dst, base, disp);
+  }
+  void ImulRR32(uint8_t dst, uint8_t src) {
+    Rex(false, dst, 0, src); B(0x0F); B(0xAF); ModRR(dst, src);
+  }
+  void ImulRRI(uint8_t dst, uint8_t src, int32_t imm, bool w) {
+    Rex(w, dst, 0, src); B(0x69); ModRR(dst, src); U32(static_cast<uint32_t>(imm));
+  }
+  void NegR64(uint8_t r) { Rex(true, 0, 0, r); B(0xF7); ModRR(3, r); }
+  void NegR32(uint8_t r) { Rex(false, 0, 0, r); B(0xF7); ModRR(3, r); }
+  void NegM64(uint8_t base, int32_t disp) {
+    Rex(true, 0, 0, base); B(0xF7); MemBaseDisp(3, base, disp);
+  }
+  void DivR64(uint8_t r) { Rex(true, 0, 0, r); B(0xF7); ModRR(6, r); }  // rdx:rax / r
+  void DivR32(uint8_t r) { Rex(false, 0, 0, r); B(0xF7); ModRR(6, r); }
+
+  void ShiftRI64(uint8_t ext, uint8_t r, uint8_t count) {
+    Rex(true, 0, 0, r); B(0xC1); ModRR(ext, r); B(count);
+  }
+  void ShiftRI32(uint8_t ext, uint8_t r, uint8_t count) {
+    Rex(false, 0, 0, r); B(0xC1); ModRR(ext, r); B(count);
+  }
+  void ShiftRC64(uint8_t ext, uint8_t r) {  // count in cl
+    Rex(true, 0, 0, r); B(0xD3); ModRR(ext, r);
+  }
+  void ShiftRC32(uint8_t ext, uint8_t r) {
+    Rex(false, 0, 0, r); B(0xD3); ModRR(ext, r);
+  }
+  void ShiftMI64(uint8_t ext, uint8_t base, int32_t disp, uint8_t count) {
+    Rex(true, 0, 0, base); B(0xC1); MemBaseDisp(ext, base, disp); B(count);
+  }
+  void ShiftMC64(uint8_t ext, uint8_t base, int32_t disp) {
+    Rex(true, 0, 0, base); B(0xD3); MemBaseDisp(ext, base, disp);
+  }
+
+  void Bswap64(uint8_t r) { Rex(true, 0, 0, r); B(0x0F); B(0xC8 + (r & 7)); }
+  void Bswap32(uint8_t r) { Rex(false, 0, 0, r); B(0x0F); B(0xC8 + (r & 7)); }
+  void MovzxAl() { B(0x0F); B(0xB6); B(0xC0); }   // movzx eax, al
+  void MovzxAx() { B(0x0F); B(0xB7); B(0xC0); }   // movzx eax, ax
+
+  void Jcc(uint8_t cc, int label) { B(0x0F); B(0x80 + cc); Rel32(label); }
+  void Jmp(int label) { B(0xE9); Rel32(label); }
+  void JmpMemIndex8(uint8_t base, uint8_t index) {  // jmp qword [base + index*8]
+    Rex(false, 0, index, base);
+    B(0xFF);
+    B(0x24);
+    B(static_cast<uint8_t>(0xC0 | ((index & 7) << 3) | (base & 7)));
+  }
+  void CallAbs(const void* fn) {
+    MovRI64(RAX, reinterpret_cast<uint64_t>(fn));
+    B(0xFF);
+    B(0xD0);  // call rax
+  }
+
+  bool Finalize(std::vector<uint8_t>* out) {
+    for (const Fixup& f : fixups_) {
+      const int64_t target = labels_[f.label];
+      if (target < 0) return false;  // unbound label
+      const int64_t rel = target - static_cast<int64_t>(f.pos) - 4;
+      for (int i = 0; i < 4; ++i) {
+        buf_[f.pos + i] = static_cast<uint8_t>(static_cast<uint64_t>(rel) >> (8 * i));
+      }
+    }
+    *out = std::move(buf_);
+    return true;
+  }
+
+ private:
+  struct Fixup {
+    size_t pos;  // offset of the rel32 field
+    int label;
+  };
+  void Rel32(int label) {
+    fixups_.push_back({buf_.size(), label});
+    U32(0);
+  }
+
+  std::vector<uint8_t> buf_;
+  std::vector<int64_t> labels_;
+  std::vector<Fixup> fixups_;
+};
+
+int32_t RegOff(int r) { return static_cast<int32_t>(r) * 8; }
+#define RT_OFF(field) static_cast<int32_t>(offsetof(JitRt, field))
+
+// Condition code for a BPF conditional-jump subop; jset uses test+NE.
+// Returns false for subops outside the defined set (never taken — exactly
+// JmpTaken's default), in which case no branch is emitted.
+bool CondFor(uint8_t subop, uint8_t* cc) {
+  switch (subop) {
+    case kJmpJeq: *cc = CC_E; return true;
+    case kJmpJne: *cc = CC_NE; return true;
+    case kJmpJgt: *cc = CC_A; return true;
+    case kJmpJge: *cc = CC_AE; return true;
+    case kJmpJlt: *cc = CC_B; return true;
+    case kJmpJle: *cc = CC_BE; return true;
+    case kJmpJset: *cc = CC_NE; return true;
+    case kJmpJsgt: *cc = CC_G; return true;
+    case kJmpJsge: *cc = CC_GE; return true;
+    case kJmpJslt: *cc = CC_L; return true;
+    case kJmpJsle: *cc = CC_LE; return true;
+    default: return false;
+  }
+}
+
+}  // namespace
+
+bool EmitJitX86_64(const DecodedProgram& decoded, std::vector<uint8_t>* code,
+                   std::vector<size_t>* head_offsets) {
+  const std::vector<Uop>& uops = decoded.uops;
+  const size_t n = uops.size();
+  if (n == 0) return false;
+
+  Asm a;
+  std::vector<int> head(n);
+  for (int& h : head) h = a.NewLabel();
+  const int budget_tail = a.NewLabel();
+  const int exit_tail = a.NewLabel();
+  const int return_tail = a.NewLabel();
+
+  bool has_subprog = false;
+  for (const Uop& u : uops) {
+    if (u.code == UopCode::kCallSubprog) has_subprog = true;
+  }
+
+  struct WdStub {
+    int label;
+    int resume;
+  };
+  std::vector<WdStub> wd_stubs;
+  std::vector<std::function<void()>> cold_blocks;
+
+  // Emits the call-and-dispatch tail shared by every slow path: trampoline
+  // call, abort-code test, resume at the next uop's step prologue.
+  auto emit_slow_call = [&](const void* fn, uint64_t packed, bool has_rdx,
+                            uint64_t rdx_value, int resume_label) {
+    a.MovRR64(RDI, R12);
+    a.MovRI64(RSI, packed);
+    if (has_rdx) a.MovRI64(RDX, rdx_value);
+    a.CallAbs(fn);
+    a.TestRR32(RAX, RAX);
+    a.Jcc(CC_NE, return_tail);
+    a.Jmp(resume_label);
+  };
+
+  // ---- function prologue ----
+  a.Push(R12);
+  a.Push(R13);
+  a.Push(R14);
+  a.Push(R15);
+  a.AluRI8_64(kExtSub, RSP, 8);  // keep rsp 16-byte aligned at call sites
+  a.MovRR64(R12, RDI);
+  a.XorRR32(R13);  // steps = 0
+  a.LoadQ(R14, R12, RT_OFF(max_insns));
+  a.LoadQ(R15, R12, RT_OFF(wd_reload));
+  // falls through into uop 0's step prologue
+
+  for (size_t i = 0; i < n; ++i) {
+    const Uop& u = uops[i];
+    a.Bind(head[i]);
+
+    // Step prologue — one uop is exactly one legacy loop iteration.
+    a.AluRR64(0x39, R13, R14);  // cmp steps, max_insns
+    a.Jcc(CC_AE, budget_tail);
+    a.AluRI8_64(kExtAdd, R13, 1);
+    a.AluRI8_64(kExtSub, R15, 1);
+    const int wd = a.NewLabel();
+    a.Jcc(CC_E, wd);  // countdown hit zero: cold stub samples the clock
+    const int resume = a.NewLabel();
+    a.Bind(resume);
+    wd_stubs.push_back({wd, resume});
+
+    if (u.witness) {
+      const int skip = a.NewLabel();
+      a.LoadQ(RAX, R12, RT_OFF(witness));
+      a.TestRR64(RAX, RAX);
+      a.Jcc(CC_E, skip);
+      a.MovRR64(RDI, R12);
+      a.MovRI32(RSI, static_cast<uint32_t>(u.orig_pc));
+      a.CallAbs(reinterpret_cast<const void*>(&BvfJitWitness));
+      a.Bind(skip);
+    }
+
+    const int32_t dst_off = RegOff(u.dst);
+
+    switch (u.code) {
+      case UopCode::kAlu64Imm: {
+        int64_t imm = u.imm;
+        if (JitMiscompileForTest() && u.subop == kAluAdd && imm == 0x7eef) {
+          imm += 1;  // deliberate test-only miscompile (SetJitMiscompileForTest)
+        }
+        const int32_t imm32 = static_cast<int32_t>(imm);
+        switch (u.subop) {
+          case kAluAdd: a.AluMI64(0, R12, dst_off, imm32); break;
+          case kAluSub: a.AluMI64(5, R12, dst_off, imm32); break;
+          case kAluOr: a.AluMI64(1, R12, dst_off, imm32); break;
+          case kAluAnd: a.AluMI64(4, R12, dst_off, imm32); break;
+          case kAluXor: a.AluMI64(6, R12, dst_off, imm32); break;
+          case kAluMov: a.StoreQImm32s(R12, dst_off, imm32); break;
+          case kAluLsh: a.ShiftMI64(kExtShl, R12, dst_off, imm & 63); break;
+          case kAluRsh: a.ShiftMI64(kExtShr, R12, dst_off, imm & 63); break;
+          case kAluArsh: a.ShiftMI64(kExtSar, R12, dst_off, imm & 63); break;
+          case kAluMul:
+            a.LoadQ(RAX, R12, dst_off);
+            a.ImulRRI(RAX, RAX, imm32, true);
+            a.StoreQ(R12, dst_off, RAX);
+            break;
+          case kAluDiv:
+            if (imm == 0) {
+              a.StoreQImm32s(R12, dst_off, 0);
+            } else {
+              a.LoadQ(RAX, R12, dst_off);
+              a.MovRI32s(RCX, imm32);
+              a.XorRR32(RDX);
+              a.DivR64(RCX);
+              a.StoreQ(R12, dst_off, RAX);
+            }
+            break;
+          case kAluMod:
+            if (imm != 0) {  // src==0 leaves dst unchanged
+              a.LoadQ(RAX, R12, dst_off);
+              a.MovRI32s(RCX, imm32);
+              a.XorRR32(RDX);
+              a.DivR64(RCX);
+              a.StoreQ(R12, dst_off, RDX);
+            }
+            break;
+          default: break;  // unknown subop: dst unchanged (AluOp64 default)
+        }
+        break;
+      }
+
+      case UopCode::kAlu64Reg: {
+        const int32_t src_off = RegOff(u.src);
+        switch (u.subop) {
+          case kAluAdd: a.LoadQ(RCX, R12, src_off); a.AluMR64(0x01, R12, dst_off, RCX); break;
+          case kAluSub: a.LoadQ(RCX, R12, src_off); a.AluMR64(0x29, R12, dst_off, RCX); break;
+          case kAluOr: a.LoadQ(RCX, R12, src_off); a.AluMR64(0x09, R12, dst_off, RCX); break;
+          case kAluAnd: a.LoadQ(RCX, R12, src_off); a.AluMR64(0x21, R12, dst_off, RCX); break;
+          case kAluXor: a.LoadQ(RCX, R12, src_off); a.AluMR64(0x31, R12, dst_off, RCX); break;
+          case kAluMov:
+            a.LoadQ(RAX, R12, src_off);
+            a.StoreQ(R12, dst_off, RAX);
+            break;
+          case kAluLsh:
+            a.LoadQ(RCX, R12, src_off);
+            a.ShiftMC64(kExtShl, R12, dst_off);  // hardware masks cl & 63
+            break;
+          case kAluRsh:
+            a.LoadQ(RCX, R12, src_off);
+            a.ShiftMC64(kExtShr, R12, dst_off);
+            break;
+          case kAluArsh:
+            a.LoadQ(RCX, R12, src_off);
+            a.ShiftMC64(kExtSar, R12, dst_off);
+            break;
+          case kAluMul:
+            a.LoadQ(RAX, R12, dst_off);
+            a.ImulRM64(RAX, R12, src_off);
+            a.StoreQ(R12, dst_off, RAX);
+            break;
+          case kAluDiv: {
+            const int zero = a.NewLabel();
+            const int done = a.NewLabel();
+            a.LoadQ(RAX, R12, dst_off);
+            a.LoadQ(RCX, R12, src_off);
+            a.TestRR64(RCX, RCX);
+            a.Jcc(CC_E, zero);
+            a.XorRR32(RDX);
+            a.DivR64(RCX);
+            a.StoreQ(R12, dst_off, RAX);
+            a.Jmp(done);
+            a.Bind(zero);
+            a.StoreQImm32s(R12, dst_off, 0);
+            a.Bind(done);
+            break;
+          }
+          case kAluMod: {
+            const int skip = a.NewLabel();
+            a.LoadQ(RAX, R12, dst_off);
+            a.LoadQ(RCX, R12, src_off);
+            a.TestRR64(RCX, RCX);
+            a.Jcc(CC_E, skip);  // src==0: dst unchanged
+            a.XorRR32(RDX);
+            a.DivR64(RCX);
+            a.StoreQ(R12, dst_off, RDX);
+            a.Bind(skip);
+            break;
+          }
+          default: break;
+        }
+        break;
+      }
+
+      case UopCode::kAlu32Imm: {
+        const int32_t imm32 = static_cast<int32_t>(u.imm);
+        // Result is always the zero-extended 32-bit value — even for
+        // "unchanged" cases like mod-by-zero, AluOp32 truncates.
+        a.LoadD(RAX, R12, dst_off);
+        switch (u.subop) {
+          case kAluAdd: a.AluRI32(0, RAX, imm32); break;
+          case kAluSub: a.AluRI32(5, RAX, imm32); break;
+          case kAluOr: a.AluRI32(1, RAX, imm32); break;
+          case kAluAnd: a.AluRI32(4, RAX, imm32); break;
+          case kAluXor: a.AluRI32(6, RAX, imm32); break;
+          case kAluMov: a.MovRI32(RAX, static_cast<uint32_t>(imm32)); break;
+          case kAluMul: a.ImulRRI(RAX, RAX, imm32, false); break;
+          case kAluLsh: a.ShiftRI32(kExtShl, RAX, u.imm & 31); break;
+          case kAluRsh: a.ShiftRI32(kExtShr, RAX, u.imm & 31); break;
+          case kAluArsh: a.ShiftRI32(kExtSar, RAX, u.imm & 31); break;
+          case kAluDiv:
+            if (imm32 == 0) {
+              a.XorRR32(RAX);
+            } else {
+              a.MovRI32(RCX, static_cast<uint32_t>(imm32));
+              a.XorRR32(RDX);
+              a.DivR32(RCX);
+            }
+            break;
+          case kAluMod:
+            if (imm32 != 0) {
+              a.MovRI32(RCX, static_cast<uint32_t>(imm32));
+              a.XorRR32(RDX);
+              a.DivR32(RCX);
+              a.MovRR32(RAX, RDX);
+            }
+            break;
+          default: break;  // AluOp32 default: truncated dst
+        }
+        a.StoreQ(R12, dst_off, RAX);
+        break;
+      }
+
+      case UopCode::kAlu32Reg: {
+        const int32_t src_off = RegOff(u.src);
+        a.LoadD(RAX, R12, dst_off);
+        a.LoadD(RCX, R12, src_off);
+        switch (u.subop) {
+          case kAluAdd: a.AluRR32(0x01, RAX, RCX); break;
+          case kAluSub: a.AluRR32(0x29, RAX, RCX); break;
+          case kAluOr: a.AluRR32(0x09, RAX, RCX); break;
+          case kAluAnd: a.AluRR32(0x21, RAX, RCX); break;
+          case kAluXor: a.AluRR32(0x31, RAX, RCX); break;
+          case kAluMov: a.MovRR32(RAX, RCX); break;
+          case kAluMul: a.ImulRR32(RAX, RCX); break;
+          case kAluLsh: a.ShiftRC32(kExtShl, RAX); break;
+          case kAluRsh: a.ShiftRC32(kExtShr, RAX); break;
+          case kAluArsh: a.ShiftRC32(kExtSar, RAX); break;
+          case kAluDiv: {
+            const int zero = a.NewLabel();
+            const int done = a.NewLabel();
+            a.TestRR32(RCX, RCX);
+            a.Jcc(CC_E, zero);
+            a.XorRR32(RDX);
+            a.DivR32(RCX);
+            a.Jmp(done);
+            a.Bind(zero);
+            a.XorRR32(RAX);
+            a.Bind(done);
+            break;
+          }
+          case kAluMod: {
+            const int store = a.NewLabel();
+            a.TestRR32(RCX, RCX);
+            a.Jcc(CC_E, store);  // src==0: truncated dst
+            a.XorRR32(RDX);
+            a.DivR32(RCX);
+            a.MovRR32(RAX, RDX);
+            a.Bind(store);
+            break;
+          }
+          default: break;
+        }
+        a.StoreQ(R12, dst_off, RAX);
+        break;
+      }
+
+      case UopCode::kNeg64:
+        a.NegM64(R12, dst_off);
+        break;
+
+      case UopCode::kNeg32:
+        a.LoadD(RAX, R12, dst_off);
+        a.NegR32(RAX);
+        a.StoreQ(R12, dst_off, RAX);
+        break;
+
+      case UopCode::kEndian: {
+        const int w = static_cast<int>(u.imm);
+        if (u.flag) {  // to_be: ByteSwap (no-op outside {16,32,64})
+          if (w == 16) {
+            a.LoadQ(RAX, R12, dst_off);
+            a.Bswap64(RAX);
+            a.ShiftRI64(kExtShr, RAX, 48);  // bswap16 of the low word
+            a.StoreQ(R12, dst_off, RAX);
+          } else if (w == 32) {
+            a.LoadD(RAX, R12, dst_off);
+            a.Bswap32(RAX);
+            a.StoreQ(R12, dst_off, RAX);
+          } else if (w == 64) {
+            a.LoadQ(RAX, R12, dst_off);
+            a.Bswap64(RAX);
+            a.StoreQ(R12, dst_off, RAX);
+          }
+        } else {  // to_le: truncation mask (ExecEndian)
+          if (w >= 64) {
+            // no-op
+          } else if (w <= 0) {
+            a.StoreQImm32s(R12, dst_off, 0);
+          } else {
+            a.LoadQ(RAX, R12, dst_off);
+            a.MovRI64(RCX, (1ull << w) - 1);
+            a.AluRR64(0x21, RAX, RCX);
+            a.StoreQ(R12, dst_off, RAX);
+          }
+        }
+        break;
+      }
+
+      case UopCode::kLdImm64:
+        a.MovRI64(RAX, static_cast<uint64_t>(u.imm));
+        a.StoreQ(R12, dst_off, RAX);
+        a.Jmp(head[u.target]);
+        break;
+
+      case UopCode::kLoad: {
+        const int slow = a.NewLabel();
+        a.LoadQ(RAX, R12, RegOff(u.src));
+        if (u.off != 0) a.Lea(RAX, RAX, u.off);
+        a.MovRI64(RDX, kArenaBase);
+        a.MovRR64(RCX, RAX);
+        a.AluRR64(0x29, RCX, RDX);  // rcx = guest offset into the arena
+        a.LoadQ(RDX, R12, RT_OFF(arena_size));
+        a.AluRI8_64(kExtSub, RDX, static_cast<int8_t>(u.size));
+        a.AluRR64(0x39, RCX, RDX);
+        a.Jcc(CC_A, slow);  // null page / wild / overflow: C++ path
+        a.LoadQ(RSI, R12, RT_OFF(mem_base));
+        a.LoadSized(RAX, RSI, RCX, u.size);
+        a.StoreQ(R12, dst_off, RAX);
+        const uint64_t packed = static_cast<uint64_t>(u.dst) |
+                                static_cast<uint64_t>(u.src) << 8 |
+                                static_cast<uint64_t>(u.size) << 16 |
+                                (u.flag ? 1ull << 24 : 0) |
+                                static_cast<uint64_t>(static_cast<uint16_t>(u.off)) << 32;
+        cold_blocks.push_back([&a, &emit_slow_call, slow, packed, next = head[i + 1]] {
+          a.Bind(slow);
+          emit_slow_call(reinterpret_cast<const void*>(&BvfJitLoad), packed, false, 0, next);
+        });
+        break;
+      }
+
+      case UopCode::kStoreReg:
+      case UopCode::kStoreImm: {
+        const bool is_imm = u.code == UopCode::kStoreImm;
+        const int slow = a.NewLabel();
+        a.LoadQ(RAX, R12, dst_off);
+        if (u.off != 0) a.Lea(RAX, RAX, u.off);
+        a.MovRI64(RDX, kArenaBase);
+        a.MovRR64(RCX, RAX);
+        a.AluRR64(0x29, RCX, RDX);
+        a.LoadQ(RDX, R12, RT_OFF(arena_size));
+        a.AluRI8_64(kExtSub, RDX, static_cast<int8_t>(u.size));
+        a.AluRR64(0x39, RCX, RDX);
+        a.Jcc(CC_A, slow);
+        if (u.size > 1) {  // page-spanning stores take the C++ path (MarkDirty)
+          a.MovRR32(RSI, RCX);
+          a.AluRI32(kExtAnd, RSI, 4095);
+          a.AluRI32(kExtCmp, RSI, 4096 - u.size);
+          a.Jcc(CC_A, slow);
+        }
+        a.MovRR64(RDX, RCX);
+        a.ShiftRI64(kExtShr, RDX, 12);
+        a.LoadQ(RSI, R12, RT_OFF(page_dirty));
+        a.CmpByteMemIndex0(RSI, RDX);
+        a.Jcc(CC_E, slow);  // page not yet dirty: C++ path marks it
+        a.LoadQ(RSI, R12, RT_OFF(mem_base));
+        if (is_imm) {
+          a.MovRI32s(RDX, static_cast<int32_t>(u.imm));
+        } else {
+          a.LoadQ(RDX, R12, RegOff(u.src));
+        }
+        a.StoreSized(RSI, RCX, RDX, u.size);
+        const uint64_t packed = static_cast<uint64_t>(u.dst) |
+                                static_cast<uint64_t>(u.src) << 8 |
+                                static_cast<uint64_t>(u.size) << 16 |
+                                static_cast<uint64_t>(static_cast<uint16_t>(u.off)) << 32;
+        const void* fn = is_imm ? reinterpret_cast<const void*>(&BvfJitStoreImm)
+                                : reinterpret_cast<const void*>(&BvfJitStoreReg);
+        const uint64_t imm_val = static_cast<uint64_t>(u.imm);
+        cold_blocks.push_back(
+            [&a, &emit_slow_call, slow, packed, fn, is_imm, imm_val, next = head[i + 1]] {
+              a.Bind(slow);
+              emit_slow_call(fn, packed, is_imm, imm_val, next);
+            });
+        break;
+      }
+
+      case UopCode::kAtomic: {
+        const uint64_t packed = static_cast<uint64_t>(u.dst) |
+                                static_cast<uint64_t>(u.src) << 8 |
+                                static_cast<uint64_t>(u.size) << 16 |
+                                static_cast<uint64_t>(static_cast<uint16_t>(u.off)) << 32;
+        a.MovRR64(RDI, R12);
+        a.MovRI64(RSI, packed);
+        a.MovRI64(RDX, static_cast<uint64_t>(u.imm));
+        a.CallAbs(reinterpret_cast<const void*>(&BvfJitAtomic));
+        a.TestRR32(RAX, RAX);
+        a.Jcc(CC_NE, return_tail);
+        break;
+      }
+
+      case UopCode::kJa:
+        a.Jmp(head[u.target]);
+        break;
+
+      case UopCode::kJmpImm: {
+        uint8_t cc;
+        if (!CondFor(u.subop, &cc)) break;  // undefined op: never taken
+        const int32_t imm32 = static_cast<int32_t>(u.imm);
+        if (u.subop == kJmpJset) {
+          a.TestMI64(R12, dst_off, imm32);  // test sign-extends imm32
+        } else {
+          a.AluMI64(kExtCmp, R12, dst_off, imm32);  // cmp sign-extends imm32
+        }
+        a.Jcc(cc, head[u.target]);
+        break;
+      }
+
+      case UopCode::kJmpReg: {
+        uint8_t cc;
+        if (!CondFor(u.subop, &cc)) break;
+        a.LoadQ(RCX, R12, RegOff(u.src));
+        a.AluMR64(u.subop == kJmpJset ? 0x85 : 0x39, R12, dst_off, RCX);
+        a.Jcc(cc, head[u.target]);
+        break;
+      }
+
+      case UopCode::kJmp32Imm: {
+        uint8_t cc;
+        if (!CondFor(u.subop, &cc)) break;
+        const int32_t imm32 = static_cast<int32_t>(u.imm);
+        if (u.subop == kJmpJset) {
+          a.TestMI32(R12, dst_off, imm32);
+        } else {
+          a.AluMI32(kExtCmp, R12, dst_off, imm32);
+        }
+        a.Jcc(cc, head[u.target]);
+        break;
+      }
+
+      case UopCode::kJmp32Reg: {
+        uint8_t cc;
+        if (!CondFor(u.subop, &cc)) break;
+        a.LoadD(RCX, R12, RegOff(u.src));
+        a.AluMR32(u.subop == kJmpJset ? 0x85 : 0x39, R12, dst_off, RCX);
+        a.Jcc(cc, head[u.target]);
+        break;
+      }
+
+      case UopCode::kExit:
+        if (!has_subprog) {
+          a.Jmp(exit_tail);  // frames are provably empty
+        } else {
+          a.MovRR64(RDI, R12);
+          a.CallAbs(reinterpret_cast<const void*>(&BvfJitExit));
+          a.AluRI8_64(kExtCmp, RAX, -1);
+          a.Jcc(CC_E, exit_tail);
+          // Subprogram return: resume at the caller's next uop via the
+          // native-head table (the return upc is a runtime value).
+          a.LoadQ(RCX, R12, RT_OFF(ret_table));
+          a.JmpMemIndex8(RCX, RAX);
+        }
+        break;
+
+      case UopCode::kCallSubprog:
+        a.MovRR64(RDI, R12);
+        a.MovRI32(RSI, static_cast<uint32_t>(i + 1));  // return upc
+        a.CallAbs(reinterpret_cast<const void*>(&BvfJitCallSubprog));
+        a.TestRR32(RAX, RAX);
+        a.Jcc(CC_NE, return_tail);
+        a.Jmp(head[u.target]);
+        break;
+
+      case UopCode::kCallHelper:
+      case UopCode::kCallKfunc:
+        a.MovRR64(RDI, R12);
+        a.MovRI32(RSI, static_cast<uint32_t>(u.imm));
+        a.CallAbs(u.code == UopCode::kCallHelper
+                      ? reinterpret_cast<const void*>(&BvfJitHelper)
+                      : reinterpret_cast<const void*>(&BvfJitKfunc));
+        break;  // helpers never abort
+
+      case UopCode::kCallInternal:
+        a.MovRR64(RDI, R12);
+        a.MovRI32(RSI, static_cast<uint32_t>(u.imm));
+        a.CallAbs(reinterpret_cast<const void*>(&BvfJitInternal));
+        a.TestRR32(RAX, RAX);
+        a.Jcc(CC_NE, return_tail);
+        break;
+
+      case UopCode::kAsanLoad: {
+        // Inline FastCheckedLoad (kasan.h): word-in-arena check, shadow-word
+        // mask test, masked 8-byte read. Any miss — including the non-native
+        // internal-table configuration — re-runs the full C++ path.
+        const int slow = a.NewLabel();
+        const uint64_t mask =
+            u.size >= 8 ? ~0ull : ((1ull << (u.size * 8)) - 1);
+        a.CmpByteMemDisp0(R12, RT_OFF(asan_native));
+        a.Jcc(CC_E, slow);
+        a.LoadQ(RAX, R12, RegOff(kR1));
+        a.MovRI64(RDX, kArenaBase);
+        a.MovRR64(RCX, RAX);
+        a.AluRR64(0x29, RCX, RDX);
+        a.LoadQ(RDX, R12, RT_OFF(arena_size));
+        a.AluRI8_64(kExtSub, RDX, 8);
+        a.AluRR64(0x39, RCX, RDX);
+        a.Jcc(CC_A, slow);
+        a.LoadQ(RSI, R12, RT_OFF(shadow_base));
+        a.LoadSized(RDX, RSI, RCX, 8);
+        if (u.size >= 8) {
+          a.TestRR64(RDX, RDX);
+        } else {
+          a.MovRI32(RSI, static_cast<uint32_t>(mask));
+          a.TestRR64(RDX, RSI);
+        }
+        a.Jcc(CC_NE, slow);
+        a.LoadQ(RSI, R12, RT_OFF(mem_base));
+        a.LoadSized(RAX, RSI, RCX, 8);
+        if (u.size == 1) {
+          a.MovzxAl();
+        } else if (u.size == 2) {
+          a.MovzxAx();
+        } else if (u.size == 4) {
+          a.MovRR32(RAX, RAX);
+        }
+        a.StoreQ(R12, RegOff(kR0), RAX);
+        const uint64_t packed =
+            static_cast<uint64_t>(u.size) | (u.flag ? 1ull << 8 : 0) |
+            static_cast<uint64_t>(static_cast<uint32_t>(u.imm)) << 32;
+        cold_blocks.push_back([&a, &emit_slow_call, slow, packed, next = head[i + 1]] {
+          a.Bind(slow);
+          emit_slow_call(reinterpret_cast<const void*>(&BvfJitAsanLoad), packed, false, 0,
+                         next);
+        });
+        break;
+      }
+
+      case UopCode::kAsanStore: {
+        const int slow = a.NewLabel();
+        const uint64_t mask =
+            u.size >= 8 ? ~0ull : ((1ull << (u.size * 8)) - 1);
+        a.CmpByteMemDisp0(R12, RT_OFF(asan_native));
+        a.Jcc(CC_E, slow);
+        a.LoadQ(RAX, R12, RegOff(kR1));
+        a.MovRI64(RDX, kArenaBase);
+        a.MovRR64(RCX, RAX);
+        a.AluRR64(0x29, RCX, RDX);
+        a.LoadQ(RDX, R12, RT_OFF(arena_size));
+        a.AluRI8_64(kExtSub, RDX, 8);
+        a.AluRR64(0x39, RCX, RDX);
+        a.Jcc(CC_A, slow);
+        a.LoadQ(RSI, R12, RT_OFF(shadow_base));
+        a.LoadSized(RDX, RSI, RCX, 8);
+        if (u.size >= 8) {
+          a.TestRR64(RDX, RDX);
+        } else {
+          a.MovRI32(RSI, static_cast<uint32_t>(mask));
+          a.TestRR64(RDX, RSI);
+        }
+        a.Jcc(CC_NE, slow);
+        // The blended write touches the whole containing 8-byte word; take
+        // the native path only when that word sits in one already-dirty page
+        // (so skipping MarkDirty is a no-op).
+        a.MovRR32(RSI, RCX);
+        a.AluRI32(kExtAnd, RSI, 4095);
+        a.AluRI32(kExtCmp, RSI, 4088);
+        a.Jcc(CC_A, slow);
+        a.MovRR64(RDX, RCX);
+        a.ShiftRI64(kExtShr, RDX, 12);
+        a.LoadQ(RSI, R12, RT_OFF(page_dirty));
+        a.CmpByteMemIndex0(RSI, RDX);
+        a.Jcc(CC_E, slow);
+        a.LoadQ(RSI, R12, RT_OFF(mem_base));
+        a.LoadQ(RDX, R12, RegOff(kR2));  // value
+        if (u.size >= 8) {
+          a.StoreSized(RSI, RCX, RDX, 8);
+        } else {
+          a.LoadSized(RAX, RSI, RCX, 8);  // current word
+          a.MovRI64(RDI, ~mask);
+          a.AluRR64(0x21, RAX, RDI);
+          a.MovRI32(RDI, static_cast<uint32_t>(mask));
+          a.AluRR64(0x21, RDX, RDI);
+          a.AluRR64(0x09, RAX, RDX);
+          a.StoreSized(RSI, RCX, RAX, 8);
+        }
+        a.StoreQImm32s(R12, RegOff(kR0), 0);
+        const uint64_t packed =
+            static_cast<uint64_t>(u.size) |
+            static_cast<uint64_t>(static_cast<uint32_t>(u.imm)) << 32;
+        cold_blocks.push_back([&a, &emit_slow_call, slow, packed, next = head[i + 1]] {
+          a.Bind(slow);
+          emit_slow_call(reinterpret_cast<const void*>(&BvfJitAsanStore), packed, false, 0,
+                         next);
+        });
+        break;
+      }
+
+      case UopCode::kAsanAluPos: {
+        // Fast path: no violation (value <= limit) files nothing.
+        const int slow = a.NewLabel();
+        a.CmpByteMemDisp0(R12, RT_OFF(asan_native));
+        a.Jcc(CC_E, slow);
+        a.LoadQ(RAX, R12, RegOff(kR1));
+        a.CmpRM64(RAX, R12, RegOff(kR2));
+        a.Jcc(CC_A, slow);  // value > limit: report path
+        a.StoreQImm32s(R12, RegOff(kR0), 0);
+        const uint64_t packed = static_cast<uint64_t>(static_cast<uint32_t>(u.imm));
+        cold_blocks.push_back([&a, &emit_slow_call, slow, packed, next = head[i + 1]] {
+          a.Bind(slow);
+          emit_slow_call(reinterpret_cast<const void*>(&BvfJitAsanAluPos), packed, false, 0,
+                         next);
+        });
+        break;
+      }
+
+      case UopCode::kAsanAluNeg: {
+        // Fast path: value is non-positive and its magnitude is within limit.
+        const int slow = a.NewLabel();
+        a.CmpByteMemDisp0(R12, RT_OFF(asan_native));
+        a.Jcc(CC_E, slow);
+        a.LoadQ(RAX, R12, RegOff(kR1));
+        a.TestRR64(RAX, RAX);
+        a.Jcc(CC_G, slow);  // signed value > 0: report path
+        a.NegR64(RAX);      // magnitude
+        a.CmpRM64(RAX, R12, RegOff(kR2));
+        a.Jcc(CC_A, slow);  // magnitude > limit: report path
+        a.StoreQImm32s(R12, RegOff(kR0), 0);
+        const uint64_t packed = static_cast<uint64_t>(static_cast<uint32_t>(u.imm));
+        cold_blocks.push_back([&a, &emit_slow_call, slow, packed, next = head[i + 1]] {
+          a.Bind(slow);
+          emit_slow_call(reinterpret_cast<const void*>(&BvfJitAsanAluNeg), packed, false, 0,
+                         next);
+        });
+        break;
+      }
+
+      case UopCode::kInvalid:
+        a.MovRI32(RAX, kJitAbortBadOpcode);
+        a.Jmp(return_tail);
+        break;
+
+      case UopCode::kPcOob:
+        a.MovRI32(RAX, kJitAbortPcOob);
+        a.Jmp(return_tail);
+        break;
+    }
+    // Non-control uops fall through into the next uop's step prologue.
+  }
+
+  // ---- shared tails ----
+  a.Bind(budget_tail);
+  a.AluRI8_64(kExtAdd, R13, 1);  // the tripping step is still counted
+  a.MovRI32(RAX, kJitAbortBudget);
+  a.Jmp(return_tail);
+
+  a.Bind(exit_tail);
+  a.XorRR32(RAX);  // clean exit; falls through
+
+  a.Bind(return_tail);
+  a.StoreQ(R12, RT_OFF(steps), R13);
+  a.AluRI8_64(kExtAdd, RSP, 8);
+  a.Pop(R15);
+  a.Pop(R14);
+  a.Pop(R13);
+  a.Pop(R12);
+  a.Ret();
+
+  // ---- cold code ----
+  for (const WdStub& s : wd_stubs) {
+    a.Bind(s.label);
+    a.MovRR64(RDI, R12);
+    a.CallAbs(reinterpret_cast<const void*>(&BvfJitWatchdog));
+    a.LoadQ(R15, R12, RT_OFF(wd_reload));  // countdown restarts either way
+    a.TestRR32(RAX, RAX);
+    a.Jcc(CC_NE, return_tail);
+    a.Jmp(s.resume);  // re-runs the witness check, as watchdog_due does
+  }
+  for (const std::function<void()>& emit : cold_blocks) {
+    emit();
+  }
+
+  if (!a.Finalize(code)) return false;
+  head_offsets->resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    (*head_offsets)[i] = a.LabelOffset(head[i]);
+  }
+  return true;
+}
+
+}  // namespace bpf
+
+#else  // !defined(__x86_64__)
+
+namespace bpf {
+
+bool EmitJitX86_64(const DecodedProgram&, std::vector<uint8_t>*, std::vector<size_t>*) {
+  return false;
+}
+
+}  // namespace bpf
+
+#endif

@@ -1,0 +1,75 @@
+// x86-64 machine-code emission for the JIT execution tier (DESIGN.md §14).
+//
+// Split from jit_prog.cc so the architecture-specific assembler stays in one
+// translation unit: jit_prog.cc owns the portable pieces (W^X code mapping,
+// the C++ trampolines, the RunJit wrapper) and this file owns instruction
+// encoding and the per-uop lowering sequences. On non-x86-64 builds the
+// emitter compiles to a stub that always fails, which CompileJit turns into
+// the decoded-engine fallback.
+
+#ifndef SRC_RUNTIME_JIT_EMIT_X86_64_H_
+#define SRC_RUNTIME_JIT_EMIT_X86_64_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/runtime/decoded_prog.h"
+
+namespace bpf {
+
+struct JitRt;
+
+// Abort codes returned by compiled code / trampolines; RunJit translates them
+// into the interpreters' exact errno + abort_reason + terminal-report
+// behavior. 0 means clean exit (r0 is in JitRt::regs[0]).
+enum JitAbort : uint64_t {
+  kJitAbortNone = 0,
+  kJitAbortBudget = 1,        // -ELOOP  "execution budget exceeded"
+  kJitAbortWatchdog = 2,      // -ETIMEDOUT "wall-clock budget exceeded"
+  kJitAbortPcOob = 3,         // -EFAULT "pc out of range"
+  kJitAbortLoadFault = 4,     // -EFAULT "page fault on load"
+  kJitAbortStoreFault = 5,    // -EFAULT "page fault on store"
+  kJitAbortAtomicFault = 6,   // -EFAULT "page fault on atomic"
+  kJitAbortCallDepth = 7,     // -EFAULT "call depth exceeded"
+  kJitAbortStackAlloc = 8,    // -ENOMEM "subprog stack allocation failed"
+  kJitAbortBadOpcode = 9,     // -EINVAL "unknown opcode"
+  kJitAbortBadInternal = 10,  // -EFAULT "unknown internal func"
+};
+
+// C++ slow paths the generated code calls (defined in jit_prog.cc). All use
+// the SysV C convention with the JitRt* first so BPF register state — which
+// lives in JitRt::regs, not host registers — is reachable without spills.
+// Every function returns a JitAbort (0 = continue); BvfJitExit instead
+// returns ~0ull for "program done" or the uop index to resume at after a
+// subprogram return.
+extern "C" {
+uint64_t BvfJitWitness(JitRt* rt, uint64_t orig_pc);
+uint64_t BvfJitWatchdog(JitRt* rt);
+uint64_t BvfJitLoad(JitRt* rt, uint64_t packed);
+uint64_t BvfJitStoreReg(JitRt* rt, uint64_t packed);
+uint64_t BvfJitStoreImm(JitRt* rt, uint64_t packed, uint64_t value);
+uint64_t BvfJitAtomic(JitRt* rt, uint64_t packed, uint64_t imm);
+uint64_t BvfJitHelper(JitRt* rt, uint64_t id);
+uint64_t BvfJitKfunc(JitRt* rt, uint64_t id);
+uint64_t BvfJitInternal(JitRt* rt, uint64_t id);
+uint64_t BvfJitAsanLoad(JitRt* rt, uint64_t packed);
+uint64_t BvfJitAsanStore(JitRt* rt, uint64_t packed);
+uint64_t BvfJitAsanAluPos(JitRt* rt, uint64_t id);
+uint64_t BvfJitAsanAluNeg(JitRt* rt, uint64_t id);
+uint64_t BvfJitCallSubprog(JitRt* rt, uint64_t return_upc);
+uint64_t BvfJitExit(JitRt* rt);
+}
+
+// Lowers |decoded| to x86-64 machine code. On success fills |code| with the
+// finished (relocated-for-offset-zero) bytes — internal control flow is
+// rel32, so the blob can be copied to any base — and |head_offsets| with the
+// offset of every uop's step prologue (indexed like decoded.uops; this
+// becomes JitProgram::uop_entry once the final base address is known).
+// Returns false on non-x86-64 builds or if the program is not encodable.
+bool EmitJitX86_64(const DecodedProgram& decoded, std::vector<uint8_t>* code,
+                   std::vector<size_t>* head_offsets);
+
+}  // namespace bpf
+
+#endif  // SRC_RUNTIME_JIT_EMIT_X86_64_H_

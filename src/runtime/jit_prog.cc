@@ -1,0 +1,411 @@
+// Portable half of the JIT execution tier (DESIGN.md §14): W^X code mapping,
+// the C++ trampolines generated code calls for everything side-effectful, and
+// the RunJit wrapper that translates JitAbort codes into the interpreters'
+// exact errno/abort_reason/report behavior. The x86-64 assembler itself lives
+// in jit_emit_x86_64.cc.
+
+#include "src/runtime/jit_prog.h"
+
+#include <sys/mman.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+
+#include "src/runtime/helpers.h"
+#include "src/runtime/interp_ops.h"
+#include "src/runtime/jit_emit_x86_64.h"
+#include "src/runtime/kernel.h"
+#include "src/sanitizer/asan_check.h"
+
+namespace bpf {
+
+namespace {
+
+std::atomic<bool> g_jit_force_unavailable{false};
+std::atomic<bool> g_jit_miscompile{false};
+
+// One-shot probe that the host actually permits W^X code mappings (mmap RW,
+// flip to RX, execute). Some hardened environments deny PROT_EXEC remaps;
+// failing the probe downgrades the tier to the decoded engine instead of
+// failing every PROG_LOAD.
+bool ProbeWx() {
+  void* page = mmap(nullptr, 4096, PROT_READ | PROT_WRITE,
+                    MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (page == MAP_FAILED) {
+    return false;
+  }
+  static_cast<uint8_t*>(page)[0] = 0xC3;  // ret
+  if (mprotect(page, 4096, PROT_READ | PROT_EXEC) != 0) {
+    munmap(page, 4096);
+    return false;
+  }
+  reinterpret_cast<void (*)()>(page)();
+  munmap(page, 4096);
+  return true;
+}
+
+}  // namespace
+
+bool JitAvailable() {
+  if (g_jit_force_unavailable.load(std::memory_order_relaxed)) {
+    return false;
+  }
+#if !defined(__x86_64__)
+  return false;
+#else
+  static const bool ok = ProbeWx();
+  return ok;
+#endif
+}
+
+void SetJitForceUnavailableForTest(bool unavailable) {
+  g_jit_force_unavailable.store(unavailable, std::memory_order_relaxed);
+}
+
+void SetJitMiscompileForTest(bool miscompile) {
+  g_jit_miscompile.store(miscompile, std::memory_order_relaxed);
+}
+
+bool JitMiscompileForTest() {
+  return g_jit_miscompile.load(std::memory_order_relaxed);
+}
+
+JitProgram::~JitProgram() {
+  if (code != nullptr) {
+    munmap(code, code_size);
+  }
+}
+
+std::shared_ptr<const JitProgram> CompileJit(const DecodedProgram& decoded) {
+  if (!JitAvailable()) {
+    return nullptr;
+  }
+  std::vector<uint8_t> bytes;
+  std::vector<size_t> heads;
+  if (!EmitJitX86_64(decoded, &bytes, &heads)) {
+    return nullptr;
+  }
+  void* mem = mmap(nullptr, bytes.size(), PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (mem == MAP_FAILED) {
+    return nullptr;
+  }
+  std::memcpy(mem, bytes.data(), bytes.size());
+  if (mprotect(mem, bytes.size(), PROT_READ | PROT_EXEC) != 0) {
+    munmap(mem, bytes.size());
+    return nullptr;
+  }
+  auto jit = std::make_shared<JitProgram>();
+  jit->code = mem;
+  jit->code_size = bytes.size();
+  jit->entry = reinterpret_cast<JitEntry>(mem);  // prologue is at offset 0
+  jit->uop_entry.resize(heads.size());
+  for (size_t i = 0; i < heads.size(); ++i) {
+    jit->uop_entry[i] = reinterpret_cast<uint64_t>(mem) + heads[i];
+  }
+  return jit;
+}
+
+// ---- trampolines -----------------------------------------------------------
+//
+// Each wraps the exact C++ the decoded engine's handler runs (decoded_prog.cc)
+// on the register file and kernel objects reachable through JitRt. Packed
+// operand layouts match jit_emit_x86_64.cc's call sites field for field.
+
+extern "C" uint64_t BvfJitWitness(JitRt* rt, uint64_t orig_pc) {
+  WitnessTrace::Entry* entry = rt->witness->Append(static_cast<int32_t>(orig_pc));
+  if (entry != nullptr) {
+    for (int r = 0; r < kClaimRegs; ++r) {
+      entry->regs[r] = rt->regs[r];
+    }
+  }
+  return kJitAbortNone;
+}
+
+extern "C" uint64_t BvfJitWatchdog(JitRt* rt) {
+  // Reached every 4096 charged steps (the countdown reload), or never within
+  // a realistic run when the watchdog is off and the reload is the 2^62
+  // sentinel — but stay correct even then.
+  if (!rt->watchdog_enabled) {
+    return kJitAbortNone;
+  }
+  if (std::chrono::steady_clock::now() >= rt->deadline) {
+    return kJitAbortWatchdog;
+  }
+  return kJitAbortNone;
+}
+
+extern "C" uint64_t BvfJitLoad(JitRt* rt, uint64_t packed) {
+  const uint8_t dst = packed & 0xff;
+  const uint8_t src = (packed >> 8) & 0xff;
+  const int size = static_cast<int>((packed >> 16) & 0xff);
+  const bool btf_load = (packed >> 24) & 1;
+  const int16_t off = static_cast<int16_t>(static_cast<uint16_t>(packed >> 32));
+  if (!ExecMemLoad(*rt->arena, *rt->sink, rt->regs, dst, src, off, size, btf_load)) {
+    return kJitAbortLoadFault;
+  }
+  return kJitAbortNone;
+}
+
+extern "C" uint64_t BvfJitStoreReg(JitRt* rt, uint64_t packed) {
+  const uint8_t dst = packed & 0xff;
+  const uint8_t src = (packed >> 8) & 0xff;
+  const int size = static_cast<int>((packed >> 16) & 0xff);
+  const int16_t off = static_cast<int16_t>(static_cast<uint16_t>(packed >> 32));
+  if (!ExecMemStore(*rt->arena, *rt->sink, rt->regs, dst, off, rt->regs[src], size)) {
+    return kJitAbortStoreFault;
+  }
+  return kJitAbortNone;
+}
+
+extern "C" uint64_t BvfJitStoreImm(JitRt* rt, uint64_t packed, uint64_t value) {
+  const uint8_t dst = packed & 0xff;
+  const int size = static_cast<int>((packed >> 16) & 0xff);
+  const int16_t off = static_cast<int16_t>(static_cast<uint16_t>(packed >> 32));
+  if (!ExecMemStore(*rt->arena, *rt->sink, rt->regs, dst, off, value, size)) {
+    return kJitAbortStoreFault;
+  }
+  return kJitAbortNone;
+}
+
+extern "C" uint64_t BvfJitAtomic(JitRt* rt, uint64_t packed, uint64_t imm) {
+  const uint8_t dst = packed & 0xff;
+  const uint8_t src = (packed >> 8) & 0xff;
+  const int size = static_cast<int>((packed >> 16) & 0xff);
+  const int16_t off = static_cast<int16_t>(static_cast<uint16_t>(packed >> 32));
+  if (!ExecAtomicRmw(*rt->arena, *rt->sink, rt->regs, dst, src, off, size,
+                     static_cast<int32_t>(imm))) {
+    return kJitAbortAtomicFault;
+  }
+  return kJitAbortNone;
+}
+
+extern "C" uint64_t BvfJitHelper(JitRt* rt, uint64_t id) {
+  uint64_t* regs = rt->regs;
+  const uint64_t args[5] = {regs[kR1], regs[kR2], regs[kR3], regs[kR4], regs[kR5]};
+  regs[kR0] = DispatchHelper(*rt->kernel, *rt->ctx, static_cast<int32_t>(id), args);
+  ClobberCallerSaved(regs, ++rt->call_counter);
+  return kJitAbortNone;
+}
+
+extern "C" uint64_t BvfJitKfunc(JitRt* rt, uint64_t id) {
+  uint64_t* regs = rt->regs;
+  const uint64_t args[5] = {regs[kR1], regs[kR2], regs[kR3], regs[kR4], regs[kR5]};
+  regs[kR0] = DispatchKfunc(*rt->kernel, *rt->ctx, static_cast<int32_t>(id), args);
+  ClobberCallerSaved(regs, ++rt->call_counter);
+  return kJitAbortNone;
+}
+
+extern "C" uint64_t BvfJitInternal(JitRt* rt, uint64_t id) {
+  const InternalFn* fn = rt->kernel->FindInternalFunc(static_cast<int32_t>(id));
+  if (fn == nullptr) {
+    return kJitAbortBadInternal;
+  }
+  uint64_t* regs = rt->regs;
+  const uint64_t args[5] = {regs[kR1], regs[kR2], regs[kR3], regs[kR4], regs[kR5]};
+  regs[kR0] = (*fn)(*rt->kernel, *rt->ctx, args);
+  return kJitAbortNone;
+}
+
+// Generic-table fallback shared by the four asan trampolines when BpfAsan's
+// native entries are not installed (kernel.asan_funcs_native() false).
+static uint64_t AsanTableFallback(JitRt* rt, int32_t id) {
+  const InternalFn* fn = rt->kernel->FindInternalFunc(id);
+  if (fn == nullptr) {
+    return kJitAbortBadInternal;
+  }
+  uint64_t* regs = rt->regs;
+  const uint64_t args[5] = {regs[kR1], regs[kR2], regs[kR3], regs[kR4], regs[kR5]};
+  regs[kR0] = (*fn)(*rt->kernel, *rt->ctx, args);
+  return kJitAbortNone;
+}
+
+extern "C" uint64_t BvfJitAsanLoad(JitRt* rt, uint64_t packed) {
+  const int size = static_cast<int>(packed & 0xff);
+  const bool null_ok = (packed >> 8) & 1;
+  if (!rt->asan_native) {
+    return AsanTableFallback(rt, static_cast<int32_t>(packed >> 32));
+  }
+  uint64_t value;
+  if (rt->arena->FastCheckedLoad(rt->regs[kR1], size, &value)) {
+    rt->regs[kR0] = value;  // the inline fast path missed only narrowly
+  } else {
+    rt->regs[kR0] = AsanCheckedLoad(*rt->arena, *rt->sink, rt->regs[kR1], size, null_ok);
+  }
+  return kJitAbortNone;
+}
+
+extern "C" uint64_t BvfJitAsanStore(JitRt* rt, uint64_t packed) {
+  const int size = static_cast<int>(packed & 0xff);
+  if (!rt->asan_native) {
+    return AsanTableFallback(rt, static_cast<int32_t>(packed >> 32));
+  }
+  if (!rt->arena->FastCheckedStore(rt->regs[kR1], size, rt->regs[kR2])) {
+    AsanCheckedStore(*rt->arena, *rt->sink, rt->regs[kR1], rt->regs[kR2], size);
+  }
+  rt->regs[kR0] = 0;
+  return kJitAbortNone;
+}
+
+extern "C" uint64_t BvfJitAsanAluPos(JitRt* rt, uint64_t id) {
+  if (!rt->asan_native) {
+    return AsanTableFallback(rt, static_cast<int32_t>(id));
+  }
+  AsanCheckAluPos(*rt->sink, rt->regs[kR1], rt->regs[kR2]);
+  rt->regs[kR0] = 0;
+  return kJitAbortNone;
+}
+
+extern "C" uint64_t BvfJitAsanAluNeg(JitRt* rt, uint64_t id) {
+  if (!rt->asan_native) {
+    return AsanTableFallback(rt, static_cast<int32_t>(id));
+  }
+  AsanCheckAluNeg(*rt->sink, rt->regs[kR1], rt->regs[kR2]);
+  rt->regs[kR0] = 0;
+  return kJitAbortNone;
+}
+
+extern "C" uint64_t BvfJitCallSubprog(JitRt* rt, uint64_t return_upc) {
+  std::vector<JitFrame>& frames = *rt->frames;
+  if (frames.size() >= static_cast<size_t>(rt->limits->max_call_depth)) {
+    return kJitAbortCallDepth;
+  }
+  JitFrame frame;
+  frame.return_upc = static_cast<int32_t>(return_upc);
+  for (int i = 0; i < 4; ++i) {
+    frame.saved_regs[i] = rt->regs[kR6 + i];
+  }
+  frame.saved_fp = rt->regs[kR10];
+  frame.stack_alloc = rt->arena->Alloc(kStackSize + kExtendedStackSize, "bpf_subprog_stack");
+  if (frame.stack_alloc == 0) {
+    return kJitAbortStackAlloc;
+  }
+  rt->regs[kR10] = frame.stack_alloc + kExtendedStackSize + kStackSize;
+  frames.push_back(frame);
+  return kJitAbortNone;
+}
+
+extern "C" uint64_t BvfJitExit(JitRt* rt) {
+  std::vector<JitFrame>& frames = *rt->frames;
+  if (frames.empty()) {
+    return ~0ull;  // program done; r0 is rt->regs[kR0]
+  }
+  const JitFrame& frame = frames.back();
+  for (int i = 0; i < 4; ++i) {
+    rt->regs[kR6 + i] = frame.saved_regs[i];
+  }
+  rt->regs[kR10] = frame.saved_fp;
+  rt->arena->Free(frame.stack_alloc);
+  const int32_t return_upc = frame.return_upc;
+  frames.pop_back();
+  return static_cast<uint64_t>(return_upc);
+}
+
+// ---- execution wrapper -----------------------------------------------------
+
+ExecResult RunJit(Kernel& kernel, const JitProgram& jit, ExecContext& ctx,
+                  const ExecLimits& limits) {
+  ExecResult result;
+  KasanArena& arena = kernel.arena();
+  ReportSink& sink = kernel.reports();
+
+  constexpr uint64_t kWatchdogStride = 4096;  // same clock cadence as interpreter.cc
+  const bool watchdog = limits.wall_budget_ms > 0;
+
+  std::vector<JitFrame> frames;
+  JitRt rt;
+  rt.regs[kR1] = ctx.ctx_addr;
+  rt.regs[kR10] = ctx.fp;
+  rt.max_insns = limits.step_budget;
+  // With the watchdog off the countdown still runs (it saves a branch in the
+  // hot prologue); the 2^62 reload keeps it from firing within any realistic
+  // budget, and BvfJitWatchdog ignores spurious firings regardless.
+  rt.wd_reload = watchdog ? kWatchdogStride : (1ull << 62);
+  rt.witness = ctx.witness;
+  rt.ret_table = jit.uop_entry.data();
+  rt.mem_base = arena.jit_mem_base();
+  rt.shadow_base = arena.jit_shadow_base();
+  rt.page_dirty = arena.jit_page_dirty_base();
+  rt.arena_size = arena.jit_arena_size();
+  rt.asan_native = kernel.asan_funcs_native() ? 1 : 0;
+  rt.kernel = &kernel;
+  rt.ctx = &ctx;
+  rt.limits = &limits;
+  rt.arena = &arena;
+  rt.sink = &sink;
+  rt.frames = &frames;
+  rt.watchdog_enabled = watchdog;
+  if (watchdog) {
+    rt.deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(limits.wall_budget_ms);
+  }
+
+  const uint64_t code = jit.entry(&rt);
+  result.insns_executed = rt.steps;
+
+  // The budget/watchdog kWarn reports are filed here rather than from inside
+  // generated code; both aborts are terminal (nothing reports after them in
+  // the decoded engine either), so report order is preserved.
+  switch (code) {
+    case kJitAbortNone:
+      result.r0 = rt.regs[kR0];
+      break;
+    case kJitAbortBudget:
+      sink.Report(ReportKind::kWarn, "bpf_prog_run",
+                  "soft lockup: eBPF program exceeded the execution budget");
+      result.err = -ELOOP;
+      result.abort_reason = "execution budget exceeded";
+      break;
+    case kJitAbortWatchdog:
+      sink.Report(ReportKind::kWarn, "bpf_prog_run",
+                  "watchdog: eBPF program exceeded the wall-clock budget");
+      result.err = -ETIMEDOUT;
+      result.abort_reason = "wall-clock budget exceeded";
+      break;
+    case kJitAbortPcOob:
+      result.err = -EFAULT;
+      result.abort_reason = "pc out of range";
+      break;
+    case kJitAbortLoadFault:
+      result.err = -EFAULT;
+      result.abort_reason = "page fault on load";
+      break;
+    case kJitAbortStoreFault:
+      result.err = -EFAULT;
+      result.abort_reason = "page fault on store";
+      break;
+    case kJitAbortAtomicFault:
+      result.err = -EFAULT;
+      result.abort_reason = "page fault on atomic";
+      break;
+    case kJitAbortCallDepth:
+      result.err = -EFAULT;
+      result.abort_reason = "call depth exceeded";
+      break;
+    case kJitAbortStackAlloc:
+      result.err = -ENOMEM;
+      result.abort_reason = "subprog stack allocation failed";
+      break;
+    case kJitAbortBadOpcode:
+      result.err = -EINVAL;
+      result.abort_reason = "unknown opcode";
+      break;
+    case kJitAbortBadInternal:
+      result.err = -EFAULT;
+      result.abort_reason = "unknown internal func";
+      break;
+    default:  // unreachable: every emitted path returns a known code
+      result.err = -EINVAL;
+      result.abort_reason = "unknown opcode";
+      break;
+  }
+
+  // Release any leaked subprogram stacks on abnormal exit.
+  for (const JitFrame& frame : frames) {
+    arena.Free(frame.stack_alloc);
+  }
+  return result;
+}
+
+}  // namespace bpf

@@ -1,12 +1,14 @@
-// Differential parity gate for the decoded micro-op engine (DESIGN.md §10):
+// Differential parity gate for the execution tiers (DESIGN.md §10, §14):
 // every observable of an execution — ExecResult (r0, errno, insns_executed,
 // abort_reason), kernel reports, sanitizer stats, coverage, and ultimately
-// the campaign StatsDigest — must be bit-identical between the legacy
-// instruction-at-a-time interpreter and the decoded engine, for handwritten
-// edge programs, injected-bug repros, generated program sweeps, and full
-// serial/parallel campaigns. Also locks down the decode cache's determinism:
-// job-count-invariant hit/miss/evict counters, FIFO eviction, and the
-// shared_ptr lifetime rule (an evicted entry still runs).
+// the campaign StatsDigest — must be bit-identical across all three engines
+// (the legacy instruction-at-a-time interpreter, the decoded micro-op engine,
+// and the x86-64 JIT tier), for handwritten edge programs, injected-bug
+// repros, generated program sweeps, and full serial/parallel campaigns. Also
+// locks down the decode and JIT caches' determinism (job-count-invariant
+// hit/miss/evict counters, FIFO eviction, the shared_ptr lifetime rule), the
+// JIT's graceful degradation to decoded, and the JIT differential oracle
+// (indicator #5) catching a deliberately injected miscompile.
 
 #include <gtest/gtest.h>
 
@@ -22,6 +24,7 @@
 #include "src/ebpf/builder.h"
 #include "src/runtime/bpf_syscall.h"
 #include "src/runtime/decoded_prog.h"
+#include "src/runtime/jit_prog.h"
 #include "src/runtime/verdict_cache.h"
 #include "src/sanitizer/asan_funcs.h"
 #include "src/sanitizer/instrument.h"
@@ -69,10 +72,10 @@ struct RunSpec {
   std::function<Program(bpf::Bpf&)> make_prog;
 };
 
-Observation Observe(const RunSpec& spec, bool decoded) {
+Observation Observe(const RunSpec& spec, bpf::ExecEngine engine) {
   Kernel kernel(KernelVersion::kBpfNext, spec.bugs);
   bpf::Bpf facade(kernel);
-  facade.set_decoded_exec(decoded);
+  facade.set_exec_engine(engine);
   facade.set_exec_limits(spec.limits);
   Sanitizer sanitizer;
   if (spec.sanitize) {
@@ -98,20 +101,31 @@ Observation Observe(const RunSpec& spec, bool decoded) {
   return obs;
 }
 
+void ExpectPairParity(const Observation& a, const Observation& b, const char* what,
+                      const char* leg) {
+  EXPECT_EQ(a.fd, b.fd) << what << " [" << leg << "]";
+  EXPECT_EQ(a.exec.r0, b.exec.r0) << what << " [" << leg << "]";
+  EXPECT_EQ(a.exec.err, b.exec.err) << what << " [" << leg << "]";
+  EXPECT_EQ(a.exec.insns_executed, b.exec.insns_executed) << what << " [" << leg << "]";
+  EXPECT_EQ(a.exec.abort_reason, b.exec.abort_reason) << what << " [" << leg << "]";
+  EXPECT_EQ(a.reports, b.reports) << what << " [" << leg << "]";
+  EXPECT_EQ(a.san.programs, b.san.programs) << what << " [" << leg << "]";
+  EXPECT_EQ(a.san.insns_before, b.san.insns_before) << what << " [" << leg << "]";
+  EXPECT_EQ(a.san.insns_after, b.san.insns_after) << what << " [" << leg << "]";
+  EXPECT_EQ(a.san.mem_sites, b.san.mem_sites) << what << " [" << leg << "]";
+  EXPECT_EQ(a.san.alu_sites, b.san.alu_sites) << what << " [" << leg << "]";
+}
+
+// Three-way differential: the decoded engine is the reference; the legacy
+// interpreter and the JIT tier must both match it on every observable.
 void ExpectParity(const RunSpec& spec, const char* what) {
-  const Observation legacy = Observe(spec, /*decoded=*/false);
-  const Observation decoded = Observe(spec, /*decoded=*/true);
-  EXPECT_EQ(legacy.fd, decoded.fd) << what;
-  EXPECT_EQ(legacy.exec.r0, decoded.exec.r0) << what;
-  EXPECT_EQ(legacy.exec.err, decoded.exec.err) << what;
-  EXPECT_EQ(legacy.exec.insns_executed, decoded.exec.insns_executed) << what;
-  EXPECT_EQ(legacy.exec.abort_reason, decoded.exec.abort_reason) << what;
-  EXPECT_EQ(legacy.reports, decoded.reports) << what;
-  EXPECT_EQ(legacy.san.programs, decoded.san.programs) << what;
-  EXPECT_EQ(legacy.san.insns_before, decoded.san.insns_before) << what;
-  EXPECT_EQ(legacy.san.insns_after, decoded.san.insns_after) << what;
-  EXPECT_EQ(legacy.san.mem_sites, decoded.san.mem_sites) << what;
-  EXPECT_EQ(legacy.san.alu_sites, decoded.san.alu_sites) << what;
+  const Observation decoded = Observe(spec, bpf::ExecEngine::kDecoded);
+  const Observation legacy = Observe(spec, bpf::ExecEngine::kLegacy);
+  ExpectPairParity(legacy, decoded, what, "legacy-vs-decoded");
+  if (bpf::JitAvailable()) {
+    const Observation jit = Observe(spec, bpf::ExecEngine::kJit);
+    ExpectPairParity(jit, decoded, what, "jit-vs-decoded");
+  }
 }
 
 RunSpec Spec(Program prog) {
@@ -367,37 +381,56 @@ CampaignStats RunParallel(const CampaignOptions& options) {
 
 TEST(InterpParityTest, SerialCampaignDigestIdenticalAcrossEngines) {
   CampaignOptions options = SmallCampaign();
-  options.interp_decoded = false;
+  options.interp_engine = bpf::ExecEngine::kLegacy;
   const CampaignStats legacy = RunSerial(options);
-  options.interp_decoded = true;
+  options.interp_engine = bpf::ExecEngine::kDecoded;
   const CampaignStats decoded = RunSerial(options);
+  // The jit leg is unconditional: on hosts without a working JIT the engine
+  // downgrades to decoded, which must still produce the identical digest.
+  options.interp_engine = bpf::ExecEngine::kJit;
+  const CampaignStats jit = RunSerial(options);
   EXPECT_EQ(StatsDigest(legacy), StatsDigest(decoded));
+  EXPECT_EQ(StatsDigest(jit), StatsDigest(decoded));
   EXPECT_EQ(legacy.findings.size(), decoded.findings.size());
+  EXPECT_EQ(jit.findings.size(), decoded.findings.size());
   EXPECT_EQ(legacy.sanitizer.mem_sites, decoded.sanitizer.mem_sites);
-  // Only the decoded run exercises the decode cache.
+  EXPECT_EQ(jit.sanitizer.mem_sites, decoded.sanitizer.mem_sites);
+  // Only the decoded and jit runs exercise the decode cache; only the jit
+  // run (on a jit-capable host) exercises the jit cache.
   EXPECT_EQ(legacy.decode_cache_hits + legacy.decode_cache_misses, 0u);
   EXPECT_GT(decoded.decode_cache_misses, 0u);
+  EXPECT_GT(jit.decode_cache_misses, 0u);
+  EXPECT_EQ(decoded.jit_cache_hits + decoded.jit_cache_misses, 0u);
+  if (bpf::JitAvailable()) {
+    EXPECT_GT(jit.jit_cache_misses, 0u);
+  }
 }
 
 TEST(InterpParityTest, ParallelCampaignDigestIdenticalAcrossEngines) {
   CampaignOptions options = SmallCampaign();
   options.jobs = 2;
-  options.interp_decoded = false;
+  options.interp_engine = bpf::ExecEngine::kLegacy;
   const CampaignStats legacy = RunParallel(options);
-  options.interp_decoded = true;
+  options.interp_engine = bpf::ExecEngine::kDecoded;
   const CampaignStats decoded = RunParallel(options);
+  options.interp_engine = bpf::ExecEngine::kJit;
+  const CampaignStats jit = RunParallel(options);
   EXPECT_EQ(StatsDigest(legacy), StatsDigest(decoded));
+  EXPECT_EQ(StatsDigest(jit), StatsDigest(decoded));
 }
 
 TEST(InterpParityTest, SanitizeOffCampaignAlsoDigestIdentical) {
   CampaignOptions options = SmallCampaign();
   options.sanitize = false;
   options.audit_state = false;
-  options.interp_decoded = false;
+  options.interp_engine = bpf::ExecEngine::kLegacy;
   const CampaignStats legacy = RunSerial(options);
-  options.interp_decoded = true;
+  options.interp_engine = bpf::ExecEngine::kDecoded;
   const CampaignStats decoded = RunSerial(options);
+  options.interp_engine = bpf::ExecEngine::kJit;
+  const CampaignStats jit = RunSerial(options);
   EXPECT_EQ(StatsDigest(legacy), StatsDigest(decoded));
+  EXPECT_EQ(StatsDigest(jit), StatsDigest(decoded));
 }
 
 // ---- Decode cache determinism ----
@@ -511,6 +544,228 @@ TEST(DecodeCacheTest, CacheHitProducesIdenticalExecution) {
   EXPECT_EQ(a.r0, h.r0);
   EXPECT_EQ(a.insns_executed, h.insns_executed);
   EXPECT_EQ(facade.FindProg(miss_fd)->decoded.get(), facade.FindProg(hit_fd)->decoded.get());
+}
+
+// ---- JIT code cache determinism (same discipline as the decode cache) ----
+
+TEST(JitCacheTest, CountersAreJobCountInvariant) {
+  CampaignOptions options = SmallCampaign();
+  options.interp_engine = bpf::ExecEngine::kJit;
+  options.jobs = 1;
+  const CampaignStats one = RunParallel(options);
+  options.jobs = 3;
+  const CampaignStats three = RunParallel(options);
+  EXPECT_EQ(StatsDigest(one), StatsDigest(three));
+  EXPECT_EQ(one.jit_cache_hits, three.jit_cache_hits);
+  EXPECT_EQ(one.jit_cache_misses, three.jit_cache_misses);
+  EXPECT_EQ(one.jit_cache_evictions, three.jit_cache_evictions);
+  if (bpf::JitAvailable()) {
+    EXPECT_GT(one.jit_cache_misses, 0u);
+  }
+}
+
+TEST(JitCacheTest, CountersSurviveCheckpointResume) {
+  const std::string path = std::string(::testing::TempDir()) + "/jcache_resume.ckpt";
+  CampaignOptions options = SmallCampaign();
+  options.interp_engine = bpf::ExecEngine::kJit;
+  options.jobs = 2;
+
+  const CampaignStats full = RunParallel(options);
+
+  CampaignOptions first_leg = options;
+  first_leg.checkpoint_path = path;
+  first_leg.stop_after = 96;
+  RunParallel(first_leg);
+
+  CampaignOptions second_leg = options;
+  second_leg.resume_path = path;
+  const CampaignStats resumed = RunParallel(second_leg);
+  ASSERT_TRUE(resumed.resume_error.empty()) << resumed.resume_error;
+  EXPECT_EQ(StatsDigest(resumed), StatsDigest(full));
+  // Like the decode cache, the jit cache restarts empty after resume: loads
+  // (hits+misses) are conserved, misses can only grow.
+  EXPECT_EQ(resumed.jit_cache_hits + resumed.jit_cache_misses,
+            full.jit_cache_hits + full.jit_cache_misses);
+  EXPECT_GE(resumed.jit_cache_misses, full.jit_cache_misses);
+  std::remove(path.c_str());
+}
+
+TEST(JitCacheTest, FifoEvictionIsDeterministicAndBounded) {
+  bpf::JitCache cache(/*max_entries=*/2);
+  bpf::JitCacheShard shard(cache, /*immediate=*/true);
+  const auto blob = std::make_shared<const bpf::JitProgram>();
+  const bpf::VerdictKey a{1, 1};
+  const bpf::VerdictKey b{2, 2};
+  const bpf::VerdictKey c{3, 3};
+  shard.Insert(a, blob);
+  shard.Insert(b, blob);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 0u);
+  shard.Insert(c, blob);  // evicts a (oldest commit)
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.Lookup(a), nullptr);
+  EXPECT_NE(cache.Lookup(b), nullptr);
+  EXPECT_NE(cache.Lookup(c), nullptr);
+}
+
+TEST(JitCacheTest, EvictedEntryStillRunsWhileLoaded) {
+  if (!bpf::JitAvailable()) {
+    GTEST_SKIP() << "jit tier unavailable on this host";
+  }
+  // A program loaded from the cache holds a shared_ptr to the code blob;
+  // evicting its cache entry must not unmap code a live fd still runs.
+  Kernel kernel(KernelVersion::kBpfNext, BugConfig::None());
+  bpf::Bpf facade(kernel);
+  facade.set_exec_engine(bpf::ExecEngine::kJit);
+  bpf::JitCache cache(/*max_entries=*/1);
+  bpf::JitCacheShard shard(cache, /*immediate=*/true);
+  facade.set_jit_cache(&shard);
+
+  ProgramBuilder first;
+  first.RetImm(41);
+  const int fd = facade.ProgLoad(first.Build());
+  ASSERT_GT(fd, 0);
+
+  ProgramBuilder second;
+  second.RetImm(42);
+  const int fd2 = facade.ProgLoad(second.Build());  // evicts the first entry
+  ASSERT_GT(fd2, 0);
+  EXPECT_EQ(cache.evictions(), 1u);
+
+  EXPECT_EQ(facade.ProgTestRun(fd).r0, 41u);
+  EXPECT_EQ(facade.ProgTestRun(fd2).r0, 42u);
+}
+
+TEST(JitCacheTest, CacheHitSharesOneCodeBlob) {
+  if (!bpf::JitAvailable()) {
+    GTEST_SKIP() << "jit tier unavailable on this host";
+  }
+  Kernel kernel(KernelVersion::kBpfNext, BugConfig::None());
+  bpf::Bpf facade(kernel);
+  facade.set_exec_engine(bpf::ExecEngine::kJit);
+  bpf::JitCache cache;
+  bpf::JitCacheShard shard(cache, /*immediate=*/true);
+  facade.set_jit_cache(&shard);
+
+  ProgramBuilder b;
+  b.Mov(kR6, 5);
+  b.Mov(kR0, 0);
+  b.Alu(bpf::kAluAdd, kR0, kR6);
+  b.Alu(bpf::kAluSub, kR6, 1);
+  b.JmpIf(bpf::kJmpJne, kR6, 0, -3);
+  b.Ret();
+  const Program prog = b.Build();
+
+  const int miss_fd = facade.ProgLoad(prog);
+  ASSERT_GT(miss_fd, 0);
+  const int hit_fd = facade.ProgLoad(prog);
+  ASSERT_GT(hit_fd, 0);
+  EXPECT_EQ(shard.TakeMisses(), 1u);
+  EXPECT_EQ(shard.TakeHits(), 1u);
+  // Both fds share one compiled blob; executions are interchangeable.
+  const bpf::ExecResult a = facade.ProgTestRun(miss_fd);
+  const bpf::ExecResult h = facade.ProgTestRun(hit_fd);
+  EXPECT_EQ(a.r0, h.r0);
+  EXPECT_EQ(a.insns_executed, h.insns_executed);
+  EXPECT_EQ(facade.FindProg(miss_fd)->jit.get(), facade.FindProg(hit_fd)->jit.get());
+}
+
+// ---- JIT engine selection and the differential oracle ----
+
+TEST(JitEngineTest, DowngradesGracefullyWhenUnavailable) {
+  bpf::SetJitForceUnavailableForTest(true);
+  {
+    // Selecting the jit tier on a host without one must silently (modulo a
+    // one-line stderr warning) behave exactly like the decoded engine.
+    Kernel kernel(KernelVersion::kBpfNext, BugConfig::None());
+    bpf::Bpf facade(kernel);
+    facade.set_exec_engine(bpf::ExecEngine::kJit);
+    EXPECT_EQ(facade.exec_engine(), bpf::ExecEngine::kDecoded);
+    ProgramBuilder b;
+    b.RetImm(7);
+    const int fd = facade.ProgLoad(b.Build());
+    ASSERT_GT(fd, 0);
+    EXPECT_EQ(facade.ProgTestRun(fd).r0, 7u);
+  }
+  // Campaign-level: a --interp=jit campaign on a jit-less host runs on the
+  // decoded engine and produces the identical digest.
+  CampaignOptions options = SmallCampaign();
+  options.interp_engine = bpf::ExecEngine::kJit;
+  const CampaignStats downgraded = RunSerial(options);
+  bpf::SetJitForceUnavailableForTest(false);
+  options.interp_engine = bpf::ExecEngine::kDecoded;
+  const CampaignStats decoded = RunSerial(options);
+  EXPECT_EQ(StatsDigest(downgraded), StatsDigest(decoded));
+  // The downgraded run never touched the jit cache.
+  EXPECT_EQ(downgraded.jit_cache_hits + downgraded.jit_cache_misses, 0u);
+}
+
+// Builds the one program shape SetJitMiscompileForTest deliberately
+// miscompiles: a 64-bit `add r0, 0x7eef` (the jit computes +0x7ef0).
+FuzzCase MiscompileBaitCase() {
+  FuzzCase the_case;
+  ProgramBuilder b;
+  b.Mov(kR0, 1);
+  b.Alu(bpf::kAluAdd, kR0, 0x7eef);
+  b.Ret();
+  the_case.prog = b.Build();
+  the_case.test_runs = 1;
+  return the_case;
+}
+
+TEST(JitEngineTest, OracleCatchesInjectedMiscompile) {
+  if (!bpf::JitAvailable()) {
+    GTEST_SKIP() << "jit tier unavailable on this host";
+  }
+  bpf::SetJitMiscompileForTest(true);
+  CampaignOptions options = SmallCampaign();
+  options.jit_oracle = true;
+  options.fault.probability = 0.0;
+  options.confirm_runs = 3;
+  CaseRunner runner(options);
+  const FuzzCase the_case = MiscompileBaitCase();
+  CaseRunner::CaseResult result = runner.RunOne(the_case, /*iteration=*/1);
+  EXPECT_EQ(result.outcome, CaseOutcome::kJitDivergence);
+  Finding* divergence = nullptr;
+  for (Finding& finding : result.findings) {
+    if (finding.indicator == 5) {
+      divergence = &finding;
+    }
+  }
+  ASSERT_NE(divergence, nullptr) << "no indicator-5 finding recorded";
+  EXPECT_EQ(divergence->kind, bpf::ReportKind::kJitDivergence);
+  EXPECT_NE(divergence->signature.find("jit"), std::string::npos);
+  // The miscompile is deterministic, so confirmation replays must hit it
+  // every time.
+  runner.ConfirmFinding(*divergence, the_case, /*iteration=*/1, result.fault_log);
+  EXPECT_EQ(divergence->confirmation, Confirmation::kDeterministic);
+  EXPECT_EQ(divergence->confirm_hits, divergence->confirm_runs);
+  bpf::SetJitMiscompileForTest(false);
+
+  // Same case with correct codegen: the oracle stays silent.
+  CaseRunner clean_runner(options);
+  CaseRunner::CaseResult clean = clean_runner.RunOne(the_case, /*iteration=*/1);
+  EXPECT_NE(clean.outcome, CaseOutcome::kJitDivergence);
+  for (const Finding& finding : clean.findings) {
+    EXPECT_NE(finding.indicator, 5);
+  }
+}
+
+TEST(JitEngineTest, OracleIsNoOpWhenJitUnavailable) {
+  bpf::SetJitForceUnavailableForTest(true);
+  bpf::SetJitMiscompileForTest(true);  // would diverge if the oracle ran
+  CampaignOptions options = SmallCampaign();
+  options.jit_oracle = true;
+  options.fault.probability = 0.0;
+  CaseRunner runner(options);
+  CaseRunner::CaseResult result = runner.RunOne(MiscompileBaitCase(), /*iteration=*/1);
+  EXPECT_NE(result.outcome, CaseOutcome::kJitDivergence);
+  for (const Finding& finding : result.findings) {
+    EXPECT_NE(finding.indicator, 5);
+  }
+  bpf::SetJitMiscompileForTest(false);
+  bpf::SetJitForceUnavailableForTest(false);
 }
 
 }  // namespace

@@ -127,8 +127,8 @@ TEST(MetamorphTransformTest, TransformsPreserveVerdictAndWitness) {
 TEST(MetamorphTransformTest, WitnessIdenticalAcrossEngines) {
   CampaignOptions decoded = CorrectKernelOptions();
   CampaignOptions legacy = CorrectKernelOptions();
-  decoded.interp_decoded = true;
-  legacy.interp_decoded = false;
+  decoded.interp_engine = bpf::ExecEngine::kDecoded;
+  legacy.interp_engine = bpf::ExecEngine::kLegacy;
   const std::vector<FuzzCase> corpus = AcceptedCorpus(decoded, 8);
   ASSERT_GE(corpus.size(), 6u);
   for (const FuzzCase& fc : corpus) {

@@ -358,7 +358,7 @@ TEST(CacheCounterResumeTest, BothCachesResumeIdenticallyAtAnyJobCount) {
   // The round-trip gap this guards: a mid-campaign checkpoint whose vcache
   // AND dcache lines both carry real traffic must resume with identical
   // hit/miss/evict counters whatever --jobs the second leg uses. The tiny
-  // 4-program space guarantees verdict hits; interp_decoded gives the decode
+  // 4-program space guarantees verdict hits; the decoded engine gives the decode
   // cache the same traffic.
   const std::string path = TempPath("both_caches_resume.bvfcp");
   CampaignOptions options;
@@ -366,7 +366,7 @@ TEST(CacheCounterResumeTest, BothCachesResumeIdenticallyAtAnyJobCount) {
   options.seed = 5;
   options.epoch_len = 32;
   options.verdict_cache = true;
-  options.interp_decoded = true;
+  options.interp_engine = bpf::ExecEngine::kDecoded;
   options.coverage_feedback = false;
   options.jobs = 2;
 
