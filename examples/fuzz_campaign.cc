@@ -9,6 +9,7 @@
 //          [--stop-after=N] [--jobs=N] [--verdict-cache=on|off]
 //          [--canonical-cache=on|off]
 //          [--interp=decoded|legacy|jit] [--jit-oracle]
+//          [--conformance=DIR]
 //          [--metamorph] [--metamorph-k=K] [--smoke]
 //          [--supervise] [--worker-retries=K] [--hang-timeout=MS]
 //          [--quarantine=PATH] [--journal=PATH] [--replay-quarantine=PATH]
@@ -34,6 +35,13 @@
 // re-derived into --metamorph-k semantics-preserving variants and any
 // base/variant divergence (verdict flip, witness mismatch, indicator
 // asymmetry) becomes a finding and an escalated case outcome.
+// --conformance=DIR runs the Indicator #6 conformance prologue before
+// iteration 1: every `.data` expected-value case under DIR (src/conformance)
+// is loaded through PROG_LOAD and executed on all three engines; a wrong r0
+// or a surprising verdict becomes an indicator-6 finding, and accepted cases
+// seed the mutation corpus. The prologue is deterministic and digest-stable
+// across --jobs/--supervise; resumed campaigns skip it (the checkpoint
+// already carries its findings and seeds).
 //
 // --supervise runs the epoch-shard discipline with crash-isolated worker
 // *processes* (src/core/supervisor): a worker that crashes, hangs past
@@ -92,6 +100,7 @@ int main(int argc, char** argv) {
   bool canonical_cache = false;
   bpf::ExecEngine interp_engine = bpf::ExecEngine::kDecoded;
   bool jit_oracle = false;
+  const char* conformance_dir = nullptr;
   bool metamorph = false;
   int metamorph_k = 2;
   bool supervise = false;
@@ -124,6 +133,8 @@ int main(int argc, char** argv) {
                                                     : bpf::ExecEngine::kDecoded;
     } else if (strcmp(argv[i], "--jit-oracle") == 0) {
       jit_oracle = true;
+    } else if (strncmp(argv[i], "--conformance=", 14) == 0) {
+      conformance_dir = argv[i] + 14;
     } else if (strcmp(argv[i], "--metamorph") == 0) {
       metamorph = true;
     } else if (strncmp(argv[i], "--metamorph-k=", 14) == 0) {
@@ -184,6 +195,9 @@ int main(int argc, char** argv) {
   options.canonical_cache = canonical_cache && verdict_cache;
   options.interp_engine = interp_engine;
   options.jit_oracle = jit_oracle;
+  if (conformance_dir != nullptr) {
+    options.conformance_dir = conformance_dir;
+  }
   options.metamorph = metamorph;
   options.metamorph_k = metamorph_k;
   options.worker_retries = worker_retries;
@@ -309,6 +323,12 @@ int main(int argc, char** argv) {
            bpf::JitAvailable() ? "decoded-vs-jit compare on accepted cases"
                                : "inactive (jit unavailable on this host)",
            jit_divergences);
+  }
+  if (!options.conformance_dir.empty()) {
+    printf("  conformance:     %" PRIu64 " cases: %" PRIu64 " passed, %" PRIu64
+           " mismatch(es), %" PRIu64 " verdict gap(s); %" PRIu64 " seeded into corpus\n",
+           stats.conf_cases, stats.conf_passed, stats.conf_mismatches, stats.conf_rejects,
+           stats.conf_seeded);
   }
   if (metamorph) {
     printf("  metamorph:       %" PRIu64 " bases, %" PRIu64 " variants; divergences %" PRIu64

@@ -15,11 +15,15 @@
 #      the 3x3 {--interp=jit,decoded,legacy} x {jobs=1, jobs=4, --supervise}
 #      digest matrix, jit-cache job invariance, and jit + cross-engine
 #      checkpoint/resume bit-identity.
-#   7. Metamorph gate: a short --metamorph --metamorph-k=2 campaign under
+#   7. scripts/smoke_conformance.sh — conformance corpus: the suite under
+#      ASan, the vendored corpus campaign digest across {--jobs=1, --jobs=4,
+#      --supervise}, counter-line equality, and checkpoint/resume with the
+#      prologue active (ASan).
+#   8. Metamorph gate: a short --metamorph --metamorph-k=2 campaign under
 #      ASan/UBSan must produce one bit-identical campaign digest across
 #      {--jobs=1, --jobs=4} x {--interp=decoded, --interp=legacy}, and the
 #      metamorph counter line must be identical on every leg.
-#   8. Tier-1 label audit: every discovered ctest test must carry the tier1
+#   9. Tier-1 label audit: every discovered ctest test must carry the tier1
 #      label (`ctest -N` count == `ctest -N -L tier1` count) and the suites
 #      this tree considers load-bearing (supervisor, journal, parallel,
 #      robustness, jit) must actually be discovered, so nothing can silently
@@ -36,31 +40,35 @@ TSAN_DIR="${2:-build-tsan}"
 MM_ITERATIONS=200
 MM_SEED=7
 
-echo "==== [1/8] smoke_robustness ===="
+echo "==== [1/9] smoke_robustness ===="
 scripts/smoke_robustness.sh "$ASAN_DIR"
 
 echo
-echo "==== [2/8] smoke_parallel ===="
+echo "==== [2/9] smoke_parallel ===="
 scripts/smoke_parallel.sh "$TSAN_DIR"
 
 echo
-echo "==== [3/8] smoke_interp ===="
+echo "==== [3/9] smoke_interp ===="
 scripts/smoke_interp.sh "$ASAN_DIR"
 
 echo
-echo "==== [4/8] smoke_supervisor ===="
+echo "==== [4/9] smoke_supervisor ===="
 scripts/smoke_supervisor.sh "$ASAN_DIR"
 
 echo
-echo "==== [5/8] smoke_reset ===="
+echo "==== [5/9] smoke_reset ===="
 scripts/smoke_reset.sh "$ASAN_DIR"
 
 echo
-echo "==== [6/8] smoke_jit ===="
+echo "==== [6/9] smoke_jit ===="
 scripts/smoke_jit.sh "$ASAN_DIR"
 
 echo
-echo "==== [7/8] metamorph digest gate (ASan/UBSan) ===="
+echo "==== [7/9] smoke_conformance ===="
+scripts/smoke_conformance.sh "$ASAN_DIR"
+
+echo
+echo "==== [8/9] metamorph digest gate (ASan/UBSan) ===="
 CAMPAIGN="$ASAN_DIR/examples/fuzz_campaign"
 WORK="$(mktemp -d)"
 trap 'rm -rf "$WORK"' EXIT
@@ -102,7 +110,7 @@ echo "smoke: metamorph campaign digest $REF on all four engine/jobs legs"
 echo "smoke: metamorph counters identical ($(echo "$MMREF" | sed 's/^ *//'))"
 
 echo
-echo "==== [8/8] tier-1 label audit ===="
+echo "==== [9/9] tier-1 label audit ===="
 # gtest test discovery happens at build time, so the audit needs the whole
 # tree built in the ASan dir (the earlier legs only built their own targets).
 cmake --build "$ASAN_DIR" -j"$(nproc)" >/dev/null
@@ -116,7 +124,7 @@ if [[ "$ALL_TESTS" != "$TIER1_TESTS" ]]; then
     echo "SMOKE FAIL: $ALL_TESTS tests discovered but only $TIER1_TESTS carry the tier1 label"
     exit 1
 fi
-for SUITE in SupervisorDigestTest JournalTest ParallelInvarianceTest CheckpointTest JitCacheTest JitEngineTest; do
+for SUITE in SupervisorDigestTest JournalTest ParallelInvarianceTest CheckpointTest JitCacheTest JitEngineTest ConformanceCorpusTest AsmRoundTripTest; do
     if ! ctest --test-dir "$ASAN_DIR" -N -L tier1 2>/dev/null | grep -q "$SUITE"; then
         echo "SMOKE FAIL: load-bearing suite $SUITE not discovered under the tier1 label"
         exit 1

@@ -1,0 +1,107 @@
+#!/usr/bin/env bash
+# Conformance corpus smoke gate (ISSUE 10 acceptance):
+#
+#   1. Build the tree with BVF_SANITIZE=ON so the assembler, corpus loader,
+#      and runner execute under host ASan/UBSan.
+#   2. Run the conformance suite (round-trip property, corpus x three
+#      engines x sanitizers, injected-miscompile oracle proof, negative
+#      parses) under sanitizers.
+#   3. Run a campaign with --conformance=tests/data/conformance at
+#      {--jobs=1, --jobs=4, --supervise --jobs=2} and require one
+#      bit-identical campaign digest: the prologue runs coordinator-side
+#      exactly once, so the execution topology may not leak into findings or
+#      stats. The digest-excluded `conformance:` volume counters must also be
+#      identical on every leg, and every leg must report zero mismatches and
+#      zero verdict gaps.
+#   4. Checkpoint mid-campaign with the conformance prologue active, resume,
+#      and require the uninterrupted digest: resume skips the prologue (the
+#      checkpoint carries its findings, counters, and seeded corpus), so this
+#      proves the `conf` checkpoint line round-trips.
+#
+# Usage: scripts/smoke_conformance.sh [build-dir]   (default: build-smoke)
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-smoke}"
+ITERATIONS=200
+SEED=7
+CORPUS=tests/data/conformance
+
+echo "== configure + build (BVF_SANITIZE=ON) =="
+cmake -B "$BUILD_DIR" -S . -DBVF_SANITIZE=ON >/dev/null
+cmake --build "$BUILD_DIR" -j"$(nproc)" --target conformance_test fuzz_campaign >/dev/null
+
+echo
+echo "== conformance suite (ASan/UBSan) =="
+"$BUILD_DIR/tests/conformance_test"
+
+CAMPAIGN="$BUILD_DIR/examples/fuzz_campaign"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+declare -A DIGESTS
+for MODE in jobs1 jobs4 supervised; do
+    case "$MODE" in
+        jobs1) FLAGS=(--jobs=1) ;;
+        jobs4) FLAGS=(--jobs=4) ;;
+        supervised) FLAGS=(--supervise --jobs=2) ;;
+    esac
+    echo
+    echo "== campaign --conformance=$CORPUS $MODE (ASan/UBSan) =="
+    "$CAMPAIGN" "$ITERATIONS" "$SEED" --conformance="$CORPUS" "${FLAGS[@]}" --smoke \
+        | tee "$WORK/conf-$MODE.log"
+    DIGESTS[$MODE]="$(grep '^campaign-digest ' "$WORK/conf-$MODE.log" | awk '{print $2}')"
+done
+
+echo
+echo "== three-way digest comparison across topologies =="
+REF="${DIGESTS[jobs1]}"
+for MODE in jobs1 jobs4 supervised; do
+    if [[ -z "$REF" || "${DIGESTS[$MODE]}" != "$REF" ]]; then
+        echo "SMOKE FAIL: campaign digest at $MODE (${DIGESTS[$MODE]}) != jobs1 ($REF)"
+        exit 1
+    fi
+done
+echo "smoke: all three topologies produced digest $REF"
+
+# The conformance volume counters are digest-excluded, so gate them
+# separately: every leg must report the identical line, and that line must
+# show a full-corpus clean pass.
+CONFREF="$(grep 'conformance:' "$WORK/conf-jobs1.log")"
+for MODE in jobs4 supervised; do
+    CONF="$(grep 'conformance:' "$WORK/conf-$MODE.log")"
+    if [[ -z "$CONFREF" || "$CONF" != "$CONFREF" ]]; then
+        echo "SMOKE FAIL: conformance counters diverge at $MODE:"
+        echo "  jobs1: $CONFREF"
+        echo "  $MODE: $CONF"
+        exit 1
+    fi
+done
+if ! echo "$CONFREF" | grep -q '0 mismatch(es), 0 verdict gap(s)'; then
+    echo "SMOKE FAIL: conformance corpus not clean: $CONFREF"
+    exit 1
+fi
+echo "smoke: conformance counters identical ($(echo "$CONFREF" | sed 's/^ *//'))"
+
+echo
+echo "== checkpoint/resume with the conformance prologue active =="
+"$CAMPAIGN" "$ITERATIONS" "$SEED" --conformance="$CORPUS" --jobs=2 --smoke \
+    --stop-after=100 --checkpoint="$WORK/conf.bvfcp" --checkpoint-every=50 \
+    > "$WORK/conf-leg1.log"
+"$CAMPAIGN" "$ITERATIONS" "$SEED" --conformance="$CORPUS" --jobs=2 --smoke \
+    --resume="$WORK/conf.bvfcp" | tee "$WORK/conf-resumed.log"
+DIGEST_RESUMED="$(grep '^campaign-digest ' "$WORK/conf-resumed.log" | awk '{print $2}')"
+if [[ -z "$DIGEST_RESUMED" || "$DIGEST_RESUMED" != "$REF" ]]; then
+    echo "SMOKE FAIL: resume digest $DIGEST_RESUMED != uninterrupted $REF"
+    exit 1
+fi
+CONF_RESUMED="$(grep 'conformance:' "$WORK/conf-resumed.log")"
+if [[ "$CONF_RESUMED" != "$CONFREF" ]]; then
+    echo "SMOKE FAIL: resumed conformance counters diverge:"
+    echo "  uninterrupted: $CONFREF"
+    echo "  resumed:       $CONF_RESUMED"
+    exit 1
+fi
+echo "smoke: conformance checkpoint/resume digest and counters match uninterrupted run"
+echo "smoke_conformance: PASS"

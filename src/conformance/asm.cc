@@ -1,0 +1,593 @@
+#include "src/conformance/asm.h"
+
+#include <cstring>
+#include <sstream>
+
+namespace bvf {
+namespace conf {
+
+using bpf::Insn;
+
+namespace {
+
+// Cursor over one trimmed instruction line. All parsing is longest-match
+// against literal fragments of the disassembler's output grammar.
+struct Scanner {
+  const std::string& s;
+  size_t i = 0;
+
+  explicit Scanner(const std::string& line) : s(line) {}
+
+  void SkipWs() {
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\t')) {
+      ++i;
+    }
+  }
+  bool Eat(const char* lit) {
+    SkipWs();
+    const size_t n = std::strlen(lit);
+    if (s.compare(i, n, lit) == 0) {
+      i += n;
+      return true;
+    }
+    return false;
+  }
+  bool AtEnd() {
+    SkipWs();
+    return i >= s.size();
+  }
+  std::string Rest() { return s.substr(i); }
+};
+
+bool Fail(AsmError* error, const std::string& message) {
+  if (error != nullptr) {
+    error->message = message;
+  }
+  return false;
+}
+
+// `r0`..`r11`, optionally spelled `wr0`..`wr11` (the disassembler's 32-bit
+// operand prefix). |is32| reports whether the w prefix was present.
+bool ParseReg(Scanner& sc, uint8_t* reg, bool* is32) {
+  sc.SkipWs();
+  size_t i = sc.i;
+  bool w = false;
+  if (i < sc.s.size() && sc.s[i] == 'w' && i + 1 < sc.s.size() && sc.s[i + 1] == 'r') {
+    w = true;
+    ++i;
+  }
+  if (i >= sc.s.size() || sc.s[i] != 'r') {
+    return false;
+  }
+  ++i;
+  if (i >= sc.s.size() || sc.s[i] < '0' || sc.s[i] > '9') {
+    return false;
+  }
+  int value = 0;
+  while (i < sc.s.size() && sc.s[i] >= '0' && sc.s[i] <= '9') {
+    value = value * 10 + (sc.s[i] - '0');
+    if (value > 15) {
+      return false;
+    }
+    ++i;
+  }
+  if (value > bpf::kR11) {
+    return false;
+  }
+  *reg = static_cast<uint8_t>(value);
+  if (is32 != nullptr) {
+    *is32 = w;
+  }
+  sc.i = i;
+  return true;
+}
+
+// Optionally signed decimal or 0x-hex magnitude. The magnitude is returned
+// unsigned with its sign bit separate so callers can apply their own field
+// range rules (s16 offset, s32 immediate, full u64 for ld_imm64).
+bool ParseNumber(Scanner& sc, uint64_t* magnitude, bool* negative) {
+  sc.SkipWs();
+  size_t i = sc.i;
+  bool neg = false;
+  if (i < sc.s.size() && (sc.s[i] == '+' || sc.s[i] == '-')) {
+    neg = sc.s[i] == '-';
+    ++i;
+  }
+  uint64_t value = 0;
+  size_t digits = 0;
+  if (i + 1 < sc.s.size() && sc.s[i] == '0' && (sc.s[i + 1] == 'x' || sc.s[i + 1] == 'X')) {
+    i += 2;
+    while (i < sc.s.size()) {
+      const char c = sc.s[i];
+      int d;
+      if (c >= '0' && c <= '9') {
+        d = c - '0';
+      } else if (c >= 'a' && c <= 'f') {
+        d = c - 'a' + 10;
+      } else if (c >= 'A' && c <= 'F') {
+        d = c - 'A' + 10;
+      } else {
+        break;
+      }
+      if (value >> 60 != 0) {
+        return false;  // would overflow 64 bits
+      }
+      value = value * 16 + static_cast<uint64_t>(d);
+      ++digits;
+      ++i;
+    }
+  } else {
+    while (i < sc.s.size() && sc.s[i] >= '0' && sc.s[i] <= '9') {
+      const uint64_t d = static_cast<uint64_t>(sc.s[i] - '0');
+      if (value > (~0ull - d) / 10) {
+        return false;
+      }
+      value = value * 10 + d;
+      ++digits;
+      ++i;
+    }
+  }
+  if (digits == 0) {
+    return false;
+  }
+  *magnitude = value;
+  *negative = neg;
+  sc.i = i;
+  return true;
+}
+
+// s32 immediate: negative magnitudes up to 2^31, positive up to 2^32-1 (hex
+// bit patterns like 0xdeadbeef are accepted and wrap, as in every assembler).
+bool ParseImm32(Scanner& sc, int32_t* imm, AsmError* error) {
+  uint64_t mag = 0;
+  bool neg = false;
+  if (!ParseNumber(sc, &mag, &neg)) {
+    return Fail(error, "expected immediate");
+  }
+  if (neg ? mag > 0x80000000ull : mag > 0xffffffffull) {
+    return Fail(error, "immediate out of 32-bit range");
+  }
+  *imm = neg ? static_cast<int32_t>(-static_cast<int64_t>(mag))
+             : static_cast<int32_t>(static_cast<uint32_t>(mag));
+  return true;
+}
+
+// s16 branch/memory offset.
+bool ParseOff(Scanner& sc, int16_t* off, AsmError* error) {
+  uint64_t mag = 0;
+  bool neg = false;
+  if (!ParseNumber(sc, &mag, &neg)) {
+    return Fail(error, "expected offset");
+  }
+  if (neg ? mag > 0x8000ull : mag > 0x7fffull) {
+    return Fail(error, "offset out of 16-bit range");
+  }
+  *off = static_cast<int16_t>(neg ? -static_cast<int64_t>(mag)
+                                  : static_cast<int64_t>(mag));
+  return true;
+}
+
+// `u8|u16|u32|u64|s8|s16|s32` memory access width; |sign| reports MEMSX.
+bool ParseSizeName(Scanner& sc, uint8_t* size, bool* sign) {
+  sc.SkipWs();
+  struct Entry {
+    const char* name;
+    uint8_t size;
+    bool sign;
+  };
+  static const Entry kSizes[] = {
+      {"u16", bpf::kSizeH, false}, {"u32", bpf::kSizeW, false},
+      {"u64", bpf::kSizeDw, false}, {"u8", bpf::kSizeB, false},
+      {"s16", bpf::kSizeH, true},  {"s32", bpf::kSizeW, true},
+      {"s8", bpf::kSizeB, true},
+      // s64 encodes (the loader rejects MEMSX|DW) so corpus `-- error` cases
+      // can exercise that rejection path.
+      {"s64", bpf::kSizeDw, true},
+  };
+  for (const Entry& entry : kSizes) {
+    if (sc.Eat(entry.name)) {
+      *size = entry.size;
+      *sign = entry.sign;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ParseAluOpToken(Scanner& sc, uint8_t* op) {
+  struct Entry {
+    const char* token;
+    uint8_t op;
+  };
+  // Longest-match order: compound tokens before their prefixes.
+  static const Entry kOps[] = {
+      {"s>>=", bpf::kAluArsh}, {"<<=", bpf::kAluLsh}, {">>=", bpf::kAluRsh},
+      {"+=", bpf::kAluAdd},    {"-=", bpf::kAluSub},  {"*=", bpf::kAluMul},
+      {"/=", bpf::kAluDiv},    {"|=", bpf::kAluOr},   {"&=", bpf::kAluAnd},
+      {"%=", bpf::kAluMod},    {"^=", bpf::kAluXor},  {"=", bpf::kAluMov},
+  };
+  for (const Entry& entry : kOps) {
+    if (sc.Eat(entry.token)) {
+      *op = entry.op;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ParseJmpOpToken(Scanner& sc, uint8_t* op) {
+  struct Entry {
+    const char* token;
+    uint8_t op;
+  };
+  static const Entry kOps[] = {
+      {"s>=", bpf::kJmpJsge}, {"s<=", bpf::kJmpJsle}, {"s>", bpf::kJmpJsgt},
+      {"s<", bpf::kJmpJslt},  {"==", bpf::kJmpJeq},   {"!=", bpf::kJmpJne},
+      {">=", bpf::kJmpJge},   {"<=", bpf::kJmpJle},   {">", bpf::kJmpJgt},
+      {"<", bpf::kJmpJlt},    {"&", bpf::kJmpJset},
+  };
+  for (const Entry& entry : kOps) {
+    if (sc.Eat(entry.token)) {
+      *op = entry.op;
+      return true;
+    }
+  }
+  return false;
+}
+
+// `*(<size> *)(<reg> <off>)` — shared by load RHS and store LHS. The `*(`
+// has already been consumed.
+bool ParseMemRef(Scanner& sc, uint8_t* size, bool* sign, uint8_t* reg, int16_t* off,
+                 AsmError* error) {
+  if (!ParseSizeName(sc, size, sign)) {
+    return Fail(error, "unknown memory access size");
+  }
+  if (!sc.Eat("*)(")) {
+    return Fail(error, "malformed memory operand");
+  }
+  if (!ParseReg(sc, reg, nullptr)) {
+    return Fail(error, "expected base register");
+  }
+  if (!ParseOff(sc, off, error)) {
+    return false;
+  }
+  if (!sc.Eat(")")) {
+    return Fail(error, "malformed memory operand");
+  }
+  return true;
+}
+
+bool ParseEndianMnemonic(Scanner& sc, bool* is32_class, bool* to_be) {
+  // Longest-match: swap_le before le, bswap before be.
+  if (sc.Eat("swap_le")) {
+    *is32_class = false;
+    *to_be = false;
+    return true;
+  }
+  if (sc.Eat("bswap")) {
+    *is32_class = false;
+    *to_be = true;
+    return true;
+  }
+  if (sc.Eat("be")) {
+    *is32_class = true;
+    *to_be = true;
+    return true;
+  }
+  if (sc.Eat("le")) {
+    *is32_class = true;
+    *to_be = false;
+    return true;
+  }
+  return false;
+}
+
+bool AssembleCall(Scanner& sc, std::vector<Insn>* insns, AsmError* error) {
+  int32_t imm = 0;
+  if (sc.Eat("helper#")) {
+    if (!ParseImm32(sc, &imm, error)) {
+      return false;
+    }
+    insns->push_back(bpf::CallHelper(imm));
+  } else if (sc.Eat("kfunc#")) {
+    if (!ParseImm32(sc, &imm, error)) {
+      return false;
+    }
+    insns->push_back(bpf::CallKfunc(imm));
+  } else if (sc.Eat("pc")) {
+    if (!ParseImm32(sc, &imm, error)) {
+      return false;
+    }
+    insns->push_back(bpf::CallPseudoFunc(imm));
+  } else {
+    return Fail(error, "unknown call target (want helper#N, kfunc#N, or pc+N)");
+  }
+  return true;
+}
+
+bool AssembleCondJmp(Scanner& sc, std::vector<Insn>* insns, AsmError* error) {
+  uint8_t dst = 0;
+  bool dst32 = false;
+  if (!ParseReg(sc, &dst, &dst32)) {
+    return Fail(error, "expected register after 'if'");
+  }
+  uint8_t op = 0;
+  if (!ParseJmpOpToken(sc, &op)) {
+    return Fail(error, "unknown comparison operator");
+  }
+  uint8_t src = 0;
+  bool src32 = false;
+  int32_t imm = 0;
+  const bool src_is_reg = ParseReg(sc, &src, &src32);
+  if (!src_is_reg && !ParseImm32(sc, &imm, error)) {
+    return false;
+  }
+  if (src_is_reg && src32 != dst32) {
+    return Fail(error, "mixed 32/64-bit comparison operands");
+  }
+  if (!sc.Eat("goto")) {
+    return Fail(error, "expected 'goto'");
+  }
+  int16_t off = 0;
+  if (!ParseOff(sc, &off, error)) {
+    return false;
+  }
+  if (src_is_reg) {
+    insns->push_back(dst32 ? bpf::Jmp32Reg(op, dst, src, off)
+                           : bpf::JmpReg(op, dst, src, off));
+  } else {
+    insns->push_back(dst32 ? bpf::Jmp32Imm(op, dst, imm, off)
+                           : bpf::JmpImm(op, dst, imm, off));
+  }
+  return true;
+}
+
+// `(ld_imm64 hi: 0xNN)` — the disassembler's high-slot continuation line.
+// Patches the immediately preceding high slot rather than emitting one, so
+// `rX = 0xLO ll` + continuation reassembles to the exact two-slot pair.
+bool AssembleLdImm64Hi(Scanner& sc, std::vector<Insn>* insns, AsmError* error) {
+  uint64_t mag = 0;
+  bool neg = false;
+  if (!ParseNumber(sc, &mag, &neg) || neg || mag > 0xffffffffull) {
+    return Fail(error, "malformed ld_imm64 continuation value");
+  }
+  if (!sc.Eat(")")) {
+    return Fail(error, "malformed ld_imm64 continuation");
+  }
+  if (insns->size() < 2 || !(*insns)[insns->size() - 2].IsLdImm64() ||
+      insns->back().opcode != 0) {
+    return Fail(error, "ld_imm64 continuation without a preceding ld_imm64");
+  }
+  insns->back().imm = static_cast<int32_t>(static_cast<uint32_t>(mag));
+  return true;
+}
+
+bool AssembleStore(Scanner& sc, std::vector<Insn>* insns, AsmError* error) {
+  uint8_t size = 0;
+  bool sign = false;
+  uint8_t base = 0;
+  int16_t off = 0;
+  if (!ParseMemRef(sc, &size, &sign, &base, &off, error)) {
+    return false;
+  }
+  if (sign) {
+    return Fail(error, "sign-extending store does not exist");
+  }
+  if (!sc.Eat("=")) {
+    return Fail(error, "expected '=' after store target");
+  }
+  uint8_t src = 0;
+  bool src32 = false;
+  if (ParseReg(sc, &src, &src32)) {
+    if (src32) {
+      return Fail(error, "store source must be a 64-bit register name");
+    }
+    insns->push_back(bpf::StoreMemReg(size, base, src, off));
+    return true;
+  }
+  int32_t imm = 0;
+  if (!ParseImm32(sc, &imm, error)) {
+    return false;
+  }
+  insns->push_back(bpf::StoreMemImm(size, base, off, imm));
+  return true;
+}
+
+// Everything that starts with a (possibly w-prefixed) destination register:
+// mov/ALU, neg, endian conversion, memory load, ld_imm64.
+bool AssembleRegLine(Scanner& sc, std::vector<Insn>* insns, AsmError* error) {
+  uint8_t dst = 0;
+  bool dst32 = false;
+  if (!ParseReg(sc, &dst, &dst32)) {
+    return Fail(error, "unknown instruction");
+  }
+  uint8_t alu_op = 0;
+  if (!ParseAluOpToken(sc, &alu_op)) {
+    return Fail(error, "unknown operator");
+  }
+
+  if (alu_op == bpf::kAluMov) {
+    // `rX = -rX` (negate; the disassembler prints the operand un-prefixed).
+    sc.SkipWs();
+    if (sc.i < sc.s.size() && sc.s[sc.i] == '-' && sc.i + 1 < sc.s.size() &&
+        (sc.s[sc.i + 1] == 'r' || sc.s[sc.i + 1] == 'w')) {
+      ++sc.i;
+      uint8_t operand = 0;
+      if (!ParseReg(sc, &operand, nullptr)) {
+        return Fail(error, "malformed negate operand");
+      }
+      if (operand != dst) {
+        return Fail(error, "negate reads and writes one register");
+      }
+      Insn insn = bpf::Neg(dst);
+      if (dst32) {
+        insn.opcode = static_cast<uint8_t>(bpf::kClassAlu | bpf::kAluNeg);
+      }
+      insns->push_back(insn);
+      return true;
+    }
+    // `rX = *(size *)(rY +off)` load.
+    if (sc.Eat("*(")) {
+      uint8_t size = 0;
+      bool sign = false;
+      uint8_t base = 0;
+      int16_t off = 0;
+      if (!ParseMemRef(sc, &size, &sign, &base, &off, error)) {
+        return false;
+      }
+      if (dst32) {
+        return Fail(error, "load destination must be a 64-bit register name");
+      }
+      insns->push_back(sign ? bpf::LoadMemSx(size, dst, base, off)
+                            : bpf::LoadMem(size, dst, base, off));
+      return true;
+    }
+    // `rX = le16 rX` / be / bswap / swap_le endian conversion.
+    bool endian32_class = false;
+    bool to_be = false;
+    if (ParseEndianMnemonic(sc, &endian32_class, &to_be)) {
+      int32_t width = 0;
+      if (!ParseImm32(sc, &width, error)) {
+        return false;
+      }
+      uint8_t operand = 0;
+      if (!ParseReg(sc, &operand, nullptr) || operand != dst) {
+        return Fail(error, "endian conversion reads and writes one register");
+      }
+      if (dst32) {
+        return Fail(error, "endian destination must be a 64-bit register name");
+      }
+      Insn insn;
+      insn.opcode = static_cast<uint8_t>((endian32_class ? bpf::kClassAlu : bpf::kClassAlu64) |
+                                         bpf::kAluEnd | (to_be ? bpf::kSrcX : bpf::kSrcK));
+      insn.dst = dst;
+      insn.imm = width;
+      insns->push_back(insn);
+      return true;
+    }
+  }
+
+  // Register RHS: mov/ALU register form.
+  uint8_t src = 0;
+  bool src32 = false;
+  if (ParseReg(sc, &src, &src32)) {
+    if (src32 != dst32) {
+      return Fail(error, "mixed 32/64-bit ALU operands");
+    }
+    insns->push_back(dst32 ? bpf::Alu32Reg(alu_op, dst, src)
+                           : bpf::AluReg(alu_op, dst, src));
+    return true;
+  }
+
+  // Immediate RHS. `rX = <imm64> ll` is the two-slot 64-bit load; everything
+  // else is a 32-bit immediate ALU form.
+  sc.SkipWs();
+  const size_t imm_start = sc.i;
+  uint64_t mag = 0;
+  bool neg = false;
+  if (!ParseNumber(sc, &mag, &neg)) {
+    return Fail(error, "expected register or immediate operand");
+  }
+  if (sc.Eat("ll")) {
+    if (alu_op != bpf::kAluMov || dst32) {
+      return Fail(error, "ld_imm64 must be written 'rN = <imm> ll'");
+    }
+    uint8_t pseudo = 0;
+    if (sc.Eat("map_fd")) {
+      pseudo = bpf::kPseudoMapFd;
+    } else if (sc.Eat("map_value")) {
+      pseudo = bpf::kPseudoMapValue;
+    } else if (sc.Eat("btf_id")) {
+      pseudo = bpf::kPseudoBtfId;
+    } else if (sc.Eat("func")) {
+      pseudo = bpf::kPseudoFunc;
+    }
+    const uint64_t value = neg ? static_cast<uint64_t>(-static_cast<int64_t>(mag)) : mag;
+    insns->push_back(bpf::LdImm64Lo(dst, pseudo, value));
+    insns->push_back(bpf::LdImm64Hi(value));
+    return true;
+  }
+  // Re-parse as a range-checked 32-bit immediate.
+  sc.i = imm_start;
+  int32_t imm = 0;
+  if (!ParseImm32(sc, &imm, error)) {
+    return false;
+  }
+  insns->push_back(dst32 ? bpf::Alu32Imm(alu_op, dst, imm)
+                         : bpf::AluImm(alu_op, dst, imm));
+  return true;
+}
+
+}  // namespace
+
+bool AssembleLine(const std::string& line, std::vector<Insn>* insns, AsmError* error) {
+  Scanner sc(line);
+  bool ok;
+  if (sc.Eat("exit")) {
+    insns->push_back(bpf::Exit());
+    ok = true;
+  } else if (sc.Eat("goto")) {
+    int16_t off = 0;
+    ok = ParseOff(sc, &off, error);
+    if (ok) {
+      insns->push_back(bpf::JmpA(off));
+    }
+  } else if (sc.Eat("call")) {
+    ok = AssembleCall(sc, insns, error);
+  } else if (sc.Eat("if")) {
+    ok = AssembleCondJmp(sc, insns, error);
+  } else if (sc.Eat("(ld_imm64 hi:")) {
+    ok = AssembleLdImm64Hi(sc, insns, error);
+  } else if (sc.Eat("*(")) {
+    ok = AssembleStore(sc, insns, error);
+  } else {
+    ok = AssembleRegLine(sc, insns, error);
+  }
+  if (!ok) {
+    return false;
+  }
+  if (!sc.AtEnd()) {
+    return Fail(error, "trailing junk: '" + sc.Rest() + "'");
+  }
+  return true;
+}
+
+bool AssembleProgram(const std::string& text, std::vector<Insn>* insns, AsmError* error) {
+  insns->clear();
+  std::istringstream is(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    // Strip comments ('#' to end of line) and surrounding whitespace.
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) {
+      line.resize(hash);
+    }
+    size_t begin = line.find_first_not_of(" \t\r");
+    if (begin == std::string::npos) {
+      continue;
+    }
+    size_t end = line.find_last_not_of(" \t\r");
+    const std::string trimmed = line.substr(begin, end - begin + 1);
+    AsmError local;
+    if (!AssembleLine(trimmed, insns, &local)) {
+      if (error != nullptr) {
+        error->line = line_no;
+        error->message = local.message;
+      }
+      return false;
+    }
+  }
+  if (insns->empty()) {
+    if (error != nullptr) {
+      error->line = line_no;
+      error->message = "empty program";
+    }
+    return false;
+  }
+  return true;
+}
+
+}  // namespace conf
+}  // namespace bvf

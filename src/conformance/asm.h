@@ -1,0 +1,48 @@
+// Small BPF assembler for the conformance corpus (DESIGN.md §15).
+//
+// Parses the mnemonic syntax the disassembler (src/ebpf/insn.cc) emits, one
+// instruction per line, covering the surface the structured generator rarely
+// exercises: ALU32/ALU64 (register and immediate forms), JMP/JMP32, MEM and
+// MEMSX loads/stores, the four endian-conversion spellings (le/be/bswap/
+// swap_le), two-slot ld_imm64, calls, and exit. Assemble(Disassemble(prog))
+// is byte-identical for every encodable program the corpus format covers —
+// the round-trip property tests/conformance_test.cc locks down.
+
+#ifndef SRC_CONFORMANCE_ASM_H_
+#define SRC_CONFORMANCE_ASM_H_
+
+#include <string>
+#include <vector>
+
+#include "src/ebpf/insn.h"
+
+namespace bvf {
+namespace conf {
+
+// First parse failure of an assembly text: 1-based source line plus message.
+struct AsmError {
+  int line = 0;
+  std::string message;
+
+  std::string Format() const {
+    return "line " + std::to_string(line) + ": " + message;
+  }
+};
+
+// Assembles one instruction line (no comments/blank handling). Returns false
+// and fills |error->message| on malformed input; |error->line| is left to the
+// caller. An ld_imm64 mnemonic appends two slots; the `(ld_imm64 hi: ...)`
+// continuation line appends none but patches the previous high slot.
+bool AssembleLine(const std::string& line, std::vector<bpf::Insn>* insns,
+                  AsmError* error);
+
+// Assembles a full program text: one instruction per line, `#` comments and
+// blank lines ignored. On failure returns false with the offending 1-based
+// line number in |error|; |insns| is left in an unspecified state.
+bool AssembleProgram(const std::string& text, std::vector<bpf::Insn>* insns,
+                     AsmError* error);
+
+}  // namespace conf
+}  // namespace bvf
+
+#endif  // SRC_CONFORMANCE_ASM_H_

@@ -1,0 +1,260 @@
+#include "src/conformance/corpus.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "src/conformance/asm.h"
+
+namespace bvf {
+namespace conf {
+
+namespace {
+
+std::string Trim(const std::string& s) {
+  size_t begin = s.find_first_not_of(" \t\r\n");
+  if (begin == std::string::npos) {
+    return "";
+  }
+  size_t end = s.find_last_not_of(" \t\r\n");
+  return s.substr(begin, end - begin + 1);
+}
+
+bool Fail(std::string* error, const std::string& message) {
+  if (error != nullptr) {
+    *error = message;
+  }
+  return false;
+}
+
+int HexNibble(char c) {
+  if (c >= '0' && c <= '9') {
+    return c - '0';
+  }
+  if (c >= 'a' && c <= 'f') {
+    return c - 'a' + 10;
+  }
+  if (c >= 'A' && c <= 'F') {
+    return c - 'A' + 10;
+  }
+  return -1;
+}
+
+// `-- mem` body: whitespace-separated two-nibble hex bytes. A lone trailing
+// nibble is a truncated byte — a parse error, never silently dropped.
+bool ParseMemHex(const std::string& body, std::vector<uint8_t>* out, std::string* error) {
+  int pending = -1;
+  int line_no = 1;
+  for (size_t i = 0; i < body.size(); ++i) {
+    const char c = body[i];
+    if (c == '\n') {
+      ++line_no;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      if (pending >= 0) {
+        return Fail(error, "mem line " + std::to_string(line_no) +
+                               ": truncated hex byte (odd nibble count)");
+      }
+      continue;
+    }
+    const int nibble = HexNibble(c);
+    if (nibble < 0) {
+      return Fail(error, "mem line " + std::to_string(line_no) +
+                             ": invalid hex character '" + std::string(1, c) + "'");
+    }
+    if (pending < 0) {
+      pending = nibble;
+    } else {
+      out->push_back(static_cast<uint8_t>(pending << 4 | nibble));
+      pending = -1;
+    }
+  }
+  if (pending >= 0) {
+    return Fail(error, "mem line " + std::to_string(line_no) +
+                           ": truncated hex byte (odd nibble count)");
+  }
+  return true;
+}
+
+// `-- result` body: one u64, decimal or 0x hex, optional leading '-' (stored
+// two's-complement, so `-1` means 0xffffffffffffffff).
+bool ParseResult(const std::string& body, uint64_t* out, std::string* error) {
+  const std::string text = Trim(body);
+  if (text.empty()) {
+    return Fail(error, "empty -- result section");
+  }
+  size_t i = 0;
+  bool neg = false;
+  if (text[i] == '-' || text[i] == '+') {
+    neg = text[i] == '-';
+    ++i;
+  }
+  const char* start = text.c_str() + i;
+  char* end = nullptr;
+  errno = 0;
+  const uint64_t magnitude = std::strtoull(start, &end, 0);
+  if (end == start || errno == ERANGE || Trim(end).size() != 0) {
+    return Fail(error, "malformed -- result value '" + text + "'");
+  }
+  *out = neg ? static_cast<uint64_t>(-static_cast<int64_t>(magnitude)) : magnitude;
+  return true;
+}
+
+std::string StripComments(const std::string& line) {
+  const size_t hash = line.find('#');
+  return hash == std::string::npos ? line : line.substr(0, hash);
+}
+
+}  // namespace
+
+bool ParseCaseText(const std::string& text, const std::string& name,
+                   ConformanceCase* out, std::string* error) {
+  *out = ConformanceCase{};
+  out->name = name;
+
+  // Split into sections on `-- <tag>` header lines.
+  std::istringstream is(text);
+  std::string line;
+  std::string section;  // current tag; empty = preamble
+  std::string asm_body;
+  std::string mem_body;
+  std::string result_body;
+  std::string error_body;
+  bool have_asm = false;
+  bool have_mem = false;
+  bool have_result = false;
+  bool have_error = false;
+  while (std::getline(is, line)) {
+    const std::string trimmed = Trim(line);
+    if (trimmed.rfind("--", 0) == 0) {
+      const std::string tag = Trim(trimmed.substr(2));
+      if (tag == "asm") {
+        section = tag;
+        have_asm = true;
+      } else if (tag == "mem") {
+        section = tag;
+        have_mem = true;
+      } else if (tag == "result") {
+        section = tag;
+        have_result = true;
+      } else if (tag == "error") {
+        section = tag;
+        have_error = true;
+      } else {
+        return Fail(error, "unknown section '-- " + tag + "'");
+      }
+      continue;
+    }
+    if (section.empty()) {
+      if (!Trim(StripComments(line)).empty()) {
+        return Fail(error, "content before the first section header");
+      }
+      continue;
+    }
+    std::string* body = section == "asm"      ? &asm_body
+                        : section == "mem"    ? &mem_body
+                        : section == "result" ? &result_body
+                                              : &error_body;
+    body->append(line);
+    body->push_back('\n');
+  }
+
+  if (!have_asm) {
+    return Fail(error, "missing -- asm section");
+  }
+  if (have_result && have_error) {
+    return Fail(error, "-- result and -- error are mutually exclusive");
+  }
+  if (!have_result && !have_error) {
+    return Fail(error, "missing -- result (or -- error) section");
+  }
+
+  out->asm_text = asm_body;
+  AsmError asm_error;
+  if (!AssembleProgram(asm_body, &out->insns, &asm_error)) {
+    return Fail(error, "asm " + asm_error.Format());
+  }
+  if (have_mem) {
+    // Comments are legal inside -- mem too; strip them line-wise first.
+    std::istringstream mem_is(mem_body);
+    std::string stripped;
+    while (std::getline(mem_is, line)) {
+      stripped.append(StripComments(line));
+      stripped.push_back('\n');
+    }
+    if (!ParseMemHex(stripped, &out->mem, error)) {
+      return false;
+    }
+  }
+  if (have_result) {
+    if (!ParseResult(StripComments(result_body), &out->expected_r0, error)) {
+      return false;
+    }
+  } else {
+    out->expect_reject = true;
+    // The error body (minus comments/whitespace) is an optional log substring.
+    std::istringstream err_is(error_body);
+    std::string collected;
+    while (std::getline(err_is, line)) {
+      const std::string t = Trim(StripComments(line));
+      if (!t.empty()) {
+        collected = collected.empty() ? t : collected + "\n" + t;
+      }
+    }
+    out->expected_error = collected;
+  }
+  return true;
+}
+
+bool LoadCaseFile(const std::string& path, ConformanceCase* out, std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Fail(error, path + ": cannot open");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+
+  std::string stem = std::filesystem::path(path).stem().string();
+  std::string local;
+  if (!ParseCaseText(buffer.str(), stem, out, &local)) {
+    return Fail(error, path + ": " + local);
+  }
+  out->path = path;
+  return true;
+}
+
+bool LoadCorpusDir(const std::string& dir, std::vector<ConformanceCase>* out,
+                   std::string* error) {
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) {
+    return Fail(error, dir + ": " + ec.message());
+  }
+  std::vector<std::string> paths;
+  for (const auto& entry : it) {
+    if (entry.is_regular_file() && entry.path().extension() == ".data") {
+      paths.push_back(entry.path().string());
+    }
+  }
+  // Deterministic order regardless of directory enumeration order.
+  std::sort(paths.begin(), paths.end());
+  if (paths.empty()) {
+    return Fail(error, dir + ": no .data conformance cases");
+  }
+  out->clear();
+  out->reserve(paths.size());
+  for (const std::string& path : paths) {
+    ConformanceCase c;
+    if (!LoadCaseFile(path, &c, error)) {
+      return false;
+    }
+    out->push_back(std::move(c));
+  }
+  return true;
+}
+
+}  // namespace conf
+}  // namespace bvf

@@ -1,0 +1,61 @@
+// Conformance corpus loader (DESIGN.md §15).
+//
+// A corpus case is one `.data` file with up to four sections:
+//
+//   -- asm        assembly text (required), one instruction per line
+//   -- mem        optional hex bytes copied into the program context
+//   -- result     expected r0 after execution (decimal or 0x hex, u64)
+//   -- error      the verifier is expected to REJECT this program; the
+//                 section body (optional) is a substring of the expected log
+//
+// Exactly one of `-- result` / `-- error` must be present. `#` starts a
+// comment anywhere; blank lines are ignored. Directory loads scan `*.data`
+// in byte-wise filename order so every runner sees the corpus identically.
+
+#ifndef SRC_CONFORMANCE_CORPUS_H_
+#define SRC_CONFORMANCE_CORPUS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/ebpf/insn.h"
+
+namespace bvf {
+namespace conf {
+
+struct ConformanceCase {
+  std::string name;  // file stem, e.g. "alu64_add_imm"
+  std::string path;  // full path when loaded from disk, else empty
+
+  std::string asm_text;           // raw `-- asm` section body
+  std::vector<bpf::Insn> insns;   // assembled program
+
+  std::vector<uint8_t> mem;       // `-- mem` bytes (context image), may be empty
+
+  bool expect_reject = false;     // case carries `-- error`
+  uint64_t expected_r0 = 0;       // valid when !expect_reject
+  std::string expected_error;     // optional log substring for reject cases
+};
+
+// Parses one case text. |name| seeds the case name (error messages and
+// reporting). Returns false with a human-readable message on malformed
+// sections, assembly errors (with line numbers), truncated hex, a missing
+// `-- result`, or a `-- result`/`-- error` conflict.
+bool ParseCaseText(const std::string& text, const std::string& name,
+                   ConformanceCase* out, std::string* error);
+
+// Loads one `.data` file.
+bool LoadCaseFile(const std::string& path, ConformanceCase* out, std::string* error);
+
+// Scans |dir| (non-recursively) for `*.data` files in sorted filename order.
+// Returns false if the directory is unreadable or any case fails to parse;
+// |error| names the offending file. An empty directory is an error — a
+// conformance run over zero cases is always a misconfiguration.
+bool LoadCorpusDir(const std::string& dir, std::vector<ConformanceCase>* out,
+                   std::string* error);
+
+}  // namespace conf
+}  // namespace bvf
+
+#endif  // SRC_CONFORMANCE_CORPUS_H_

@@ -1,0 +1,98 @@
+// Conformance runner (DESIGN.md §15): drives each corpus case through the
+// full PROG_LOAD pipeline and — when accepted — executes it on all three
+// engines (legacy interpreter, decoded micro-ops, x86-64 JIT), comparing
+// every engine's r0 against the case's expected value and against the other
+// engines. Divergence here is a replayable expected-value oracle: unlike the
+// differential oracles in src/core, the ground truth is authored, not
+// inferred, so a conformance mismatch directly names the broken engine
+// semantics.
+
+#ifndef SRC_CONFORMANCE_RUNNER_H_
+#define SRC_CONFORMANCE_RUNNER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/conformance/corpus.h"
+#include "src/ebpf/program.h"
+#include "src/runtime/exec_context.h"
+#include "src/verifier/bug_registry.h"
+#include "src/verifier/kernel_version.h"
+
+namespace bvf {
+namespace conf {
+
+// Per-case outcome, ordered by severity (Worst() keeps the max).
+enum class CaseVerdict {
+  kPass,              // accepted; every engine returned the expected r0
+  kExpectedReject,    // `-- error` case, verifier rejected as expected
+  kUnexpectedAccept,  // `-- error` case, verifier accepted — verifier gap
+  kReject,            // `-- result` case, verifier rejected — verifier gap
+  kMismatch,          // accepted but an engine's r0 differs (engine bug)
+};
+
+const char* CaseVerdictName(CaseVerdict verdict);
+
+// One engine's execution of an accepted case.
+struct EngineRun {
+  bpf::ExecEngine engine = bpf::ExecEngine::kLegacy;
+  bool ran = false;  // false when the engine is unavailable (JIT off-host)
+  uint64_t r0 = 0;
+  int err = 0;
+  std::string abort_reason;
+};
+
+struct CaseResult {
+  std::string name;
+  CaseVerdict verdict = CaseVerdict::kPass;
+  std::string verifier_log;      // only on rejections
+  std::vector<EngineRun> runs;   // one per engine that was attempted
+  std::string detail;            // human-readable mismatch/reject description
+};
+
+// Substrate parameters. Each engine gets a freshly booted kernel so no state
+// leaks between engines or cases; the config mirrors the campaign options so
+// `--conformance` observes the same simulated kernel the campaign fuzzes.
+struct RunnerConfig {
+  bpf::KernelVersion version = bpf::KernelVersion::kBpfNext;
+  bpf::BugConfig bugs;  // default: all bugs off
+  size_t arena_size = 1u << 20;
+  bool sanitize = false;  // instrument programs with the BPF sanitizer
+  bpf::ExecLimits limits;
+};
+
+// Converts an assembled case into a loadable tracepoint program (the
+// tracepoint context is 8 read-only u64 slots with no kernel-written
+// pointers, which is what lets `-- mem` images be delivered verbatim).
+bpf::Program ToProgram(const ConformanceCase& c);
+
+class ConformanceRunner {
+ public:
+  explicit ConformanceRunner(const RunnerConfig& config) : config_(config) {}
+  ConformanceRunner() : ConformanceRunner(RunnerConfig{}) {}
+
+  // Runs one case: loads on a fresh substrate per engine, executes when
+  // accepted, classifies. Deterministic — same case, same result.
+  CaseResult RunCase(const ConformanceCase& c) const;
+
+  // Runs every case in order. |results| may be null when only the summary
+  // counters matter.
+  struct Summary {
+    uint64_t cases = 0;
+    uint64_t passed = 0;        // kPass + kExpectedReject
+    uint64_t mismatches = 0;    // kMismatch
+    uint64_t rejects = 0;       // kReject + kUnexpectedAccept
+  };
+  Summary RunCorpus(const std::vector<ConformanceCase>& corpus,
+                    std::vector<CaseResult>* results) const;
+
+  const RunnerConfig& config() const { return config_; }
+
+ private:
+  RunnerConfig config_;
+};
+
+}  // namespace conf
+}  // namespace bvf
+
+#endif  // SRC_CONFORMANCE_RUNNER_H_

@@ -86,6 +86,12 @@ std::string FingerprintOptions(const CampaignOptions& options, const std::string
      << bugs.bug11_xdp_offload << bugs.bug12_jmp32_signed_refine << bugs.cve_2022_23222
      << bugs.bug13_ld_imm64_pessimize;
   os << " mmorph=" << options.metamorph << "/" << options.metamorph_k;
+  // The conformance prologue contributes findings (digest-included), so a
+  // checkpoint written with a corpus cannot resume without one (or with a
+  // different one).
+  if (!options.conformance_dir.empty()) {
+    os << " conf=" << options.conformance_dir;
+  }
   // interp_engine is deliberately absent: the engines are digest-identical,
   // so a --interp=jit checkpoint must resume under --interp=legacy and vice
   // versa. The jit oracle, by contrast, changes outcomes and findings.
@@ -160,6 +166,12 @@ int SaveCheckpoint(const std::string& path, const CampaignCheckpoint& checkpoint
      << checkpoint.stats.worker_hangs << " " << checkpoint.stats.worker_exits << " "
      << checkpoint.stats.worker_restarts << " " << checkpoint.stats.epochs_abandoned
      << " " << checkpoint.stats.quarantined_cases << "\n";
+  // Conformance-prologue volume counters: digest-excluded like the cache
+  // counters (the mismatch/reject findings in the stats body are the result;
+  // these only describe how much corpus was driven).
+  os << "conf " << checkpoint.stats.conf_cases << " " << checkpoint.stats.conf_passed
+     << " " << checkpoint.stats.conf_mismatches << " " << checkpoint.stats.conf_rejects
+     << " " << checkpoint.stats.conf_seeded << "\n";
   os << "crashes " << checkpoint.stats.crash_findings.size() << "\n";
   for (const Finding& finding : checkpoint.stats.crash_findings) {
     serialize::SerializeFinding(os, finding);
@@ -304,6 +316,15 @@ int LoadCheckpoint(const std::string& path, CampaignCheckpoint* out, std::string
   cp.stats.worker_restarts = static_cast<uint64_t>(supv[3]);
   cp.stats.epochs_abandoned = static_cast<uint64_t>(supv[4]);
   cp.stats.quarantined_cases = static_cast<uint64_t>(supv[5]);
+  // Optional (checkpoints predating the conformance subsystem lack it).
+  if (reader.PeekTag() == "conf") {
+    const std::vector<int64_t> conf = reader.Fields("conf", 5);
+    cp.stats.conf_cases = static_cast<uint64_t>(conf[0]);
+    cp.stats.conf_passed = static_cast<uint64_t>(conf[1]);
+    cp.stats.conf_mismatches = static_cast<uint64_t>(conf[2]);
+    cp.stats.conf_rejects = static_cast<uint64_t>(conf[3]);
+    cp.stats.conf_seeded = static_cast<uint64_t>(conf[4]);
+  }
   for (uint64_t i = 0, n = reader.Count("crashes"); i < n && reader.ok(); ++i) {
     Finding finding;
     serialize::ParseFinding(reader, &finding);

@@ -8,6 +8,8 @@
 
 #include "src/analysis/canonicalize.h"
 #include "src/analysis/state_audit.h"
+#include "src/conformance/corpus.h"
+#include "src/conformance/runner.h"
 #include "src/core/checkpoint.h"
 #include "src/core/metamorph/metamorph.h"
 #include "src/core/metamorph/transform.h"
@@ -46,6 +48,10 @@ const char* CaseOutcomeName(CaseOutcome outcome) {
       return "sanitizer-divergence";
     case CaseOutcome::kJitDivergence:
       return "jit-divergence";
+    case CaseOutcome::kConformanceMismatch:
+      return "conformance-mismatch";
+    case CaseOutcome::kConformanceReject:
+      return "conformance-reject";
   }
   return "unclassified";
 }
@@ -678,6 +684,15 @@ CampaignStats Fuzzer::Run() {
     Coverage::Get().ResetHits();
   }
 
+  // Conformance prologue before iteration 1. Resumed campaigns skip it: its
+  // findings and corpus seeds are already inside the checkpoint (and the
+  // fingerprint pins the directory, so the corpus cannot silently change).
+  if (options_.resume_path.empty() && !options_.conformance_dir.empty() &&
+      !RunConformancePrologue(options_, stats, &corpus_)) {
+    runner_.reset();
+    return stats;
+  }
+
   // Evictions restored from a checkpoint happened in a previous process; this
   // process's cache starts empty, so the running total is base + local.
   const uint64_t base_decode_evictions = stats.decode_cache_evictions;
@@ -751,6 +766,89 @@ CampaignStats Fuzzer::Run() {
   }
   runner_.reset();
   return stats;
+}
+
+bool RunConformancePrologue(const CampaignOptions& options, CampaignStats& stats,
+                            std::vector<FuzzCase>* corpus) {
+  std::vector<conf::ConformanceCase> cases;
+  std::string error;
+  if (!conf::LoadCorpusDir(options.conformance_dir, &cases, &error)) {
+    stats.resume_error = "conformance: " + error;
+    return false;
+  }
+
+  // The prologue is not part of the coverage-guided loop: whatever kernel
+  // paths the corpus lights up must not seed the campaign's hit set, or a
+  // --conformance campaign would generate differently from a bare one.
+  bpf::ScopedCoverageSuppress suppress;
+
+  conf::RunnerConfig config;
+  config.version = options.version;
+  config.bugs = options.bugs;
+  config.arena_size = options.arena_size;
+  config.sanitize = options.sanitize;
+  config.limits = options.limits;
+  const conf::ConformanceRunner runner(config);
+
+  std::vector<conf::CaseResult> results;
+  results.reserve(cases.size());
+  const conf::ConformanceRunner::Summary summary = runner.RunCorpus(cases, &results);
+  stats.conf_cases += summary.cases;
+  stats.conf_passed += summary.passed;
+  stats.conf_mismatches += summary.mismatches;
+  stats.conf_rejects += summary.rejects;
+
+  for (size_t i = 0; i < cases.size(); ++i) {
+    const conf::ConformanceCase& c = cases[i];
+    const conf::CaseResult& result = results[i];
+
+    const bool mismatch = result.verdict == conf::CaseVerdict::kMismatch;
+    const bool verdict_gap = result.verdict == conf::CaseVerdict::kReject ||
+                             result.verdict == conf::CaseVerdict::kUnexpectedAccept;
+    if (mismatch || verdict_gap) {
+      Finding finding;
+      finding.kind = mismatch ? bpf::ReportKind::kConformanceMismatch
+                              : bpf::ReportKind::kConformanceReject;
+      finding.signature = std::string(bpf::ReportKindName(finding.kind)) + " in " + c.name;
+      finding.details =
+          std::string(CaseOutcomeName(mismatch ? CaseOutcome::kConformanceMismatch
+                                               : CaseOutcome::kConformanceReject)) +
+          " (" + conf::CaseVerdictName(result.verdict) + "): " + result.detail;
+      finding.indicator = 6;
+      finding.iteration = 0;  // pre-campaign
+      if (stats.finding_signatures.insert(finding.signature).second) {
+        // Conformance cases are replayable by construction; confirmation is a
+        // straight re-run of the case through the same runner.
+        if (options.confirm_runs > 0) {
+          int hits = 0;
+          for (int run = 0; run < options.confirm_runs; ++run) {
+            if (runner.RunCase(c).verdict == result.verdict) {
+              ++hits;
+            }
+          }
+          finding.confirm_runs = options.confirm_runs;
+          finding.confirm_hits = hits;
+          finding.confirmation = hits == options.confirm_runs
+                                     ? Confirmation::kDeterministic
+                                     : Confirmation::kFlaky;
+        }
+        stats.findings.push_back(std::move(finding));
+      }
+    }
+
+    // Accepted-and-executed cases become mutation seeds: authored programs
+    // cover instruction shapes the structured generator rarely emits.
+    if (corpus != nullptr &&
+        (result.verdict == conf::CaseVerdict::kPass || mismatch) &&
+        corpus->size() < 512) {
+      FuzzCase seed;
+      seed.prog = conf::ToProgram(c);
+      seed.test_runs = 2;
+      corpus->push_back(std::move(seed));
+      ++stats.conf_seeded;
+    }
+  }
+  return true;
 }
 
 }  // namespace bvf

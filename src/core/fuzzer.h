@@ -131,6 +131,17 @@ struct CampaignOptions {
   bool metamorph = false;
   int metamorph_k = 2;
 
+  // -- Conformance corpus (Indicator #6, DESIGN.md §15) --
+  // Directory of `.data` expected-value cases (src/conformance). When set,
+  // every engine runs the full corpus as a campaign prologue before iteration
+  // 0: each case is loaded and executed on all three engines, mismatches and
+  // verdict surprises become indicator-6 findings (digest-included), and each
+  // accepted case is appended to the mutation corpus as a seed.
+  // Results-changing, so the directory is part of the options fingerprint;
+  // resumed campaigns skip the prologue (its findings and seeds are already
+  // in the checkpoint).
+  std::string conformance_dir;
+
   // -- Crash-isolated supervisor (DESIGN.md §12; SupervisedFuzzer only) --
   // All process-management knobs: none is part of the options fingerprint
   // (a supervised campaign must resume as an in-process one and vice versa).
@@ -185,6 +196,13 @@ enum class CaseOutcome {
   // JIT disagreed on this case's witness. Appended last — checkpoint
   // serialization stores outcomes as ints.
   kJitDivergence,
+  // Conformance corpus (Indicator #6, DESIGN.md §15). These never enter
+  // |CampaignStats::outcomes| — the prologue runs before iteration 0, and the
+  // outcome histogram must keep summing to |iterations| — but they name the
+  // two conformance failure classes wherever a per-case classification is
+  // reported (finding details, tooling output). Append-tail as above.
+  kConformanceMismatch,  // accepted, but an engine's r0 differed from expected
+  kConformanceReject,    // verifier verdict contradicted the case expectation
 };
 
 const char* CaseOutcomeName(CaseOutcome outcome);
@@ -255,6 +273,17 @@ struct CampaignStats {
   // stderr tail). Kept out of |findings| and the digest so a supervised
   // campaign with a crash stays digest-comparable to an uninterrupted run.
   std::vector<Finding> crash_findings;
+
+  // Conformance-prologue accounting (Indicator #6). The mismatch/reject
+  // *findings* land in |findings| (digest-included); these volume counters
+  // follow the cache-counter discipline — deterministic for any job count,
+  // excluded from StatsDigest, carried across resume by their own
+  // checkpoint line.
+  uint64_t conf_cases = 0;       // corpus cases driven by the prologue
+  uint64_t conf_passed = 0;      // pass + expected-reject
+  uint64_t conf_mismatches = 0;  // expected-value mismatches (engine bugs)
+  uint64_t conf_rejects = 0;     // verdict surprises (verifier gaps)
+  uint64_t conf_seeded = 0;      // accepted cases appended to the corpus
 
   // Resume bookkeeping (not part of checkpoints or digests).
   uint64_t resumed_from = 0;       // first iteration executed after resume
@@ -420,6 +449,19 @@ void AccumulateInsnMix(const FuzzCase& the_case, CampaignStats& stats);
 // Folds a CaseResult's order-independent counters (accept/reject, errno
 // histograms, outcome buckets, panic/fault accounting) into |stats|.
 void AccumulateCaseCounters(const CaseRunner::CaseResult& result, CampaignStats& stats);
+
+// Conformance prologue (Indicator #6, DESIGN.md §15): loads the corpus at
+// options.conformance_dir, drives every case through all three engines on the
+// campaign's kernel configuration, converts mismatches and verdict surprises
+// into indicator-6 findings (deduped into |stats| like campaign findings,
+// confirmed options.confirm_runs times), fills the conf_* counters, and
+// appends each accepted case to |corpus| as a mutation seed. Deterministic:
+// the same options produce bit-identical stats for every engine and job
+// count. Coverage recording is suppressed throughout so the prologue cannot
+// disturb the campaign's coverage-guided generation. Returns false (filling
+// stats.resume_error) when the directory is missing or a case fails to parse.
+bool RunConformancePrologue(const CampaignOptions& options, CampaignStats& stats,
+                            std::vector<FuzzCase>* corpus);
 
 }  // namespace bvf
 

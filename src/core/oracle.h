@@ -58,8 +58,9 @@ struct Finding {
   std::string signature;  // stable dedup key
   std::string details;
   int indicator;          // 1 or 2 (paper §3.1/§3.2), 3 (state audit),
-                          // 4 (metamorphic divergence), or 5 (jit-vs-
-                          // interpreter differential, DESIGN.md §14.5)
+                          // 4 (metamorphic divergence), 5 (jit-vs-
+                          // interpreter differential, DESIGN.md §14.5), or
+                          // 6 (conformance expected-value oracle, §15)
   KnownBug triaged = KnownBug::kUnknown;
   uint64_t iteration = 0;  // campaign iteration that first triggered it
 

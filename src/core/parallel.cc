@@ -94,6 +94,14 @@ CampaignStats ParallelFuzzer::Run() {
     Coverage::Get().ResetHits();
   }
 
+  // Conformance prologue before epoch 0, coordinator-side so it runs exactly
+  // once for any job count. Resumed campaigns skip it: its findings and
+  // corpus seeds are already inside the checkpoint.
+  if (options_.resume_path.empty() && !options_.conformance_dir.empty() &&
+      !RunConformancePrologue(options_, stats, &corpus)) {
+    return stats;
+  }
+
   // Write-ahead journal: every barrier's newly merged findings and corpus
   // growth are appended + fsynced before the epoch is considered done, so a
   // kill between checkpoints cannot lose a recorded finding.

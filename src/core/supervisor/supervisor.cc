@@ -270,6 +270,15 @@ CampaignStats SupervisedFuzzer::Run() {
     start_iteration = cp.next_iteration;
     stats.resumed_from = start_iteration;
   }
+
+  // Conformance prologue, coordinator-side: worker processes never see the
+  // corpus directory — they receive the resulting seeds through the normal
+  // corpus sync, exactly as on a resume. Must run before |sigs_vec| snapshots
+  // the signature set so workers dedup against prologue findings too.
+  if (options_.resume_path.empty() && !options_.conformance_dir.empty() &&
+      !RunConformancePrologue(options_, stats, &corpus)) {
+    return stats;
+  }
   for (const std::string& sig : stats.finding_signatures) {
     sigs_vec.push_back(sig);
   }

@@ -60,6 +60,10 @@ Insn LoadMem(uint8_t size, uint8_t dst, uint8_t src, int16_t off) {
   return Insn{static_cast<uint8_t>(kClassLdx | size | kModeMem), dst, src, off, 0};
 }
 
+Insn LoadMemSx(uint8_t size, uint8_t dst, uint8_t src, int16_t off) {
+  return Insn{static_cast<uint8_t>(kClassLdx | size | kModeMemsx), dst, src, off, 0};
+}
+
 Insn StoreMemReg(uint8_t size, uint8_t dst, uint8_t src, int16_t off) {
   return Insn{static_cast<uint8_t>(kClassStx | size | kModeMem), dst, src, off, 0};
 }
@@ -135,6 +139,21 @@ const char* SizeName(uint8_t size) {
       return "u64";
     default:
       return "u?";
+  }
+}
+
+const char* SignedSizeName(uint8_t size) {
+  switch (size) {
+    case kSizeB:
+      return "s8";
+    case kSizeH:
+      return "s16";
+    case kSizeW:
+      return "s32";
+    case kSizeDw:
+      return "s64";
+    default:
+      return "s?";
   }
 }
 
@@ -241,7 +260,13 @@ std::string Disassemble(const Insn& insn) {
       return Fmt("%s%s = -%s", is32 ? "w" : "", dst.c_str(), dst.c_str());
     }
     if (insn.AluOp() == kAluEnd) {
-      return Fmt("%s = bswap%d %s", dst.c_str(), insn.imm, dst.c_str());
+      // Four distinct encodings (class x TO_LE/TO_BE bit), four distinct
+      // spellings, so disassembly round-trips byte-identically: the ALU-class
+      // pair is the classic le/be conversion, the ALU64-class pair the
+      // unconditional-swap spelling (swap_le names the odd bit-clear form).
+      const bool to_be = insn.SrcIsReg();
+      const char* mnemonic = is32 ? (to_be ? "be" : "le") : (to_be ? "bswap" : "swap_le");
+      return Fmt("%s = %s%d %s", dst.c_str(), mnemonic, insn.imm, dst.c_str());
     }
     if (insn.SrcIsReg()) {
       return Fmt("%s%s %s %s%s", is32 ? "w" : "", dst.c_str(), AluOpName(insn.AluOp()),
@@ -250,7 +275,8 @@ std::string Disassemble(const Insn& insn) {
     return Fmt("%s%s %s %d", is32 ? "w" : "", dst.c_str(), AluOpName(insn.AluOp()), insn.imm);
   }
   if (insn.IsMemLoad()) {
-    return Fmt("%s = *(%s *)(%s %+d)", RegName(insn.dst).c_str(), SizeName(insn.Size()),
+    return Fmt("%s = *(%s *)(%s %+d)", RegName(insn.dst).c_str(),
+               insn.IsMemLoadSx() ? SignedSizeName(insn.Size()) : SizeName(insn.Size()),
                RegName(insn.src).c_str(), insn.off);
   }
   if (insn.IsAtomic()) {

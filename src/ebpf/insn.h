@@ -33,6 +33,7 @@ inline constexpr uint8_t kModeImm = 0x00;
 inline constexpr uint8_t kModeAbs = 0x20;
 inline constexpr uint8_t kModeInd = 0x40;
 inline constexpr uint8_t kModeMem = 0x60;
+inline constexpr uint8_t kModeMemsx = 0x80;  // sign-extending load (LDX only)
 inline constexpr uint8_t kModeAtomic = 0xc0;
 
 // ---- ALU / ALU64 operations (bits 4-7) ----
@@ -132,7 +133,12 @@ struct Insn {
   bool IsJmp() const { return Class() == kClassJmp || Class() == kClassJmp32; }
   bool IsLoad() const { return Class() == kClassLd || Class() == kClassLdx; }
   bool IsStore() const { return Class() == kClassSt || Class() == kClassStx; }
-  bool IsMemLoad() const { return Class() == kClassLdx && Mode() == kModeMem; }
+  bool IsMemLoad() const {
+    return Class() == kClassLdx && (Mode() == kModeMem || Mode() == kModeMemsx);
+  }
+  // Sign-extending load (BPF_MEMSX, ISA v4): the loaded B/H/W value fills the
+  // 64-bit destination via sign extension instead of zero extension.
+  bool IsMemLoadSx() const { return Class() == kClassLdx && Mode() == kModeMemsx; }
   bool IsMemStore() const {
     return (Class() == kClassSt || Class() == kClassStx) && Mode() == kModeMem;
   }
@@ -180,6 +186,8 @@ Insn Neg(uint8_t dst);
 
 // dst = *(size*)(src + off)
 Insn LoadMem(uint8_t size, uint8_t dst, uint8_t src, int16_t off);
+// dst = *(s-size*)(src + off) — sign-extending load; size must be B/H/W.
+Insn LoadMemSx(uint8_t size, uint8_t dst, uint8_t src, int16_t off);
 // *(size*)(dst + off) = src
 Insn StoreMemReg(uint8_t size, uint8_t dst, uint8_t src, int16_t off);
 // *(size*)(dst + off) = imm

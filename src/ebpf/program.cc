@@ -156,8 +156,14 @@ int CheckEncoding(const Program& prog, std::string* log) {
         LogTo(log, "insn " + std::to_string(i) + ": invalid BPF_LD mode");
         return -EINVAL;
       case kClassLdx:
-        if (insn.Mode() != kModeMem) {
+        if (insn.Mode() != kModeMem && insn.Mode() != kModeMemsx) {
           LogTo(log, "insn " + std::to_string(i) + ": invalid BPF_LDX mode");
+          return -EINVAL;
+        }
+        // BPF_MEMSX sign-extends a narrower value into the 64-bit register;
+        // a DW "sign extension" is meaningless and rejected as in Linux.
+        if (insn.Mode() == kModeMemsx && insn.Size() == kSizeDw) {
+          LogTo(log, "insn " + std::to_string(i) + ": BPF_MEMSX does not support u64");
           return -EINVAL;
         }
         if (insn.imm != 0) {

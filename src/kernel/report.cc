@@ -46,6 +46,10 @@ const char* ReportKindName(ReportKind kind) {
       return "supervisor: worker crash";
     case ReportKind::kJitDivergence:
       return "jit: interpreter/jit divergence";
+    case ReportKind::kConformanceMismatch:
+      return "conformance: expected-value mismatch";
+    case ReportKind::kConformanceReject:
+      return "conformance: verdict mismatch";
   }
   return "unknown";
 }

@@ -61,6 +61,15 @@ enum class ReportKind {
   // Never filed through a ReportSink; the oracle synthesizes the finding.
   // Appended last: findings serialize the kind as an int.
   kJitDivergence,
+
+  // Indicator #6: conformance corpus oracle (src/conformance, DESIGN.md §15).
+  // An authored corpus case with a known expected value either executed to a
+  // different r0 on some engine (kConformanceMismatch — engine bug) or was
+  // rejected/accepted against its expectation (kConformanceReject — verifier
+  // gap). Never filed through a ReportSink; the conformance prologue
+  // synthesizes the finding. Append-tail: findings serialize the kind as int.
+  kConformanceMismatch,
+  kConformanceReject,
 };
 
 const char* ReportKindName(ReportKind kind);

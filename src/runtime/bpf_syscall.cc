@@ -1,5 +1,6 @@
 #include "src/runtime/bpf_syscall.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <cstdio>
@@ -373,6 +374,44 @@ ExecResult Bpf::ProgTestRun(int prog_fd, uint32_t pkt_len, uint64_t seed) {
   ExecResult result = RunProgram(*prog, pkt_len, seed, /*in_tracepoint=*/false,
                                  /*in_irq=*/false, TracepointId::kSysEnter);
   // The test-run harness force-releases anything a crashed program held.
+  kernel_.lockdep().Reset();
+  return result;
+}
+
+ExecResult Bpf::ProgTestRunCtx(int prog_fd, const std::vector<uint8_t>& ctx_bytes,
+                               uint64_t seed) {
+  LoadedProgram* prog = FindProg(prog_fd);
+  if (prog == nullptr) {
+    ExecResult result;
+    result.err = -EBADF;
+    return result;
+  }
+  ExecContext ctx = MakeCtx(*prog, /*pkt_len=*/64, seed);
+  if (ctx.ctx_addr == 0 || ctx.stack_base == 0 || (ctx.pkt_len != 0 && ctx.pkt_addr == 0)) {
+    ReleaseCtx(ctx);
+    ExecResult result;
+    result.err = -ENOMEM;
+    result.abort_reason = "execution context allocation failed";
+    return result;
+  }
+  const CtxDescriptor& desc = CtxDescriptorFor(prog->type);
+  uint8_t* ctx_host = kernel_.arena().HostPtr(ctx.ctx_addr, desc.size);
+  if (ctx_host != nullptr) {
+    std::memset(ctx_host, 0, desc.size);
+    if (!ctx_bytes.empty()) {
+      std::memcpy(ctx_host, ctx_bytes.data(),
+                  std::min<size_t>(ctx_bytes.size(), static_cast<size_t>(desc.size)));
+    }
+  }
+  WitnessTrace trace;
+  if (exec_observer_) {
+    ctx.witness = &trace;
+  }
+  ExecResult result = interp_.Run(*prog, ctx, exec_limits_);
+  if (exec_observer_) {
+    exec_observer_(*prog, trace);
+  }
+  ReleaseCtx(ctx);
   kernel_.lockdep().Reset();
   return result;
 }

@@ -129,6 +129,13 @@ class Bpf {
   // used by the overhead benchmark so interpretation dominates setup.
   ExecResult ProgTestRunRepeat(int prog_fd, int repeat, uint32_t pkt_len = 64,
                                uint64_t seed = 1);
+  // Test run with caller-supplied context bytes: the seed-filled context is
+  // overwritten with |ctx_bytes| (zero-padded / truncated to the context
+  // size) before the program enters. Only meaningful for tracepoint/kprobe
+  // programs, whose context carries no kernel-written pointer fields; the
+  // conformance runner uses it to deliver a case's `-- mem` image.
+  ExecResult ProgTestRunCtx(int prog_fd, const std::vector<uint8_t>& ctx_bytes,
+                            uint64_t seed = 1);
   int ProgAttach(int prog_fd, TracepointId target);
   void DetachAll();
 

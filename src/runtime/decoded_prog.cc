@@ -141,6 +141,7 @@ std::shared_ptr<const DecodedProgram> DecodeProgram(const Program& prog,
       u.code = UopCode::kLoad;
       u.size = static_cast<uint8_t>(insn.AccessBytes());
       u.flag = pc < aux.size() && aux[pc].mem_ptr_type == RegType::kPtrToBtfId;
+      u.sext = insn.IsMemLoadSx();
       continue;
     }
 
@@ -390,7 +391,8 @@ dispatch_switch:
     NEXT(u->target);
 
     UOP(kLoad) : {
-      if (!ExecMemLoad(arena, sink, regs, u->dst, u->src, u->off, u->size, u->flag)) {
+      if (!ExecMemLoad(arena, sink, regs, u->dst, u->src, u->off, u->size, u->flag,
+                       u->sext)) {
         abort_exec(-EFAULT, "page fault on load");
         goto done;
       }

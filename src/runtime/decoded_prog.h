@@ -68,7 +68,7 @@ enum class UopCode : uint8_t {
   kNeg32,
   kEndian,      // bswap / to_le mask; flag = to_be, imm = width
   kLdImm64,     // folded pair; imm = full 64-bit immediate, target = pc + 2
-  kLoad,        // BPF_LDX|BPF_MEM; flag = PTR_TO_BTF_ID exception handling
+  kLoad,        // BPF_LDX|BPF_MEM[SX]; flag = PTR_TO_BTF_ID, sext = BPF_MEMSX
   kStoreReg,
   kStoreImm,
   kAtomic,
@@ -99,6 +99,7 @@ struct Uop {
   uint8_t src = 0;
   uint8_t size = 0;     // memory/asan access bytes
   bool flag = false;    // btf_load / null_ok / to_be
+  bool sext = false;    // kLoad: BPF_MEMSX sign-extending fill
   bool witness = false; // record a register witness before executing
   int16_t off = 0;      // memory offset
   int32_t target = 0;   // absolute uop index: taken branch / callee / skip

@@ -140,13 +140,21 @@ inline bool JmpTaken(uint8_t op, uint64_t dst, uint64_t src, bool is32) {
   }
 }
 
+// Sign-extends the low |size| bytes of |value| to 64 bits (BPF_MEMSX).
+inline uint64_t SignExtend(uint64_t value, int size) {
+  const int shift = 64 - 8 * size;
+  return static_cast<uint64_t>(static_cast<int64_t>(value << shift) >> shift);
+}
+
 // Uninstrumented memory load. Returns false when the access faulted and the
 // caller must abort with -EFAULT "page fault on load" (the oops was already
 // filed). |btf_load| marks PTR_TO_BTF_ID loads, which are exception-table
-// handled: a faulting access reads as zero instead of oopsing.
+// handled: a faulting access reads as zero instead of oopsing. |sign_extend|
+// selects the BPF_MEMSX fill (loaded B/H/W value sign- instead of
+// zero-extended into the 64-bit destination).
 inline bool ExecMemLoad(KasanArena& arena, ReportSink& sink, uint64_t* regs,
                         uint8_t dst, uint8_t src, int64_t off, int size,
-                        bool btf_load) {
+                        bool btf_load, bool sign_extend = false) {
   const uint64_t addr = regs[src] + off;
   // ClassifyRange suffices: an uninstrumented load only faults on unbacked
   // memory (kNull/kWild), which is a range property; shadow state is
@@ -162,7 +170,7 @@ inline bool ExecMemLoad(KasanArena& arena, ReportSink& sink, uint64_t* regs,
   }
   uint64_t value = 0;
   arena.RawRead(addr, size, &value, sink, "bpf_prog_run");
-  regs[dst] = value;
+  regs[dst] = sign_extend ? SignExtend(value, size) : value;
   return true;
 }
 

@@ -147,7 +147,7 @@ ExecResult Interpreter::RunLegacy(const LoadedProgram& prog, ExecContext& ctx,
       const bool btf_load = pc < static_cast<int>(prog.aux.size()) &&
                             prog.aux[pc].mem_ptr_type == RegType::kPtrToBtfId;
       if (!ExecMemLoad(arena, sink, regs, insn.dst, insn.src, insn.off,
-                       insn.AccessBytes(), btf_load)) {
+                       insn.AccessBytes(), btf_load, insn.IsMemLoadSx())) {
         abort_exec(-EFAULT, "page fault on load");
         break;
       }

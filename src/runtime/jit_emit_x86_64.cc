@@ -652,11 +652,17 @@ bool EmitJitX86_64(const DecodedProgram& decoded, std::vector<uint8_t>* code,
         a.Jcc(CC_A, slow);  // null page / wild / overflow: C++ path
         a.LoadQ(RSI, R12, RT_OFF(mem_base));
         a.LoadSized(RAX, RSI, RCX, u.size);
+        if (u.sext && u.size < 8) {  // BPF_MEMSX: sign- instead of zero-extend
+          const uint8_t shift = static_cast<uint8_t>(64 - 8 * u.size);
+          a.ShiftRI64(kExtShl, RAX, shift);
+          a.ShiftRI64(kExtSar, RAX, shift);
+        }
         a.StoreQ(R12, dst_off, RAX);
         const uint64_t packed = static_cast<uint64_t>(u.dst) |
                                 static_cast<uint64_t>(u.src) << 8 |
                                 static_cast<uint64_t>(u.size) << 16 |
                                 (u.flag ? 1ull << 24 : 0) |
+                                (u.sext ? 1ull << 25 : 0) |
                                 static_cast<uint64_t>(static_cast<uint16_t>(u.off)) << 32;
         cold_blocks.push_back([&a, &emit_slow_call, slow, packed, next = head[i + 1]] {
           a.Bind(slow);

@@ -141,8 +141,10 @@ extern "C" uint64_t BvfJitLoad(JitRt* rt, uint64_t packed) {
   const uint8_t src = (packed >> 8) & 0xff;
   const int size = static_cast<int>((packed >> 16) & 0xff);
   const bool btf_load = (packed >> 24) & 1;
+  const bool sext = (packed >> 25) & 1;
   const int16_t off = static_cast<int16_t>(static_cast<uint16_t>(packed >> 32));
-  if (!ExecMemLoad(*rt->arena, *rt->sink, rt->regs, dst, src, off, size, btf_load)) {
+  if (!ExecMemLoad(*rt->arena, *rt->sink, rt->regs, dst, src, off, size, btf_load,
+                   sext)) {
     return kJitAbortLoadFault;
   }
   return kJitAbortNone;

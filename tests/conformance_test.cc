@@ -1,0 +1,368 @@
+// Conformance subsystem (DESIGN.md §15): the assembler round-trip property,
+// the vendored corpus as a three-engine regression suite, negative parses of
+// malformed corpus files, and the injected-JIT-miscompile proof that the
+// expected-value oracle actually fires.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/conformance/asm.h"
+#include "src/conformance/corpus.h"
+#include "src/conformance/runner.h"
+#include "src/core/fuzzer.h"
+#include "src/ebpf/insn.h"
+#include "src/runtime/jit_prog.h"
+
+namespace bvf {
+namespace conf {
+namespace {
+
+std::vector<ConformanceCase> LoadVendoredCorpus() {
+  std::vector<ConformanceCase> corpus;
+  std::string error;
+  bool ok = LoadCorpusDir(BVF_CONFORMANCE_DIR, &corpus, &error);
+  EXPECT_TRUE(ok) << error;
+  return corpus;
+}
+
+// ---- Corpus loading ----
+
+TEST(CorpusTest, VendoredCorpusLoadsAndIsBigEnough) {
+  std::vector<ConformanceCase> corpus = LoadVendoredCorpus();
+  EXPECT_GE(corpus.size(), 60u);
+  // Deterministic ordering: sorted by path, so resume and parallel runs see
+  // an identical sequence.
+  for (size_t i = 1; i < corpus.size(); ++i) {
+    EXPECT_LT(corpus[i - 1].path, corpus[i].path);
+  }
+  for (const ConformanceCase& c : corpus) {
+    EXPECT_FALSE(c.insns.empty()) << c.name;
+    EXPECT_TRUE(c.expect_reject || !c.name.empty()) << c.path;
+  }
+}
+
+// ---- Satellite 1: assembler round-trip property ----
+//
+// For every golden-corpus program: disassembling the assembled instructions
+// and re-assembling the text must reproduce the exact bytes. This pins the
+// assembler grammar to the disassembler output for the whole vendored
+// surface (ALU32/64, JMP/JMP32, MEM/MEMSX, endian spellings, ld_imm64,
+// calls).
+
+TEST(AsmRoundTripTest, DisassembleReassembleIsByteIdentical) {
+  std::vector<ConformanceCase> corpus = LoadVendoredCorpus();
+  ASSERT_FALSE(corpus.empty());
+  for (const ConformanceCase& c : corpus) {
+    std::string text;
+    for (const bpf::Insn& insn : c.insns) {
+      text += bpf::Disassemble(insn);
+      text += '\n';
+    }
+    std::vector<bpf::Insn> reassembled;
+    AsmError error;
+    ASSERT_TRUE(AssembleProgram(text, &reassembled, &error))
+        << c.name << ": " << error.Format() << "\n" << text;
+    ASSERT_EQ(c.insns.size(), reassembled.size()) << c.name;
+    for (size_t i = 0; i < c.insns.size(); ++i) {
+      // Field-wise equality (Insn has tail padding, so memcmp would compare
+      // uninitialized bytes).
+      EXPECT_TRUE(c.insns[i] == reassembled[i])
+          << c.name << " insn " << i << ": " << bpf::Disassemble(c.insns[i])
+          << " vs " << bpf::Disassemble(reassembled[i]);
+    }
+  }
+}
+
+// ---- Satellite 2: full corpus × engines × sanitizers ----
+
+void ExpectCorpusClean(const RunnerConfig& config) {
+  std::vector<ConformanceCase> corpus = LoadVendoredCorpus();
+  ASSERT_FALSE(corpus.empty());
+  ConformanceRunner runner(config);
+  std::vector<CaseResult> results;
+  ConformanceRunner::Summary summary = runner.RunCorpus(corpus, &results);
+  EXPECT_EQ(summary.cases, corpus.size());
+  EXPECT_EQ(summary.mismatches, 0u);
+  EXPECT_EQ(summary.rejects, 0u);
+  EXPECT_EQ(summary.passed, summary.cases);
+  for (const CaseResult& r : results) {
+    EXPECT_TRUE(r.verdict == CaseVerdict::kPass ||
+                r.verdict == CaseVerdict::kExpectedReject)
+        << r.name << ": " << CaseVerdictName(r.verdict) << " — " << r.detail
+        << "\n" << r.verifier_log;
+    // Every engine that ran agrees: the runner folds disagreement into
+    // kMismatch, so a clean verdict plus >1 run is the agreement proof.
+    for (const EngineRun& run : r.runs) {
+      if (run.ran && r.verdict == CaseVerdict::kPass) {
+        EXPECT_EQ(run.err, 0) << r.name << ": " << run.abort_reason;
+      }
+    }
+  }
+}
+
+TEST(ConformanceCorpusTest, AllCasesPassSanitizersOff) {
+  RunnerConfig config;
+  config.sanitize = false;
+  ExpectCorpusClean(config);
+}
+
+TEST(ConformanceCorpusTest, AllCasesPassSanitizersOn) {
+  RunnerConfig config;
+  config.sanitize = true;
+  ExpectCorpusClean(config);
+}
+
+TEST(ConformanceCorpusTest, PassesWithJitUnavailable) {
+  bpf::SetJitForceUnavailableForTest(true);
+  RunnerConfig config;
+  ExpectCorpusClean(config);
+  bpf::SetJitForceUnavailableForTest(false);
+}
+
+// ---- Satellite 2 (oracle proof): injected JIT miscompile is caught ----
+//
+// SetJitMiscompileForTest makes the JIT compute `dst + 0x7ef0` for 64-bit
+// `dst += 0x7eef`. A corpus case exercising exactly that pattern must flip
+// from kPass to kMismatch while the hook is set.
+
+ConformanceCase MiscompileBaitCase() {
+  ConformanceCase c;
+  std::string error;
+  EXPECT_TRUE(ParseCaseText("-- asm\n"
+                            "r0 = 0\n"
+                            "r0 += 0x7eef\n"
+                            "exit\n"
+                            "-- result\n"
+                            "0x7eef\n",
+                            "jit_miscompile_bait", &c, &error))
+      << error;
+  return c;
+}
+
+TEST(ConformanceOracleTest, InjectedJitMiscompileYieldsMismatch) {
+  if (!bpf::JitAvailable()) {
+    GTEST_SKIP() << "JIT unavailable on this host";
+  }
+  ConformanceRunner runner;
+  const ConformanceCase bait = MiscompileBaitCase();
+
+  CaseResult clean = runner.RunCase(bait);
+  EXPECT_EQ(clean.verdict, CaseVerdict::kPass) << clean.detail;
+
+  bpf::SetJitMiscompileForTest(true);
+  CaseResult broken = runner.RunCase(bait);
+  bpf::SetJitMiscompileForTest(false);
+
+  EXPECT_EQ(broken.verdict, CaseVerdict::kMismatch) << broken.detail;
+  EXPECT_NE(broken.detail.find("jit"), std::string::npos) << broken.detail;
+}
+
+TEST(ConformanceOracleTest, PrologueFilesConformanceMismatchFinding) {
+  if (!bpf::JitAvailable()) {
+    GTEST_SKIP() << "JIT unavailable on this host";
+  }
+  // Write a one-case corpus into the test temp dir and run the campaign
+  // prologue over it with the miscompile hook set: the mismatch must surface
+  // as a kConformanceMismatch finding with indicator #6.
+  const std::string dir = ::testing::TempDir() + "/conf_miscompile_corpus";
+  std::remove((dir + "/bait.data").c_str());
+  ASSERT_EQ(0, std::system(("mkdir -p " + dir).c_str()));
+  {
+    std::ofstream os(dir + "/bait.data", std::ios::trunc);
+    ASSERT_TRUE(os);
+    os << "-- asm\nr0 = 0\nr0 += 0x7eef\nexit\n-- result\n0x7eef\n";
+  }
+
+  CampaignOptions options;
+  options.conformance_dir = dir;
+  options.confirm_runs = 0;
+  CampaignStats stats;
+  std::vector<FuzzCase> corpus;
+
+  bpf::SetJitMiscompileForTest(true);
+  const bool ok = RunConformancePrologue(options, stats, &corpus);
+  bpf::SetJitMiscompileForTest(false);
+
+  ASSERT_TRUE(ok) << stats.resume_error;
+  EXPECT_EQ(stats.conf_cases, 1u);
+  EXPECT_EQ(stats.conf_mismatches, 1u);
+  ASSERT_EQ(stats.findings.size(), 1u);
+  EXPECT_EQ(stats.findings[0].kind, bpf::ReportKind::kConformanceMismatch);
+  EXPECT_EQ(stats.findings[0].indicator, 6);
+  // Signatures carry the case name (the file stem).
+  EXPECT_NE(stats.findings[0].signature.find("bait"), std::string::npos)
+      << stats.findings[0].signature;
+}
+
+// ---- Satellite 3: EdgeSemanticsTest behaviors live in the corpus ----
+//
+// The interpreter edge semantics (shift masking, div/mod-by-zero, endian
+// widths) are ported to .data cases; spot-check the ports exist and carry
+// the right expected values so corpus edits can't silently drop them.
+
+TEST(CorpusTest, EdgeSemanticsPortsPresent) {
+  std::vector<ConformanceCase> corpus = LoadVendoredCorpus();
+  auto find = [&](const std::string& name) -> const ConformanceCase* {
+    for (const ConformanceCase& c : corpus) {
+      if (c.name == name) {
+        return &c;
+      }
+    }
+    return nullptr;
+  };
+  struct Expect {
+    const char* name;
+    uint64_t r0;
+  };
+  const Expect kPorts[] = {
+      {"alu64_lsh_reg_mask64", 0x1234},
+      {"alu64_arsh_reg_mask127", ~0ull},
+      {"alu32_lsh_mask32", 0x12345678},
+      {"alu32_arsh_mask36", 0xf8000000},
+      {"alu64_div_reg_zero", 0},
+      {"alu64_mod_reg_zero", 0xdeadbeefcafef00dull},
+      {"alu32_div_zero_reg", 0},
+      {"alu32_mod_zero_trunc", 5},
+      {"endian_be16", 0x0201},
+      {"endian_be64", 0x0807060504030201ull},
+      {"endian_le32", 0x55667788},
+  };
+  for (const Expect& e : kPorts) {
+    const ConformanceCase* c = find(e.name);
+    ASSERT_NE(c, nullptr) << e.name << " missing from corpus";
+    EXPECT_FALSE(c->expect_reject) << e.name;
+    EXPECT_EQ(c->expected_r0, e.r0) << e.name;
+  }
+  // Rejected BPF_END widths stay rejected, with the loader's message.
+  for (const char* name :
+       {"err_end_width0", "err_end_width8", "err_end_width24"}) {
+    const ConformanceCase* c = find(name);
+    ASSERT_NE(c, nullptr) << name << " missing from corpus";
+    EXPECT_TRUE(c->expect_reject) << name;
+    EXPECT_EQ(c->expected_error, "invalid ALU opcode") << name;
+  }
+}
+
+// ---- Satellite 4: negative parses — clean errors, never crashes ----
+
+TEST(AsmNegativeTest, MalformedMnemonics) {
+  const char* kBad[] = {
+      "r0 <>= 5",                    // unknown ALU op
+      "r12 = 1",                     // register out of range
+      "frob r0, r1",                 // unknown mnemonic
+      "r0 = be r0",                  // endian width missing
+      "if r0 !> 3 goto +1",          // unknown jump op
+      "r0 = *(u24 *)(r10 -8)",       // unknown access size
+      "*(s16 *)(r10 -8) = r0",       // sign-extending store doesn't exist
+      "r0 = *(u8 *)(r10 -8) junk",   // trailing junk
+      "wr0 += r1",                   // 32-bit width mismatch
+      "r0 = -r1",                    // neg operand must equal dst
+      "goto",                        // missing offset
+      "call pc",                     // missing offset
+      "  (ld_imm64 hi: 0x1)",        // continuation without a lo slot
+      "",                            // empty line (AssembleLine is strict)
+  };
+  for (const char* line : kBad) {
+    std::vector<bpf::Insn> insns;
+    AsmError error;
+    EXPECT_FALSE(AssembleLine(line, &insns, &error)) << line;
+    EXPECT_FALSE(error.message.empty()) << line;
+  }
+}
+
+TEST(AsmNegativeTest, OutOfRangeImmediatesAndOffsets) {
+  const char* kBad[] = {
+      "r0 += 0x100000000",             // imm32 overflow (hex)
+      "r0 += 4294967296",              // imm32 overflow (decimal)
+      "r0 = -2147483649",              // below INT32_MIN for alu imm
+      "r0 = *(u64 *)(r10 -40000)",     // offset below s16
+      "if r0 == 1 goto +40000",        // branch offset above s16
+      "r0 = 0x123456789abcdef01 ll",   // u64 overflow
+  };
+  for (const char* line : kBad) {
+    std::vector<bpf::Insn> insns;
+    AsmError error;
+    EXPECT_FALSE(AssembleLine(line, &insns, &error)) << line;
+    EXPECT_FALSE(error.message.empty()) << line;
+  }
+}
+
+TEST(AsmNegativeTest, ProgramLevelErrorsCarryLineNumbers) {
+  std::vector<bpf::Insn> insns;
+  AsmError error;
+  EXPECT_FALSE(AssembleProgram("r0 = 1\nbogus line\nexit\n", &insns, &error));
+  EXPECT_EQ(error.line, 2);
+  EXPECT_FALSE(AssembleProgram("", &insns, &error));
+  EXPECT_FALSE(AssembleProgram("# only comments\n\n", &insns, &error));
+}
+
+TEST(CorpusNegativeTest, MalformedCaseFiles) {
+  struct Bad {
+    const char* text;
+    const char* why;
+  };
+  const Bad kBad[] = {
+      {"r0 = 1\n-- asm\nexit\n-- result\n1\n", "content before first header"},
+      {"-- asm\nexit\n", "missing result/error section"},
+      {"-- asm\nexit\n-- result\n1\n-- error\nx\n", "result and error"},
+      {"-- asm\nexit\n-- wibble\n1\n", "unknown section"},
+      {"-- asm\nr0 = 1\nexit\n-- result\n\n", "empty result"},
+      {"-- asm\nr0 = 1\nexit\n-- result\nbanana\n", "malformed result"},
+      {"-- asm\nr0 = 1\nexit\n-- result\n1 2\n", "trailing junk in result"},
+      {"-- asm\nr0 = 1\nexit\n-- mem\n8\n-- result\n1\n", "odd nibble count"},
+      {"-- asm\nr0 = 1\nexit\n-- mem\nzz\n-- result\n1\n", "bad hex char"},
+      {"-- asm\nnot asm\nexit\n-- result\n1\n", "assembler error"},
+      {"-- result\n1\n", "no asm section"},
+  };
+  for (const Bad& bad : kBad) {
+    ConformanceCase c;
+    std::string error;
+    EXPECT_FALSE(ParseCaseText(bad.text, "t", &c, &error)) << bad.why;
+    EXPECT_FALSE(error.empty()) << bad.why;
+  }
+}
+
+TEST(CorpusNegativeTest, MissingDirAndMissingFileFailCleanly) {
+  std::vector<ConformanceCase> corpus;
+  std::string error;
+  EXPECT_FALSE(LoadCorpusDir("/nonexistent/conformance/dir", &corpus, &error));
+  EXPECT_FALSE(error.empty());
+  ConformanceCase c;
+  error.clear();
+  EXPECT_FALSE(LoadCaseFile("/nonexistent/case.data", &c, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+// ---- Prologue determinism: same corpus, same findings, same counters ----
+
+TEST(ConformancePrologueTest, DeterministicAndSeedsCorpus) {
+  CampaignOptions options;
+  options.conformance_dir = BVF_CONFORMANCE_DIR;
+  options.confirm_runs = 0;
+
+  CampaignStats a;
+  CampaignStats b;
+  std::vector<FuzzCase> corpus_a;
+  std::vector<FuzzCase> corpus_b;
+  ASSERT_TRUE(RunConformancePrologue(options, a, &corpus_a)) << a.resume_error;
+  ASSERT_TRUE(RunConformancePrologue(options, b, &corpus_b)) << b.resume_error;
+
+  EXPECT_GE(a.conf_cases, 60u);
+  EXPECT_EQ(a.conf_cases, b.conf_cases);
+  EXPECT_EQ(a.conf_passed, b.conf_passed);
+  EXPECT_EQ(a.conf_mismatches, 0u);
+  EXPECT_EQ(a.conf_rejects, 0u);
+  EXPECT_EQ(a.conf_seeded, b.conf_seeded);
+  EXPECT_EQ(a.findings.size(), 0u);
+  EXPECT_GT(corpus_a.size(), 0u);
+  EXPECT_EQ(corpus_a.size(), corpus_b.size());
+}
+
+}  // namespace
+}  // namespace conf
+}  // namespace bvf
